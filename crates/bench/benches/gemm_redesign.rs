@@ -1,0 +1,40 @@
+//! Re-designed vs traditional GEMM (paper Fig. 1 / Eq. 1-4): functional
+//! host wall-clock, plus the modeled LD/CAL ablation printed up front.
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lowbit_qgemm::gemm::{schedule_gemm, LoadArithmeticProfile};
+use lowbit_qgemm::traditional::{schedule_traditional, traditional_gemm};
+use lowbit_qgemm::{gemm, Scheme};
+use lowbit_tensor::BitWidth;
+use neon_sim::CortexA53;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_redesign(c: &mut Criterion) {
+    let (m, k, n) = (64, 256, 64);
+    // Print the Eq. 1-4 ablation that motivates the redesign.
+    let model = CortexA53::cost_model();
+    let ours = schedule_gemm(&Scheme::for_bits(BitWidth::W4), m, k, n);
+    let trad = schedule_traditional(m, k, n);
+    let po = LoadArithmeticProfile::of(&ours);
+    let pt = LoadArithmeticProfile::of(&trad);
+    eprintln!("redesigned: LD={} CAL={} CAL/LD={:.2} modeled={:.0}cyc", po.loads, po.macs, po.cal_per_ld(), ours.cycles(&model));
+    eprintln!("traditional: LD={} CAL={} CAL/LD={:.2} modeled={:.0}cyc", pt.loads, pt.macs, pt.cal_per_ld(), trad.cycles(&model));
+
+    let mut rng = StdRng::seed_from_u64(2);
+    let a: Vec<i8> = (0..m * k).map(|_| rng.gen_range(-8..8)).collect();
+    let b: Vec<i8> = (0..k * n).map(|_| rng.gen_range(-8..8)).collect();
+    let mut group = c.benchmark_group("gemm_redesign");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((m * k * n) as u64));
+    let scheme = Scheme::for_bits(BitWidth::W4);
+    group.bench_function("redesigned", |bench| {
+        bench.iter(|| gemm(&scheme, &a, &b, m, k, n).c[0])
+    });
+    group.bench_function("traditional", |bench| {
+        bench.iter(|| traditional_gemm(&a, &b, m, k, n).c[0])
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_redesign);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Ablation A1: sensitivity of the SMLAL scheme to the drain ratio. Sweeps
+//! the SADDW cadence at fixed 4-bit operands; the published ratio (511) is
+//! the largest safe value, and smaller ratios pay measurably more drains.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lowbit_qgemm::{gemm, Scheme, SchemeKind};
+use lowbit_tensor::BitWidth;
+use neon_sim::CortexA53;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_ratio(c: &mut Criterion) {
+    let (m, k, n) = (64, 512, 64);
+    let bits = BitWidth::W4;
+    let mut rng = StdRng::seed_from_u64(3);
+    let a: Vec<i8> = (0..m * k).map(|_| rng.gen_range(bits.qmin()..=bits.qmax())).collect();
+    let b: Vec<i8> = (0..k * n).map(|_| rng.gen_range(bits.qmin()..=bits.qmax())).collect();
+
+    // Modeled cycles per forced ratio (printed as the ablation table).
+    let model = CortexA53::cost_model();
+    eprintln!("4-bit GEMM, forced SMLAL:SADDW ratio vs modeled cycles:");
+    for ratio in [2usize, 8, 31, 127, 511] {
+        // for_product_bound(32767/ratio) yields exactly `ratio`.
+        let scheme = Scheme::for_product_bound(SchemeKind::Smlal8, (i16::MAX as i32) / ratio as i32);
+        assert_eq!(scheme.ratio(), ratio);
+        let sched = lowbit_qgemm::gemm::schedule_gemm(&scheme, m, k, n);
+        eprintln!("  ratio {ratio:>4}: {:.0} cycles", sched.cycles(&model));
+    }
+
+    let mut group = c.benchmark_group("ratio_ablation");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((m * k * n) as u64));
+    for ratio in [2usize, 31, 511] {
+        let scheme = Scheme::for_product_bound(SchemeKind::Smlal8, (i16::MAX as i32) / ratio as i32);
+        group.bench_with_input(BenchmarkId::from_parameter(ratio), &ratio, |bench, _| {
+            bench.iter(|| gemm(&scheme, &a, &b, m, k, n).c[0])
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ratio);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Runs every figure/table regenerator in sequence (the EXPERIMENTS.md
+//! source of truth).
+use lowbit_bench::arm_experiments::*;
+use lowbit_bench::gpu_experiments::*;
+use lowbit_bench::harness::{mean, Table};
+use lowbit_models::{densenet121, resnet50, scr_resnet50};
+
+fn main() {
+    print_lowbit_vs_ncnn("=== Fig. 7: ResNet-50, ARM ===", &lowbit_vs_ncnn(&resnet50()));
+
+    println!("=== Fig. 8: Winograd vs GEMM, ARM ===");
+    let fig = winograd_figure(&resnet50());
+    for (b, bits) in fig.bits.iter().enumerate() {
+        println!(
+            "{bits}: winograd avg {:.2}x vs ncnn, gemm avg {:.2}x (paper winograd: 1.50/1.44/1.34)",
+            mean(&fig.winograd[b]),
+            mean(&fig.gemm[b])
+        );
+    }
+    println!();
+
+    println!("=== Fig. 9: 2-bit vs TVM popcount, ARM ===");
+    let fig = tvm_figure(&resnet50());
+    paper_summary_line("ours vs TVM (paper: 16/19 wins, avg 1.78x)", &fig.speedups);
+    println!();
+
+    for batch in [1usize, 16] {
+        println!("=== Fig. 10: GPU vs cuDNN/TensorRT, ResNet-50, batch {batch} ===");
+        let fig = gpu_vs_baselines(&resnet50(), batch);
+        paper_summary_line("8-bit vs cuDNN", &fig.speedup_vs_cudnn(&fig.ours8_us));
+        paper_summary_line("4-bit vs cuDNN", &fig.speedup_vs_cudnn(&fig.ours4_us));
+        paper_summary_line("8-bit vs TRT  ", &fig.speedup_vs_tensorrt(&fig.ours8_us));
+        paper_summary_line("4-bit vs TRT  ", &fig.speedup_vs_tensorrt(&fig.ours4_us));
+        println!();
+    }
+
+    println!("=== Fig. 11: profile-run auto-search, batch 1 ===");
+    let fig = profile_runs(&resnet50());
+    println!(
+        "avg gain: 4-bit {:.2}x (paper 2.29x), 8-bit {:.2}x (paper 2.91x)",
+        mean(&fig.gain4),
+        mean(&fig.gain8)
+    );
+    println!();
+
+    println!("=== Fig. 12: quantization fusion, batch 1 ===");
+    let fig = fusion(&resnet50());
+    println!(
+        "conv+dequant {:.2}x (paper 1.18x), conv+ReLU {:.2}x (paper 1.51x)",
+        mean(&fig.dequant),
+        mean(&fig.relu)
+    );
+    println!();
+
+    println!("=== Fig. 13: ARM space overhead ===");
+    let fig = space_figure(&resnet50());
+    let mut t = Table::new(vec!["metric", "min", "max", "avg", "paper"]);
+    let stats = |v: &[f64]| {
+        (
+            v.iter().cloned().fold(f64::MAX, f64::min),
+            v.iter().cloned().fold(0.0, f64::max),
+            mean(v),
+        )
+    };
+    let (lo, hi, avg) = stats(&fig.im2col);
+    t.push_row(vec![
+        "im2col".into(),
+        format!("{lo:.4}"),
+        format!("{hi:.4}"),
+        format!("{avg:.4}"),
+        "1.0218/8.6034/1.9445".into(),
+    ]);
+    let (lo, hi, avg) = stats(&fig.packing);
+    t.push_row(vec![
+        "pad+pack".into(),
+        format!("{lo:.4}"),
+        format!("{hi:.4}"),
+        format!("{avg:.4}"),
+        "1.0/1.0058/1.0010".into(),
+    ]);
+    t.print();
+    println!();
+
+    print_lowbit_vs_ncnn("=== Fig. 14: DenseNet-121, ARM ===", &lowbit_vs_ncnn(&densenet121()));
+    print_lowbit_vs_ncnn("=== Fig. 15: SCR-ResNet-50, ARM ===", &lowbit_vs_ncnn(&scr_resnet50()));
+
+    for (name, table, p8, p4) in [
+        ("Fig. 16: SCR-ResNet-50, GPU", scr_resnet50(), "2.22x", "3.53x"),
+        ("Fig. 17: DenseNet-121, GPU", densenet121(), "2.53x", "3.29x"),
+    ] {
+        println!("=== {name}, batch 1 ===");
+        let fig = gpu_vs_baselines(&table, 1);
+        paper_summary_line(&format!("8-bit vs TRT (paper {p8})"), &fig.speedup_vs_tensorrt(&fig.ours8_us));
+        paper_summary_line(&format!("4-bit vs TRT (paper {p4})"), &fig.speedup_vs_tensorrt(&fig.ours4_us));
+        println!();
+    }
+
+    let dir = std::path::Path::new("target/experiments");
+    match lowbit_bench::export::save_all(dir) {
+        Ok(paths) => println!("wrote {} per-figure CSVs under {}", paths.len(), dir.display()),
+        Err(e) => eprintln!("CSV export failed: {e}"),
+    }
+}

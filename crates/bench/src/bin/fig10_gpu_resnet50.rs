@@ -1,0 +1,39 @@
+//! Regenerates Fig. 10: our 4/8-bit Tensor Core convolutions vs cuDNN dp4a
+//! and TensorRT int8 on ResNet-50 (RTX 2080 Ti model, batch 1 and 16).
+use lowbit_bench::arm_experiments::paper_summary_line;
+use lowbit_bench::gpu_experiments::gpu_vs_baselines;
+use lowbit_bench::harness::Table;
+
+fn main() {
+    for batch in [1usize, 16] {
+        let fig = gpu_vs_baselines(&lowbit_models::resnet50(), batch);
+        println!("Fig. 10 - ResNet-50 on the RTX 2080 Ti model, batch {batch}");
+        let mut table = Table::new(vec![
+            "layer", "cudnn us", "trt us", "ours8 us", "ours4 us", "s8 vs cudnn", "s4 vs cudnn",
+        ]);
+        let s8 = fig.speedup_vs_cudnn(&fig.ours8_us);
+        let s4 = fig.speedup_vs_cudnn(&fig.ours4_us);
+        for l in 0..fig.layers.len() {
+            table.push_row(vec![
+                fig.layers[l].to_string(),
+                format!("{:.1}", fig.cudnn_us[l]),
+                format!("{:.1}", fig.tensorrt_us[l]),
+                format!("{:.1}", fig.ours8_us[l]),
+                format!("{:.1}", fig.ours4_us[l]),
+                format!("{:.2}x", s8[l]),
+                format!("{:.2}x", s4[l]),
+            ]);
+        }
+        table.print();
+        paper_summary_line("  8-bit vs cuDNN", &s8);
+        paper_summary_line("  4-bit vs cuDNN", &s4);
+        paper_summary_line("  8-bit vs TensorRT", &fig.speedup_vs_tensorrt(&fig.ours8_us));
+        paper_summary_line("  4-bit vs TensorRT", &fig.speedup_vs_tensorrt(&fig.ours4_us));
+        println!(
+            "  (paper batch {batch}: 8-bit {} / 4-bit {} vs cuDNN)",
+            if batch == 1 { "4.31x" } else { "2.44x" },
+            if batch == 1 { "5.26x" } else { "3.45x" },
+        );
+        println!();
+    }
+}

@@ -1,0 +1,22 @@
+//! Regenerates Fig. 11: speedup of profile-run tiling auto-search over the
+//! default parameters (batch 1). Paper: 2.29x (4-bit), 2.91x (8-bit) avg.
+use lowbit_bench::harness::{mean, Table};
+
+fn main() {
+    let fig = lowbit_bench::gpu_experiments::profile_runs(&lowbit_models::resnet50());
+    println!("Fig. 11 - tiling auto-search gain (w/ profile vs w/o profile, batch 1)");
+    let mut table = Table::new(vec!["layer", "4-bit gain", "8-bit gain"]);
+    for l in 0..fig.layers.len() {
+        table.push_row(vec![
+            fig.layers[l].to_string(),
+            format!("{:.2}x", fig.gain4[l]),
+            format!("{:.2}x", fig.gain8[l]),
+        ]);
+    }
+    table.print();
+    println!(
+        "avg: 4-bit {:.2}x (paper 2.29x), 8-bit {:.2}x (paper 2.91x)",
+        mean(&fig.gain4),
+        mean(&fig.gain8)
+    );
+}

@@ -1,0 +1,22 @@
+//! Regenerates Fig. 12: quantization fusion gains (8-bit, batch 1).
+//! Paper: conv+dequantization 1.18x, conv+ReLU 1.51x average.
+use lowbit_bench::harness::{mean, Table};
+
+fn main() {
+    let fig = lowbit_bench::gpu_experiments::fusion(&lowbit_models::resnet50());
+    println!("Fig. 12 - quantization fusion speedups (8-bit, batch 1)");
+    let mut table = Table::new(vec!["layer", "conv+dequant", "conv+relu"]);
+    for l in 0..fig.layers.len() {
+        table.push_row(vec![
+            fig.layers[l].to_string(),
+            format!("{:.2}x", fig.dequant[l]),
+            format!("{:.2}x", fig.relu[l]),
+        ]);
+    }
+    table.print();
+    println!(
+        "avg: conv+dequant {:.2}x (paper 1.18x), conv+ReLU {:.2}x (paper 1.51x)",
+        mean(&fig.dequant),
+        mean(&fig.relu)
+    );
+}

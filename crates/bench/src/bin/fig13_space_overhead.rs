@@ -1,0 +1,27 @@
+//! Regenerates Fig. 13: space overhead of im2col + padding/packing per
+//! ResNet-50 layer (pure arithmetic; paper: im2col 1.0218-8.6034x,
+//! avg 1.9445x; packing <= 1.0058x).
+use lowbit_bench::harness::{mean, Table};
+
+fn main() {
+    let fig = lowbit_bench::arm_experiments::space_figure(&lowbit_models::resnet50());
+    println!("Fig. 13 - ARM space overhead (baseline: activation + weight)");
+    let mut table = Table::new(vec!["layer", "im2col", "pad+pack", "total"]);
+    for l in 0..fig.layers.len() {
+        table.push_row(vec![
+            fig.layers[l].to_string(),
+            format!("{:.4}x", fig.im2col[l]),
+            format!("{:.4}x", fig.packing[l]),
+            format!("{:.4}x", fig.total[l]),
+        ]);
+    }
+    table.print();
+    let max = fig.im2col.iter().cloned().fold(0.0, f64::max);
+    let min = fig.im2col.iter().cloned().fold(f64::MAX, f64::min);
+    println!(
+        "im2col: min {:.4}x, max {:.4}x, avg {:.4}x (paper: 1.0218 / 8.6034 / 1.9445)",
+        min, max, mean(&fig.im2col)
+    );
+    let pmax = fig.packing.iter().cloned().fold(0.0, f64::max);
+    println!("pad+pack: max {:.4}x (paper: 1.0058)", pmax);
+}

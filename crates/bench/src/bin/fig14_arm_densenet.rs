@@ -1,0 +1,10 @@
+//! Regenerates Fig. 14: 2-8-bit convolution vs ncnn on DenseNet-121.
+use lowbit_bench::arm_experiments::{lowbit_vs_ncnn, print_lowbit_vs_ncnn};
+
+fn main() {
+    let fig = lowbit_vs_ncnn(&lowbit_models::densenet121());
+    print_lowbit_vs_ncnn(
+        "Fig. 14 - DenseNet-121 on the Cortex-A53 model (paper avgs: 1.79/1.74/1.56/1.50/1.51/1.37/1.09)",
+        &fig,
+    );
+}

@@ -1,0 +1,10 @@
+//! Regenerates Fig. 15: 2-8-bit convolution vs ncnn on SCR-ResNet-50.
+use lowbit_bench::arm_experiments::{lowbit_vs_ncnn, print_lowbit_vs_ncnn};
+
+fn main() {
+    let fig = lowbit_vs_ncnn(&lowbit_models::scr_resnet50());
+    print_lowbit_vs_ncnn(
+        "Fig. 15 - SCR-ResNet-50 on the Cortex-A53 model (paper avgs: 3.17/3.00/2.65/2.54/2.54/2.27/1.52)",
+        &fig,
+    );
+}

@@ -1,0 +1,17 @@
+//! Regenerates Fig. 17: GPU comparison on DenseNet-121 (batch 1).
+//! Paper: 4-bit 3.29x / 8-bit 2.53x vs TensorRT.
+use lowbit_bench::arm_experiments::paper_summary_line;
+use lowbit_bench::gpu_experiments::gpu_vs_baselines;
+
+fn main() {
+    let fig = gpu_vs_baselines(&lowbit_models::densenet121(), 1);
+    println!("Fig. 17 - DenseNet-121 on the RTX 2080 Ti model, batch 1");
+    for l in 0..fig.layers.len() {
+        println!(
+            "{:7} cudnn {:8.1}us  trt {:7.1}us  ours8 {:7.1}us  ours4 {:7.1}us",
+            fig.layers[l], fig.cudnn_us[l], fig.tensorrt_us[l], fig.ours8_us[l], fig.ours4_us[l]
+        );
+    }
+    paper_summary_line("8-bit vs TensorRT (paper 2.53x)", &fig.speedup_vs_tensorrt(&fig.ours8_us));
+    paper_summary_line("4-bit vs TensorRT (paper 3.29x)", &fig.speedup_vs_tensorrt(&fig.ours4_us));
+}

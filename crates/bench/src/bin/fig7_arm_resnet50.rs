@@ -1,0 +1,11 @@
+//! Regenerates Fig. 7: 2-8-bit convolution vs the ncnn-like 8-bit baseline
+//! on the 19 distinct ResNet-50 layers (Raspberry Pi 3B model, batch 1).
+use lowbit_bench::arm_experiments::{lowbit_vs_ncnn, print_lowbit_vs_ncnn};
+
+fn main() {
+    let fig = lowbit_vs_ncnn(&lowbit_models::resnet50());
+    print_lowbit_vs_ncnn(
+        "Fig. 7 - ResNet-50 on the Cortex-A53 model (paper avgs: 1.60/1.54/1.38/1.38/1.34/1.27/1.03)",
+        &fig,
+    );
+}

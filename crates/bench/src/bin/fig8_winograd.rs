@@ -1,0 +1,30 @@
+//! Regenerates Fig. 8: Winograd vs GEMM at 4-6 bit on the 3x3/s1 ResNet-50
+//! layers, both normalized to the ncnn 8-bit baseline.
+use lowbit_bench::harness::{mean, Table};
+
+fn main() {
+    let fig = lowbit_bench::arm_experiments::winograd_figure(&lowbit_models::resnet50());
+    println!("Fig. 8 - Winograd vs GEMM (paper winograd avgs: 1.50/1.44/1.34 at 4/5/6-bit)");
+    let mut headers = vec!["layer".to_string(), "ncnn8 ms".to_string()];
+    for b in &fig.bits {
+        headers.push(format!("gemm {b}"));
+        headers.push(format!("wino {b}"));
+    }
+    let mut table = Table::new(headers);
+    for l in 0..fig.layers.len() {
+        let mut row = vec![fig.layers[l].to_string(), format!("{:.3}", fig.baseline_ms[l])];
+        for b in 0..fig.bits.len() {
+            row.push(format!("{:.2}x", fig.gemm[b][l]));
+            row.push(format!("{:.2}x", fig.winograd[b][l]));
+        }
+        table.push_row(row);
+    }
+    table.print();
+    for (b, bits) in fig.bits.iter().enumerate() {
+        println!(
+            "{bits}: winograd avg {:.2}x vs ncnn (gemm avg {:.2}x)",
+            mean(&fig.winograd[b]),
+            mean(&fig.gemm[b])
+        );
+    }
+}

@@ -1,0 +1,19 @@
+//! Regenerates Fig. 9: our 2-bit GEMM vs the TVM-like popcount baseline
+//! (A2W2) on ResNet-50.
+use lowbit_bench::arm_experiments::paper_summary_line;
+use lowbit_bench::harness::Table;
+
+fn main() {
+    let fig = lowbit_bench::arm_experiments::tvm_figure(&lowbit_models::resnet50());
+    println!("Fig. 9 - 2-bit GEMM vs TVM popcount (paper: wins 16/19, avg 1.78x, max 2.11x)");
+    let mut table = Table::new(vec!["layer", "tvm ms", "ours vs tvm"]);
+    for l in 0..fig.layers.len() {
+        table.push_row(vec![
+            fig.layers[l].to_string(),
+            format!("{:.3}", fig.baseline_ms[l]),
+            format!("{:.2}x", fig.speedups[l]),
+        ]);
+    }
+    table.print();
+    paper_summary_line("ours vs TVM", &fig.speedups);
+}

@@ -1,0 +1,44 @@
+//! Developer tool: disassemble an emitted micro-kernel and schedule it on
+//! the latency-aware pipeline model.
+//!
+//! ```sh
+//! cargo run --release -p lowbit-bench --bin inspect_kernel -- 4 8
+//! #                                                       bits k
+//! ```
+use lowbit::qgemm::micro::emit_tile;
+use lowbit::qgemm::narrow::emit_tile_narrow;
+use lowbit::qgemm::sdot::emit_tile_sdot;
+use lowbit::qgemm::Scheme;
+use lowbit_tensor::BitWidth;
+use neon_sim::{pipeline_schedule, program_listing, PipelineModel};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let bits = BitWidth::new(args.next().map(|a| a.parse().unwrap()).unwrap_or(4)).unwrap();
+    let k: usize = args.next().map(|a| a.parse().unwrap()).unwrap_or(8);
+    let scheme = Scheme::for_bits(bits);
+
+    let kernels: Vec<(&str, Vec<neon_sim::Inst>)> = {
+        let mut v = vec![(
+            "16x4 (paper Alg. 1)",
+            emit_tile(&scheme, k, 0, 4096, 8192),
+        )];
+        if !bits.uses_mla_scheme() {
+            v.push(("8x4 narrow (extension)", emit_tile_narrow(&scheme, k, 0, 4096, 8192)));
+        }
+        v.push(("SDOT 16x4 (ARMv8.2 extension)", emit_tile_sdot(k, 0, 4096, 8192)));
+        v
+    };
+    for (name, prog) in kernels {
+        println!("=== {bits} {name}, K = {k} ===");
+        println!("{}", program_listing(&prog));
+        let r = pipeline_schedule(&prog, &PipelineModel::cortex_a53());
+        println!(
+            "pipeline: {} cycles, IPC {:.2}, {} stall cycles, {} dual-issue cycles\n",
+            r.cycles,
+            r.ipc(),
+            r.stall_cycles,
+            r.dual_issue_cycles
+        );
+    }
+}

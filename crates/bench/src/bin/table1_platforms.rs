@@ -1,0 +1,26 @@
+//! Prints Tab. 1: the modeled hardware/software configuration of both
+//! platforms (substituted by the two substrate simulators).
+use neon_sim::CortexA53;
+use turing_sim::{Device, Precision};
+
+fn main() {
+    let arm = CortexA53::cost_model();
+    let gpu = Device::rtx2080ti();
+    println!("Tab. 1 - platform configurations (simulated substrates)");
+    println!();
+    println!("ARM CPU  : Raspberry Pi 3B model (Cortex-A53 @ {:.1} GHz)", arm.clock_hz / 1e9);
+    println!("           NEON issue {} slot/inst, LS {} slots/inst + {:.3} cyc/B stall",
+        arm.neon_slots, arm.ls_slots, arm.stall_per_byte);
+    println!("           bulk reshape {:.2} cyc/B, dual-issue overlap penalty {:.2}",
+        arm.bulk_move_per_byte, arm.overlap_penalty);
+    println!();
+    println!("NVIDIA GPU: RTX 2080 Ti model (Turing TU102)");
+    println!("           {} SMs @ {:.3} GHz, {:.0} GB/s DRAM, {} KB smem/SM, L2 {} KB",
+        gpu.sm_count, gpu.clock_hz / 1e9, gpu.dram_bytes_per_sec / 1e9,
+        gpu.smem_per_sm / 1024, gpu.l2_bytes / 1024);
+    println!("           MAC/SM/cycle: int4 TC {}, int8 TC {}, dp4a {}",
+        gpu.mac_rate(Precision::TensorCoreInt4),
+        gpu.mac_rate(Precision::TensorCoreInt8),
+        gpu.mac_rate(Precision::Dp4aInt8));
+    println!("           launch overhead {:.1} us", gpu.launch_overhead_s * 1e6);
+}

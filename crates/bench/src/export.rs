@@ -1,0 +1,131 @@
+//! CSV export of every figure's raw data (for plotting the paper's charts
+//! from this reproduction).
+
+use crate::arm_experiments::*;
+use crate::gpu_experiments::*;
+use crate::harness::Table;
+use lowbit_models::{densenet121, resnet50, scr_resnet50};
+use std::path::{Path, PathBuf};
+
+fn arm_table(fig: &LowbitVsNcnn) -> Table {
+    let mut headers = vec!["layer".to_string(), "ncnn8_ms".to_string()];
+    headers.extend(fig.bits.iter().map(|b| format!("speedup_{}", b.bits())));
+    let mut t = Table::new(headers);
+    for l in 0..fig.layers.len() {
+        let mut row = vec![fig.layers[l].to_string(), format!("{:.6}", fig.baseline_ms[l])];
+        row.extend((0..fig.bits.len()).map(|b| format!("{:.4}", fig.speedups[b][l])));
+        t.push_row(row);
+    }
+    t
+}
+
+fn gpu_table(fig: &GpuFigure) -> Table {
+    let mut t = Table::new(vec!["layer", "cudnn_us", "tensorrt_us", "ours8_us", "ours4_us"]);
+    for l in 0..fig.layers.len() {
+        t.push_row(vec![
+            fig.layers[l].to_string(),
+            format!("{:.3}", fig.cudnn_us[l]),
+            format!("{:.3}", fig.tensorrt_us[l]),
+            format!("{:.3}", fig.ours8_us[l]),
+            format!("{:.3}", fig.ours4_us[l]),
+        ]);
+    }
+    t
+}
+
+/// Writes one CSV per paper figure under `dir` and returns the paths.
+pub fn save_all(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut paths = Vec::new();
+    paths.push(arm_table(&lowbit_vs_ncnn(&resnet50())).save_csv(dir, "fig7_arm_resnet50")?);
+    paths.push(arm_table(&lowbit_vs_ncnn(&densenet121())).save_csv(dir, "fig14_arm_densenet121")?);
+    paths.push(arm_table(&lowbit_vs_ncnn(&scr_resnet50())).save_csv(dir, "fig15_arm_scr_resnet50")?);
+
+    let wf = winograd_figure(&resnet50());
+    let mut t = Table::new(vec![
+        "layer", "ncnn8_ms", "gemm4", "wino4", "gemm5", "wino5", "gemm6", "wino6",
+    ]);
+    for l in 0..wf.layers.len() {
+        let mut row = vec![wf.layers[l].to_string(), format!("{:.6}", wf.baseline_ms[l])];
+        for b in 0..wf.bits.len() {
+            row.push(format!("{:.4}", wf.gemm[b][l]));
+            row.push(format!("{:.4}", wf.winograd[b][l]));
+        }
+        t.push_row(row);
+    }
+    paths.push(t.save_csv(dir, "fig8_winograd")?);
+
+    let tf = tvm_figure(&resnet50());
+    let mut t = Table::new(vec!["layer", "tvm_ms", "speedup"]);
+    for l in 0..tf.layers.len() {
+        t.push_row(vec![
+            tf.layers[l].to_string(),
+            format!("{:.6}", tf.baseline_ms[l]),
+            format!("{:.4}", tf.speedups[l]),
+        ]);
+    }
+    paths.push(t.save_csv(dir, "fig9_tvm_popcount")?);
+
+    for (batch, name) in [(1usize, "fig10_gpu_resnet50_b1"), (16, "fig10_gpu_resnet50_b16")] {
+        paths.push(gpu_table(&gpu_vs_baselines(&resnet50(), batch)).save_csv(dir, name)?);
+    }
+    paths.push(gpu_table(&gpu_vs_baselines(&scr_resnet50(), 1)).save_csv(dir, "fig16_gpu_scr")?);
+    paths.push(gpu_table(&gpu_vs_baselines(&densenet121(), 1)).save_csv(dir, "fig17_gpu_densenet")?);
+
+    let pf = profile_runs(&resnet50());
+    let mut t = Table::new(vec!["layer", "gain4", "gain8"]);
+    for l in 0..pf.layers.len() {
+        t.push_row(vec![
+            pf.layers[l].to_string(),
+            format!("{:.4}", pf.gain4[l]),
+            format!("{:.4}", pf.gain8[l]),
+        ]);
+    }
+    paths.push(t.save_csv(dir, "fig11_profile_runs")?);
+
+    let ff = fusion(&resnet50());
+    let mut t = Table::new(vec!["layer", "dequant_fusion", "relu_fusion"]);
+    for l in 0..ff.layers.len() {
+        t.push_row(vec![
+            ff.layers[l].to_string(),
+            format!("{:.4}", ff.dequant[l]),
+            format!("{:.4}", ff.relu[l]),
+        ]);
+    }
+    paths.push(t.save_csv(dir, "fig12_fusion")?);
+
+    let sf = space_figure(&resnet50());
+    let mut t = Table::new(vec!["layer", "im2col", "padding_packing", "total"]);
+    for l in 0..sf.layers.len() {
+        t.push_row(vec![
+            sf.layers[l].to_string(),
+            format!("{:.4}", sf.im2col[l]),
+            format!("{:.4}", sf.packing[l]),
+            format!("{:.4}", sf.total[l]),
+        ]);
+    }
+    paths.push(t.save_csv(dir, "fig13_space_overhead")?);
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exports_every_figure_as_parseable_csv() {
+        let dir = std::env::temp_dir().join("lowbit_export_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let paths = save_all(&dir).unwrap();
+        assert_eq!(paths.len(), 12, "one CSV per figure incl. both batches");
+        for p in paths {
+            let text = std::fs::read_to_string(&p).unwrap();
+            let mut lines = text.lines();
+            let header_cols = lines.next().unwrap().split(',').count();
+            let rows: Vec<&str> = lines.collect();
+            assert!(!rows.is_empty(), "{p:?} has no data rows");
+            for row in rows {
+                assert_eq!(row.split(',').count(), header_cols, "{p:?} ragged");
+            }
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! GPU-side experiments: Fig. 10/11/12/16/17.
+
+use lowbit::prelude::*;
+use lowbit_conv_gpu::baselines::{cudnn_like, ours, tensorrt_like};
+use lowbit_conv_gpu::fusion::{dequant_fusion_times, relu_fusion_times};
+use lowbit_conv_gpu::{default_config, ConvGpuPlan};
+use lowbit_models::LayerDef;
+use turing_sim::Device;
+
+/// Per-layer GPU comparison rows (Fig. 10/16/17).
+#[derive(Clone, Debug)]
+pub struct GpuFigure {
+    /// Layer names.
+    pub layers: Vec<&'static str>,
+    /// cuDNN dp4a baseline microseconds.
+    pub cudnn_us: Vec<f64>,
+    /// TensorRT int8 microseconds.
+    pub tensorrt_us: Vec<f64>,
+    /// Our 8-bit microseconds.
+    pub ours8_us: Vec<f64>,
+    /// Our 4-bit microseconds.
+    pub ours4_us: Vec<f64>,
+}
+
+impl GpuFigure {
+    /// Speedups of a column over the cuDNN baseline.
+    pub fn speedup_vs_cudnn(&self, ours: &[f64]) -> Vec<f64> {
+        self.cudnn_us.iter().zip(ours).map(|(c, o)| c / o).collect()
+    }
+
+    /// Speedups of a column over TensorRT.
+    pub fn speedup_vs_tensorrt(&self, ours: &[f64]) -> Vec<f64> {
+        self.tensorrt_us
+            .iter()
+            .zip(ours)
+            .map(|(t, o)| t / o)
+            .collect()
+    }
+}
+
+/// Runs the Fig. 10-style comparison at a batch size.
+pub fn gpu_vs_baselines(table: &[LayerDef], batch: usize) -> GpuFigure {
+    let device = Device::rtx2080ti();
+    let mut fig = GpuFigure {
+        layers: Vec::new(),
+        cudnn_us: Vec::new(),
+        tensorrt_us: Vec::new(),
+        ours8_us: Vec::new(),
+        ours4_us: Vec::new(),
+    };
+    for l in table {
+        let shape = l.shape.with_batch(batch);
+        fig.layers.push(l.name);
+        fig.cudnn_us.push(cudnn_like(&shape, &device).total_us());
+        fig.tensorrt_us
+            .push(tensorrt_like(&shape, &device).total_us());
+        fig.ours8_us
+            .push(ours(&shape, Precision::TensorCoreInt8, &device).total_us());
+        fig.ours4_us
+            .push(ours(&shape, Precision::TensorCoreInt4, &device).total_us());
+    }
+    fig
+}
+
+/// Per-layer profile-run gains (Fig. 11).
+#[derive(Clone, Debug)]
+pub struct ProfileRunsFigure {
+    /// Layer names.
+    pub layers: Vec<&'static str>,
+    /// 4-bit speedup of searched over default tiling.
+    pub gain4: Vec<f64>,
+    /// 8-bit speedup of searched over default tiling.
+    pub gain8: Vec<f64>,
+}
+
+/// Runs the Fig. 11 experiment (batch 1, default vs searched parameters).
+pub fn profile_runs(table: &[LayerDef]) -> ProfileRunsFigure {
+    let device = Device::rtx2080ti();
+    let mut fig = ProfileRunsFigure {
+        layers: Vec::new(),
+        gain4: Vec::new(),
+        gain8: Vec::new(),
+    };
+    for l in table {
+        fig.layers.push(l.name);
+        for (precision, out) in [
+            (Precision::TensorCoreInt4, &mut fig.gain4),
+            (Precision::TensorCoreInt8, &mut fig.gain8),
+        ] {
+            let default =
+                ConvGpuPlan::new(l.shape, default_config(precision), precision).time(&device);
+            let best = ours(&l.shape, precision, &device);
+            out.push(default.total_s / best.total_s);
+        }
+    }
+    fig
+}
+
+/// Per-layer fusion gains (Fig. 12, 8-bit, batch 1).
+#[derive(Clone, Debug)]
+pub struct FusionFigure {
+    /// Layer names.
+    pub layers: Vec<&'static str>,
+    /// conv+dequantization fusion speedup.
+    pub dequant: Vec<f64>,
+    /// conv+ReLU fusion speedup.
+    pub relu: Vec<f64>,
+}
+
+/// Runs the Fig. 12 experiment.
+pub fn fusion(table: &[LayerDef]) -> FusionFigure {
+    let device = Device::rtx2080ti();
+    let mut fig = FusionFigure {
+        layers: Vec::new(),
+        dequant: Vec::new(),
+        relu: Vec::new(),
+    };
+    for l in table {
+        let (cfg, _) = lowbit_conv_gpu::auto_search(&l.shape, Precision::TensorCoreInt8, &device);
+        let plan = ConvGpuPlan::new(l.shape, cfg, Precision::TensorCoreInt8);
+        let (u, f) = dequant_fusion_times(&plan, &device);
+        fig.dequant.push(u / f);
+        let (u, f) = relu_fusion_times(&plan, &device);
+        fig.relu.push(u / f);
+        fig.layers.push(l.name);
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{mean, winning_summary};
+    use lowbit_models::{densenet121, resnet50, scr_resnet50};
+
+    #[test]
+    fn fig10_batch1_bands() {
+        let fig = gpu_vs_baselines(&resnet50(), 1);
+        let s8 = fig.speedup_vs_cudnn(&fig.ours8_us);
+        let s4 = fig.speedup_vs_cudnn(&fig.ours4_us);
+        let (avg8, wins8) = winning_summary(&s8);
+        let (avg4, wins4) = winning_summary(&s4);
+        // Paper: 4.31x / 5.26x average, winning 18/19.
+        assert!(wins8 >= 16, "8-bit should win nearly all layers, got {wins8}");
+        assert!(wins4 >= 16);
+        assert!((2.5..=8.0).contains(&avg8), "8-bit avg {avg8}");
+        assert!((3.0..=10.0).contains(&avg4), "4-bit avg {avg4}");
+        assert!(avg4 > avg8, "4-bit must beat 8-bit on average");
+        // vs TensorRT: paper 1.44x avg, winning 15/19.
+        let t8 = fig.speedup_vs_tensorrt(&fig.ours8_us);
+        let (avg_t8, wins_t8) = winning_summary(&t8);
+        assert!(wins_t8 >= 10, "should beat TRT on most layers, got {wins_t8}");
+        assert!((1.05..=2.5).contains(&avg_t8), "vs TRT avg {avg_t8}");
+    }
+
+    #[test]
+    fn fig10_batch16_compresses() {
+        let fig1 = gpu_vs_baselines(&resnet50(), 1);
+        let fig16 = gpu_vs_baselines(&resnet50(), 16);
+        let avg1 = mean(&fig1.speedup_vs_cudnn(&fig1.ours8_us));
+        let avg16 = mean(&fig16.speedup_vs_cudnn(&fig16.ours8_us));
+        assert!(
+            avg16 < avg1,
+            "batch-16 advantage ({avg16}) must be below batch-1 ({avg1})"
+        );
+        assert!(avg16 > 1.3, "still well ahead of dp4a at batch 16");
+    }
+
+    #[test]
+    fn fig11_profile_run_gains() {
+        let fig = profile_runs(&resnet50());
+        // Paper: 2.29x (4-bit) and 2.91x (8-bit) on average.
+        let a4 = mean(&fig.gain4);
+        let a8 = mean(&fig.gain8);
+        // Our reconstructed "default" differs from the paper's unnamed one,
+        // so accept a wide band around the published 2.29x/2.91x.
+        assert!((1.5..=5.5).contains(&a4), "4-bit profile gain {a4}");
+        assert!((1.5..=5.5).contains(&a8), "8-bit profile gain {a8}");
+        // Auto-search never loses.
+        assert!(fig.gain4.iter().chain(&fig.gain8).all(|&g| g >= 1.0 - 1e-12));
+    }
+
+    #[test]
+    fn fig12_fusion_bands() {
+        let fig = fusion(&resnet50());
+        let d = mean(&fig.dequant);
+        let r = mean(&fig.relu);
+        // Paper: 1.18x and 1.51x.
+        assert!((1.05..=1.55).contains(&d), "dequant fusion avg {d}");
+        assert!((1.2..=2.0).contains(&r), "relu fusion avg {r}");
+        assert!(r > d, "ReLU fusion removes more kernels");
+    }
+
+    #[test]
+    fn fig16_17_wider_nets_prefer_us_vs_tensorrt() {
+        // Sec. 5.5: unusual SCR/DenseNet shapes favor auto-search even more
+        // than ResNet-50 does.
+        for table in [scr_resnet50(), densenet121()] {
+            let fig = gpu_vs_baselines(&table, 1);
+            let t8 = fig.speedup_vs_tensorrt(&fig.ours8_us);
+            let (avg, wins) = winning_summary(&t8);
+            assert!(wins as f64 >= 0.6 * table.len() as f64, "wins {wins}");
+            assert!(avg > 1.05, "avg vs TRT {avg}");
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Table formatting and summary statistics shared by the `fig*` binaries.
+
+/// A printable results table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row-major cells (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table from headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Table {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..ncols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let pad = widths[i].saturating_sub(cells[i].len());
+                if i == 0 {
+                    line.push_str(&cells[i]);
+                    line.push_str(&" ".repeat(pad));
+                } else {
+                    line.push_str(&" ".repeat(pad));
+                    line.push_str(&cells[i]);
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// Renders as CSV (headers + rows, comma-separated, quotes around cells
+    /// containing commas).
+    pub fn to_csv(&self) -> String {
+        let esc = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the CSV under `dir/name.csv`, creating the directory.
+    pub fn save_csv(&self, dir: &std::path::Path, name: &str) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        std::fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+}
+
+/// Arithmetic mean.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Geometric mean.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// The paper's summary style: mean speedup over the layers where the
+/// candidate wins, plus the win count.
+pub fn winning_summary(speedups: &[f64]) -> (f64, usize) {
+    let wins: Vec<f64> = speedups.iter().copied().filter(|&s| s > 1.0).collect();
+    (mean(&wins), wins.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new(vec!["layer", "ms"]);
+        t.push_row(vec!["conv1".into(), "1.25".into()]);
+        t.push_row(vec!["conv10".into(), "0.5".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].starts_with("conv1 "));
+        assert!(lines[3].starts_with("conv10"));
+        // Numeric column right-aligned.
+        assert!(lines[2].ends_with("1.25"));
+        assert!(lines[3].ends_with(" 0.5"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.push_row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.push_row(vec!["x,y".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,b\n\"x,y\",\"say \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    fn csv_round_trips_to_disk() {
+        let mut t = Table::new(vec!["layer", "ms"]);
+        t.push_row(vec!["conv1".into(), "1.5".into()]);
+        let dir = std::env::temp_dir().join("lowbit_csv_test");
+        let path = t.save_csv(&dir, "probe").unwrap();
+        let back = std::fs::read_to_string(path).unwrap();
+        assert!(back.starts_with("layer,ms"));
+    }
+
+    #[test]
+    fn summary_stats() {
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        let (avg, wins) = winning_summary(&[0.9, 1.5, 2.5]);
+        assert_eq!(wins, 2);
+        assert!((avg - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,12 @@
+//! The paper-figure regeneration harness.
+//!
+//! Every table and figure of the evaluation section has a corresponding
+//! experiment function here (consumed by the `fig*` binaries and by
+//! integration tests) that produces the same rows/series the paper reports,
+//! measured on the substrate cost models. See DESIGN.md's per-experiment
+//! index and EXPERIMENTS.md for paper-vs-measured numbers.
+
+pub mod arm_experiments;
+pub mod export;
+pub mod gpu_experiments;
+pub mod harness;

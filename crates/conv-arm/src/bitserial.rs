@@ -1,0 +1,212 @@
+//! TVM-like bit-serial (popcount) 2-bit convolution — the Fig. 9 baseline.
+//!
+//! Following Cowan et al. (the paper's TVM comparison), signed 2-bit operands
+//! are offset to unsigned `u = v + 2 ∈ [0, 3]`, decomposed into two bit
+//! planes, and the dot product is computed as
+//!
+//! ```text
+//! Σ a·w = Σ aᵤwᵤ - 2Σaᵤ - 2Σwᵤ + 4K,   Σ aᵤwᵤ = Σᵢⱼ 2^(i+j)·popcnt(aᵢ & wⱼ)
+//! ```
+//!
+//! The NEON kernel shape is `AND` + `CNT` + `UADALP` per 128-bit chunk per
+//! plane pair. TVM's auto-generated kernels do not reach hand-scheduled issue
+//! efficiency; the schedule applies a calibrated [`TVM_KERNEL_EFFICIENCY`]
+//! factor (documented in EXPERIMENTS.md) to the compute stage.
+
+#![allow(clippy::field_reassign_with_default)] // InstCounts builders read clearer this way
+
+use crate::gemm_conv::matrix_to_nchw;
+use crate::ConvOutput;
+use lowbit_tensor::{im2col_nchw, BitWidth, ConvShape, QTensor};
+use neon_sim::{InstCounts, KernelSchedule, StageCost};
+
+/// Issue efficiency of the TVM-generated popcount kernel relative to
+/// hand-scheduled assembly (calibrated once against Fig. 9's band).
+pub const TVM_KERNEL_EFFICIENCY: f64 = 0.4;
+
+/// Offset applied to map signed 2-bit `[-2, 1]` onto unsigned `[0, 3]`.
+const OFFSET: i32 = 2;
+
+/// Two bit planes over `words`-length u64 bitmaps.
+#[derive(Clone, Debug)]
+struct BitPlanes {
+    plane0: Vec<u64>,
+    plane1: Vec<u64>,
+    /// Per-vector sum of unsigned values (for the offset correction).
+    usum: i64,
+}
+
+fn pack_planes(values: impl Iterator<Item = i8>, k: usize) -> BitPlanes {
+    let words = k.div_ceil(64);
+    let mut plane0 = vec![0u64; words];
+    let mut plane1 = vec![0u64; words];
+    let mut usum = 0i64;
+    for (idx, v) in values.enumerate() {
+        let u = (v as i32 + OFFSET) as u64;
+        debug_assert!(u <= 3, "value {v} is not 2-bit");
+        usum += u as i64;
+        if u & 1 != 0 {
+            plane0[idx / 64] |= 1 << (idx % 64);
+        }
+        if u & 2 != 0 {
+            plane1[idx / 64] |= 1 << (idx % 64);
+        }
+    }
+    BitPlanes { plane0, plane1, usum }
+}
+
+fn popcnt_dot(a: &BitPlanes, b: &BitPlanes) -> i64 {
+    let mut sum = 0i64;
+    for ((i, j), weight) in [((0, 0), 1i64), ((0, 1), 2), ((1, 0), 2), ((1, 1), 4)] {
+        let pa = if i == 0 { &a.plane0 } else { &a.plane1 };
+        let pb = if j == 0 { &b.plane0 } else { &b.plane1 };
+        let mut cnt = 0u64;
+        for (wa, wb) in pa.iter().zip(pb) {
+            cnt += (wa & wb).count_ones() as u64;
+        }
+        sum += weight * cnt as i64;
+    }
+    sum
+}
+
+/// Runs the bit-serial 2-bit convolution (A2W2).
+pub fn bitserial_conv(input: &QTensor, weights: &QTensor, shape: &ConvShape) -> ConvOutput {
+    assert_eq!(input.bits(), BitWidth::W2, "bitserial baseline is A2W2");
+    assert_eq!(weights.bits(), BitWidth::W2);
+    assert_eq!(
+        weights.dims(),
+        (shape.c_out, shape.c_in, shape.kh, shape.kw)
+    );
+    let (m, k, n) = (shape.gemm_m(), shape.gemm_k(), shape.gemm_n());
+    let col = im2col_nchw(input, shape);
+
+    // Caveat for correctness: im2col zero-padding contributes literal signed
+    // zeros, but the unsigned offset trick shifts every *tap* by +2. The
+    // padded taps must therefore be packed as u = 2 (signed 0), which the
+    // offset of the zero i8 already produces — no special casing needed.
+    let w_rows: Vec<BitPlanes> = (0..m)
+        .map(|row| pack_planes(weights.data()[row * k..(row + 1) * k].iter().copied(), k))
+        .collect();
+    let b_cols: Vec<BitPlanes> = (0..n)
+        .map(|cix| pack_planes((0..k).map(|r| col.get(r, cix)), k))
+        .collect();
+
+    let mut c = vec![0i32; m * n];
+    for (row, wr) in w_rows.iter().enumerate() {
+        for (cix, bc) in b_cols.iter().enumerate() {
+            let uu = popcnt_dot(wr, bc);
+            let dot = uu - 2 * wr.usum - 2 * bc.usum + 4 * k as i64;
+            c[row * n + cix] = dot as i32;
+        }
+    }
+
+    ConvOutput {
+        acc: matrix_to_nchw(&c, shape),
+        schedule: schedule_bitserial_conv(shape),
+    }
+}
+
+/// Analytic schedule for the TVM-like pipeline: im2col, bit-plane packing,
+/// the tiled popcount kernel (8x4 output tiles over 128-bit chunks), and the
+/// offset-correction epilogue.
+pub fn schedule_bitserial_conv(shape: &ConvShape) -> KernelSchedule {
+    let (m, k, n) = (shape.gemm_m(), shape.gemm_k(), shape.gemm_n());
+    let mut sched = KernelSchedule::new();
+    sched.push(StageCost::bulk_move(
+        "im2col",
+        (k * n) as u64,
+        (k * n) as u64,
+    ));
+    // Bit packing: read both operands, write 2 planes of 1 bit per element.
+    sched.push(StageCost::bulk_move(
+        "bit pack",
+        (m * k + k * n) as u64,
+        ((m * k + k * n) / 4) as u64,
+    ));
+
+    // Popcount kernel over 8x4 tiles: per 128-bit chunk, the 8 row bitmaps
+    // (x2 planes) and 4 column bitmaps (x2 planes) are loaded once, and each
+    // of the 32 outputs runs 4 plane pairs x (AND + CNT + UADALP).
+    let tiles = m.div_ceil(8) as u64 * n.div_ceil(4) as u64;
+    let chunks = k.div_ceil(128) as u64;
+    let mut kc = InstCounts::default();
+    kc.loads = tiles * chunks * 24; // (8 + 4) bitmaps x 2 planes
+    kc.load_bytes = kc.loads * 16;
+    let compute = tiles * chunks * 32 * 12; // 32 outputs x 4 pairs x 3 insts
+    // TVM codegen inefficiency shows up as extra issue slots.
+    kc.neon_alu = (compute as f64 / TVM_KERNEL_EFFICIENCY) as u64;
+    kc.stores = tiles * 8; // 32 i32 per tile
+    kc.store_bytes = kc.stores * 16;
+    sched.push(StageCost::compute("popcount kernel", kc));
+
+    // Correction epilogue: row/column unsigned sums + 4 scalar fixups per
+    // output (vectorized).
+    let mut ec = InstCounts::default();
+    ec.neon_alu = ((m + n) as u64 * k.div_ceil(16) as u64) + (m * n) as u64;
+    sched.push(StageCost::compute("offset correction", ec));
+    sched.push(crate::gemm_conv::requant_stage(shape));
+    sched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{direct_conv, schedule_gemm_conv};
+    use lowbit_tensor::Layout;
+    use neon_sim::CortexA53;
+
+    #[test]
+    fn matches_direct_conv() {
+        let shape = ConvShape::new(1, 4, 8, 8, 6, 3, 1, 1);
+        let input = QTensor::random((1, 4, 8, 8), Layout::Nchw, BitWidth::W2, 81);
+        let weights = QTensor::random((6, 4, 3, 3), Layout::Nchw, BitWidth::W2, 82);
+        let out = bitserial_conv(&input, &weights, &shape);
+        assert_eq!(out.acc.data(), direct_conv(&input, &weights, &shape).data());
+    }
+
+    #[test]
+    fn matches_direct_conv_strided_batched() {
+        let shape = ConvShape::new(2, 3, 9, 7, 4, 3, 2, 1);
+        let input = QTensor::random((2, 3, 9, 7), Layout::Nchw, BitWidth::W2, 83);
+        let weights = QTensor::random((4, 3, 3, 3), Layout::Nchw, BitWidth::W2, 84);
+        let out = bitserial_conv(&input, &weights, &shape);
+        assert_eq!(out.acc.data(), direct_conv(&input, &weights, &shape).data());
+    }
+
+    #[test]
+    fn handles_k_not_multiple_of_64() {
+        // K = 3*3*3 = 27: exercises the partial-word path.
+        let shape = ConvShape::new(1, 3, 6, 6, 2, 3, 1, 0);
+        let input = QTensor::random((1, 3, 6, 6), Layout::Nchw, BitWidth::W2, 85);
+        let weights = QTensor::random((2, 3, 3, 3), Layout::Nchw, BitWidth::W2, 86);
+        let out = bitserial_conv(&input, &weights, &shape);
+        assert_eq!(out.acc.data(), direct_conv(&input, &weights, &shape).data());
+    }
+
+    #[test]
+    fn our_2bit_gemm_models_faster_than_tvm_popcount() {
+        // Fig. 9: our 2-bit GEMM beats the TVM baseline on typical layers.
+        let model = CortexA53::cost_model();
+        let shape = ConvShape::new(1, 64, 56, 56, 64, 3, 1, 1);
+        let tvm = schedule_bitserial_conv(&shape).cycles(&model);
+        let ours = schedule_gemm_conv(
+            &lowbit_qgemm::Scheme::for_bits(BitWidth::W2),
+            &shape,
+        )
+        .cycles(&model);
+        let speedup = tvm / ours;
+        assert!(
+            (1.2..=2.6).contains(&speedup),
+            "expected a Fig. 9-like speedup band, got {speedup}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "A2W2")]
+    fn rejects_non_2bit_inputs() {
+        let shape = ConvShape::new(1, 2, 4, 4, 2, 1, 1, 0);
+        let input = QTensor::random((1, 2, 4, 4), Layout::Nchw, BitWidth::W4, 1);
+        let weights = QTensor::random((2, 2, 1, 1), Layout::Nchw, BitWidth::W2, 2);
+        let _ = bitserial_conv(&input, &weights, &shape);
+    }
+}

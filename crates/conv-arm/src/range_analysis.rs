@@ -1,0 +1,174 @@
+//! Numerical-range analysis of Winograd transforms (paper Sec. 3.4).
+//!
+//! The paper makes two range claims: `F(2x2,3x3)` is usable up to 6-bit
+//! operands, and `F(4x4,3x3)` is rejected "due to the unacceptable increment
+//! of numerical range after G and B transformation". This module turns both
+//! into computed facts: it propagates worst-case interval bounds through the
+//! integer-scaled 1-D transforms (applied twice for the 2-D tile) and checks
+//! the result against the i8 capacity of the `SMLAL` operands.
+
+use lowbit_tensor::BitWidth;
+
+/// Worst-case |output| per row of a 1-D transform: each output element is a
+/// signed combination of inputs bounded by `input_bound`.
+fn row_bounds(matrix: &[&[i64]], input_bound: i64) -> Vec<i64> {
+    matrix
+        .iter()
+        .map(|row| row.iter().map(|c| c.abs()).sum::<i64>() * input_bound)
+        .collect()
+}
+
+/// Worst-case |value| after the 2-D transform `M x M^T` on a tile bounded by
+/// `input_bound` (the second pass sees the worst first-pass row).
+fn transformed_bound(matrix: &[&[i64]], input_bound: i64) -> i64 {
+    let pass1 = row_bounds(matrix, input_bound);
+    let worst = pass1.into_iter().max().unwrap_or(0);
+    row_bounds(matrix, worst).into_iter().max().unwrap_or(0)
+}
+
+/// Range report for one Winograd variant at one bit width.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct WinogradRange {
+    /// Worst |transformed weight| with the integer-scaled G.
+    pub weight_bound: i64,
+    /// Worst |transformed input| with the integer B.
+    pub input_bound: i64,
+    /// The integer scale factor applied to G (divided back out later).
+    pub weight_scale: i64,
+}
+
+impl WinogradRange {
+    /// `true` when both transformed operands fit the i8 `SMLAL` inputs.
+    pub fn fits_i8(&self) -> bool {
+        self.weight_bound <= 127 && self.input_bound <= 128
+    }
+}
+
+/// `F(2x2, 3x3)` ranges: `R = 2G` rows `[1 0 0; 1 1 1; 1 -1 1; 0 0 1]`
+/// (worst-case before the per-row halving levels of `winograd.rs`, i.e. the
+/// exact-mode bound) and the integer `Bᵀ`.
+pub fn f23_range(bits: BitWidth) -> WinogradRange {
+    let g: [&[i64]; 4] = [&[1, 0, 0], &[1, 1, 1], &[1, -1, 1], &[0, 0, 1]];
+    let bt: [&[i64]; 4] = [&[1, 0, -1, 0], &[0, 1, 1, 0], &[0, -1, 1, 0], &[0, 1, 0, -1]];
+    let qmax = 1i64 << (bits.bits() - 1);
+    WinogradRange {
+        weight_bound: transformed_bound(&g, qmax),
+        input_bound: transformed_bound(&bt, qmax),
+        weight_scale: 2 * 2, // R = 2G applied twice
+    }
+}
+
+/// `F(2x2, 3x3)` range with the production per-row halving of
+/// `winograd.rs` (h = 1 on the middle rows ≈ `round(U)`), i.e. the paper's
+/// "9/4 x" weight range.
+pub fn f23_range_halved(bits: BitWidth) -> WinogradRange {
+    let raw = f23_range(bits);
+    WinogradRange {
+        weight_bound: raw.weight_bound / 4 + 1,
+        input_bound: raw.input_bound,
+        weight_scale: 1,
+    }
+}
+
+/// `F(4x4, 3x3)` ranges with the canonical Lavin–Gray matrices, G scaled by
+/// its least common denominator 24.
+pub fn f43_range(bits: BitWidth) -> WinogradRange {
+    let g24: [&[i64]; 6] = [
+        &[6, 0, 0],
+        &[-4, -4, -4],
+        &[-4, 4, -4],
+        &[1, 2, 4],
+        &[1, -2, 4],
+        &[0, 0, 24],
+    ];
+    let bt: [&[i64]; 6] = [
+        &[4, 0, -5, 0, 1, 0],
+        &[0, -4, -4, 1, 1, 0],
+        &[0, 4, -4, -1, 1, 0],
+        &[0, -2, -1, 2, 1, 0],
+        &[0, 2, -1, -2, 1, 0],
+        &[0, 4, 0, -5, 0, 1],
+    ];
+    let qmax = 1i64 << (bits.bits() - 1);
+    WinogradRange {
+        weight_bound: transformed_bound(&g24, qmax),
+        input_bound: transformed_bound(&bt, qmax),
+        weight_scale: 24 * 24,
+    }
+}
+
+/// The largest bit width at which `F(2x2,3x3)` (with halving) still fits i8
+/// operands — the paper's "4 to 6-bit" boundary, derived instead of assumed.
+pub fn f23_max_bits() -> u8 {
+    (2..=8u8)
+        .take_while(|&b| f23_range_halved(BitWidth::new(b).unwrap()).fits_i8())
+        .last()
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f23_matches_the_papers_factors() {
+        // Paper: weight range x 9/4, input range x 4.
+        let r = f23_range(BitWidth::W4);
+        // Exact-mode (R = 2G) weight bound: 9 * qmax = 72 at 4-bit.
+        assert_eq!(r.weight_bound, 9 * 8);
+        // Input: the sum-sum path reaches 4 * qmax.
+        assert_eq!(r.input_bound, 4 * 8);
+    }
+
+    #[test]
+    fn f23_boundary_is_six_bits() {
+        assert_eq!(f23_max_bits(), 6, "the paper's 4-6 bit restriction");
+        assert!(f23_range_halved(BitWidth::W6).fits_i8());
+        assert!(!f23_range_halved(BitWidth::W7).fits_i8());
+    }
+
+    #[test]
+    fn f23_exact_mode_fits_through_4_bits_only() {
+        assert!(f23_range(BitWidth::W4).fits_i8());
+        assert!(!f23_range(BitWidth::W5).fits_i8());
+    }
+
+    #[test]
+    fn f43_overflows_i8_at_every_bit_width() {
+        // The paper's Sec. 3.4 rejection, quantified: even 2-bit operands
+        // overflow i8 after the F(4x4,3x3) transforms.
+        for bits in BitWidth::ALL {
+            let r = f43_range(bits);
+            assert!(
+                !r.fits_i8(),
+                "{bits}: F(4,3) should overflow (w={}, d={})",
+                r.weight_bound,
+                r.input_bound
+            );
+        }
+        // Specifically: B's worst row-sum is 10, squared = 100x the input
+        // range; 2-bit already needs +/-200.
+        assert_eq!(f43_range(BitWidth::W2).input_bound, 100 * 2);
+    }
+
+    #[test]
+    fn f43_weight_scale_is_prohibitive() {
+        // 24^2 = 576x scaling before the division can be folded back.
+        let r = f43_range(BitWidth::W2);
+        assert_eq!(r.weight_scale, 576);
+        assert!(r.weight_bound > 127);
+    }
+
+    #[test]
+    fn analysis_agrees_with_the_kernel_gate() {
+        // The runtime gate in winograd.rs must match the derived boundary.
+        for bits in BitWidth::ALL {
+            let analytic = bits.bits() <= f23_max_bits();
+            assert_eq!(
+                crate::winograd_supported(bits),
+                analytic,
+                "{bits}: gate vs analysis"
+            );
+        }
+    }
+}

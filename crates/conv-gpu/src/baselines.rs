@@ -1,0 +1,181 @@
+//! The GPU comparison baselines of Sec. 5.3.
+//!
+//! * **cuDNN-like** — the 8-bit implicit-precomp GEMM with `dp4a` (cuDNN did
+//!   not expose int8 Tensor Core convolution at the time): CUDA-core MAC
+//!   rate, one generic large tile, no per-shape auto-search, no register
+//!   double-buffering.
+//! * **TensorRT-like** — int8 Tensor Core kernels with heavily tuned SASS
+//!   (higher issue efficiency than ours) but a fixed menu of tile
+//!   configurations selected per shape — coarser than our profile-run
+//!   search, which is exactly where the paper's wins at batch 1 and unusual
+//!   shapes come from.
+
+use crate::implicit_gemm::{ConvGpuPlan, MemOpts};
+use crate::tiling::TileConfig;
+use lowbit_tensor::ConvShape;
+use turing_sim::{Device, KernelTime, Precision};
+
+/// Issue efficiency of our generated kernels (calibrated once).
+pub const OUR_EFFICIENCY: f64 = 0.45;
+/// TensorRT's SASS-level tuning advantage on its *tuned* shape family
+/// (Sec. 5.3's Nsight observation of higher IPC/SM utilization).
+pub const TENSORRT_EFFICIENCY: f64 = 0.60;
+/// TensorRT's fallback kernels on shapes outside its tuning radar
+/// (Sec. 5.5: unusual channel counts like SCR's 736).
+pub const TENSORRT_FALLBACK_EFFICIENCY: f64 = 0.42;
+/// cuDNN's generic dp4a kernel efficiency.
+pub const CUDNN_EFFICIENCY: f64 = 0.50;
+
+/// Models the cuDNN 8-bit dp4a convolution (the Fig. 10 baseline): generic
+/// kernel selection between two tile sizes, no double buffering, CUDA-core
+/// arithmetic.
+pub fn cudnn_like(shape: &ConvShape, device: &Device) -> KernelTime {
+    let mut best: Option<KernelTime> = None;
+    for (m_tile, n_tile) in [(128, 128), (64, 64)] {
+        let cfg = TileConfig {
+            m_tile,
+            n_tile,
+            k_tile: 64,
+            k_step: 32,
+            warps_m: 2,
+            warps_n: 2,
+        };
+        let mut plan = ConvGpuPlan::new(*shape, cfg, Precision::Dp4aInt8);
+        plan.compute_efficiency = CUDNN_EFFICIENCY;
+        plan.opts = MemOpts {
+            vector_loads: true,
+            smem_reordered: true,
+            double_buffered: false,
+            in_place_epilogue: true,
+        };
+        let t = plan.time(device);
+        if best.map(|b| t.total_s < b.total_s).unwrap_or(true) {
+            best = Some(t);
+        }
+    }
+    best.expect("menu is non-empty")
+}
+
+/// TensorRT's fixed kernel menu.
+fn tensorrt_menu() -> Vec<TileConfig> {
+    [(256, 128), (128, 128), (128, 64), (64, 64)]
+        .into_iter()
+        .map(|(m_tile, n_tile)| TileConfig {
+            m_tile,
+            n_tile,
+            k_tile: 64,
+            k_step: 32,
+            warps_m: 2,
+            warps_n: 2,
+        })
+        .collect()
+}
+
+/// `true` for the shape family TensorRT's heavily-tuned SASS kernels cover
+/// (64-aligned channel counts — the standard ImageNet-backbone grid).
+pub fn tensorrt_tuned_shape(shape: &ConvShape) -> bool {
+    shape.c_in.is_multiple_of(64) && shape.c_out.is_multiple_of(64)
+}
+
+/// Models the TensorRT 8-bit Tensor Core convolution.
+pub fn tensorrt_like(shape: &ConvShape, device: &Device) -> KernelTime {
+    let efficiency = if tensorrt_tuned_shape(shape) {
+        TENSORRT_EFFICIENCY
+    } else {
+        TENSORRT_FALLBACK_EFFICIENCY
+    };
+    let mut best: Option<KernelTime> = None;
+    for cfg in tensorrt_menu() {
+        if !cfg.valid(Precision::TensorCoreInt8, 64 * 1024) {
+            continue;
+        }
+        let mut plan = ConvGpuPlan::new(*shape, cfg, Precision::TensorCoreInt8);
+        plan.compute_efficiency = efficiency;
+        let t = plan.time(device);
+        if best.map(|b| t.total_s < b.total_s).unwrap_or(true) {
+            best = Some(t);
+        }
+    }
+    best.expect("menu always has a valid config")
+}
+
+/// Our kernel at a chosen precision with profile-run auto-search.
+pub fn ours(shape: &ConvShape, precision: Precision, device: &Device) -> KernelTime {
+    let (_, t) = crate::tuning::auto_search(shape, precision, device);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tensor_core_kernels_beat_cudnn_dp4a_at_batch_one() {
+        // Fig. 10 headline: 4-bit 5.26x / 8-bit 4.31x average at batch 1.
+        let d = Device::rtx2080ti();
+        let shape = ConvShape::new(1, 256, 14, 14, 256, 3, 1, 1);
+        let base = cudnn_like(&shape, &d).total_s;
+        let s8 = base / ours(&shape, Precision::TensorCoreInt8, &d).total_s;
+        let s4 = base / ours(&shape, Precision::TensorCoreInt4, &d).total_s;
+        assert!(s8 > 2.0, "8-bit vs cuDNN should be severalfold, got {s8}");
+        assert!(s4 > s8, "4-bit ({s4}) must beat 8-bit ({s8})");
+        assert!(s4 < 40.0, "sanity upper bound");
+    }
+
+    #[test]
+    fn batch_sixteen_compresses_the_advantage() {
+        // Fig. 10: speedups shrink from 4-5x (batch 1) to 2-3.5x (batch 16)
+        // as cuDNN's big tiles stop stranding SMs.
+        let d = Device::rtx2080ti();
+        let shape = ConvShape::new(1, 256, 14, 14, 256, 3, 1, 1);
+        let b1 = cudnn_like(&shape, &d).total_s
+            / ours(&shape, Precision::TensorCoreInt8, &d).total_s;
+        let s16 = shape.with_batch(16);
+        let b16 = cudnn_like(&s16, &d).total_s
+            / ours(&s16, Precision::TensorCoreInt8, &d).total_s;
+        assert!(
+            b16 < b1,
+            "batch-16 speedup ({b16}) should be below batch-1 ({b1})"
+        );
+        assert!(b16 > 1.0, "we should still win at batch 16");
+    }
+
+    #[test]
+    fn tensorrt_is_the_stronger_baseline() {
+        let d = Device::rtx2080ti();
+        for shape in [
+            ConvShape::new(1, 256, 14, 14, 256, 3, 1, 1),
+            ConvShape::new(16, 64, 56, 56, 256, 1, 1, 0),
+        ] {
+            let trt = tensorrt_like(&shape, &d).total_s;
+            let cudnn = cudnn_like(&shape, &d).total_s;
+            assert!(trt < cudnn, "TensorRT must beat cuDNN dp4a on {shape}");
+        }
+    }
+
+    #[test]
+    fn we_beat_tensorrt_at_batch_one_on_unusual_shapes() {
+        // Sec. 5.5: shapes outside TensorRT's tuning radar (e.g. the
+        // 1x14x14x736 DenseNet layer) favor our auto-search.
+        let d = Device::rtx2080ti();
+        let odd = ConvShape::new(1, 736, 14, 14, 128, 1, 1, 0);
+        let trt = tensorrt_like(&odd, &d).total_s;
+        let us = ours(&odd, Precision::TensorCoreInt8, &d).total_s;
+        assert!(us < trt, "auto-search should win on odd shapes");
+    }
+
+    #[test]
+    fn tensorrt_can_win_at_large_batch_on_common_shapes() {
+        // Sec. 5.3: with large batches the SASS advantage dominates; our
+        // model must allow TensorRT wins somewhere (it wins 7/19 layers at
+        // batch 16 in the paper).
+        let d = Device::rtx2080ti();
+        let big = ConvShape::new(64, 128, 28, 28, 128, 3, 1, 1);
+        let trt = tensorrt_like(&big, &d).total_s;
+        let us = ours(&big, Precision::TensorCoreInt8, &d).total_s;
+        assert!(
+            trt < us * 1.35,
+            "TensorRT should be at least competitive at scale (trt {trt}, us {us})"
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! The data-partition parameters of Sec. 4.2 / Fig. 4.
+
+use turing_sim::Precision;
+
+/// Tiling parameters mapping the implicit GEMM onto the thread hierarchy:
+/// the grid tiles `C` into `MTile x NTile` blocks, each block's warps tile
+/// their fragment, and `KTile`/`KStep` stage the reduction through shared
+/// memory and registers.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TileConfig {
+    /// Rows of C per thread block (`MTile`).
+    pub m_tile: usize,
+    /// Columns of C per thread block (`NTile`).
+    pub n_tile: usize,
+    /// K elements staged in shared memory per iteration (`KTile`).
+    pub k_tile: usize,
+    /// K elements held in registers per inner step (`KStep`).
+    pub k_step: usize,
+    /// Warp rows per block (`blockRowWarpNum`).
+    pub warps_m: usize,
+    /// Warp columns per block (`blockColWarpNum`).
+    pub warps_n: usize,
+}
+
+impl TileConfig {
+    /// Threads per block (32 per warp).
+    pub fn threads(&self) -> usize {
+        32 * self.warps_m * self.warps_n
+    }
+
+    /// The `mma` K depth for a precision (`m8n8k16` / `m8n8k32`).
+    pub fn k_mma(precision: Precision) -> usize {
+        match precision {
+            Precision::TensorCoreInt4 => 32,
+            _ => 16,
+        }
+    }
+
+    /// Shared memory for one stage of A and B tiles, in bytes.
+    pub fn smem_stage_bytes(&self, precision: Precision) -> usize {
+        let elems = (self.m_tile + self.n_tile) * self.k_tile;
+        Precision::operand_bytes(precision, elems as u64) as usize
+    }
+
+    /// Per-warp C fragment dimensions.
+    pub fn warp_frag(&self) -> (usize, usize) {
+        (self.m_tile / self.warps_m, self.n_tile / self.warps_n)
+    }
+
+    /// Estimated registers per thread: the C fragment lives entirely in
+    /// registers, plus operand fragments and the Fig. 6 staging buffer.
+    pub fn regs_per_thread(&self, double_buffered: bool) -> u32 {
+        let (fm, fn_) = self.warp_frag();
+        let acc = (fm * fn_ / 32) as u32;
+        let frags = ((fm + fn_) * self.k_step / 32 / 4) as u32;
+        let staging = if double_buffered { 16 } else { 0 };
+        32 + acc + frags + staging
+    }
+
+    /// `true` when the configuration is executable for `precision`:
+    /// divisibility down the hierarchy and hardware limits.
+    pub fn valid(&self, precision: Precision, smem_limit: usize) -> bool {
+        let k_mma = Self::k_mma(precision);
+        let (fm, fn_) = if self.warps_m == 0 || self.warps_n == 0 {
+            return false;
+        } else {
+            (self.m_tile / self.warps_m.max(1), self.n_tile / self.warps_n.max(1))
+        };
+        self.m_tile.is_multiple_of(8 * self.warps_m)
+            && self.n_tile.is_multiple_of(8 * self.warps_n)
+            && self.k_tile.is_multiple_of(self.k_step)
+            && self.k_step.is_multiple_of(k_mma)
+            && self.threads() <= 1024
+            && fm >= 8
+            && fn_ >= 8
+            && self.smem_stage_bytes(precision) * 2 <= smem_limit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMEM: usize = 64 * 1024;
+
+    fn cfg(m: usize, n: usize, k: usize, ks: usize, wm: usize, wn: usize) -> TileConfig {
+        TileConfig { m_tile: m, n_tile: n, k_tile: k, k_step: ks, warps_m: wm, warps_n: wn }
+    }
+
+    #[test]
+    fn canonical_config_is_valid() {
+        let c = cfg(128, 128, 64, 32, 2, 2);
+        assert!(c.valid(Precision::TensorCoreInt8, SMEM));
+        assert_eq!(c.threads(), 128);
+        assert_eq!(c.warp_frag(), (64, 64));
+    }
+
+    #[test]
+    fn int4_requires_k_step_multiple_of_32() {
+        let c = cfg(64, 64, 64, 16, 2, 2);
+        assert!(c.valid(Precision::TensorCoreInt8, SMEM));
+        assert!(!c.valid(Precision::TensorCoreInt4, SMEM));
+        let c32 = cfg(64, 64, 64, 32, 2, 2);
+        assert!(c32.valid(Precision::TensorCoreInt4, SMEM));
+    }
+
+    #[test]
+    fn smem_limit_rejects_oversized_stages() {
+        // (256 + 256) * 128 bytes * 2 stages = 128 KB > 64 KB.
+        let c = cfg(256, 256, 128, 32, 4, 4);
+        assert!(!c.valid(Precision::TensorCoreInt8, SMEM));
+        // At int4 the same stage halves and fits.
+        assert!(c.valid(Precision::TensorCoreInt4, SMEM));
+    }
+
+    #[test]
+    fn warp_fragment_must_cover_an_mma_tile() {
+        // 16x16 tile with 4x4 warps would give 4x4 fragments < 8x8.
+        let c = cfg(16, 16, 64, 16, 4, 4);
+        assert!(!c.valid(Precision::TensorCoreInt8, SMEM));
+    }
+
+    #[test]
+    fn int4_halves_smem_stage() {
+        let c = cfg(128, 128, 64, 32, 2, 2);
+        assert_eq!(
+            c.smem_stage_bytes(Precision::TensorCoreInt4) * 2,
+            c.smem_stage_bytes(Precision::TensorCoreInt8)
+        );
+    }
+
+    #[test]
+    fn register_estimate_scales_with_fragment_area() {
+        let small = cfg(64, 64, 64, 16, 2, 2);
+        let big = cfg(256, 128, 64, 16, 2, 2);
+        assert!(
+            big.regs_per_thread(true) > small.regs_per_thread(true),
+            "bigger fragments need more registers"
+        );
+    }
+}

@@ -1,0 +1,297 @@
+//! Tiling-parameter auto-search via profile runs (Sec. 5.1, Fig. 11).
+//!
+//! The paper generates kernels for many tiling-parameter combinations with
+//! C++ templates and picks the fastest by profiling each shape once. Here the
+//! "profile run" evaluates the analytic launch model — the same model that
+//! times the chosen kernel — so searched configurations are exactly
+//! comparable.
+
+use crate::implicit_gemm::ConvGpuPlan;
+use crate::tiling::TileConfig;
+use lowbit_tensor::ConvShape;
+use turing_sim::{Device, KernelTime, Precision};
+
+/// The "programmer experience" default of Fig. 11's `w/o profile` bars: a
+/// large square tile that is excellent for big GEMMs and poor for batch-1
+/// ResNet shapes.
+pub fn default_config(precision: Precision) -> TileConfig {
+    TileConfig {
+        m_tile: 128,
+        n_tile: 128,
+        k_tile: 64,
+        k_step: TileConfig::k_mma(precision) * 2,
+        warps_m: 2,
+        warps_n: 2,
+    }
+}
+
+/// Enumerates the valid search space for a precision (the template
+/// instantiations of Sec. 5.1).
+pub fn search_space(precision: Precision) -> Vec<TileConfig> {
+    let mut out = Vec::new();
+    let k_mma = TileConfig::k_mma(precision);
+    for &m_tile in &[16, 32, 64, 128, 256] {
+        for &n_tile in &[16, 32, 64, 128, 256] {
+            for &k_tile in &[32, 64, 128] {
+                for &(warps_m, warps_n) in
+                    &[(1, 1), (1, 2), (2, 1), (2, 2), (2, 4), (4, 2), (4, 4)]
+                {
+                    for &k_step in &[k_mma, 2 * k_mma] {
+                        let cfg = TileConfig {
+                            m_tile,
+                            n_tile,
+                            k_tile,
+                            k_step,
+                            warps_m,
+                            warps_n,
+                        };
+                        if cfg.valid(precision, 64 * 1024) {
+                            out.push(cfg);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Profile-run auto-search: returns the best configuration and its modeled
+/// time for one shape. Deterministic; run once per shape (the paper notes
+/// the overhead is negligible and amortized).
+///
+/// ```
+/// use lowbit_conv_gpu::{auto_search, default_config, ConvGpuPlan};
+/// use lowbit_tensor::ConvShape;
+/// use turing_sim::{Device, Precision};
+///
+/// let device = Device::rtx2080ti();
+/// let shape = ConvShape::new(1, 512, 7, 7, 512, 3, 1, 1); // batch-1 late layer
+/// let (cfg, tuned) = auto_search(&shape, Precision::TensorCoreInt8, &device);
+/// let default = ConvGpuPlan::new(shape, default_config(Precision::TensorCoreInt8),
+///                                Precision::TensorCoreInt8).time(&device);
+/// assert!(tuned.total_s <= default.total_s); // Fig. 11's whole point
+/// assert!(cfg.m_tile <= 128);
+/// ```
+pub fn auto_search(
+    shape: &ConvShape,
+    precision: Precision,
+    device: &Device,
+) -> (TileConfig, KernelTime) {
+    let mut best: Option<(TileConfig, KernelTime)> = None;
+    for cfg in search_space(precision) {
+        let plan = ConvGpuPlan::new(*shape, cfg, precision);
+        let t = plan.time(device);
+        if best
+            .as_ref()
+            .map(|(_, bt)| t.total_s < bt.total_s)
+            .unwrap_or(true)
+        {
+            best = Some((cfg, t));
+        }
+    }
+    best.expect("search space is never empty")
+}
+
+/// A per-shape cache of tuning results — the paper's "optimal tiling
+/// parameters only need to be determined once per convolution shape"
+/// (Sec. 5.1). Deployments persist it next to the model; the text format is
+/// intentionally trivial (one line per entry) so it stays diffable.
+#[derive(Clone, Debug, Default)]
+pub struct TuningCache {
+    entries: std::collections::HashMap<(ConvShape, Precision), TileConfig>,
+}
+
+impl TuningCache {
+    /// Empty cache.
+    pub fn new() -> TuningCache {
+        TuningCache::default()
+    }
+
+    /// Number of cached shapes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns the cached config, or runs the profile search and caches it.
+    pub fn get_or_search(
+        &mut self,
+        shape: &ConvShape,
+        precision: Precision,
+        device: &Device,
+    ) -> TileConfig {
+        if let Some(cfg) = self.entries.get(&(*shape, precision)) {
+            return *cfg;
+        }
+        let (cfg, _) = auto_search(shape, precision, device);
+        self.entries.insert((*shape, precision), cfg);
+        cfg
+    }
+
+    /// Serializes to the one-line-per-entry text format.
+    pub fn to_text(&self) -> String {
+        let mut lines: Vec<String> = self
+            .entries
+            .iter()
+            .map(|((s, p), c)| {
+                format!(
+                    "{} {} {} {} {} {} {} {} {} {:?} {} {} {} {} {} {}",
+                    s.batch, s.c_in, s.h, s.w, s.c_out, s.kh, s.kw, s.stride, s.pad,
+                    p, c.m_tile, c.n_tile, c.k_tile, c.k_step, c.warps_m, c.warps_n
+                )
+            })
+            .collect();
+        lines.sort();
+        lines.join("\n")
+    }
+
+    /// Parses the text format (inverse of [`TuningCache::to_text`]).
+    pub fn from_text(text: &str) -> Result<TuningCache, String> {
+        let mut cache = TuningCache::new();
+        for (ln, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let f: Vec<&str> = line.split_whitespace().collect();
+            if f.len() != 16 {
+                return Err(format!("line {}: expected 16 fields, got {}", ln + 1, f.len()));
+            }
+            let num = |i: usize| -> Result<usize, String> {
+                f[i].parse().map_err(|_| format!("line {}: bad number {}", ln + 1, f[i]))
+            };
+            let shape = ConvShape {
+                batch: num(0)?,
+                c_in: num(1)?,
+                h: num(2)?,
+                w: num(3)?,
+                c_out: num(4)?,
+                kh: num(5)?,
+                kw: num(6)?,
+                stride: num(7)?,
+                pad: num(8)?,
+            };
+            let precision = match f[9] {
+                "TensorCoreInt4" => Precision::TensorCoreInt4,
+                "TensorCoreInt8" => Precision::TensorCoreInt8,
+                "Dp4aInt8" => Precision::Dp4aInt8,
+                other => return Err(format!("line {}: unknown precision {other}", ln + 1)),
+            };
+            let cfg = TileConfig {
+                m_tile: num(10)?,
+                n_tile: num(11)?,
+                k_tile: num(12)?,
+                k_step: num(13)?,
+                warps_m: num(14)?,
+                warps_n: num(15)?,
+            };
+            cache.entries.insert((shape, precision), cfg);
+        }
+        Ok(cache)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn search_space_is_nonempty_and_valid() {
+        for precision in [Precision::TensorCoreInt8, Precision::TensorCoreInt4] {
+            let space = search_space(precision);
+            assert!(space.len() > 50, "need a meaningful space to search");
+            assert!(space.iter().all(|c| c.valid(precision, 64 * 1024)));
+        }
+    }
+
+    #[test]
+    fn searched_config_never_loses_to_default() {
+        let d = Device::rtx2080ti();
+        for shape in [
+            ConvShape::new(1, 64, 56, 56, 64, 1, 1, 0),
+            ConvShape::new(1, 512, 7, 7, 2048, 1, 1, 0),
+            ConvShape::new(16, 64, 56, 56, 64, 3, 1, 1),
+        ] {
+            let (best, t_best) = auto_search(&shape, Precision::TensorCoreInt8, &d);
+            let t_default = ConvGpuPlan::new(
+                shape,
+                default_config(Precision::TensorCoreInt8),
+                Precision::TensorCoreInt8,
+            )
+            .time(&d);
+            assert!(
+                t_best.total_s <= t_default.total_s + 1e-12,
+                "auto-search must dominate the default on {shape} (best {best:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_one_prefers_smaller_tiles_than_batch_sixteen() {
+        // The Fig. 11 mechanism: at batch 1 the GEMM M dimension is tiny, so
+        // big default tiles strand SMs.
+        let d = Device::rtx2080ti();
+        let small = ConvShape::new(1, 512, 7, 7, 512, 3, 1, 1);
+        let big = small.with_batch(16);
+        let (cfg1, _) = auto_search(&small, Precision::TensorCoreInt8, &d);
+        let (cfg16, _) = auto_search(&big, Precision::TensorCoreInt8, &d);
+        assert!(
+            cfg1.m_tile <= cfg16.m_tile,
+            "batch 1 chose {cfg1:?}, batch 16 chose {cfg16:?}"
+        );
+    }
+
+    #[test]
+    fn cache_avoids_repeated_searches_and_round_trips() {
+        let d = Device::rtx2080ti();
+        let mut cache = TuningCache::new();
+        let shape = ConvShape::new(1, 64, 28, 28, 64, 3, 1, 1);
+        let c1 = cache.get_or_search(&shape, Precision::TensorCoreInt8, &d);
+        assert_eq!(cache.len(), 1);
+        let c2 = cache.get_or_search(&shape, Precision::TensorCoreInt8, &d);
+        assert_eq!(c1, c2);
+        assert_eq!(cache.len(), 1);
+        // Different precision is a different entry.
+        cache.get_or_search(&shape, Precision::TensorCoreInt4, &d);
+        assert_eq!(cache.len(), 2);
+        // Text round trip preserves every entry.
+        let text = cache.to_text();
+        let back = TuningCache::from_text(&text).unwrap();
+        assert_eq!(back.len(), 2);
+        let mut back = back;
+        assert_eq!(back.get_or_search(&shape, Precision::TensorCoreInt8, &d), c1);
+    }
+
+    #[test]
+    fn cache_parser_rejects_garbage() {
+        assert!(TuningCache::from_text("1 2 3").is_err());
+        assert!(TuningCache::from_text(
+            "1 64 28 28 64 3 3 1 1 NotAPrecision 64 64 64 16 2 2"
+        )
+        .is_err());
+        assert!(TuningCache::from_text("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn profile_runs_gain_is_large_at_batch_one() {
+        // Fig. 11: 2.29x (4-bit) / 2.91x (8-bit) average over ResNet-50
+        // layers; individual layers can be higher. Use a representative
+        // late layer.
+        let d = Device::rtx2080ti();
+        let shape = ConvShape::new(1, 512, 7, 7, 512, 3, 1, 1);
+        for precision in [Precision::TensorCoreInt8, Precision::TensorCoreInt4] {
+            let (_, best) = auto_search(&shape, precision, &d);
+            let default =
+                ConvGpuPlan::new(shape, default_config(precision), precision).time(&d);
+            let gain = default.total_s / best.total_s;
+            assert!(
+                gain > 1.3,
+                "{precision:?}: expected a substantial profile-run gain, got {gain}"
+            );
+        }
+    }
+}

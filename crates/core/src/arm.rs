@@ -1,0 +1,215 @@
+//! The ARM convolution engine: algorithm selection over the Sec. 3 kernels.
+
+use lowbit_conv_arm::{
+    bitserial_conv, gemm_conv, gemm_conv_narrow, gemm_conv_sdot, ncnn_conv,
+    schedule_bitserial_conv, schedule_gemm_conv, schedule_gemm_conv_narrow,
+    schedule_gemm_conv_sdot, schedule_ncnn_conv, schedule_winograd_conv, winograd_conv,
+    winograd_supported,
+};
+use lowbit_qgemm::Scheme;
+use lowbit_tensor::{BitWidth, ConvShape, QTensor, Tensor};
+use neon_sim::{CortexA53, CostModel, KernelSchedule};
+
+/// Algorithm choice for one layer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ArmAlgo {
+    /// Pick the modeled-fastest applicable algorithm (the paper's policy:
+    /// Winograd for 4–6-bit 3x3/s1, the scheme-matched GEMM otherwise).
+    Auto,
+    /// Force the explicit-GEMM path.
+    Gemm,
+    /// Force the Winograd `F(2x2, 3x3)` path (panics if not applicable).
+    Winograd,
+    /// The spill-free narrow 8x4 GEMM tile (extension; SMLAL widths only).
+    GemmNarrow,
+    /// The ARMv8.2 `SDOT` GEMM (extension; models a newer core's ISA).
+    GemmSdot,
+    /// The ncnn-like 8-bit baseline.
+    NcnnBaseline,
+    /// The TVM-like popcount baseline (2-bit only).
+    BitserialBaseline,
+}
+
+/// Result of an ARM convolution.
+#[derive(Clone, Debug)]
+pub struct ArmConvResult {
+    /// Exact i32 accumulators (NCHW).
+    pub acc: Tensor<i32>,
+    /// The algorithm that actually ran.
+    pub algo: ArmAlgo,
+    /// Full pipeline schedule.
+    pub schedule: KernelSchedule,
+    /// Modeled wall time in milliseconds on the engine's core.
+    pub millis: f64,
+}
+
+/// A CPU target: kernels plus a calibrated cost model.
+#[derive(Clone, Debug)]
+pub struct ArmEngine {
+    model: CostModel,
+}
+
+impl ArmEngine {
+    /// The Raspberry Pi 3B target of the paper (1.2 GHz Cortex-A53).
+    pub fn cortex_a53() -> ArmEngine {
+        ArmEngine {
+            model: CortexA53::cost_model(),
+        }
+    }
+
+    /// An engine with a custom cost model.
+    pub fn with_model(model: CostModel) -> ArmEngine {
+        ArmEngine { model }
+    }
+
+    /// The engine's cost model.
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Resolves `Auto` for a given layer/bit width by modeled time over the
+    /// applicable algorithms: the paper's 16x4 GEMM, the Winograd fast path
+    /// (4–6-bit 3x3/s1), and the narrow 8x4 tile extension (which wins at
+    /// the tight 7/8-bit drain ratios).
+    pub fn select_algo(&self, bits: BitWidth, shape: &ConvShape) -> ArmAlgo {
+        let scheme = Scheme::for_bits(bits);
+        let mut best = (
+            ArmAlgo::Gemm,
+            schedule_gemm_conv(&scheme, shape).cycles(&self.model),
+        );
+        if !bits.uses_mla_scheme() {
+            let narrow = schedule_gemm_conv_narrow(&scheme, shape).cycles(&self.model);
+            if narrow < best.1 {
+                best = (ArmAlgo::GemmNarrow, narrow);
+            }
+        }
+        if winograd_supported(bits) && shape.winograd_applicable() {
+            let wg = schedule_winograd_conv(bits, shape).cycles(&self.model);
+            if wg < best.1 {
+                best = (ArmAlgo::Winograd, wg);
+            }
+        }
+        best.0
+    }
+
+    /// Runs a convolution, returning exact accumulators and modeled time.
+    pub fn conv(
+        &self,
+        input: &QTensor,
+        weights: &QTensor,
+        shape: &ConvShape,
+        algo: ArmAlgo,
+    ) -> ArmConvResult {
+        let bits = input.bits().max(weights.bits());
+        let algo = match algo {
+            ArmAlgo::Auto => self.select_algo(bits, shape),
+            other => other,
+        };
+        let out = match algo {
+            ArmAlgo::Gemm => gemm_conv(input, weights, shape),
+            ArmAlgo::Winograd => winograd_conv(input, weights, shape),
+            ArmAlgo::GemmNarrow => gemm_conv_narrow(input, weights, shape),
+            ArmAlgo::GemmSdot => gemm_conv_sdot(input, weights, shape),
+            ArmAlgo::NcnnBaseline => ncnn_conv(input, weights, shape),
+            ArmAlgo::BitserialBaseline => bitserial_conv(input, weights, shape),
+            ArmAlgo::Auto => unreachable!("Auto resolved above"),
+        };
+        let millis = out.schedule.millis(&self.model);
+        ArmConvResult {
+            acc: out.acc,
+            algo,
+            schedule: out.schedule,
+            millis,
+        }
+    }
+
+    /// Modeled time in milliseconds without executing (used by the harness
+    /// at full layer scale).
+    pub fn estimate_millis(&self, bits: BitWidth, shape: &ConvShape, algo: ArmAlgo) -> f64 {
+        let algo = match algo {
+            ArmAlgo::Auto => self.select_algo(bits, shape),
+            other => other,
+        };
+        let sched = match algo {
+            ArmAlgo::Gemm => schedule_gemm_conv(&Scheme::for_bits(bits), shape),
+            ArmAlgo::Winograd => schedule_winograd_conv(bits, shape),
+            ArmAlgo::GemmNarrow => schedule_gemm_conv_narrow(&Scheme::for_bits(bits), shape),
+            ArmAlgo::GemmSdot => schedule_gemm_conv_sdot(shape),
+            ArmAlgo::NcnnBaseline => schedule_ncnn_conv(shape),
+            ArmAlgo::BitserialBaseline => schedule_bitserial_conv(shape),
+            ArmAlgo::Auto => unreachable!(),
+        };
+        sched.millis(&self.model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowbit_conv_arm::direct_conv;
+    use lowbit_tensor::Layout;
+
+    fn tensors(shape: &ConvShape, bits: BitWidth, seed: u64) -> (QTensor, QTensor) {
+        (
+            QTensor::random(
+                (shape.batch, shape.c_in, shape.h, shape.w),
+                Layout::Nchw,
+                bits,
+                seed,
+            ),
+            QTensor::random(
+                (shape.c_out, shape.c_in, shape.kh, shape.kw),
+                Layout::Nchw,
+                bits,
+                seed + 1,
+            ),
+        )
+    }
+
+    #[test]
+    fn auto_picks_winograd_only_where_the_paper_does() {
+        let engine = ArmEngine::cortex_a53();
+        let wg_shape = ConvShape::new(1, 64, 56, 56, 64, 3, 1, 1);
+        assert_eq!(engine.select_algo(BitWidth::W4, &wg_shape), ArmAlgo::Winograd);
+        assert_eq!(engine.select_algo(BitWidth::W5, &wg_shape), ArmAlgo::Winograd);
+        assert_eq!(engine.select_algo(BitWidth::W2, &wg_shape), ArmAlgo::Gemm);
+        // At 8-bit the tight drain ratio hands the win to the spill-free
+        // narrow tile (extension; the paper's own Alg. 1 kernel is forced
+        // explicitly in the Fig. 7 harness).
+        assert_eq!(engine.select_algo(BitWidth::W8, &wg_shape), ArmAlgo::GemmNarrow);
+        let pointwise = ConvShape::new(1, 64, 56, 56, 256, 1, 1, 0);
+        assert_eq!(engine.select_algo(BitWidth::W4, &pointwise), ArmAlgo::Gemm);
+    }
+
+    #[test]
+    fn all_algorithms_agree_with_the_oracle() {
+        let engine = ArmEngine::cortex_a53();
+        let shape = ConvShape::new(1, 4, 8, 8, 6, 3, 1, 1);
+        for (bits, algo) in [
+            (BitWidth::W4, ArmAlgo::Auto),
+            (BitWidth::W2, ArmAlgo::Auto),
+            (BitWidth::W8, ArmAlgo::NcnnBaseline),
+            (BitWidth::W2, ArmAlgo::BitserialBaseline),
+            (BitWidth::W3, ArmAlgo::Winograd),
+            (BitWidth::W7, ArmAlgo::GemmNarrow),
+            (BitWidth::W6, ArmAlgo::GemmSdot),
+        ] {
+            let (input, weights) = tensors(&shape, bits, 100 + bits.bits() as u64);
+            let out = engine.conv(&input, &weights, &shape, algo);
+            let oracle = direct_conv(&input, &weights, &shape);
+            assert_eq!(out.acc.data(), oracle.data(), "{bits} {algo:?}");
+            assert!(out.millis > 0.0);
+        }
+    }
+
+    #[test]
+    fn estimate_matches_executed_schedule() {
+        let engine = ArmEngine::cortex_a53();
+        let shape = ConvShape::new(1, 6, 10, 10, 8, 3, 1, 1);
+        let bits = BitWidth::W5;
+        let (input, weights) = tensors(&shape, bits, 9);
+        let out = engine.conv(&input, &weights, &shape, ArmAlgo::Auto);
+        let est = engine.estimate_millis(bits, &shape, ArmAlgo::Auto);
+        assert!((out.millis - est).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,47 @@
+//! **lowbit** — extremely low-bit convolution for quantized neural networks
+//! on ARM-like CPUs (2–8 bit) and Turing-like GPUs (4/8 bit).
+//!
+//! This is the umbrella crate of the ICPP'20 reproduction: it exposes one
+//! engine per platform with automatic algorithm/tile selection, and
+//! re-exports every substrate crate for advanced use.
+//!
+//! ```
+//! use lowbit::prelude::*;
+//!
+//! // A 4-bit 3x3 convolution on the ARM engine: Winograd is selected
+//! // automatically, the result is exact i32 accumulators plus modeled
+//! // Cortex-A53 time.
+//! let shape = ConvShape::new(1, 8, 12, 12, 16, 3, 1, 1);
+//! let input = QTensor::random((1, 8, 12, 12), Layout::Nchw, BitWidth::W4, 1);
+//! let weights = QTensor::random((16, 8, 3, 3), Layout::Nchw, BitWidth::W4, 2);
+//! let engine = ArmEngine::cortex_a53();
+//! let out = engine.conv(&input, &weights, &shape, ArmAlgo::Auto);
+//! assert_eq!(out.acc.dims(), (1, 16, 12, 12));
+//! assert!(out.millis > 0.0);
+//! ```
+
+pub mod arm;
+pub mod gpu;
+pub mod network;
+
+/// Everything most users need.
+pub mod prelude {
+    pub use crate::arm::{ArmAlgo, ArmConvResult, ArmEngine};
+    pub use crate::gpu::{GpuConvResult, GpuEngine, Tuning};
+    pub use lowbit_tensor::{BitWidth, ConvShape, Layout, QTensor, Tensor};
+    pub use turing_sim::Precision;
+}
+
+pub use arm::{ArmAlgo, ArmConvResult, ArmEngine};
+pub use gpu::{GpuConvResult, GpuEngine, Tuning};
+pub use network::{LayerReport, NetLayer, Network};
+
+// Substrate re-exports for advanced users.
+pub use lowbit_conv_arm as conv_arm;
+pub use lowbit_conv_gpu as conv_gpu;
+pub use lowbit_models as models;
+pub use lowbit_qgemm as qgemm;
+pub use lowbit_qnn as qnn;
+pub use lowbit_tensor as tensor;
+pub use neon_sim;
+pub use turing_sim;

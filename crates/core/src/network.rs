@@ -1,0 +1,284 @@
+//! End-to-end quantized network inference (the paper's deployment story and
+//! stated future work: "integrate our low-bit convolution optimizations …
+//! to enable end-to-end optimization").
+//!
+//! A [`Network`] is a validated chain of quantized conv(+ReLU) layers. The
+//! runner keeps activations quantized between layers (re-quantizing with the
+//! fused truncation of Sec. 4.4), executes every convolution through the
+//! [`ArmEngine`], and accumulates modeled time per layer.
+
+use crate::arm::{ArmAlgo, ArmEngine};
+use lowbit_qnn::{quantize_f32, Quantizer, RequantParams};
+use lowbit_tensor::{BitWidth, ConvShape, Layout, QTensor, Tensor};
+
+/// One conv(+ReLU) layer of a sequential network.
+#[derive(Clone, Debug)]
+pub struct NetLayer {
+    /// Display name.
+    pub name: String,
+    /// Convolution geometry (batch must match the network input).
+    pub shape: ConvShape,
+    /// Quantized weights (NCHW `c_out x c_in x kh x kw`).
+    pub weights: QTensor,
+    /// Whether a ReLU follows (fused into re-quantization).
+    pub relu: bool,
+    /// Re-quantization multiplier into the next layer's activation scale.
+    pub requant: RequantParams,
+}
+
+/// A validated sequential network.
+#[derive(Clone, Debug)]
+pub struct Network {
+    layers: Vec<NetLayer>,
+}
+
+/// Per-layer execution record.
+#[derive(Clone, Debug)]
+pub struct LayerReport {
+    /// Layer name.
+    pub name: String,
+    /// Algorithm the engine chose.
+    pub algo: ArmAlgo,
+    /// Modeled milliseconds.
+    pub millis: f64,
+}
+
+impl Network {
+    /// Builds a network, validating that consecutive layers chain: channel
+    /// counts match and spatial dimensions follow from the convolution.
+    pub fn sequential(layers: Vec<NetLayer>) -> Result<Network, String> {
+        for w in layers.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            if a.shape.c_out != b.shape.c_in {
+                return Err(format!(
+                    "{} produces {} channels but {} expects {}",
+                    a.name, a.shape.c_out, b.name, b.shape.c_in
+                ));
+            }
+            if (a.shape.out_h(), a.shape.out_w()) != (b.shape.h, b.shape.w) {
+                return Err(format!(
+                    "{} produces {}x{} but {} expects {}x{}",
+                    a.name,
+                    a.shape.out_h(),
+                    a.shape.out_w(),
+                    b.name,
+                    b.shape.h,
+                    b.shape.w
+                ));
+            }
+            if a.shape.batch != b.shape.batch {
+                return Err(format!("batch mismatch between {} and {}", a.name, b.name));
+            }
+        }
+        if layers.is_empty() {
+            return Err("network must have at least one layer".into());
+        }
+        Ok(Network { layers })
+    }
+
+    /// A small deterministic demo network (3 chained layers) at `bits`.
+    pub fn demo(bits: BitWidth, hw: usize, seed: u64) -> Network {
+        let mk = |name: &str, shape: ConvShape, relu: bool, seed: u64| {
+            // Scale the re-quantization so typical accumulators (~sqrt(K)
+            // products) land mid-range at every bit width.
+            let mult = 4.0 / ((shape.gemm_k() as f32).sqrt() * bits.qmax() as f32);
+            NetLayer {
+                name: name.into(),
+                shape,
+                weights: QTensor::random(
+                    (shape.c_out, shape.c_in, shape.kh, shape.kw),
+                    Layout::Nchw,
+                    bits,
+                    seed,
+                ),
+                relu,
+                requant: RequantParams::new(bits, mult),
+            }
+        };
+        let l1 = ConvShape::new(1, 3, hw, hw, 8, 3, 1, 1);
+        let l2 = ConvShape::new(1, 8, hw, hw, 16, 3, 2, 1);
+        let l3 = ConvShape::new(1, 16, l2.out_h(), l2.out_w(), 8, 1, 1, 0);
+        Network::sequential(vec![
+            mk("conv1", l1, true, seed),
+            mk("conv2", l2, true, seed + 1),
+            mk("conv3", l3, false, seed + 2),
+        ])
+        .expect("demo network chains by construction")
+    }
+
+    /// Layers view.
+    pub fn layers(&self) -> &[NetLayer] {
+        &self.layers
+    }
+
+    /// Runs the network on a float input: quantize once, stay quantized
+    /// through every conv(+fused ReLU), dequantize at the end.
+    ///
+    /// Returns the float output, the per-layer reports and the total modeled
+    /// milliseconds.
+    pub fn run_arm(
+        &self,
+        engine: &ArmEngine,
+        input: &Tensor<f32>,
+    ) -> (Tensor<f32>, Vec<LayerReport>, f64) {
+        let first = &self.layers[0];
+        assert_eq!(
+            input.dims(),
+            (first.shape.batch, first.shape.c_in, first.shape.h, first.shape.w),
+            "input dims must match the first layer"
+        );
+        let bits = first.weights.bits();
+        let q_in = Quantizer::calibrate(bits, input.data());
+        let mut act = quantize_f32(input, &q_in);
+        let mut act_scale = q_in.scale;
+
+        let mut reports = Vec::with_capacity(self.layers.len());
+        let mut total = 0.0;
+        for layer in &self.layers {
+            let out = engine.conv(&act, &layer.weights, &layer.shape, ArmAlgo::Auto);
+            total += out.millis;
+            reports.push(LayerReport {
+                name: layer.name.clone(),
+                algo: out.algo,
+                millis: out.millis,
+            });
+            // Re-quantize (with fused ReLU truncation where requested) into
+            // the next activation; track the real-valued scale it encodes.
+            let rq = if layer.relu {
+                layer.requant.with_relu()
+            } else {
+                layer.requant
+            };
+            let q = lowbit_qnn::requantize(&out.acc, &rq);
+            act_scale = act_scale * layer.weights.scale() / rq.multiplier;
+            act = q;
+        }
+        let mut out_f = Tensor::zeros(act.dims(), act.layout());
+        for (o, &q) in out_f.data_mut().iter_mut().zip(act.data()) {
+            *o = q as f32 * act_scale;
+        }
+        (out_f, reports, total)
+    }
+
+    /// Modeled total microseconds on a GPU engine (None when any layer's
+    /// bit width has no Tensor Core path).
+    pub fn estimate_gpu(&self, engine: &crate::gpu::GpuEngine, tuning: crate::gpu::Tuning) -> Option<f64> {
+        let mut total = 0.0;
+        for l in &self.layers {
+            crate::gpu::GpuEngine::precision_for(l.weights.bits())?;
+            total += engine.estimate(&l.shape, l.weights.bits(), tuning).total_us();
+        }
+        Some(total)
+    }
+
+    /// Modeled total milliseconds without executing.
+    pub fn estimate_arm(&self, engine: &ArmEngine) -> f64 {
+        self.layers
+            .iter()
+            .map(|l| engine.estimate_millis(l.weights.bits(), &l.shape, ArmAlgo::Auto))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowbit_qnn::relu_q;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn float_input(dims: (usize, usize, usize, usize), seed: u64) -> Tensor<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let len = dims.0 * dims.1 * dims.2 * dims.3;
+        Tensor::from_vec(
+            dims,
+            Layout::Nchw,
+            (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        )
+    }
+
+    #[test]
+    fn demo_network_runs_end_to_end() {
+        let net = Network::demo(BitWidth::W4, 12, 9);
+        let engine = ArmEngine::cortex_a53();
+        let input = float_input((1, 3, 12, 12), 5);
+        let (out, reports, total) = net.run_arm(&engine, &input);
+        assert_eq!(out.dims(), (1, 8, 6, 6));
+        assert_eq!(reports.len(), 3);
+        assert!((reports.iter().map(|r| r.millis).sum::<f64>() - total).abs() < 1e-9);
+        assert!((net.estimate_arm(&engine) - total).abs() < 1e-9);
+        // At this tiny size the 3-channel transforms outweigh the Winograd
+        // MAC saving, and c_out = 8 fits the narrow tile exactly (the wide
+        // 16-row tile would waste half its lanes) — the selection is by
+        // modeled time, not by a static rule.
+        assert_eq!(reports[0].algo, ArmAlgo::GemmNarrow);
+        let big = ConvShape::new(1, 64, 56, 56, 64, 3, 1, 1);
+        assert_eq!(engine.select_algo(BitWidth::W4, &big), ArmAlgo::Winograd);
+    }
+
+    #[test]
+    fn relu_layers_produce_no_negative_activations() {
+        let net = Network::demo(BitWidth::W5, 10, 11);
+        let engine = ArmEngine::cortex_a53();
+        let input = float_input((1, 3, 10, 10), 6);
+        // Run the first (relu) layer manually and check the invariant that
+        // fused truncation enforces.
+        let q_in = Quantizer::calibrate(BitWidth::W5, input.data());
+        let act = quantize_f32(&input, &q_in);
+        let l = &net.layers()[0];
+        let out = engine.conv(&act, &l.weights, &l.shape, ArmAlgo::Auto);
+        let q = lowbit_qnn::requantize(&out.acc, &l.requant.with_relu());
+        assert!(q.data().iter().all(|&v| v >= 0));
+        // And fused == unfused.
+        let unfused = relu_q(&lowbit_qnn::requantize(&out.acc, &l.requant));
+        assert_eq!(q.data(), unfused.data());
+    }
+
+    #[test]
+    fn lower_bits_run_the_whole_network_faster() {
+        let engine = ArmEngine::cortex_a53();
+        let t2 = Network::demo(BitWidth::W2, 16, 1).estimate_arm(&engine);
+        let t8 = Network::demo(BitWidth::W8, 16, 1).estimate_arm(&engine);
+        assert!(t2 < t8, "2-bit net ({t2:.3}ms) must beat 8-bit ({t8:.3}ms)");
+    }
+
+    #[test]
+    fn gpu_estimate_exists_only_for_tensor_core_widths() {
+        let gpu = crate::gpu::GpuEngine::rtx2080ti();
+        let net4 = Network::demo(BitWidth::W4, 12, 3);
+        assert!(net4.estimate_gpu(&gpu, crate::gpu::Tuning::Default).unwrap() > 0.0);
+        let net5 = Network::demo(BitWidth::W5, 12, 3);
+        assert!(net5.estimate_gpu(&gpu, crate::gpu::Tuning::Default).is_none());
+    }
+
+    #[test]
+    fn sequential_rejects_broken_chains() {
+        let bits = BitWidth::W4;
+        let mk = |shape: ConvShape| NetLayer {
+            name: "l".into(),
+            shape,
+            weights: QTensor::random(
+                (shape.c_out, shape.c_in, shape.kh, shape.kw),
+                Layout::Nchw,
+                bits,
+                1,
+            ),
+            relu: false,
+            requant: RequantParams::new(bits, 0.01),
+        };
+        // Channel mismatch.
+        let bad = Network::sequential(vec![
+            mk(ConvShape::new(1, 3, 8, 8, 4, 3, 1, 1)),
+            mk(ConvShape::new(1, 8, 8, 8, 4, 3, 1, 1)),
+        ]);
+        assert!(bad.is_err());
+        // Spatial mismatch.
+        let bad = Network::sequential(vec![
+            mk(ConvShape::new(1, 3, 8, 8, 4, 3, 2, 1)),
+            mk(ConvShape::new(1, 4, 8, 8, 4, 3, 1, 1)),
+        ]);
+        assert!(bad.is_err());
+        // Empty.
+        assert!(Network::sequential(vec![]).is_err());
+    }
+}

@@ -1,0 +1,143 @@
+//! The GPU resource model.
+
+/// Arithmetic path of a convolution kernel.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Precision {
+    /// Tensor Core `mma.m8n8k32.s4` (4-bit operands).
+    TensorCoreInt4,
+    /// Tensor Core `mma.m8n8k16.s8` (8-bit operands).
+    TensorCoreInt8,
+    /// CUDA-core `dp4a` (8-bit operands, 4-way dot product) — the cuDNN
+    /// baseline path.
+    Dp4aInt8,
+}
+
+impl Precision {
+    /// Bytes per operand element (4-bit operands pack two per byte).
+    pub fn operand_bytes(self, elements: u64) -> u64 {
+        match self {
+            Precision::TensorCoreInt4 => elements.div_ceil(2),
+            _ => elements,
+        }
+    }
+}
+
+/// A Turing-like device description.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Device {
+    /// Streaming multiprocessors.
+    pub sm_count: u32,
+    /// Core clock in Hz.
+    pub clock_hz: f64,
+    /// DRAM bandwidth in bytes/second.
+    pub dram_bytes_per_sec: f64,
+    /// Shared memory per SM in bytes.
+    pub smem_per_sm: u32,
+    /// 32-bit registers per SM.
+    pub regs_per_sm: u32,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Maximum resident blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// Tensor-Core int8 MACs per SM per cycle.
+    pub tc_int8_macs_per_sm: u32,
+    /// Tensor-Core int4 MACs per SM per cycle.
+    pub tc_int4_macs_per_sm: u32,
+    /// dp4a int8 MACs per SM per cycle (CUDA cores).
+    pub dp4a_macs_per_sm: u32,
+    /// Shared-memory instructions retired per SM per cycle.
+    pub smem_insts_per_sm_per_cycle: f64,
+    /// Fixed kernel-launch overhead in seconds.
+    pub launch_overhead_s: f64,
+    /// L2 cache size in bytes (gates whether an operand re-read hits DRAM).
+    pub l2_bytes: u64,
+}
+
+impl Device {
+    /// The RTX 2080 Ti of Tab. 1 (TU102: 68 SMs, 8 Tensor Cores each).
+    pub fn rtx2080ti() -> Device {
+        Device {
+            sm_count: 68,
+            clock_hz: 1.545e9,
+            dram_bytes_per_sec: 616e9,
+            smem_per_sm: 64 * 1024,
+            regs_per_sm: 65536,
+            max_threads_per_sm: 1024,
+            max_blocks_per_sm: 16,
+            // 8 TCs x 64 FP16 FMA, x2 for int8, x4 for int4.
+            tc_int8_macs_per_sm: 1024,
+            tc_int4_macs_per_sm: 2048,
+            // 64 CUDA cores x 4-way dp4a.
+            dp4a_macs_per_sm: 256,
+            smem_insts_per_sm_per_cycle: 4.0,
+            launch_overhead_s: 0.8e-6,
+            l2_bytes: 5_632 * 1024,
+        }
+    }
+
+    /// MAC rate per SM per cycle for a precision path.
+    pub fn mac_rate(&self, precision: Precision) -> u32 {
+        match precision {
+            Precision::TensorCoreInt4 => self.tc_int4_macs_per_sm,
+            Precision::TensorCoreInt8 => self.tc_int8_macs_per_sm,
+            Precision::Dp4aInt8 => self.dp4a_macs_per_sm,
+        }
+    }
+
+    /// Resident blocks per SM for a kernel's resource footprint.
+    pub fn blocks_per_sm(
+        &self,
+        threads_per_block: u32,
+        smem_per_block: u32,
+        regs_per_thread: u32,
+    ) -> u32 {
+        let by_threads = self.max_threads_per_sm / threads_per_block.max(1);
+        let by_smem = self
+            .smem_per_sm
+            .checked_div(smem_per_block)
+            .unwrap_or(self.max_blocks_per_sm);
+        let regs_per_block = regs_per_thread * threads_per_block;
+        let by_regs = self
+            .regs_per_sm
+            .checked_div(regs_per_block)
+            .unwrap_or(self.max_blocks_per_sm);
+        by_threads
+            .min(by_smem)
+            .min(by_regs)
+            .min(self.max_blocks_per_sm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_ordering_matches_turing() {
+        let d = Device::rtx2080ti();
+        // int4 = 2x int8 TC = 8x dp4a — the paper's headroom hierarchy.
+        assert_eq!(d.mac_rate(Precision::TensorCoreInt4), 2 * d.mac_rate(Precision::TensorCoreInt8));
+        assert_eq!(d.mac_rate(Precision::TensorCoreInt8), 4 * d.mac_rate(Precision::Dp4aInt8));
+    }
+
+    #[test]
+    fn occupancy_limited_by_each_resource() {
+        let d = Device::rtx2080ti();
+        // Thread-limited: 512-thread blocks -> 2 per SM.
+        assert_eq!(d.blocks_per_sm(512, 0, 0), 2);
+        // Smem-limited: 40 KB blocks -> 1 per SM.
+        assert_eq!(d.blocks_per_sm(128, 40 * 1024, 32), 1);
+        // Register-limited: 256 regs x 256 threads = 64K -> 1 per SM.
+        assert_eq!(d.blocks_per_sm(256, 0, 256), 1);
+        // Cap at max_blocks_per_sm.
+        assert_eq!(d.blocks_per_sm(32, 0, 8), 16);
+    }
+
+    #[test]
+    fn int4_packs_two_per_byte() {
+        assert_eq!(Precision::TensorCoreInt4.operand_bytes(1000), 500);
+        assert_eq!(Precision::TensorCoreInt4.operand_bytes(1001), 501);
+        assert_eq!(Precision::TensorCoreInt8.operand_bytes(1000), 1000);
+        assert_eq!(Precision::Dp4aInt8.operand_bytes(7), 7);
+    }
+}

@@ -1,0 +1,261 @@
+//! Wave-quantized analytic kernel timing.
+//!
+//! The model explains the two effects the paper's evaluation hinges on:
+//!
+//! 1. **Occupancy / tail quantization** — a kernel's blocks are placed on SMs
+//!    in waves of `sm_count x blocks_per_sm`; at batch 1 the grid is small,
+//!    so tile-size choice decides how many SMs do useful work (this is why
+//!    profile-run auto-search gains 2–3x in Fig. 11).
+//! 2. **Compute/memory overlap** — the Fig. 6 register double-buffer lets
+//!    DRAM time hide under `mma` time; without it they serialize.
+
+use crate::device::{Device, Precision};
+
+/// Analytic description of one kernel launch.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct KernelDesc {
+    /// Blocks in the grid.
+    pub grid_blocks: u64,
+    /// Threads per block.
+    pub threads_per_block: u32,
+    /// Shared memory per block in bytes.
+    pub smem_per_block: u32,
+    /// Registers per thread.
+    pub regs_per_thread: u32,
+    /// Multiply-accumulates per block.
+    pub macs_per_block: u64,
+    /// Arithmetic path.
+    pub precision: Precision,
+    /// Issue efficiency of the MAC pipeline in `(0, 1]` (SASS quality,
+    /// scheduling; calibrated per implementation).
+    pub compute_efficiency: f64,
+    /// Effective DRAM traffic in bytes (after any L2 reuse assumption).
+    pub dram_bytes: u64,
+    /// Coalescing efficiency of the global access pattern in `(0, 1]`.
+    pub coalescing_factor: f64,
+    /// Shared-memory instructions per block (LDS + STS).
+    pub smem_insts_per_block: u64,
+    /// Fixed prologue/epilogue/sync cycles per block.
+    pub per_block_overhead_cycles: u64,
+    /// Whether the Fig. 6 register double-buffer overlaps DRAM with compute.
+    pub double_buffered: bool,
+}
+
+/// Timing breakdown of one kernel launch.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct KernelTime {
+    /// Total modeled time in seconds (including launch overhead).
+    pub total_s: f64,
+    /// Compute-pipeline time in seconds (wave-summed).
+    pub compute_s: f64,
+    /// DRAM time in seconds.
+    pub dram_s: f64,
+    /// Kernel launch overhead in seconds.
+    pub launch_s: f64,
+    /// Resident blocks per SM.
+    pub blocks_per_sm: u32,
+    /// Number of waves.
+    pub waves: u64,
+}
+
+impl KernelTime {
+    /// Total time in microseconds.
+    pub fn total_us(&self) -> f64 {
+        self.total_s * 1e6
+    }
+}
+
+impl KernelDesc {
+    /// Models the launch on `device`.
+    pub fn time(&self, device: &Device) -> KernelTime {
+        assert!(self.grid_blocks > 0, "empty grid");
+        assert!(self.compute_efficiency > 0.0 && self.compute_efficiency <= 1.0);
+        assert!(self.coalescing_factor > 0.0 && self.coalescing_factor <= 1.0);
+        let blocks_per_sm = device
+            .blocks_per_sm(
+                self.threads_per_block,
+                self.smem_per_block,
+                self.regs_per_thread,
+            )
+            .max(1);
+        let wave_capacity = device.sm_count as u64 * blocks_per_sm as u64;
+        let waves = self.grid_blocks.div_ceil(wave_capacity);
+
+        // Per-block busy cycles on its SM's pipelines: Tensor Core (or dp4a)
+        // MACs at the calibrated efficiency, shared-memory instruction issue,
+        // and fixed overhead. Blocks co-resident on one SM serialize on
+        // these throughput resources.
+        let mac_rate = device.mac_rate(self.precision) as f64;
+        let mac_cycles = self.macs_per_block as f64 / (mac_rate * self.compute_efficiency);
+        let smem_cycles =
+            self.smem_insts_per_block as f64 / device.smem_insts_per_sm_per_cycle;
+        let block_cycles =
+            mac_cycles.max(smem_cycles) + self.per_block_overhead_cycles as f64;
+
+        // Wave-by-wave: the busiest SM in each wave sets its duration.
+        let mut compute_cycles = 0.0;
+        let mut remaining = self.grid_blocks;
+        for _ in 0..waves {
+            let in_wave = remaining.min(wave_capacity);
+            let busiest = in_wave.div_ceil(device.sm_count as u64);
+            compute_cycles += busiest as f64 * block_cycles;
+            remaining -= in_wave;
+        }
+        let compute_s = compute_cycles / device.clock_hz;
+        let dram_s = self.dram_bytes as f64
+            / (device.dram_bytes_per_sec * self.coalescing_factor);
+        let body_s = if self.double_buffered {
+            compute_s.max(dram_s) + 0.2 * compute_s.min(dram_s)
+        } else {
+            compute_s + dram_s
+        };
+        KernelTime {
+            total_s: device.launch_overhead_s + body_s,
+            compute_s,
+            dram_s,
+            launch_s: device.launch_overhead_s,
+            blocks_per_sm,
+            waves,
+        }
+    }
+}
+
+/// A purely memory-bound elementwise kernel (quantize / dequantize / ReLU):
+/// launch overhead plus streaming traffic.
+pub fn elementwise_time(device: &Device, bytes_read: u64, bytes_written: u64) -> f64 {
+    device.launch_overhead_s + (bytes_read + bytes_written) as f64 / device.dram_bytes_per_sec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_desc() -> KernelDesc {
+        KernelDesc {
+            grid_blocks: 68,
+            threads_per_block: 128,
+            smem_per_block: 16 * 1024,
+            regs_per_thread: 64,
+            macs_per_block: 1 << 20,
+            precision: Precision::TensorCoreInt8,
+            compute_efficiency: 0.5,
+            dram_bytes: 1 << 20,
+            coalescing_factor: 1.0,
+            smem_insts_per_block: 1 << 10,
+            per_block_overhead_cycles: 1000,
+            double_buffered: true,
+        }
+    }
+
+    #[test]
+    fn more_blocks_than_capacity_adds_waves() {
+        let d = Device::rtx2080ti();
+        let mut k = base_desc();
+        let t1 = k.time(&d);
+        assert_eq!(t1.waves, 1);
+        k.grid_blocks = 68 * t1.blocks_per_sm as u64 * 3;
+        let t3 = k.time(&d);
+        assert_eq!(t3.waves, 3);
+        assert!(t3.compute_s > 2.5 * t1.compute_s);
+    }
+
+    #[test]
+    fn wave_boundary_is_exact() {
+        let d = Device::rtx2080ti();
+        let mut k = base_desc();
+        let t1 = k.time(&d);
+        let capacity = d.sm_count as u64 * t1.blocks_per_sm as u64;
+        // Exactly one full wave...
+        k.grid_blocks = capacity;
+        let full = k.time(&d);
+        assert_eq!(full.waves, 1);
+        // ...and one block more costs a whole extra wave (tail
+        // quantization, the Fig. 11 mechanism).
+        k.grid_blocks = capacity + 1;
+        let spill = k.time(&d);
+        assert_eq!(spill.waves, 2);
+        assert!(spill.compute_s > full.compute_s * 1.2);
+    }
+
+    #[test]
+    fn tiny_grids_underutilize_the_gpu() {
+        // 1 block vs 68 blocks of the same shape: same wall time per wave
+        // (the 67 idle SMs do not help), so 68x the work for free.
+        let d = Device::rtx2080ti();
+        let mut k = base_desc();
+        k.grid_blocks = 1;
+        let t1 = k.time(&d);
+        k.grid_blocks = 68;
+        let t68 = k.time(&d);
+        assert!((t1.compute_s - t68.compute_s).abs() / t68.compute_s < 1e-9);
+    }
+
+    #[test]
+    fn double_buffering_hides_memory_time() {
+        let d = Device::rtx2080ti();
+        let mut k = base_desc();
+        // base_desc's 1 MiB of traffic is comparable to its compute time,
+        // which is where overlap matters most.
+        let overlapped = k.time(&d);
+        k.double_buffered = false;
+        let serial = k.time(&d);
+        assert!(serial.total_s > overlapped.total_s * 1.2);
+    }
+
+    #[test]
+    fn int4_halves_compute_time_at_same_macs() {
+        let d = Device::rtx2080ti();
+        let mut k = base_desc();
+        k.dram_bytes = 0x1000; // compute-bound
+        k.per_block_overhead_cycles = 100;
+        let t8 = k.time(&d);
+        k.precision = Precision::TensorCoreInt4;
+        let t4 = k.time(&d);
+        // Fixed per-block overhead keeps it just under exactly 2x.
+        let ratio = t8.compute_s / t4.compute_s;
+        assert!((1.6..=2.0).contains(&ratio), "got {ratio}");
+    }
+
+    #[test]
+    fn dp4a_is_four_times_slower_than_tensor_core() {
+        let d = Device::rtx2080ti();
+        let mut k = base_desc();
+        k.per_block_overhead_cycles = 0;
+        k.dram_bytes = 1;
+        let t8 = k.time(&d);
+        k.precision = Precision::Dp4aInt8;
+        let dp = k.time(&d);
+        assert!((dp.compute_s / t8.compute_s - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn poor_coalescing_inflates_memory_time() {
+        let d = Device::rtx2080ti();
+        let mut k = base_desc();
+        k.dram_bytes = 1 << 28;
+        k.double_buffered = false;
+        let good = k.time(&d);
+        k.coalescing_factor = 0.25;
+        let bad = k.time(&d);
+        assert!((bad.dram_s / good.dram_s - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn smem_pressure_can_dominate_blocks() {
+        let d = Device::rtx2080ti();
+        let mut k = base_desc();
+        k.macs_per_block = 1; // no MAC work
+        k.smem_insts_per_block = 1 << 20;
+        let t = k.time(&d);
+        let expected = (1u64 << 20) as f64 / 4.0 / d.clock_hz;
+        assert!(t.compute_s >= expected);
+    }
+
+    #[test]
+    fn elementwise_kernels_are_launch_plus_streaming() {
+        let d = Device::rtx2080ti();
+        let t = elementwise_time(&d, 1 << 20, 1 << 20);
+        assert!(t > d.launch_overhead_s);
+        assert!(t < d.launch_overhead_s + 1e-4);
+    }
+}

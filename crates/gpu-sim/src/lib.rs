@@ -1,0 +1,27 @@
+//! A Turing-like GPU substrate (the paper's RTX 2080 Ti target).
+//!
+//! The paper's GPU claims are about (a) Tensor Core vs `dp4a` arithmetic
+//! throughput, (b) how tiling interacts with the thread hierarchy and SM
+//! occupancy (Sec. 4.2, Fig. 11), and (c) memory-level behaviour: global
+//! coalescing, shared-memory access width, compute/copy overlap and fusion
+//! (Sec. 4.3–4.4). This crate provides exactly those pieces:
+//!
+//! * [`device`] — the resource model of a Turing TU102 (SMs, clocks, DRAM
+//!   bandwidth, shared memory, register file, per-precision MAC rates),
+//! * [`mma`] — functional fragment semantics for `mma.m8n8k16.s8` and
+//!   `mma.m8n8k32.s4`, the two Tensor Core shapes the paper uses,
+//! * [`memory`] — coalescing analysis for global loads and instruction-count
+//!   analysis for shared-memory access (the Fig. 5 LDS.128 vs 4x LDS.32
+//!   reordering),
+//! * [`kernel`] — a wave-quantized analytic timing model for a kernel launch
+//!   ([`kernel::KernelDesc`]), which is what makes batch-1 tail effects (and
+//!   therefore tiling auto-search) visible.
+
+pub mod device;
+pub mod kernel;
+pub mod memory;
+pub mod mma;
+
+pub use device::{Device, Precision};
+pub use kernel::{KernelDesc, KernelTime};
+pub use memory::{bank_conflict_degree, global_coalescing_factor, smem_load_insts, SmemWidth};

@@ -1,0 +1,191 @@
+//! Functional Tensor Core fragment semantics.
+//!
+//! The paper drives Tensor Cores through PTX `mma` instructions rather than
+//! the WMMA API (Sec. 2.3) because `mma` exposes the fragment registers.
+//! The two shapes used are `mma.m8n8k16.s8` (8-bit) and `mma.m8n8k32.s4`
+//! (4-bit), both accumulating into 32-bit. These functions compute exactly
+//! what one warp-wide instruction computes: `D = A x B + C` with A `8 x K`
+//! row-major and B `K x 8` column-major.
+
+/// `mma.m8n8k16.s8`: 8x16 i8 by 16x8 i8 into 8x8 i32.
+///
+/// `a` is row-major `8 x 16`, `b` is **column-major** `16 x 8` (i.e.
+/// `b[col * 16 + k]`), `c` is row-major `8 x 8`, updated in place.
+pub fn mma_m8n8k16_s8(a: &[i8; 128], b: &[i8; 128], c: &mut [i32; 64]) {
+    for row in 0..8 {
+        for col in 0..8 {
+            let mut acc = 0i32;
+            for k in 0..16 {
+                acc += a[row * 16 + k] as i32 * b[col * 16 + k] as i32;
+            }
+            c[row * 8 + col] += acc;
+        }
+    }
+}
+
+/// `mma.m8n8k32.s4`: 8x32 i4 by 32x8 i4 into 8x8 i32.
+///
+/// 4-bit operands are represented as `i8` values in `[-8, 7]` (checked in
+/// debug builds); the memory layout packs two per byte, which only the cost
+/// model observes.
+pub fn mma_m8n8k32_s4(a: &[i8; 256], b: &[i8; 256], c: &mut [i32; 64]) {
+    #[cfg(debug_assertions)]
+    {
+        for &v in a.iter().chain(b.iter()) {
+            debug_assert!((-8..=7).contains(&v), "4-bit operand out of range: {v}");
+        }
+    }
+    for row in 0..8 {
+        for col in 0..8 {
+            let mut acc = 0i32;
+            for k in 0..32 {
+                acc += a[row * 32 + k] as i32 * b[col * 32 + k] as i32;
+            }
+            c[row * 8 + col] += acc;
+        }
+    }
+}
+
+/// `mma.m8n8k128.b1` with XOR+POPC semantics: 8x128 bits by 128x8 bits into
+/// 8x8 i32 *mismatch counts*.
+///
+/// Turing's binary Tensor Core op computes `popcount(a XOR b)` per output —
+/// callers convert to the bipolar dot product via `k - 2*xor_count`
+/// ([`b1_dot_from_xor`]). The paper notes the 1-bit capability (Sec. 2.3)
+/// without building on it; this is the future-work hook.
+pub fn mma_m8n8k128_b1(a: &[u128; 8], b: &[u128; 8], c: &mut [i32; 64]) {
+    for row in 0..8 {
+        for col in 0..8 {
+            c[row * 8 + col] += (a[row] ^ b[col]).count_ones() as i32;
+        }
+    }
+}
+
+/// Converts an XOR-popcount into the +/-1 (bipolar) dot product over `k`
+/// bits: equal bits contribute +1, differing bits -1.
+#[inline]
+pub fn b1_dot_from_xor(xor_count: i32, k: i32) -> i32 {
+    k - 2 * xor_count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_times_matrix_is_matrix() {
+        // A = [I8 | 0] (8x16), B column-major with arbitrary top 8x8.
+        let mut a = [0i8; 128];
+        for i in 0..8 {
+            a[i * 16 + i] = 1;
+        }
+        let mut b = [0i8; 128];
+        for col in 0..8 {
+            for k in 0..8 {
+                b[col * 16 + k] = (col as i8) - (k as i8);
+            }
+        }
+        let mut c = [0i32; 64];
+        mma_m8n8k16_s8(&a, &b, &mut c);
+        for row in 0..8 {
+            for col in 0..8 {
+                assert_eq!(c[row * 8 + col], (col as i32) - (row as i32));
+            }
+        }
+    }
+
+    #[test]
+    fn accumulates_into_c() {
+        let a = [1i8; 128];
+        let b = [1i8; 128];
+        let mut c = [5i32; 64];
+        mma_m8n8k16_s8(&a, &b, &mut c);
+        assert!(c.iter().all(|&v| v == 5 + 16));
+        mma_m8n8k16_s8(&a, &b, &mut c);
+        assert!(c.iter().all(|&v| v == 5 + 32));
+    }
+
+    #[test]
+    fn int4_shape_reduces_over_32() {
+        let a = [-8i8; 256];
+        let b = [7i8; 256];
+        let mut c = [0i32; 64];
+        mma_m8n8k32_s4(&a, &b, &mut c);
+        assert!(c.iter().all(|&v| v == -8 * 7 * 32));
+    }
+
+    #[test]
+    #[should_panic(expected = "4-bit operand out of range")]
+    #[cfg(debug_assertions)]
+    fn int4_rejects_out_of_range() {
+        let a = [8i8; 256];
+        let b = [0i8; 256];
+        let mut c = [0i32; 64];
+        mma_m8n8k32_s4(&a, &b, &mut c);
+    }
+
+    #[test]
+    fn binary_mma_counts_mismatches_and_converts_to_bipolar() {
+        // All-equal rows -> zero mismatches -> dot = +k.
+        let a = [u128::MAX; 8];
+        let b = [u128::MAX; 8];
+        let mut c = [0i32; 64];
+        mma_m8n8k128_b1(&a, &b, &mut c);
+        assert!(c.iter().all(|&v| v == 0));
+        assert_eq!(b1_dot_from_xor(0, 128), 128);
+        // All-different -> 128 mismatches -> dot = -k.
+        let b = [0u128; 8];
+        let mut c = [0i32; 64];
+        mma_m8n8k128_b1(&a, &b, &mut c);
+        assert!(c.iter().all(|&v| v == 128));
+        assert_eq!(b1_dot_from_xor(128, 128), -128);
+    }
+
+    #[test]
+    fn binary_mma_matches_scalar_bipolar_dot() {
+        let mut state = 99u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state as u128) << 64 | state.wrapping_mul(31) as u128
+        };
+        let a: [u128; 8] = core::array::from_fn(|_| next());
+        let b: [u128; 8] = core::array::from_fn(|_| next());
+        let mut c = [0i32; 64];
+        mma_m8n8k128_b1(&a, &b, &mut c);
+        for row in 0..8 {
+            for col in 0..8 {
+                let mut dot = 0i32;
+                for bit in 0..128 {
+                    let av = if (a[row] >> bit) & 1 == 1 { 1 } else { -1 };
+                    let bv = if (b[col] >> bit) & 1 == 1 { 1 } else { -1 };
+                    dot += av * bv;
+                }
+                assert_eq!(b1_dot_from_xor(c[row * 8 + col], 128), dot);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_scalar_reference_on_random_fragments() {
+        // Simple LCG-driven fill to avoid a dev-dependency here.
+        let mut state = 12345u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as i64 % 256 - 128) as i8
+        };
+        let mut a = [0i8; 128];
+        let mut b = [0i8; 128];
+        a.iter_mut().for_each(|v| *v = next());
+        b.iter_mut().for_each(|v| *v = next());
+        let mut c = [0i32; 64];
+        mma_m8n8k16_s8(&a, &b, &mut c);
+        for row in 0..8 {
+            for col in 0..8 {
+                let want: i32 = (0..16)
+                    .map(|k| a[row * 16 + k] as i32 * b[col * 16 + k] as i32)
+                    .sum();
+                assert_eq!(c[row * 8 + col], want);
+            }
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Distinct convolution-layer shape tables for the three evaluated networks
+//! (paper Sec. 5.1).
+//!
+//! The paper benchmarks *representative, non-repetitive* convolution layers:
+//! 19 from ResNet-50 (Caffe Model Zoo), 19 from SCR-ResNet-50 (the CRNAS
+//! computation-reallocated variant with unusual channel counts) and 16 from
+//! DenseNet-121. Kernel performance depends only on layer geometry, so the
+//! tables below — reconstructed from the architectures — are the complete
+//! workload definition. Layer names follow the paper's `conv1..convN`
+//! numbering.
+
+use lowbit_tensor::ConvShape;
+
+/// One benchmark layer: paper-style name plus geometry (batch left at 1;
+/// scale with [`ConvShape::with_batch`]).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct LayerDef {
+    /// The paper's layer label (`conv1`, `conv2`, …).
+    pub name: &'static str,
+    /// Convolution geometry at batch 1.
+    pub shape: ConvShape,
+}
+
+const fn layer(
+    name: &'static str,
+    c_in: usize,
+    hw: usize,
+    c_out: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+) -> LayerDef {
+    LayerDef {
+        name,
+        shape: ConvShape {
+            batch: 1,
+            c_in,
+            h: hw,
+            w: hw,
+            c_out,
+            kh: k,
+            kw: k,
+            stride,
+            pad,
+        },
+    }
+}
+
+/// The 19 distinct convolution shapes of ResNet-50 (stem + the four stages'
+/// bottleneck 1x1/3x3/1x1 triplets and projection shortcuts).
+pub fn resnet50() -> Vec<LayerDef> {
+    vec![
+        layer("conv1", 3, 224, 64, 7, 2, 3),      // stem
+        layer("conv2", 64, 56, 64, 3, 1, 1),      // stage1 3x3
+        layer("conv3", 64, 56, 64, 1, 1, 0),      // stage1 1x1 reduce
+        layer("conv4", 64, 56, 256, 1, 1, 0),     // stage1 1x1 expand
+        layer("conv5", 256, 56, 64, 1, 1, 0),     // stage1 1x1 reduce (later blocks)
+        layer("conv6", 256, 56, 128, 1, 2, 0),    // stage2 projection reduce
+        layer("conv7", 128, 28, 128, 3, 1, 1),    // stage2 3x3
+        layer("conv8", 128, 28, 512, 1, 1, 0),    // stage2 1x1 expand
+        layer("conv9", 256, 56, 512, 1, 2, 0),    // stage2 shortcut projection
+        layer("conv10", 512, 28, 128, 1, 1, 0),   // stage2 1x1 reduce
+        layer("conv11", 512, 28, 256, 1, 2, 0),   // stage3 projection reduce
+        layer("conv12", 256, 14, 256, 3, 1, 1),   // stage3 3x3
+        layer("conv13", 256, 14, 1024, 1, 1, 0),  // stage3 1x1 expand
+        layer("conv14", 512, 28, 1024, 1, 2, 0),  // stage3 shortcut projection
+        layer("conv15", 1024, 14, 256, 1, 1, 0),  // stage3 1x1 reduce
+        layer("conv16", 1024, 14, 512, 1, 2, 0),  // stage4 projection reduce
+        layer("conv17", 512, 7, 512, 3, 1, 1),    // stage4 3x3
+        layer("conv18", 512, 7, 2048, 1, 1, 0),   // stage4 1x1 expand
+        layer("conv19", 2048, 7, 512, 1, 1, 0),   // stage4 1x1 reduce
+    ]
+}
+
+/// SCR-ResNet-50: the CRNAS-searched variant. Computation is reallocated
+/// across stages, producing channel counts off the power-of-two grid (the
+/// paper highlights shapes like 736 channels at 14x14) that sit outside
+/// TensorRT's tuning radar.
+pub fn scr_resnet50() -> Vec<LayerDef> {
+    vec![
+        layer("conv1", 3, 224, 48, 7, 2, 3),
+        layer("conv2", 48, 56, 40, 3, 1, 1),
+        layer("conv3", 48, 56, 40, 1, 1, 0),
+        layer("conv4", 40, 56, 160, 1, 1, 0),
+        layer("conv5", 160, 56, 40, 1, 1, 0),
+        layer("conv6", 160, 56, 88, 1, 2, 0),
+        layer("conv7", 88, 28, 88, 3, 1, 1),
+        layer("conv8", 88, 28, 352, 1, 1, 0),
+        layer("conv9", 160, 56, 352, 1, 2, 0),
+        layer("conv10", 352, 28, 88, 1, 1, 0),
+        layer("conv11", 352, 28, 184, 1, 2, 0),
+        layer("conv12", 184, 14, 184, 3, 1, 1),
+        layer("conv13", 184, 14, 736, 1, 1, 0),
+        layer("conv14", 352, 28, 736, 1, 2, 0),
+        layer("conv15", 736, 14, 184, 1, 1, 0),
+        layer("conv16", 736, 14, 648, 1, 2, 0),
+        layer("conv17", 648, 7, 648, 3, 1, 1),
+        layer("conv18", 648, 7, 2592, 1, 1, 0),
+        layer("conv19", 2592, 7, 648, 1, 1, 0),
+    ]
+}
+
+/// The 16 representative DenseNet-121 shapes: per dense stage the 1x1
+/// bottleneck (growth rate 32, bottleneck 128) at its smallest and largest
+/// input channel count, the 3x3 layer, and the transition convs. Includes
+/// the paper's example `1x14x14x736` input.
+pub fn densenet121() -> Vec<LayerDef> {
+    vec![
+        layer("conv1", 3, 224, 64, 7, 2, 3),     // stem
+        layer("conv2", 64, 56, 128, 1, 1, 0),    // block1 bottleneck (first)
+        layer("conv3", 128, 56, 32, 3, 1, 1),    // block1 3x3
+        layer("conv4", 224, 56, 128, 1, 1, 0),   // block1 bottleneck (mid)
+        layer("conv5", 256, 56, 128, 1, 1, 0),   // transition1
+        layer("conv6", 128, 28, 128, 1, 1, 0),   // block2 bottleneck (first)
+        layer("conv7", 128, 28, 32, 3, 1, 1),    // block2 3x3
+        layer("conv8", 352, 28, 128, 1, 1, 0),   // block2 bottleneck (mid)
+        layer("conv9", 512, 28, 256, 1, 1, 0),   // transition2
+        layer("conv10", 256, 14, 128, 1, 1, 0),  // block3 bottleneck (first)
+        layer("conv11", 128, 14, 32, 3, 1, 1),   // block3 3x3
+        layer("conv12", 640, 14, 128, 1, 1, 0),  // block3 bottleneck (mid)
+        layer("conv13", 1024, 14, 512, 1, 1, 0), // transition3
+        layer("conv14", 512, 7, 128, 1, 1, 0),   // block4 bottleneck (first)
+        layer("conv15", 736, 14, 128, 1, 1, 0),  // block3 bottleneck (the paper's example)
+        layer("conv16", 896, 7, 128, 1, 1, 0),   // block4 bottleneck (late)
+    ]
+}
+
+/// The full ResNet-50 convolution stack: every distinct shape paired with
+/// how many times it executes in one forward pass (bottleneck blocks repeat
+/// 3/4/6/3 times across the four stages). Summing `shape.macs() * count`
+/// gives the network's true convolution work — used by the end-to-end
+/// estimate, which the per-figure tables (distinct shapes only) cannot
+/// provide.
+pub fn resnet50_with_counts() -> Vec<(LayerDef, usize)> {
+    let l = resnet50();
+    let by_name = |name: &str| *l.iter().find(|d| d.name == name).unwrap();
+    vec![
+        (by_name("conv1"), 1),  // stem
+        // Stage 1 (3 blocks): first block projects from 64, later from 256.
+        (by_name("conv3"), 1),  // 64 -> 64 reduce (block 1)
+        (by_name("conv2"), 3),  // 3x3 in every block
+        (by_name("conv4"), 4),  // 64 -> 256: 3 expands + the block-1 shortcut
+        (by_name("conv5"), 2),  // 256 -> 64 reduce (blocks 2-3)
+        // Stage 2 (4 blocks).
+        (by_name("conv6"), 1),  // 256 -> 128 s2 reduce (block 1)
+        (by_name("conv9"), 1),  // 256 -> 512 s2 shortcut
+        (by_name("conv7"), 4),  // 3x3
+        (by_name("conv8"), 4),  // 128 -> 512 expand
+        (by_name("conv10"), 3), // 512 -> 128 reduce (blocks 2-4)
+        // Stage 3 (6 blocks).
+        (by_name("conv11"), 1), // 512 -> 256 s2 reduce
+        (by_name("conv14"), 1), // 512 -> 1024 s2 shortcut
+        (by_name("conv12"), 6), // 3x3
+        (by_name("conv13"), 6), // 256 -> 1024 expand
+        (by_name("conv15"), 5), // 1024 -> 256 reduce
+        // Stage 4 (3 blocks).
+        (by_name("conv16"), 1), // 1024 -> 512 s2 reduce
+        (by_name("conv17"), 3), // 3x3
+        (by_name("conv18"), 3), // 512 -> 2048 expand
+        (by_name("conv19"), 2), // 2048 -> 512 reduce
+    ]
+}
+
+/// All 3x3 stride-1 layers of a table (the Winograd-applicable subset used
+/// by Fig. 8).
+pub fn winograd_layers(layers: &[LayerDef]) -> Vec<LayerDef> {
+    layers
+        .iter()
+        .copied()
+        .filter(|l| l.shape.winograd_applicable())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_sizes_match_the_paper_figures() {
+        assert_eq!(resnet50().len(), 19, "Fig. 7 has 19 ResNet-50 layers");
+        assert_eq!(scr_resnet50().len(), 19, "Fig. 15 has 19 SCR layers");
+        assert_eq!(densenet121().len(), 16, "Fig. 14 has 16 DenseNet layers");
+    }
+
+    #[test]
+    fn resnet_shapes_chain_spatially() {
+        // Spot-check the downsampling chain: 224 -> 112 -> ... -> 7.
+        let l = resnet50();
+        assert_eq!(l[0].shape.out_h(), 112); // stem (pooling halves it again)
+        assert_eq!(l[1].shape.out_h(), 56);
+        assert_eq!(l[16].shape.out_h(), 7);
+        // Every layer must have a positive output.
+        for layer in &l {
+            assert!(layer.shape.out_h() > 0 && layer.shape.out_w() > 0);
+        }
+    }
+
+    #[test]
+    fn conv1_and_conv3_are_the_small_layers() {
+        // The paper singles out conv1/conv3 as the poorly-performing small
+        // layers ("1x1 kernel with 64 channels" for conv3).
+        let l = resnet50();
+        assert_eq!(l[2].name, "conv3");
+        assert_eq!(l[2].shape.c_in, 64);
+        assert_eq!(l[2].shape.kh, 1);
+    }
+
+    #[test]
+    fn scr_has_off_grid_channel_counts() {
+        let l = scr_resnet50();
+        assert!(l.iter().any(|l| l.shape.c_in == 736));
+        // Channel counts not powers of two dominate.
+        let odd = l
+            .iter()
+            .filter(|l| !l.shape.c_out.is_power_of_two())
+            .count();
+        assert!(odd > 10);
+    }
+
+    #[test]
+    fn densenet_contains_the_papers_example_layer() {
+        // "input size for conv15 in DenseNet-121 is 1x14x14x736".
+        let l = densenet121();
+        let conv15 = l.iter().find(|l| l.name == "conv15").unwrap();
+        assert_eq!(
+            (conv15.shape.c_in, conv15.shape.h, conv15.shape.w),
+            (736, 14, 14)
+        );
+    }
+
+    #[test]
+    fn winograd_subset_is_exactly_the_3x3_stride1_layers() {
+        let wg = winograd_layers(&resnet50());
+        assert!(wg.iter().all(|l| l.shape.kh == 3 && l.shape.stride == 1));
+        assert_eq!(wg.len(), 4); // conv2, conv7, conv12, conv17
+    }
+
+    #[test]
+    fn full_resnet_conv_work_is_in_the_published_band() {
+        // ResNet-50's convolutions total ~3.8 GMACs at 224x224 (the usual
+        // "4 GFLOPs" figure counts 2 ops per MAC and includes the FC layer).
+        let total: u64 = resnet50_with_counts()
+            .iter()
+            .map(|(l, c)| l.shape.macs() * *c as u64)
+            .sum();
+        let gmacs = total as f64 / 1e9;
+        assert!(
+            (3.2..=4.3).contains(&gmacs),
+            "ResNet-50 conv work should be ~3.8 GMAC, got {gmacs:.2}"
+        );
+        // 52 of the standard network's 53 convolutions: the stage-4
+        // projection shortcut (1024 -> 2048, s2) has no entry in the
+        // distinct-shape table (the paper's 19 shapes omit it too).
+        let layers: usize = resnet50_with_counts().iter().map(|(_, c)| c).sum();
+        assert_eq!(layers, 52);
+    }
+
+    #[test]
+    fn all_tables_have_unique_names_and_shapes() {
+        for table in [resnet50(), scr_resnet50(), densenet121()] {
+            for (i, a) in table.iter().enumerate() {
+                for b in &table[i + 1..] {
+                    assert_ne!(a.name, b.name);
+                    assert_ne!(a.shape, b.shape, "{} duplicates {}", a.name, b.name);
+                }
+            }
+        }
+    }
+}

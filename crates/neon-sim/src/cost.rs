@@ -1,0 +1,345 @@
+//! Cortex-A53-like cost model.
+//!
+//! The model has two in-order pipes, mirroring the dual-issue A53:
+//!
+//! * **NEON pipe** — every vector instruction occupies one issue slot. This is
+//!   the paper's own throughput assumption (Sec. 3.3/3.4: `MLA` moves 16 lanes
+//!   per instruction and is therefore "2x faster" than `SMLAL`'s 8 lanes), and
+//!   it is what makes the published per-bit-width ratios meaningful.
+//! * **Load/store pipe** — every memory instruction occupies
+//!   [`CostModel::ls_slots`] issue slots, plus a *streaming stall* term of
+//!   [`CostModel::stall_per_byte`] cycles per byte transferred. The stall term
+//!   stands in for the L1-miss/DRAM behaviour of the Raspberry Pi 3B, whose
+//!   in-order core cannot hide misses; it is what pushes the lowest bit widths
+//!   toward memory-bound (the paper's 2-bit speedup is 1.6x, not the 4x a pure
+//!   instruction count would predict).
+//!
+//! A kernel's modeled time is `max(neon, ls) + overlap_penalty * min(neon, ls)`
+//! per stage: the two pipes dual-issue, but imperfectly
+//! ([`CostModel::overlap_penalty`] is the calibrated imperfection).
+
+use crate::inst::Inst;
+
+/// Broad instruction classes for accounting.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum InstClass {
+    /// `LD1`/`LD4R` — load pipe.
+    Load,
+    /// `ST1` — store pipe (shared with loads on the A53).
+    Store,
+    /// Multiply-accumulate vector ops (`SMLAL`, `MLA`).
+    NeonMac,
+    /// Other vector ALU ops (`SADDW`, `SSHLL`, `AND`, `CNT`, `UADALP`, `ADD`).
+    NeonAlu,
+    /// Vector/general moves (`MOV`, `MOVI`) — the register-spill traffic of
+    /// Alg. 1.
+    NeonMov,
+}
+
+impl InstClass {
+    /// Classifies an instruction.
+    pub fn of(inst: &Inst) -> InstClass {
+        match inst {
+            Inst::Ld1 { .. }
+            | Inst::Ld1B8 { .. }
+            | Inst::Ld4r { .. }
+            | Inst::Ld4rH { .. }
+            | Inst::Ld4rW { .. } => InstClass::Load,
+            Inst::St1 { .. } => InstClass::Store,
+            Inst::Smlal8 { .. }
+            | Inst::Smull8 { .. }
+            | Inst::Smlal16 { .. }
+            | Inst::Mla8 { .. }
+            | Inst::Mul8 { .. }
+            | Inst::Sdot { .. } => InstClass::NeonMac,
+            Inst::Saddw8 { .. }
+            | Inst::Saddw16 { .. }
+            | Inst::Sshll8 { .. }
+            | Inst::And { .. }
+            | Inst::Cnt { .. }
+            | Inst::Uadalp { .. }
+            | Inst::Add32 { .. }
+            | Inst::Add16 { .. }
+            | Inst::Sub16 { .. } => InstClass::NeonAlu,
+            Inst::MoviZero { .. } | Inst::MovDToX { .. } | Inst::MovXToD { .. } => {
+                InstClass::NeonMov
+            }
+        }
+    }
+}
+
+/// Tunable timing parameters. See the module docs for the pipe model.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct CostModel {
+    /// Issue slots per NEON instruction (uniform across the subset).
+    pub neon_slots: f64,
+    /// Issue slots per memory instruction.
+    pub ls_slots: f64,
+    /// Streaming stall cycles per byte transferred by loads/stores.
+    pub stall_per_byte: f64,
+    /// Fraction of the shorter pipe's time that fails to overlap with the
+    /// longer pipe (0 = perfect dual issue, 1 = fully serial).
+    pub overlap_penalty: f64,
+    /// Cycles per byte for bulk data-movement stages (im2col, pack, requant
+    /// store) executed with scalar/vector copy loops.
+    pub bulk_move_per_byte: f64,
+    /// Core clock in Hz, for converting cycles to wall time.
+    pub clock_hz: f64,
+}
+
+impl CostModel {
+    /// Combines NEON-pipe and LS-pipe occupancies into modeled cycles.
+    #[inline]
+    pub fn combine(&self, neon_cycles: f64, ls_cycles: f64) -> f64 {
+        let hi = neon_cycles.max(ls_cycles);
+        let lo = neon_cycles.min(ls_cycles);
+        hi + self.overlap_penalty * lo
+    }
+
+    /// LS-pipe occupancy for `insts` memory instructions moving `bytes` bytes.
+    #[inline]
+    pub fn ls_cycles(&self, insts: u64, bytes: u64) -> f64 {
+        insts as f64 * self.ls_slots + bytes as f64 * self.stall_per_byte
+    }
+
+    /// Converts cycles to seconds.
+    #[inline]
+    pub fn seconds(&self, cycles: f64) -> f64 {
+        cycles / self.clock_hz
+    }
+
+    /// Converts cycles to milliseconds.
+    #[inline]
+    pub fn millis(&self, cycles: f64) -> f64 {
+        self.seconds(cycles) * 1e3
+    }
+}
+
+/// The Raspberry Pi 3B configuration of Tab. 1: a 1.2 GHz Cortex-A53.
+///
+/// The four calibration constants (`ls_slots`, `stall_per_byte`,
+/// `overlap_penalty`, `bulk_move_per_byte`) were fixed once against the
+/// paper's Fig. 7 speedup band and are not per-experiment knobs; see
+/// EXPERIMENTS.md.
+pub struct CortexA53;
+
+impl CortexA53 {
+    /// Core clock of the Raspberry Pi 3B.
+    pub const CLOCK_HZ: f64 = 1.2e9;
+
+    /// The calibrated cost model.
+    ///
+    /// Calibration rationale (matches the paper's measured regime; see
+    /// EXPERIMENTS.md for the resulting Fig. 7/8/9 bands):
+    /// * the load/store pipe sits just below the NEON pipe for the `SMLAL`
+    ///   schemes and just above it for the `MLA` scheme, so 2- and 3-bit are
+    ///   lightly load-limited (the paper's near-identical 2/3-bit and
+    ///   4/5-bit speedups) while 6–8 bit are drain-limited;
+    /// * bulk reshaping stages (im2col's strided gather, packing's scatter,
+    ///   requantize) cost 0.75 cycles/byte — the fixed per-layer overhead
+    ///   that compresses the 2-bit inner-loop advantage (~2.7x) to the
+    ///   measured ~1.6–2.1x layer speedups.
+    pub fn cost_model() -> CostModel {
+        CostModel {
+            neon_slots: 1.0,
+            ls_slots: 2.0,
+            stall_per_byte: 0.1,
+            overlap_penalty: 0.15,
+            bulk_move_per_byte: 0.75,
+            clock_hz: Self::CLOCK_HZ,
+        }
+    }
+}
+
+/// A Cortex-A72-class model (extension): an out-of-order core with a
+/// 128-bit NEON datapath and ample load bandwidth. Not a paper target —
+/// provided to show how the speedup profile shifts on a bigger core (the
+/// drain overhead matters relatively more once loads stop being the
+/// constraint).
+pub struct CortexA72;
+
+impl CortexA72 {
+    /// Typical A72 clock in deployment.
+    pub const CLOCK_HZ: f64 = 1.8e9;
+
+    /// The A72-like cost model.
+    pub fn cost_model() -> CostModel {
+        CostModel {
+            neon_slots: 1.0,
+            ls_slots: 1.0,
+            stall_per_byte: 0.03,
+            overlap_penalty: 0.05,
+            bulk_move_per_byte: 0.35,
+            clock_hz: Self::CLOCK_HZ,
+        }
+    }
+}
+
+/// Per-class instruction counters plus transferred bytes.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct ClassCounts {
+    /// Load instructions.
+    pub loads: u64,
+    /// Store instructions.
+    pub stores: u64,
+    /// Multiply-accumulate vector instructions.
+    pub neon_mac: u64,
+    /// Other vector ALU instructions.
+    pub neon_alu: u64,
+    /// Move instructions.
+    pub neon_mov: u64,
+    /// Bytes loaded.
+    pub load_bytes: u64,
+    /// Bytes stored.
+    pub store_bytes: u64,
+}
+
+impl ClassCounts {
+    /// Total instruction count.
+    pub fn total(&self) -> u64 {
+        self.loads + self.stores + self.neon_mac + self.neon_alu + self.neon_mov
+    }
+
+    /// Total NEON-pipe instruction count.
+    pub fn neon_total(&self) -> u64 {
+        self.neon_mac + self.neon_alu + self.neon_mov
+    }
+
+    /// Total memory instruction count.
+    pub fn mem_total(&self) -> u64 {
+        self.loads + self.stores
+    }
+
+    /// Total bytes transferred.
+    pub fn bytes_total(&self) -> u64 {
+        self.load_bytes + self.store_bytes
+    }
+
+    /// Records one instruction.
+    pub fn record(&mut self, inst: Inst) {
+        match InstClass::of(&inst) {
+            InstClass::Load => {
+                self.loads += 1;
+                self.load_bytes += inst.bytes() as u64;
+            }
+            InstClass::Store => {
+                self.stores += 1;
+                self.store_bytes += inst.bytes() as u64;
+            }
+            InstClass::NeonMac => self.neon_mac += 1,
+            InstClass::NeonAlu => self.neon_alu += 1,
+            InstClass::NeonMov => self.neon_mov += 1,
+        }
+    }
+
+    /// Adds `other` scaled by `times` (for loop trip-count expansion).
+    pub fn add_scaled(&mut self, other: &ClassCounts, times: u64) {
+        self.loads += other.loads * times;
+        self.stores += other.stores * times;
+        self.neon_mac += other.neon_mac * times;
+        self.neon_alu += other.neon_alu * times;
+        self.neon_mov += other.neon_mov * times;
+        self.load_bytes += other.load_bytes * times;
+        self.store_bytes += other.store_bytes * times;
+    }
+}
+
+/// Statistics accumulated by the interpreter: class counts, convertible to
+/// modeled cycles under a [`CostModel`].
+#[derive(Clone, Debug, Default)]
+pub struct PipelineStats {
+    /// Instruction class counters.
+    pub counts: ClassCounts,
+    cost: Option<CostModel>,
+}
+
+impl PipelineStats {
+    /// Records an executed instruction under `model`.
+    pub fn record(&mut self, inst: Inst, model: &CostModel) {
+        self.counts.record(inst);
+        self.cost = Some(*model);
+    }
+
+    /// Modeled cycles for everything recorded so far.
+    pub fn cycles(&self) -> f64 {
+        let model = self.cost.unwrap_or_else(CortexA53::cost_model);
+        let neon = self.counts.neon_total() as f64 * model.neon_slots;
+        let ls = model.ls_cycles(self.counts.mem_total(), self.counts.bytes_total());
+        model.combine(neon, ls)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Half;
+
+    #[test]
+    fn classification_covers_the_subset() {
+        assert_eq!(
+            InstClass::of(&Inst::Ld4r { vt: 0, addr: 0 }),
+            InstClass::Load
+        );
+        assert_eq!(InstClass::of(&Inst::St1 { vt: 0, addr: 0 }), InstClass::Store);
+        assert_eq!(
+            InstClass::of(&Inst::Smlal8 { vd: 0, vn: 1, vm: 2, half: Half::Low }),
+            InstClass::NeonMac
+        );
+        assert_eq!(
+            InstClass::of(&Inst::Saddw16 { vd: 0, vn: 1, vm: 2, half: Half::Low }),
+            InstClass::NeonAlu
+        );
+        assert_eq!(
+            InstClass::of(&Inst::MovDToX { xd: 0, vn: 1, lane: 0 }),
+            InstClass::NeonMov
+        );
+    }
+
+    #[test]
+    fn combine_rewards_balanced_pipes() {
+        let m = CortexA53::cost_model();
+        // Fully NEON-bound: LS time hides under the NEON pipe.
+        let t1 = m.combine(100.0, 10.0);
+        assert!(t1 < 110.0 && t1 > 100.0);
+        // Serial execution would be 110; dual issue must beat it.
+        assert!(t1 < 0.99 * 110.0);
+    }
+
+    #[test]
+    fn ls_cycles_scale_with_bytes_and_insts() {
+        let m = CortexA53::cost_model();
+        let base = m.ls_cycles(10, 0);
+        assert_eq!(base, 10.0 * m.ls_slots);
+        assert!((m.ls_cycles(10, 600) - (base + 600.0 * m.stall_per_byte)).abs() < 1e-9);
+        assert!(m.ls_cycles(10, 600) > base);
+    }
+
+    #[test]
+    fn class_counts_scaled_addition() {
+        let mut inner = ClassCounts::default();
+        inner.record(Inst::Ld1 { vt: 0, addr: 0 });
+        inner.record(Inst::Mla8 { vd: 0, vn: 1, vm: 2 });
+        let mut total = ClassCounts::default();
+        total.add_scaled(&inner, 1000);
+        assert_eq!(total.loads, 1000);
+        assert_eq!(total.neon_mac, 1000);
+        assert_eq!(total.load_bytes, 16_000);
+        assert_eq!(total.total(), 2000);
+    }
+
+    #[test]
+    fn a72_is_uniformly_faster_but_same_shape() {
+        let a53 = CortexA53::cost_model();
+        let a72 = CortexA72::cost_model();
+        assert!(a72.clock_hz > a53.clock_hz);
+        assert!(a72.bulk_move_per_byte < a53.bulk_move_per_byte);
+        // Same pipe structure: a pure-NEON stage costs the same cycles.
+        assert_eq!(a72.combine(100.0, 0.0), a53.combine(100.0, 0.0) / 1.0);
+    }
+
+    #[test]
+    fn seconds_conversion_uses_clock() {
+        let m = CortexA53::cost_model();
+        assert!((m.millis(1.2e9) - 1000.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,183 @@
+//! AArch64-style disassembly of the modeled subset — useful when inspecting
+//! emitted kernels (`program_listing`) and in test failure output.
+
+use crate::cost::ClassCounts;
+use crate::inst::{Half, Inst};
+use std::fmt;
+
+impl Inst {
+    /// The instruction's A64 mnemonic (with the `2` suffix for high-half
+    /// forms).
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Inst::Ld1 { .. } | Inst::Ld1B8 { .. } => "ld1",
+            Inst::Ld4r { .. } | Inst::Ld4rH { .. } | Inst::Ld4rW { .. } => "ld4r",
+            Inst::St1 { .. } => "st1",
+            Inst::Smlal8 { half: Half::Low, .. } | Inst::Smlal16 { half: Half::Low, .. } => {
+                "smlal"
+            }
+            Inst::Smlal8 { half: Half::High, .. } | Inst::Smlal16 { half: Half::High, .. } => {
+                "smlal2"
+            }
+            Inst::Smull8 { half: Half::Low, .. } => "smull",
+            Inst::Smull8 { half: Half::High, .. } => "smull2",
+            Inst::Mla8 { .. } => "mla",
+            Inst::Mul8 { .. } => "mul",
+            Inst::Saddw8 { half: Half::Low, .. } | Inst::Saddw16 { half: Half::Low, .. } => {
+                "saddw"
+            }
+            Inst::Saddw8 { half: Half::High, .. } | Inst::Saddw16 { half: Half::High, .. } => {
+                "saddw2"
+            }
+            Inst::Sshll8 { half: Half::Low, .. } => "sshll",
+            Inst::Sshll8 { half: Half::High, .. } => "sshll2",
+            Inst::MoviZero { .. } => "movi",
+            Inst::MovDToX { .. } | Inst::MovXToD { .. } => "mov",
+            Inst::And { .. } => "and",
+            Inst::Cnt { .. } => "cnt",
+            Inst::Uadalp { .. } => "uadalp",
+            Inst::Add32 { .. } | Inst::Add16 { .. } => "add",
+            Inst::Sub16 { .. } => "sub",
+            Inst::Sdot { .. } => "sdot",
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = self.mnemonic();
+        match *self {
+            Inst::Ld1 { vt, addr } => write!(f, "{m} {{v{vt}.16b}}, [#{addr}]"),
+            Inst::Ld1B8 { vt, addr } => write!(f, "{m} {{v{vt}.8b}}, [#{addr}]"),
+            Inst::Ld4r { vt, addr } => {
+                write!(f, "{m} {{v{vt}.16b-v{}.16b}}, [#{addr}]", vt + 3)
+            }
+            Inst::Ld4rH { vt, addr } => {
+                write!(f, "{m} {{v{vt}.8h-v{}.8h}}, [#{addr}]", vt + 3)
+            }
+            Inst::Ld4rW { vt, addr } => {
+                write!(f, "{m} {{v{vt}.4s-v{}.4s}}, [#{addr}]", vt + 3)
+            }
+            Inst::St1 { vt, addr } => write!(f, "{m} {{v{vt}.16b}}, [#{addr}]"),
+            Inst::Smlal8 { vd, vn, vm, .. } | Inst::Smull8 { vd, vn, vm, .. } => {
+                write!(f, "{m} v{vd}.8h, v{vn}.8b, v{vm}.8b")
+            }
+            Inst::Smlal16 { vd, vn, vm, .. } => {
+                write!(f, "{m} v{vd}.4s, v{vn}.4h, v{vm}.4h")
+            }
+            Inst::Mla8 { vd, vn, vm } | Inst::Mul8 { vd, vn, vm } => {
+                write!(f, "{m} v{vd}.16b, v{vn}.16b, v{vm}.16b")
+            }
+            Inst::Saddw8 { vd, vn, vm, .. } => {
+                write!(f, "{m} v{vd}.8h, v{vn}.8h, v{vm}.8b")
+            }
+            Inst::Saddw16 { vd, vn, vm, .. } => {
+                write!(f, "{m} v{vd}.4s, v{vn}.4s, v{vm}.4h")
+            }
+            Inst::Sshll8 { vd, vn, .. } => write!(f, "{m} v{vd}.8h, v{vn}.8b, #0"),
+            Inst::MoviZero { vd } => write!(f, "{m} v{vd}.16b, #0"),
+            Inst::MovDToX { xd, vn, lane } => write!(f, "{m} x{xd}, v{vn}.d[{lane}]"),
+            Inst::MovXToD { vd, lane, xn } => write!(f, "{m} v{vd}.d[{lane}], x{xn}"),
+            Inst::And { vd, vn, vm } | Inst::Add32 { vd, vn, vm } => {
+                write!(f, "{m} v{vd}.16b, v{vn}.16b, v{vm}.16b")
+            }
+            Inst::Add16 { vd, vn, vm } | Inst::Sub16 { vd, vn, vm } => {
+                write!(f, "{m} v{vd}.8h, v{vn}.8h, v{vm}.8h")
+            }
+            Inst::Cnt { vd, vn } => write!(f, "{m} v{vd}.16b, v{vn}.16b"),
+            Inst::Uadalp { vd, vn } => write!(f, "{m} v{vd}.8h, v{vn}.16b"),
+            Inst::Sdot { vd, vn, vm } => write!(f, "{m} v{vd}.4s, v{vn}.16b, v{vm}.16b"),
+        }
+    }
+}
+
+/// Renders a whole program with line numbers, plus a class-count footer —
+/// the fastest way to inspect what a kernel builder emitted.
+pub fn program_listing(program: &[Inst]) -> String {
+    let mut out = String::new();
+    for (i, inst) in program.iter().enumerate() {
+        out.push_str(&format!("{i:5}: {inst}\n"));
+    }
+    let mut counts = ClassCounts::default();
+    for &inst in program {
+        counts.record(inst);
+    }
+    out.push_str(&format!(
+        "; {} insts: {} loads ({} B), {} stores, {} mac, {} alu, {} mov\n",
+        counts.total(),
+        counts.loads,
+        counts.load_bytes,
+        counts.stores,
+        counts.neon_mac,
+        counts.neon_alu,
+        counts.neon_mov
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnemonics_distinguish_half_forms() {
+        let lo = Inst::Smlal8 { vd: 10, vn: 0, vm: 2, half: Half::Low };
+        let hi = Inst::Smlal8 { vd: 11, vn: 0, vm: 2, half: Half::High };
+        assert_eq!(lo.mnemonic(), "smlal");
+        assert_eq!(hi.mnemonic(), "smlal2");
+        assert_eq!(lo.to_string(), "smlal v10.8h, v0.8b, v2.8b");
+    }
+
+    #[test]
+    fn loads_show_register_ranges() {
+        let ld = Inst::Ld4r { vt: 2, addr: 64 };
+        assert_eq!(ld.to_string(), "ld4r {v2.16b-v5.16b}, [#64]");
+        let sdot = Inst::Sdot { vd: 16, vn: 0, vm: 4 };
+        assert_eq!(sdot.to_string(), "sdot v16.4s, v0.16b, v4.16b");
+    }
+
+    #[test]
+    fn listing_counts_are_consistent() {
+        let prog = vec![
+            Inst::Ld1 { vt: 0, addr: 0 },
+            Inst::Smlal8 { vd: 10, vn: 0, vm: 2, half: Half::Low },
+            Inst::St1 { vt: 10, addr: 32 },
+        ];
+        let listing = program_listing(&prog);
+        assert!(listing.contains("    0: ld1"));
+        assert!(listing.contains("3 insts: 1 loads (16 B), 1 stores, 1 mac, 0 alu, 0 mov"));
+    }
+
+    #[test]
+    fn every_instruction_renders() {
+        // Smoke: no panic / empty output for any variant.
+        let all = [
+            Inst::Ld1 { vt: 0, addr: 0 },
+            Inst::Ld1B8 { vt: 0, addr: 0 },
+            Inst::Ld4r { vt: 0, addr: 0 },
+            Inst::Ld4rH { vt: 0, addr: 0 },
+            Inst::Ld4rW { vt: 0, addr: 0 },
+            Inst::St1 { vt: 0, addr: 0 },
+            Inst::Smlal8 { vd: 0, vn: 1, vm: 2, half: Half::Low },
+            Inst::Smull8 { vd: 0, vn: 1, vm: 2, half: Half::High },
+            Inst::Smlal16 { vd: 0, vn: 1, vm: 2, half: Half::Low },
+            Inst::Mla8 { vd: 0, vn: 1, vm: 2 },
+            Inst::Mul8 { vd: 0, vn: 1, vm: 2 },
+            Inst::Saddw8 { vd: 0, vn: 1, vm: 2, half: Half::High },
+            Inst::Saddw16 { vd: 0, vn: 1, vm: 2, half: Half::Low },
+            Inst::Sshll8 { vd: 0, vn: 1, half: Half::Low },
+            Inst::MoviZero { vd: 0 },
+            Inst::MovDToX { xd: 0, vn: 1, lane: 0 },
+            Inst::MovXToD { vd: 0, lane: 1, xn: 2 },
+            Inst::And { vd: 0, vn: 1, vm: 2 },
+            Inst::Cnt { vd: 0, vn: 1 },
+            Inst::Uadalp { vd: 0, vn: 1 },
+            Inst::Add32 { vd: 0, vn: 1, vm: 2 },
+            Inst::Sdot { vd: 0, vn: 1, vm: 2 },
+        ];
+        for inst in all {
+            assert!(!inst.to_string().is_empty());
+            assert!(!inst.mnemonic().is_empty());
+        }
+    }
+}

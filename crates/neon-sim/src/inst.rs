@@ -1,0 +1,314 @@
+//! The NEON instruction subset and the 128-bit vector register type.
+//!
+//! Addressing is resolved at kernel-build time: every memory instruction
+//! carries an absolute byte address into the machine's flat memory. This keeps
+//! the interpreter free of general-purpose address arithmetic while preserving
+//! the data movement and cost structure of the real kernels (which use
+//! post-incremented pointer registers).
+
+/// A 128-bit NEON vector register, stored little-endian like AArch64.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct VReg(pub [u8; 16]);
+
+impl VReg {
+    /// Signed byte lane `i` (`.b[i]`), `i < 16`.
+    #[inline]
+    pub fn i8_lane(&self, i: usize) -> i8 {
+        self.0[i] as i8
+    }
+
+    /// Sets signed byte lane `i`.
+    #[inline]
+    pub fn set_i8_lane(&mut self, i: usize, v: i8) {
+        self.0[i] = v as u8;
+    }
+
+    /// Signed halfword lane `i` (`.h[i]`), `i < 8`.
+    #[inline]
+    pub fn i16_lane(&self, i: usize) -> i16 {
+        i16::from_le_bytes([self.0[2 * i], self.0[2 * i + 1]])
+    }
+
+    /// Sets signed halfword lane `i`.
+    #[inline]
+    pub fn set_i16_lane(&mut self, i: usize, v: i16) {
+        let b = v.to_le_bytes();
+        self.0[2 * i] = b[0];
+        self.0[2 * i + 1] = b[1];
+    }
+
+    /// Signed word lane `i` (`.s[i]`), `i < 4`.
+    #[inline]
+    pub fn i32_lane(&self, i: usize) -> i32 {
+        i32::from_le_bytes([
+            self.0[4 * i],
+            self.0[4 * i + 1],
+            self.0[4 * i + 2],
+            self.0[4 * i + 3],
+        ])
+    }
+
+    /// Sets signed word lane `i`.
+    #[inline]
+    pub fn set_i32_lane(&mut self, i: usize, v: i32) {
+        let b = v.to_le_bytes();
+        self.0[4 * i..4 * i + 4].copy_from_slice(&b);
+    }
+
+    /// Unsigned doubleword lane `i` (`.d[i]`), `i < 2`.
+    #[inline]
+    pub fn u64_lane(&self, i: usize) -> u64 {
+        u64::from_le_bytes(self.0[8 * i..8 * i + 8].try_into().unwrap())
+    }
+
+    /// Sets doubleword lane `i`.
+    #[inline]
+    pub fn set_u64_lane(&mut self, i: usize, v: u64) {
+        self.0[8 * i..8 * i + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// All 16 signed byte lanes.
+    #[inline]
+    pub fn i8_lanes(&self) -> [i8; 16] {
+        self.0.map(|b| b as i8)
+    }
+}
+
+/// Which half of the narrow source a widening instruction reads: the base
+/// form reads lanes `0..n/2`, the `2` form (`SMLAL2`, `SADDW2`, …) reads
+/// lanes `n/2..n`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Half {
+    /// Base form — low lanes.
+    Low,
+    /// `...2` form — high lanes.
+    High,
+}
+
+impl Half {
+    /// Lane offset into the narrow register for `n` narrow lanes total.
+    #[inline]
+    pub fn base(self, n: usize) -> usize {
+        match self {
+            Half::Low => 0,
+            Half::High => n / 2,
+        }
+    }
+}
+
+/// One instruction of the modeled subset. Register operands are indices into
+/// the 32-entry vector file (`v0..v31`) or the general file (`x0..x30`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Inst {
+    /// `LD1 {vt.16b}, [addr]` — load 16 consecutive bytes.
+    Ld1 { vt: u8, addr: u32 },
+    /// `LD1 {vt.8b}, [addr]` — load 8 bytes into the low half (used by the
+    /// narrow 8-row micro-kernel); the high half is zeroed, as the d-form
+    /// write does on AArch64.
+    Ld1B8 { vt: u8, addr: u32 },
+    /// `LD4R {vt.16b..vt+3.16b}, [addr]` — load 4 bytes, broadcast byte `i`
+    /// across all 16 lanes of `v(vt+i)`.
+    Ld4r { vt: u8, addr: u32 },
+    /// `LD4R {vt.8h..vt+3.8h}, [addr]` — load 4 halfwords, broadcast halfword
+    /// `i` across all 8 lanes of `v(vt+i)` (used by the ncnn-like 16-bit
+    /// baseline).
+    Ld4rH { vt: u8, addr: u32 },
+    /// `ST1 {vt.16b}, [addr]` — store 16 bytes.
+    St1 { vt: u8, addr: u32 },
+    /// `SMLAL(2) vd.8h, vn.8b, vm.8b` — widening multiply-accumulate,
+    /// 8 lanes of `i8 * i8` added (wrapping) into `i16`.
+    Smlal8 { vd: u8, vn: u8, vm: u8, half: Half },
+    /// `SMULL(2) vd.8h, vn.8b, vm.8b` — widening multiply that *overwrites*
+    /// the destination; kernels use it for the first product after a drain so
+    /// the i16 partials never need an explicit clear.
+    Smull8 { vd: u8, vn: u8, vm: u8, half: Half },
+    /// `SMLAL(2) vd.4s, vn.4h, vm.4h` — widening multiply-accumulate,
+    /// 4 lanes of `i16 * i16` added (wrapping) into `i32`.
+    Smlal16 { vd: u8, vn: u8, vm: u8, half: Half },
+    /// `MLA vd.16b, vn.16b, vm.16b` — non-widening multiply-accumulate,
+    /// 16 lanes of wrapping `i8 * i8 + i8`.
+    Mla8 { vd: u8, vn: u8, vm: u8 },
+    /// `MUL vd.16b, vn.16b, vm.16b` — non-widening multiply that overwrites
+    /// the destination (first product after a drain in the MLA scheme).
+    Mul8 { vd: u8, vn: u8, vm: u8 },
+    /// `SADDW(2) vd.8h, vn.8h, vm.8b` — widen-add 8 `i8` lanes into `i16`.
+    Saddw8 { vd: u8, vn: u8, vm: u8, half: Half },
+    /// `SADDW(2) vd.4s, vn.4s, vm.4h` — widen-add 4 `i16` lanes into `i32`.
+    Saddw16 { vd: u8, vn: u8, vm: u8, half: Half },
+    /// `SSHLL(2) vd.8h, vn.8b, #0` — sign-extend 8 `i8` lanes to `i16`.
+    Sshll8 { vd: u8, vn: u8, half: Half },
+    /// `MOVI vd.16b, #0` — clear a vector register.
+    MoviZero { vd: u8 },
+    /// `MOV xd, vn.d[lane]` — move one doubleword out to a general register
+    /// (register-pressure spill in Alg. 1 lines 9–13).
+    MovDToX { xd: u8, vn: u8, lane: u8 },
+    /// `MOV vd.d[lane], xn` — move one doubleword back into a vector register.
+    MovXToD { vd: u8, lane: u8, xn: u8 },
+    /// `AND vd.16b, vn.16b, vm.16b` — bitwise AND (bitserial baseline).
+    And { vd: u8, vn: u8, vm: u8 },
+    /// `CNT vd.16b, vn.16b` — per-byte popcount (bitserial baseline).
+    Cnt { vd: u8, vn: u8 },
+    /// `UADALP vd.8h, vn.16b` — unsigned pairwise add-accumulate of bytes into
+    /// halfwords (bitserial accumulation).
+    Uadalp { vd: u8, vn: u8 },
+    /// `ADD vd.4s, vn.4s, vm.4s` — 32-bit lane add (transforms, bias).
+    Add32 { vd: u8, vn: u8, vm: u8 },
+    /// `ADD vd.8h, vn.8h, vm.8h` — 16-bit lane add (Winograd transforms).
+    Add16 { vd: u8, vn: u8, vm: u8 },
+    /// `SUB vd.8h, vn.8h, vm.8h` — 16-bit lane subtract (Winograd
+    /// transforms).
+    Sub16 { vd: u8, vn: u8, vm: u8 },
+    /// `SDOT vd.4s, vn.16b, vm.16b` — ARMv8.2 dot product: each 32-bit lane
+    /// accumulates the 4-way i8 dot product of the corresponding byte quads
+    /// (the instruction whose absence on ARMv8.1 motivates the paper's drain
+    /// schemes; modeled here for the v8.2 extension path).
+    Sdot { vd: u8, vn: u8, vm: u8 },
+    /// `LD4R {vt.4s..vt+3.4s}, [addr]` — load 4 words, broadcast word `i`
+    /// across all 4 lanes of `v(vt+i)` (feeds the SDOT kernel's B operand).
+    Ld4rW { vt: u8, addr: u32 },
+}
+
+/// A register identifier for dependency analysis.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RegId {
+    /// Vector register `v0..v31`.
+    V(u8),
+    /// General register `x0..x30`.
+    X(u8),
+}
+
+impl Inst {
+    /// Source registers (including the destination of accumulating forms,
+    /// which read-modify-write it).
+    pub fn reads(&self) -> Vec<RegId> {
+        use RegId::*;
+        match *self {
+            Inst::Ld1 { .. }
+            | Inst::Ld1B8 { .. }
+            | Inst::Ld4r { .. }
+            | Inst::Ld4rH { .. }
+            | Inst::Ld4rW { .. }
+            | Inst::MoviZero { .. } => vec![],
+            Inst::St1 { vt, .. } => vec![V(vt)],
+            Inst::Smlal8 { vd, vn, vm, .. }
+            | Inst::Smlal16 { vd, vn, vm, .. }
+            | Inst::Mla8 { vd, vn, vm }
+            | Inst::Sdot { vd, vn, vm } => vec![V(vd), V(vn), V(vm)],
+            Inst::Smull8 { vn, vm, .. } | Inst::Mul8 { vn, vm, .. } => vec![V(vn), V(vm)],
+            Inst::Saddw8 { vd, vn, vm, .. } | Inst::Saddw16 { vd, vn, vm, .. } => {
+                // vd is usually also vn (accumulate in place); list both so
+                // the hazard is tracked even when they differ.
+                vec![V(vd), V(vn), V(vm)]
+            }
+            Inst::Sshll8 { vn, .. } | Inst::Cnt { vn, .. } => vec![V(vn)],
+            Inst::MovDToX { vn, .. } => vec![V(vn)],
+            // Partial (lane) write: the rest of the register flows through.
+            Inst::MovXToD { vd, xn, .. } => vec![V(vd), X(xn)],
+            Inst::And { vn, vm, .. }
+            | Inst::Add32 { vn, vm, .. }
+            | Inst::Add16 { vn, vm, .. }
+            | Inst::Sub16 { vn, vm, .. } => vec![V(vn), V(vm)],
+            Inst::Uadalp { vd, vn } => vec![V(vd), V(vn)],
+        }
+    }
+
+    /// Destination registers.
+    pub fn writes(&self) -> Vec<RegId> {
+        use RegId::*;
+        match *self {
+            Inst::St1 { .. } => vec![],
+            Inst::Ld1 { vt, .. } | Inst::Ld1B8 { vt, .. } => vec![V(vt)],
+            Inst::Ld4r { vt, .. } | Inst::Ld4rH { vt, .. } | Inst::Ld4rW { vt, .. } => {
+                (0..4).map(|i| V(vt + i)).collect()
+            }
+            Inst::Smlal8 { vd, .. }
+            | Inst::Smull8 { vd, .. }
+            | Inst::Smlal16 { vd, .. }
+            | Inst::Mla8 { vd, .. }
+            | Inst::Mul8 { vd, .. }
+            | Inst::Saddw8 { vd, .. }
+            | Inst::Saddw16 { vd, .. }
+            | Inst::Sshll8 { vd, .. }
+            | Inst::MoviZero { vd }
+            | Inst::And { vd, .. }
+            | Inst::Cnt { vd, .. }
+            | Inst::Uadalp { vd, .. }
+            | Inst::Add32 { vd, .. }
+            | Inst::Add16 { vd, .. }
+            | Inst::Sub16 { vd, .. }
+            | Inst::Sdot { vd, .. } => vec![V(vd)],
+            Inst::MovDToX { xd, .. } => vec![X(xd)],
+            Inst::MovXToD { vd, .. } => vec![V(vd)],
+        }
+    }
+
+    /// `true` for instructions that touch memory (issue on the load/store
+    /// pipe).
+    #[inline]
+    pub fn is_memory(&self) -> bool {
+        matches!(
+            self,
+            Inst::Ld1 { .. }
+                | Inst::Ld1B8 { .. }
+                | Inst::Ld4r { .. }
+                | Inst::Ld4rH { .. }
+                | Inst::Ld4rW { .. }
+                | Inst::St1 { .. }
+        )
+    }
+
+    /// Bytes transferred by a memory instruction (0 otherwise).
+    #[inline]
+    pub fn bytes(&self) -> u32 {
+        match self {
+            Inst::Ld1 { .. } | Inst::Ld4rW { .. } | Inst::St1 { .. } => 16,
+            Inst::Ld1B8 { .. } | Inst::Ld4rH { .. } => 8,
+            Inst::Ld4r { .. } => 4,
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_views_share_storage_little_endian() {
+        let mut v = VReg::default();
+        v.set_i16_lane(0, 0x0201);
+        assert_eq!(v.i8_lane(0), 0x01);
+        assert_eq!(v.i8_lane(1), 0x02);
+        v.set_i32_lane(1, -1);
+        assert_eq!(v.i16_lane(2), -1);
+        assert_eq!(v.i16_lane(3), -1);
+    }
+
+    #[test]
+    fn negative_lanes_round_trip() {
+        let mut v = VReg::default();
+        v.set_i8_lane(5, -128);
+        assert_eq!(v.i8_lane(5), -128);
+        v.set_i16_lane(7, -32768);
+        assert_eq!(v.i16_lane(7), -32768);
+        v.set_i32_lane(3, i32::MIN);
+        assert_eq!(v.i32_lane(3), i32::MIN);
+    }
+
+    #[test]
+    fn half_bases() {
+        assert_eq!(Half::Low.base(16), 0);
+        assert_eq!(Half::High.base(16), 8);
+        assert_eq!(Half::High.base(8), 4);
+    }
+
+    #[test]
+    fn memory_classification_and_bytes() {
+        assert!(Inst::Ld1 { vt: 0, addr: 0 }.is_memory());
+        assert_eq!(Inst::Ld1 { vt: 0, addr: 0 }.bytes(), 16);
+        assert_eq!(Inst::Ld4r { vt: 0, addr: 0 }.bytes(), 4);
+        assert_eq!(Inst::Ld4rH { vt: 0, addr: 0 }.bytes(), 8);
+        assert!(!Inst::Mla8 { vd: 0, vn: 1, vm: 2 }.is_memory());
+        assert_eq!(Inst::Mla8 { vd: 0, vn: 1, vm: 2 }.bytes(), 0);
+    }
+}

@@ -1,0 +1,34 @@
+//! A functional simulator for the ARMv8.1 NEON subset used by the paper's
+//! low-bit convolution kernels, plus a Cortex-A53-like cost model.
+//!
+//! The paper's ARM kernels (Sec. 3) are hand-scheduled A64 assembly built from
+//! a small set of instructions: `LD1`, `LD4R`, `ST1`, `SMLAL(2)`, `MLA`,
+//! `SADDW(2)`, `SSHLL`, `MOV` between vector and general registers, and the
+//! popcount family (`AND`, `CNT`, `UADALP`) used by the TVM bitserial
+//! baseline. This crate implements
+//!
+//! * **lane-exact semantics** for that subset ([`inst::Inst`], executed by
+//!   [`machine::Machine`]) — including the wrapping behaviour of `MLA` and the
+//!   widening accumulation of `SMLAL`/`SADDW` on which the paper's
+//!   overflow-safety argument rests, and
+//! * a **cost model** ([`cost::CostModel`]) with two in-order pipes (NEON and
+//!   load/store) and a streaming-stall term, which converts instruction streams
+//!   or analytic instruction counts ([`sched::KernelSchedule`]) into modeled
+//!   Cortex-A53 cycles.
+//!
+//! Kernels validate their hand-written fast paths against this interpreter on
+//! small shapes, and drive the analytic cost path at full layer scale.
+
+pub mod cost;
+pub mod disasm;
+pub mod inst;
+pub mod machine;
+pub mod pipeline;
+pub mod sched;
+
+pub use cost::{CortexA53, CortexA72, CostModel, InstClass, PipelineStats};
+pub use inst::{Inst, VReg};
+pub use disasm::program_listing;
+pub use machine::Machine;
+pub use pipeline::{schedule as pipeline_schedule, PipelineModel, PipelineReport};
+pub use sched::{InstCounts, KernelSchedule, StageCost};

@@ -1,0 +1,509 @@
+//! The interpreter: executes instruction streams with lane-exact semantics
+//! and accumulates cost-model statistics.
+
+use crate::cost::{CostModel, PipelineStats};
+use crate::inst::{Inst, VReg};
+
+/// A simulated AArch64 core: 32 vector registers, 31 general registers and a
+/// flat byte-addressable memory.
+#[derive(Clone, Debug)]
+pub struct Machine {
+    /// Vector register file `v0..v31`.
+    pub v: [VReg; 32],
+    /// General register file `x0..x30` (used only for spill `MOV`s).
+    pub x: [u64; 31],
+    /// Flat memory.
+    pub mem: Vec<u8>,
+    stats: PipelineStats,
+    cost: CostModel,
+}
+
+impl Machine {
+    /// Creates a machine with `mem_len` bytes of zeroed memory and the given
+    /// cost model.
+    pub fn new(mem_len: usize, cost: CostModel) -> Machine {
+        Machine {
+            v: [VReg::default(); 32],
+            x: [0; 31],
+            mem: vec![0; mem_len],
+            stats: PipelineStats::default(),
+            cost,
+        }
+    }
+
+    /// Copies `data` into memory at `addr`.
+    pub fn write_mem(&mut self, addr: usize, data: &[u8]) {
+        self.mem[addr..addr + data.len()].copy_from_slice(data);
+    }
+
+    /// Copies `data` (as raw bytes) into memory at `addr`.
+    pub fn write_mem_i8(&mut self, addr: usize, data: &[i8]) {
+        for (i, &b) in data.iter().enumerate() {
+            self.mem[addr + i] = b as u8;
+        }
+    }
+
+    /// Reads `len` bytes at `addr` as `i8`.
+    pub fn read_mem_i8(&self, addr: usize, len: usize) -> Vec<i8> {
+        self.mem[addr..addr + len].iter().map(|&b| b as i8).collect()
+    }
+
+    /// Reads `len` little-endian `i32`s starting at `addr`.
+    pub fn read_mem_i32(&self, addr: usize, len: usize) -> Vec<i32> {
+        (0..len)
+            .map(|i| {
+                let a = addr + 4 * i;
+                i32::from_le_bytes(self.mem[a..a + 4].try_into().unwrap())
+            })
+            .collect()
+    }
+
+    /// Accumulated pipeline statistics.
+    pub fn stats(&self) -> &PipelineStats {
+        &self.stats
+    }
+
+    /// Resets pipeline statistics (registers and memory are kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = PipelineStats::default();
+    }
+
+    /// Executes a straight-line program.
+    pub fn run(&mut self, program: &[Inst]) {
+        for &inst in program {
+            self.step(inst);
+        }
+    }
+
+    /// Executes one instruction.
+    pub fn step(&mut self, inst: Inst) {
+        self.stats.record(inst, &self.cost);
+        match inst {
+            Inst::Ld1 { vt, addr } => {
+                let a = addr as usize;
+                let mut r = VReg::default();
+                r.0.copy_from_slice(&self.mem[a..a + 16]);
+                self.v[vt as usize] = r;
+            }
+            Inst::Ld1B8 { vt, addr } => {
+                let a = addr as usize;
+                let mut r = VReg::default();
+                r.0[..8].copy_from_slice(&self.mem[a..a + 8]);
+                self.v[vt as usize] = r;
+            }
+            Inst::Ld4r { vt, addr } => {
+                let a = addr as usize;
+                for i in 0..4 {
+                    let b = self.mem[a + i];
+                    self.v[vt as usize + i] = VReg([b; 16]);
+                }
+            }
+            Inst::Ld4rH { vt, addr } => {
+                let a = addr as usize;
+                for i in 0..4 {
+                    let h = i16::from_le_bytes([self.mem[a + 2 * i], self.mem[a + 2 * i + 1]]);
+                    let mut r = VReg::default();
+                    for lane in 0..8 {
+                        r.set_i16_lane(lane, h);
+                    }
+                    self.v[vt as usize + i] = r;
+                }
+            }
+            Inst::St1 { vt, addr } => {
+                let a = addr as usize;
+                self.mem[a..a + 16].copy_from_slice(&self.v[vt as usize].0);
+            }
+            Inst::Smlal8 { vd, vn, vm, half } => {
+                let n = self.v[vn as usize];
+                let m = self.v[vm as usize];
+                let base = half.base(16);
+                let mut d = self.v[vd as usize];
+                for lane in 0..8 {
+                    let prod = n.i8_lane(base + lane) as i16 * m.i8_lane(base + lane) as i16;
+                    d.set_i16_lane(lane, d.i16_lane(lane).wrapping_add(prod));
+                }
+                self.v[vd as usize] = d;
+            }
+            Inst::Smlal16 { vd, vn, vm, half } => {
+                let n = self.v[vn as usize];
+                let m = self.v[vm as usize];
+                let base = half.base(8);
+                let mut d = self.v[vd as usize];
+                for lane in 0..4 {
+                    let prod =
+                        n.i16_lane(base + lane) as i32 * m.i16_lane(base + lane) as i32;
+                    d.set_i32_lane(lane, d.i32_lane(lane).wrapping_add(prod));
+                }
+                self.v[vd as usize] = d;
+            }
+            Inst::Smull8 { vd, vn, vm, half } => {
+                let n = self.v[vn as usize];
+                let m = self.v[vm as usize];
+                let base = half.base(16);
+                let mut d = VReg::default();
+                for lane in 0..8 {
+                    let prod = n.i8_lane(base + lane) as i16 * m.i8_lane(base + lane) as i16;
+                    d.set_i16_lane(lane, prod);
+                }
+                self.v[vd as usize] = d;
+            }
+            Inst::Mul8 { vd, vn, vm } => {
+                let n = self.v[vn as usize];
+                let m = self.v[vm as usize];
+                let mut d = VReg::default();
+                for lane in 0..16 {
+                    d.set_i8_lane(lane, n.i8_lane(lane).wrapping_mul(m.i8_lane(lane)));
+                }
+                self.v[vd as usize] = d;
+            }
+            Inst::Mla8 { vd, vn, vm } => {
+                let n = self.v[vn as usize];
+                let m = self.v[vm as usize];
+                let mut d = self.v[vd as usize];
+                for lane in 0..16 {
+                    let prod = n.i8_lane(lane).wrapping_mul(m.i8_lane(lane));
+                    d.set_i8_lane(lane, d.i8_lane(lane).wrapping_add(prod));
+                }
+                self.v[vd as usize] = d;
+            }
+            Inst::Saddw8 { vd, vn, vm, half } => {
+                let n = self.v[vn as usize];
+                let m = self.v[vm as usize];
+                let base = half.base(16);
+                let mut d = self.v[vd as usize];
+                for lane in 0..8 {
+                    d.set_i16_lane(
+                        lane,
+                        n.i16_lane(lane)
+                            .wrapping_add(m.i8_lane(base + lane) as i16),
+                    );
+                }
+                self.v[vd as usize] = d;
+            }
+            Inst::Saddw16 { vd, vn, vm, half } => {
+                let n = self.v[vn as usize];
+                let m = self.v[vm as usize];
+                let base = half.base(8);
+                let mut d = self.v[vd as usize];
+                for lane in 0..4 {
+                    d.set_i32_lane(
+                        lane,
+                        n.i32_lane(lane)
+                            .wrapping_add(m.i16_lane(base + lane) as i32),
+                    );
+                }
+                self.v[vd as usize] = d;
+            }
+            Inst::Sshll8 { vd, vn, half } => {
+                let n = self.v[vn as usize];
+                let base = half.base(16);
+                let mut d = VReg::default();
+                for lane in 0..8 {
+                    d.set_i16_lane(lane, n.i8_lane(base + lane) as i16);
+                }
+                self.v[vd as usize] = d;
+            }
+            Inst::MoviZero { vd } => {
+                self.v[vd as usize] = VReg::default();
+            }
+            Inst::MovDToX { xd, vn, lane } => {
+                self.x[xd as usize] = self.v[vn as usize].u64_lane(lane as usize);
+            }
+            Inst::MovXToD { vd, lane, xn } => {
+                let x = self.x[xn as usize];
+                self.v[vd as usize].set_u64_lane(lane as usize, x);
+            }
+            Inst::And { vd, vn, vm } => {
+                let n = self.v[vn as usize];
+                let m = self.v[vm as usize];
+                let mut d = VReg::default();
+                for i in 0..16 {
+                    d.0[i] = n.0[i] & m.0[i];
+                }
+                self.v[vd as usize] = d;
+            }
+            Inst::Cnt { vd, vn } => {
+                let n = self.v[vn as usize];
+                let mut d = VReg::default();
+                for i in 0..16 {
+                    d.0[i] = n.0[i].count_ones() as u8;
+                }
+                self.v[vd as usize] = d;
+            }
+            Inst::Uadalp { vd, vn } => {
+                let n = self.v[vn as usize];
+                let mut d = self.v[vd as usize];
+                for lane in 0..8 {
+                    let pair = n.0[2 * lane] as u16 + n.0[2 * lane + 1] as u16;
+                    d.set_i16_lane(lane, d.i16_lane(lane).wrapping_add(pair as i16));
+                }
+                self.v[vd as usize] = d;
+            }
+            Inst::Sdot { vd, vn, vm } => {
+                let n = self.v[vn as usize];
+                let m = self.v[vm as usize];
+                let mut d = self.v[vd as usize];
+                for lane in 0..4 {
+                    let mut dot = 0i32;
+                    for j in 0..4 {
+                        dot += n.i8_lane(4 * lane + j) as i32 * m.i8_lane(4 * lane + j) as i32;
+                    }
+                    d.set_i32_lane(lane, d.i32_lane(lane).wrapping_add(dot));
+                }
+                self.v[vd as usize] = d;
+            }
+            Inst::Ld4rW { vt, addr } => {
+                let a = addr as usize;
+                for i in 0..4 {
+                    let w: [u8; 4] = self.mem[a + 4 * i..a + 4 * i + 4].try_into().unwrap();
+                    let mut r = VReg::default();
+                    for lane in 0..4 {
+                        r.0[4 * lane..4 * lane + 4].copy_from_slice(&w);
+                    }
+                    self.v[vt as usize + i] = r;
+                }
+            }
+            Inst::Add16 { vd, vn, vm } => {
+                let n = self.v[vn as usize];
+                let m = self.v[vm as usize];
+                let mut d = VReg::default();
+                for lane in 0..8 {
+                    d.set_i16_lane(lane, n.i16_lane(lane).wrapping_add(m.i16_lane(lane)));
+                }
+                self.v[vd as usize] = d;
+            }
+            Inst::Sub16 { vd, vn, vm } => {
+                let n = self.v[vn as usize];
+                let m = self.v[vm as usize];
+                let mut d = VReg::default();
+                for lane in 0..8 {
+                    d.set_i16_lane(lane, n.i16_lane(lane).wrapping_sub(m.i16_lane(lane)));
+                }
+                self.v[vd as usize] = d;
+            }
+            Inst::Add32 { vd, vn, vm } => {
+                let n = self.v[vn as usize];
+                let m = self.v[vm as usize];
+                let mut d = VReg::default();
+                for lane in 0..4 {
+                    d.set_i32_lane(lane, n.i32_lane(lane).wrapping_add(m.i32_lane(lane)));
+                }
+                self.v[vd as usize] = d;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CortexA53;
+    use crate::inst::Half;
+
+    fn machine() -> Machine {
+        Machine::new(1024, CortexA53::cost_model())
+    }
+
+    #[test]
+    fn ld1_loads_sixteen_bytes() {
+        let mut m = machine();
+        m.write_mem_i8(0, &(0..16).map(|i| i - 8).collect::<Vec<i8>>());
+        m.run(&[Inst::Ld1 { vt: 3, addr: 0 }]);
+        assert_eq!(m.v[3].i8_lanes().to_vec(), (0..16).map(|i| i - 8).collect::<Vec<i8>>());
+    }
+
+    #[test]
+    fn ld4r_replicates_each_byte() {
+        let mut m = machine();
+        m.write_mem_i8(8, &[1, -2, 3, -4]);
+        m.run(&[Inst::Ld4r { vt: 4, addr: 8 }]);
+        assert!(m.v[4].i8_lanes().iter().all(|&v| v == 1));
+        assert!(m.v[5].i8_lanes().iter().all(|&v| v == -2));
+        assert!(m.v[6].i8_lanes().iter().all(|&v| v == 3));
+        assert!(m.v[7].i8_lanes().iter().all(|&v| v == -4));
+    }
+
+    #[test]
+    fn ld4rh_replicates_halfwords() {
+        let mut m = machine();
+        m.write_mem(0, &(-300i16).to_le_bytes());
+        m.write_mem(2, &(512i16).to_le_bytes());
+        m.write_mem(4, &(-1i16).to_le_bytes());
+        m.write_mem(6, &(7i16).to_le_bytes());
+        m.run(&[Inst::Ld4rH { vt: 0, addr: 0 }]);
+        assert_eq!(m.v[0].i16_lane(0), -300);
+        assert_eq!(m.v[0].i16_lane(7), -300);
+        assert_eq!(m.v[1].i16_lane(3), 512);
+        assert_eq!(m.v[2].i16_lane(5), -1);
+        assert_eq!(m.v[3].i16_lane(0), 7);
+    }
+
+    #[test]
+    fn smlal8_low_and_high_halves() {
+        let mut m = machine();
+        let a: Vec<i8> = (0..16).map(|i| i as i8 - 8).collect();
+        let b: Vec<i8> = (0..16).map(|i| 2 * (i as i8) - 16).collect();
+        m.write_mem_i8(0, &a);
+        m.write_mem_i8(16, &b);
+        m.run(&[
+            Inst::Ld1 { vt: 0, addr: 0 },
+            Inst::Ld1 { vt: 1, addr: 16 },
+            Inst::Smlal8 { vd: 2, vn: 0, vm: 1, half: Half::Low },
+            Inst::Smlal8 { vd: 3, vn: 0, vm: 1, half: Half::High },
+        ]);
+        for lane in 0..8 {
+            assert_eq!(
+                m.v[2].i16_lane(lane),
+                a[lane] as i16 * b[lane] as i16,
+                "low lane {lane}"
+            );
+            assert_eq!(
+                m.v[3].i16_lane(lane),
+                a[lane + 8] as i16 * b[lane + 8] as i16,
+                "high lane {lane}"
+            );
+        }
+    }
+
+    #[test]
+    fn smlal8_accumulates_and_wraps() {
+        let mut m = machine();
+        m.v[0] = VReg([127; 16]);
+        m.v[1] = VReg([127; 16]);
+        // 127*127 = 16129; three accumulations exceed i16::MAX and must wrap.
+        let inst = Inst::Smlal8 { vd: 2, vn: 0, vm: 1, half: Half::Low };
+        m.run(&[inst, inst, inst]);
+        let expected = (16129i32 * 3).rem_euclid(65536) as u16 as i16;
+        assert_eq!(m.v[2].i16_lane(0), expected);
+    }
+
+    #[test]
+    fn smlal16_widens_to_i32() {
+        let mut m = machine();
+        m.v[0].set_i16_lane(0, -3000);
+        m.v[0].set_i16_lane(4, 1000);
+        m.v[1].set_i16_lane(0, 11);
+        m.v[1].set_i16_lane(4, -5);
+        m.run(&[
+            Inst::Smlal16 { vd: 2, vn: 0, vm: 1, half: Half::Low },
+            Inst::Smlal16 { vd: 3, vn: 0, vm: 1, half: Half::High },
+        ]);
+        assert_eq!(m.v[2].i32_lane(0), -33000);
+        assert_eq!(m.v[3].i32_lane(0), -5000);
+    }
+
+    #[test]
+    fn smull_and_mul_overwrite_destination() {
+        let mut m = machine();
+        m.v[0] = VReg([3u8; 16]);
+        m.v[1] = VReg([5u8; 16]);
+        m.v[2].set_i16_lane(0, 999); // stale partial that must be overwritten
+        m.v[3] = VReg([7u8; 16]);
+        m.run(&[
+            Inst::Smull8 { vd: 2, vn: 0, vm: 1, half: Half::Low },
+            Inst::Mul8 { vd: 3, vn: 0, vm: 1 },
+        ]);
+        assert_eq!(m.v[2].i16_lane(0), 15);
+        assert_eq!(m.v[3].i8_lane(0), 15); // stale 7 discarded
+    }
+
+    #[test]
+    fn mla8_wraps_in_eight_bits() {
+        let mut m = machine();
+        m.v[0] = VReg([100u8; 16]); // 100
+        m.v[1] = VReg([2u8; 16]); // 2
+        m.run(&[Inst::Mla8 { vd: 2, vn: 0, vm: 1 }]);
+        // 100*2 = 200 wraps to -56 in i8.
+        assert_eq!(m.v[2].i8_lane(0), (200u8 as i8));
+    }
+
+    #[test]
+    fn saddw8_sign_extends() {
+        let mut m = machine();
+        m.v[0].set_i16_lane(0, 1000);
+        m.v[1].set_i8_lane(0, -5);
+        m.v[1].set_i8_lane(8, 7);
+        m.run(&[
+            Inst::Saddw8 { vd: 2, vn: 0, vm: 1, half: Half::Low },
+            Inst::Saddw8 { vd: 3, vn: 0, vm: 1, half: Half::High },
+        ]);
+        assert_eq!(m.v[2].i16_lane(0), 995);
+        assert_eq!(m.v[3].i16_lane(0), 1007);
+    }
+
+    #[test]
+    fn saddw16_widens_to_i32() {
+        let mut m = machine();
+        m.v[0].set_i32_lane(0, 70000);
+        m.v[1].set_i16_lane(0, -32768);
+        m.run(&[Inst::Saddw16 { vd: 2, vn: 0, vm: 1, half: Half::Low }]);
+        assert_eq!(m.v[2].i32_lane(0), 70000 - 32768);
+    }
+
+    #[test]
+    fn sshll_widens_with_sign() {
+        let mut m = machine();
+        m.v[0].set_i8_lane(0, -100);
+        m.v[0].set_i8_lane(9, 100);
+        m.run(&[
+            Inst::Sshll8 { vd: 1, vn: 0, half: Half::Low },
+            Inst::Sshll8 { vd: 2, vn: 0, half: Half::High },
+        ]);
+        assert_eq!(m.v[1].i16_lane(0), -100);
+        assert_eq!(m.v[2].i16_lane(1), 100);
+    }
+
+    #[test]
+    fn spill_movs_round_trip() {
+        let mut m = machine();
+        m.v[0].set_i32_lane(0, 0x1234_5678);
+        m.v[0].set_i32_lane(3, -99);
+        m.run(&[
+            Inst::MovDToX { xd: 0, vn: 0, lane: 0 },
+            Inst::MovDToX { xd: 1, vn: 0, lane: 1 },
+            Inst::MoviZero { vd: 0 },
+            Inst::MovXToD { vd: 0, lane: 0, xn: 0 },
+            Inst::MovXToD { vd: 0, lane: 1, xn: 1 },
+        ]);
+        assert_eq!(m.v[0].i32_lane(0), 0x1234_5678);
+        assert_eq!(m.v[0].i32_lane(3), -99);
+    }
+
+    #[test]
+    fn popcount_path_counts_and_bits() {
+        let mut m = machine();
+        m.v[0] = VReg([0b1011_0001; 16]);
+        m.v[1] = VReg([0b0011_1001; 16]);
+        m.run(&[
+            Inst::And { vd: 2, vn: 0, vm: 1 },
+            Inst::Cnt { vd: 3, vn: 2 },
+            Inst::Uadalp { vd: 4, vn: 3 },
+            Inst::Uadalp { vd: 4, vn: 3 },
+        ]);
+        // AND = 0b0011_0001 -> popcount 3 per byte; UADALP adds byte pairs
+        // (3+3=6) twice.
+        assert_eq!(m.v[3].0[0], 3);
+        assert_eq!(m.v[4].i16_lane(0), 12);
+    }
+
+    #[test]
+    fn st1_round_trips_through_memory() {
+        let mut m = machine();
+        m.v[7] = VReg(core::array::from_fn(|i| (i as u8) * 3));
+        m.run(&[Inst::St1 { vt: 7, addr: 100 }]);
+        assert_eq!(&m.mem[100..116], &m.v[7].0);
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let mut m = machine();
+        m.run(&[
+            Inst::Ld1 { vt: 0, addr: 0 },
+            Inst::Mla8 { vd: 1, vn: 0, vm: 0 },
+        ]);
+        assert_eq!(m.stats().counts.total(), 2);
+        assert!(m.stats().cycles() > 0.0);
+        m.reset_stats();
+        assert_eq!(m.stats().counts.total(), 0);
+    }
+}

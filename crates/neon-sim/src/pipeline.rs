@@ -1,0 +1,306 @@
+//! A latency-aware in-order dual-issue pipeline model.
+//!
+//! The coarse [`crate::CostModel`] prices instruction *counts*; this module
+//! models the *schedule*: a Cortex-A53-like front end that issues up to two
+//! instructions per cycle (at most one load/store and one NEON op), stalling
+//! on read-after-write hazards until the producer's result latency elapses.
+//!
+//! Its reproduction purpose is Alg. 1's scheduling claim: "we interleave the
+//! {LD1, LD4R} and SMLAL instructions for realizing data prefetching". On an
+//! in-order core that interleaving is what hides the load-use latency — the
+//! emitted kernels alternate two register groups (`v0`/`v2..v5` vs
+//! `v1`/`v6..v9`) so each `SMLAL` consumes the *previous* iteration's loads.
+//! Tests verify the emitted order beats a naive load-then-use order on this
+//! model.
+
+use crate::cost::InstClass;
+use crate::inst::{Inst, RegId};
+
+/// Result latencies (cycles from issue to readiness) per class, plus issue
+/// width constraints.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct PipelineModel {
+    /// Cycles until a load's destination registers are usable (L1 hit).
+    pub load_latency: u32,
+    /// Cycles until a multiply-accumulate result is usable.
+    pub mac_latency: u32,
+    /// Cycles until a vector-ALU result is usable.
+    pub alu_latency: u32,
+    /// Cycles until a move result is usable.
+    pub mov_latency: u32,
+    /// Instructions issued per cycle (the A53 front end is 2-wide).
+    pub issue_width: u32,
+}
+
+impl PipelineModel {
+    /// Cortex-A53-like latencies.
+    pub fn cortex_a53() -> PipelineModel {
+        PipelineModel {
+            load_latency: 3,
+            mac_latency: 4,
+            alu_latency: 3,
+            mov_latency: 2,
+            issue_width: 2,
+        }
+    }
+
+    fn latency(&self, class: InstClass) -> u32 {
+        match class {
+            InstClass::Load => self.load_latency,
+            InstClass::Store => 1,
+            InstClass::NeonMac => self.mac_latency,
+            InstClass::NeonAlu => self.alu_latency,
+            InstClass::NeonMov => self.mov_latency,
+        }
+    }
+}
+
+/// Outcome of scheduling one program.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct PipelineReport {
+    /// Total cycles until the last instruction issues.
+    pub cycles: u64,
+    /// Cycles in which nothing could issue (hazard or structural stalls).
+    pub stall_cycles: u64,
+    /// Instructions issued.
+    pub instructions: u64,
+    /// Cycles in which two instructions issued together.
+    pub dual_issue_cycles: u64,
+}
+
+impl PipelineReport {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        self.instructions as f64 / self.cycles.max(1) as f64
+    }
+}
+
+fn reg_index(r: RegId) -> usize {
+    match r {
+        RegId::V(v) => v as usize,
+        RegId::X(x) => 32 + x as usize,
+    }
+}
+
+/// Schedules a straight-line program on the in-order model.
+///
+/// ```
+/// use neon_sim::inst::{Half, Inst};
+/// use neon_sim::{pipeline_schedule, PipelineModel};
+///
+/// // A load immediately consumed stalls for the load-use latency...
+/// let naive = [
+///     Inst::Ld1 { vt: 0, addr: 0 },
+///     Inst::Smlal8 { vd: 10, vn: 0, vm: 2, half: Half::Low },
+/// ];
+/// let r = pipeline_schedule(&naive, &PipelineModel::cortex_a53());
+/// assert!(r.stall_cycles > 0);
+/// ```
+pub fn schedule(program: &[Inst], model: &PipelineModel) -> PipelineReport {
+    let mut ready = [0u64; 64]; // cycle at which each register's value is ready
+    let mut cycle = 0u64;
+    let mut issued_this_cycle = 0u32;
+    let mut ls_used = false;
+    let mut neon_used = false;
+    let mut stall_cycles = 0u64;
+    let mut dual_issue_cycles = 0u64;
+
+    for inst in program {
+        let class = InstClass::of(inst);
+        let is_ls = matches!(class, InstClass::Load | InstClass::Store);
+        loop {
+            // Structural limits for this cycle.
+            let pipe_free = if is_ls { !ls_used } else { !neon_used };
+            let slot_free = issued_this_cycle < model.issue_width && pipe_free;
+            // RAW hazards: every source must be ready by this cycle.
+            let sources_ready = inst.reads().iter().all(|&r| ready[reg_index(r)] <= cycle);
+            if slot_free && sources_ready {
+                break;
+            }
+            // Advance a cycle; count it as a stall if nothing issued in it.
+            if issued_this_cycle == 0 {
+                stall_cycles += 1;
+            }
+            if issued_this_cycle == 2 {
+                dual_issue_cycles += 1;
+            }
+            cycle += 1;
+            issued_this_cycle = 0;
+            ls_used = false;
+            neon_used = false;
+        }
+        // Issue.
+        issued_this_cycle += 1;
+        if is_ls {
+            ls_used = true;
+        } else {
+            neon_used = true;
+        }
+        let done = cycle + model.latency(class) as u64;
+        for r in inst.writes() {
+            ready[reg_index(r)] = done;
+        }
+    }
+    if issued_this_cycle == 2 {
+        dual_issue_cycles += 1;
+    }
+    PipelineReport {
+        cycles: cycle + 1,
+        stall_cycles,
+        instructions: program.len() as u64,
+        dual_issue_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Half;
+
+    fn model() -> PipelineModel {
+        PipelineModel::cortex_a53()
+    }
+
+    #[test]
+    fn independent_macs_issue_every_cycle() {
+        // 8 SMLALs into 8 different accumulators, sources long ready.
+        let prog: Vec<Inst> = (0..8)
+            .map(|i| Inst::Smlal8 { vd: 10 + i, vn: 0, vm: 1, half: Half::Low })
+            .collect();
+        let r = schedule(&prog, &model());
+        assert_eq!(r.cycles, 8, "one NEON issue per cycle");
+        assert_eq!(r.stall_cycles, 0);
+    }
+
+    #[test]
+    fn dependent_chain_pays_mac_latency() {
+        // 8 SMLALs accumulating into the SAME register serialize at the MAC
+        // latency.
+        let prog: Vec<Inst> = (0..8)
+            .map(|_| Inst::Smlal8 { vd: 10, vn: 0, vm: 1, half: Half::Low })
+            .collect();
+        let r = schedule(&prog, &model());
+        assert!(
+            r.cycles >= 7 * model().mac_latency as u64,
+            "chain of 8 must serialize: {} cycles",
+            r.cycles
+        );
+        assert!(r.stall_cycles > 0);
+    }
+
+    #[test]
+    fn load_and_mac_dual_issue() {
+        // Alternating independent loads and MACs pair up.
+        let mut prog = Vec::new();
+        for i in 0..8u8 {
+            prog.push(Inst::Ld1 { vt: 20 + (i % 4), addr: 0 });
+            prog.push(Inst::Smlal8 { vd: 10 + i, vn: 0, vm: 1, half: Half::Low });
+        }
+        let r = schedule(&prog, &model());
+        assert!(r.dual_issue_cycles >= 7, "got {} dual cycles", r.dual_issue_cycles);
+        assert!(r.cycles <= 9);
+    }
+
+    #[test]
+    fn load_use_stall_vs_prefetch_interleave() {
+        // The Alg. 1 claim. Naive order: load A/B, immediately multiply them
+        // — every MAC waits out the load latency. Interleaved order: compute
+        // on the *previous* group's registers while this group's loads are in
+        // flight.
+        let naive: Vec<Inst> = (0..8)
+            .flat_map(|i| {
+                vec![
+                    Inst::Ld1 { vt: 0, addr: 0 },
+                    Inst::Ld4r { vt: 2, addr: 64 },
+                    Inst::Smlal8 { vd: 10 + (i % 8), vn: 0, vm: 2, half: Half::Low },
+                    Inst::Smlal8 { vd: 18 + (i % 8), vn: 0, vm: 3, half: Half::High },
+                ]
+            })
+            .collect();
+        let interleaved: Vec<Inst> = (0..8)
+            .flat_map(|i| {
+                // Even iterations load group 0 (v0, v2..v5) and compute on
+                // group 1 (v1, v6..v9), odd iterations the reverse.
+                let (ld_a, ld_b, use_a, use_b) = if i % 2 == 0 {
+                    (0u8, 2u8, 1u8, 6u8)
+                } else {
+                    (1, 6, 0, 2)
+                };
+                vec![
+                    Inst::Ld1 { vt: ld_a, addr: 0 },
+                    Inst::Ld4r { vt: ld_b, addr: 64 },
+                    Inst::Smlal8 { vd: 10 + (i % 8), vn: use_a, vm: use_b, half: Half::Low },
+                    Inst::Smlal8 { vd: 18 + (i % 8), vn: use_a, vm: use_b + 1, half: Half::High },
+                ]
+            })
+            .collect();
+        let r_naive = schedule(&naive, &model());
+        let r_inter = schedule(&interleaved, &model());
+        assert!(
+            r_inter.cycles < r_naive.cycles,
+            "interleaving must hide load latency: {} vs {}",
+            r_inter.cycles,
+            r_naive.cycles
+        );
+        assert!(r_inter.stall_cycles < r_naive.stall_cycles);
+    }
+
+    #[test]
+    fn emitted_smlal_kernel_has_high_ipc() {
+        // The real emitted micro-kernel (which alternates register groups by
+        // construction) should sustain close to one instruction per cycle on
+        // this model.
+        use lowbit_test_support::*;
+        let prog = emit_probe_kernel();
+        let r = schedule(&prog, &model());
+        assert!(
+            r.ipc() > 0.8,
+            "emitted kernel IPC {:.2} (cycles {}, stalls {})",
+            r.ipc(),
+            r.cycles,
+            r.stall_cycles
+        );
+    }
+
+    /// Local stand-in for a qgemm-emitted kernel (neon-sim cannot depend on
+    /// qgemm): the same alternating structure as Alg. 1's inner loop.
+    mod lowbit_test_support {
+        use super::*;
+
+        pub fn emit_probe_kernel() -> Vec<Inst> {
+            let mut prog = Vec::new();
+            for kk in 0..32 {
+                let (va, vb0) = if kk % 2 == 0 { (0u8, 2u8) } else { (1u8, 6u8) };
+                prog.push(Inst::Ld1 { vt: va, addr: 0 });
+                prog.push(Inst::Ld4r { vt: vb0, addr: 64 });
+                let (ua, ub0) = if kk % 2 == 0 { (1u8, 6u8) } else { (0u8, 2u8) };
+                for col in 0..4u8 {
+                    prog.push(Inst::Smlal8 {
+                        vd: 10 + 2 * col,
+                        vn: ua,
+                        vm: ub0 + col,
+                        half: Half::Low,
+                    });
+                    prog.push(Inst::Smlal8 {
+                        vd: 11 + 2 * col,
+                        vn: ua,
+                        vm: ub0 + col,
+                        half: Half::High,
+                    });
+                }
+            }
+            prog
+        }
+    }
+
+    #[test]
+    fn store_reads_its_source() {
+        // A store immediately after the producing MAC must wait.
+        let prog = vec![
+            Inst::Smlal8 { vd: 10, vn: 0, vm: 1, half: Half::Low },
+            Inst::St1 { vt: 10, addr: 0 },
+        ];
+        let r = schedule(&prog, &model());
+        assert!(r.cycles > model().mac_latency as u64);
+    }
+}

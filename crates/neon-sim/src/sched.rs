@@ -1,0 +1,161 @@
+//! Analytic kernel schedules.
+//!
+//! Interpreting every instruction of a full ResNet-50 layer would execute
+//! billions of simulated instructions, so layer-scale cost estimation is
+//! analytic: a kernel builder describes each *stage* of its pipeline (im2col,
+//! packing, micro-kernel loop, requantized store) as instruction counts and
+//! byte traffic, and the same [`crate::CostModel`] that times the interpreter
+//! converts the schedule to cycles. Consistency between the two paths is
+//! enforced by tests in `lowbit-qgemm`: the instruction counts of an emitted,
+//! interpreted micro-kernel must equal the analytic counts for the same
+//! shape.
+
+#![allow(clippy::field_reassign_with_default)] // count builders read clearer this way
+
+use crate::cost::{ClassCounts, CostModel};
+
+/// Re-export used by kernel builders when assembling analytic counts.
+pub type InstCounts = ClassCounts;
+
+/// One pipeline stage of a kernel (e.g. "pack B", "GEMM inner loop").
+#[derive(Clone, Debug)]
+pub struct StageCost {
+    /// Human-readable stage name (appears in harness breakdowns).
+    pub name: &'static str,
+    /// Instruction counts and byte traffic for the whole stage.
+    pub counts: ClassCounts,
+}
+
+impl StageCost {
+    /// A pure bulk-copy stage (im2col / packing / output store): charged on
+    /// the LS pipe via the model's `bulk_move_per_byte`, with no NEON work.
+    pub fn bulk_move(name: &'static str, bytes_read: u64, bytes_written: u64) -> StageCost {
+        StageCost {
+            name,
+            counts: ClassCounts {
+                load_bytes: bytes_read,
+                store_bytes: bytes_written,
+                ..ClassCounts::default()
+            },
+        }
+    }
+
+    /// A compute stage described by instruction counts.
+    pub fn compute(name: &'static str, counts: ClassCounts) -> StageCost {
+        StageCost { name, counts }
+    }
+
+    /// Modeled cycles for this stage.
+    pub fn cycles(&self, model: &CostModel) -> f64 {
+        let neon = self.counts.neon_total() as f64 * model.neon_slots;
+        let is_bulk = self.counts.mem_total() == 0 && self.counts.neon_total() == 0;
+        let ls = if is_bulk {
+            // Bulk copies are dominated by the copy loop itself rather than
+            // per-instruction issue; charge per byte moved.
+            self.counts.bytes_total() as f64 * model.bulk_move_per_byte
+        } else {
+            model.ls_cycles(self.counts.mem_total(), self.counts.bytes_total())
+        };
+        model.combine(neon, ls)
+    }
+}
+
+/// A full kernel schedule: ordered stages, timed independently and summed
+/// (stages are separated by barriers in the real kernels — packing completes
+/// before the GEMM loop starts).
+#[derive(Clone, Debug, Default)]
+pub struct KernelSchedule {
+    /// Ordered pipeline stages.
+    pub stages: Vec<StageCost>,
+}
+
+impl KernelSchedule {
+    /// Creates an empty schedule.
+    pub fn new() -> KernelSchedule {
+        KernelSchedule::default()
+    }
+
+    /// Appends a stage.
+    pub fn push(&mut self, stage: StageCost) {
+        self.stages.push(stage);
+    }
+
+    /// Total modeled cycles.
+    pub fn cycles(&self, model: &CostModel) -> f64 {
+        self.stages.iter().map(|s| s.cycles(model)).sum()
+    }
+
+    /// Total modeled milliseconds.
+    pub fn millis(&self, model: &CostModel) -> f64 {
+        model.millis(self.cycles(model))
+    }
+
+    /// Sum of all stages' instruction counts.
+    pub fn total_counts(&self) -> ClassCounts {
+        let mut total = ClassCounts::default();
+        for s in &self.stages {
+            total.add_scaled(&s.counts, 1);
+        }
+        total
+    }
+
+    /// Cycles attributed to a named stage (0 if absent).
+    pub fn stage_cycles(&self, name: &str, model: &CostModel) -> f64 {
+        self.stages
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.cycles(model))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CortexA53;
+
+    #[test]
+    fn bulk_move_is_charged_per_byte() {
+        let m = CortexA53::cost_model();
+        let s = StageCost::bulk_move("pack", 1000, 1000);
+        assert!((s.cycles(&m) - 2000.0 * m.bulk_move_per_byte).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compute_stage_uses_pipe_model() {
+        let m = CortexA53::cost_model();
+        let mut counts = ClassCounts::default();
+        counts.neon_mac = 100;
+        counts.loads = 10;
+        counts.load_bytes = 160;
+        let s = StageCost::compute("gemm", counts);
+        let neon = 100.0;
+        let ls = 10.0 * m.ls_slots + 160.0 * m.stall_per_byte;
+        assert!((s.cycles(&m) - m.combine(neon, ls)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn schedule_sums_stages() {
+        let m = CortexA53::cost_model();
+        let mut sched = KernelSchedule::new();
+        sched.push(StageCost::bulk_move("a", 100, 0));
+        sched.push(StageCost::bulk_move("b", 0, 100));
+        let total = sched.cycles(&m);
+        assert!((total - 100.0 * m.bulk_move_per_byte * 2.0).abs() < 1e-9);
+        assert!(sched.stage_cycles("a", &m) > 0.0);
+        assert_eq!(sched.stage_cycles("missing", &m), 0.0);
+    }
+
+    #[test]
+    fn total_counts_aggregate() {
+        let mut sched = KernelSchedule::new();
+        let mut c = ClassCounts::default();
+        c.neon_mac = 5;
+        sched.push(StageCost::compute("x", c));
+        sched.push(StageCost::bulk_move("y", 10, 20));
+        let t = sched.total_counts();
+        assert_eq!(t.neon_mac, 5);
+        assert_eq!(t.load_bytes, 10);
+        assert_eq!(t.store_bytes, 20);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based validation of the interpreter's lane semantics against
+//! straightforward scalar models, over random register contents.
+
+use neon_sim::inst::{Half, Inst};
+use neon_sim::{CortexA53, Machine};
+use proptest::prelude::*;
+
+fn machine_with(v0: [i8; 16], v1: [i8; 16]) -> Machine {
+    let mut m = Machine::new(256, CortexA53::cost_model());
+    for i in 0..16 {
+        m.v[0].set_i8_lane(i, v0[i]);
+        m.v[1].set_i8_lane(i, v1[i]);
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn smlal_matches_scalar_widening_mac(
+        a in prop::array::uniform16(any::<i8>()),
+        b in prop::array::uniform16(any::<i8>()),
+        c in prop::array::uniform8(any::<i16>()),
+    ) {
+        let mut m = machine_with(a, b);
+        for (i, &v) in c.iter().enumerate() {
+            m.v[2].set_i16_lane(i, v);
+        }
+        m.step(Inst::Smlal8 { vd: 2, vn: 0, vm: 1, half: Half::Low });
+        for lane in 0..8 {
+            let want = c[lane].wrapping_add((a[lane] as i16).wrapping_mul(b[lane] as i16));
+            prop_assert_eq!(m.v[2].i16_lane(lane), want);
+        }
+    }
+
+    #[test]
+    fn mla_matches_scalar_wrapping_mac(
+        a in prop::array::uniform16(any::<i8>()),
+        b in prop::array::uniform16(any::<i8>()),
+        c in prop::array::uniform16(any::<i8>()),
+    ) {
+        let mut m = machine_with(a, b);
+        for (i, &v) in c.iter().enumerate() {
+            m.v[2].set_i8_lane(i, v);
+        }
+        m.step(Inst::Mla8 { vd: 2, vn: 0, vm: 1 });
+        for lane in 0..16 {
+            prop_assert_eq!(
+                m.v[2].i8_lane(lane),
+                c[lane].wrapping_add(a[lane].wrapping_mul(b[lane]))
+            );
+        }
+    }
+
+    #[test]
+    fn sdot_matches_scalar_quad_dot(
+        a in prop::array::uniform16(any::<i8>()),
+        b in prop::array::uniform16(any::<i8>()),
+        c in prop::array::uniform4(any::<i32>()),
+    ) {
+        let mut m = machine_with(a, b);
+        for (i, &v) in c.iter().enumerate() {
+            m.v[2].set_i32_lane(i, v);
+        }
+        m.step(Inst::Sdot { vd: 2, vn: 0, vm: 1 });
+        for lane in 0..4 {
+            let dot: i32 = (0..4)
+                .map(|j| a[4 * lane + j] as i32 * b[4 * lane + j] as i32)
+                .sum();
+            prop_assert_eq!(m.v[2].i32_lane(lane), c[lane].wrapping_add(dot));
+        }
+    }
+
+    #[test]
+    fn saddw_pair_fully_drains_sixteen_lanes(
+        partials in prop::array::uniform8(any::<i16>()),
+        acc in prop::array::uniform4(-100_000i32..100_000),
+    ) {
+        // SADDW + SADDW2 together must add every i16 lane exactly once.
+        let mut m = Machine::new(64, CortexA53::cost_model());
+        for (i, &p) in partials.iter().enumerate() {
+            m.v[1].set_i16_lane(i, p);
+        }
+        for (i, &v) in acc.iter().enumerate() {
+            m.v[2].set_i32_lane(i, v);
+            m.v[3].set_i32_lane(i, v);
+        }
+        m.step(Inst::Saddw16 { vd: 2, vn: 2, vm: 1, half: Half::Low });
+        m.step(Inst::Saddw16 { vd: 3, vn: 3, vm: 1, half: Half::High });
+        for lane in 0..4 {
+            prop_assert_eq!(m.v[2].i32_lane(lane), acc[lane] + partials[lane] as i32);
+            prop_assert_eq!(m.v[3].i32_lane(lane), acc[lane] + partials[lane + 4] as i32);
+        }
+    }
+
+    #[test]
+    fn store_load_round_trips(pattern in prop::array::uniform16(any::<u8>())) {
+        let mut m = Machine::new(64, CortexA53::cost_model());
+        m.v[5] = neon_sim::VReg(pattern);
+        m.step(Inst::St1 { vt: 5, addr: 16 });
+        m.step(Inst::Ld1 { vt: 6, addr: 16 });
+        prop_assert_eq!(m.v[6].0, pattern);
+    }
+
+    #[test]
+    fn interpreter_counts_equal_program_length(
+        n_loads in 0usize..20,
+        n_macs in 0usize..20,
+    ) {
+        let mut prog = Vec::new();
+        for _ in 0..n_loads {
+            prog.push(Inst::Ld1 { vt: 0, addr: 0 });
+        }
+        for _ in 0..n_macs {
+            prog.push(Inst::Mla8 { vd: 2, vn: 0, vm: 1 });
+        }
+        let mut m = Machine::new(64, CortexA53::cost_model());
+        m.run(&prog);
+        prop_assert_eq!(m.stats().counts.total(), (n_loads + n_macs) as u64);
+        prop_assert_eq!(m.stats().counts.loads, n_loads as u64);
+        prop_assert_eq!(m.stats().counts.neon_mac, n_macs as u64);
+    }
+}

@@ -1,0 +1,36 @@
+//! The re-designed low-bit GEMM of the paper's Sec. 3.
+//!
+//! This crate implements, for an ARMv8.1-like target (the [`neon_sim`]
+//! substrate):
+//!
+//! * [`scheme`] — the two instruction schemes of Fig. 3 (`SMLAL`+`SADDW` for
+//!   4–8 bit, `MLA`+`SADDW` for 2–3 bit) with the published saturation-safe
+//!   accumulation ratios, plus the ncnn-like 16-bit baseline scheme,
+//! * [`pack`] — the data padding and packing of Fig. 2 (`n_a = 16` elements
+//!   per column of A, `n_b = 4` elements per row of B),
+//! * [`micro`] — the 16x4 register-tiled micro-kernel of Alg. 1 in three
+//!   consistent forms: a fast functional path, an analytic instruction-count
+//!   schedule, and an emitter to [`neon_sim`] instructions,
+//! * [`mod@gemm`] — the full tiled GEMM driver with its pipeline schedule,
+//! * [`traditional`] — the Fig. 1(a) traditional GEMM used for the Eq. 1–4
+//!   load/arithmetic ablation,
+//! * [`narrow`] — an 8x4 spill-free micro-kernel variant that wins at tight
+//!   drain ratios (extension; see its module docs),
+//! * [`sdot`] — the ARMv8.2 `SDOT` path that makes the drain machinery
+//!   unnecessary on newer cores (extension; Sec. 2.3's forward pointer).
+
+pub mod emit_gemm;
+pub mod gemm;
+pub mod micro;
+pub mod narrow;
+pub mod pack;
+pub mod sdot;
+pub mod scheme;
+pub mod traditional;
+
+pub use emit_gemm::{emit_gemm, GemmLayout};
+pub use gemm::{gemm, GemmOutput};
+pub use narrow::{gemm_narrow, schedule_gemm_narrow};
+pub use sdot::{gemm_sdot, schedule_gemm_sdot};
+pub use pack::{pack_a, pack_b, PackedA, PackedB, NA, NB};
+pub use scheme::{Scheme, SchemeKind};

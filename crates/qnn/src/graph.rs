@@ -1,0 +1,126 @@
+//! A minimal layer graph with the Sec. 4.4 quantization-fusion rewrites.
+//!
+//! The paper's canonical quantized block is
+//!
+//! ```text
+//! quantize → conv(+requantize) → dequantize → quantize → ReLU → dequantize
+//! ```
+//!
+//! and the two rewrites are: (1) fold `dequantize` into the conv epilogue
+//! (conv+dequant fusion), and (2) fold the `dequantize → quantize → ReLU`
+//! sandwich into the conv's re-quantization truncation range (conv+ReLU
+//! fusion).
+
+/// A layer in the (linear) graph.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Op {
+    /// f32 → int quantization.
+    Quantize,
+    /// Low-bit convolution with integer re-quantized output.
+    Conv,
+    /// Conv that writes f32 directly (conv+dequant fused).
+    ConvDequant,
+    /// Conv whose re-quantization truncates at 0 (conv+ReLU fused).
+    ConvRelu,
+    /// int → f32 dequantization.
+    Dequantize,
+    /// ReLU (on either representation).
+    Relu,
+}
+
+/// A linear sequence of layers.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Graph {
+    /// Ordered ops.
+    pub ops: Vec<Op>,
+}
+
+impl Graph {
+    /// The paper's unfused reference block.
+    pub fn reference_block() -> Graph {
+        Graph {
+            ops: vec![
+                Op::Quantize,
+                Op::Conv,
+                Op::Dequantize,
+                Op::Quantize,
+                Op::Relu,
+                Op::Dequantize,
+            ],
+        }
+    }
+
+    /// Number of kernel launches this graph costs (each op is one kernel).
+    pub fn kernel_count(&self) -> usize {
+        self.ops.len()
+    }
+}
+
+/// Applies both Sec. 4.4 rewrites until fixpoint.
+pub fn fuse(graph: &Graph) -> Graph {
+    let mut ops = graph.ops.clone();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        // Rewrite 1 (more specific first): Conv, Dequantize, Quantize, Relu
+        // -> ConvRelu (the trailing representation change disappears because
+        // the clamp happens inside the conv's requantization).
+        for i in 0..ops.len() {
+            if ops[i..].starts_with(&[Op::Conv, Op::Dequantize, Op::Quantize, Op::Relu]) {
+                ops.splice(i..i + 4, [Op::ConvRelu]);
+                changed = true;
+                break;
+            }
+        }
+        if changed {
+            continue;
+        }
+        // Rewrite 2: Conv, Dequantize -> ConvDequant.
+        for i in 0..ops.len() {
+            if ops[i..].starts_with(&[Op::Conv, Op::Dequantize]) {
+                ops.splice(i..i + 2, [Op::ConvDequant]);
+                changed = true;
+                break;
+            }
+            if ops[i..].starts_with(&[Op::ConvRelu, Op::Dequantize]) {
+                // The fused-ReLU conv can still absorb a following dequant.
+                ops.splice(i..i + 2, [Op::ConvDequant]);
+                changed = true;
+                break;
+            }
+        }
+    }
+    Graph { ops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_block_fuses_to_three_kernels() {
+        let fused = fuse(&Graph::reference_block());
+        // quantize, conv(+relu fused, + final dequant fused), = 2 kernels
+        // after both rewrites: [Quantize, ConvDequant].
+        assert_eq!(fused.ops, vec![Op::Quantize, Op::ConvDequant]);
+        assert!(fused.kernel_count() < Graph::reference_block().kernel_count());
+    }
+
+    #[test]
+    fn conv_dequant_pair_fuses() {
+        let g = Graph { ops: vec![Op::Conv, Op::Dequantize] };
+        assert_eq!(fuse(&g).ops, vec![Op::ConvDequant]);
+    }
+
+    #[test]
+    fn lone_conv_is_untouched() {
+        let g = Graph { ops: vec![Op::Quantize, Op::Conv] };
+        assert_eq!(fuse(&g), g);
+    }
+
+    #[test]
+    fn fusion_is_idempotent() {
+        let once = fuse(&Graph::reference_block());
+        assert_eq!(fuse(&once), once);
+    }
+}

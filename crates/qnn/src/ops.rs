@@ -1,0 +1,67 @@
+//! Elementwise layers surrounding the convolutions.
+
+use lowbit_tensor::{QTensor, Tensor};
+
+/// ReLU on a float tensor.
+pub fn relu_f32(t: &Tensor<f32>) -> Tensor<f32> {
+    let data: Vec<f32> = t.data().iter().map(|&v| v.max(0.0)).collect();
+    Tensor::from_vec(t.dims(), t.layout(), data)
+}
+
+/// ReLU on a quantized tensor (zero point 0 makes it a max with 0).
+pub fn relu_q(t: &QTensor) -> QTensor {
+    let data: Vec<i8> = t.data().iter().map(|&v| v.max(0)).collect();
+    QTensor::new(
+        Tensor::from_vec(t.dims(), t.layout(), data),
+        t.bits(),
+        t.scale(),
+    )
+}
+
+/// Adds a per-output-channel bias to an i32 accumulator tensor (the paper's
+/// in-place epilogue applies this before re-quantization).
+pub fn add_bias(acc: &mut Tensor<i32>, bias: &[i32], channel_dim_is_minor: bool) {
+    let (n, c, h, w) = acc.dims();
+    let channels = if channel_dim_is_minor { w } else { c };
+    assert_eq!(bias.len(), channels, "bias length must match channels");
+    for b in 0..n {
+        for cc in 0..c {
+            for hh in 0..h {
+                for ww in 0..w {
+                    let ch = if channel_dim_is_minor { ww } else { cc };
+                    let v = acc.get((b, cc, hh, ww)) + bias[ch];
+                    acc.set((b, cc, hh, ww), v);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowbit_tensor::{BitWidth, Layout};
+
+    #[test]
+    fn relu_zeroes_negatives_only() {
+        let t = Tensor::from_vec((1, 1, 1, 4), Layout::Nchw, vec![-1.5f32, 0.0, 2.5, -0.1]);
+        assert_eq!(relu_f32(&t).data(), &[0.0, 0.0, 2.5, 0.0]);
+    }
+
+    #[test]
+    fn relu_q_matches_dequantized_relu() {
+        let q = QTensor::random((1, 2, 3, 3), Layout::Nchw, BitWidth::W5, 4);
+        let direct = relu_q(&q).dequantize();
+        let via_float = relu_f32(&q.dequantize());
+        assert_eq!(direct.data(), via_float.data());
+    }
+
+    #[test]
+    fn bias_broadcasts_over_channels_nchw_style() {
+        let mut acc = Tensor::from_vec((1, 2, 1, 2), Layout::Nchw, vec![1i32, 2, 3, 4]);
+        add_bias(&mut acc, &[10, 20], false);
+        assert_eq!(acc.get((0, 0, 0, 0)), 11);
+        assert_eq!(acc.get((0, 0, 0, 1)), 12);
+        assert_eq!(acc.get((0, 1, 0, 0)), 23);
+    }
+}

@@ -1,0 +1,195 @@
+//! Linear symmetric quantization (zero point 0), the scheme the paper adopts
+//! from DSQ/LSQ-style training work — performance kernels see only the
+//! integer values and the scales.
+
+use lowbit_tensor::{BitWidth, Layout, QTensor, Tensor};
+
+/// A per-tensor symmetric quantizer: `real ≈ scale * q` with
+/// `q ∈ [qmin(bits), qmax(bits)]`.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Quantizer {
+    /// Target bit width.
+    pub bits: BitWidth,
+    /// Scale (real units per quantization step).
+    pub scale: f32,
+}
+
+impl Quantizer {
+    /// Calibrates a quantizer from the maximum absolute value of the data.
+    pub fn calibrate(bits: BitWidth, data: &[f32]) -> Quantizer {
+        let max_abs = data.iter().fold(0f32, |m, v| m.max(v.abs()));
+        let scale = if max_abs == 0.0 {
+            1.0
+        } else {
+            max_abs / bits.qmax() as f32
+        };
+        Quantizer { bits, scale }
+    }
+
+    /// Quantizes one value.
+    #[inline]
+    pub fn quantize(&self, v: f32) -> i8 {
+        let q = (v / self.scale).round() as i32;
+        self.bits.clamp_i32(q)
+    }
+
+    /// Dequantizes one value.
+    #[inline]
+    pub fn dequantize(&self, q: i8) -> f32 {
+        q as f32 * self.scale
+    }
+}
+
+/// Quantizes an `f32` tensor into a [`QTensor`].
+pub fn quantize_f32(t: &Tensor<f32>, quantizer: &Quantizer) -> QTensor {
+    let data: Vec<i8> = t.data().iter().map(|&v| quantizer.quantize(v)).collect();
+    QTensor::new(
+        Tensor::from_vec(t.dims(), t.layout(), data),
+        quantizer.bits,
+        quantizer.scale,
+    )
+}
+
+/// Dequantizes an i32 accumulator tensor with the combined scale
+/// `scale_in * scale_w` (the conv+dequantization fusion writes this
+/// directly).
+pub fn dequantize_i32(acc: &Tensor<i32>, combined_scale: f32) -> Tensor<f32> {
+    let data: Vec<f32> = acc
+        .data()
+        .iter()
+        .map(|&v| v as f32 * combined_scale)
+        .collect();
+    Tensor::from_vec(acc.dims(), acc.layout(), data)
+}
+
+/// Re-quantization parameters: i32 accumulators back to `bits`-wide integers.
+///
+/// `clamp_min` is adjustable: the conv+ReLU fusion of Sec. 4.4 sets it to 0,
+/// which folds the ReLU into the truncation for free.
+///
+/// ```
+/// use lowbit_qnn::RequantParams;
+/// use lowbit_tensor::BitWidth;
+///
+/// let rq = RequantParams::new(BitWidth::W8, 0.5);
+/// assert_eq!(rq.apply(-10), -5);
+/// assert_eq!(rq.with_relu().apply(-10), 0); // fused ReLU truncation
+/// ```
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct RequantParams {
+    /// Output bit width.
+    pub bits: BitWidth,
+    /// Combined multiplier `scale_in * scale_w / scale_out`.
+    pub multiplier: f32,
+    /// Lower truncation bound (defaults to `bits.qmin()`).
+    pub clamp_min: i8,
+}
+
+impl RequantParams {
+    /// Standard re-quantization into the adjusted range of `bits`.
+    pub fn new(bits: BitWidth, multiplier: f32) -> RequantParams {
+        RequantParams {
+            bits,
+            multiplier,
+            clamp_min: bits.qmin(),
+        }
+    }
+
+    /// The conv+ReLU-fused variant: truncation range starts at 0.
+    pub fn with_relu(mut self) -> RequantParams {
+        self.clamp_min = 0;
+        self
+    }
+
+    /// Applies to one accumulator.
+    #[inline]
+    pub fn apply(&self, acc: i32) -> i8 {
+        let v = (acc as f32 * self.multiplier).round() as i32;
+        v.clamp(self.clamp_min as i32, self.bits.qmax() as i32) as i8
+    }
+}
+
+/// Re-quantizes an accumulator tensor.
+pub fn requantize(acc: &Tensor<i32>, params: &RequantParams) -> QTensor {
+    let data: Vec<i8> = acc.data().iter().map(|&v| params.apply(v)).collect();
+    QTensor::new(
+        Tensor::from_vec(acc.dims(), acc.layout(), data),
+        params.bits,
+        1.0, // output scale is carried by the enclosing graph
+    )
+}
+
+/// Convenience: an all-zeros f32 tensor quantized at `bits` (used by tests).
+pub fn zeros_q(dims: (usize, usize, usize, usize), layout: Layout, bits: BitWidth) -> QTensor {
+    QTensor::new(Tensor::zeros(dims, layout), bits, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_maps_max_to_qmax() {
+        let data = vec![0.5f32, -2.0, 1.0];
+        let q = Quantizer::calibrate(BitWidth::W4, &data);
+        assert_eq!(q.quantize(2.0), 7);
+        assert_eq!(q.quantize(-2.0), -7); // symmetric clamp at -qmax... -2.0/s = -7
+        assert_eq!(q.quantize(0.0), 0);
+    }
+
+    #[test]
+    fn quantize_clamps_to_adjusted_range() {
+        let q = Quantizer { bits: BitWidth::W8, scale: 1.0 };
+        assert_eq!(q.quantize(1000.0), 127);
+        assert_eq!(q.quantize(-1000.0), -127); // adjusted range, not -128
+    }
+
+    #[test]
+    fn round_trip_error_is_at_most_half_step() {
+        let q = Quantizer::calibrate(BitWidth::W6, &[1.0]);
+        for i in -30..=30 {
+            let v = i as f32 / 30.0;
+            let err = (q.dequantize(q.quantize(v)) - v).abs();
+            assert!(err <= q.scale / 2.0 + 1e-6, "v={v} err={err}");
+        }
+    }
+
+    #[test]
+    fn requant_standard_vs_relu_clamp() {
+        let p = RequantParams::new(BitWidth::W8, 0.5);
+        assert_eq!(p.apply(-10), -5);
+        assert_eq!(p.apply(10), 5);
+        let pr = p.with_relu();
+        assert_eq!(pr.apply(-10), 0, "fused ReLU truncates negatives");
+        assert_eq!(pr.apply(10), 5);
+    }
+
+    #[test]
+    fn requant_relu_equals_relu_then_requant() {
+        // The Sec. 4.4 fusion argument: clamping at 0 during requantization
+        // is exactly ReLU on the dequantized value (zero point 0).
+        let p = RequantParams::new(BitWidth::W6, 0.037);
+        let pr = p.with_relu();
+        for acc in [-100_000, -37, -1, 0, 1, 12345, 100_000] {
+            let fused = pr.apply(acc);
+            let unfused = p.apply(acc).max(0);
+            assert_eq!(fused, unfused, "acc={acc}");
+        }
+    }
+
+    #[test]
+    fn dequantize_i32_scales() {
+        let t = Tensor::from_vec((1, 1, 1, 3), Layout::Nchw, vec![2i32, -4, 0]);
+        let f = dequantize_i32(&t, 0.25);
+        assert_eq!(f.data(), &[0.5, -1.0, 0.0]);
+    }
+
+    #[test]
+    fn tensor_quantization_respects_layout() {
+        let t = Tensor::from_vec((1, 2, 1, 2), Layout::Nhwc, vec![0.9f32, -0.9, 0.1, 0.4]);
+        let q = quantize_f32(&t, &Quantizer { bits: BitWidth::W4, scale: 0.15 });
+        assert_eq!(q.layout(), Layout::Nhwc);
+        assert_eq!(q.data()[0], 6);
+        assert_eq!(q.data()[1], -6);
+    }
+}

@@ -1,0 +1,218 @@
+//! Signed low-bit quantized value ranges.
+//!
+//! The paper optimizes convolutions whose operands are signed `b`-bit integers
+//! for `b ∈ 2..=8`. Two details matter for the instruction schemes of Sec. 3.3:
+//!
+//! 1. The **natural range** of a signed b-bit value is `[-2^(b-1), 2^(b-1)-1]`.
+//! 2. For 7- and 8-bit operands the paper **adjusts** the range to the symmetric
+//!    `[-(2^(b-1)-1), 2^(b-1)-1]` so that one extra multiply-accumulate fits in
+//!    the 16-bit intermediate register (e.g. 8-bit uses `[-127, 127]`, allowing
+//!    exactly two `SMLAL`s per `SADDW`).
+//!
+//! The `MLA` scheme (2–3 bit) keeps the natural asymmetric range; its published
+//! ratios (31:1 and 7:1) follow from `(-2^(b-1))^2` as the worst-case product.
+
+use std::fmt;
+
+/// A signed quantized bit width in `2..=8`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct BitWidth(u8);
+
+/// Error returned by [`BitWidth::new`] for widths outside `2..=8`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BitWidthError(pub u8);
+
+impl fmt::Display for BitWidthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bit width {} outside the supported range 2..=8", self.0)
+    }
+}
+
+impl std::error::Error for BitWidthError {}
+
+impl BitWidth {
+    /// 2-bit signed (`MLA` scheme).
+    pub const W2: BitWidth = BitWidth(2);
+    /// 3-bit signed (`MLA` scheme).
+    pub const W3: BitWidth = BitWidth(3);
+    /// 4-bit signed (`SMLAL` scheme).
+    pub const W4: BitWidth = BitWidth(4);
+    /// 5-bit signed (`SMLAL` scheme).
+    pub const W5: BitWidth = BitWidth(5);
+    /// 6-bit signed (`SMLAL` scheme).
+    pub const W6: BitWidth = BitWidth(6);
+    /// 7-bit signed (`SMLAL` scheme, adjusted range).
+    pub const W7: BitWidth = BitWidth(7);
+    /// 8-bit signed (`SMLAL` scheme, adjusted range `[-127, 127]`).
+    pub const W8: BitWidth = BitWidth(8);
+
+    /// All widths the ARM path supports, ascending.
+    pub const ALL: [BitWidth; 7] = [
+        Self::W2,
+        Self::W3,
+        Self::W4,
+        Self::W5,
+        Self::W6,
+        Self::W7,
+        Self::W8,
+    ];
+
+    /// Creates a bit width, validating `2 <= bits <= 8`.
+    pub fn new(bits: u8) -> Result<BitWidth, BitWidthError> {
+        if (2..=8).contains(&bits) {
+            Ok(BitWidth(bits))
+        } else {
+            Err(BitWidthError(bits))
+        }
+    }
+
+    /// The raw number of bits.
+    #[inline]
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// `true` when this width uses the `MLA`+`SADDW` scheme (2–3 bit).
+    #[inline]
+    pub fn uses_mla_scheme(self) -> bool {
+        self.0 <= 3
+    }
+
+    /// Natural minimum of a signed b-bit value (`-2^(b-1)`).
+    #[inline]
+    pub fn natural_min(self) -> i8 {
+        -(1i16 << (self.0 - 1)) as i8
+    }
+
+    /// Natural maximum of a signed b-bit value (`2^(b-1)-1`).
+    #[inline]
+    pub fn natural_max(self) -> i8 {
+        ((1i16 << (self.0 - 1)) - 1) as i8
+    }
+
+    /// Minimum of the *adjusted* range used by the instruction schemes.
+    ///
+    /// 7- and 8-bit are clamped symmetric (Sec. 3.3); 2–6 bit keep the natural
+    /// asymmetric range because the published ratios already account for the
+    /// `(-2^(b-1))^2` worst case.
+    #[inline]
+    pub fn qmin(self) -> i8 {
+        if self.0 >= 7 {
+            -self.natural_max()
+        } else {
+            self.natural_min()
+        }
+    }
+
+    /// Maximum of the adjusted range (always the natural maximum).
+    #[inline]
+    pub fn qmax(self) -> i8 {
+        self.natural_max()
+    }
+
+    /// Largest absolute value of a product of two in-range operands.
+    #[inline]
+    pub fn max_abs_product(self) -> i32 {
+        let lo = self.qmin() as i32;
+        let hi = self.qmax() as i32;
+        (lo * lo).max(hi * hi)
+    }
+
+    /// Number of quantization levels in the adjusted range.
+    #[inline]
+    pub fn levels(self) -> u32 {
+        (self.qmax() as i32 - self.qmin() as i32 + 1) as u32
+    }
+
+    /// Clamps a wider integer into the adjusted range.
+    #[inline]
+    pub fn clamp_i32(self, v: i32) -> i8 {
+        v.clamp(self.qmin() as i32, self.qmax() as i32) as i8
+    }
+}
+
+impl fmt::Display for BitWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-bit", self.0)
+    }
+}
+
+impl TryFrom<u8> for BitWidth {
+    type Error = BitWidthError;
+
+    fn try_from(bits: u8) -> Result<Self, Self::Error> {
+        BitWidth::new(bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_range() {
+        assert!(BitWidth::new(1).is_err());
+        assert!(BitWidth::new(9).is_err());
+        for b in 2..=8 {
+            assert_eq!(BitWidth::new(b).unwrap().bits(), b);
+        }
+    }
+
+    #[test]
+    fn natural_ranges() {
+        assert_eq!(BitWidth::W2.natural_min(), -2);
+        assert_eq!(BitWidth::W2.natural_max(), 1);
+        assert_eq!(BitWidth::W8.natural_min(), -128);
+        assert_eq!(BitWidth::W8.natural_max(), 127);
+    }
+
+    #[test]
+    fn adjusted_ranges_match_paper() {
+        // 8-bit adjusted to [-127, 127] (Sec. 3.3).
+        assert_eq!(BitWidth::W8.qmin(), -127);
+        assert_eq!(BitWidth::W8.qmax(), 127);
+        // 7-bit adjusted to [-63, 63] so that 8 SMLALs fit.
+        assert_eq!(BitWidth::W7.qmin(), -63);
+        assert_eq!(BitWidth::W7.qmax(), 63);
+        // Lower widths keep the asymmetric natural range.
+        assert_eq!(BitWidth::W4.qmin(), -8);
+        assert_eq!(BitWidth::W4.qmax(), 7);
+        assert_eq!(BitWidth::W2.qmin(), -2);
+        assert_eq!(BitWidth::W2.qmax(), 1);
+    }
+
+    #[test]
+    fn max_abs_product_uses_worst_case_operand() {
+        // 4-bit: (-8)^2 = 64 dominates 7^2 = 49.
+        assert_eq!(BitWidth::W4.max_abs_product(), 64);
+        // 8-bit adjusted: 127^2.
+        assert_eq!(BitWidth::W8.max_abs_product(), 127 * 127);
+        // 2-bit: (-2)^2 = 4.
+        assert_eq!(BitWidth::W2.max_abs_product(), 4);
+    }
+
+    #[test]
+    fn clamp_saturates_into_adjusted_range() {
+        assert_eq!(BitWidth::W8.clamp_i32(-128), -127);
+        assert_eq!(BitWidth::W8.clamp_i32(300), 127);
+        assert_eq!(BitWidth::W3.clamp_i32(-100), -4);
+        assert_eq!(BitWidth::W3.clamp_i32(100), 3);
+    }
+
+    #[test]
+    fn scheme_split_at_three_bits() {
+        assert!(BitWidth::W2.uses_mla_scheme());
+        assert!(BitWidth::W3.uses_mla_scheme());
+        assert!(!BitWidth::W4.uses_mla_scheme());
+        assert!(!BitWidth::W8.uses_mla_scheme());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(BitWidth::W4.to_string(), "4-bit");
+        assert_eq!(
+            BitWidthError(9).to_string(),
+            "bit width 9 outside the supported range 2..=8"
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! Memory layouts for 4-D activation tensors.
+//!
+//! The paper uses NCHW on the ARM CPU (explicit im2col GEMM) and NHWC on the
+//! GPU (implicit GEMM mapping channels to the GEMM K dimension contiguously).
+
+use std::fmt;
+
+/// 4-D tensor memory layout.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Layout {
+    /// Batch, channel, height, width — ARM CPU path.
+    Nchw,
+    /// Batch, height, width, channel — NVIDIA GPU path.
+    Nhwc,
+}
+
+impl Layout {
+    /// Linear offset of logical element `(n, c, h, w)` in a tensor with
+    /// dimensions `(nn, cc, hh, ww)` stored in this layout.
+    #[inline]
+    pub fn offset(
+        self,
+        (n, c, h, w): (usize, usize, usize, usize),
+        (nn, cc, hh, ww): (usize, usize, usize, usize),
+    ) -> usize {
+        debug_assert!(n < nn && c < cc && h < hh && w < ww);
+        match self {
+            Layout::Nchw => ((n * cc + c) * hh + h) * ww + w,
+            Layout::Nhwc => ((n * hh + h) * ww + w) * cc + c,
+        }
+    }
+
+    /// Stride (in elements) between consecutive channels at a fixed spatial
+    /// position.
+    #[inline]
+    pub fn channel_stride(self, (_, _cc, hh, ww): (usize, usize, usize, usize)) -> usize {
+        match self {
+            Layout::Nchw => hh * ww,
+            Layout::Nhwc => 1,
+        }
+    }
+}
+
+impl fmt::Display for Layout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Layout::Nchw => "NCHW",
+            Layout::Nhwc => "NHWC",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DIMS: (usize, usize, usize, usize) = (2, 3, 4, 5);
+
+    #[test]
+    fn nchw_offsets_are_row_major_in_w() {
+        let a = Layout::Nchw.offset((0, 0, 0, 0), DIMS);
+        let b = Layout::Nchw.offset((0, 0, 0, 1), DIMS);
+        assert_eq!(b - a, 1);
+        let c = Layout::Nchw.offset((0, 1, 0, 0), DIMS);
+        assert_eq!(c, 4 * 5);
+    }
+
+    #[test]
+    fn nhwc_offsets_are_channel_minor() {
+        let a = Layout::Nhwc.offset((0, 0, 0, 0), DIMS);
+        let b = Layout::Nhwc.offset((0, 1, 0, 0), DIMS);
+        assert_eq!(b - a, 1);
+        let c = Layout::Nhwc.offset((0, 0, 0, 1), DIMS);
+        assert_eq!(c, 3);
+    }
+
+    #[test]
+    fn both_layouts_are_bijections() {
+        for layout in [Layout::Nchw, Layout::Nhwc] {
+            let mut seen = [false; 2 * 3 * 4 * 5];
+            for n in 0..2 {
+                for c in 0..3 {
+                    for h in 0..4 {
+                        for w in 0..5 {
+                            let off = layout.offset((n, c, h, w), DIMS);
+                            assert!(!seen[off], "{layout} maps two elements to {off}");
+                            seen[off] = true;
+                        }
+                    }
+                }
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn channel_stride_matches_offset_delta() {
+        for layout in [Layout::Nchw, Layout::Nhwc] {
+            let d = layout.offset((0, 1, 1, 1), DIMS) - layout.offset((0, 0, 1, 1), DIMS);
+            assert_eq!(d, layout.channel_stride(DIMS));
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Sub-byte packed storage for low-bit tensors.
+//!
+//! The kernels compute on sign-extended `i8` lanes (as the hardware does),
+//! but *storage and traffic* for 2–4-bit data is packed — this is what makes
+//! the GPU's int4 operands half the bytes of int8 (Sec. 4.3's `int4` vector
+//! loads) and what a deployment writes to disk. [`PackedBits`] provides the
+//! bijective pack/unpack between `i8` values in a [`BitWidth`] range and a
+//! dense little-endian bit stream.
+
+use crate::BitWidth;
+
+/// A dense bit-packed buffer of signed `bits`-wide values.
+///
+/// ```
+/// use lowbit_tensor::{BitWidth, PackedBits};
+///
+/// let packed = PackedBits::pack(BitWidth::W4, &[-8, 7, 0, -1]);
+/// assert_eq!(packed.bytes(), 2); // two values per byte
+/// assert_eq!(packed.unpack(), vec![-8, 7, 0, -1]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PackedBits {
+    bits: BitWidth,
+    len: usize,
+    data: Vec<u8>,
+}
+
+impl PackedBits {
+    /// Packs `values` (each within the *natural* range of `bits`) into
+    /// `ceil(len * bits / 8)` bytes, little-endian within and across bytes.
+    pub fn pack(bits: BitWidth, values: &[i8]) -> PackedBits {
+        let b = bits.bits() as usize;
+        let mask = (1u16 << b) - 1;
+        let mut data = vec![0u8; (values.len() * b).div_ceil(8)];
+        for (i, &v) in values.iter().enumerate() {
+            assert!(
+                v >= bits.natural_min() && v <= bits.natural_max(),
+                "value {v} outside {bits} natural range"
+            );
+            let code = (v as u16) & mask; // two's complement truncation
+            let bit = i * b;
+            let (byte, off) = (bit / 8, bit % 8);
+            data[byte] |= (code << off) as u8;
+            if off + b > 8 {
+                data[byte + 1] |= (code >> (8 - off)) as u8;
+            }
+        }
+        PackedBits { bits, len: values.len(), data }
+    }
+
+    /// Number of packed values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no values are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Packed size in bytes.
+    pub fn bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Bit width of the stored values.
+    pub fn bits(&self) -> BitWidth {
+        self.bits
+    }
+
+    /// Raw packed bytes.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Decodes value `i` (sign-extended back to `i8`).
+    pub fn get(&self, i: usize) -> i8 {
+        assert!(i < self.len, "index {i} out of range {}", self.len);
+        let b = self.bits.bits() as usize;
+        let bit = i * b;
+        let (byte, off) = (bit / 8, bit % 8);
+        let mut code = (self.data[byte] as u16) >> off;
+        if off + b > 8 {
+            code |= (self.data[byte + 1] as u16) << (8 - off);
+        }
+        code &= (1 << b) - 1;
+        // Sign extend from b bits.
+        let sign = 1u16 << (b - 1);
+        ((code ^ sign).wrapping_sub(sign)) as i16 as i8
+    }
+
+    /// Decodes the whole buffer.
+    pub fn unpack(&self) -> Vec<i8> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn round_trips_every_bit_width() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for bits in BitWidth::ALL {
+            let values: Vec<i8> = (0..101)
+                .map(|_| rng.gen_range(bits.natural_min()..=bits.natural_max()))
+                .collect();
+            let packed = PackedBits::pack(bits, &values);
+            assert_eq!(packed.unpack(), values, "{bits}");
+        }
+    }
+
+    #[test]
+    fn packing_density_matches_bit_width() {
+        let values = vec![0i8; 160];
+        assert_eq!(PackedBits::pack(BitWidth::W2, &values).bytes(), 40);
+        assert_eq!(PackedBits::pack(BitWidth::W4, &values).bytes(), 80);
+        assert_eq!(PackedBits::pack(BitWidth::W8, &values).bytes(), 160);
+        // 3-bit: 480 bits = 60 bytes, values straddle byte boundaries.
+        assert_eq!(PackedBits::pack(BitWidth::W3, &values).bytes(), 60);
+    }
+
+    #[test]
+    fn extremes_survive_sign_extension() {
+        for bits in BitWidth::ALL {
+            let values = vec![bits.natural_min(), bits.natural_max(), 0, -1];
+            let packed = PackedBits::pack(bits, &values);
+            assert_eq!(packed.unpack(), values, "{bits}");
+        }
+    }
+
+    #[test]
+    fn odd_lengths_round_trip_across_byte_straddles() {
+        // 5- and 7-bit values constantly straddle byte boundaries.
+        for bits in [BitWidth::W5, BitWidth::W7] {
+            let values: Vec<i8> = (0..13)
+                .map(|i| if i % 2 == 0 { bits.natural_min() + i } else { bits.natural_max() - i })
+                .collect();
+            let packed = PackedBits::pack(bits, &values);
+            assert_eq!(packed.unpack(), values, "{bits}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_out_of_range_values() {
+        let _ = PackedBits::pack(BitWidth::W3, &[4]);
+    }
+
+    #[test]
+    fn int4_halves_int8_traffic() {
+        // The claim behind the GPU 4-bit advantage: same element count, half
+        // the bytes on the wire.
+        let values = vec![3i8; 4096];
+        let p4 = PackedBits::pack(BitWidth::W4, &values);
+        let p8 = PackedBits::pack(BitWidth::W8, &values);
+        assert_eq!(p4.bytes() * 2, p8.bytes());
+    }
+}

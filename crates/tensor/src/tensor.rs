@@ -1,0 +1,281 @@
+//! Dense tensors and their quantized counterpart.
+
+use crate::{BitWidth, Layout};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A dense 4-D tensor of `T` in a fixed [`Layout`].
+#[derive(Clone, PartialEq, Debug)]
+pub struct Tensor<T> {
+    dims: (usize, usize, usize, usize),
+    layout: Layout,
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> Tensor<T> {
+    /// Allocates a zero-initialized tensor.
+    pub fn zeros(dims: (usize, usize, usize, usize), layout: Layout) -> Tensor<T> {
+        let len = dims.0 * dims.1 * dims.2 * dims.3;
+        Tensor {
+            dims,
+            layout,
+            data: vec![T::default(); len],
+        }
+    }
+
+    /// Wraps existing data; `data.len()` must match the dimensions.
+    pub fn from_vec(
+        dims: (usize, usize, usize, usize),
+        layout: Layout,
+        data: Vec<T>,
+    ) -> Tensor<T> {
+        assert_eq!(
+            data.len(),
+            dims.0 * dims.1 * dims.2 * dims.3,
+            "data length does not match dims {dims:?}"
+        );
+        Tensor { dims, layout, data }
+    }
+
+    /// `(n, c, h, w)` logical dimensions.
+    #[inline]
+    pub fn dims(&self) -> (usize, usize, usize, usize) {
+        self.dims
+    }
+
+    /// Storage layout.
+    #[inline]
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// Flat immutable view of the storage.
+    #[inline]
+    pub fn data(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Flat mutable view of the storage.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Logical element accessor.
+    #[inline]
+    pub fn get(&self, idx: (usize, usize, usize, usize)) -> T {
+        self.data[self.layout.offset(idx, self.dims)]
+    }
+
+    /// Logical element mutator.
+    #[inline]
+    pub fn set(&mut self, idx: (usize, usize, usize, usize), v: T) {
+        let off = self.layout.offset(idx, self.dims);
+        self.data[off] = v;
+    }
+
+    /// Re-lays the tensor out in `layout`, copying elementwise.
+    pub fn to_layout(&self, layout: Layout) -> Tensor<T> {
+        if layout == self.layout {
+            return self.clone();
+        }
+        let mut out = Tensor::zeros(self.dims, layout);
+        let (nn, cc, hh, ww) = self.dims;
+        for n in 0..nn {
+            for c in 0..cc {
+                for h in 0..hh {
+                    for w in 0..ww {
+                        out.set((n, c, h, w), self.get((n, c, h, w)));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A quantized activation/weight tensor: `i8` storage constrained to a
+/// [`BitWidth`] range, with a per-tensor symmetric scale
+/// (`real = scale * quantized`, zero point fixed at 0 as in the paper's
+/// linear quantization scheme).
+#[derive(Clone, PartialEq, Debug)]
+pub struct QTensor {
+    tensor: Tensor<i8>,
+    bits: BitWidth,
+    scale: f32,
+}
+
+impl QTensor {
+    /// Wraps a tensor, checking every element is within the adjusted range of
+    /// `bits`.
+    pub fn new(tensor: Tensor<i8>, bits: BitWidth, scale: f32) -> QTensor {
+        for &v in tensor.data() {
+            assert!(
+                v >= bits.qmin() && v <= bits.qmax(),
+                "value {v} outside {bits} adjusted range [{}, {}]",
+                bits.qmin(),
+                bits.qmax()
+            );
+        }
+        QTensor {
+            tensor,
+            bits,
+            scale,
+        }
+    }
+
+    /// Deterministic synthetic tensor with values uniform in the adjusted
+    /// range — stands in for Caffe Model Zoo weights / ImageNet activations,
+    /// whose *values* do not affect kernel timing.
+    pub fn random(
+        dims: (usize, usize, usize, usize),
+        layout: Layout,
+        bits: BitWidth,
+        seed: u64,
+    ) -> QTensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let len = dims.0 * dims.1 * dims.2 * dims.3;
+        let lo = bits.qmin() as i32;
+        let hi = bits.qmax() as i32;
+        let data: Vec<i8> = (0..len).map(|_| rng.gen_range(lo..=hi) as i8).collect();
+        QTensor {
+            tensor: Tensor::from_vec(dims, layout, data),
+            bits,
+            scale: 1.0 / bits.qmax() as f32,
+        }
+    }
+
+    /// The underlying integer tensor.
+    #[inline]
+    pub fn tensor(&self) -> &Tensor<i8> {
+        &self.tensor
+    }
+
+    /// Quantized bit width.
+    #[inline]
+    pub fn bits(&self) -> BitWidth {
+        self.bits
+    }
+
+    /// Per-tensor scale.
+    #[inline]
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Logical dimensions.
+    #[inline]
+    pub fn dims(&self) -> (usize, usize, usize, usize) {
+        self.tensor.dims()
+    }
+
+    /// Storage layout.
+    #[inline]
+    pub fn layout(&self) -> Layout {
+        self.tensor.layout()
+    }
+
+    /// Flat data view.
+    #[inline]
+    pub fn data(&self) -> &[i8] {
+        self.tensor.data()
+    }
+
+    /// Logical element accessor.
+    #[inline]
+    pub fn get(&self, idx: (usize, usize, usize, usize)) -> i8 {
+        self.tensor.get(idx)
+    }
+
+    /// Dequantizes into an `f32` tensor.
+    pub fn dequantize(&self) -> Tensor<f32> {
+        let mut out = Tensor::zeros(self.dims(), self.layout());
+        for (o, &q) in out.data_mut().iter_mut().zip(self.tensor.data()) {
+            *o = q as f32 * self.scale;
+        }
+        out
+    }
+
+    /// Re-lays the tensor out in `layout`.
+    pub fn to_layout(&self, layout: Layout) -> QTensor {
+        QTensor {
+            tensor: self.tensor.to_layout(layout),
+            bits: self.bits,
+            scale: self.scale,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_expected_len_and_values() {
+        let t: Tensor<i32> = Tensor::zeros((1, 2, 3, 4), Layout::Nchw);
+        assert_eq!(t.data().len(), 24);
+        assert!(t.data().iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn from_vec_checks_len() {
+        let _ = Tensor::from_vec((1, 1, 2, 2), Layout::Nchw, vec![0i8; 3]);
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut t: Tensor<i8> = Tensor::zeros((2, 3, 4, 5), Layout::Nhwc);
+        t.set((1, 2, 3, 4), 42);
+        assert_eq!(t.get((1, 2, 3, 4)), 42);
+    }
+
+    #[test]
+    fn layout_conversion_preserves_logical_values() {
+        let q = QTensor::random((2, 3, 5, 4), Layout::Nchw, BitWidth::W5, 7);
+        let converted = q.to_layout(Layout::Nhwc);
+        for n in 0..2 {
+            for c in 0..3 {
+                for h in 0..5 {
+                    for w in 0..4 {
+                        assert_eq!(q.get((n, c, h, w)), converted.get((n, c, h, w)));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_respects_adjusted_range() {
+        for bits in BitWidth::ALL {
+            let q = QTensor::random((1, 4, 8, 8), Layout::Nchw, bits, 3);
+            assert!(q
+                .data()
+                .iter()
+                .all(|&v| v >= bits.qmin() && v <= bits.qmax()));
+        }
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let a = QTensor::random((1, 2, 4, 4), Layout::Nchw, BitWidth::W4, 11);
+        let b = QTensor::random((1, 2, 4, 4), Layout::Nchw, BitWidth::W4, 11);
+        assert_eq!(a.data(), b.data());
+        let c = QTensor::random((1, 2, 4, 4), Layout::Nchw, BitWidth::W4, 12);
+        assert_ne!(a.data(), c.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn qtensor_rejects_out_of_range_values() {
+        let t = Tensor::from_vec((1, 1, 1, 1), Layout::Nchw, vec![5i8]);
+        let _ = QTensor::new(t, BitWidth::W3, 1.0);
+    }
+
+    #[test]
+    fn dequantize_scales_values() {
+        let t = Tensor::from_vec((1, 1, 1, 2), Layout::Nchw, vec![2i8, -4]);
+        let q = QTensor::new(t, BitWidth::W4, 0.5);
+        assert_eq!(q.dequantize().data(), &[1.0, -2.0]);
+    }
+}

@@ -1,0 +1,47 @@
+//! Demonstrates the GPU tiling auto-search (Fig. 11's mechanism): show the
+//! default-vs-searched tile configuration for ResNet-50 layers at batch 1
+//! and 16, and how the best tile adapts to the GEMM shape.
+//!
+//! ```sh
+//! cargo run --release --example gpu_tuning
+//! ```
+
+use lowbit::prelude::*;
+use lowbit_conv_gpu::{auto_search, default_config, ConvGpuPlan};
+use lowbit_models::resnet50;
+
+fn main() {
+    let device = *GpuEngine::rtx2080ti().device();
+    let precision = Precision::TensorCoreInt8;
+
+    for batch in [1usize, 16] {
+        println!("=== batch {batch}, 8-bit Tensor Core ===");
+        println!(
+            "{:<8} {:>10} {:>22} {:>10} {:>10} {:>7}",
+            "layer", "GEMM MxN", "best tile (MxNxK/step)", "default us", "tuned us", "gain"
+        );
+        for l in resnet50() {
+            let shape = l.shape.with_batch(batch);
+            let default =
+                ConvGpuPlan::new(shape, default_config(precision), precision).time(&device);
+            let (cfg, tuned) = auto_search(&shape, precision, &device);
+            println!(
+                "{:<8} {:>10} {:>22} {:>10.1} {:>10.1} {:>6.2}x",
+                l.name,
+                format!("{}x{}", shape.gemm_n(), shape.gemm_m()),
+                format!(
+                    "{}x{}x{}/{} w{}x{}",
+                    cfg.m_tile, cfg.n_tile, cfg.k_tile, cfg.k_step, cfg.warps_m, cfg.warps_n
+                ),
+                default.total_us(),
+                tuned.total_us(),
+                default.total_s / tuned.total_s
+            );
+        }
+        println!();
+    }
+
+    println!("Note how batch 1 drives the search toward small M tiles: the GEMM");
+    println!("M dimension (output pixels) is tiny, and the 128x128 default strands");
+    println!("most of the 68 SMs — exactly the Fig. 11 effect.");
+}

@@ -1,0 +1,67 @@
+//! Workspace umbrella for the ICPP'20 extremely-low-bit convolution
+//! reproduction: shared fixtures for the runnable examples and the
+//! cross-crate integration tests.
+//!
+//! The library surface users consume is the [`lowbit`] crate; this crate
+//! only adds deterministic tensor factories so examples and tests stay
+//! short.
+
+use lowbit::prelude::*;
+
+/// Deterministic activation/weight pair for a conv layer on the ARM (NCHW)
+/// path.
+pub fn arm_tensors(shape: &ConvShape, bits: BitWidth, seed: u64) -> (QTensor, QTensor) {
+    (
+        QTensor::random(
+            (shape.batch, shape.c_in, shape.h, shape.w),
+            Layout::Nchw,
+            bits,
+            seed,
+        ),
+        QTensor::random(
+            (shape.c_out, shape.c_in, shape.kh, shape.kw),
+            Layout::Nchw,
+            bits,
+            seed ^ 0x9e37_79b9,
+        ),
+    )
+}
+
+/// Deterministic activation/weight pair for the GPU (NHWC/OHWI) path.
+///
+/// Generated in NCHW with the same seeds as [`arm_tensors`] and re-laid out,
+/// so the *logical* tensors are identical across platforms and results can
+/// be compared element for element.
+pub fn gpu_tensors(shape: &ConvShape, bits: BitWidth, seed: u64) -> (QTensor, QTensor) {
+    let (a, w) = arm_tensors(shape, bits, seed);
+    (a.to_layout(Layout::Nhwc), w.to_layout(Layout::Nhwc))
+}
+
+/// A small layer set that exercises stride, padding, batch and pointwise
+/// cases while staying cheap to execute functionally.
+pub fn smoke_shapes() -> Vec<ConvShape> {
+    vec![
+        ConvShape::new(1, 8, 10, 10, 12, 3, 1, 1),
+        ConvShape::new(2, 5, 9, 7, 6, 3, 2, 1),
+        ConvShape::new(1, 16, 6, 6, 8, 1, 1, 0),
+        ConvShape::new(1, 3, 12, 12, 4, 5, 2, 2),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic_and_layout_correct() {
+        let shape = ConvShape::new(1, 4, 6, 6, 8, 3, 1, 1);
+        let (a1, w1) = arm_tensors(&shape, BitWidth::W4, 7);
+        let (a2, w2) = arm_tensors(&shape, BitWidth::W4, 7);
+        assert_eq!(a1.data(), a2.data());
+        assert_eq!(w1.data(), w2.data());
+        assert_eq!(a1.layout(), Layout::Nchw);
+        let (g, gw) = gpu_tensors(&shape, BitWidth::W8, 7);
+        assert_eq!(g.layout(), Layout::Nhwc);
+        assert_eq!(gw.dims(), (8, 4, 3, 3));
+    }
+}

@@ -1,0 +1,142 @@
+//! Cross-backend integration: the ARM and GPU engines must compute the same
+//! logical convolution, every ARM algorithm must agree with every other, and
+//! engine policies must match the paper's.
+
+use lowbit::prelude::*;
+use lowbit::ArmAlgo;
+use lowbit_suite::{arm_tensors, gpu_tensors, smoke_shapes};
+
+/// NHWC and NCHW accumulator tensors holding the same logical values.
+fn logically_equal(a: &Tensor<i32>, b: &Tensor<i32>) -> bool {
+    if a.dims() != b.dims() {
+        return false;
+    }
+    let (n, c, h, w) = a.dims();
+    for bn in 0..n {
+        for cc in 0..c {
+            for hh in 0..h {
+                for ww in 0..w {
+                    if a.get((bn, cc, hh, ww)) != b.get((bn, cc, hh, ww)) {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+#[test]
+fn arm_and_gpu_agree_at_4_and_8_bit() {
+    let arm = ArmEngine::cortex_a53();
+    let gpu = GpuEngine::rtx2080ti();
+    for shape in smoke_shapes() {
+        for bits in [BitWidth::W4, BitWidth::W8] {
+            let (ai, aw) = arm_tensors(&shape, bits, 1000);
+            let (gi, gw) = gpu_tensors(&shape, bits, 1000);
+            let arm_out = arm.conv(&ai, &aw, &shape, ArmAlgo::Gemm);
+            let gpu_out = gpu.conv(&gi, &gw, &shape, Tuning::Default);
+            assert!(
+                logically_equal(&arm_out.acc, &gpu_out.acc),
+                "{shape} at {bits}: ARM and GPU disagree"
+            );
+        }
+    }
+}
+
+#[test]
+fn all_arm_algorithms_agree_with_each_other() {
+    let arm = ArmEngine::cortex_a53();
+    let shape = ConvShape::new(1, 6, 10, 10, 8, 3, 1, 1);
+    // 2-bit: GEMM (MLA scheme), Winograd (exact), bitserial all defined.
+    let (input, weights) = arm_tensors(&shape, BitWidth::W2, 77);
+    let gemm = arm.conv(&input, &weights, &shape, ArmAlgo::Gemm);
+    for algo in [ArmAlgo::Winograd, ArmAlgo::BitserialBaseline] {
+        let out = arm.conv(&input, &weights, &shape, algo);
+        assert_eq!(out.acc.data(), gemm.acc.data(), "{algo:?} deviates");
+    }
+    // 8-bit: GEMM vs ncnn baseline.
+    let (input, weights) = arm_tensors(&shape, BitWidth::W8, 78);
+    let gemm = arm.conv(&input, &weights, &shape, ArmAlgo::Gemm);
+    let ncnn = arm.conv(&input, &weights, &shape, ArmAlgo::NcnnBaseline);
+    assert_eq!(gemm.acc.data(), ncnn.acc.data());
+}
+
+#[test]
+fn modeled_time_orderings_match_the_paper_policy() {
+    // The engine's Auto policy must embody Sec. 3.4: Winograd at 4-6 bit on
+    // 3x3/s1, GEMM elsewhere; and lower bits must never model slower on the
+    // GEMM path.
+    let arm = ArmEngine::cortex_a53();
+    let shape = ConvShape::new(1, 64, 28, 28, 64, 3, 1, 1);
+    let mut last = f64::INFINITY;
+    for bits in BitWidth::ALL.iter().rev() {
+        let ms = arm.estimate_millis(*bits, &shape, ArmAlgo::Gemm);
+        assert!(
+            ms <= last * 1.0001,
+            "{bits} modeled slower than the next wider width"
+        );
+        last = ms;
+    }
+}
+
+#[test]
+fn gpu_4bit_beats_8bit_on_every_resnet_layer() {
+    let gpu = GpuEngine::rtx2080ti();
+    for l in lowbit::models::resnet50() {
+        let t8 = gpu.estimate(&l.shape, BitWidth::W8, Tuning::AutoSearch);
+        let t4 = gpu.estimate(&l.shape, BitWidth::W4, Tuning::AutoSearch);
+        assert!(
+            t4.total_s <= t8.total_s * 1.001,
+            "{}: 4-bit ({:.2}us) should not lose to 8-bit ({:.2}us)",
+            l.name,
+            t4.total_us(),
+            t8.total_us()
+        );
+    }
+}
+
+#[test]
+fn batched_execution_equals_stacked_single_batches() {
+    // Running batch=2 must equal running the two samples separately.
+    let arm = ArmEngine::cortex_a53();
+    let shape2 = ConvShape::new(2, 4, 8, 8, 5, 3, 2, 1);
+    let (input2, weights) = arm_tensors(&shape2, BitWidth::W5, 55);
+    let out2 = arm.conv(&input2, &weights, &shape2, ArmAlgo::Gemm);
+
+    let shape1 = shape2.with_batch(1);
+    let (oh, ow) = (shape1.out_h(), shape1.out_w());
+    for b in 0..2 {
+        // Slice sample b out of the batched input.
+        let mut single: Tensor<i8> = Tensor::zeros((1, 4, 8, 8), Layout::Nchw);
+        for c in 0..4 {
+            for h in 0..8 {
+                for w in 0..8 {
+                    single.set((0, c, h, w), input2.get((b, c, h, w)));
+                }
+            }
+        }
+        let qsingle = QTensor::new(single, BitWidth::W5, 1.0);
+        let out1 = arm.conv(&qsingle, &weights, &shape1, ArmAlgo::Gemm);
+        for co in 0..5 {
+            for y in 0..oh {
+                for x in 0..ow {
+                    assert_eq!(
+                        out1.acc.get((0, co, y, x)),
+                        out2.acc.get((b, co, y, x)),
+                        "batch slice {b} mismatch at ({co},{y},{x})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn engines_expose_the_table1_configuration() {
+    let arm = ArmEngine::cortex_a53();
+    assert!((arm.model().clock_hz - 1.2e9).abs() < 1.0);
+    let gpu = GpuEngine::rtx2080ti();
+    assert_eq!(gpu.device().sm_count, 68);
+    assert_eq!(gpu.device().mac_rate(Precision::TensorCoreInt4), 2048);
+}

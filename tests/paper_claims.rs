@@ -1,0 +1,133 @@
+//! Integration-level checks of the paper's headline claims, driven through
+//! the public `lowbit` API and the figure-regeneration experiments.
+
+use lowbit::prelude::*;
+use lowbit::ArmAlgo;
+use lowbit_bench::arm_experiments::{lowbit_vs_ncnn, space_figure, tvm_figure, winograd_figure};
+use lowbit_bench::gpu_experiments::{fusion, gpu_vs_baselines, profile_runs};
+use lowbit_bench::harness::{geomean, mean, winning_summary};
+use lowbit_models::{densenet121, resnet50, scr_resnet50};
+
+#[test]
+fn headline_arm_claim_2bit_and_4bit_beat_ncnn_8bit() {
+    // Abstract: "our 2-bit and 4-bit convolution kernels achieve 1.60x and
+    // 1.38x speedup on average, respectively, compared to 8-bit convolution
+    // in ncnn" — shape check: both well above 1, 2-bit above 4-bit.
+    let fig = lowbit_vs_ncnn(&resnet50());
+    let (avg2, wins2) = fig.summary(0);
+    let (avg4, wins4) = fig.summary(2);
+    assert!(wins2 >= 17 && wins4 >= 17);
+    assert!(avg2 > avg4 && avg4 > 1.2, "2-bit {avg2}, 4-bit {avg4}");
+}
+
+#[test]
+fn headline_gpu_claim_4bit_and_8bit_beat_cudnn() {
+    // Abstract: "4-bit and 8-bit convolution kernels achieve 5.26x and 4.31x
+    // speedup on average, respectively, compared to cuDNN" (batch 1).
+    let fig = gpu_vs_baselines(&resnet50(), 1);
+    let s8 = geomean(&fig.speedup_vs_cudnn(&fig.ours8_us));
+    let s4 = geomean(&fig.speedup_vs_cudnn(&fig.ours4_us));
+    assert!((3.0..=6.5).contains(&s8), "8-bit geomean {s8} (paper 4.31)");
+    assert!((4.0..=8.5).contains(&s4), "4-bit geomean {s4} (paper 5.26)");
+    assert!(s4 > s8);
+}
+
+#[test]
+fn scr_resnet_shows_larger_gains_than_resnet() {
+    // Sec. 5.5: SCR-ResNet-50 speedups vs TensorRT exceed ResNet-50's
+    // because its shapes are outside TensorRT's tuning radar.
+    let resnet = gpu_vs_baselines(&resnet50(), 1);
+    let scr = gpu_vs_baselines(&scr_resnet50(), 1);
+    let g_resnet = geomean(&resnet.speedup_vs_tensorrt(&resnet.ours8_us));
+    let g_scr = geomean(&scr.speedup_vs_tensorrt(&scr.ours8_us));
+    assert!(
+        g_scr > g_resnet,
+        "SCR ({g_scr:.2}) should beat ResNet ({g_resnet:.2}) vs TRT"
+    );
+}
+
+#[test]
+fn densenet_arm_summary_shape() {
+    // Fig. 14: 2-7 bit all beat ncnn on most layers; 8-bit roughly at parity.
+    let fig = lowbit_vs_ncnn(&densenet121());
+    for b in 0..6 {
+        let (_, wins) = fig.summary(b);
+        assert!(wins >= 12, "{} wins only {wins}/16", fig.bits[b]);
+    }
+    let g8 = geomean(&fig.speedups[6]);
+    assert!((0.8..=1.15).contains(&g8), "8-bit geomean {g8}");
+}
+
+#[test]
+fn winograd_figure_has_the_published_ordering() {
+    // Fig. 8: winograd > gemm at 4-6 bit on the 56x56/28x28/14x14 3x3
+    // layers; gains shrink as bits rise (drain ratio tightens).
+    let fig = winograd_figure(&resnet50());
+    let avg4 = mean(&fig.winograd[0]);
+    let avg6 = mean(&fig.winograd[2]);
+    assert!(avg4 > avg6, "winograd gain must shrink with bit width");
+}
+
+#[test]
+fn tvm_figure_summary() {
+    let fig = tvm_figure(&resnet50());
+    let (avg, wins) = winning_summary(&fig.speedups);
+    assert!(wins >= 15 && avg > 1.3);
+}
+
+#[test]
+fn profile_runs_and_fusion_are_always_wins() {
+    let pr = profile_runs(&resnet50());
+    assert!(pr.gain4.iter().chain(&pr.gain8).all(|&g| g >= 1.0 - 1e-9));
+    let fu = fusion(&resnet50());
+    assert!(fu.dequant.iter().all(|&s| s > 1.0));
+    assert!(fu.relu.iter().all(|&s| s > 1.0));
+}
+
+#[test]
+fn space_overhead_total_stays_in_the_paper_band() {
+    // Sec. 5.4: total overhead 1.0232x..8.6034x, avg 1.9455x. Our stem
+    // reconstruction exceeds the top (documented); everything else is in
+    // band and padding adds at most fractions of a percent.
+    let fig = space_figure(&resnet50());
+    for (i, &t) in fig.total.iter().enumerate() {
+        assert!(t >= 1.0, "{}: total {t}", fig.layers[i]);
+        if fig.layers[i] != "conv1" {
+            assert!(t <= 8.7, "{}: total {t}", fig.layers[i]);
+        }
+    }
+}
+
+#[test]
+fn quantization_does_not_change_kernel_results() {
+    // Sec. 5.1's no-accuracy-loss argument, part 2: the optimized kernels
+    // produce the same i32 results as 32-bit computation. Drive the claim
+    // through the public engines against a f64 reference.
+    let shape = ConvShape::new(1, 5, 7, 7, 4, 3, 1, 1);
+    let (input, weights) = lowbit_suite::arm_tensors(&shape, BitWidth::W6, 4242);
+    let engine = ArmEngine::cortex_a53();
+    let out = engine.conv(&input, &weights, &shape, ArmAlgo::Gemm);
+    // f64 reference accumulation.
+    let (oh, ow) = (shape.out_h(), shape.out_w());
+    for co in 0..shape.c_out {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0f64;
+                for ci in 0..shape.c_in {
+                    for kr in 0..3 {
+                        for kc in 0..3 {
+                            let iy = oy as isize + kr - 1;
+                            let ix = ox as isize + kc - 1;
+                            if !(0..7).contains(&iy) || !(0..7).contains(&ix) {
+                                continue;
+                            }
+                            acc += input.get((0, ci, iy as usize, ix as usize)) as f64
+                                * weights.get((co, ci, kr as usize, kc as usize)) as f64;
+                        }
+                    }
+                }
+                assert_eq!(out.acc.get((0, co, oy, ox)) as f64, acc);
+            }
+        }
+    }
+}
