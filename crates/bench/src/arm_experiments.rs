@@ -30,6 +30,11 @@ impl LowbitVsNcnn {
 /// Runs the Fig. 7-style comparison on a layer table. The low-bit kernels
 /// use the paper's algorithm policy (`ArmAlgo::Auto` would switch to
 /// Winograd at 4–6 bit; Fig. 7 isolates the GEMM path, so `Gemm` is forced).
+///
+/// All figure experiments price *cold* one-shot convolutions
+/// ([`ArmEngine::estimate_millis_cold`]): the paper's per-layer kernel
+/// measurements include the weight pack that the engine's prepack cache
+/// amortizes away during network inference.
 pub fn lowbit_vs_ncnn(table: &[LayerDef]) -> LowbitVsNcnn {
     let engine = ArmEngine::cortex_a53();
     let bits: Vec<BitWidth> = BitWidth::ALL.to_vec();
@@ -44,7 +49,7 @@ pub fn lowbit_vs_ncnn(table: &[LayerDef]) -> LowbitVsNcnn {
             table
                 .iter()
                 .zip(&baseline_ms)
-                .map(|(l, &base)| base / engine.estimate_millis(b, &l.shape, ArmAlgo::Gemm))
+                .map(|(l, &base)| base / engine.estimate_millis_cold(b, &l.shape, ArmAlgo::Gemm))
                 .collect()
         })
         .collect();
@@ -87,7 +92,7 @@ pub fn winograd_figure(table: &[LayerDef]) -> WinogradFigure {
                 layers
                     .iter()
                     .zip(&baseline_ms)
-                    .map(|(l, &base)| base / engine.estimate_millis(b, &l.shape, algo))
+                    .map(|(l, &base)| base / engine.estimate_millis_cold(b, &l.shape, algo))
                     .collect()
             })
             .collect()
@@ -126,13 +131,99 @@ pub fn tvm_figure(table: &[LayerDef]) -> TvmFigure {
         .iter()
         .zip(&baseline_ms)
         .map(|(l, &base)| {
-            base / engine.estimate_millis(BitWidth::W2, &l.shape, ArmAlgo::Gemm)
+            base / engine.estimate_millis_cold(BitWidth::W2, &l.shape, ArmAlgo::Gemm)
         })
         .collect();
     TvmFigure {
         layers: table.iter().map(|l| l.name).collect(),
         baseline_ms,
         speedups,
+    }
+}
+
+/// Thread-scaling rows for the parallel execution engine (extension; not a
+/// paper figure — the paper reports single-core kernel times).
+///
+/// Modeled speedups follow Amdahl's law over the warm (prepacked) analytic
+/// schedule: im2col and requantization stay serial while pack-B and the GEMM
+/// inner loops split across per-thread column blocks
+/// ([`lowbit::conv_arm::parallel_cycle_split`]).
+#[derive(Clone, Debug)]
+pub struct ParallelScaling {
+    /// Layer names.
+    pub layers: Vec<&'static str>,
+    /// Thread counts evaluated.
+    pub threads: Vec<usize>,
+    /// Serial fraction of each layer's warm schedule (im2col + requantize).
+    pub serial_fraction: Vec<f64>,
+    /// `modeled[t][l]` = Amdahl speedup at `threads[t]`, layer `l`.
+    pub modeled: Vec<Vec<f64>>,
+    /// `measured_ms[t][l]` = host wall-clock ms per steady-state conv
+    /// (empty unless measurement was requested; host-dependent, the modeled
+    /// numbers are the tracked quantity).
+    pub measured_ms: Vec<Vec<f64>>,
+    /// Workspace allocation events summed over every timed steady-state
+    /// call — zero when the arena reuse works.
+    pub steady_allocs: u64,
+}
+
+/// Runs the thread-scaling experiment at 4 bit. `measure` additionally runs
+/// real convolutions per thread count (one warm-up plus one timed call per
+/// layer) — keep the table small when measuring in debug builds.
+pub fn parallel_scaling(table: &[LayerDef], threads: &[usize], measure: bool) -> ParallelScaling {
+    use lowbit::conv_arm::{parallel_cycle_split, schedule_gemm_conv_prepacked};
+    use lowbit_qgemm::Scheme;
+    let engine = ArmEngine::cortex_a53();
+    let scheme = Scheme::for_bits(BitWidth::W4);
+    let split: Vec<(f64, f64)> = table
+        .iter()
+        .map(|l| {
+            let sched = schedule_gemm_conv_prepacked(&scheme, &l.shape);
+            parallel_cycle_split(&sched, engine.model())
+        })
+        .collect();
+    let serial_fraction = split.iter().map(|&(s, p)| s / (s + p)).collect();
+    let modeled: Vec<Vec<f64>> = threads
+        .iter()
+        .map(|&t| {
+            split
+                .iter()
+                .map(|&(s, p)| (s + p) / (s + p / t as f64))
+                .collect()
+        })
+        .collect();
+
+    let mut measured_ms = Vec::new();
+    let mut steady_allocs = 0;
+    if measure {
+        for &t in threads {
+            let eng = ArmEngine::cortex_a53().with_threads(t);
+            let mut row = Vec::new();
+            for l in table {
+                let s = &l.shape;
+                let input =
+                    QTensor::random((s.batch, s.c_in, s.h, s.w), Layout::Nchw, BitWidth::W4, 1);
+                let weights =
+                    QTensor::random((s.c_out, s.c_in, s.kh, s.kw), Layout::Nchw, BitWidth::W4, 2);
+                // Warm-up packs the weights and sizes the arena; the timed
+                // call is the allocation-free steady state.
+                eng.conv(&input, &weights, s, ArmAlgo::Gemm);
+                let before = eng.workspace_stats().alloc_events;
+                let t0 = std::time::Instant::now();
+                eng.conv(&input, &weights, s, ArmAlgo::Gemm);
+                row.push(t0.elapsed().as_secs_f64() * 1e3);
+                steady_allocs += eng.workspace_stats().alloc_events - before;
+            }
+            measured_ms.push(row);
+        }
+    }
+    ParallelScaling {
+        layers: table.iter().map(|l| l.name).collect(),
+        threads: threads.to_vec(),
+        serial_fraction,
+        modeled,
+        measured_ms,
+        steady_allocs,
     }
 }
 
@@ -276,6 +367,36 @@ mod tests {
         let (avg, wins) = crate::harness::winning_summary(&fig.speedups);
         assert!(wins >= 14, "paper: 16/19 winning layers, got {wins}");
         assert!((1.3..=2.4).contains(&avg), "paper avg 1.78, got {avg}");
+    }
+
+    #[test]
+    fn parallel_engine_models_two_x_at_four_threads() {
+        let fig = parallel_scaling(&resnet50(), &[1, 2, 4], false);
+        // 1 thread is exactly the serial schedule.
+        for (l, &s) in fig.modeled[0].iter().enumerate() {
+            assert!((s - 1.0).abs() < 1e-12, "{}: 1-thread speedup {s}", fig.layers[l]);
+        }
+        // Speedup grows with threads on every layer and the 4-thread average
+        // clears the 2x target (serial im2col bounds it via Amdahl).
+        for l in 0..fig.layers.len() {
+            assert!(fig.modeled[1][l] > 1.0 && fig.modeled[2][l] > fig.modeled[1][l]);
+            assert!(fig.serial_fraction[l] < 0.5, "{}: serial fraction", fig.layers[l]);
+        }
+        let avg4 = mean(&fig.modeled[2]);
+        assert!(avg4 >= 2.0, "modeled 4-thread avg speedup {avg4} below 2x");
+    }
+
+    #[test]
+    fn parallel_engine_measured_runs_do_not_allocate() {
+        // A small layer so the measured path stays fast in debug builds.
+        let table = [lowbit_models::LayerDef {
+            name: "tiny3x3",
+            shape: ConvShape::new(1, 8, 14, 14, 16, 3, 1, 1),
+        }];
+        let fig = parallel_scaling(&table, &[1, 2], true);
+        assert_eq!(fig.measured_ms.len(), 2);
+        assert!(fig.measured_ms.iter().all(|row| row.iter().all(|&ms| ms > 0.0)));
+        assert_eq!(fig.steady_allocs, 0, "steady-state convs must not allocate");
     }
 
     #[test]

@@ -95,9 +95,23 @@ fn main() {
         println!();
     }
 
+    println!("=== Thread scaling (extension): parallel GEMM-conv engine ===");
+    let fig = parallel_scaling(&resnet50(), &[1, 2, 4], false);
+    for (t, &threads) in fig.threads.iter().enumerate() {
+        println!(
+            "{threads} thread(s): modeled avg speedup {:.2}x over the serial schedule",
+            mean(&fig.modeled[t])
+        );
+    }
+    println!();
+
     let dir = std::path::Path::new("target/experiments");
     match lowbit_bench::export::save_all(dir) {
         Ok(paths) => println!("wrote {} per-figure CSVs under {}", paths.len(), dir.display()),
         Err(e) => eprintln!("CSV export failed: {e}"),
+    }
+    match lowbit_bench::export::save_parallel_json(dir) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("parallel JSON export failed: {e}"),
     }
 }

@@ -107,6 +107,96 @@ pub fn save_all(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
     Ok(paths)
 }
 
+fn json_f64_list(vals: &[f64]) -> String {
+    let items: Vec<String> = vals.iter().map(|v| format!("{v:.6}")).collect();
+    format!("[{}]", items.join(","))
+}
+
+fn json_str_list(vals: &[&str]) -> String {
+    let items: Vec<String> = vals.iter().map(|v| format!("\"{v}\"")).collect();
+    format!("[{}]", items.join(","))
+}
+
+/// Writes `BENCH_parallel.json` under `dir`: the modeled Amdahl thread
+/// scaling over the full ResNet-50 table plus a measured steady-state run on
+/// a small layer (so the file regenerates quickly even in debug builds).
+/// This is the perf-trajectory record for the parallel execution engine.
+pub fn save_parallel_json(dir: &Path) -> std::io::Result<PathBuf> {
+    use crate::arm_experiments::parallel_scaling;
+    use lowbit_models::LayerDef;
+    use lowbit_tensor::ConvShape;
+
+    let threads = [1usize, 2, 4];
+    let modeled = parallel_scaling(&resnet50(), &threads, false);
+    let small = [LayerDef {
+        name: "tiny3x3",
+        shape: ConvShape::new(1, 8, 14, 14, 16, 3, 1, 1),
+    }];
+    let measured = parallel_scaling(&small, &threads, true);
+
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"experiment\": \"parallel_gemm_conv_scaling\",\n");
+    s.push_str("  \"bits\": 4,\n");
+    s.push_str(&format!(
+        "  \"threads\": [{}],\n",
+        threads.map(|t| t.to_string()).join(",")
+    ));
+    s.push_str("  \"modeled\": {\n");
+    s.push_str(&format!(
+        "    \"layers\": {},\n",
+        json_str_list(&modeled.layers)
+    ));
+    s.push_str(&format!(
+        "    \"serial_fraction\": {},\n",
+        json_f64_list(&modeled.serial_fraction)
+    ));
+    let rows: Vec<String> = modeled
+        .modeled
+        .iter()
+        .map(|row| format!("      {}", json_f64_list(row)))
+        .collect();
+    s.push_str(&format!(
+        "    \"amdahl_speedup\": [\n{}\n    ],\n",
+        rows.join(",\n")
+    ));
+    let avgs: Vec<f64> = modeled
+        .modeled
+        .iter()
+        .map(|row| crate::harness::mean(row))
+        .collect();
+    s.push_str(&format!(
+        "    \"avg_speedup\": {}\n",
+        json_f64_list(&avgs)
+    ));
+    s.push_str("  },\n");
+    s.push_str("  \"measured\": {\n");
+    s.push_str(&format!(
+        "    \"layers\": {},\n",
+        json_str_list(&measured.layers)
+    ));
+    let rows: Vec<String> = measured
+        .measured_ms
+        .iter()
+        .map(|row| format!("      {}", json_f64_list(row)))
+        .collect();
+    s.push_str(&format!(
+        "    \"wall_ms\": [\n{}\n    ],\n",
+        rows.join(",\n")
+    ));
+    s.push_str(&format!(
+        "    \"steady_alloc_events\": {}\n",
+        measured.steady_allocs
+    ));
+    s.push_str("  }\n");
+    s.push_str("}\n");
+
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join("BENCH_parallel.json");
+    std::fs::write(&path, s)?;
+    Ok(path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,5 +217,26 @@ mod tests {
                 assert_eq!(row.split(',').count(), header_cols, "{p:?} ragged");
             }
         }
+    }
+
+    #[test]
+    fn parallel_json_has_the_tracked_fields() {
+        let dir = std::env::temp_dir().join("lowbit_parallel_json_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = save_parallel_json(&dir).unwrap();
+        assert!(path.ends_with("BENCH_parallel.json"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        for key in [
+            "\"experiment\"",
+            "\"threads\"",
+            "\"amdahl_speedup\"",
+            "\"avg_speedup\"",
+            "\"wall_ms\"",
+            "\"steady_alloc_events\": 0",
+        ] {
+            assert!(text.contains(key), "missing {key} in {text}");
+        }
+        // 19 ResNet-50 layers modeled at 3 thread counts.
+        assert_eq!(text.matches("\"conv").count(), 19, "modeled layer list");
     }
 }

@@ -1,0 +1,175 @@
+//! Offline stand-in for the subset of the `criterion` 0.5 API this
+//! workspace uses. The build environment has no crates.io access, so the
+//! workspace vendors this shim under the same crate name.
+//!
+//! It is a real (if simple) benchmark harness: every registered closure is
+//! warmed up once and then timed for `sample_size` samples with
+//! `std::time::Instant`; mean/min wall time and derived throughput are
+//! printed per benchmark. There is no statistical regression machinery and
+//! no HTML report — just honest timings so `cargo bench` keeps working.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export of the compiler fence criterion users reach for.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Per-iteration work declaration used to derive throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier (`group/function/parameter`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new<P: Display>(name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+
+    /// Parameter-only id (the group supplies the name).
+    pub fn from_parameter<P: Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Mean per-iteration time of the last `iter` call.
+    last_mean: Duration,
+    last_min: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` for the configured number of samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        hint::black_box(routine()); // warm-up, untimed
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            hint::black_box(routine());
+            let dt = t0.elapsed();
+            total += dt;
+            min = min.min(dt);
+        }
+        self.last_mean = total / self.samples as u32;
+        self.last_min = min;
+    }
+}
+
+/// A named group of benchmarks sharing sample/throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples per benchmark (criterion's default is 100; keep it modest).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    fn report(&self, id: &str, mean: Duration, min: Duration) {
+        let rate = self.throughput.map(|t| {
+            let (count, unit) = match t {
+                Throughput::Elements(e) => (e as f64, "elem/s"),
+                Throughput::Bytes(b) => (b as f64, "B/s"),
+            };
+            format!(" thrpt: {:.3e} {unit}", count / mean.as_secs_f64())
+        });
+        println!(
+            "{}/{id}: mean {:?}  min {:?}{}",
+            self.name,
+            mean,
+            min,
+            rate.unwrap_or_default()
+        );
+    }
+
+    /// Runs one benchmark closure.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { samples: self.samples, last_mean: Duration::ZERO, last_min: Duration::ZERO };
+        f(&mut b);
+        self.report(&id.to_string(), b.last_mean, b.last_min);
+        self
+    }
+
+    /// Runs one parameterized benchmark closure.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { samples: self.samples, last_mean: Duration::ZERO, last_min: Duration::ZERO };
+        f(&mut b, input);
+        self.report(&id.to_string(), b.last_mean, b.last_min);
+        self
+    }
+
+    /// Ends the group (reporting is immediate, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// The harness entry object handed to `criterion_group!` functions.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), samples: 10, throughput: None, _criterion: self }
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags; ignore them.
+            let _ = ::std::env::args();
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,604 @@
+//! Offline stand-in for the subset of the `proptest` 1.x API this
+//! workspace uses: the `proptest!` test macro, `prop_assert*` macros,
+//! range/tuple/`Just`/`prop_oneof!` strategies, `prop_map` /
+//! `prop_filter_map` / `prop_filter` combinators, `any::<T>()`,
+//! `prop::array::uniform{4,8,16}`, `prop::sample::Index`, and
+//! `collection::vec`.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! this shim under the same crate name. Semantics: every test case draws
+//! fresh values from a deterministic per-(test, case) SplitMix64 stream, so
+//! failures reproduce exactly across runs and thread counts. There is no
+//! shrinking — a failing case reports the offending message and its case
+//! index instead of a minimized input.
+#![allow(clippy::type_complexity)] // boxed strategy fns mirror the real API
+
+use std::fmt::Write as _;
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner {
+    //! Runner configuration and the deterministic case RNG.
+
+    /// Per-`proptest!`-block configuration (only `cases` is honored).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases each test runs.
+        pub cases: u32,
+        /// Upper bound on filter rejections per generated value.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256, max_global_rejects: 65536 }
+        }
+    }
+
+    /// Deterministic SplitMix64 stream seeded from (test path, case index).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// The stream for one named test's `case`-th input.
+        pub fn for_case(test_path: &str, case: u32) -> TestRng {
+            // FNV-1a over the path, mixed with the case index.
+            let mut h = 0xcbf29ce484222325u64;
+            for b in test_path.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+            }
+            TestRng { state: h ^ ((case as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15)) }
+        }
+
+        /// Next raw 64 uniform bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, bound)`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "cannot sample an empty domain");
+            self.next_u64() % bound
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// How many rejections a `prop_filter*` strategy tolerates per value.
+const REJECT_CAP: usize = 4096;
+
+/// A generator of random values (no shrinking in this shim).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values `f` accepts, re-drawing otherwise.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, whence, f }
+    }
+
+    /// Maps values through `f`, re-drawing whenever it returns `None`.
+    fn prop_filter_map<O, F: Fn(Self::Value) -> Option<O>>(
+        self,
+        whence: &'static str,
+        f: F,
+    ) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FilterMap { inner: self, whence, f }
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// `prop_filter` adapter.
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..REJECT_CAP {
+            let v = self.inner.new_value(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter '{}' rejected {} consecutive draws", self.whence, REJECT_CAP);
+    }
+}
+
+/// `prop_filter_map` adapter.
+pub struct FilterMap<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        for _ in 0..REJECT_CAP {
+            if let Some(v) = (self.f)(self.inner.new_value(rng)) {
+                return v;
+            }
+        }
+        panic!("prop_filter_map '{}' rejected {} consecutive draws", self.whence, REJECT_CAP);
+    }
+}
+
+/// Always generates a clone of the held value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed alternatives (built by `prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<Box<dyn Fn(&mut TestRng) -> T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds from the boxed generator list (used by `prop_oneof!`).
+    pub fn from_generators(options: Vec<Box<dyn Fn(&mut TestRng) -> T>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let pick = rng.below(self.options.len() as u64) as usize;
+        (self.options[pick])(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                self.start + (unit as $t) * (self.end - self.start)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let unit = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+                lo + (unit as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+tuple_strategy!(A, B, C, D, E, F, G, H, I);
+tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+pub mod arbitrary {
+    //! `any::<T>()` for the primitive types the workspace draws.
+
+    use super::test_runner::TestRng;
+    use super::Strategy;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one value from the full domain.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for super::sample::Index {
+        fn arbitrary(rng: &mut TestRng) -> super::sample::Index {
+            super::sample::Index::from_raw(rng.next_u64())
+        }
+    }
+
+    /// The strategy `any::<T>()` returns.
+    pub struct ArbitraryStrategy<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for ArbitraryStrategy<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The whole-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> ArbitraryStrategy<T> {
+        ArbitraryStrategy(PhantomData)
+    }
+}
+
+pub mod sample {
+    //! Collection-index sampling.
+
+    /// An abstract index, resolved against a concrete length at use time.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index {
+        raw: u64,
+    }
+
+    impl Index {
+        pub(crate) fn from_raw(raw: u64) -> Index {
+            Index { raw }
+        }
+
+        /// Resolves to `0..len` (panics on an empty collection).
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.raw % len as u64) as usize
+        }
+    }
+}
+
+pub mod array {
+    //! Fixed-size array strategies.
+
+    use super::test_runner::TestRng;
+    use super::Strategy;
+
+    /// Strategy producing `[S::Value; N]`.
+    pub struct UniformArray<S, const N: usize> {
+        elem: S,
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+        type Value = [S::Value; N];
+        fn new_value(&self, rng: &mut TestRng) -> [S::Value; N] {
+            std::array::from_fn(|_| self.elem.new_value(rng))
+        }
+    }
+
+    macro_rules! uniform_fn {
+        ($($name:ident => $n:literal),*) => {$(
+            /// An array of independent draws from `elem`.
+            pub fn $name<S: Strategy>(elem: S) -> UniformArray<S, $n> {
+                UniformArray { elem }
+            }
+        )*};
+    }
+
+    uniform_fn!(uniform2 => 2, uniform4 => 4, uniform8 => 8, uniform16 => 16, uniform32 => 32);
+}
+
+pub mod collection {
+    //! Variable-length collection strategies.
+
+    use super::test_runner::TestRng;
+    use super::Strategy;
+    use std::ops::{Range, RangeInclusive};
+
+    /// An inclusive length domain, mirroring proptest's `SizeRange` so that
+    /// bare range literals (`1..64`) infer as `usize`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi_inclusive: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty vec length range");
+            SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            assert!(r.start() <= r.end(), "empty vec length range");
+            SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+        }
+    }
+
+    /// Strategy producing `Vec<S::Value>` with a uniformly drawn length.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.hi_inclusive - self.len.lo) as u64 + 1;
+            let n = self.len.lo + rng.below(span) as usize;
+            (0..n).map(|_| self.elem.new_value(rng)).collect()
+        }
+    }
+
+    /// A vector of independent draws from `elem`, length drawn from `len`.
+    pub fn vec<S: Strategy>(elem: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, len: len.into() }
+    }
+}
+
+/// Renders one generated argument for failure reports.
+pub fn describe_arg<T: std::fmt::Debug>(out: &mut String, name: &str, value: &T) {
+    let _ = writeln!(out, "    {name} = {value:?}");
+}
+
+pub mod prelude {
+    //! The glob import mirroring `proptest::prelude::*`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use crate::{Just, Strategy};
+
+    /// Re-exposes the crate under the conventional `prop` alias.
+    pub mod prop {
+        pub use crate::array;
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                ::std::format!("prop_assert!({}) failed", ::core::stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(::std::format!(
+                "prop_assert!({}) failed: {}",
+                ::core::stringify!($cond),
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err(::std::format!(
+                "prop_assert_eq! failed: {:?} != {:?}", l, r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err(::std::format!(
+                "prop_assert_eq! failed: {:?} != {:?}: {}", l, r, ::std::format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+/// Fails the current case if the two sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::core::result::Result::Err(::std::format!(
+                "prop_assert_ne! failed: both sides are {:?}", l
+            ));
+        }
+    }};
+}
+
+/// Uniform choice among strategies (weights are not supported).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::from_generators(::std::vec![
+            $(::std::boxed::Box::new(move |rng: &mut $crate::test_runner::TestRng| {
+                $crate::Strategy::new_value(&$strategy, rng)
+            })),+
+        ])
+    };
+}
+
+/// Declares property tests: each named fn runs `config.cases` deterministic
+/// random cases of its generated arguments.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    (@cfg ($config:expr) $(
+        $(#[$meta:meta])* fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let test_path = ::core::concat!(::core::module_path!(), "::", ::core::stringify!($name));
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::TestRng::for_case(test_path, case);
+                let mut arg_dump = ::std::string::String::new();
+                $(
+                    let value = $crate::Strategy::new_value(&($strategy), &mut rng);
+                    $crate::describe_arg(&mut arg_dump, ::core::stringify!($arg), &value);
+                    let $arg = value;
+                )+
+                let outcome: ::core::result::Result<(), ::std::string::String> =
+                    (move || { $body ::core::result::Result::Ok(()) })();
+                if let ::core::result::Result::Err(msg) = outcome {
+                    ::core::panic!(
+                        "proptest {} failed at case {}/{}:\n  {}\n  with arguments:\n{}",
+                        test_path, case, config.cases, msg, arg_dump
+                    );
+                }
+            }
+        }
+    )*};
+    ($(
+        $(#[$meta:meta])* fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::ProptestConfig::default()) $(
+            $(#[$meta])* fn $name($($arg in $strategy),+) $body
+        )*);
+    };
+}
+
+pub use prelude::prop;
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn even() -> impl Strategy<Value = u32> {
+        (0u32..1000).prop_filter_map("even only", |v| (v % 2 == 0).then_some(v))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_stay_in_bounds(v in 3usize..=9, f in -1.5f32..1.5) {
+            prop_assert!((3..=9).contains(&v));
+            prop_assert!((-1.5..1.5).contains(&f));
+        }
+
+        #[test]
+        fn combinators_compose(v in even(), pick in prop_oneof![Just(1usize), Just(3usize)]) {
+            prop_assert_eq!(v % 2, 0);
+            prop_assert!(pick == 1 || pick == 3);
+        }
+
+        #[test]
+        fn arrays_tuples_vecs((a, b) in (0i32..5, 5i32..10), arr in prop::array::uniform4(any::<i8>()),
+                              xs in prop::collection::vec(0u8..4, 1..8),
+                              idx in any::<prop::sample::Index>()) {
+            prop_assert!(a < b);
+            prop_assert_eq!(arr.len(), 4);
+            prop_assert!(!xs.is_empty() && xs.len() < 8);
+            prop_assert!(idx.index(xs.len()) < xs.len());
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = crate::test_runner::TestRng::for_case("t", 0);
+        let mut b = crate::test_runner::TestRng::for_case("t", 0);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -118,6 +118,25 @@ pub(crate) fn matrix_to_nchw(c: &[i32], shape: &ConvShape) -> Tensor<i32> {
     acc
 }
 
+/// Reshapes the **column-major** `c_out x (batch*oh*ow)` GEMM result
+/// (`c[col * c_out + row]`, as produced by the parallel driver) to NCHW.
+pub(crate) fn matrix_to_nchw_cm(c: &[i32], shape: &ConvShape) -> Tensor<i32> {
+    let (oh, ow) = (shape.out_h(), shape.out_w());
+    let m = shape.gemm_m();
+    let mut acc: Tensor<i32> = Tensor::zeros((shape.batch, shape.c_out, oh, ow), Layout::Nchw);
+    for co in 0..shape.c_out {
+        for b in 0..shape.batch {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let col = (b * oh + oy) * ow + ox;
+                    acc.set((b, co, oy, ox), c[col * m + co]);
+                }
+            }
+        }
+    }
+    acc
+}
+
 /// Analytic schedule for the whole explicit-GEMM pipeline: the im2col
 /// expansion (read activation once per kernel tap, write the K x N matrix)
 /// followed by the GEMM stages.

@@ -27,6 +27,7 @@ pub mod prepared;
 pub mod range_analysis;
 pub mod winograd;
 pub mod winograd_kernel;
+pub mod workspace;
 
 use lowbit_tensor::Tensor;
 use neon_sim::KernelSchedule;
@@ -49,3 +50,8 @@ pub use gemm_conv::{
 pub use ncnn::{ncnn_conv, schedule_ncnn_conv};
 pub use prepared::PreparedConv;
 pub use winograd::{schedule_winograd_conv, winograd_conv, winograd_scheme, winograd_supported};
+pub use workspace::{
+    gemm_conv_narrow_prepacked_ws, gemm_conv_prepacked_ws, gemm_conv_sdot_prepacked_ws,
+    parallel_cycle_split, schedule_gemm_conv_narrow_prepacked, schedule_gemm_conv_prepacked,
+    schedule_gemm_conv_sdot_prepacked, ConvWorkspace,
+};

@@ -1,14 +1,31 @@
-//! The ARM convolution engine: algorithm selection over the Sec. 3 kernels.
+//! The ARM convolution engine: algorithm selection over the Sec. 3 kernels,
+//! a prepacked-weight cache, and a reusable workspace arena.
+//!
+//! The GEMM-family algorithms (`Gemm`, `GemmNarrow`, `GemmSdot`) run through
+//! the prepacked parallel paths of `lowbit_conv_arm::workspace`: weights are
+//! packed once per layer (keyed by a fingerprint of the weight tensor) and
+//! reused across calls, the im2col/pack-B/result buffers live in one arena,
+//! and the GEMM spans `LOWBIT_THREADS` scoped threads. Both the executed and
+//! the estimated schedules therefore drop the `pack A` stage. The cost model
+//! stays single-core — wall-clock thread scaling is the benchmark suite's
+//! story, not the model's.
 
 use lowbit_conv_arm::{
-    bitserial_conv, gemm_conv, gemm_conv_narrow, gemm_conv_sdot, ncnn_conv,
-    schedule_bitserial_conv, schedule_gemm_conv, schedule_gemm_conv_narrow,
-    schedule_gemm_conv_sdot, schedule_ncnn_conv, schedule_winograd_conv, winograd_conv,
-    winograd_supported,
+    bitserial_conv, gemm_conv_narrow_prepacked_ws, gemm_conv_prepacked_ws,
+    gemm_conv_sdot_prepacked_ws, ncnn_conv, schedule_bitserial_conv, schedule_gemm_conv,
+    schedule_gemm_conv_narrow, schedule_gemm_conv_narrow_prepacked, schedule_gemm_conv_prepacked,
+    schedule_gemm_conv_sdot, schedule_gemm_conv_sdot_prepacked, schedule_ncnn_conv,
+    schedule_winograd_conv, winograd_conv, winograd_supported, ConvWorkspace,
 };
-use lowbit_qgemm::Scheme;
+use lowbit_qgemm::narrow::{pack_a_narrow, PackedANarrow};
+use lowbit_qgemm::parallel::{threads_from_env, ParallelConfig, MAX_THREADS};
+use lowbit_qgemm::sdot::{pack_a_quads, PackedAQuads};
+use lowbit_qgemm::workspace::WorkspaceStats;
+use lowbit_qgemm::{pack_a, PackedA, Scheme};
 use lowbit_tensor::{BitWidth, ConvShape, QTensor, Tensor};
 use neon_sim::{CortexA53, CostModel, KernelSchedule};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// Algorithm choice for one layer.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -43,28 +60,166 @@ pub struct ArmConvResult {
     pub millis: f64,
 }
 
-/// A CPU target: kernels plus a calibrated cost model.
-#[derive(Clone, Debug)]
+/// Cache and reuse statistics of the engine's prepacked-weight store.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PrepackStats {
+    /// Calls served from the cache.
+    pub hits: u64,
+    /// Calls that had to pack (first sighting of a weight/algorithm pair).
+    pub misses: u64,
+    /// Cached weight tensors.
+    pub entries: usize,
+    /// Total packed bytes held.
+    pub bytes: usize,
+}
+
+/// One cached prepacked weight matrix, in the layout its algorithm needs.
+#[derive(Debug)]
+enum PackedWeights {
+    Wide(PackedA),
+    Narrow(PackedANarrow),
+    Quads(PackedAQuads),
+}
+
+impl PackedWeights {
+    fn bytes(&self) -> usize {
+        match self {
+            PackedWeights::Wide(p) => p.data.len(),
+            PackedWeights::Narrow(p) => p.data.len(),
+            PackedWeights::Quads(p) => p.data.len(),
+        }
+    }
+}
+
+/// FNV-1a over the weight tensor's identity (algorithm layout tag, bit
+/// width, dims, raw bytes) — the prepack cache key.
+fn fingerprint(weights: &QTensor, tag: u8) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |byte: u8| {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    eat(tag);
+    eat(weights.bits().bits());
+    let (d0, d1, d2, d3) = weights.dims();
+    for d in [d0, d1, d2, d3] {
+        for b in (d as u64).to_le_bytes() {
+            eat(b);
+        }
+    }
+    for &v in weights.data() {
+        eat(v as u8);
+    }
+    h
+}
+
+/// Mutable engine state shared behind a mutex: clones of the engine serve
+/// the same cache and arena.
+#[derive(Default)]
+struct EngineState {
+    cache: HashMap<u64, Arc<PackedWeights>>,
+    hits: u64,
+    misses: u64,
+    ws: ConvWorkspace,
+}
+
+impl EngineState {
+    fn prepacked(
+        &mut self,
+        weights: &QTensor,
+        shape: &ConvShape,
+        algo: ArmAlgo,
+    ) -> Arc<PackedWeights> {
+        let tag = match algo {
+            ArmAlgo::Gemm => 0u8,
+            ArmAlgo::GemmNarrow => 1,
+            ArmAlgo::GemmSdot => 2,
+            other => unreachable!("{other:?} has no prepacked layout"),
+        };
+        let key = fingerprint(weights, tag);
+        if let Some(packed) = self.cache.get(&key) {
+            self.hits += 1;
+            return packed.clone();
+        }
+        self.misses += 1;
+        let (m, k) = (shape.gemm_m(), shape.gemm_k());
+        let packed = Arc::new(match algo {
+            ArmAlgo::Gemm => PackedWeights::Wide(pack_a(weights.data(), m, k)),
+            ArmAlgo::GemmNarrow => PackedWeights::Narrow(pack_a_narrow(weights.data(), m, k)),
+            ArmAlgo::GemmSdot => PackedWeights::Quads(pack_a_quads(weights.data(), m, k)),
+            _ => unreachable!(),
+        });
+        self.cache.insert(key, packed.clone());
+        packed
+    }
+}
+
+/// A CPU target: kernels plus a calibrated cost model, a prepacked-weight
+/// cache and a reusable conv workspace.
+///
+/// Cloning is cheap and shares the cache/workspace state.
+#[derive(Clone)]
 pub struct ArmEngine {
     model: CostModel,
+    threads: usize,
+    state: Arc<Mutex<EngineState>>,
+}
+
+impl std::fmt::Debug for ArmEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArmEngine")
+            .field("model", &self.model)
+            .field("threads", &self.threads)
+            .finish_non_exhaustive()
+    }
 }
 
 impl ArmEngine {
     /// The Raspberry Pi 3B target of the paper (1.2 GHz Cortex-A53).
     pub fn cortex_a53() -> ArmEngine {
+        ArmEngine::with_model(CortexA53::cost_model())
+    }
+
+    /// An engine with a custom cost model (threads from `LOWBIT_THREADS`).
+    pub fn with_model(model: CostModel) -> ArmEngine {
         ArmEngine {
-            model: CortexA53::cost_model(),
+            model,
+            threads: threads_from_env(),
+            state: Arc::new(Mutex::new(EngineState::default())),
         }
     }
 
-    /// An engine with a custom cost model.
-    pub fn with_model(model: CostModel) -> ArmEngine {
-        ArmEngine { model }
+    /// Overrides the worker-thread count (clamped to `1..=16`).
+    pub fn with_threads(mut self, threads: usize) -> ArmEngine {
+        self.threads = threads.clamp(1, MAX_THREADS);
+        self
     }
 
     /// The engine's cost model.
     pub fn model(&self) -> &CostModel {
         &self.model
+    }
+
+    /// Worker threads used by the GEMM-family algorithms.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Prepacked-weight cache statistics.
+    pub fn prepack_stats(&self) -> PrepackStats {
+        let st = self.state.lock().expect("engine state poisoned");
+        PrepackStats {
+            hits: st.hits,
+            misses: st.misses,
+            entries: st.cache.len(),
+            bytes: st.cache.values().map(|p| p.bytes()).sum(),
+        }
+    }
+
+    /// Workspace arena statistics (allocation high-water mark and growth
+    /// events across all convolutions served).
+    pub fn workspace_stats(&self) -> WorkspaceStats {
+        self.state.lock().expect("engine state poisoned").ws.stats()
     }
 
     /// Resolves `Auto` for a given layer/bit width by modeled time over the
@@ -106,10 +261,25 @@ impl ArmEngine {
             other => other,
         };
         let out = match algo {
-            ArmAlgo::Gemm => gemm_conv(input, weights, shape),
+            ArmAlgo::Gemm | ArmAlgo::GemmNarrow | ArmAlgo::GemmSdot => {
+                let scheme = Scheme::for_bits(bits);
+                let cfg = ParallelConfig::with_threads(self.threads);
+                let mut guard = self.state.lock().expect("engine state poisoned");
+                let st = &mut *guard;
+                let packed = st.prepacked(weights, shape, algo);
+                match &*packed {
+                    PackedWeights::Wide(pa) => {
+                        gemm_conv_prepacked_ws(input, pa, &scheme, shape, &cfg, &mut st.ws)
+                    }
+                    PackedWeights::Narrow(pa) => {
+                        gemm_conv_narrow_prepacked_ws(input, pa, &scheme, shape, &cfg, &mut st.ws)
+                    }
+                    PackedWeights::Quads(pa) => {
+                        gemm_conv_sdot_prepacked_ws(input, pa, shape, &mut st.ws)
+                    }
+                }
+            }
             ArmAlgo::Winograd => winograd_conv(input, weights, shape),
-            ArmAlgo::GemmNarrow => gemm_conv_narrow(input, weights, shape),
-            ArmAlgo::GemmSdot => gemm_conv_sdot(input, weights, shape),
             ArmAlgo::NcnnBaseline => ncnn_conv(input, weights, shape),
             ArmAlgo::BitserialBaseline => bitserial_conv(input, weights, shape),
             ArmAlgo::Auto => unreachable!("Auto resolved above"),
@@ -126,6 +296,32 @@ impl ArmEngine {
     /// Modeled time in milliseconds without executing (used by the harness
     /// at full layer scale).
     pub fn estimate_millis(&self, bits: BitWidth, shape: &ConvShape, algo: ArmAlgo) -> f64 {
+        let algo = match algo {
+            ArmAlgo::Auto => self.select_algo(bits, shape),
+            other => other,
+        };
+        // GEMM-family estimates match the executed prepacked pipelines:
+        // no `pack A` stage (the cache amortizes it to zero per call).
+        let sched = match algo {
+            ArmAlgo::Gemm => schedule_gemm_conv_prepacked(&Scheme::for_bits(bits), shape),
+            ArmAlgo::Winograd => schedule_winograd_conv(bits, shape),
+            ArmAlgo::GemmNarrow => {
+                schedule_gemm_conv_narrow_prepacked(&Scheme::for_bits(bits), shape)
+            }
+            ArmAlgo::GemmSdot => schedule_gemm_conv_sdot_prepacked(shape),
+            ArmAlgo::NcnnBaseline => schedule_ncnn_conv(shape),
+            ArmAlgo::BitserialBaseline => schedule_bitserial_conv(shape),
+            ArmAlgo::Auto => unreachable!(),
+        };
+        sched.millis(&self.model)
+    }
+
+    /// Modeled one-shot ("cold") time: prices the full pipeline including
+    /// the per-call weight pack that the engine's prepack cache amortizes
+    /// away. This is what a single standalone convolution costs — and what
+    /// the paper's per-layer kernel measurements correspond to, so the
+    /// figure harness uses it.
+    pub fn estimate_millis_cold(&self, bits: BitWidth, shape: &ConvShape, algo: ArmAlgo) -> f64 {
         let algo = match algo {
             ArmAlgo::Auto => self.select_algo(bits, shape),
             other => other,
@@ -208,8 +404,56 @@ mod tests {
         let shape = ConvShape::new(1, 6, 10, 10, 8, 3, 1, 1);
         let bits = BitWidth::W5;
         let (input, weights) = tensors(&shape, bits, 9);
-        let out = engine.conv(&input, &weights, &shape, ArmAlgo::Auto);
-        let est = engine.estimate_millis(bits, &shape, ArmAlgo::Auto);
-        assert!((out.millis - est).abs() < 1e-12);
+        for algo in [ArmAlgo::Auto, ArmAlgo::Gemm, ArmAlgo::GemmNarrow, ArmAlgo::GemmSdot] {
+            let out = engine.conv(&input, &weights, &shape, algo);
+            let est = engine.estimate_millis(bits, &shape, algo);
+            assert!((out.millis - est).abs() < 1e-12, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn executed_gemm_schedule_has_no_pack_a_stage() {
+        let engine = ArmEngine::cortex_a53();
+        let shape = ConvShape::new(1, 4, 8, 8, 6, 3, 1, 1);
+        let (input, weights) = tensors(&shape, BitWidth::W4, 77);
+        let out = engine.conv(&input, &weights, &shape, ArmAlgo::Gemm);
+        assert_eq!(out.schedule.stage_cycles("pack A", engine.model()), 0.0);
+        assert!(out.schedule.stage_cycles("gemm", engine.model()) > 0.0);
+    }
+
+    #[test]
+    fn prepack_cache_hits_on_repeated_convs() {
+        let engine = ArmEngine::cortex_a53().with_threads(2);
+        let shape = ConvShape::new(1, 4, 8, 8, 6, 3, 1, 1);
+        let (input, weights) = tensors(&shape, BitWidth::W4, 33);
+        let first = engine.conv(&input, &weights, &shape, ArmAlgo::Gemm);
+        let stats = engine.prepack_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 1, 1));
+        let second = engine.conv(&input, &weights, &shape, ArmAlgo::Gemm);
+        assert_eq!(first.acc.data(), second.acc.data());
+        let stats = engine.prepack_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        // Another algorithm needs its own layout: a second cache entry.
+        let _ = engine.conv(&input, &weights, &shape, ArmAlgo::GemmNarrow);
+        let stats = engine.prepack_stats();
+        assert_eq!((stats.misses, stats.entries), (2, 2));
+        assert!(stats.bytes > 0);
+        // Clones share cache and workspace.
+        let clone = engine.clone();
+        let _ = clone.conv(&input, &weights, &shape, ArmAlgo::Gemm);
+        assert_eq!(engine.prepack_stats().hits, 2);
+        assert_eq!(engine.workspace_stats().calls, 4);
+    }
+
+    #[test]
+    fn forced_gemm_is_exact_for_any_thread_count() {
+        let shape = ConvShape::new(2, 3, 9, 7, 5, 3, 2, 1);
+        let (input, weights) = tensors(&shape, BitWidth::W6, 55);
+        let oracle = direct_conv(&input, &weights, &shape);
+        for threads in [1, 2, 4] {
+            let engine = ArmEngine::cortex_a53().with_threads(threads);
+            let out = engine.conv(&input, &weights, &shape, ArmAlgo::Gemm);
+            assert_eq!(out.acc.data(), oracle.data(), "x{threads}");
+        }
     }
 }

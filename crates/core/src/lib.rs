@@ -26,13 +26,14 @@ pub mod network;
 
 /// Everything most users need.
 pub mod prelude {
-    pub use crate::arm::{ArmAlgo, ArmConvResult, ArmEngine};
+    pub use crate::arm::{ArmAlgo, ArmConvResult, ArmEngine, PrepackStats};
+    pub use lowbit_qgemm::workspace::WorkspaceStats;
     pub use crate::gpu::{GpuConvResult, GpuEngine, Tuning};
     pub use lowbit_tensor::{BitWidth, ConvShape, Layout, QTensor, Tensor};
     pub use turing_sim::Precision;
 }
 
-pub use arm::{ArmAlgo, ArmConvResult, ArmEngine};
+pub use arm::{ArmAlgo, ArmConvResult, ArmEngine, PrepackStats};
 pub use gpu::{GpuConvResult, GpuEngine, Tuning};
 pub use network::{LayerReport, NetLayer, Network};
 

@@ -217,6 +217,34 @@ mod tests {
     }
 
     #[test]
+    fn repeated_runs_hit_the_prepack_cache_and_stop_allocating() {
+        let net = Network::demo(BitWidth::W4, 12, 9);
+        let engine = ArmEngine::cortex_a53();
+        let input = float_input((1, 3, 12, 12), 5);
+        // Warm-up: packs each GEMM-family layer's weights once and grows the
+        // workspace arena to its high-water mark.
+        let (first, ..) = net.run_arm(&engine, &input);
+        let warm_ws = engine.workspace_stats();
+        let warm_pack = engine.prepack_stats();
+        assert!(warm_pack.misses > 0, "demo net has GEMM-family layers");
+        assert!(warm_ws.calls > 0);
+        // Steady state: identical results, zero new allocations, zero new
+        // weight packs — every conv hits the prepack cache.
+        for _ in 0..3 {
+            let (out, ..) = net.run_arm(&engine, &input);
+            assert_eq!(out.data(), first.data());
+        }
+        let ws = engine.workspace_stats();
+        let pack = engine.prepack_stats();
+        assert!(ws.calls > warm_ws.calls);
+        assert_eq!(ws.alloc_events, warm_ws.alloc_events, "steady state must not allocate");
+        assert_eq!(ws.high_water_bytes, warm_ws.high_water_bytes);
+        assert_eq!(pack.misses, warm_pack.misses, "no re-packing after warm-up");
+        assert_eq!(pack.entries, warm_pack.entries);
+        assert!(pack.hits >= warm_pack.hits + 3, "each run hits the cache");
+    }
+
+    #[test]
     fn relu_layers_produce_no_negative_activations() {
         let net = Network::demo(BitWidth::W5, 10, 11);
         let engine = ArmEngine::cortex_a53();

@@ -17,20 +17,28 @@
 //! * [`narrow`] — an 8x4 spill-free micro-kernel variant that wins at tight
 //!   drain ratios (extension; see its module docs),
 //! * [`sdot`] — the ARMv8.2 `SDOT` path that makes the drain machinery
-//!   unnecessary on newer cores (extension; Sec. 2.3's forward pointer).
+//!   unnecessary on newer cores (extension; Sec. 2.3's forward pointer),
+//! * [`parallel`] — the scoped-thread N-partitioned GEMM driver with
+//!   per-thread cache-blocked B panels, bit-exact versus the serial path,
+//! * [`workspace`] — the caller-owned scratch arena that makes steady-state
+//!   repeated GEMM calls allocation-free.
 
 pub mod emit_gemm;
 pub mod gemm;
 pub mod micro;
 pub mod narrow;
 pub mod pack;
+pub mod parallel;
 pub mod sdot;
 pub mod scheme;
 pub mod traditional;
+pub mod workspace;
 
 pub use emit_gemm::{emit_gemm, GemmLayout};
 pub use gemm::{gemm, GemmOutput};
 pub use narrow::{gemm_narrow, schedule_gemm_narrow};
+pub use parallel::{gemm_parallel, threads_from_env, ParallelConfig, SharedWeights};
 pub use sdot::{gemm_sdot, schedule_gemm_sdot};
 pub use pack::{pack_a, pack_b, PackedA, PackedB, NA, NB};
 pub use scheme::{Scheme, SchemeKind};
+pub use workspace::{GemmWorkspace, WorkspaceStats};

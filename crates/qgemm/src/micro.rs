@@ -37,34 +37,75 @@ pub const TILE_LEN: usize = NA * NB;
 /// Elements in the ncnn-like 8x4 result tile.
 pub const NCNN_TILE_LEN: usize = NCNN_NA * NB;
 
+/// K-loop operand source for one 16x4 micro-tile.
+///
+/// The micro-kernels only ever read one 16-row A column and one 4-col B row
+/// per K step; abstracting those two reads lets the same drain-exact kernel
+/// run against whole packed matrices ([`PackedPairOps`]) or against the
+/// per-thread cache-blocked B panels of the parallel driver.
+pub trait TileOperands {
+    /// Number of K steps this operand view covers.
+    fn k_len(&self) -> usize;
+    /// The packed A rows for K step `step` (`NA` bytes, or `NA8` for the
+    /// narrow tile).
+    fn a_slice(&self, step: usize) -> &[i8];
+    /// The 4 packed B columns for K step `step` (`NB` bytes).
+    fn b_slice(&self, step: usize) -> &[i8];
+}
+
+/// [`TileOperands`] over a full packed A/B pair, as used by the serial GEMM.
+pub struct PackedPairOps<'a> {
+    pub pa: &'a PackedA,
+    pub pb: &'a PackedB,
+    pub ti: usize,
+    pub tj: usize,
+}
+
+impl TileOperands for PackedPairOps<'_> {
+    fn k_len(&self) -> usize {
+        self.pa.k
+    }
+    fn a_slice(&self, step: usize) -> &[i8] {
+        self.pa.slice(self.ti, step)
+    }
+    fn b_slice(&self, step: usize) -> &[i8] {
+        self.pb.slice(self.tj, step)
+    }
+}
+
 /// Runs one 16x4 micro-tile functionally.
 ///
 /// Output layout is column-major quarters, matching the register store order
 /// of the emitter: `out[col * 16 + row]`.
 pub fn run_tile(scheme: &Scheme, pa: &PackedA, pb: &PackedB, ti: usize, tj: usize) -> Vec<i32> {
     assert_eq!(pa.k, pb.k, "packed operands disagree on K");
+    let mut acc32 = [0i32; TILE_LEN];
+    accumulate_tile(scheme, &PackedPairOps { pa, pb, ti, tj }, &mut acc32);
+    acc32.to_vec()
+}
+
+/// Runs one 16x4 micro-tile over `ops`, adding into `acc32`.
+///
+/// Drain cadence is relative to the start of this call, so splitting K into
+/// blocks and accumulating block partials is bit-exact versus one full-K run:
+/// within the published ratios every i8/i16 partial is exact, hence every
+/// i32 block partial is the exact sub-sum and i32 addition is associative.
+pub fn accumulate_tile<O: TileOperands>(scheme: &Scheme, ops: &O, acc32: &mut [i32; TILE_LEN]) {
     match scheme.kind() {
-        SchemeKind::Smlal8 => run_tile_smlal(scheme, pa, pb, ti, tj),
-        SchemeKind::Mla => run_tile_mla(scheme, pa, pb, ti, tj),
+        SchemeKind::Smlal8 => accumulate_smlal(scheme, ops, acc32),
+        SchemeKind::Mla => accumulate_mla(scheme, ops, acc32),
         SchemeKind::Ncnn16 => panic!("Ncnn16 uses run_tile_ncnn on widened operands"),
     }
 }
 
-fn run_tile_smlal(
-    scheme: &Scheme,
-    pa: &PackedA,
-    pb: &PackedB,
-    ti: usize,
-    tj: usize,
-) -> Vec<i32> {
-    let k = pa.k;
+fn accumulate_smlal<O: TileOperands>(scheme: &Scheme, ops: &O, acc32: &mut [i32; TILE_LEN]) {
+    let k = ops.k_len();
     let ratio = scheme.ratio();
-    let mut acc32 = [0i32; TILE_LEN];
     let mut acc16 = [0i16; TILE_LEN];
     let mut since_flush = 0usize;
     for kk in 0..k {
-        let a = pa.slice(ti, kk);
-        let b = pb.slice(tj, kk);
+        let a = ops.a_slice(kk);
+        let b = ops.b_slice(kk);
         for c in 0..NB {
             let bv = b[c] as i16;
             let col = &mut acc16[c * NA..(c + 1) * NA];
@@ -75,27 +116,25 @@ fn run_tile_smlal(
         }
         since_flush += 1;
         if since_flush == ratio {
-            drain16(&mut acc32, &mut acc16);
+            drain16(acc32, &mut acc16);
             since_flush = 0;
         }
     }
     if since_flush > 0 {
-        drain16(&mut acc32, &mut acc16);
+        drain16(acc32, &mut acc16);
     }
-    acc32.to_vec()
 }
 
-fn run_tile_mla(scheme: &Scheme, pa: &PackedA, pb: &PackedB, ti: usize, tj: usize) -> Vec<i32> {
-    let k = pa.k;
+fn accumulate_mla<O: TileOperands>(scheme: &Scheme, ops: &O, acc32: &mut [i32; TILE_LEN]) {
+    let k = ops.k_len();
     let (r1, r2) = (scheme.ratio(), scheme.ratio2());
-    let mut acc32 = [0i32; TILE_LEN];
     let mut acc16 = [0i16; TILE_LEN];
     let mut acc8 = [0i8; TILE_LEN];
     let mut since8 = 0usize;
     let mut drains8 = 0usize;
     for kk in 0..k {
-        let a = pa.slice(ti, kk);
-        let b = pb.slice(tj, kk);
+        let a = ops.a_slice(kk);
+        let b = ops.b_slice(kk);
         for c in 0..NB {
             let bv = b[c];
             let col = &mut acc8[c * NA..(c + 1) * NA];
@@ -110,7 +149,7 @@ fn run_tile_mla(scheme: &Scheme, pa: &PackedA, pb: &PackedB, ti: usize, tj: usiz
             since8 = 0;
             drains8 += 1;
             if drains8 == r2 {
-                drain16(&mut acc32, &mut acc16);
+                drain16(acc32, &mut acc16);
                 drains8 = 0;
             }
         }
@@ -120,9 +159,8 @@ fn run_tile_mla(scheme: &Scheme, pa: &PackedA, pb: &PackedB, ti: usize, tj: usiz
         drains8 += 1;
     }
     if drains8 > 0 {
-        drain16(&mut acc32, &mut acc16);
+        drain16(acc32, &mut acc16);
     }
-    acc32.to_vec()
 }
 
 /// SADDW level: i16 partials into i32, then clear (MOVI).

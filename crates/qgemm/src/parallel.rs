@@ -1,0 +1,457 @@
+//! Scoped-thread parallel GEMM driver.
+//!
+//! Parallelism follows the im2col structure of the convolution: the N
+//! dimension (output pixels) is partitioned into per-thread column-tile
+//! blocks. Packed A (the weights) is shared read-only across threads; each
+//! thread packs its own cache-blocked B panels and writes a **disjoint**
+//! contiguous slice of the column-major result, so the driver needs no
+//! atomics, no locks and no `unsafe` — and the output is bit-exact versus
+//! the serial path for every thread count and blocking parameter.
+//!
+//! Why bit-exactness holds under K-blocking: within the published drain
+//! ratios every i8/i16 partial is exact, so each K-block contributes the
+//! exact i32 sub-sum and i32 addition of exact sub-sums is associative.
+//! The property tests in `tests/proptest_invariants.rs` enforce this over
+//! random shapes, bit widths, thread counts and block sizes.
+
+use crate::gemm::{schedule_gemm, GemmOutput};
+use crate::micro::{accumulate_tile, TileOperands, TILE_LEN};
+use crate::narrow::{accumulate_tile_narrow, PackedANarrow, NARROW_TILE_LEN, NA8};
+use crate::pack::{pack_a, PackedA, NA, NB};
+use crate::scheme::{Scheme, SchemeKind};
+use crate::workspace::GemmWorkspace;
+
+/// Default K cache-block: `kc * (NA + nc)` operand bytes stay L1-resident.
+pub const DEFAULT_KC: usize = 384;
+/// Default N cache-block (columns; multiple of [`NB`]).
+pub const DEFAULT_NC: usize = 128;
+/// Upper bound on accepted thread counts.
+pub const MAX_THREADS: usize = 16;
+
+/// Thread count requested via the `LOWBIT_THREADS` environment variable
+/// (default 1, clamped to `1..=MAX_THREADS`).
+pub fn threads_from_env() -> usize {
+    std::env::var("LOWBIT_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .map_or(1, |t| t.clamp(1, MAX_THREADS))
+}
+
+/// Thread count and cache-blocking parameters for the parallel driver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Worker threads (1 = run on the caller thread).
+    pub threads: usize,
+    /// K block length: bounds the packed-B panel height.
+    pub kc: usize,
+    /// N block width in columns: bounds the packed-B panel width (rounded
+    /// up to a multiple of [`NB`]).
+    pub nc: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> ParallelConfig {
+        ParallelConfig::with_threads(1)
+    }
+}
+
+impl ParallelConfig {
+    /// Default blocking with an explicit thread count.
+    pub fn with_threads(threads: usize) -> ParallelConfig {
+        ParallelConfig { threads: threads.clamp(1, MAX_THREADS), kc: DEFAULT_KC, nc: DEFAULT_NC }
+    }
+
+    /// Default blocking with the `LOWBIT_THREADS` thread count.
+    pub fn from_env() -> ParallelConfig {
+        ParallelConfig::with_threads(threads_from_env())
+    }
+
+    fn normalized(mut self) -> ParallelConfig {
+        self.threads = self.threads.clamp(1, MAX_THREADS);
+        self.kc = self.kc.max(1);
+        self.nc = self.nc.max(1).div_ceil(NB) * NB;
+        self
+    }
+}
+
+/// The shared, read-only packed weights a parallel GEMM runs against.
+#[derive(Clone, Copy)]
+pub enum SharedWeights<'a> {
+    /// 16-row tiles (SMLAL and MLA schemes).
+    Wide(&'a PackedA),
+    /// 8-row tiles (narrow SMLAL kernel).
+    Narrow(&'a PackedANarrow),
+}
+
+impl SharedWeights<'_> {
+    /// Logical rows (GEMM M).
+    pub fn m(&self) -> usize {
+        match self {
+            SharedWeights::Wide(pa) => pa.m,
+            SharedWeights::Narrow(pa) => pa.m,
+        }
+    }
+
+    /// Shared dimension (GEMM K).
+    pub fn k(&self) -> usize {
+        match self {
+            SharedWeights::Wide(pa) => pa.k,
+            SharedWeights::Narrow(pa) => pa.k,
+        }
+    }
+
+    fn tiles(&self) -> usize {
+        match self {
+            SharedWeights::Wide(pa) => pa.tiles(),
+            SharedWeights::Narrow(pa) => pa.tiles(),
+        }
+    }
+}
+
+/// Runs `C = A x B` across `cfg.threads` scoped threads into the caller's
+/// workspace, returning the **column-major** `m x n` result
+/// (`c[col * m + row]`) borrowed from `ws`.
+///
+/// Steady state (same or smaller shape, same thread count) performs zero
+/// heap allocations; see [`GemmWorkspace::stats`].
+pub fn gemm_parallel_cm<'w>(
+    scheme: &Scheme,
+    weights: SharedWeights<'_>,
+    b: &[i8],
+    k: usize,
+    n: usize,
+    cfg: &ParallelConfig,
+    ws: &'w mut GemmWorkspace,
+) -> &'w [i32] {
+    assert_eq!(weights.k(), k, "weights disagree on K");
+    assert_eq!(b.len(), k * n, "B operand has wrong length");
+    if matches!(weights, SharedWeights::Narrow(_)) {
+        assert_eq!(scheme.kind(), SchemeKind::Smlal8, "narrow tile is SMLAL-only");
+    } else {
+        assert_ne!(scheme.kind(), SchemeKind::Ncnn16, "ncnn baseline is serial-only");
+    }
+    let cfg = cfg.normalized();
+    let m = weights.m();
+    let col_tiles = n.div_ceil(NB);
+    let threads = cfg.threads.min(col_tiles).max(1);
+
+    let before = ws.footprint_bytes();
+    ws.prepare(threads, m * n);
+    if threads == 1 {
+        worker(scheme, weights, b, n, 0, n, &cfg, &mut ws.scratch[0].b_panel, &mut ws.c_cm);
+    } else {
+        // Split the column tiles evenly; each thread's C slice is the
+        // contiguous column range [col0, col0 + cols) of the column-major
+        // result, carved off with split_at_mut.
+        let base = col_tiles / threads;
+        let extra = col_tiles % threads;
+        std::thread::scope(|scope| {
+            let mut c_rest: &mut [i32] = &mut ws.c_cm;
+            let mut scratch_rest: &mut [crate::workspace::ThreadScratch] = &mut ws.scratch;
+            let mut tile0 = 0usize;
+            for t in 0..threads {
+                let tiles_t = base + usize::from(t < extra);
+                let col0 = tile0 * NB;
+                let cols = ((tile0 + tiles_t) * NB).min(n) - col0;
+                tile0 += tiles_t;
+                let (c_t, rest) = c_rest.split_at_mut(cols * m);
+                c_rest = rest;
+                let (s_t, rest) = scratch_rest.split_at_mut(1);
+                scratch_rest = rest;
+                let panel = &mut s_t[0].b_panel;
+                scope.spawn(move || {
+                    worker(scheme, weights, b, n, col0, cols, &cfg, panel, c_t);
+                });
+            }
+        });
+    }
+    ws.note_call(before);
+    &ws.c_cm
+}
+
+/// One thread's share: columns `[col0, col0 + cols)`, written column-major
+/// into the thread-local slice `c` (`c[(j - col0) * m + i]`).
+#[allow(clippy::too_many_arguments)]
+fn worker(
+    scheme: &Scheme,
+    weights: SharedWeights<'_>,
+    b: &[i8],
+    n: usize,
+    col0: usize,
+    cols: usize,
+    cfg: &ParallelConfig,
+    panel: &mut Vec<i8>,
+    c: &mut [i32],
+) {
+    let m = weights.m();
+    let k = weights.k();
+    debug_assert_eq!(c.len(), cols * m);
+    let a_tiles = weights.tiles();
+    let local_tiles = cols.div_ceil(NB);
+    let nc_tiles = cfg.nc / NB;
+    let mut jt0 = 0usize;
+    while jt0 < local_tiles {
+        let jt1 = (jt0 + nc_tiles).min(local_tiles);
+        let mut k0 = 0usize;
+        while k0 < k {
+            let klen = cfg.kc.min(k - k0);
+            pack_b_panel(b, n, col0 + jt0 * NB, jt1 - jt0, k0, klen, panel);
+            for jt in jt0..jt1 {
+                let panel_base = (jt - jt0) * klen * NB;
+                for ti in 0..a_tiles {
+                    match weights {
+                        SharedWeights::Wide(pa) => {
+                            let ops = PanelOps { a: WideA { pa, ti, k0 }, panel, panel_base, klen };
+                            let mut acc = [0i32; TILE_LEN];
+                            accumulate_tile(scheme, &ops, &mut acc);
+                            add_scatter(c, &acc, m, cols, jt, ti, NA);
+                        }
+                        SharedWeights::Narrow(pa) => {
+                            let ops =
+                                PanelOps { a: NarrowA { pa, ti, k0 }, panel, panel_base, klen };
+                            let mut acc = [0i32; NARROW_TILE_LEN];
+                            accumulate_tile_narrow(scheme, &ops, &mut acc);
+                            add_scatter(c, &acc, m, cols, jt, ti, NA8);
+                        }
+                    }
+                }
+            }
+            k0 += klen;
+        }
+        jt0 = jt1;
+    }
+}
+
+/// Packs the `klen x (tiles * NB)` sub-block of row-major B starting at row
+/// `k0`, column `col_base` into panel layout
+/// `panel[(tile * klen + step) * NB + c]` (columns past `n` zero-padded).
+fn pack_b_panel(
+    b: &[i8],
+    n: usize,
+    col_base: usize,
+    tiles: usize,
+    k0: usize,
+    klen: usize,
+    panel: &mut Vec<i8>,
+) {
+    panel.clear();
+    panel.resize(tiles * klen * NB, 0);
+    for tile in 0..tiles {
+        let first = col_base + tile * NB;
+        let width = NB.min(n.saturating_sub(first));
+        for step in 0..klen {
+            let dst = (tile * klen + step) * NB;
+            let src = (k0 + step) * n + first;
+            panel[dst..dst + width].copy_from_slice(&b[src..src + width]);
+        }
+    }
+}
+
+/// A-tile half of the panel operand views.
+trait ATile {
+    fn slice(&self, step: usize) -> &[i8];
+}
+
+struct WideA<'a> {
+    pa: &'a PackedA,
+    ti: usize,
+    k0: usize,
+}
+
+impl ATile for WideA<'_> {
+    fn slice(&self, step: usize) -> &[i8] {
+        self.pa.slice(self.ti, self.k0 + step)
+    }
+}
+
+struct NarrowA<'a> {
+    pa: &'a PackedANarrow,
+    ti: usize,
+    k0: usize,
+}
+
+impl ATile for NarrowA<'_> {
+    fn slice(&self, step: usize) -> &[i8] {
+        self.pa.slice(self.ti, self.k0 + step)
+    }
+}
+
+/// [`TileOperands`] over one K block: A from the shared packed weights at
+/// offset `k0`, B from the thread-local panel.
+struct PanelOps<'a, A: ATile> {
+    a: A,
+    panel: &'a [i8],
+    panel_base: usize,
+    klen: usize,
+}
+
+impl<A: ATile> TileOperands for PanelOps<'_, A> {
+    fn k_len(&self) -> usize {
+        self.klen
+    }
+    fn a_slice(&self, step: usize) -> &[i8] {
+        self.a.slice(step)
+    }
+    fn b_slice(&self, step: usize) -> &[i8] {
+        let base = self.panel_base + step * NB;
+        &self.panel[base..base + NB]
+    }
+}
+
+/// Adds a column-major micro-tile into the thread's column-major C slice.
+fn add_scatter(
+    c: &mut [i32],
+    tile: &[i32],
+    m: usize,
+    cols: usize,
+    jt: usize,
+    ti: usize,
+    rows: usize,
+) {
+    for cc in 0..NB {
+        let j = jt * NB + cc;
+        if j >= cols {
+            break;
+        }
+        let col = &mut c[j * m..];
+        for (r, &v) in tile[cc * rows..(cc + 1) * rows].iter().enumerate() {
+            let i = ti * rows + r;
+            if i >= m {
+                break;
+            }
+            col[i] = col[i].wrapping_add(v);
+        }
+    }
+}
+
+/// One-shot parallel GEMM: packs A, runs [`gemm_parallel_cm`] into a fresh
+/// workspace and transposes to the row-major layout of [`GemmOutput`].
+///
+/// The modeled schedule is thread-agnostic (same stages as the serial
+/// [`crate::gemm::gemm`]); wall-clock scaling is reported by the benchmark
+/// suite, not the cost model.
+pub fn gemm_parallel(
+    scheme: &Scheme,
+    a: &[i8],
+    b: &[i8],
+    m: usize,
+    k: usize,
+    n: usize,
+    cfg: &ParallelConfig,
+) -> GemmOutput {
+    let pa = pack_a(a, m, k);
+    let mut ws = GemmWorkspace::new();
+    let c_cm = gemm_parallel_cm(scheme, SharedWeights::Wide(&pa), b, k, n, cfg, &mut ws);
+    let mut c = vec![0i32; m * n];
+    for j in 0..n {
+        for (i, row) in c.chunks_exact_mut(n).enumerate() {
+            row[j] = c_cm[j * m + i];
+        }
+    }
+    GemmOutput { m, n, c, schedule: schedule_gemm(scheme, m, k, n) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::gemm;
+    use crate::narrow::{gemm_narrow, pack_a_narrow};
+    use lowbit_tensor::BitWidth;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_mat(len: usize, bits: BitWidth, seed: u64) -> Vec<i8> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..len)
+            .map(|_| rng.gen_range(bits.qmin() as i32..=bits.qmax() as i32) as i8)
+            .collect()
+    }
+
+    fn to_row_major(c_cm: &[i32], m: usize, n: usize) -> Vec<i32> {
+        let mut c = vec![0i32; m * n];
+        for j in 0..n {
+            for i in 0..m {
+                c[i * n + j] = c_cm[j * m + i];
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn parallel_matches_serial_for_all_bit_widths_and_thread_counts() {
+        for bits in BitWidth::ALL {
+            let scheme = Scheme::for_bits(bits);
+            let (m, k, n) = (21, 67, 19);
+            let a = random_mat(m * k, bits, 100 + bits.bits() as u64);
+            let b = random_mat(k * n, bits, 200 + bits.bits() as u64);
+            let serial = gemm(&scheme, &a, &b, m, k, n);
+            for threads in [1, 2, 3, 4] {
+                let cfg = ParallelConfig { threads, kc: 16, nc: 8 };
+                let par = gemm_parallel(&scheme, &a, &b, m, k, n, &cfg);
+                assert_eq!(par.c, serial.c, "{bits} x{threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn narrow_parallel_matches_serial() {
+        let bits = BitWidth::W8;
+        let scheme = Scheme::for_bits(bits);
+        let (m, k, n) = (13, 40, 9);
+        let a = random_mat(m * k, bits, 7);
+        let b = random_mat(k * n, bits, 8);
+        let serial = gemm_narrow(&scheme, &a, &b, m, k, n);
+        let pa = pack_a_narrow(&a, m, k);
+        for threads in [1, 2, 3] {
+            let cfg = ParallelConfig { threads, kc: 7, nc: 4 };
+            let mut ws = GemmWorkspace::new();
+            let c_cm =
+                gemm_parallel_cm(&scheme, SharedWeights::Narrow(&pa), &b, k, n, &cfg, &mut ws);
+            assert_eq!(to_row_major(c_cm, m, n), serial.c, "x{threads}");
+        }
+    }
+
+    #[test]
+    fn more_threads_than_column_tiles_still_works() {
+        let bits = BitWidth::W4;
+        let scheme = Scheme::for_bits(bits);
+        let (m, k, n) = (5, 12, 3); // one column tile
+        let a = random_mat(m * k, bits, 31);
+        let b = random_mat(k * n, bits, 32);
+        let serial = gemm(&scheme, &a, &b, m, k, n);
+        let par = gemm_parallel(&scheme, &a, &b, m, k, n, &ParallelConfig::with_threads(8));
+        assert_eq!(par.c, serial.c);
+    }
+
+    #[test]
+    fn workspace_is_reused_across_calls() {
+        let bits = BitWidth::W4;
+        let scheme = Scheme::for_bits(bits);
+        let (m, k, n) = (16, 64, 24);
+        let a = random_mat(m * k, bits, 41);
+        let b = random_mat(k * n, bits, 42);
+        let pa = pack_a(&a, m, k);
+        let cfg = ParallelConfig { threads: 2, kc: 32, nc: 8 };
+        let mut ws = GemmWorkspace::new();
+        let serial = gemm(&scheme, &a, &b, m, k, n);
+        for call in 0..4 {
+            let c_cm = gemm_parallel_cm(&scheme, SharedWeights::Wide(&pa), &b, k, n, &cfg, &mut ws);
+            assert_eq!(to_row_major(c_cm, m, n), serial.c, "call {call}");
+        }
+        let stats = ws.stats();
+        assert_eq!(stats.calls, 4);
+        assert_eq!(stats.alloc_events, 1, "only the first call may allocate");
+        assert!(stats.high_water_bytes >= m * n * 4);
+    }
+
+    #[test]
+    fn env_thread_count_is_clamped() {
+        // Don't mutate the environment (other tests run concurrently);
+        // exercise the clamp via the config instead.
+        assert_eq!(ParallelConfig::with_threads(0).threads, 1);
+        assert_eq!(ParallelConfig::with_threads(999).threads, MAX_THREADS);
+        let normalized = ParallelConfig { threads: 2, kc: 0, nc: 5 }.normalized();
+        assert_eq!(normalized.kc, 1);
+        assert_eq!(normalized.nc, 8);
+    }
+}

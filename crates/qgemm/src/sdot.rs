@@ -63,7 +63,7 @@ impl PackedAQuads {
 
 /// Packed B for the SDOT kernel: 4-column tiles of k-quads; quad `q` stores
 /// the 4 columns' 4-byte groups contiguously (16 bytes, fed to `LD4R.4s`).
-#[derive(Clone, PartialEq, Debug)]
+#[derive(Clone, PartialEq, Debug, Default)]
 pub struct PackedBQuads {
     /// Logical K.
     pub k: usize,
@@ -117,11 +117,24 @@ pub fn pack_a_quads(a: &[i8], m: usize, k: usize) -> PackedAQuads {
 
 /// Packs a row-major `K x N` matrix into SDOT quad layout.
 pub fn pack_b_quads(b: &[i8], k: usize, n: usize) -> PackedBQuads {
+    let mut out = PackedBQuads { k: 0, k_pad: 0, n: 0, n_pad: 0, data: Vec::new() };
+    pack_b_quads_into(b, k, n, &mut out);
+    out
+}
+
+/// [`pack_b_quads`] into a caller-owned buffer (steady-state reuse performs
+/// no allocation once the capacity has grown to the largest shape seen).
+pub fn pack_b_quads_into(b: &[i8], k: usize, n: usize, out: &mut PackedBQuads) {
     assert_eq!(b.len(), k * n);
     let k_pad = k.div_ceil(KQ) * KQ;
     let n_pad = n.div_ceil(NB) * NB;
     let quads = k_pad / KQ;
-    let mut data = vec![0i8; k_pad * n_pad];
+    out.k = k;
+    out.k_pad = k_pad;
+    out.n = n;
+    out.n_pad = n_pad;
+    out.data.clear();
+    out.data.resize(k_pad * n_pad, 0);
     for tile in 0..n_pad / NB {
         for q in 0..quads {
             let base = (tile * quads + q) * NB * KQ;
@@ -130,19 +143,30 @@ pub fn pack_b_quads(b: &[i8], k: usize, n: usize) -> PackedBQuads {
                 for j in 0..KQ {
                     let kk = q * KQ + j;
                     if col < n && kk < k {
-                        data[base + c * KQ + j] = b[kk * n + col];
+                        out.data[base + c * KQ + j] = b[kk * n + col];
                     }
                 }
             }
         }
     }
-    PackedBQuads { k, k_pad, n, n_pad, data }
 }
 
 /// Runs one 16x4 SDOT tile functionally. Output: `out[col * 16 + row]`.
 pub fn run_tile_sdot(pa: &PackedAQuads, pb: &PackedBQuads, ti: usize, tj: usize) -> Vec<i32> {
-    assert_eq!(pa.k_pad, pb.k_pad);
     let mut acc = [0i32; SDOT_NA * NB];
+    accumulate_tile_sdot(pa, pb, ti, tj, &mut acc);
+    acc.to_vec()
+}
+
+/// Runs one 16x4 SDOT tile, adding into `acc` (`acc[col * 16 + row]`).
+pub fn accumulate_tile_sdot(
+    pa: &PackedAQuads,
+    pb: &PackedBQuads,
+    ti: usize,
+    tj: usize,
+    acc: &mut [i32; SDOT_NA * NB],
+) {
+    assert_eq!(pa.k_pad, pb.k_pad);
     for q in 0..pa.k_pad / KQ {
         let a = pa.slice(ti, q);
         let b = pb.slice(tj, q);
@@ -156,7 +180,6 @@ pub fn run_tile_sdot(pa: &PackedAQuads, pb: &PackedBQuads, ti: usize, tj: usize)
             }
         }
     }
-    acc.to_vec()
 }
 
 /// Analytic instruction counts for one SDOT tile over `k` logical K steps.
@@ -230,6 +253,38 @@ pub fn gemm_sdot(a: &[i8], b: &[i8], m: usize, k: usize, n: usize) -> GemmOutput
         }
     }
     GemmOutput { m, n, c, schedule: schedule_gemm_sdot(m, k, n) }
+}
+
+/// Prepacked SDOT GEMM into a caller-owned **column-major** result buffer
+/// (`c_cm[col * m + row]`), allocation-free once `c_cm` has capacity.
+///
+/// The SDOT path accumulates straight into i32 with no drain machinery, so
+/// it has no K-blocking story to tell; it stays serial and gains the
+/// prepack/workspace reuse only.
+pub fn gemm_sdot_prepacked_cm(pa: &PackedAQuads, pb: &PackedBQuads, c_cm: &mut Vec<i32>) {
+    assert_eq!(pa.k_pad, pb.k_pad, "packed operands disagree on K");
+    let (m, n) = (pa.m, pb.n);
+    c_cm.clear();
+    c_cm.resize(m * n, 0);
+    for ti in 0..pa.tiles() {
+        for tj in 0..pb.tiles() {
+            let mut tile = [0i32; SDOT_NA * NB];
+            accumulate_tile_sdot(pa, pb, ti, tj, &mut tile);
+            for col in 0..NB {
+                let j = tj * NB + col;
+                if j >= n {
+                    break;
+                }
+                for r in 0..SDOT_NA {
+                    let i = ti * SDOT_NA + r;
+                    if i >= m {
+                        break;
+                    }
+                    c_cm[j * m + i] = tile[col * SDOT_NA + r];
+                }
+            }
+        }
+    }
 }
 
 /// Analytic schedule of the SDOT GEMM.

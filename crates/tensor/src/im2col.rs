@@ -10,7 +10,7 @@
 use crate::{ConvShape, Layout, QTensor};
 
 /// An im2col-expanded activation matrix (`K x N`, row-major).
-#[derive(Clone, PartialEq, Debug)]
+#[derive(Clone, PartialEq, Debug, Default)]
 pub struct Im2colMatrix {
     /// `K = c_in * kh * kw` rows.
     pub k: usize,
@@ -34,6 +34,16 @@ impl Im2colMatrix {
 /// exactly how the zero-point-0 symmetric quantization of the paper treats
 /// padding.
 pub fn im2col_nchw(input: &QTensor, shape: &ConvShape) -> Im2colMatrix {
+    let mut out = Im2colMatrix { k: 0, n: 0, data: Vec::new() };
+    im2col_nchw_into(input, shape, &mut out);
+    out
+}
+
+/// [`im2col_nchw`] into a caller-owned matrix, reusing its buffer.
+///
+/// Steady-state expansion of a fixed layer set performs no heap allocation
+/// once `out.data`'s capacity has grown to the largest `k * n` seen.
+pub fn im2col_nchw_into(input: &QTensor, shape: &ConvShape, out: &mut Im2colMatrix) {
     assert_eq!(input.layout(), Layout::Nchw, "ARM path expects NCHW");
     assert_eq!(
         input.dims(),
@@ -43,7 +53,11 @@ pub fn im2col_nchw(input: &QTensor, shape: &ConvShape) -> Im2colMatrix {
     let (oh, ow) = (shape.out_h(), shape.out_w());
     let k = shape.gemm_k();
     let n = shape.gemm_n();
-    let mut data = vec![0i8; k * n];
+    out.k = k;
+    out.n = n;
+    out.data.clear();
+    out.data.resize(k * n, 0);
+    let data = &mut out.data;
     for b in 0..shape.batch {
         for c in 0..shape.c_in {
             for kr in 0..shape.kh {
@@ -68,7 +82,6 @@ pub fn im2col_nchw(input: &QTensor, shape: &ConvShape) -> Im2colMatrix {
             }
         }
     }
-    Im2colMatrix { k, n, data }
 }
 
 /// Space accounting for the explicit ARM pipeline (reproduces Fig. 13).

@@ -19,7 +19,7 @@ pub mod shape;
 pub mod tensor;
 
 pub use bits::BitWidth;
-pub use im2col::{im2col_nchw, Im2colMatrix, SpaceOverhead};
+pub use im2col::{im2col_nchw, im2col_nchw_into, Im2colMatrix, SpaceOverhead};
 pub use layout::Layout;
 pub use packed_bits::PackedBits;
 pub use shape::ConvShape;

@@ -193,6 +193,67 @@ proptest! {
         }
     }
 
+    /// Parallel-engine invariant: the scoped-thread, cache-blocked GEMM
+    /// driver is bit-exact versus the serial driver for every shape, bit
+    /// width, thread count and block geometry.
+    #[test]
+    fn parallel_gemm_is_bit_exact(
+        m in 1usize..=40,
+        k in 1usize..=80,
+        n in 1usize..=40,
+        bits in any_bits(),
+        threads in 1usize..=4,
+        kc in 1usize..=96,
+        nc_tiles in 1usize..=4,
+        seed in 0u64..1000,
+    ) {
+        use lowbit::qgemm::{gemm_parallel, ParallelConfig, NB};
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a: Vec<i8> = (0..m * k).map(|_| rng.gen_range(bits.qmin()..=bits.qmax())).collect();
+        let b: Vec<i8> = (0..k * n).map(|_| rng.gen_range(bits.qmin()..=bits.qmax())).collect();
+        let scheme = Scheme::for_bits(bits);
+        let cfg = ParallelConfig { threads, kc, nc: nc_tiles * NB };
+        let par = gemm_parallel(&scheme, &a, &b, m, k, n, &cfg);
+        let serial = gemm(&scheme, &a, &b, m, k, n);
+        prop_assert_eq!(par.c, serial.c);
+    }
+
+    /// Parallel-engine invariant: reusing one workspace arena across calls
+    /// of varying shapes never changes results (stale capacity is invisible).
+    #[test]
+    fn workspace_reuse_is_bit_exact(
+        shapes in proptest::collection::vec(
+            (1usize..=24, 1usize..=48, 1usize..=24), 1..5),
+        bits in any_bits(),
+        threads in 1usize..=4,
+        seed in 0u64..1000,
+    ) {
+        use lowbit::qgemm::parallel::gemm_parallel_cm;
+        use lowbit::qgemm::{GemmWorkspace, ParallelConfig, SharedWeights};
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let scheme = Scheme::for_bits(bits);
+        let cfg = ParallelConfig::with_threads(threads);
+        let mut ws = GemmWorkspace::new();
+        for (m, k, n) in shapes {
+            let a: Vec<i8> =
+                (0..m * k).map(|_| rng.gen_range(bits.qmin()..=bits.qmax())).collect();
+            let b: Vec<i8> =
+                (0..k * n).map(|_| rng.gen_range(bits.qmin()..=bits.qmax())).collect();
+            let pa = pack_a(&a, m, k);
+            let c_cm =
+                gemm_parallel_cm(&scheme, SharedWeights::Wide(&pa), &b, k, n, &cfg, &mut ws)
+                    .to_vec();
+            let want = gemm(&scheme, &a, &b, m, k, n).c;
+            for j in 0..n {
+                for i in 0..m {
+                    prop_assert_eq!(c_cm[j * m + i], want[i * n + j]);
+                }
+            }
+        }
+    }
+
     /// Auto-search dominance (invariant 5) over random shapes.
     #[test]
     fn auto_search_dominates_default(shape in conv_shape(), four_bit in any::<bool>()) {
