@@ -19,6 +19,8 @@
 //! NCHW plus the analytic [`neon_sim::KernelSchedule`] that prices the whole
 //! pipeline on the Cortex-A53 cost model.
 
+#![forbid(unsafe_code)]
+
 pub mod bitserial;
 pub mod direct;
 pub mod gemm_conv;
@@ -49,7 +51,10 @@ pub use gemm_conv::{
 };
 pub use ncnn::{ncnn_conv, schedule_ncnn_conv};
 pub use prepared::PreparedConv;
-pub use winograd::{schedule_winograd_conv, winograd_conv, winograd_scheme, winograd_supported};
+pub use winograd::{
+    schedule_winograd_conv, winograd_conv, winograd_operand_bounds, winograd_scheme,
+    winograd_supported,
+};
 pub use workspace::{
     gemm_conv_narrow_prepacked_ws, gemm_conv_prepacked_ws, gemm_conv_sdot_prepacked_ws,
     parallel_cycle_split, schedule_gemm_conv_narrow_prepacked, schedule_gemm_conv_prepacked,

@@ -79,6 +79,15 @@ fn u_bound(bits: BitWidth) -> i32 {
     mm.max(me).max(qmax)
 }
 
+/// Worst-case magnitudes of the Winograd-domain GEMM operands for `bits`:
+/// `(u, v)` with the stored transformed weight `Ū ∈ [-u, u]` and the
+/// transformed input `V ∈ [-v, v - 1]`. This is the operand-range contract
+/// the static verifier (`lowbit-verify`) feeds to the interval analysis when
+/// proving the Sec. 3.4 inflated ranges still respect the drain ratios.
+pub fn winograd_operand_bounds(bits: BitWidth) -> (i32, i32) {
+    (u_bound(bits), v_bound(bits))
+}
+
 /// The Winograd-domain GEMM scheme for `bits`.
 pub fn winograd_scheme(bits: BitWidth) -> Scheme {
     let bound = u_bound(bits) * v_bound(bits);

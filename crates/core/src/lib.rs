@@ -20,6 +20,8 @@
 //! assert!(out.millis > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod arm;
 pub mod gpu;
 pub mod network;

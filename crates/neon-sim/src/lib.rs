@@ -23,12 +23,14 @@ pub mod cost;
 pub mod disasm;
 pub mod inst;
 pub mod machine;
+pub mod meta;
 pub mod pipeline;
 pub mod sched;
 
 pub use cost::{CortexA53, CortexA72, CostModel, InstClass, PipelineStats};
 pub use inst::{Inst, VReg};
 pub use disasm::program_listing;
+pub use meta::{ElemWidth, MemAccess, MemDir, MemSpan};
 pub use machine::Machine;
 pub use pipeline::{schedule as pipeline_schedule, PipelineModel, PipelineReport};
 pub use sched::{InstCounts, KernelSchedule, StageCost};

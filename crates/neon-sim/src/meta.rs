@@ -1,0 +1,276 @@
+//! Typed instruction metadata for static analysis passes.
+//!
+//! The interpreter in [`crate::machine`] gives instructions their dynamic
+//! semantics; this module gives them the *static* facts an analysis needs
+//! without re-deriving them from the opcode: lane element widths, memory
+//! footprints, and the read/write structure that distinguishes an
+//! accumulating write (`SMLAL` reads its destination) from a destructive one
+//! (`LD1` obliterates it). The `lowbit-verify` crate builds its
+//! abstract-interpretation and clobber-lint passes on these.
+
+use crate::inst::{Inst, RegId};
+
+/// A lane element width of the NEON register file.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum ElemWidth {
+    /// Byte (`.b`, i8 lanes).
+    B,
+    /// Halfword (`.h`, i16 lanes).
+    H,
+    /// Word (`.s`, i32 lanes).
+    S,
+    /// Doubleword (`.d`, 64-bit lanes).
+    D,
+}
+
+impl ElemWidth {
+    /// Bytes per lane.
+    #[inline]
+    pub fn bytes(self) -> usize {
+        match self {
+            ElemWidth::B => 1,
+            ElemWidth::H => 2,
+            ElemWidth::S => 4,
+            ElemWidth::D => 8,
+        }
+    }
+
+    /// Lanes in a 128-bit register at this width.
+    #[inline]
+    pub fn lanes(self) -> usize {
+        16 / self.bytes()
+    }
+
+    /// Smallest representable signed lane value.
+    #[inline]
+    pub fn min_value(self) -> i64 {
+        match self {
+            ElemWidth::B => i8::MIN as i64,
+            ElemWidth::H => i16::MIN as i64,
+            ElemWidth::S => i32::MIN as i64,
+            ElemWidth::D => i64::MIN,
+        }
+    }
+
+    /// Largest representable signed lane value.
+    #[inline]
+    pub fn max_value(self) -> i64 {
+        match self {
+            ElemWidth::B => i8::MAX as i64,
+            ElemWidth::H => i16::MAX as i64,
+            ElemWidth::S => i32::MAX as i64,
+            ElemWidth::D => i64::MAX,
+        }
+    }
+}
+
+impl std::fmt::Display for ElemWidth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ElemWidth::B => "i8",
+            ElemWidth::H => "i16",
+            ElemWidth::S => "i32",
+            ElemWidth::D => "i64",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A half-open byte span `[start, start + len)` of simulator memory.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MemSpan {
+    /// First byte address.
+    pub start: u32,
+    /// Length in bytes.
+    pub len: u32,
+}
+
+impl MemSpan {
+    /// Builds a span from a start address and byte length.
+    #[inline]
+    pub fn new(start: u32, len: u32) -> MemSpan {
+        MemSpan { start, len }
+    }
+
+    /// One past the last byte.
+    #[inline]
+    pub fn end(self) -> u32 {
+        self.start + self.len
+    }
+
+    /// `true` when `[addr, addr + bytes)` lies entirely inside this span.
+    #[inline]
+    pub fn contains(self, addr: u32, bytes: u32) -> bool {
+        addr >= self.start && addr + bytes <= self.end()
+    }
+}
+
+/// Direction of a memory access.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MemDir {
+    /// Memory → registers.
+    Load,
+    /// Registers → memory.
+    Store,
+}
+
+/// The memory footprint of one instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MemAccess {
+    /// First byte touched.
+    pub addr: u32,
+    /// Bytes touched.
+    pub bytes: u32,
+    /// Load or store.
+    pub dir: MemDir,
+}
+
+impl Inst {
+    /// The memory footprint, or `None` for register-only instructions.
+    /// Consistent with [`Inst::bytes`] and [`Inst::is_memory`].
+    pub fn mem_access(&self) -> Option<MemAccess> {
+        let (addr, dir) = match *self {
+            Inst::Ld1 { addr, .. }
+            | Inst::Ld1B8 { addr, .. }
+            | Inst::Ld4r { addr, .. }
+            | Inst::Ld4rH { addr, .. }
+            | Inst::Ld4rW { addr, .. } => (addr, MemDir::Load),
+            Inst::St1 { addr, .. } => (addr, MemDir::Store),
+            _ => return None,
+        };
+        Some(MemAccess { addr, bytes: self.bytes(), dir })
+    }
+
+    /// Registers this instruction overwrites *without* reading their previous
+    /// value — the writes that can clobber a live accumulator. Accumulating
+    /// forms (`SMLAL`, `MLA`, `SADDW`, `UADALP`, `SDOT`) and the partial-lane
+    /// `MOV vd.d[i], xn` read their destination and are never destructive.
+    pub fn destructive_writes(&self) -> Vec<RegId> {
+        let reads = self.reads();
+        self.writes()
+            .into_iter()
+            .filter(|r| !reads.contains(r))
+            .collect()
+    }
+
+    /// `true` for instructions whose written value carries computed data a
+    /// later instruction is expected to consume (multiply-accumulates, drains,
+    /// widens, ALU ops and loads). `MOVI #0` and the spill `MOV`s only move
+    /// or initialise state; losing them costs nothing.
+    pub fn produces_value(&self) -> bool {
+        !matches!(
+            self,
+            Inst::MoviZero { .. }
+                | Inst::MovDToX { .. }
+                | Inst::MovXToD { .. }
+                | Inst::St1 { .. }
+        )
+    }
+
+    /// Lane width of the value this instruction writes to vector registers,
+    /// when the opcode fixes it. Loads return `None`: the element type of
+    /// loaded data is a property of the memory region, not the instruction
+    /// (`LD1` moves 16 bytes whether they hold i8 operands or i16 partials).
+    pub fn result_width(&self) -> Option<ElemWidth> {
+        match self {
+            Inst::Smlal8 { .. }
+            | Inst::Smull8 { .. }
+            | Inst::Saddw8 { .. }
+            | Inst::Sshll8 { .. }
+            | Inst::Uadalp { .. }
+            | Inst::Add16 { .. }
+            | Inst::Sub16 { .. } => Some(ElemWidth::H),
+            Inst::Smlal16 { .. }
+            | Inst::Saddw16 { .. }
+            | Inst::Add32 { .. }
+            | Inst::Sdot { .. } => Some(ElemWidth::S),
+            Inst::Mla8 { .. } | Inst::Mul8 { .. } | Inst::And { .. } | Inst::Cnt { .. } => {
+                Some(ElemWidth::B)
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Half;
+
+    #[test]
+    fn widths_partition_the_register() {
+        for w in [ElemWidth::B, ElemWidth::H, ElemWidth::S, ElemWidth::D] {
+            assert_eq!(w.bytes() * w.lanes(), 16);
+            assert!(w.min_value() < 0 && w.max_value() > 0);
+        }
+        assert_eq!(ElemWidth::H.max_value(), i16::MAX as i64);
+    }
+
+    #[test]
+    fn span_containment() {
+        let s = MemSpan::new(16, 32);
+        assert!(s.contains(16, 16));
+        assert!(s.contains(32, 16));
+        assert!(!s.contains(40, 16));
+        assert!(!s.contains(0, 16));
+    }
+
+    #[test]
+    fn mem_access_matches_legacy_bytes() {
+        let insts = [
+            Inst::Ld1 { vt: 0, addr: 4 },
+            Inst::Ld1B8 { vt: 0, addr: 4 },
+            Inst::Ld4r { vt: 0, addr: 4 },
+            Inst::Ld4rH { vt: 0, addr: 4 },
+            Inst::Ld4rW { vt: 0, addr: 4 },
+            Inst::St1 { vt: 0, addr: 4 },
+            Inst::Mla8 { vd: 0, vn: 1, vm: 2 },
+        ];
+        for inst in insts {
+            match inst.mem_access() {
+                Some(a) => {
+                    assert!(inst.is_memory());
+                    assert_eq!(a.bytes, inst.bytes());
+                    assert_eq!(a.addr, 4);
+                    assert_eq!(
+                        a.dir,
+                        if matches!(inst, Inst::St1 { .. }) { MemDir::Store } else { MemDir::Load }
+                    );
+                }
+                None => assert!(!inst.is_memory()),
+            }
+        }
+    }
+
+    #[test]
+    fn accumulating_forms_are_not_destructive() {
+        use RegId::V;
+        let acc = Inst::Smlal8 { vd: 3, vn: 0, vm: 1, half: Half::Low };
+        assert!(acc.destructive_writes().is_empty());
+        let over = Inst::Smull8 { vd: 3, vn: 0, vm: 1, half: Half::Low };
+        assert_eq!(over.destructive_writes(), vec![V(3)]);
+        let load = Inst::Ld4r { vt: 4, addr: 0 };
+        assert_eq!(load.destructive_writes(), vec![V(4), V(5), V(6), V(7)]);
+        let mov = Inst::MovXToD { vd: 2, lane: 0, xn: 1 };
+        assert!(mov.destructive_writes().is_empty(), "partial write flows through");
+    }
+
+    #[test]
+    fn value_production_classification() {
+        assert!(Inst::Smlal8 { vd: 0, vn: 1, vm: 2, half: Half::Low }.produces_value());
+        assert!(Inst::Ld1 { vt: 0, addr: 0 }.produces_value());
+        assert!(!Inst::MoviZero { vd: 0 }.produces_value());
+        assert!(!Inst::MovDToX { xd: 0, vn: 0, lane: 0 }.produces_value());
+    }
+
+    #[test]
+    fn result_widths() {
+        assert_eq!(
+            Inst::Smlal8 { vd: 0, vn: 1, vm: 2, half: Half::Low }.result_width(),
+            Some(ElemWidth::H)
+        );
+        assert_eq!(Inst::Sdot { vd: 0, vn: 1, vm: 2 }.result_width(), Some(ElemWidth::S));
+        assert_eq!(Inst::Mla8 { vd: 0, vn: 1, vm: 2 }.result_width(), Some(ElemWidth::B));
+        assert_eq!(Inst::Ld1 { vt: 0, addr: 0 }.result_width(), None);
+    }
+}

@@ -23,6 +23,8 @@
 //! * [`workspace`] — the caller-owned scratch arena that makes steady-state
 //!   repeated GEMM calls allocation-free.
 
+#![forbid(unsafe_code)]
+
 pub mod emit_gemm;
 pub mod gemm;
 pub mod micro;
@@ -31,14 +33,21 @@ pub mod pack;
 pub mod parallel;
 pub mod sdot;
 pub mod scheme;
+pub mod stream;
 pub mod traditional;
 pub mod workspace;
 
 pub use emit_gemm::{emit_gemm, GemmLayout};
 pub use gemm::{gemm, GemmOutput};
 pub use narrow::{gemm_narrow, schedule_gemm_narrow};
-pub use parallel::{gemm_parallel, threads_from_env, ParallelConfig, SharedWeights};
+pub use parallel::{
+    gemm_parallel, partition_columns, threads_from_env, ColumnSpan, ParallelConfig, SharedWeights,
+};
 pub use sdot::{gemm_sdot, schedule_gemm_sdot};
 pub use pack::{pack_a, pack_b, PackedA, PackedB, NA, NB};
-pub use scheme::{Scheme, SchemeKind};
+pub use scheme::{Scheme, SchemeError, SchemeKind};
+pub use stream::{
+    gemm_stream, tile_stream_narrow, tile_stream_ncnn, tile_stream_sdot, tile_stream_wide,
+    KernelStream, OperandRegion,
+};
 pub use workspace::{GemmWorkspace, WorkspaceStats};

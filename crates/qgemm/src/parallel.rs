@@ -74,6 +74,51 @@ impl ParallelConfig {
     }
 }
 
+/// One thread's contiguous column range `[col0, col0 + cols)` of the
+/// column-major output.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ColumnSpan {
+    /// First column owned by the thread.
+    pub col0: usize,
+    /// Number of columns owned (may be 0 only when `n == 0`).
+    pub cols: usize,
+}
+
+impl ColumnSpan {
+    /// One past the last owned column.
+    #[inline]
+    pub fn end(&self) -> usize {
+        self.col0 + self.cols
+    }
+}
+
+/// Splits `n` output columns into per-thread spans: column tiles of [`NB`]
+/// are distributed round-robin-evenly (the first `col_tiles % threads` spans
+/// get one extra tile), so spans are contiguous, pairwise disjoint, cover
+/// `[0, n)`, and all interior boundaries are [`NB`]-aligned.
+///
+/// This is the **only** place the parallel driver's work split is computed —
+/// [`gemm_parallel_cm`] carves its `split_at_mut` slices from these spans,
+/// and `lowbit-verify` checks the same spans for disjointness and coverage.
+/// The returned length is the effective thread count (clamped to
+/// `1..=MAX_THREADS` and to the number of column tiles).
+pub fn partition_columns(n: usize, threads: usize) -> Vec<ColumnSpan> {
+    let col_tiles = n.div_ceil(NB);
+    let threads = threads.clamp(1, MAX_THREADS).min(col_tiles).max(1);
+    let base = col_tiles / threads;
+    let extra = col_tiles % threads;
+    let mut spans = Vec::with_capacity(threads);
+    let mut tile0 = 0usize;
+    for t in 0..threads {
+        let tiles_t = base + usize::from(t < extra);
+        let col0 = tile0 * NB;
+        let cols = ((tile0 + tiles_t) * NB).min(n) - col0;
+        tile0 += tiles_t;
+        spans.push(ColumnSpan { col0, cols });
+    }
+    spans
+}
+
 /// The shared, read-only packed weights a parallel GEMM runs against.
 #[derive(Clone, Copy)]
 pub enum SharedWeights<'a> {
@@ -132,35 +177,29 @@ pub fn gemm_parallel_cm<'w>(
     }
     let cfg = cfg.normalized();
     let m = weights.m();
-    let col_tiles = n.div_ceil(NB);
-    let threads = cfg.threads.min(col_tiles).max(1);
+    let spans = partition_columns(n, cfg.threads);
+    let threads = spans.len();
 
     let before = ws.footprint_bytes();
     ws.prepare(threads, m * n);
     if threads == 1 {
         worker(scheme, weights, b, n, 0, n, &cfg, &mut ws.scratch[0].b_panel, &mut ws.c_cm);
     } else {
-        // Split the column tiles evenly; each thread's C slice is the
-        // contiguous column range [col0, col0 + cols) of the column-major
-        // result, carved off with split_at_mut.
-        let base = col_tiles / threads;
-        let extra = col_tiles % threads;
+        // Each thread's C slice is the contiguous column range of its span,
+        // carved off with split_at_mut — disjointness and coverage of the
+        // spans (checked statically by lowbit-verify) make this partition
+        // lock- and unsafe-free.
         std::thread::scope(|scope| {
             let mut c_rest: &mut [i32] = &mut ws.c_cm;
             let mut scratch_rest: &mut [crate::workspace::ThreadScratch] = &mut ws.scratch;
-            let mut tile0 = 0usize;
-            for t in 0..threads {
-                let tiles_t = base + usize::from(t < extra);
-                let col0 = tile0 * NB;
-                let cols = ((tile0 + tiles_t) * NB).min(n) - col0;
-                tile0 += tiles_t;
-                let (c_t, rest) = c_rest.split_at_mut(cols * m);
+            for span in &spans {
+                let (c_t, rest) = c_rest.split_at_mut(span.cols * m);
                 c_rest = rest;
                 let (s_t, rest) = scratch_rest.split_at_mut(1);
                 scratch_rest = rest;
                 let panel = &mut s_t[0].b_panel;
                 scope.spawn(move || {
-                    worker(scheme, weights, b, n, col0, cols, &cfg, panel, c_t);
+                    worker(scheme, weights, b, n, span.col0, span.cols, &cfg, panel, c_t);
                 });
             }
         });
@@ -442,6 +481,33 @@ mod tests {
         assert_eq!(stats.calls, 4);
         assert_eq!(stats.alloc_events, 1, "only the first call may allocate");
         assert!(stats.high_water_bytes >= m * n * 4);
+    }
+
+    #[test]
+    fn partition_is_disjoint_covering_and_aligned() {
+        for n in [1usize, 3, 4, 5, 16, 17, 64, 127, 1000] {
+            for threads in [1usize, 2, 3, 5, 8, 16, 99] {
+                let spans = partition_columns(n, threads);
+                assert!(!spans.is_empty());
+                assert!(spans.len() <= threads.clamp(1, MAX_THREADS));
+                let mut next = 0usize;
+                for s in &spans {
+                    assert_eq!(s.col0, next, "n={n} t={threads}: contiguous");
+                    assert!(s.cols > 0, "n={n} t={threads}: no empty span");
+                    assert!(s.col0 % NB == 0, "interior boundaries NB-aligned");
+                    next = s.end();
+                }
+                assert_eq!(next, n, "n={n} t={threads}: covers the output");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_balances_tiles_within_one() {
+        let spans = partition_columns(100, 3); // 25 tiles over 3 threads
+        let tiles: Vec<usize> = spans.iter().map(|s| s.cols.div_ceil(NB)).collect();
+        assert_eq!(tiles.iter().sum::<usize>(), 25);
+        assert!(tiles.iter().max().unwrap() - tiles.iter().min().unwrap() <= 1);
     }
 
     #[test]

@@ -18,6 +18,34 @@
 
 use lowbit_tensor::BitWidth;
 
+/// Why an operand bound cannot be resolved into a safe scheme.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SchemeError {
+    /// The product bound was zero or negative.
+    NonPositiveBound { max_product: i32 },
+    /// The worst-case product itself exceeds the intermediate accumulator,
+    /// so even `ratio = 1` (drain after every MAC) would overflow. Holds the
+    /// offending bound and the intermediate limit (127 for `Mla`, 32767 for
+    /// `Smlal8`).
+    ProductExceedsIntermediate { max_product: i32, limit: i32 },
+}
+
+impl std::fmt::Display for SchemeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            SchemeError::NonPositiveBound { max_product } => {
+                write!(f, "product bound must be positive, got {max_product}")
+            }
+            SchemeError::ProductExceedsIntermediate { max_product, limit } => {
+                let name = if limit == i8::MAX as i32 { "MLA" } else { "SMLAL" };
+                write!(f, "{name} scheme requires |a*b| <= {limit}, got {max_product}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchemeError {}
+
 /// Which multiply-accumulate instruction drives the kernel.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum SchemeKind {
@@ -75,45 +103,82 @@ impl Scheme {
 
     /// Resolves a scheme from an explicit worst-case product bound — used by
     /// the Winograd kernels whose transformed operands exceed their nominal
-    /// bit width.
+    /// bit width. Panics on an unsatisfiable bound; use
+    /// [`Scheme::try_for_product_bound`] to handle that case.
     pub fn for_product_bound(kind: SchemeKind, max_product: i32) -> Scheme {
-        assert!(max_product > 0, "product bound must be positive");
+        Scheme::try_for_product_bound(kind, max_product).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`Scheme::for_product_bound`], but returns a [`SchemeError`] when
+    /// the bound is non-positive or so large that even a drain after every
+    /// single MAC (`ratio == 1`) would overflow the intermediate accumulator.
+    pub fn try_for_product_bound(
+        kind: SchemeKind,
+        max_product: i32,
+    ) -> Result<Scheme, SchemeError> {
+        if max_product <= 0 {
+            return Err(SchemeError::NonPositiveBound { max_product });
+        }
         match kind {
             SchemeKind::Smlal8 => {
-                let ratio = (i16::MAX as i32 / max_product).max(1) as usize;
-                Scheme {
+                let ratio = (i16::MAX as i32 / max_product) as usize;
+                if ratio < 1 {
+                    return Err(SchemeError::ProductExceedsIntermediate {
+                        max_product,
+                        limit: i16::MAX as i32,
+                    });
+                }
+                Ok(Scheme {
                     kind,
                     max_product,
                     ratio,
                     ratio2: usize::MAX,
                     unroll: 2,
-                }
+                })
             }
             SchemeKind::Mla => {
                 let ratio = (i8::MAX as i32 / max_product) as usize;
-                assert!(
-                    ratio >= 1,
-                    "MLA scheme requires |a*b| <= 127, got {max_product}"
-                );
+                if ratio < 1 {
+                    return Err(SchemeError::ProductExceedsIntermediate {
+                        max_product,
+                        limit: i8::MAX as i32,
+                    });
+                }
                 // Each first-level drain deposits at most ratio*max_product
                 // (<= 127) into an i16 lane.
                 let per_drain = (ratio as i32) * max_product;
                 let ratio2 = (i16::MAX as i32 / per_drain) as usize;
-                Scheme {
+                Ok(Scheme {
                     kind,
                     max_product,
                     ratio,
                     ratio2,
                     unroll: 4,
-                }
+                })
             }
-            SchemeKind::Ncnn16 => Scheme::ncnn16(),
+            SchemeKind::Ncnn16 => Ok(Scheme::ncnn16()),
         }
     }
 
     /// Overrides the K-loop unrolling factor.
     pub fn with_unroll(mut self, unroll: usize) -> Scheme {
         self.unroll = unroll.max(1);
+        self
+    }
+
+    /// Overrides the first-level drain ratio **without safety checks**. This
+    /// deliberately permits unsound ratios; it exists so the static verifier's
+    /// negative tests can emit a kernel with `ratio + 1` and prove the checker
+    /// rejects it. Never use it on a production path.
+    pub fn with_ratio_unchecked(mut self, ratio: usize) -> Scheme {
+        self.ratio = ratio.max(1);
+        self
+    }
+
+    /// Overrides the second-level drain ratio **without safety checks** (MLA
+    /// only). Same caveat as [`Scheme::with_ratio_unchecked`].
+    pub fn with_ratio2_unchecked(mut self, ratio2: usize) -> Scheme {
+        self.ratio2 = ratio2.max(1);
         self
     }
 
@@ -234,6 +299,83 @@ mod tests {
     #[should_panic(expected = "MLA scheme requires")]
     fn mla_rejects_oversized_products() {
         let _ = Scheme::for_product_bound(SchemeKind::Mla, 128);
+    }
+
+    #[test]
+    fn adjusted_symmetric_ranges_drive_7_and_8_bit() {
+        // Sec. 3.3: 7/8-bit quantized ranges are narrowed to the symmetric
+        // [-63,63] / [-127,127] so the worst product stays predictable.
+        assert_eq!(BitWidth::W7.max_abs_product(), 63 * 63);
+        assert_eq!(BitWidth::W8.max_abs_product(), 127 * 127);
+        let s7 = Scheme::for_product_bound(SchemeKind::Smlal8, 63 * 63);
+        assert_eq!(s7.ratio(), 8);
+        let s8 = Scheme::for_product_bound(SchemeKind::Smlal8, 127 * 127);
+        assert_eq!(s8.ratio(), 2);
+    }
+
+    #[test]
+    fn ratio_one_degenerate_drain() {
+        // A drain after every single MAC is still a valid scheme: any bound in
+        // (32767/2, 32767] resolves to ratio == 1.
+        for bound in [16384, 20_000, i16::MAX as i32] {
+            let s = Scheme::try_for_product_bound(SchemeKind::Smlal8, bound).unwrap();
+            assert_eq!(s.ratio(), 1, "bound {bound}");
+        }
+        // Same degeneracy at the MLA level: bound in (63, 127].
+        let s = Scheme::try_for_product_bound(SchemeKind::Mla, 127).unwrap();
+        assert_eq!(s.ratio(), 1);
+        assert_eq!(s.ratio2(), 258); // 32767 / 127
+    }
+
+    #[test]
+    fn product_bound_at_i16_max_edge() {
+        // 32767 is the last representable-safe bound; 32768 must be a checked
+        // error, not a silently clamped ratio of 1 (the old `.max(1)` bug).
+        assert!(Scheme::try_for_product_bound(SchemeKind::Smlal8, i16::MAX as i32).is_ok());
+        let err =
+            Scheme::try_for_product_bound(SchemeKind::Smlal8, i16::MAX as i32 + 1).unwrap_err();
+        assert_eq!(
+            err,
+            SchemeError::ProductExceedsIntermediate { max_product: 32768, limit: 32767 }
+        );
+        assert!(err.to_string().contains("SMLAL scheme requires |a*b| <= 32767"));
+    }
+
+    #[test]
+    fn winograd_bound_near_i16_max() {
+        // The generalised formula at the edge of usefulness: an inflated
+        // operand pair like |U| <= 181, |V| <= 181 gives 32761, just under
+        // i16::MAX -> ratio 1 and still provable.
+        let s = Scheme::try_for_product_bound(SchemeKind::Smlal8, 181 * 181).unwrap();
+        assert_eq!(s.ratio(), 1);
+        // One notch wider and the scheme is unsatisfiable.
+        assert!(Scheme::try_for_product_bound(SchemeKind::Smlal8, 182 * 181).is_err());
+    }
+
+    #[test]
+    fn non_positive_bounds_are_checked_errors() {
+        for kind in [SchemeKind::Smlal8, SchemeKind::Mla] {
+            for bad in [0, -1, i32::MIN] {
+                assert_eq!(
+                    Scheme::try_for_product_bound(kind, bad),
+                    Err(SchemeError::NonPositiveBound { max_product: bad })
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "SMLAL scheme requires")]
+    fn smlal_panics_not_clamps_on_oversized_bound() {
+        let _ = Scheme::for_product_bound(SchemeKind::Smlal8, 40_000);
+    }
+
+    #[test]
+    fn unchecked_ratio_overrides_for_negative_testing() {
+        let s = Scheme::for_bits(BitWidth::W8).with_ratio_unchecked(3);
+        assert_eq!(s.ratio(), 3);
+        let s = Scheme::for_bits(BitWidth::W2).with_ratio2_unchecked(300);
+        assert_eq!(s.ratio2(), 300);
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! conv+ReLU fusion possible), the elementwise ops, and a small layer graph
 //! with the two fusion rewrites of Sec. 4.4.
 
+#![forbid(unsafe_code)]
+
 pub mod graph;
 pub mod per_channel;
 pub mod ops;

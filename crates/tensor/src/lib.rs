@@ -11,6 +11,8 @@
 //! * [`im2col`] — the explicit GEMM lowering used on the ARM path, including the
 //!   space-overhead accounting behind Fig. 13 of the paper.
 
+#![forbid(unsafe_code)]
+
 pub mod bits;
 pub mod im2col;
 pub mod layout;

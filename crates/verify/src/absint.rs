@@ -1,0 +1,456 @@
+//! Abstract interpretation of kernel streams over the interval domain.
+//!
+//! The analyzer executes a [`KernelStream`] symbolically: every 128-bit
+//! register is modeled as two 8-byte *slots*, each either undefined, known
+//! zero, or a vector of per-lane intervals at one element width. Loads draw
+//! their lane values from the operand bounds attached to the stream's
+//! declared regions; every multiply-accumulate, widen-add and store is then
+//! checked against the signed range of its intermediate width.
+//!
+//! Passing means: **no reachable operand values can wrap any i8/i16
+//! intermediate before its drain, every `SADDW` chain lands in i32 without
+//! wrap, and every store writes a fully-defined i32 result inside the
+//! declared output span.** The analysis is sound for straight-line streams
+//! (which all the emitters produce) because the transfer functions
+//! over-approximate the interpreter in `neon_sim::machine` lane by lane.
+//!
+//! The slot model doubles as a width checker: reading a register at a width
+//! other than the one its live lanes were produced at is reported as
+//! [`Violation::WidthConfusion`] — in these kernels that only happens when
+//! register allocation is broken (e.g. an i16 partial consumed as an i8
+//! operand), so it is a register-discipline check as well as a type check.
+
+use crate::interval::Interval;
+use crate::report::{StreamProof, Violation};
+use lowbit_qgemm::stream::{KernelStream, OperandRegion};
+use neon_sim::inst::{Half, Inst};
+use neon_sim::meta::ElemWidth;
+
+/// Operand value ranges for one verification run: every lane loaded from the
+/// A (resp. B) region is assumed to lie in `a` (resp. `b`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct OperandBounds {
+    /// Value range of packed-A elements.
+    pub a: Interval,
+    /// Value range of packed-B elements.
+    pub b: Interval,
+}
+
+/// One 8-byte half of a vector register (or one general register).
+#[derive(Clone, PartialEq, Debug)]
+enum Slot {
+    /// Never written.
+    Undef,
+    /// Known all-zero (any width reads as zero lanes).
+    Zero,
+    /// Live lanes at one element width; `ivs.len() == 8 / width.bytes()`.
+    Lanes { width: ElemWidth, ivs: Vec<Interval> },
+}
+
+impl Slot {
+    fn lanes(width: ElemWidth, ivs: Vec<Interval>) -> Slot {
+        debug_assert_eq!(ivs.len(), 8 / width.bytes());
+        if ivs.iter().all(|iv| iv.is_zero()) {
+            Slot::Zero
+        } else {
+            Slot::Lanes { width, ivs }
+        }
+    }
+}
+
+struct Analyzer<'s> {
+    stream: &'s KernelStream,
+    bounds: OperandBounds,
+    v: Vec<[Slot; 2]>,
+    x: Vec<Slot>,
+    macs: usize,
+    drains: usize,
+    peak: [i64; 3], // indexed by width_slot(): B, H, S
+}
+
+fn width_slot(w: ElemWidth) -> usize {
+    match w {
+        ElemWidth::B => 0,
+        ElemWidth::H => 1,
+        _ => 2,
+    }
+}
+
+fn half_slot(half: Half) -> usize {
+    match half {
+        Half::Low => 0,
+        Half::High => 1,
+    }
+}
+
+/// Verifies one stream against operand bounds, returning the proof
+/// certificate or the first violation found (streams are straight-line, so
+/// the first violation is the earliest dynamic hazard).
+pub fn check_stream(
+    stream: &KernelStream,
+    bounds: &OperandBounds,
+) -> Result<StreamProof, Violation> {
+    for (name, region, iv) in [
+        ("A", &stream.a, bounds.a),
+        ("B", &stream.b, bounds.b),
+    ] {
+        if !iv.fits(region.elem) {
+            return Err(Violation::BadSpec {
+                reason: format!(
+                    "operand {name} bound {iv} does not fit its {} region",
+                    region.elem
+                ),
+            });
+        }
+    }
+    let mut an = Analyzer {
+        stream,
+        bounds: *bounds,
+        v: (0..32).map(|_| [Slot::Undef, Slot::Undef]).collect(),
+        x: (0..31).map(|_| Slot::Undef).collect(),
+        macs: 0,
+        drains: 0,
+        peak: [0; 3],
+    };
+    for (index, inst) in stream.prog.iter().enumerate() {
+        an.step(index, inst)?;
+    }
+    Ok(StreamProof {
+        name: stream.name.clone(),
+        insts: stream.prog.len(),
+        macs: an.macs,
+        drains: an.drains,
+        peak_i8: an.peak[0],
+        peak_i16: an.peak[1],
+        peak_i32: an.peak[2],
+    })
+}
+
+impl Analyzer<'_> {
+    /// Reads one slot of `v{reg}` as `want`-width lanes.
+    fn read_slot(
+        &self,
+        index: usize,
+        inst: &Inst,
+        reg: u8,
+        slot: usize,
+        want: ElemWidth,
+    ) -> Result<Vec<Interval>, Violation> {
+        let lanes = 8 / want.bytes();
+        match &self.v[reg as usize][slot] {
+            Slot::Undef => Err(Violation::UninitRead {
+                index,
+                inst: inst.to_string(),
+                reg: format!("v{reg}"),
+            }),
+            Slot::Zero => Ok(vec![Interval::ZERO; lanes]),
+            Slot::Lanes { width, ivs } if *width == want => Ok(ivs.clone()),
+            Slot::Lanes { width, .. } => Err(Violation::WidthConfusion {
+                index,
+                inst: inst.to_string(),
+                reg,
+                expected: want,
+                found: *width,
+            }),
+        }
+    }
+
+    /// Reads the full 128-bit `v{reg}` as `want`-width lanes.
+    fn read_full(
+        &self,
+        index: usize,
+        inst: &Inst,
+        reg: u8,
+        want: ElemWidth,
+    ) -> Result<Vec<Interval>, Violation> {
+        let mut lo = self.read_slot(index, inst, reg, 0, want)?;
+        lo.extend(self.read_slot(index, inst, reg, 1, want)?);
+        Ok(lo)
+    }
+
+    fn write_full(&mut self, reg: u8, width: ElemWidth, ivs: Vec<Interval>) {
+        let half = ivs.len() / 2;
+        let hi = ivs[half..].to_vec();
+        let lo = ivs[..half].to_vec();
+        self.v[reg as usize][0] = Slot::lanes(width, lo);
+        self.v[reg as usize][1] = Slot::lanes(width, hi);
+    }
+
+    /// Range-checks `ivs` against `width`, records the peak occupancy and
+    /// writes the full register.
+    fn checked_write_full(
+        &mut self,
+        index: usize,
+        inst: &Inst,
+        reg: u8,
+        width: ElemWidth,
+        ivs: Vec<Interval>,
+    ) -> Result<(), Violation> {
+        for iv in &ivs {
+            if !iv.fits(width) {
+                return Err(Violation::SaturationOverflow {
+                    index,
+                    inst: inst.to_string(),
+                    width,
+                    value: *iv,
+                });
+            }
+        }
+        let ws = width_slot(width);
+        let peak = ivs.iter().map(|iv| iv.abs_max()).max().unwrap_or(0);
+        self.peak[ws] = self.peak[ws].max(peak);
+        self.write_full(reg, width, ivs);
+        Ok(())
+    }
+
+    /// Resolves a load/store address to its declared region.
+    fn region_for_load(
+        &self,
+        index: usize,
+        inst: &Inst,
+        addr: u32,
+        bytes: u32,
+    ) -> Result<(&OperandRegion, Interval), Violation> {
+        if self.stream.a.span.contains(addr, bytes) {
+            Ok((&self.stream.a, self.bounds.a))
+        } else if self.stream.b.span.contains(addr, bytes) {
+            Ok((&self.stream.b, self.bounds.b))
+        } else {
+            Err(Violation::UnmappedAccess { index, inst: inst.to_string(), addr, bytes })
+        }
+    }
+
+    fn step(&mut self, index: usize, inst: &Inst) -> Result<(), Violation> {
+        match *inst {
+            // ---- loads -------------------------------------------------
+            Inst::Ld1 { vt, addr } => {
+                let (region, iv) = self.region_for_load(index, inst, addr, 16)?;
+                let elem = region.elem;
+                self.write_full(vt, elem, vec![iv; 16 / elem.bytes()]);
+            }
+            Inst::Ld1B8 { vt, addr } => {
+                let (region, iv) = self.region_for_load(index, inst, addr, 8)?;
+                let elem = region.elem;
+                self.v[vt as usize][0] = Slot::lanes(elem, vec![iv; 8 / elem.bytes()]);
+                self.v[vt as usize][1] = Slot::Zero;
+            }
+            Inst::Ld4r { vt, addr } => {
+                let (region, iv) = self.region_for_load(index, inst, addr, 4)?;
+                if region.elem != ElemWidth::B {
+                    return Err(Violation::RegionMismatch {
+                        index,
+                        inst: inst.to_string(),
+                        region_elem: region.elem,
+                    });
+                }
+                for i in 0..4 {
+                    self.write_full(vt + i, ElemWidth::B, vec![iv; 16]);
+                }
+            }
+            Inst::Ld4rH { vt, addr } => {
+                let (region, iv) = self.region_for_load(index, inst, addr, 8)?;
+                if region.elem != ElemWidth::H {
+                    return Err(Violation::RegionMismatch {
+                        index,
+                        inst: inst.to_string(),
+                        region_elem: region.elem,
+                    });
+                }
+                for i in 0..4 {
+                    self.write_full(vt + i, ElemWidth::H, vec![iv; 8]);
+                }
+            }
+            Inst::Ld4rW { vt, addr } => {
+                let (region, iv) = self.region_for_load(index, inst, addr, 16)?;
+                // A word broadcast over a B region replicates packed byte
+                // quads (the SDOT B layout): every destination byte is a
+                // region element, so B-width lanes describe it exactly.
+                let elem = match region.elem {
+                    ElemWidth::B => ElemWidth::B,
+                    ElemWidth::S => ElemWidth::S,
+                    other => {
+                        return Err(Violation::RegionMismatch {
+                            index,
+                            inst: inst.to_string(),
+                            region_elem: other,
+                        })
+                    }
+                };
+                for i in 0..4 {
+                    self.write_full(vt + i, elem, vec![iv; 16 / elem.bytes()]);
+                }
+            }
+            // ---- store -------------------------------------------------
+            Inst::St1 { vt, addr } => {
+                if !self.stream.c.contains(addr, 16) {
+                    return Err(Violation::StoreOutsideOutput {
+                        index,
+                        inst: inst.to_string(),
+                        addr,
+                    });
+                }
+                // The output region holds i32 results: the stored register
+                // must be fully-defined i32 lanes (this is what "every SADDW
+                // chain lands in i32" means at the boundary).
+                let _ = self.read_full(index, inst, vt, ElemWidth::S)?;
+            }
+            // ---- multiply-accumulate family ----------------------------
+            Inst::Smlal8 { vd, vn, vm, half } => {
+                self.macs += 1;
+                let s = half_slot(half);
+                let a = self.read_slot(index, inst, vn, s, ElemWidth::B)?;
+                let b = self.read_slot(index, inst, vm, s, ElemWidth::B)?;
+                let acc = self.read_full(index, inst, vd, ElemWidth::H)?;
+                let new: Vec<Interval> = (0..8).map(|i| acc[i] + a[i] * b[i]).collect();
+                self.checked_write_full(index, inst, vd, ElemWidth::H, new)?;
+            }
+            Inst::Smull8 { vd, vn, vm, half } => {
+                self.macs += 1;
+                let s = half_slot(half);
+                let a = self.read_slot(index, inst, vn, s, ElemWidth::B)?;
+                let b = self.read_slot(index, inst, vm, s, ElemWidth::B)?;
+                let new: Vec<Interval> = (0..8).map(|i| a[i] * b[i]).collect();
+                self.checked_write_full(index, inst, vd, ElemWidth::H, new)?;
+            }
+            Inst::Smlal16 { vd, vn, vm, half } => {
+                self.macs += 1;
+                let s = half_slot(half);
+                let a = self.read_slot(index, inst, vn, s, ElemWidth::H)?;
+                let b = self.read_slot(index, inst, vm, s, ElemWidth::H)?;
+                let acc = self.read_full(index, inst, vd, ElemWidth::S)?;
+                let new: Vec<Interval> = (0..4).map(|i| acc[i] + a[i] * b[i]).collect();
+                self.checked_write_full(index, inst, vd, ElemWidth::S, new)?;
+            }
+            Inst::Mla8 { vd, vn, vm } | Inst::Mul8 { vd, vn, vm } => {
+                self.macs += 1;
+                let accumulate = matches!(inst, Inst::Mla8 { .. });
+                let a = self.read_full(index, inst, vn, ElemWidth::B)?;
+                let b = self.read_full(index, inst, vm, ElemWidth::B)?;
+                let mut new = Vec::with_capacity(16);
+                for i in 0..16 {
+                    let prod = a[i] * b[i];
+                    // The i8 multiply itself wraps before the accumulate:
+                    // report it distinctly from accumulator overflow.
+                    if !prod.fits(ElemWidth::B) {
+                        return Err(Violation::ProductOverflow {
+                            index,
+                            inst: inst.to_string(),
+                            value: prod,
+                        });
+                    }
+                    new.push(prod);
+                }
+                if accumulate {
+                    let acc = self.read_full(index, inst, vd, ElemWidth::B)?;
+                    for (nv, av) in new.iter_mut().zip(&acc) {
+                        *nv = *nv + *av;
+                    }
+                }
+                self.checked_write_full(index, inst, vd, ElemWidth::B, new)?;
+            }
+            Inst::Sdot { vd, vn, vm } => {
+                self.macs += 1;
+                let a = self.read_full(index, inst, vn, ElemWidth::B)?;
+                let b = self.read_full(index, inst, vm, ElemWidth::B)?;
+                let acc = self.read_full(index, inst, vd, ElemWidth::S)?;
+                let new: Vec<Interval> = (0..4)
+                    .map(|lane| {
+                        let mut iv = acc[lane];
+                        for j in 0..4 {
+                            iv = iv + a[4 * lane + j] * b[4 * lane + j];
+                        }
+                        iv
+                    })
+                    .collect();
+                self.checked_write_full(index, inst, vd, ElemWidth::S, new)?;
+            }
+            // ---- drains / widens ---------------------------------------
+            Inst::Saddw8 { vd, vn, vm, half } => {
+                self.drains += 1;
+                let wide = self.read_full(index, inst, vn, ElemWidth::H)?;
+                let narrow = self.read_slot(index, inst, vm, half_slot(half), ElemWidth::B)?;
+                let new: Vec<Interval> = (0..8).map(|i| wide[i] + narrow[i]).collect();
+                self.checked_write_full(index, inst, vd, ElemWidth::H, new)?;
+            }
+            Inst::Saddw16 { vd, vn, vm, half } => {
+                self.drains += 1;
+                let wide = self.read_full(index, inst, vn, ElemWidth::S)?;
+                let narrow = self.read_slot(index, inst, vm, half_slot(half), ElemWidth::H)?;
+                let new: Vec<Interval> = (0..4).map(|i| wide[i] + narrow[i]).collect();
+                self.checked_write_full(index, inst, vd, ElemWidth::S, new)?;
+            }
+            Inst::Sshll8 { vd, vn, half } => {
+                self.drains += 1;
+                let narrow = self.read_slot(index, inst, vn, half_slot(half), ElemWidth::B)?;
+                self.checked_write_full(index, inst, vd, ElemWidth::H, narrow)?;
+            }
+            // ---- ALU / transforms --------------------------------------
+            Inst::Add16 { vd, vn, vm } | Inst::Sub16 { vd, vn, vm } => {
+                let a = self.read_full(index, inst, vn, ElemWidth::H)?;
+                let b = self.read_full(index, inst, vm, ElemWidth::H)?;
+                let sub = matches!(inst, Inst::Sub16 { .. });
+                let new: Vec<Interval> = (0..8)
+                    .map(|i| if sub { a[i] - b[i] } else { a[i] + b[i] })
+                    .collect();
+                self.checked_write_full(index, inst, vd, ElemWidth::H, new)?;
+            }
+            Inst::Add32 { vd, vn, vm } => {
+                let a = self.read_full(index, inst, vn, ElemWidth::S)?;
+                let b = self.read_full(index, inst, vm, ElemWidth::S)?;
+                let new: Vec<Interval> = (0..4).map(|i| a[i] + b[i]).collect();
+                self.checked_write_full(index, inst, vd, ElemWidth::S, new)?;
+            }
+            Inst::And { vd, vn, vm } => {
+                let a = self.read_full(index, inst, vn, ElemWidth::B)?;
+                let b = self.read_full(index, inst, vm, ElemWidth::B)?;
+                let new: Vec<Interval> = (0..16).map(|i| a[i].bitand_i8(b[i])).collect();
+                self.checked_write_full(index, inst, vd, ElemWidth::B, new)?;
+            }
+            Inst::Cnt { vd, vn } => {
+                let _ = self.read_full(index, inst, vn, ElemWidth::B)?;
+                let new = vec![Interval::new(0, 8); 16];
+                self.checked_write_full(index, inst, vd, ElemWidth::B, new)?;
+            }
+            Inst::Uadalp { vd, vn } => {
+                self.drains += 1;
+                let bytes = self.read_full(index, inst, vn, ElemWidth::B)?;
+                let acc = self.read_full(index, inst, vd, ElemWidth::H)?;
+                let new: Vec<Interval> = (0..8)
+                    .map(|i| {
+                        acc[i]
+                            + bytes[2 * i].as_unsigned_byte()
+                            + bytes[2 * i + 1].as_unsigned_byte()
+                    })
+                    .collect();
+                self.checked_write_full(index, inst, vd, ElemWidth::H, new)?;
+            }
+            // ---- moves -------------------------------------------------
+            Inst::MoviZero { vd } => {
+                self.v[vd as usize] = [Slot::Zero, Slot::Zero];
+            }
+            Inst::MovDToX { xd, vn, lane } => {
+                let slot = &self.v[vn as usize][lane as usize];
+                if matches!(slot, Slot::Undef) {
+                    return Err(Violation::UninitRead {
+                        index,
+                        inst: inst.to_string(),
+                        reg: format!("v{vn}"),
+                    });
+                }
+                self.x[xd as usize] = slot.clone();
+            }
+            Inst::MovXToD { vd, lane, xn } => {
+                let slot = &self.x[xn as usize];
+                if matches!(slot, Slot::Undef) {
+                    return Err(Violation::UninitRead {
+                        index,
+                        inst: inst.to_string(),
+                        reg: format!("x{xn}"),
+                    });
+                }
+                self.v[vd as usize][lane as usize] = slot.clone();
+            }
+        }
+        Ok(())
+    }
+}

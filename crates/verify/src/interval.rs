@@ -1,0 +1,146 @@
+//! Closed integer intervals — the abstract domain of the saturation checker.
+//!
+//! Every vector-register lane is tracked as an `[lo, hi]` interval over i64,
+//! which comfortably contains every exact i8/i16/i32 computation the kernels
+//! perform (worst cases are far below `i64::MAX`, so interval arithmetic here
+//! never itself overflows).
+
+use neon_sim::meta::ElemWidth;
+
+/// A closed interval `[lo, hi]`, `lo <= hi`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Interval {
+    /// Inclusive lower bound.
+    pub lo: i64,
+    /// Inclusive upper bound.
+    pub hi: i64,
+}
+
+impl Interval {
+    /// The singleton zero interval.
+    pub const ZERO: Interval = Interval { lo: 0, hi: 0 };
+
+    /// Builds `[lo, hi]`; panics if `lo > hi`.
+    pub fn new(lo: i64, hi: i64) -> Interval {
+        assert!(lo <= hi, "malformed interval [{lo}, {hi}]");
+        Interval { lo, hi }
+    }
+
+    /// The singleton `[v, v]`.
+    pub fn exact(v: i64) -> Interval {
+        Interval { lo: v, hi: v }
+    }
+
+    /// The symmetric interval `[-a, a]`.
+    pub fn symmetric(a: i64) -> Interval {
+        Interval::new(-a.abs(), a.abs())
+    }
+
+    /// Largest absolute value in the interval.
+    pub fn abs_max(self) -> i64 {
+        self.lo.abs().max(self.hi.abs())
+    }
+
+    /// `true` when every value fits the signed range of `w`.
+    pub fn fits(self, w: ElemWidth) -> bool {
+        self.lo >= w.min_value() && self.hi <= w.max_value()
+    }
+
+    /// `true` for the singleton zero.
+    pub fn is_zero(self) -> bool {
+        self.lo == 0 && self.hi == 0
+    }
+
+    /// The interval as seen through an *unsigned* byte read (`UADALP`):
+    /// in-range non-negative values pass through, anything that could be
+    /// negative widens conservatively to the full `[0, 255]` byte range.
+    pub fn as_unsigned_byte(self) -> Interval {
+        if self.lo >= 0 && self.hi <= 255 {
+            self
+        } else {
+            Interval { lo: 0, hi: 255 }
+        }
+    }
+
+    /// Conservative bitwise-AND bound for i8 lanes: two provably non-negative
+    /// operands stay within `[0, min(hi_a, hi_b)]`; otherwise the full i8
+    /// range.
+    pub fn bitand_i8(self, o: Interval) -> Interval {
+        if self.lo >= 0 && o.lo >= 0 {
+            Interval { lo: 0, hi: self.hi.min(o.hi) }
+        } else {
+            Interval { lo: i8::MIN as i64, hi: i8::MAX as i64 }
+        }
+    }
+}
+
+/// Exact interval sum.
+impl std::ops::Add for Interval {
+    type Output = Interval;
+    fn add(self, o: Interval) -> Interval {
+        Interval { lo: self.lo + o.lo, hi: self.hi + o.hi }
+    }
+}
+
+/// Exact interval difference.
+impl std::ops::Sub for Interval {
+    type Output = Interval;
+    fn sub(self, o: Interval) -> Interval {
+        Interval { lo: self.lo - o.hi, hi: self.hi - o.lo }
+    }
+}
+
+/// Exact interval product (four-corner rule).
+impl std::ops::Mul for Interval {
+    type Output = Interval;
+    fn mul(self, o: Interval) -> Interval {
+        let c = [self.lo * o.lo, self.lo * o.hi, self.hi * o.lo, self.hi * o.hi];
+        Interval { lo: *c.iter().min().unwrap(), hi: *c.iter().max().unwrap() }
+    }
+}
+
+impl std::fmt::Display for Interval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_corner_products() {
+        let a = Interval::new(-8, 7);
+        let p = a * a;
+        assert_eq!(p, Interval::new(-56, 64));
+        assert_eq!(Interval::new(-2, 1) * Interval::new(-2, 1), Interval::new(-2, 4));
+    }
+
+    #[test]
+    fn accumulation_chains_reproduce_paper_ratios() {
+        // 511 accumulations of the 4-bit worst product stay inside i16; one
+        // more escapes. This is Fig. 3's claim, in the abstract domain.
+        let prod = Interval::new(-8, 7) * Interval::new(-8, 7);
+        let mut acc = Interval::ZERO;
+        for _ in 0..511 {
+            acc = acc + prod;
+        }
+        assert!(acc.fits(ElemWidth::H), "{acc}");
+        assert!(!(acc + prod).fits(ElemWidth::H));
+    }
+
+    #[test]
+    fn width_fitting() {
+        assert!(Interval::new(-128, 127).fits(ElemWidth::B));
+        assert!(!Interval::new(-129, 0).fits(ElemWidth::B));
+        assert!(Interval::exact(i16::MAX as i64).fits(ElemWidth::H));
+        assert!(!Interval::exact(i16::MAX as i64 + 1).fits(ElemWidth::H));
+    }
+
+    #[test]
+    fn unsigned_byte_view() {
+        assert_eq!(Interval::new(0, 8).as_unsigned_byte(), Interval::new(0, 8));
+        assert_eq!(Interval::new(-1, 8).as_unsigned_byte(), Interval::new(0, 255));
+    }
+}

@@ -1,0 +1,62 @@
+//! # lowbit-verify — static saturation-safety verifier and kernel lint
+//!
+//! The low-bit kernels in this workspace (paper Sec. 3.3, Alg. 1) are only
+//! correct because of a numeric contract: every `SMLAL`/`MLA` partial sum
+//! must be drained by `SADDW` *before* its i16/i8 intermediate can wrap, and
+//! the hand-made register allocation must never clobber a live partial.
+//! The interpreter in `neon-sim` can test that contract on sample inputs;
+//! this crate **proves** it for all inputs in the declared operand ranges,
+//! by abstract interpretation of the emitted instruction streams over a
+//! per-lane interval domain.
+//!
+//! Three analyses compose into [`verify_stream`]:
+//!
+//! * [`absint::check_stream`] — interval analysis proving every
+//!   intermediate fits its width and every store writes defined i32 data
+//!   inside the output span;
+//! * [`lint::lint_stream`] — register-discipline dataflow pass proving no
+//!   live value is clobbered or silently dropped (Alg. 1's allocation
+//!   contract);
+//! * [`geometry::check_spans`] — structural proof that the parallel GEMM's
+//!   per-thread column slices partition the output.
+//!
+//! The `lowbit-verify` binary sweeps the [`streams::standard_cases`]
+//! catalog (every bit width 2–8, both schemes, Winograd-inflated ranges,
+//! baselines and whole GEMM programs) and fails on any unproven stream;
+//! CI runs it on every push.
+
+#![forbid(unsafe_code)]
+
+pub mod absint;
+pub mod geometry;
+pub mod interval;
+pub mod lint;
+pub mod report;
+pub mod streams;
+
+pub use absint::{check_stream, OperandBounds};
+pub use geometry::{check_partition, check_spans};
+pub use interval::Interval;
+pub use lint::lint_stream;
+pub use report::{StreamProof, Violation};
+pub use streams::{
+    baseline_cases, direct_cases, gemm_cases, standard_cases, winograd_cases, VerifyCase,
+};
+
+use lowbit_qgemm::KernelStream;
+
+/// Runs the full static check on one stream: the register-discipline lint
+/// followed by the interval analysis. Returns the proof certificate of the
+/// interval pass.
+pub fn verify_stream(
+    stream: &KernelStream,
+    bounds: &OperandBounds,
+) -> Result<StreamProof, Violation> {
+    lint_stream(&stream.prog)?;
+    check_stream(stream, bounds)
+}
+
+/// Verifies one catalog case.
+pub fn verify_case(case: &VerifyCase) -> Result<StreamProof, Violation> {
+    verify_stream(&case.stream, &case.bounds)
+}

@@ -1,0 +1,131 @@
+//! Register-discipline lint: the Alg. 1 allocation contract as a dataflow
+//! check.
+//!
+//! The paper's Alg. 1 hand-allocates every vector register so that no live
+//! partial sum is ever destroyed before its drain consumes it, and no drain
+//! result is computed and then thrown away. This pass checks exactly that,
+//! independent of value ranges, with a pending-value sweep:
+//!
+//! 1. an instruction's **reads** consume any pending value in the registers
+//!    it reads (including read-modify-write destinations such as `SMLAL`'s
+//!    accumulator);
+//! 2. a **destructive write** (a write to a register the instruction does
+//!    not read) that hits a still-pending value is a [`Violation::Clobbered`]
+//!    — a load or `MOVI` just destroyed unconsumed work;
+//! 3. every value-producing instruction then marks its written registers
+//!    pending again.
+//!
+//! Anything still pending at end of stream is [`Violation::Unconsumed`]:
+//! the kernel computed a partial sum and never drained or stored it.
+
+use crate::report::Violation;
+use neon_sim::inst::{Inst, RegId};
+
+fn reg_index(r: RegId) -> usize {
+    match r {
+        RegId::V(v) => v as usize,
+        RegId::X(x) => 32 + x as usize,
+    }
+}
+
+fn reg_name(i: usize) -> String {
+    if i < 32 {
+        format!("v{i}")
+    } else {
+        format!("x{}", i - 32)
+    }
+}
+
+/// Checks the clobber/consumption discipline of a straight-line stream.
+pub fn lint_stream(prog: &[Inst]) -> Result<(), Violation> {
+    // pending[r] = Some(index of the instruction whose result is still live)
+    let mut pending: [Option<usize>; 64] = [None; 64];
+    for (index, inst) in prog.iter().enumerate() {
+        for r in inst.reads() {
+            pending[reg_index(r)] = None;
+        }
+        for r in inst.destructive_writes() {
+            let slot = reg_index(r);
+            if let Some(born) = pending[slot] {
+                return Err(Violation::Clobbered {
+                    index,
+                    inst: inst.to_string(),
+                    reg: reg_name(slot),
+                    born,
+                });
+            }
+        }
+        if inst.produces_value() {
+            for r in inst.writes() {
+                pending[reg_index(r)] = Some(index);
+            }
+        } else {
+            // Pure moves/zeroing/stores leave nothing pending: their effect
+            // is either consumed immediately (store) or is a fresh blank.
+            for r in inst.writes() {
+                pending[reg_index(r)] = None;
+            }
+        }
+    }
+    if let Some(slot) = pending.iter().position(|p| p.is_some()) {
+        return Err(Violation::Unconsumed {
+            reg: reg_name(slot),
+            born: pending[slot].unwrap(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neon_sim::inst::Half;
+
+    #[test]
+    fn clobbered_partial_is_reported() {
+        // v10 accumulates a partial, then a load destroys it before any
+        // drain reads it.
+        let prog = [
+            Inst::Ld1 { vt: 0, addr: 0 },
+            Inst::Ld1 { vt: 2, addr: 16 },
+            Inst::MoviZero { vd: 10 },
+            Inst::Smlal8 { vd: 10, vn: 0, vm: 2, half: Half::Low },
+            Inst::Ld1 { vt: 10, addr: 0 },
+        ];
+        match lint_stream(&prog) {
+            Err(Violation::Clobbered { index: 4, reg, born: 3, .. }) => {
+                assert_eq!(reg, "v10");
+            }
+            other => panic!("expected clobber at #4, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unconsumed_partial_is_reported() {
+        let prog = [
+            Inst::Ld1 { vt: 0, addr: 0 },
+            Inst::Ld1 { vt: 2, addr: 16 },
+            Inst::MoviZero { vd: 10 },
+            Inst::Smlal8 { vd: 10, vn: 0, vm: 2, half: Half::Low },
+        ];
+        match lint_stream(&prog) {
+            Err(Violation::Unconsumed { reg, born: 3 }) => assert_eq!(reg, "v10"),
+            other => panic!("expected unconsumed v10, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn consumed_chain_is_clean() {
+        let prog = [
+            Inst::Ld1 { vt: 0, addr: 0 },
+            Inst::Ld1 { vt: 2, addr: 16 },
+            Inst::MoviZero { vd: 10 },
+            Inst::MoviZero { vd: 20 },
+            Inst::Smlal8 { vd: 10, vn: 0, vm: 2, half: Half::Low },
+            Inst::Saddw16 { vd: 20, vn: 20, vm: 10, half: Half::Low },
+            Inst::Saddw16 { vd: 20, vn: 20, vm: 10, half: Half::High },
+            Inst::St1 { vt: 20, addr: 32 },
+        ];
+        lint_stream(&prog).unwrap();
+    }
+}

@@ -1,0 +1,54 @@
+//! `lowbit-verify`: sweep the standard kernel catalog and the parallel
+//! partition geometry, printing one line per proof. Exits non-zero if any
+//! stream fails — CI runs this on every push.
+
+use lowbit_verify::{standard_cases, verify_case};
+
+fn main() {
+    let cases = standard_cases();
+    let mut failures = 0usize;
+    println!("{:<34} {:>6} {:>6} {:>6} {:>9} {:>9}", "stream", "insts", "macs", "drains", "peak i16", "headroom");
+    for case in &cases {
+        match verify_case(case) {
+            Ok(proof) => {
+                println!(
+                    "{:<34} {:>6} {:>6} {:>6} {:>9} {:>8.1}%",
+                    proof.name,
+                    proof.insts,
+                    proof.macs,
+                    proof.drains,
+                    proof.peak_i16,
+                    proof.tightest_headroom() * 100.0
+                );
+            }
+            Err(v) => {
+                failures += 1;
+                println!("{:<34} FAIL: {v}", case.stream.name);
+            }
+        }
+    }
+
+    // Partition geometry: prove the per-thread column spans partition the
+    // output for a sweep of shapes and thread counts.
+    let mut geo = 0usize;
+    for n in 1..=256 {
+        for threads in 1..=32 {
+            if let Err(v) = lowbit_verify::check_partition(n, threads) {
+                eprintln!("partition n={n} threads={threads}: {v}");
+                failures += 1;
+            }
+            geo += 1;
+        }
+    }
+
+    println!();
+    println!(
+        "{} streams, {} partitions checked, {} failure(s)",
+        cases.len(),
+        geo,
+        failures
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,159 @@
+//! Verification outcomes: the violation taxonomy and the proof certificate.
+
+use crate::interval::Interval;
+use neon_sim::meta::ElemWidth;
+
+/// Why a stream (or partition) fails verification. Each variant carries
+/// enough context to point a kernel author at the defect.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Violation {
+    /// An accumulation could exceed the signed range of its intermediate
+    /// width — the paper's saturation-safety property (Sec. 3.3) is broken.
+    SaturationOverflow {
+        /// Instruction index in the stream.
+        index: usize,
+        /// Disassembly of the offending instruction.
+        inst: String,
+        /// The intermediate width that would wrap.
+        width: ElemWidth,
+        /// The offending lane's value interval.
+        value: Interval,
+    },
+    /// A non-widening multiply (`MLA`/`MUL`) product could wrap i8 before it
+    /// is even accumulated.
+    ProductOverflow { index: usize, inst: String, value: Interval },
+    /// A register holding lanes of one element width was read at another —
+    /// in these kernels that always means a live value was overwritten or an
+    /// operand register was misused.
+    WidthConfusion {
+        index: usize,
+        inst: String,
+        /// The vector register misread.
+        reg: u8,
+        expected: ElemWidth,
+        found: ElemWidth,
+    },
+    /// A register was read before any instruction defined it.
+    UninitRead { index: usize, inst: String, reg: String },
+    /// A memory access falls outside every declared operand region.
+    UnmappedAccess { index: usize, inst: String, addr: u32, bytes: u32 },
+    /// A broadcast load's element granularity disagrees with the element
+    /// type of the region it reads (e.g. `LD4R.16b` over an i16 region).
+    RegionMismatch { index: usize, inst: String, region_elem: ElemWidth },
+    /// A store targets memory outside the declared output span.
+    StoreOutsideOutput { index: usize, inst: String, addr: u32 },
+    /// A live (not yet consumed) computed value was destroyed by a
+    /// destructive write — the Alg. 1 register-allocation discipline is
+    /// broken.
+    Clobbered {
+        index: usize,
+        inst: String,
+        reg: String,
+        /// Index of the instruction that produced the lost value.
+        born: usize,
+    },
+    /// A computed value was never consumed by any later instruction or
+    /// store — dead work, which in these hand-scheduled kernels means a
+    /// drain or store was dropped.
+    Unconsumed { reg: String, born: usize },
+    /// The stream/bounds specification itself is inconsistent (e.g. operand
+    /// bounds that do not fit the region's element type).
+    BadSpec { reason: String },
+    /// Thread partition: a column is owned by no thread.
+    GeometryGap { thread: usize, expected_col: usize, got_col: usize },
+    /// Thread partition: a column is owned by two threads.
+    GeometryOverlap { thread: usize, expected_col: usize, got_col: usize },
+    /// Thread partition: an interior boundary is not tile-aligned.
+    GeometryMisaligned { thread: usize, col: usize },
+    /// Thread partition: the spans stop short of (or run past) column `n`.
+    GeometryCoverage { end: usize, n: usize },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::SaturationOverflow { index, inst, width, value } => write!(
+                f,
+                "#{index} `{inst}`: accumulation {value} exceeds {width} range"
+            ),
+            Violation::ProductOverflow { index, inst, value } => write!(
+                f,
+                "#{index} `{inst}`: non-widening product {value} exceeds i8 range"
+            ),
+            Violation::WidthConfusion { index, inst, reg, expected, found } => write!(
+                f,
+                "#{index} `{inst}`: v{reg} read as {expected} but holds live {found} lanes"
+            ),
+            Violation::UninitRead { index, inst, reg } => {
+                write!(f, "#{index} `{inst}`: {reg} read before definition")
+            }
+            Violation::UnmappedAccess { index, inst, addr, bytes } => write!(
+                f,
+                "#{index} `{inst}`: access [{addr}, {}) outside declared regions",
+                addr + bytes
+            ),
+            Violation::RegionMismatch { index, inst, region_elem } => write!(
+                f,
+                "#{index} `{inst}`: broadcast granularity disagrees with {region_elem} region"
+            ),
+            Violation::StoreOutsideOutput { index, inst, addr } => {
+                write!(f, "#{index} `{inst}`: store at {addr} outside the output span")
+            }
+            Violation::Clobbered { index, inst, reg, born } => write!(
+                f,
+                "#{index} `{inst}`: destroys live value in {reg} (produced at #{born})"
+            ),
+            Violation::Unconsumed { reg, born } => {
+                write!(f, "end of stream: value in {reg} (produced at #{born}) never consumed")
+            }
+            Violation::BadSpec { reason } => write!(f, "bad specification: {reason}"),
+            Violation::GeometryGap { thread, expected_col, got_col } => write!(
+                f,
+                "thread {thread}: columns [{expected_col}, {got_col}) owned by no thread"
+            ),
+            Violation::GeometryOverlap { thread, expected_col, got_col } => write!(
+                f,
+                "thread {thread}: columns [{got_col}, {expected_col}) owned twice"
+            ),
+            Violation::GeometryMisaligned { thread, col } => {
+                write!(f, "thread {thread}: boundary at column {col} not tile-aligned")
+            }
+            Violation::GeometryCoverage { end, n } => {
+                write!(f, "spans cover [0, {end}) but the output has {n} columns")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// The certificate returned for a stream that verifies: what was proven and
+/// how close the intermediates came to their limits.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StreamProof {
+    /// Stream name (from the [`lowbit_qgemm::stream::KernelStream`]).
+    pub name: String,
+    /// Instructions analyzed.
+    pub insts: usize,
+    /// Multiply-accumulate instructions proven in-range.
+    pub macs: usize,
+    /// `SADDW`/`SSHLL` drain instructions proven in-range.
+    pub drains: usize,
+    /// Largest |value| proven for any i8 intermediate lane (0 if none).
+    pub peak_i8: i64,
+    /// Largest |value| proven for any i16 intermediate lane (0 if none).
+    pub peak_i16: i64,
+    /// Largest |value| proven for any i32 accumulator lane.
+    pub peak_i32: i64,
+}
+
+impl StreamProof {
+    /// Headroom left in the tightest intermediate, as a fraction of its
+    /// range (1.0 = untouched, 0.0 = exactly at the limit).
+    pub fn tightest_headroom(&self) -> f64 {
+        let h8 = 1.0 - self.peak_i8 as f64 / i8::MAX as f64;
+        let h16 = 1.0 - self.peak_i16 as f64 / i16::MAX as f64;
+        let h32 = 1.0 - self.peak_i32 as f64 / i32::MAX as f64;
+        h8.min(h16).min(h32)
+    }
+}
