@@ -114,4 +114,8 @@ fn main() {
         Ok(path) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("parallel JSON export failed: {e}"),
     }
+    match lowbit_bench::export::save_trace_json(dir) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("trace JSON export failed: {e}"),
+    }
 }

@@ -197,6 +197,72 @@ pub fn save_parallel_json(dir: &Path) -> std::io::Result<PathBuf> {
     Ok(path)
 }
 
+/// Writes `BENCH_trace.json` under `dir`: the machine-readable summary of a
+/// traced steady-state demo-network run (per-span-name aggregation with pipe
+/// attribution, counter series, and the GPU stage estimates) — the
+/// perf-trajectory record for the observability layer.
+pub fn save_trace_json(dir: &Path) -> std::io::Result<PathBuf> {
+    use lowbit::prelude::*;
+    use lowbit::Network;
+    use lowbit_trace::summary::summary_json;
+
+    let net = Network::demo(BitWidth::W4, 12, 9);
+    let engine = ArmEngine::cortex_a53().with_threads(2);
+    let dims = (1usize, 3usize, 12usize, 12usize);
+    let len = dims.0 * dims.1 * dims.2 * dims.3;
+    let input = Tensor::from_vec(
+        dims,
+        Layout::Nchw,
+        (0..len).map(|i| (i % 17) as f32 / 8.5 - 1.0).collect(),
+    );
+    // Warm-up pass: packs weights and grows the arena, so the traced run
+    // below records the allocation-free steady state.
+    let _ = net.run_arm(&engine, &input);
+
+    let (tracer, sink) = Tracer::recording();
+    let (_, reports, total_ms) = net.run_arm_traced(&engine, &input, &tracer);
+    let gpu = GpuEngine::rtx2080ti();
+    let gpu_layers = net.estimate_gpu_layers_traced(&gpu, Tuning::Default, &tracer);
+
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"experiment\": \"trace_summary\",\n");
+    s.push_str("  \"network\": \"demo_w4\",\n");
+    s.push_str(&format!("  \"layers\": {},\n", reports.len()));
+    s.push_str(&format!("  \"total_modeled_ms\": {total_ms:.9},\n"));
+    s.push_str(&format!(
+        "  \"steady_prepack_misses\": {},\n",
+        reports.iter().map(|r| r.prepack_misses).sum::<u64>()
+    ));
+    s.push_str(&format!(
+        "  \"steady_workspace_growth_bytes\": {},\n",
+        reports.iter().map(|r| r.workspace_growth_bytes).sum::<usize>()
+    ));
+    if let Some(layers) = gpu_layers {
+        let items: Vec<String> = layers
+            .iter()
+            .map(|l| {
+                format!(
+                    "    {{\"name\":\"{}\",\"total_us\":{:.6},\"mma_us\":{:.6},\"smem_us\":{:.6},\"dram_us\":{:.6}}}",
+                    l.name,
+                    l.micros(),
+                    l.time.mma_s * 1e6,
+                    l.time.smem_s * 1e6,
+                    l.time.dram_s * 1e6
+                )
+            })
+            .collect();
+        s.push_str(&format!("  \"gpu_layers\": [\n{}\n  ],\n", items.join(",\n")));
+    }
+    s.push_str(&format!("  \"trace\": {}\n", summary_json(&sink.capture())));
+    s.push_str("}\n");
+
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join("BENCH_trace.json");
+    std::fs::write(&path, s)?;
+    Ok(path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,5 +304,34 @@ mod tests {
         }
         // 19 ResNet-50 layers modeled at 3 thread counts.
         assert_eq!(text.matches("\"conv").count(), 19, "modeled layer list");
+    }
+
+    #[test]
+    fn trace_json_is_valid_and_steady_state() {
+        let dir = std::env::temp_dir().join("lowbit_trace_json_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = save_trace_json(&dir).unwrap();
+        assert!(path.ends_with("BENCH_trace.json"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = lowbit_trace::json::parse(&text).unwrap();
+        assert_eq!(doc.get("experiment").unwrap().as_str(), Some("trace_summary"));
+        // The traced run happens after warm-up: no packing, no arena growth.
+        assert_eq!(doc.get("steady_prepack_misses").unwrap().as_num(), Some(0.0));
+        assert_eq!(doc.get("steady_workspace_growth_bytes").unwrap().as_num(), Some(0.0));
+        assert!(doc.get("total_modeled_ms").unwrap().as_num().unwrap() > 0.0);
+        assert_eq!(doc.get("gpu_layers").unwrap().as_arr().unwrap().len(), 3);
+        let trace = doc.get("trace").unwrap();
+        assert!(trace.get("spans").unwrap().as_num().unwrap() > 0.0);
+        let names: Vec<&str> = trace
+            .get("by_name")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|r| r.get("name").unwrap().as_str().unwrap())
+            .collect();
+        for expected in ["layer", "conv", "gemm", "requantize", "mma"] {
+            assert!(names.contains(&expected), "missing {expected} in {names:?}");
+        }
     }
 }

@@ -56,7 +56,8 @@ pub use winograd::{
     winograd_supported,
 };
 pub use workspace::{
-    gemm_conv_narrow_prepacked_ws, gemm_conv_prepacked_ws, gemm_conv_sdot_prepacked_ws,
+    gemm_conv_narrow_prepacked_ws, gemm_conv_narrow_prepacked_ws_traced, gemm_conv_prepacked_ws,
+    gemm_conv_prepacked_ws_traced, gemm_conv_sdot_prepacked_ws, gemm_conv_sdot_prepacked_ws_traced,
     parallel_cycle_split, schedule_gemm_conv_narrow_prepacked, schedule_gemm_conv_prepacked,
     schedule_gemm_conv_sdot_prepacked, ConvWorkspace,
 };

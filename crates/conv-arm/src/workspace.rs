@@ -18,11 +18,12 @@ use crate::gemm_conv::{
 };
 use crate::ConvOutput;
 use lowbit_qgemm::narrow::PackedANarrow;
-use lowbit_qgemm::parallel::{gemm_parallel_cm, ParallelConfig, SharedWeights};
+use lowbit_qgemm::parallel::{gemm_parallel_cm_traced, ParallelConfig, SharedWeights};
 use lowbit_qgemm::sdot::{gemm_sdot_prepacked_cm, pack_b_quads_into, PackedAQuads, PackedBQuads};
 use lowbit_qgemm::workspace::{GemmWorkspace, WorkspaceStats};
 use lowbit_qgemm::{PackedA, Scheme};
 use lowbit_tensor::{im2col_nchw_into, ConvShape, Im2colMatrix, QTensor};
+use lowbit_trace::{Tracer, MAIN_TRACK};
 use neon_sim::KernelSchedule;
 
 /// Caller-owned scratch for the prepacked convolution paths: the im2col
@@ -84,13 +85,42 @@ pub fn gemm_conv_prepacked_ws(
     cfg: &ParallelConfig,
     ws: &mut ConvWorkspace,
 ) -> ConvOutput {
+    gemm_conv_prepacked_ws_traced(input, pa, scheme, shape, cfg, ws, &Tracer::null())
+}
+
+/// [`gemm_conv_prepacked_ws`] with span recording for the lowering and
+/// reshape stages (the inner GEMM records onto per-worker tracks).
+pub fn gemm_conv_prepacked_ws_traced(
+    input: &QTensor,
+    pa: &PackedA,
+    scheme: &Scheme,
+    shape: &ConvShape,
+    cfg: &ParallelConfig,
+    ws: &mut ConvWorkspace,
+    tracer: &Tracer,
+) -> ConvOutput {
     check_weight_shape(pa.m, pa.k, shape);
     let before = ws.footprint_bytes();
-    im2col_nchw_into(input, shape, &mut ws.col);
     let (k, n) = (shape.gemm_k(), shape.gemm_n());
-    let c_cm =
-        gemm_parallel_cm(scheme, SharedWeights::Wide(pa), &ws.col.data, k, n, cfg, &mut ws.gemm);
-    let acc = matrix_to_nchw_cm(c_cm, shape);
+    {
+        let mut span = tracer.span("im2col", MAIN_TRACK);
+        span.set_label(|| format!("{k}x{n}"));
+        im2col_nchw_into(input, shape, &mut ws.col);
+    }
+    let c_cm = gemm_parallel_cm_traced(
+        scheme,
+        SharedWeights::Wide(pa),
+        &ws.col.data,
+        k,
+        n,
+        cfg,
+        &mut ws.gemm,
+        tracer,
+    );
+    let acc = {
+        let _span = tracer.span("reshape nchw", MAIN_TRACK);
+        matrix_to_nchw_cm(c_cm, shape)
+    };
     ws.note_call(before);
     ConvOutput { acc, schedule: schedule_gemm_conv_prepacked(scheme, shape) }
 }
@@ -104,13 +134,41 @@ pub fn gemm_conv_narrow_prepacked_ws(
     cfg: &ParallelConfig,
     ws: &mut ConvWorkspace,
 ) -> ConvOutput {
+    gemm_conv_narrow_prepacked_ws_traced(input, pa, scheme, shape, cfg, ws, &Tracer::null())
+}
+
+/// [`gemm_conv_narrow_prepacked_ws`] with span recording.
+pub fn gemm_conv_narrow_prepacked_ws_traced(
+    input: &QTensor,
+    pa: &PackedANarrow,
+    scheme: &Scheme,
+    shape: &ConvShape,
+    cfg: &ParallelConfig,
+    ws: &mut ConvWorkspace,
+    tracer: &Tracer,
+) -> ConvOutput {
     check_weight_shape(pa.m, pa.k, shape);
     let before = ws.footprint_bytes();
-    im2col_nchw_into(input, shape, &mut ws.col);
     let (k, n) = (shape.gemm_k(), shape.gemm_n());
-    let c_cm =
-        gemm_parallel_cm(scheme, SharedWeights::Narrow(pa), &ws.col.data, k, n, cfg, &mut ws.gemm);
-    let acc = matrix_to_nchw_cm(c_cm, shape);
+    {
+        let mut span = tracer.span("im2col", MAIN_TRACK);
+        span.set_label(|| format!("{k}x{n}"));
+        im2col_nchw_into(input, shape, &mut ws.col);
+    }
+    let c_cm = gemm_parallel_cm_traced(
+        scheme,
+        SharedWeights::Narrow(pa),
+        &ws.col.data,
+        k,
+        n,
+        cfg,
+        &mut ws.gemm,
+        tracer,
+    );
+    let acc = {
+        let _span = tracer.span("reshape nchw", MAIN_TRACK);
+        matrix_to_nchw_cm(c_cm, shape)
+    };
     ws.note_call(before);
     ConvOutput { acc, schedule: schedule_gemm_conv_narrow_prepacked(scheme, shape) }
 }
@@ -123,13 +181,38 @@ pub fn gemm_conv_sdot_prepacked_ws(
     shape: &ConvShape,
     ws: &mut ConvWorkspace,
 ) -> ConvOutput {
+    gemm_conv_sdot_prepacked_ws_traced(input, pa, shape, ws, &Tracer::null())
+}
+
+/// [`gemm_conv_sdot_prepacked_ws`] with span recording (serial path: all
+/// stages land on the main track).
+pub fn gemm_conv_sdot_prepacked_ws_traced(
+    input: &QTensor,
+    pa: &PackedAQuads,
+    shape: &ConvShape,
+    ws: &mut ConvWorkspace,
+    tracer: &Tracer,
+) -> ConvOutput {
     check_weight_shape(pa.m, pa.k, shape);
     let before = ws.footprint_bytes();
-    im2col_nchw_into(input, shape, &mut ws.col);
     let (k, n) = (shape.gemm_k(), shape.gemm_n());
-    pack_b_quads_into(&ws.col.data, k, n, &mut ws.bq);
-    gemm_sdot_prepacked_cm(pa, &ws.bq, &mut ws.c_sdot);
-    let acc = matrix_to_nchw_cm(&ws.c_sdot, shape);
+    {
+        let mut span = tracer.span("im2col", MAIN_TRACK);
+        span.set_label(|| format!("{k}x{n}"));
+        im2col_nchw_into(input, shape, &mut ws.col);
+    }
+    {
+        let _span = tracer.span("pack B quads", MAIN_TRACK);
+        pack_b_quads_into(&ws.col.data, k, n, &mut ws.bq);
+    }
+    {
+        let _span = tracer.span("gemm sdot", MAIN_TRACK);
+        gemm_sdot_prepacked_cm(pa, &ws.bq, &mut ws.c_sdot);
+    }
+    let acc = {
+        let _span = tracer.span("reshape nchw", MAIN_TRACK);
+        matrix_to_nchw_cm(&ws.c_sdot, shape)
+    };
     ws.note_call(before);
     ConvOutput { acc, schedule: schedule_gemm_conv_sdot_prepacked(shape) }
 }

@@ -11,8 +11,8 @@
 //! story, not the model's.
 
 use lowbit_conv_arm::{
-    bitserial_conv, gemm_conv_narrow_prepacked_ws, gemm_conv_prepacked_ws,
-    gemm_conv_sdot_prepacked_ws, ncnn_conv, schedule_bitserial_conv, schedule_gemm_conv,
+    bitserial_conv, gemm_conv_narrow_prepacked_ws_traced, gemm_conv_prepacked_ws_traced,
+    gemm_conv_sdot_prepacked_ws_traced, ncnn_conv, schedule_bitserial_conv, schedule_gemm_conv,
     schedule_gemm_conv_narrow, schedule_gemm_conv_narrow_prepacked, schedule_gemm_conv_prepacked,
     schedule_gemm_conv_sdot, schedule_gemm_conv_sdot_prepacked, schedule_ncnn_conv,
     schedule_winograd_conv, winograd_conv, winograd_supported, ConvWorkspace,
@@ -23,7 +23,8 @@ use lowbit_qgemm::sdot::{pack_a_quads, PackedAQuads};
 use lowbit_qgemm::workspace::WorkspaceStats;
 use lowbit_qgemm::{pack_a, PackedA, Scheme};
 use lowbit_tensor::{BitWidth, ConvShape, QTensor, Tensor};
-use neon_sim::{CortexA53, CostModel, KernelSchedule};
+use lowbit_trace::{PipeAttribution, Tracer, MAIN_TRACK};
+use neon_sim::{CortexA53, CostModel, KernelSchedule, StageCost};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
@@ -58,6 +59,71 @@ pub struct ArmConvResult {
     pub schedule: KernelSchedule,
     /// Modeled wall time in milliseconds on the engine's core.
     pub millis: f64,
+    /// Whether the prepack cache served the weights (`None` for algorithms
+    /// without a prepacked layout).
+    pub prepack_hit: Option<bool>,
+    /// Bytes the shared workspace arena grew by during this call (0 in the
+    /// steady state).
+    pub workspace_growth_bytes: usize,
+}
+
+/// Converts one analytic schedule stage into the trace's pipe attribution
+/// under `model`: NEON-pipe and LS-pipe issue-slot occupancy, the byte count
+/// charged with stall (or bulk-move) cycles, the instruction-class
+/// histogram, and the stage's exact combined modeled cycles.
+///
+/// `modeled_cycles` is precisely `stage.cycles(model)`, so summing the
+/// attributions of a schedule's stages and converting with `model.millis`
+/// reproduces `KernelSchedule::millis` — the conservation invariant the
+/// integration tests enforce.
+pub fn stage_attribution(stage: &StageCost, model: &CostModel) -> PipeAttribution {
+    let c = &stage.counts;
+    PipeAttribution {
+        neon_slot_cycles: c.neon_total() as f64 * model.neon_slots,
+        ls_slot_cycles: c.mem_total() as f64 * model.ls_slots,
+        stall_bytes: c.bytes_total(),
+        loads: c.loads,
+        stores: c.stores,
+        neon_mac: c.neon_mac,
+        neon_alu: c.neon_alu,
+        neon_mov: c.neon_mov,
+        modeled_cycles: stage.cycles(model),
+    }
+}
+
+/// Lays a schedule's stages back-to-back on a synthetic "modeled" timeline
+/// track, one span per stage (duration = the stage's modeled wall time),
+/// under a parent span covering the whole kernel. Only the stage spans carry
+/// a [`PipeAttribution`], so summing attributions over the track counts each
+/// cycle exactly once.
+fn emit_modeled_schedule(
+    tracer: &Tracer,
+    track: u32,
+    label: &str,
+    sched: &KernelSchedule,
+    model: &CostModel,
+) {
+    if !tracer.enabled() {
+        return;
+    }
+    let mut at_ns = 0u64;
+    let mut stages = Vec::with_capacity(sched.stages.len());
+    for stage in &sched.stages {
+        let dur_ns = (model.seconds(stage.cycles(model)) * 1e9).round().max(1.0) as u64;
+        stages.push((stage, at_ns, dur_ns));
+        at_ns += dur_ns;
+    }
+    tracer.modeled_span(track, "conv modeled", 0, at_ns, Some(label.to_string()), None);
+    for (stage, start_ns, dur_ns) in stages {
+        tracer.modeled_span(
+            track,
+            stage.name,
+            start_ns,
+            dur_ns,
+            None,
+            Some(stage_attribution(stage, model)),
+        );
+    }
 }
 
 /// Cache and reuse statistics of the engine's prepacked-weight store.
@@ -121,6 +187,7 @@ struct EngineState {
     hits: u64,
     misses: u64,
     ws: ConvWorkspace,
+    modeled_millis: f64,
 }
 
 impl EngineState {
@@ -222,6 +289,13 @@ impl ArmEngine {
         self.state.lock().expect("engine state poisoned").ws.stats()
     }
 
+    /// Cumulative modeled milliseconds across every convolution this engine
+    /// (and its clones) has served — monotone over the engine's lifetime,
+    /// which is what makes it usable as a trace counter.
+    pub fn modeled_millis_total(&self) -> f64 {
+        self.state.lock().expect("engine state poisoned").modeled_millis
+    }
+
     /// Resolves `Auto` for a given layer/bit width by modeled time over the
     /// applicable algorithms: the paper's 16x4 GEMM, the Winograd fast path
     /// (4–6-bit 3x3/s1), and the narrow 8x4 tile extension (which wins at
@@ -255,41 +329,82 @@ impl ArmEngine {
         shape: &ConvShape,
         algo: ArmAlgo,
     ) -> ArmConvResult {
+        self.conv_traced(input, weights, shape, algo, &Tracer::null(), "conv")
+    }
+
+    /// [`ArmEngine::conv`] with span recording. Wall spans cover the real
+    /// pipeline (im2col, per-worker pack-B/GEMM tracks, reshape); a
+    /// dedicated `modeled/<ctx>` track carries one span per analytic stage
+    /// (pack B, gemm, Winograd transforms, requant, ...) with its
+    /// [`PipeAttribution`], laid back-to-back so their total reproduces
+    /// `millis` exactly. `ctx` names the call site (usually the layer).
+    pub fn conv_traced(
+        &self,
+        input: &QTensor,
+        weights: &QTensor,
+        shape: &ConvShape,
+        algo: ArmAlgo,
+        tracer: &Tracer,
+        ctx: &str,
+    ) -> ArmConvResult {
         let bits = input.bits().max(weights.bits());
         let algo = match algo {
             ArmAlgo::Auto => self.select_algo(bits, shape),
             other => other,
         };
+        let mut conv_span = tracer.span("conv", MAIN_TRACK);
+        conv_span.set_label(|| format!("{ctx}: {algo:?} {bits}"));
+        let mut prepack_hit = None;
+        let mut workspace_growth_bytes = 0;
         let out = match algo {
             ArmAlgo::Gemm | ArmAlgo::GemmNarrow | ArmAlgo::GemmSdot => {
                 let scheme = Scheme::for_bits(bits);
                 let cfg = ParallelConfig::with_threads(self.threads);
                 let mut guard = self.state.lock().expect("engine state poisoned");
                 let st = &mut *guard;
+                let hits_before = st.hits;
                 let packed = st.prepacked(weights, shape, algo);
-                match &*packed {
-                    PackedWeights::Wide(pa) => {
-                        gemm_conv_prepacked_ws(input, pa, &scheme, shape, &cfg, &mut st.ws)
-                    }
-                    PackedWeights::Narrow(pa) => {
-                        gemm_conv_narrow_prepacked_ws(input, pa, &scheme, shape, &cfg, &mut st.ws)
-                    }
+                prepack_hit = Some(st.hits > hits_before);
+                let ws_before = st.ws.footprint_bytes();
+                let out = match &*packed {
+                    PackedWeights::Wide(pa) => gemm_conv_prepacked_ws_traced(
+                        input, pa, &scheme, shape, &cfg, &mut st.ws, tracer,
+                    ),
+                    PackedWeights::Narrow(pa) => gemm_conv_narrow_prepacked_ws_traced(
+                        input, pa, &scheme, shape, &cfg, &mut st.ws, tracer,
+                    ),
                     PackedWeights::Quads(pa) => {
-                        gemm_conv_sdot_prepacked_ws(input, pa, shape, &mut st.ws)
+                        gemm_conv_sdot_prepacked_ws_traced(input, pa, shape, &mut st.ws, tracer)
                     }
-                }
+                };
+                workspace_growth_bytes = st.ws.footprint_bytes().saturating_sub(ws_before);
+                out
             }
             ArmAlgo::Winograd => winograd_conv(input, weights, shape),
             ArmAlgo::NcnnBaseline => ncnn_conv(input, weights, shape),
             ArmAlgo::BitserialBaseline => bitserial_conv(input, weights, shape),
             ArmAlgo::Auto => unreachable!("Auto resolved above"),
         };
+        drop(conv_span);
+        if tracer.enabled() {
+            let track = tracer.track(&format!("modeled/{ctx}"));
+            emit_modeled_schedule(
+                tracer,
+                track,
+                &format!("{algo:?} {bits}"),
+                &out.schedule,
+                &self.model,
+            );
+        }
         let millis = out.schedule.millis(&self.model);
+        self.state.lock().expect("engine state poisoned").modeled_millis += millis;
         ArmConvResult {
             acc: out.acc,
             algo,
             schedule: out.schedule,
             millis,
+            prepack_hit,
+            workspace_growth_bytes,
         }
     }
 

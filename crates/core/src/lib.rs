@@ -32,12 +32,13 @@ pub mod prelude {
     pub use lowbit_qgemm::workspace::WorkspaceStats;
     pub use crate::gpu::{GpuConvResult, GpuEngine, Tuning};
     pub use lowbit_tensor::{BitWidth, ConvShape, Layout, QTensor, Tensor};
+    pub use lowbit_trace::Tracer;
     pub use turing_sim::Precision;
 }
 
-pub use arm::{ArmAlgo, ArmConvResult, ArmEngine, PrepackStats};
+pub use arm::{stage_attribution, ArmAlgo, ArmConvResult, ArmEngine, PrepackStats};
 pub use gpu::{GpuConvResult, GpuEngine, Tuning};
-pub use network::{LayerReport, NetLayer, Network};
+pub use network::{GpuLayerReport, LayerReport, NetLayer, Network};
 
 // Substrate re-exports for advanced users.
 pub use lowbit_conv_arm as conv_arm;
@@ -46,5 +47,6 @@ pub use lowbit_models as models;
 pub use lowbit_qgemm as qgemm;
 pub use lowbit_qnn as qnn;
 pub use lowbit_tensor as tensor;
+pub use lowbit_trace as trace;
 pub use neon_sim;
 pub use turing_sim;

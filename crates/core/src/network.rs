@@ -10,6 +10,7 @@
 use crate::arm::{ArmAlgo, ArmEngine};
 use lowbit_qnn::{quantize_f32, Quantizer, RequantParams};
 use lowbit_tensor::{BitWidth, ConvShape, Layout, QTensor, Tensor};
+use lowbit_trace::{Tracer, MAIN_TRACK};
 
 /// One conv(+ReLU) layer of a sequential network.
 #[derive(Clone, Debug)]
@@ -41,6 +42,31 @@ pub struct LayerReport {
     pub algo: ArmAlgo,
     /// Modeled milliseconds.
     pub millis: f64,
+    /// Prepack-cache hits this layer contributed (0 or 1 per run; always 0
+    /// for algorithms without a prepacked layout).
+    pub prepack_hits: u64,
+    /// Prepack-cache misses this layer contributed (0 or 1 per run).
+    pub prepack_misses: u64,
+    /// Bytes the shared workspace arena grew by while serving this layer
+    /// (0 in the steady state).
+    pub workspace_growth_bytes: usize,
+}
+
+/// Per-layer modeled GPU record (the ARM [`LayerReport`]'s counterpart; the
+/// GPU engine estimates rather than executes at layer scale).
+#[derive(Clone, Debug)]
+pub struct GpuLayerReport {
+    /// Layer name.
+    pub name: String,
+    /// Full modeled stage breakdown of the layer's kernel launch.
+    pub time: turing_sim::KernelTime,
+}
+
+impl GpuLayerReport {
+    /// Modeled microseconds for the layer.
+    pub fn micros(&self) -> f64 {
+        self.time.total_us()
+    }
 }
 
 impl Network {
@@ -121,6 +147,20 @@ impl Network {
         engine: &ArmEngine,
         input: &Tensor<f32>,
     ) -> (Tensor<f32>, Vec<LayerReport>, f64) {
+        self.run_arm_traced(engine, input, &Tracer::null())
+    }
+
+    /// [`Network::run_arm`] with span recording: each layer gets a parent
+    /// wall span (labelled with its algorithm choice and prepack hit/miss)
+    /// over the engine's conv spans plus a `requantize` span, and three
+    /// monotone counters track the run: cumulative modeled milliseconds,
+    /// cumulative prepack hits, and the workspace high-water mark.
+    pub fn run_arm_traced(
+        &self,
+        engine: &ArmEngine,
+        input: &Tensor<f32>,
+        tracer: &Tracer,
+    ) -> (Tensor<f32>, Vec<LayerReport>, f64) {
         let first = &self.layers[0];
         assert_eq!(
             input.dims(),
@@ -135,12 +175,25 @@ impl Network {
         let mut reports = Vec::with_capacity(self.layers.len());
         let mut total = 0.0;
         for layer in &self.layers {
-            let out = engine.conv(&act, &layer.weights, &layer.shape, ArmAlgo::Auto);
+            let mut layer_span = tracer.span("layer", MAIN_TRACK);
+            let out =
+                engine.conv_traced(&act, &layer.weights, &layer.shape, ArmAlgo::Auto, tracer, &layer.name);
             total += out.millis;
+            layer_span.set_label(|| {
+                let cache = match out.prepack_hit {
+                    Some(true) => "prepack hit",
+                    Some(false) => "prepack miss",
+                    None => "no prepack",
+                };
+                format!("{}: {:?} ({cache})", layer.name, out.algo)
+            });
             reports.push(LayerReport {
                 name: layer.name.clone(),
                 algo: out.algo,
                 millis: out.millis,
+                prepack_hits: u64::from(out.prepack_hit == Some(true)),
+                prepack_misses: u64::from(out.prepack_hit == Some(false)),
+                workspace_growth_bytes: out.workspace_growth_bytes,
             });
             // Re-quantize (with fused ReLU truncation where requested) into
             // the next activation; track the real-valued scale it encodes.
@@ -149,9 +202,21 @@ impl Network {
             } else {
                 layer.requant
             };
-            let q = lowbit_qnn::requantize(&out.acc, &rq);
+            let q = {
+                let _span = tracer.span("requantize", MAIN_TRACK);
+                lowbit_qnn::requantize(&out.acc, &rq)
+            };
             act_scale = act_scale * layer.weights.scale() / rq.multiplier;
             act = q;
+            drop(layer_span);
+            if tracer.enabled() {
+                tracer.counter("modeled_millis_total", engine.modeled_millis_total());
+                tracer.counter("prepack_hits_total", engine.prepack_stats().hits as f64);
+                tracer.counter(
+                    "workspace_high_water_bytes",
+                    engine.workspace_stats().high_water_bytes as f64,
+                );
+            }
         }
         let mut out_f = Tensor::zeros(act.dims(), act.layout());
         for (o, &q) in out_f.data_mut().iter_mut().zip(act.data()) {
@@ -160,15 +225,39 @@ impl Network {
         (out_f, reports, total)
     }
 
+    /// Per-layer modeled GPU reports with the full stage breakdown (None
+    /// when any layer's bit width has no Tensor Core path) — the symmetric
+    /// counterpart of the ARM [`LayerReport`] list.
+    pub fn estimate_gpu_layers(
+        &self,
+        engine: &crate::gpu::GpuEngine,
+        tuning: crate::gpu::Tuning,
+    ) -> Option<Vec<GpuLayerReport>> {
+        self.estimate_gpu_layers_traced(engine, tuning, &Tracer::null())
+    }
+
+    /// [`Network::estimate_gpu_layers`] with span recording: each layer's
+    /// modeled launch stages land on a `gpu modeled/<layer>` track.
+    pub fn estimate_gpu_layers_traced(
+        &self,
+        engine: &crate::gpu::GpuEngine,
+        tuning: crate::gpu::Tuning,
+        tracer: &Tracer,
+    ) -> Option<Vec<GpuLayerReport>> {
+        let mut reports = Vec::with_capacity(self.layers.len());
+        for l in &self.layers {
+            crate::gpu::GpuEngine::precision_for(l.weights.bits())?;
+            let time = engine.estimate_traced(&l.shape, l.weights.bits(), tuning, tracer, &l.name);
+            reports.push(GpuLayerReport { name: l.name.clone(), time });
+        }
+        Some(reports)
+    }
+
     /// Modeled total microseconds on a GPU engine (None when any layer's
     /// bit width has no Tensor Core path).
     pub fn estimate_gpu(&self, engine: &crate::gpu::GpuEngine, tuning: crate::gpu::Tuning) -> Option<f64> {
-        let mut total = 0.0;
-        for l in &self.layers {
-            crate::gpu::GpuEngine::precision_for(l.weights.bits())?;
-            total += engine.estimate(&l.shape, l.weights.bits(), tuning).total_us();
-        }
-        Some(total)
+        let reports = self.estimate_gpu_layers(engine, tuning)?;
+        Some(reports.iter().map(|r| r.micros()).sum())
     }
 
     /// Modeled total milliseconds without executing.

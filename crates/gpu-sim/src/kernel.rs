@@ -52,6 +52,14 @@ pub struct KernelTime {
     pub dram_s: f64,
     /// Kernel launch overhead in seconds.
     pub launch_s: f64,
+    /// MMA (Tensor Core / dp4a) share of `compute_s`, wave-summed. Blocks
+    /// serialize on `max(mma, smem) + overhead`, so
+    /// `max(mma_s, smem_s) + epilogue_s == compute_s` exactly.
+    pub mma_s: f64,
+    /// Shared-memory reorder (LDS/STS issue) share of `compute_s`.
+    pub smem_s: f64,
+    /// Fixed per-block prologue/epilogue/sync share of `compute_s`.
+    pub epilogue_s: f64,
     /// Resident blocks per SM.
     pub blocks_per_sm: u32,
     /// Number of waves.
@@ -92,16 +100,21 @@ impl KernelDesc {
         let block_cycles =
             mac_cycles.max(smem_cycles) + self.per_block_overhead_cycles as f64;
 
-        // Wave-by-wave: the busiest SM in each wave sets its duration.
-        let mut compute_cycles = 0.0;
+        // Wave-by-wave: the busiest SM in each wave sets its duration. The
+        // serialized block count is accumulated as an integer so the stage
+        // split below ties back to compute_s exactly (not just to rounding).
+        let mut serialized_blocks = 0u64;
         let mut remaining = self.grid_blocks;
         for _ in 0..waves {
             let in_wave = remaining.min(wave_capacity);
-            let busiest = in_wave.div_ceil(device.sm_count as u64);
-            compute_cycles += busiest as f64 * block_cycles;
+            serialized_blocks += in_wave.div_ceil(device.sm_count as u64);
             remaining -= in_wave;
         }
-        let compute_s = compute_cycles / device.clock_hz;
+        let cycles_to_s = |cycles: f64| serialized_blocks as f64 * cycles / device.clock_hz;
+        let compute_s = cycles_to_s(block_cycles);
+        let mma_s = cycles_to_s(mac_cycles);
+        let smem_s = cycles_to_s(smem_cycles);
+        let epilogue_s = cycles_to_s(self.per_block_overhead_cycles as f64);
         let dram_s = self.dram_bytes as f64
             / (device.dram_bytes_per_sec * self.coalescing_factor);
         let body_s = if self.double_buffered {
@@ -114,6 +127,9 @@ impl KernelDesc {
             compute_s,
             dram_s,
             launch_s: device.launch_overhead_s,
+            mma_s,
+            smem_s,
+            epilogue_s,
             blocks_per_sm,
             waves,
         }
@@ -249,6 +265,29 @@ mod tests {
         let t = k.time(&d);
         let expected = (1u64 << 20) as f64 / 4.0 / d.clock_hz;
         assert!(t.compute_s >= expected);
+    }
+
+    #[test]
+    fn stage_split_reconstructs_compute_time() {
+        let d = Device::rtx2080ti();
+        for grid in [1u64, 68, 68 * 4 + 1] {
+            for smem_insts in [1u64 << 10, 1 << 20] {
+                let mut k = base_desc();
+                k.grid_blocks = grid;
+                k.smem_insts_per_block = smem_insts;
+                let t = k.time(&d);
+                assert!(t.mma_s > 0.0 && t.smem_s > 0.0 && t.epilogue_s > 0.0);
+                // Blocks serialize on max(mma, smem) + fixed overhead, so the
+                // stage split reproduces compute_s (same wave quantization).
+                let rebuilt = t.mma_s.max(t.smem_s) + t.epilogue_s;
+                assert!(
+                    (rebuilt - t.compute_s).abs() <= 1e-12 * t.compute_s,
+                    "grid={grid} smem={smem_insts}: {} vs {}",
+                    rebuilt,
+                    t.compute_s
+                );
+            }
+        }
     }
 
     #[test]

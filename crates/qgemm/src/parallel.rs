@@ -20,6 +20,7 @@ use crate::narrow::{accumulate_tile_narrow, PackedANarrow, NARROW_TILE_LEN, NA8}
 use crate::pack::{pack_a, PackedA, NA, NB};
 use crate::scheme::{Scheme, SchemeKind};
 use crate::workspace::GemmWorkspace;
+use lowbit_trace::{Tracer, MAIN_TRACK};
 
 /// Default K cache-block: `kc * (NA + nc)` operand bytes stay L1-resident.
 pub const DEFAULT_KC: usize = 384;
@@ -28,13 +29,18 @@ pub const DEFAULT_NC: usize = 128;
 /// Upper bound on accepted thread counts.
 pub const MAX_THREADS: usize = 16;
 
+/// Thread count parsed from a raw `LOWBIT_THREADS` value: unset, empty,
+/// non-numeric or zero requests fall back to 1; anything above
+/// [`MAX_THREADS`] is clamped down. Pure so the parsing policy is testable
+/// without mutating the process environment.
+pub fn threads_from_str(raw: Option<&str>) -> usize {
+    raw.and_then(|v| v.trim().parse::<usize>().ok()).map_or(1, |t| t.clamp(1, MAX_THREADS))
+}
+
 /// Thread count requested via the `LOWBIT_THREADS` environment variable
-/// (default 1, clamped to `1..=MAX_THREADS`).
+/// (default 1, clamped to `1..=MAX_THREADS`; see [`threads_from_str`]).
 pub fn threads_from_env() -> usize {
-    std::env::var("LOWBIT_THREADS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .map_or(1, |t| t.clamp(1, MAX_THREADS))
+    threads_from_str(std::env::var("LOWBIT_THREADS").ok().as_deref())
 }
 
 /// Thread count and cache-blocking parameters for the parallel driver.
@@ -168,6 +174,25 @@ pub fn gemm_parallel_cm<'w>(
     cfg: &ParallelConfig,
     ws: &'w mut GemmWorkspace,
 ) -> &'w [i32] {
+    gemm_parallel_cm_traced(scheme, weights, b, k, n, cfg, ws, &Tracer::null())
+}
+
+/// [`gemm_parallel_cm`] with span recording: each scoped worker thread gets
+/// its own timeline track (named after its [`ColumnSpan`]) carrying a
+/// `gemm worker` parent span with `pack B panel` and `gemm tile` children.
+/// With a null tracer this is exactly `gemm_parallel_cm` — every recording
+/// call reduces to one branch and the path stays allocation-free.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_parallel_cm_traced<'w>(
+    scheme: &Scheme,
+    weights: SharedWeights<'_>,
+    b: &[i8],
+    k: usize,
+    n: usize,
+    cfg: &ParallelConfig,
+    ws: &'w mut GemmWorkspace,
+    tracer: &Tracer,
+) -> &'w [i32] {
     assert_eq!(weights.k(), k, "weights disagree on K");
     assert_eq!(b.len(), k * n, "B operand has wrong length");
     if matches!(weights, SharedWeights::Narrow(_)) {
@@ -183,7 +208,19 @@ pub fn gemm_parallel_cm<'w>(
     let before = ws.footprint_bytes();
     ws.prepare(threads, m * n);
     if threads == 1 {
-        worker(scheme, weights, b, n, 0, n, &cfg, &mut ws.scratch[0].b_panel, &mut ws.c_cm);
+        let track = worker_track(tracer, &spans[0]);
+        worker(
+            scheme,
+            weights,
+            b,
+            n,
+            &spans[0],
+            &cfg,
+            &mut ws.scratch[0].b_panel,
+            &mut ws.c_cm,
+            tracer,
+            track,
+        );
     } else {
         // Each thread's C slice is the contiguous column range of its span,
         // carved off with split_at_mut — disjointness and coverage of the
@@ -198,8 +235,9 @@ pub fn gemm_parallel_cm<'w>(
                 let (s_t, rest) = scratch_rest.split_at_mut(1);
                 scratch_rest = rest;
                 let panel = &mut s_t[0].b_panel;
+                let track = worker_track(tracer, span);
                 scope.spawn(move || {
-                    worker(scheme, weights, b, n, span.col0, span.cols, &cfg, panel, c_t);
+                    worker(scheme, weights, b, n, span, &cfg, panel, c_t, tracer, track);
                 });
             }
         });
@@ -208,20 +246,35 @@ pub fn gemm_parallel_cm<'w>(
     &ws.c_cm
 }
 
-/// One thread's share: columns `[col0, col0 + cols)`, written column-major
-/// into the thread-local slice `c` (`c[(j - col0) * m + i]`).
+/// Registers the per-thread timeline track, named after the worker's owned
+/// column range. Registration happens on the caller thread so track ids are
+/// assigned in span order regardless of worker scheduling.
+fn worker_track(tracer: &Tracer, span: &ColumnSpan) -> u32 {
+    if tracer.enabled() {
+        tracer.track(&format!("gemm worker [{}..{})", span.col0, span.end()))
+    } else {
+        MAIN_TRACK
+    }
+}
+
+/// One thread's share: columns `[span.col0, span.end())`, written
+/// column-major into the thread-local slice `c` (`c[(j - col0) * m + i]`).
 #[allow(clippy::too_many_arguments)]
 fn worker(
     scheme: &Scheme,
     weights: SharedWeights<'_>,
     b: &[i8],
     n: usize,
-    col0: usize,
-    cols: usize,
+    span: &ColumnSpan,
     cfg: &ParallelConfig,
     panel: &mut Vec<i8>,
     c: &mut [i32],
+    tracer: &Tracer,
+    track: u32,
 ) {
+    let (col0, cols) = (span.col0, span.cols);
+    let mut worker_span = tracer.span("gemm worker", track);
+    worker_span.set_label(|| format!("cols [{col0}..{})", col0 + cols));
     let m = weights.m();
     let k = weights.k();
     debug_assert_eq!(c.len(), cols * m);
@@ -234,7 +287,13 @@ fn worker(
         let mut k0 = 0usize;
         while k0 < k {
             let klen = cfg.kc.min(k - k0);
-            pack_b_panel(b, n, col0 + jt0 * NB, jt1 - jt0, k0, klen, panel);
+            {
+                let mut pack_span = tracer.span("pack B panel", track);
+                pack_span.set_label(|| format!("k [{k0}..{}) x {} tiles", k0 + klen, jt1 - jt0));
+                pack_b_panel(b, n, col0 + jt0 * NB, jt1 - jt0, k0, klen, panel);
+            }
+            let mut tile_span = tracer.span("gemm tile", track);
+            tile_span.set_label(|| format!("jt [{jt0}..{jt1}) k0 {k0}"));
             for jt in jt0..jt1 {
                 let panel_base = (jt - jt0) * klen * NB;
                 for ti in 0..a_tiles {
@@ -519,5 +578,72 @@ mod tests {
         let normalized = ParallelConfig { threads: 2, kc: 0, nc: 5 }.normalized();
         assert_eq!(normalized.kc, 1);
         assert_eq!(normalized.nc, 8);
+    }
+
+    #[test]
+    fn threads_from_str_handles_edge_cases() {
+        // Unset and garbage values fall back to a single thread.
+        assert_eq!(threads_from_str(None), 1);
+        assert_eq!(threads_from_str(Some("")), 1);
+        assert_eq!(threads_from_str(Some("abc")), 1);
+        assert_eq!(threads_from_str(Some("-3")), 1);
+        assert_eq!(threads_from_str(Some("2.5")), 1);
+        // Zero is a request, but an unservable one: clamp up to 1.
+        assert_eq!(threads_from_str(Some("0")), 1);
+        // Whitespace-tolerant ordinary values pass through.
+        assert_eq!(threads_from_str(Some("3")), 3);
+        assert_eq!(threads_from_str(Some(" 8 \n")), 8);
+        // Absurdly large values clamp to the supported maximum.
+        assert_eq!(threads_from_str(Some("99999")), MAX_THREADS);
+        assert_eq!(threads_from_str(Some("170141183460469231731687303715884105727")), 1);
+    }
+
+    #[test]
+    fn traced_gemm_records_worker_tracks_and_matches_untraced() {
+        let bits = BitWidth::W4;
+        let scheme = Scheme::for_bits(bits);
+        let (m, k, n) = (16, 64, 24);
+        let a = random_mat(m * k, bits, 51);
+        let b = random_mat(k * n, bits, 52);
+        let pa = pack_a(&a, m, k);
+        let cfg = ParallelConfig { threads: 3, kc: 32, nc: 8 };
+
+        let mut ws = GemmWorkspace::new();
+        let plain =
+            gemm_parallel_cm(&scheme, SharedWeights::Wide(&pa), &b, k, n, &cfg, &mut ws).to_vec();
+
+        let (tracer, sink) = lowbit_trace::Tracer::recording();
+        let mut ws2 = GemmWorkspace::new();
+        let traced = gemm_parallel_cm_traced(
+            &scheme,
+            SharedWeights::Wide(&pa),
+            &b,
+            k,
+            n,
+            &cfg,
+            &mut ws2,
+            &tracer,
+        )
+        .to_vec();
+        assert_eq!(traced, plain, "tracing must not change the result");
+
+        let cap = sink.capture();
+        let spans = partition_columns(n, cfg.threads);
+        assert_eq!(cap.tracks.len(), 1 + spans.len(), "one track per worker plus main");
+        for span in &spans {
+            let name = format!("gemm worker [{}..{})", span.col0, span.end());
+            let track = cap.track_id(&name).unwrap_or_else(|| panic!("missing track {name}"));
+            let on_track: Vec<_> = cap.spans_on(track).collect();
+            let outer = on_track
+                .iter()
+                .find(|s| s.name == "gemm worker")
+                .expect("worker span on its track");
+            assert!(on_track.iter().any(|s| s.name == "pack B panel"));
+            assert!(on_track.iter().any(|s| s.name == "gemm tile"));
+            // Children nest inside the worker span on its own timeline.
+            for child in on_track.iter().filter(|s| s.name != "gemm worker") {
+                assert!(child.start_ns >= outer.start_ns && child.end_ns() <= outer.end_ns());
+            }
+        }
     }
 }

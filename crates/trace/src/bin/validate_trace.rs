@@ -1,0 +1,40 @@
+//! CI helper: validates a Chrome trace-event JSON file produced by the
+//! tracing exporter.
+//!
+//! Usage: `validate_trace <trace.json>`. Exits nonzero (with a diagnostic on
+//! stderr) if the file is not well-formed JSON, spans overlap without
+//! nesting on any track, or a counter series is non-monotone.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let path = match args.next() {
+        Some(p) => p,
+        None => {
+            eprintln!("usage: validate_trace <trace.json>");
+            return ExitCode::from(2);
+        }
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("validate_trace: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match lowbit_trace::chrome::validate_chrome_trace(&text) {
+        Ok(v) => {
+            println!(
+                "{path}: OK ({} events: {} spans across {} tracks, {} counter samples; \
+                 nesting and counter monotonicity verified)",
+                v.events, v.spans, v.tracks, v.counters
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("validate_trace: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

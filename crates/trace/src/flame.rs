@@ -1,0 +1,112 @@
+//! Flamegraph-style text profile: per-span-name aggregation of wall time,
+//! modeled time and pipe attribution.
+//!
+//! This is the terminal-friendly view of a capture — one row per span name,
+//! sorted by modeled cycles (the engine's own currency) and then wall time,
+//! with the NEON-vs-LS occupancy split that explains *where* each stage is
+//! bound.
+
+use crate::{PipeAttribution, SpanKind, TraceCapture};
+
+/// Aggregated statistics for one span name.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FlameRow {
+    /// Span name (aggregation key).
+    pub name: String,
+    /// Number of spans with this name.
+    pub count: u64,
+    /// Total wall-clock nanoseconds (wall spans only).
+    pub wall_ns: u64,
+    /// Summed pipe attribution (spans that carried one).
+    pub attr: PipeAttribution,
+}
+
+/// Aggregates a capture into per-name rows, sorted by modeled cycles then
+/// wall time, descending.
+pub fn aggregate(cap: &TraceCapture) -> Vec<FlameRow> {
+    let mut rows: Vec<FlameRow> = Vec::new();
+    for span in &cap.spans {
+        let row = match rows.iter_mut().find(|r| r.name == span.name) {
+            Some(row) => row,
+            None => {
+                rows.push(FlameRow { name: span.name.clone(), ..Default::default() });
+                rows.last_mut().unwrap()
+            }
+        };
+        row.count += 1;
+        if span.kind == SpanKind::Wall {
+            row.wall_ns += span.dur_ns;
+        }
+        if let Some(a) = &span.attr {
+            row.attr.accumulate(a);
+        }
+    }
+    rows.sort_by(|a, b| {
+        b.attr
+            .modeled_cycles
+            .partial_cmp(&a.attr.modeled_cycles)
+            .expect("finite cycles")
+            .then(b.wall_ns.cmp(&a.wall_ns))
+    });
+    rows
+}
+
+/// Renders the aggregation as an aligned text table.
+pub fn flame_table(cap: &TraceCapture) -> String {
+    let rows = aggregate(cap);
+    let name_w = rows.iter().map(|r| r.name.len()).max().unwrap_or(4).max(4);
+    let mut out = format!(
+        "{:<name_w$} {:>6} {:>10} {:>12} {:>12} {:>12} {:>12} {:>10}\n",
+        "span", "count", "wall_ms", "modeled_cyc", "neon_slots", "ls_slots", "stall_bytes", "insts"
+    );
+    for r in &rows {
+        out.push_str(&format!(
+            "{:<name_w$} {:>6} {:>10.3} {:>12.1} {:>12.1} {:>12.1} {:>12} {:>10}\n",
+            r.name,
+            r.count,
+            r.wall_ns as f64 / 1e6,
+            r.attr.modeled_cycles,
+            r.attr.neon_slot_cycles,
+            r.attr.ls_slot_cycles,
+            r.attr.stall_bytes,
+            r.attr.total_insts(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Tracer, MAIN_TRACK};
+
+    #[test]
+    fn aggregates_by_name_and_sorts_by_modeled_cycles() {
+        let (tracer, sink) = Tracer::recording();
+        for (i, cycles) in [(0u64, 5.0), (1, 5.0), (2, 100.0)] {
+            tracer.modeled_span(
+                MAIN_TRACK,
+                if cycles > 50.0 { "gemm" } else { "im2col" },
+                i * 10,
+                5,
+                None,
+                Some(PipeAttribution { modeled_cycles: cycles, ..Default::default() }),
+            );
+        }
+        let _w = tracer.span("wall only", MAIN_TRACK);
+        drop(_w);
+        let rows = aggregate(&sink.capture());
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].name, "gemm");
+        assert_eq!(rows[1].name, "im2col");
+        assert_eq!(rows[1].count, 2);
+        assert!((rows[1].attr.modeled_cycles - 10.0).abs() < 1e-12);
+        assert_eq!(rows[2].name, "wall only");
+        assert_eq!(rows[2].attr.modeled_cycles, 0.0);
+
+        let table = flame_table(&sink.capture());
+        let mut lines = table.lines();
+        assert!(lines.next().unwrap().starts_with("span"));
+        assert!(lines.next().unwrap().starts_with("gemm"));
+    }
+}

@@ -1,0 +1,106 @@
+//! Machine-readable trace summary (the `BENCH_trace.json` payload).
+//!
+//! Aggregates a capture into a compact JSON object the benchmark export path
+//! writes next to the figure CSVs: per-span-name totals (count, wall time,
+//! modeled cycles, pipe occupancy, instruction histogram) plus the track
+//! list and counter series, so perf-trajectory tooling can diff runs without
+//! parsing a full Chrome trace.
+
+use crate::flame::aggregate;
+use crate::json;
+use crate::TraceCapture;
+
+/// Serializes the per-name aggregation plus counters as a JSON object.
+pub fn summary_json(cap: &TraceCapture) -> String {
+    let rows = aggregate(cap);
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"spans\": {},\n", cap.spans.len()));
+    out.push_str(&format!("  \"counters\": {},\n", cap.counters.len()));
+    let tracks: Vec<String> =
+        cap.tracks.iter().map(|t| format!("\"{}\"", json::escape(t))).collect();
+    out.push_str(&format!("  \"tracks\": [{}],\n", tracks.join(",")));
+    out.push_str("  \"by_name\": [\n");
+    let row_items: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"name\":\"{}\",\"count\":{},\"wall_ns\":{},\"modeled_cycles\":{:.6},\
+                 \"neon_slot_cycles\":{:.6},\"ls_slot_cycles\":{:.6},\"stall_bytes\":{},\
+                 \"loads\":{},\"stores\":{},\"neon_mac\":{},\"neon_alu\":{},\"neon_mov\":{}}}",
+                json::escape(&r.name),
+                r.count,
+                r.wall_ns,
+                r.attr.modeled_cycles,
+                r.attr.neon_slot_cycles,
+                r.attr.ls_slot_cycles,
+                r.attr.stall_bytes,
+                r.attr.loads,
+                r.attr.stores,
+                r.attr.neon_mac,
+                r.attr.neon_alu,
+                r.attr.neon_mov,
+            )
+        })
+        .collect();
+    out.push_str(&row_items.join(",\n"));
+    out.push_str("\n  ],\n");
+    out.push_str("  \"counter_series\": [\n");
+    let counter_items: Vec<String> = cap
+        .counters
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"name\":\"{}\",\"ts_ns\":{},\"value\":{:.6}}}",
+                json::escape(&c.name),
+                c.ts_ns,
+                c.value
+            )
+        })
+        .collect();
+    out.push_str(&counter_items.join(",\n"));
+    out.push_str("\n  ]\n}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PipeAttribution, Tracer, MAIN_TRACK};
+
+    #[test]
+    fn summary_is_valid_json_with_aggregated_rows() {
+        let (tracer, sink) = Tracer::recording();
+        tracer.modeled_span(
+            MAIN_TRACK,
+            "gemm",
+            0,
+            10,
+            None,
+            Some(PipeAttribution {
+                modeled_cycles: 42.0,
+                neon_mac: 7,
+                stall_bytes: 128,
+                ..Default::default()
+            }),
+        );
+        tracer.counter("total", 1.25);
+        let text = summary_json(&sink.capture());
+        let doc = json::parse(&text).unwrap();
+        assert_eq!(doc.get("spans").unwrap().as_num(), Some(1.0));
+        let rows = doc.get("by_name").unwrap().as_arr().unwrap();
+        assert_eq!(rows[0].get("name").unwrap().as_str(), Some("gemm"));
+        assert_eq!(rows[0].get("neon_mac").unwrap().as_num(), Some(7.0));
+        assert_eq!(rows[0].get("stall_bytes").unwrap().as_num(), Some(128.0));
+        let series = doc.get("counter_series").unwrap().as_arr().unwrap();
+        assert_eq!(series[0].get("value").unwrap().as_num(), Some(1.25));
+    }
+
+    #[test]
+    fn empty_capture_still_serializes() {
+        let (_tracer, sink) = Tracer::recording();
+        let text = summary_json(&sink.capture());
+        let doc = json::parse(&text).unwrap();
+        assert_eq!(doc.get("spans").unwrap().as_num(), Some(0.0));
+        assert_eq!(doc.get("by_name").unwrap().as_arr().unwrap().len(), 0);
+    }
+}

@@ -1,17 +1,29 @@
 //! End-to-end quantized inference through a small sequential network:
 //! float in, quantized all the way through (with fused ReLU truncation),
-//! float out — plus the per-layer algorithm/time breakdown.
+//! float out — plus the per-layer algorithm/time breakdown and prepack/
+//! workspace accounting.
 //!
 //! ```sh
 //! cargo run --release --example network_e2e
+//! # capture a trace and open it in Perfetto / chrome://tracing:
+//! LOWBIT_TRACE=trace.json cargo run --release --example network_e2e
 //! ```
 use lowbit::prelude::*;
+use lowbit::trace::{chrome::chrome_trace_json, flame::flame_table};
 use lowbit::Network;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn main() {
+    let trace_path = std::env::var("LOWBIT_TRACE").ok();
     let engine = ArmEngine::cortex_a53();
+    let (tracer, sink) = match trace_path {
+        Some(_) => {
+            let (t, s) = Tracer::recording();
+            (t, Some(s))
+        }
+        None => (Tracer::null(), None),
+    };
     for bits in [BitWidth::W2, BitWidth::W4, BitWidth::W8] {
         let net = Network::demo(bits, 24, 7);
         let mut rng = StdRng::seed_from_u64(1);
@@ -20,14 +32,41 @@ fn main() {
             Layout::Nchw,
             (0..3 * 24 * 24).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
         );
-        let (out, reports, total) = net.run_arm(&engine, &input);
+        let (out, reports, total) = net.run_arm_traced(&engine, &input, &tracer);
         println!("{bits} network ({} layers):", reports.len());
         for r in &reports {
-            println!("  {:<8} {:>12} {:>8.3} ms", r.name, format!("{:?}", r.algo), r.millis);
+            let cache = if r.prepack_hits > 0 {
+                "prepack hit"
+            } else if r.prepack_misses > 0 {
+                "prepack miss"
+            } else {
+                "no prepack"
+            };
+            println!(
+                "  {:<8} {:>12} {:>8.3} ms  {:<12} ws +{} B",
+                r.name,
+                format!("{:?}", r.algo),
+                r.millis,
+                cache,
+                r.workspace_growth_bytes
+            );
         }
         let energy: f32 = out.data().iter().map(|v| v * v).sum();
         println!("  total {total:.3} modeled ms, output {:?}, energy {energy:.1}\n", out.dims());
     }
-    println!("Lower bit widths run the same network faster with the same plumbing —");
+    let pack = engine.prepack_stats();
+    let ws = engine.workspace_stats();
+    println!(
+        "prepack cache: {} hits / {} misses, {} entries ({} B); workspace high water {} B",
+        pack.hits, pack.misses, pack.entries, pack.bytes, ws.high_water_bytes
+    );
+    if let (Some(path), Some(sink)) = (std::env::var("LOWBIT_TRACE").ok(), sink) {
+        let cap = sink.capture();
+        std::fs::write(&path, chrome_trace_json(&cap)).expect("write trace file");
+        println!("\nflamegraph-style profile (aggregated over all runs):");
+        print!("{}", flame_table(&cap));
+        println!("\nwrote Chrome trace to {path} — open it at https://ui.perfetto.dev");
+    }
+    println!("\nLower bit widths run the same network faster with the same plumbing —");
     println!("the paper's end-to-end deployment story.");
 }

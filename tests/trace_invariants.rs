@@ -1,0 +1,165 @@
+//! Observability invariants: modeled-cost conservation between the trace
+//! spans and the engine's own estimates, Chrome-trace export round-trips,
+//! and the disabled (`NullSink`) path staying allocation-free at steady
+//! state.
+
+use lowbit::prelude::*;
+use lowbit::trace::chrome::{chrome_trace_json, validate_chrome_trace};
+use lowbit::trace::SpanKind;
+use lowbit::{stage_attribution, ArmAlgo, Network};
+
+fn demo_input(hw: usize) -> Tensor<f32> {
+    let data: Vec<f32> = (0..3 * hw * hw).map(|i| (i % 17) as f32 / 8.5 - 1.0).collect();
+    Tensor::from_vec((1, 3, hw, hw), Layout::Nchw, data)
+}
+
+/// The conservation invariant from DESIGN.md: summing the per-stage
+/// `modeled_cycles` attribution of the spans on a layer's modeled track and
+/// converting through the engine's cost model must reproduce the layer's
+/// reported modeled milliseconds (which is also what `estimate_millis`
+/// returns for the same shape/algo once the weights are prepacked).
+#[test]
+fn modeled_span_attribution_conserves_layer_millis() {
+    for bits in [BitWidth::W2, BitWidth::W4, BitWidth::W8] {
+        let engine = ArmEngine::cortex_a53();
+        let net = Network::demo(bits, 16, 5);
+        let input = demo_input(16);
+        let (tracer, sink) = Tracer::recording();
+        // Warm run fills the prepack cache so the traced run's estimate
+        // matches `estimate_millis` (which models the steady state).
+        net.run_arm(&engine, &input);
+        let (_, reports, total) = net.run_arm_traced(&engine, &input, &tracer);
+        let cap = sink.capture();
+
+        let mut sum_of_layers = 0.0f64;
+        for (report, layer) in reports.iter().zip(net.layers()) {
+            let track = cap
+                .track_id(&format!("modeled/{}", report.name))
+                .unwrap_or_else(|| panic!("{bits}: no modeled track for {}", report.name));
+            let cycles: f64 = cap
+                .spans_on(track)
+                .filter_map(|s| s.attr.as_ref())
+                .map(|a| a.modeled_cycles)
+                .sum();
+            let rebuilt = engine.model().millis(cycles);
+            assert!(
+                (rebuilt - report.millis).abs() < 1e-9,
+                "{bits} {}: span attribution {rebuilt} ms != report {} ms",
+                report.name,
+                report.millis
+            );
+            let estimate = engine.estimate_millis(bits, &layer.shape, report.algo);
+            assert!(
+                (rebuilt - estimate).abs() < 1e-9,
+                "{bits} {}: span attribution {rebuilt} ms != estimate {estimate} ms",
+                report.name
+            );
+            sum_of_layers += report.millis;
+        }
+        assert!(
+            (sum_of_layers - total).abs() < 1e-9,
+            "{bits}: layer sum {sum_of_layers} != network total {total}"
+        );
+    }
+}
+
+/// Per-stage attribution recomputed from the schedule must match what the
+/// modeled spans carry, stage for stage, and total instruction counts must
+/// agree with the schedule's own accounting.
+#[test]
+fn modeled_spans_mirror_schedule_stages() {
+    let engine = ArmEngine::cortex_a53();
+    let shape = ConvShape::new(1, 6, 12, 12, 8, 3, 1, 1);
+    let (input, weights) = lowbit_suite::arm_tensors(&shape, BitWidth::W4, 42);
+    let (tracer, sink) = Tracer::recording();
+    let result = engine.conv_traced(&input, &weights, &shape, ArmAlgo::Gemm, &tracer, "probe");
+    let cap = sink.capture();
+
+    let track = cap.track_id("modeled/probe").expect("modeled track registered");
+    let spans: Vec<_> = cap.spans_on(track).filter(|s| s.attr.is_some()).collect();
+    assert_eq!(spans.len(), result.schedule.stages.len(), "one span per stage");
+    for (span, stage) in spans.iter().zip(&result.schedule.stages) {
+        assert_eq!(span.name, stage.name);
+        assert_eq!(span.kind, SpanKind::Modeled);
+        let expect = stage_attribution(stage, engine.model());
+        let got = span.attr.as_ref().unwrap();
+        assert_eq!(got.modeled_cycles, expect.modeled_cycles, "{}", stage.name);
+        assert_eq!(got.loads, expect.loads);
+        assert_eq!(got.stores, expect.stores);
+        assert_eq!(got.neon_mac, expect.neon_mac);
+    }
+    let span_cycles: f64 = spans.iter().map(|s| s.attr.as_ref().unwrap().modeled_cycles).sum();
+    let sched_cycles = result.schedule.cycles(engine.model());
+    assert!((span_cycles - sched_cycles).abs() < 1e-9);
+    assert!((engine.model().millis(sched_cycles) - result.millis).abs() < 1e-9);
+}
+
+/// GPU modeled tracks lay the five pipeline stages back-to-back under one
+/// parent span whose extent is exactly the sum of its children.
+#[test]
+fn gpu_modeled_stages_tile_the_parent_span() {
+    let gpu = GpuEngine::rtx2080ti();
+    let net = Network::demo(BitWidth::W4, 16, 5);
+    let (tracer, sink) = Tracer::recording();
+    let layers = net
+        .estimate_gpu_layers_traced(&gpu, Tuning::Default, &tracer)
+        .expect("demo network is GPU-estimable");
+    let cap = sink.capture();
+    assert_eq!(layers.len(), 3);
+    for layer in &layers {
+        let track = cap
+            .track_id(&format!("gpu modeled/{}", layer.name))
+            .unwrap_or_else(|| panic!("no gpu modeled track for {}", layer.name));
+        let spans: Vec<_> = cap.spans_on(track).collect();
+        let parent = spans.iter().find(|s| s.name == "gpu conv modeled").expect("parent span");
+        let children: Vec<_> = spans.iter().filter(|s| s.name != "gpu conv modeled").collect();
+        assert_eq!(children.len(), 5, "{}: launch/load/reorder/mma/epilogue", layer.name);
+        let mut cursor = parent.start_ns;
+        for child in &children {
+            assert_eq!(child.start_ns, cursor, "{}: {} stage is contiguous", layer.name, child.name);
+            cursor += child.dur_ns;
+        }
+        assert_eq!(cursor, parent.end_ns(), "{}: children tile the parent", layer.name);
+    }
+}
+
+/// The Chrome-trace exporter's output must round-trip through the validator:
+/// parseable JSON, properly nested spans on every track, monotone counters.
+#[test]
+fn chrome_trace_export_round_trips() {
+    let engine = ArmEngine::cortex_a53().with_threads(2);
+    let net = Network::demo(BitWidth::W4, 16, 5);
+    let input = demo_input(16);
+    let (tracer, sink) = Tracer::recording();
+    net.run_arm_traced(&engine, &input, &tracer);
+    net.run_arm_traced(&engine, &input, &tracer);
+    net.estimate_gpu_layers_traced(&GpuEngine::rtx2080ti(), Tuning::Default, &tracer);
+    let json = chrome_trace_json(&sink.capture());
+    let v = validate_chrome_trace(&json).expect("export must satisfy its own validator");
+    assert!(v.spans > 0 && v.counters > 0 && v.tracks > 1, "non-trivial capture: {v:?}");
+}
+
+/// Satellite 6: with the default (null) tracer, repeated inference on a
+/// warmed engine performs zero new workspace allocations and no prepacking —
+/// observability off must mean observability free.
+#[test]
+fn null_tracer_steady_state_allocates_nothing() {
+    let engine = ArmEngine::cortex_a53().with_threads(2);
+    let net = Network::demo(BitWidth::W4, 16, 5);
+    let input = demo_input(16);
+    // Warm up: fill the prepack cache and grow the workspace arena.
+    net.run_arm(&engine, &input);
+    net.run_arm(&engine, &input);
+    let ws = engine.workspace_stats();
+    let pack = engine.prepack_stats();
+    for _ in 0..5 {
+        net.run_arm(&engine, &input);
+    }
+    let after_ws = engine.workspace_stats();
+    let after_pack = engine.prepack_stats();
+    assert_eq!(after_ws.alloc_events, ws.alloc_events, "steady state grew a buffer");
+    assert_eq!(after_ws.high_water_bytes, ws.high_water_bytes);
+    assert_eq!(after_pack.misses, pack.misses, "steady state re-packed weights");
+    assert_eq!(after_pack.bytes, pack.bytes);
+    assert!(after_pack.hits > pack.hits, "cache should be serving hits");
+}
