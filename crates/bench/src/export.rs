@@ -238,17 +238,18 @@ pub fn save_trace_json(dir: &Path) -> std::io::Result<PathBuf> {
         "  \"steady_workspace_growth_bytes\": {},\n",
         reports.iter().map(|r| r.workspace_growth_bytes).sum::<usize>()
     ));
-    if let Some(layers) = gpu_layers {
+    if let Ok(layers) = gpu_layers {
         let items: Vec<String> = layers
             .iter()
             .map(|l| {
+                let t = l.gpu_time.expect("GPU estimates carry a stage breakdown");
                 format!(
                     "    {{\"name\":\"{}\",\"total_us\":{:.6},\"mma_us\":{:.6},\"smem_us\":{:.6},\"dram_us\":{:.6}}}",
                     l.name,
                     l.micros(),
-                    l.time.mma_s * 1e6,
-                    l.time.smem_s * 1e6,
-                    l.time.dram_s * 1e6
+                    t.mma_s * 1e6,
+                    t.smem_s * 1e6,
+                    t.dram_s * 1e6
                 )
             })
             .collect();

@@ -15,7 +15,7 @@ use lowbit_conv_arm::{
     gemm_conv_sdot_prepacked_ws_traced, ncnn_conv, schedule_bitserial_conv, schedule_gemm_conv,
     schedule_gemm_conv_narrow, schedule_gemm_conv_narrow_prepacked, schedule_gemm_conv_prepacked,
     schedule_gemm_conv_sdot, schedule_gemm_conv_sdot_prepacked, schedule_ncnn_conv,
-    schedule_winograd_conv, winograd_conv, winograd_supported, ConvWorkspace,
+    schedule_winograd_conv, winograd_conv, ConvWorkspace,
 };
 use lowbit_qgemm::narrow::{pack_a_narrow, PackedANarrow};
 use lowbit_qgemm::parallel::{threads_from_env, ParallelConfig, MAX_THREADS};
@@ -157,6 +157,20 @@ impl PackedWeights {
     }
 }
 
+/// The prepack-cache key a weight tensor will be stored under when executed
+/// with `algo` (`None` for algorithms without a prepacked layout). This is
+/// what [`crate::plan::LayerPlan::prepack_fingerprint`] records, so a plan
+/// can be checked against the engine's cache contents.
+pub fn prepack_fingerprint(weights: &QTensor, algo: ArmAlgo) -> Option<u64> {
+    let tag = match algo {
+        ArmAlgo::Gemm => 0u8,
+        ArmAlgo::GemmNarrow => 1,
+        ArmAlgo::GemmSdot => 2,
+        _ => return None,
+    };
+    Some(fingerprint(weights, tag))
+}
+
 /// FNV-1a over the weight tensor's identity (algorithm layout tag, bit
 /// width, dims, raw bytes) — the prepack cache key.
 fn fingerprint(weights: &QTensor, tag: u8) -> u64 {
@@ -197,13 +211,8 @@ impl EngineState {
         shape: &ConvShape,
         algo: ArmAlgo,
     ) -> Arc<PackedWeights> {
-        let tag = match algo {
-            ArmAlgo::Gemm => 0u8,
-            ArmAlgo::GemmNarrow => 1,
-            ArmAlgo::GemmSdot => 2,
-            other => unreachable!("{other:?} has no prepacked layout"),
-        };
-        let key = fingerprint(weights, tag);
+        let key = prepack_fingerprint(weights, algo)
+            .unwrap_or_else(|| unreachable!("{algo:?} has no prepacked layout"));
         if let Some(packed) = self.cache.get(&key) {
             self.hits += 1;
             return packed.clone();
@@ -300,25 +309,12 @@ impl ArmEngine {
     /// applicable algorithms: the paper's 16x4 GEMM, the Winograd fast path
     /// (4–6-bit 3x3/s1), and the narrow 8x4 tile extension (which wins at
     /// the tight 7/8-bit drain ratios).
+    ///
+    /// The selection logic itself lives in the planner
+    /// ([`crate::planner::select_arm_algo`]); this is the per-call entry the
+    /// plan-free engine API keeps using.
     pub fn select_algo(&self, bits: BitWidth, shape: &ConvShape) -> ArmAlgo {
-        let scheme = Scheme::for_bits(bits);
-        let mut best = (
-            ArmAlgo::Gemm,
-            schedule_gemm_conv(&scheme, shape).cycles(&self.model),
-        );
-        if !bits.uses_mla_scheme() {
-            let narrow = schedule_gemm_conv_narrow(&scheme, shape).cycles(&self.model);
-            if narrow < best.1 {
-                best = (ArmAlgo::GemmNarrow, narrow);
-            }
-        }
-        if winograd_supported(bits) && shape.winograd_applicable() {
-            let wg = schedule_winograd_conv(bits, shape).cycles(&self.model);
-            if wg < best.1 {
-                best = (ArmAlgo::Winograd, wg);
-            }
-        }
-        best.0
+        crate::planner::select_arm_algo(&self.model, bits, shape)
     }
 
     /// Runs a convolution, returning exact accumulators and modeled time.

@@ -1,0 +1,143 @@
+//! The crate-wide typed error. Every fallible surface of `lowbit` — network
+//! validation, plan compilation, plan execution, backend estimates — returns
+//! [`CoreError`] instead of ad-hoc `String`s, so callers can match on the
+//! failure instead of parsing prose.
+
+use crate::plan::BackendKind;
+use lowbit_tensor::BitWidth;
+
+/// Everything that can go wrong while validating, planning or executing a
+/// network.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CoreError {
+    /// Consecutive layers disagree on channel count.
+    ChannelMismatch {
+        /// Layer producing the activations.
+        producer: String,
+        /// Channels it produces.
+        produces: usize,
+        /// Layer consuming them.
+        consumer: String,
+        /// Channels it expects.
+        expects: usize,
+    },
+    /// Consecutive layers disagree on spatial dimensions.
+    SpatialMismatch {
+        /// Layer producing the activations.
+        producer: String,
+        /// `(h, w)` it produces.
+        produces: (usize, usize),
+        /// Layer consuming them.
+        consumer: String,
+        /// `(h, w)` it expects.
+        expects: (usize, usize),
+    },
+    /// Consecutive layers disagree on batch size.
+    BatchMismatch {
+        /// Layer producing the activations.
+        producer: String,
+        /// Layer consuming them.
+        consumer: String,
+    },
+    /// A per-channel bias whose length is not the layer's `c_out`.
+    BiasLengthMismatch {
+        /// The offending layer.
+        layer: String,
+        /// The layer's output channel count.
+        expects: usize,
+        /// The bias vector length supplied.
+        got: usize,
+    },
+    /// A network must have at least one layer.
+    EmptyNetwork,
+    /// The input tensor's dimensions do not match the first layer.
+    InputShapeMismatch {
+        /// Dims the first layer expects.
+        expected: (usize, usize, usize, usize),
+        /// Dims the caller supplied.
+        got: (usize, usize, usize, usize),
+    },
+    /// A backend has no kernel for this bit width (e.g. the GPU's Tensor
+    /// Core path exists only at 4 and 8 bit).
+    UnsupportedBitWidth {
+        /// The requested width.
+        bits: BitWidth,
+        /// The backend that cannot serve it.
+        backend: BackendKind,
+    },
+    /// The plan routes a layer to a backend the planner/executor was not
+    /// given an engine for.
+    MissingBackend {
+        /// The backend the plan (or planner) needs.
+        backend: BackendKind,
+    },
+    /// A plan does not belong to the network it is being run against (layer
+    /// count, name or geometry diverged).
+    PlanMismatch {
+        /// Human-readable description of the divergence.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::ChannelMismatch { producer, produces, consumer, expects } => write!(
+                f,
+                "{producer} produces {produces} channels but {consumer} expects {expects}"
+            ),
+            CoreError::SpatialMismatch { producer, produces, consumer, expects } => write!(
+                f,
+                "{producer} produces {}x{} but {consumer} expects {}x{}",
+                produces.0, produces.1, expects.0, expects.1
+            ),
+            CoreError::BatchMismatch { producer, consumer } => {
+                write!(f, "batch mismatch between {producer} and {consumer}")
+            }
+            CoreError::BiasLengthMismatch { layer, expects, got } => write!(
+                f,
+                "{layer} has {expects} output channels but its bias has {got} entries"
+            ),
+            CoreError::EmptyNetwork => write!(f, "network must have at least one layer"),
+            CoreError::InputShapeMismatch { expected, got } => write!(
+                f,
+                "input dims {got:?} do not match the first layer's {expected:?}"
+            ),
+            CoreError::UnsupportedBitWidth { bits, backend } => {
+                write!(f, "the {backend} backend has no kernel for {bits}")
+            }
+            CoreError::MissingBackend { backend } => {
+                write!(f, "no {backend} engine was registered")
+            }
+            CoreError::PlanMismatch { detail } => {
+                write!(f, "plan does not match the network: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_and_implement_error() {
+        let e = CoreError::ChannelMismatch {
+            producer: "a".into(),
+            produces: 8,
+            consumer: "b".into(),
+            expects: 16,
+        };
+        assert_eq!(e.to_string(), "a produces 8 channels but b expects 16");
+        let dynerr: &dyn std::error::Error = &e;
+        assert!(dynerr.source().is_none());
+        let e = CoreError::UnsupportedBitWidth {
+            bits: BitWidth::W5,
+            backend: BackendKind::GpuModel,
+        };
+        assert!(e.to_string().contains("gpu-model"));
+        assert!(CoreError::EmptyNetwork.to_string().contains("at least one layer"));
+    }
+}

@@ -1,0 +1,463 @@
+//! The backend-agnostic [`Executor`] — the online phase: runs any compiled
+//! [`ExecutionPlan`] through the [`Backend`] trait without making a single
+//! algorithm or tiling decision itself.
+//!
+//! The executor owns the inter-layer glue the legacy `Network::run_arm` had
+//! inline: quantize the float input once, keep activations quantized through
+//! every layer, apply each layer's fused epilogue (bias + re-quantization +
+//! ReLU truncation), normalize layouts between heterogeneous backends, and
+//! dequantize at the end. It emits exactly the trace spans and counters the
+//! legacy path did, so the observability invariants hold unchanged.
+
+use crate::arm::ArmEngine;
+use crate::error::CoreError;
+use crate::gpu::{GpuEngine, Tuning};
+use crate::network::{LayerReport, Network};
+use crate::plan::{BackendKind, ExecutionPlan, LayerPlan, PlanAlgo};
+use lowbit_qnn::{quantize_f32, Quantizer};
+use lowbit_tensor::{Layout, QTensor, Tensor};
+use lowbit_trace::{Tracer, MAIN_TRACK};
+use turing_sim::KernelTime;
+
+/// What a backend hands back after executing one planned layer.
+#[derive(Clone, Debug)]
+pub struct BackendLayerRun {
+    /// Exact i32 accumulators, in the backend's native layout.
+    pub acc: Tensor<i32>,
+    /// Modeled milliseconds.
+    pub millis: f64,
+    /// Whether the prepack cache served the weights (`None` for algorithms
+    /// without a prepacked layout).
+    pub prepack_hit: Option<bool>,
+    /// Bytes the backend's workspace arena grew by (0 in the steady state).
+    pub workspace_growth_bytes: usize,
+    /// Full modeled stage breakdown for GPU layers.
+    pub gpu_time: Option<KernelTime>,
+}
+
+/// A backend's estimate for one planned layer.
+#[derive(Clone, Debug)]
+pub struct BackendLayerEstimate {
+    /// Modeled milliseconds.
+    pub millis: f64,
+    /// Full modeled stage breakdown for GPU layers.
+    pub gpu_time: Option<KernelTime>,
+}
+
+/// An engine that can execute and estimate planned layers. Implemented by
+/// [`ArmEngine`] and [`GpuEngine`]; the executor only ever talks through
+/// this trait.
+pub trait Backend {
+    /// Which [`BackendKind`] this engine serves.
+    fn kind(&self) -> BackendKind;
+
+    /// Executes one planned layer on quantized activations, recording the
+    /// same spans the engine's direct API records.
+    fn execute_layer(
+        &self,
+        plan: &LayerPlan,
+        act: &QTensor,
+        weights: &QTensor,
+        tracer: &Tracer,
+    ) -> Result<BackendLayerRun, CoreError>;
+
+    /// Models one planned layer without executing (recording modeled-stage
+    /// spans when the tracer is live).
+    fn estimate_layer(
+        &self,
+        plan: &LayerPlan,
+        tracer: &Tracer,
+    ) -> Result<BackendLayerEstimate, CoreError>;
+}
+
+fn wrong_algo(plan: &LayerPlan, backend: BackendKind) -> CoreError {
+    CoreError::PlanMismatch {
+        detail: format!("{}: {} layer routed to the {backend} backend", plan.name, plan.algo),
+    }
+}
+
+impl Backend for ArmEngine {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Arm
+    }
+
+    fn execute_layer(
+        &self,
+        plan: &LayerPlan,
+        act: &QTensor,
+        weights: &QTensor,
+        tracer: &Tracer,
+    ) -> Result<BackendLayerRun, CoreError> {
+        let PlanAlgo::Arm(algo) = plan.algo else {
+            return Err(wrong_algo(plan, BackendKind::Arm));
+        };
+        let out = self.conv_traced(act, weights, &plan.shape, algo, tracer, &plan.name);
+        Ok(BackendLayerRun {
+            acc: out.acc,
+            millis: out.millis,
+            prepack_hit: out.prepack_hit,
+            workspace_growth_bytes: out.workspace_growth_bytes,
+            gpu_time: None,
+        })
+    }
+
+    fn estimate_layer(
+        &self,
+        plan: &LayerPlan,
+        _tracer: &Tracer,
+    ) -> Result<BackendLayerEstimate, CoreError> {
+        let PlanAlgo::Arm(algo) = plan.algo else {
+            return Err(wrong_algo(plan, BackendKind::Arm));
+        };
+        Ok(BackendLayerEstimate {
+            millis: self.estimate_millis(plan.bits, &plan.shape, algo),
+            gpu_time: None,
+        })
+    }
+}
+
+impl Backend for GpuEngine {
+    fn kind(&self) -> BackendKind {
+        BackendKind::GpuModel
+    }
+
+    fn execute_layer(
+        &self,
+        plan: &LayerPlan,
+        act: &QTensor,
+        weights: &QTensor,
+        tracer: &Tracer,
+    ) -> Result<BackendLayerRun, CoreError> {
+        let PlanAlgo::GpuImplicitGemm(cfg) = plan.algo else {
+            return Err(wrong_algo(plan, BackendKind::GpuModel));
+        };
+        // The GPU kernel is NHWC-native; normalize whatever arrived.
+        let act = if act.layout() == Layout::Nhwc { act.clone() } else { act.to_layout(Layout::Nhwc) };
+        let weights = if weights.layout() == Layout::Nhwc {
+            weights.clone()
+        } else {
+            weights.to_layout(Layout::Nhwc)
+        };
+        let time = self.estimate_traced(&plan.shape, plan.bits, Tuning::Fixed(cfg), tracer, &plan.name);
+        let out = self.conv(&act, &weights, &plan.shape, Tuning::Fixed(cfg));
+        Ok(BackendLayerRun {
+            acc: out.acc,
+            millis: time.total_s * 1e3,
+            prepack_hit: None,
+            workspace_growth_bytes: 0,
+            gpu_time: Some(time),
+        })
+    }
+
+    fn estimate_layer(
+        &self,
+        plan: &LayerPlan,
+        tracer: &Tracer,
+    ) -> Result<BackendLayerEstimate, CoreError> {
+        let PlanAlgo::GpuImplicitGemm(cfg) = plan.algo else {
+            return Err(wrong_algo(plan, BackendKind::GpuModel));
+        };
+        let time = self.estimate_traced(&plan.shape, plan.bits, Tuning::Fixed(cfg), tracer, &plan.name);
+        Ok(BackendLayerEstimate {
+            millis: time.total_s * 1e3,
+            gpu_time: Some(time),
+        })
+    }
+}
+
+/// Result of executing a plan over a network.
+#[derive(Clone, Debug)]
+pub struct NetworkRun {
+    /// Dequantized float output.
+    pub output: Tensor<f32>,
+    /// One unified report per layer.
+    pub reports: Vec<LayerReport>,
+    /// Total modeled milliseconds.
+    pub total_millis: f64,
+}
+
+/// Runs compiled plans through registered backends.
+#[derive(Clone, Debug, Default)]
+pub struct Executor {
+    arm: Option<ArmEngine>,
+    gpu: Option<GpuEngine>,
+}
+
+impl Executor {
+    /// An empty executor; register backends with [`Executor::with_arm`] /
+    /// [`Executor::with_gpu`].
+    pub fn new() -> Executor {
+        Executor::default()
+    }
+
+    /// Registers the ARM backend (shares the engine's caches).
+    pub fn with_arm(mut self, engine: &ArmEngine) -> Executor {
+        self.arm = Some(engine.clone());
+        self
+    }
+
+    /// Registers the GPU backend.
+    pub fn with_gpu(mut self, engine: &GpuEngine) -> Executor {
+        self.gpu = Some(engine.clone());
+        self
+    }
+
+    /// An ARM-only executor.
+    pub fn for_arm(engine: &ArmEngine) -> Executor {
+        Executor::new().with_arm(engine)
+    }
+
+    /// A GPU-only executor.
+    pub fn for_gpu(engine: &GpuEngine) -> Executor {
+        Executor::new().with_gpu(engine)
+    }
+
+    fn backend_for(&self, kind: BackendKind) -> Result<&dyn Backend, CoreError> {
+        match kind {
+            BackendKind::Arm => self
+                .arm
+                .as_ref()
+                .map(|e| e as &dyn Backend)
+                .ok_or(CoreError::MissingBackend { backend: kind }),
+            BackendKind::GpuModel => self
+                .gpu
+                .as_ref()
+                .map(|e| e as &dyn Backend)
+                .ok_or(CoreError::MissingBackend { backend: kind }),
+        }
+    }
+
+    /// Runs `plan` over `net` on a float input: quantize once, stay
+    /// quantized through every layer (fused epilogue applied between
+    /// layers), dequantize at the end.
+    pub fn run(
+        &self,
+        plan: &ExecutionPlan,
+        net: &Network,
+        input: &Tensor<f32>,
+    ) -> Result<NetworkRun, CoreError> {
+        self.run_traced(plan, net, input, &Tracer::null())
+    }
+
+    /// [`Executor::run`] with span recording: each layer gets a parent wall
+    /// span (labelled with its algorithm and prepack hit/miss) over the
+    /// backend's spans plus a `requantize` span, and — when the ARM engine
+    /// is registered — the three monotone engine counters of the legacy
+    /// path.
+    pub fn run_traced(
+        &self,
+        plan: &ExecutionPlan,
+        net: &Network,
+        input: &Tensor<f32>,
+        tracer: &Tracer,
+    ) -> Result<NetworkRun, CoreError> {
+        plan.validate_for(net)?;
+        let first = &net.layers()[0];
+        let expected = (first.shape.batch, first.shape.c_in, first.shape.h, first.shape.w);
+        if input.dims() != expected {
+            return Err(CoreError::InputShapeMismatch { expected, got: input.dims() });
+        }
+        let bits = first.weights.bits();
+        let q_in = Quantizer::calibrate(bits, input.data());
+        let mut act = quantize_f32(input, &q_in);
+        let mut act_scale = q_in.scale;
+
+        let mut reports = Vec::with_capacity(plan.layers().len());
+        let mut total = 0.0;
+        for (lp, layer) in plan.layers().iter().zip(net.layers()) {
+            let backend = self.backend_for(lp.backend)?;
+            let mut layer_span = tracer.span("layer", MAIN_TRACK);
+            let out = backend.execute_layer(lp, &act, &layer.weights, tracer)?;
+            total += out.millis;
+            layer_span.set_label(|| {
+                let cache = match out.prepack_hit {
+                    Some(true) => "prepack hit",
+                    Some(false) => "prepack miss",
+                    None => "no prepack",
+                };
+                format!("{}: {} ({cache})", lp.name, lp.algo)
+            });
+            reports.push(LayerReport {
+                name: lp.name.clone(),
+                backend: lp.backend,
+                algo: lp.algo,
+                millis: out.millis,
+                prepack_hits: u64::from(out.prepack_hit == Some(true)),
+                prepack_misses: u64::from(out.prepack_hit == Some(false)),
+                workspace_growth_bytes: out.workspace_growth_bytes,
+                gpu_time: out.gpu_time,
+            });
+            // Fused epilogue: per-channel bias, then re-quantization with
+            // the ReLU folded into the truncation bound where requested.
+            let mut acc = out.acc;
+            if let Some(bias) = &lp.epilogue.bias {
+                let (n, c, h, w) = acc.dims();
+                for bn in 0..n {
+                    for (cc, &b) in bias.iter().enumerate().take(c) {
+                        for hh in 0..h {
+                            for ww in 0..w {
+                                let v = acc.get((bn, cc, hh, ww)) + b;
+                                acc.set((bn, cc, hh, ww), v);
+                            }
+                        }
+                    }
+                }
+            }
+            let rq = lp.epilogue.effective_requant();
+            let q = {
+                let _span = tracer.span("requantize", MAIN_TRACK);
+                lowbit_qnn::requantize(&acc, &rq)
+            };
+            act_scale = act_scale * layer.weights.scale() / rq.multiplier;
+            // Keep inter-layer activations NCHW so heterogeneous plans can
+            // hand off between backends (a no-op on the all-ARM path).
+            act = if q.layout() == Layout::Nchw { q } else { q.to_layout(Layout::Nchw) };
+            drop(layer_span);
+            if tracer.enabled() {
+                if let Some(engine) = &self.arm {
+                    tracer.counter("modeled_millis_total", engine.modeled_millis_total());
+                    tracer.counter("prepack_hits_total", engine.prepack_stats().hits as f64);
+                    tracer.counter(
+                        "workspace_high_water_bytes",
+                        engine.workspace_stats().high_water_bytes as f64,
+                    );
+                }
+            }
+        }
+        let mut output = Tensor::zeros(act.dims(), act.layout());
+        for (o, &q) in output.data_mut().iter_mut().zip(act.data()) {
+            *o = q as f32 * act_scale;
+        }
+        Ok(NetworkRun { output, reports, total_millis: total })
+    }
+
+    /// Models every layer of `plan` without executing, returning the same
+    /// unified reports (prepack/workspace fields zero — estimation touches
+    /// no state).
+    pub fn estimate(&self, plan: &ExecutionPlan) -> Result<Vec<LayerReport>, CoreError> {
+        self.estimate_traced(plan, &Tracer::null())
+    }
+
+    /// [`Executor::estimate`] with span recording: each modeled layer's
+    /// stages land on a backend-specific modeled track.
+    pub fn estimate_traced(
+        &self,
+        plan: &ExecutionPlan,
+        tracer: &Tracer,
+    ) -> Result<Vec<LayerReport>, CoreError> {
+        let mut reports = Vec::with_capacity(plan.layers().len());
+        for lp in plan.layers() {
+            let backend = self.backend_for(lp.backend)?;
+            let est = backend.estimate_layer(lp, tracer)?;
+            reports.push(LayerReport {
+                name: lp.name.clone(),
+                backend: lp.backend,
+                algo: lp.algo,
+                millis: est.millis,
+                prepack_hits: 0,
+                prepack_misses: 0,
+                workspace_growth_bytes: 0,
+                gpu_time: est.gpu_time,
+            });
+        }
+        Ok(reports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::Planner;
+    use lowbit_tensor::BitWidth;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn float_input(dims: (usize, usize, usize, usize), seed: u64) -> Tensor<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let len = dims.0 * dims.1 * dims.2 * dims.3;
+        Tensor::from_vec(
+            dims,
+            Layout::Nchw,
+            (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        )
+    }
+
+    #[test]
+    fn executor_without_required_backend_errors() {
+        let engine = ArmEngine::cortex_a53();
+        let net = Network::demo(BitWidth::W4, 12, 9);
+        let plan = Planner::for_arm(&engine).compile(&net).unwrap();
+        let err = Executor::new()
+            .run(&plan, &net, &float_input((1, 3, 12, 12), 5))
+            .unwrap_err();
+        assert!(matches!(err, CoreError::MissingBackend { backend: BackendKind::Arm }));
+    }
+
+    #[test]
+    fn executor_rejects_mismatched_input_and_plan() {
+        let engine = ArmEngine::cortex_a53();
+        let net = Network::demo(BitWidth::W4, 12, 9);
+        let plan = Planner::for_arm(&engine).compile(&net).unwrap();
+        let exec = Executor::for_arm(&engine);
+        let err = exec.run(&plan, &net, &float_input((1, 3, 10, 10), 5)).unwrap_err();
+        assert!(matches!(err, CoreError::InputShapeMismatch { .. }));
+        let other = Network::demo(BitWidth::W4, 16, 9);
+        let err = exec.run(&plan, &other, &float_input((1, 3, 16, 16), 5)).unwrap_err();
+        assert!(matches!(err, CoreError::PlanMismatch { .. }));
+    }
+
+    #[test]
+    fn estimate_reports_match_plan_predictions() {
+        let engine = ArmEngine::cortex_a53();
+        let net = Network::demo(BitWidth::W6, 12, 9);
+        let plan = Planner::for_arm(&engine).compile(&net).unwrap();
+        let reports = Executor::for_arm(&engine).estimate(&plan).unwrap();
+        for (r, lp) in reports.iter().zip(plan.layers()) {
+            assert!((r.millis - lp.predicted_millis).abs() < 1e-12, "{}", r.name);
+            assert_eq!(r.algo, lp.algo);
+            assert_eq!(r.prepack_hits + r.prepack_misses, 0);
+        }
+    }
+
+    #[test]
+    fn per_channel_bias_shifts_accumulators_before_requant() {
+        use crate::network::NetLayer;
+        use lowbit_qnn::RequantParams;
+        use lowbit_tensor::ConvShape;
+
+        let bits = BitWidth::W4;
+        let shape = ConvShape::new(1, 3, 6, 6, 4, 3, 1, 1);
+        let weights = QTensor::random((4, 3, 3, 3), Layout::Nchw, bits, 3);
+        let mk = |bias: Option<Vec<i32>>| {
+            Network::sequential(vec![NetLayer {
+                name: "l0".into(),
+                shape,
+                weights: weights.clone(),
+                bias,
+                relu: false,
+                requant: RequantParams::new(bits, 1.0),
+            }])
+            .unwrap()
+        };
+        let engine = ArmEngine::cortex_a53();
+        let input = float_input((1, 3, 6, 6), 8);
+        let plain = mk(None);
+        let plan = Planner::for_arm(&engine).compile(&plain).unwrap();
+        let base = Executor::for_arm(&engine).run(&plan, &plain, &input).unwrap();
+        // A large positive bias on channel 0 saturates it to qmax while
+        // leaving the other channels untouched.
+        let biased = mk(Some(vec![1000, 0, 0, 0]));
+        let plan_b = Planner::for_arm(&engine).compile(&biased).unwrap();
+        let run = Executor::for_arm(&engine).run(&plan_b, &biased, &input).unwrap();
+        let (_, c, h, w) = run.output.dims();
+        assert!(c == 4);
+        for hh in 0..h {
+            for ww in 0..w {
+                assert!(run.output.get((0, 0, hh, ww)) >= base.output.get((0, 0, hh, ww)));
+                for cc in 1..c {
+                    assert_eq!(run.output.get((0, cc, hh, ww)), base.output.get((0, cc, hh, ww)));
+                }
+            }
+        }
+    }
+}

@@ -2,43 +2,59 @@
 //! on ARM-like CPUs (2–8 bit) and Turing-like GPUs (4/8 bit).
 //!
 //! This is the umbrella crate of the ICPP'20 reproduction: it exposes one
-//! engine per platform with automatic algorithm/tile selection, and
-//! re-exports every substrate crate for advanced use.
+//! engine per platform with automatic algorithm/tile selection, a
+//! plan/execute compiler over both ([`Planner`] compiles a [`Network`] into
+//! a typed [`ExecutionPlan`]; [`Executor`] runs any plan through the
+//! [`Backend`] trait), and re-exports every substrate crate for advanced
+//! use.
 //!
 //! ```
 //! use lowbit::prelude::*;
 //!
-//! // A 4-bit 3x3 convolution on the ARM engine: Winograd is selected
-//! // automatically, the result is exact i32 accumulators plus modeled
-//! // Cortex-A53 time.
-//! let shape = ConvShape::new(1, 8, 12, 12, 16, 3, 1, 1);
-//! let input = QTensor::random((1, 8, 12, 12), Layout::Nchw, BitWidth::W4, 1);
-//! let weights = QTensor::random((16, 8, 3, 3), Layout::Nchw, BitWidth::W4, 2);
+//! // Compile the demo network into an execution plan (offline phase) and
+//! // run it (online phase). The planner resolves every per-layer choice —
+//! // kernel, prepack layout, workspace sizing — ahead of execution.
+//! let net = Network::demo(BitWidth::W4, 12, 9);
 //! let engine = ArmEngine::cortex_a53();
-//! let out = engine.conv(&input, &weights, &shape, ArmAlgo::Auto);
-//! assert_eq!(out.acc.dims(), (1, 16, 12, 12));
-//! assert!(out.millis > 0.0);
+//! let plan = Planner::for_arm(&engine).compile(&net).unwrap();
+//! let input = Tensor::zeros((1, 3, 12, 12), Layout::Nchw);
+//! let run = Executor::for_arm(&engine).run(&plan, &net, &input).unwrap();
+//! assert_eq!(run.output.dims(), (1, 8, 6, 6));
+//! assert_eq!(run.reports.len(), 3);
 //! ```
 
 #![forbid(unsafe_code)]
 
 pub mod arm;
+pub mod error;
+pub mod executor;
 pub mod gpu;
 pub mod network;
+pub mod plan;
+pub mod planner;
 
 /// Everything most users need.
 pub mod prelude {
     pub use crate::arm::{ArmAlgo, ArmConvResult, ArmEngine, PrepackStats};
-    pub use lowbit_qgemm::workspace::WorkspaceStats;
+    pub use crate::error::CoreError;
+    pub use crate::executor::{Backend, Executor, NetworkRun};
     pub use crate::gpu::{GpuConvResult, GpuEngine, Tuning};
+    pub use crate::network::{LayerReport, NetLayer, Network};
+    pub use crate::plan::{BackendKind, Epilogue, ExecutionPlan, LayerPlan, PlanAlgo};
+    pub use crate::planner::Planner;
+    pub use lowbit_qgemm::workspace::WorkspaceStats;
     pub use lowbit_tensor::{BitWidth, ConvShape, Layout, QTensor, Tensor};
     pub use lowbit_trace::Tracer;
     pub use turing_sim::Precision;
 }
 
-pub use arm::{stage_attribution, ArmAlgo, ArmConvResult, ArmEngine, PrepackStats};
+pub use arm::{prepack_fingerprint, stage_attribution, ArmAlgo, ArmConvResult, ArmEngine, PrepackStats};
+pub use error::CoreError;
+pub use executor::{Backend, BackendLayerEstimate, BackendLayerRun, Executor, NetworkRun};
 pub use gpu::{GpuConvResult, GpuEngine, Tuning};
-pub use network::{GpuLayerReport, LayerReport, NetLayer, Network};
+pub use network::{LayerReport, NetLayer, Network};
+pub use plan::{BackendKind, Epilogue, ExecutionPlan, LayerPlan, PlanAlgo};
+pub use planner::{arm_candidates, arm_workspace_bytes, select_arm_algo, ArmCandidate, Planner};
 
 // Substrate re-exports for advanced users.
 pub use lowbit_conv_arm as conv_arm;

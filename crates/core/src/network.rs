@@ -2,17 +2,26 @@
 //! stated future work: "integrate our low-bit convolution optimizations …
 //! to enable end-to-end optimization").
 //!
-//! A [`Network`] is a validated chain of quantized conv(+ReLU) layers. The
-//! runner keeps activations quantized between layers (re-quantizing with the
-//! fused truncation of Sec. 4.4), executes every convolution through the
-//! [`ArmEngine`], and accumulates modeled time per layer.
+//! A [`Network`] is a validated chain of quantized conv(+bias+ReLU) layers.
+//! Execution goes through the plan/execute pipeline: a
+//! [`crate::planner::Planner`] compiles the network into an
+//! [`crate::plan::ExecutionPlan`] offline, and a
+//! [`crate::executor::Executor`] runs it. The `run_arm` / `estimate_*`
+//! methods on [`Network`] remain as thin convenience shims over that
+//! pipeline (deprecated in spirit: new code should plan once and execute
+//! many times).
 
 use crate::arm::{ArmAlgo, ArmEngine};
-use lowbit_qnn::{quantize_f32, Quantizer, RequantParams};
+use crate::error::CoreError;
+use crate::executor::Executor;
+use crate::plan::{BackendKind, PlanAlgo};
+use crate::planner::Planner;
+use lowbit_qnn::RequantParams;
 use lowbit_tensor::{BitWidth, ConvShape, Layout, QTensor, Tensor};
-use lowbit_trace::{Tracer, MAIN_TRACK};
+use lowbit_trace::Tracer;
+use turing_sim::KernelTime;
 
-/// One conv(+ReLU) layer of a sequential network.
+/// One conv(+bias+ReLU) layer of a sequential network.
 #[derive(Clone, Debug)]
 pub struct NetLayer {
     /// Display name.
@@ -21,6 +30,9 @@ pub struct NetLayer {
     pub shape: ConvShape,
     /// Quantized weights (NCHW `c_out x c_in x kh x kw`).
     pub weights: QTensor,
+    /// Optional per-output-channel i32 bias added to the accumulators
+    /// (length must be `c_out`; fused into the epilogue).
+    pub bias: Option<Vec<i32>>,
     /// Whether a ReLU follows (fused into re-quantization).
     pub relu: bool,
     /// Re-quantization multiplier into the next layer's activation scale.
@@ -33,103 +45,120 @@ pub struct Network {
     layers: Vec<NetLayer>,
 }
 
-/// Per-layer execution record.
+/// Per-layer execution/estimate record, unified across backends: ARM layers
+/// carry prepack/workspace counters, GPU layers a modeled stage breakdown.
 #[derive(Clone, Debug)]
 pub struct LayerReport {
     /// Layer name.
     pub name: String,
-    /// Algorithm the engine chose.
-    pub algo: ArmAlgo,
+    /// The backend that served the layer.
+    pub backend: BackendKind,
+    /// The concrete algorithm that ran (always resolved, never `Auto`).
+    pub algo: PlanAlgo,
     /// Modeled milliseconds.
     pub millis: f64,
     /// Prepack-cache hits this layer contributed (0 or 1 per run; always 0
-    /// for algorithms without a prepacked layout).
+    /// for algorithms without a prepacked layout and for estimates).
     pub prepack_hits: u64,
     /// Prepack-cache misses this layer contributed (0 or 1 per run).
     pub prepack_misses: u64,
     /// Bytes the shared workspace arena grew by while serving this layer
-    /// (0 in the steady state).
+    /// (0 in the steady state and for estimates).
     pub workspace_growth_bytes: usize,
+    /// Full modeled stage breakdown for GPU layers (`None` on ARM).
+    pub gpu_time: Option<KernelTime>,
 }
 
-/// Per-layer modeled GPU record (the ARM [`LayerReport`]'s counterpart; the
-/// GPU engine estimates rather than executes at layer scale).
-#[derive(Clone, Debug)]
-pub struct GpuLayerReport {
-    /// Layer name.
-    pub name: String,
-    /// Full modeled stage breakdown of the layer's kernel launch.
-    pub time: turing_sim::KernelTime,
-}
+impl LayerReport {
+    /// The ARM kernel that ran, if this layer ran on the ARM backend.
+    pub fn arm_algo(&self) -> Option<ArmAlgo> {
+        match self.algo {
+            PlanAlgo::Arm(a) => Some(a),
+            PlanAlgo::GpuImplicitGemm(_) => None,
+        }
+    }
 
-impl GpuLayerReport {
     /// Modeled microseconds for the layer.
     pub fn micros(&self) -> f64 {
-        self.time.total_us()
+        self.millis * 1e3
     }
 }
 
 impl Network {
-    /// Builds a network, validating that consecutive layers chain: channel
-    /// counts match and spatial dimensions follow from the convolution.
-    pub fn sequential(layers: Vec<NetLayer>) -> Result<Network, String> {
+    /// Builds a network, validating that consecutive layers chain (channel
+    /// counts match, spatial dimensions follow from the convolution, batch
+    /// constant) and that any bias matches its layer's `c_out`.
+    pub fn sequential(layers: Vec<NetLayer>) -> Result<Network, CoreError> {
         for w in layers.windows(2) {
             let (a, b) = (&w[0], &w[1]);
             if a.shape.c_out != b.shape.c_in {
-                return Err(format!(
-                    "{} produces {} channels but {} expects {}",
-                    a.name, a.shape.c_out, b.name, b.shape.c_in
-                ));
+                return Err(CoreError::ChannelMismatch {
+                    producer: a.name.clone(),
+                    produces: a.shape.c_out,
+                    consumer: b.name.clone(),
+                    expects: b.shape.c_in,
+                });
             }
             if (a.shape.out_h(), a.shape.out_w()) != (b.shape.h, b.shape.w) {
-                return Err(format!(
-                    "{} produces {}x{} but {} expects {}x{}",
-                    a.name,
-                    a.shape.out_h(),
-                    a.shape.out_w(),
-                    b.name,
-                    b.shape.h,
-                    b.shape.w
-                ));
+                return Err(CoreError::SpatialMismatch {
+                    producer: a.name.clone(),
+                    produces: (a.shape.out_h(), a.shape.out_w()),
+                    consumer: b.name.clone(),
+                    expects: (b.shape.h, b.shape.w),
+                });
             }
             if a.shape.batch != b.shape.batch {
-                return Err(format!("batch mismatch between {} and {}", a.name, b.name));
+                return Err(CoreError::BatchMismatch {
+                    producer: a.name.clone(),
+                    consumer: b.name.clone(),
+                });
+            }
+        }
+        for l in &layers {
+            if let Some(bias) = &l.bias {
+                if bias.len() != l.shape.c_out {
+                    return Err(CoreError::BiasLengthMismatch {
+                        layer: l.name.clone(),
+                        expects: l.shape.c_out,
+                        got: bias.len(),
+                    });
+                }
             }
         }
         if layers.is_empty() {
-            return Err("network must have at least one layer".into());
+            return Err(CoreError::EmptyNetwork);
         }
         Ok(Network { layers })
     }
 
-    /// A small deterministic demo network (3 chained layers) at `bits`.
+    /// A small deterministic demo network (3 chained layers) at `bits`. The
+    /// geometry comes from [`lowbit_models::demo`] — the single source of
+    /// the demo shapes.
     pub fn demo(bits: BitWidth, hw: usize, seed: u64) -> Network {
-        let mk = |name: &str, shape: ConvShape, relu: bool, seed: u64| {
-            // Scale the re-quantization so typical accumulators (~sqrt(K)
-            // products) land mid-range at every bit width.
-            let mult = 4.0 / ((shape.gemm_k() as f32).sqrt() * bits.qmax() as f32);
-            NetLayer {
-                name: name.into(),
-                shape,
-                weights: QTensor::random(
-                    (shape.c_out, shape.c_in, shape.kh, shape.kw),
-                    Layout::Nchw,
-                    bits,
-                    seed,
-                ),
-                relu,
-                requant: RequantParams::new(bits, mult),
-            }
-        };
-        let l1 = ConvShape::new(1, 3, hw, hw, 8, 3, 1, 1);
-        let l2 = ConvShape::new(1, 8, hw, hw, 16, 3, 2, 1);
-        let l3 = ConvShape::new(1, 16, l2.out_h(), l2.out_w(), 8, 1, 1, 0);
-        Network::sequential(vec![
-            mk("conv1", l1, true, seed),
-            mk("conv2", l2, true, seed + 1),
-            mk("conv3", l3, false, seed + 2),
-        ])
-        .expect("demo network chains by construction")
+        let defs = lowbit_models::demo(hw);
+        let layers = defs
+            .iter()
+            .enumerate()
+            .map(|(i, def)| {
+                // Scale the re-quantization so typical accumulators (~sqrt(K)
+                // products) land mid-range at every bit width.
+                let mult = 4.0 / ((def.shape.gemm_k() as f32).sqrt() * bits.qmax() as f32);
+                NetLayer {
+                    name: def.name.into(),
+                    shape: def.shape,
+                    weights: QTensor::random(
+                        (def.shape.c_out, def.shape.c_in, def.shape.kh, def.shape.kw),
+                        Layout::Nchw,
+                        bits,
+                        seed + i as u64,
+                    ),
+                    bias: None,
+                    relu: i + 1 < defs.len(),
+                    requant: RequantParams::new(bits, mult),
+                }
+            })
+            .collect();
+        Network::sequential(layers).expect("demo network chains by construction")
     }
 
     /// Layers view.
@@ -142,6 +171,11 @@ impl Network {
     ///
     /// Returns the float output, the per-layer reports and the total modeled
     /// milliseconds.
+    ///
+    /// Convenience shim over the plan/execute pipeline — equivalent to
+    /// `Planner::for_arm(engine).compile(net)` followed by
+    /// `Executor::for_arm(engine).run(...)`. New code should hold on to the
+    /// plan and execute it many times instead.
     pub fn run_arm(
         &self,
         engine: &ArmEngine,
@@ -161,78 +195,24 @@ impl Network {
         input: &Tensor<f32>,
         tracer: &Tracer,
     ) -> (Tensor<f32>, Vec<LayerReport>, f64) {
-        let first = &self.layers[0];
-        assert_eq!(
-            input.dims(),
-            (first.shape.batch, first.shape.c_in, first.shape.h, first.shape.w),
-            "input dims must match the first layer"
-        );
-        let bits = first.weights.bits();
-        let q_in = Quantizer::calibrate(bits, input.data());
-        let mut act = quantize_f32(input, &q_in);
-        let mut act_scale = q_in.scale;
-
-        let mut reports = Vec::with_capacity(self.layers.len());
-        let mut total = 0.0;
-        for layer in &self.layers {
-            let mut layer_span = tracer.span("layer", MAIN_TRACK);
-            let out =
-                engine.conv_traced(&act, &layer.weights, &layer.shape, ArmAlgo::Auto, tracer, &layer.name);
-            total += out.millis;
-            layer_span.set_label(|| {
-                let cache = match out.prepack_hit {
-                    Some(true) => "prepack hit",
-                    Some(false) => "prepack miss",
-                    None => "no prepack",
-                };
-                format!("{}: {:?} ({cache})", layer.name, out.algo)
-            });
-            reports.push(LayerReport {
-                name: layer.name.clone(),
-                algo: out.algo,
-                millis: out.millis,
-                prepack_hits: u64::from(out.prepack_hit == Some(true)),
-                prepack_misses: u64::from(out.prepack_hit == Some(false)),
-                workspace_growth_bytes: out.workspace_growth_bytes,
-            });
-            // Re-quantize (with fused ReLU truncation where requested) into
-            // the next activation; track the real-valued scale it encodes.
-            let rq = if layer.relu {
-                layer.requant.with_relu()
-            } else {
-                layer.requant
-            };
-            let q = {
-                let _span = tracer.span("requantize", MAIN_TRACK);
-                lowbit_qnn::requantize(&out.acc, &rq)
-            };
-            act_scale = act_scale * layer.weights.scale() / rq.multiplier;
-            act = q;
-            drop(layer_span);
-            if tracer.enabled() {
-                tracer.counter("modeled_millis_total", engine.modeled_millis_total());
-                tracer.counter("prepack_hits_total", engine.prepack_stats().hits as f64);
-                tracer.counter(
-                    "workspace_high_water_bytes",
-                    engine.workspace_stats().high_water_bytes as f64,
-                );
-            }
-        }
-        let mut out_f = Tensor::zeros(act.dims(), act.layout());
-        for (o, &q) in out_f.data_mut().iter_mut().zip(act.data()) {
-            *o = q as f32 * act_scale;
-        }
-        (out_f, reports, total)
+        let plan = Planner::for_arm(engine)
+            .compile(self)
+            .expect("ARM serves every bit width");
+        let run = Executor::for_arm(engine)
+            .run_traced(&plan, self, input, tracer)
+            .expect("plan compiled from this network");
+        (run.output, run.reports, run.total_millis)
     }
 
-    /// Per-layer modeled GPU reports with the full stage breakdown (None
-    /// when any layer's bit width has no Tensor Core path) — the symmetric
-    /// counterpart of the ARM [`LayerReport`] list.
+    /// Per-layer modeled GPU reports with the full stage breakdown
+    /// ([`CoreError::UnsupportedBitWidth`] when any layer's bit width has no
+    /// Tensor Core path) — the same unified [`LayerReport`] the ARM path
+    /// produces. Shim over a GPU-only plan compile + estimate.
     pub fn estimate_gpu_layers(
         &self,
         engine: &crate::gpu::GpuEngine,
         tuning: crate::gpu::Tuning,
-    ) -> Option<Vec<GpuLayerReport>> {
+    ) -> Result<Vec<LayerReport>, CoreError> {
         self.estimate_gpu_layers_traced(engine, tuning, &Tracer::null())
     }
 
@@ -243,36 +223,35 @@ impl Network {
         engine: &crate::gpu::GpuEngine,
         tuning: crate::gpu::Tuning,
         tracer: &Tracer,
-    ) -> Option<Vec<GpuLayerReport>> {
-        let mut reports = Vec::with_capacity(self.layers.len());
-        for l in &self.layers {
-            crate::gpu::GpuEngine::precision_for(l.weights.bits())?;
-            let time = engine.estimate_traced(&l.shape, l.weights.bits(), tuning, tracer, &l.name);
-            reports.push(GpuLayerReport { name: l.name.clone(), time });
-        }
-        Some(reports)
+    ) -> Result<Vec<LayerReport>, CoreError> {
+        let plan = Planner::for_gpu(engine, tuning).compile(self)?;
+        Executor::for_gpu(engine).estimate_traced(&plan, tracer)
     }
 
-    /// Modeled total microseconds on a GPU engine (None when any layer's
-    /// bit width has no Tensor Core path).
-    pub fn estimate_gpu(&self, engine: &crate::gpu::GpuEngine, tuning: crate::gpu::Tuning) -> Option<f64> {
+    /// Modeled total microseconds on a GPU engine
+    /// ([`CoreError::UnsupportedBitWidth`] when any layer's bit width has no
+    /// Tensor Core path).
+    pub fn estimate_gpu(
+        &self,
+        engine: &crate::gpu::GpuEngine,
+        tuning: crate::gpu::Tuning,
+    ) -> Result<f64, CoreError> {
         let reports = self.estimate_gpu_layers(engine, tuning)?;
-        Some(reports.iter().map(|r| r.micros()).sum())
+        Ok(reports.iter().map(|r| r.micros()).sum())
     }
 
-    /// Modeled total milliseconds without executing.
-    pub fn estimate_arm(&self, engine: &ArmEngine) -> f64 {
-        self.layers
-            .iter()
-            .map(|l| engine.estimate_millis(l.weights.bits(), &l.shape, ArmAlgo::Auto))
-            .sum()
+    /// Modeled total milliseconds on an ARM engine without executing.
+    /// `Result` for symmetry with [`Network::estimate_gpu`] (the ARM backend
+    /// serves every bit width, so this only fails if compilation does).
+    pub fn estimate_arm(&self, engine: &ArmEngine) -> Result<f64, CoreError> {
+        Ok(Planner::for_arm(engine).compile(self)?.predicted_millis())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lowbit_qnn::relu_q;
+    use lowbit_qnn::{quantize_f32, relu_q, Quantizer};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -295,14 +274,26 @@ mod tests {
         assert_eq!(out.dims(), (1, 8, 6, 6));
         assert_eq!(reports.len(), 3);
         assert!((reports.iter().map(|r| r.millis).sum::<f64>() - total).abs() < 1e-9);
-        assert!((net.estimate_arm(&engine) - total).abs() < 1e-9);
+        assert!((net.estimate_arm(&engine).unwrap() - total).abs() < 1e-9);
         // At this tiny size the 3-channel transforms outweigh the Winograd
         // MAC saving, and c_out = 8 fits the narrow tile exactly (the wide
         // 16-row tile would waste half its lanes) — the selection is by
         // modeled time, not by a static rule.
-        assert_eq!(reports[0].algo, ArmAlgo::GemmNarrow);
+        assert_eq!(reports[0].arm_algo(), Some(ArmAlgo::GemmNarrow));
+        assert_eq!(reports[0].backend, BackendKind::Arm);
         let big = ConvShape::new(1, 64, 56, 56, 64, 3, 1, 1);
         assert_eq!(engine.select_algo(BitWidth::W4, &big), ArmAlgo::Winograd);
+    }
+
+    #[test]
+    fn demo_geometry_comes_from_the_models_table() {
+        let net = Network::demo(BitWidth::W4, 12, 9);
+        let defs = lowbit_models::demo(12);
+        assert_eq!(net.layers().len(), defs.len());
+        for (l, d) in net.layers().iter().zip(&defs) {
+            assert_eq!(l.name, d.name);
+            assert_eq!(l.shape, d.shape);
+        }
     }
 
     #[test]
@@ -354,8 +345,8 @@ mod tests {
     #[test]
     fn lower_bits_run_the_whole_network_faster() {
         let engine = ArmEngine::cortex_a53();
-        let t2 = Network::demo(BitWidth::W2, 16, 1).estimate_arm(&engine);
-        let t8 = Network::demo(BitWidth::W8, 16, 1).estimate_arm(&engine);
+        let t2 = Network::demo(BitWidth::W2, 16, 1).estimate_arm(&engine).unwrap();
+        let t8 = Network::demo(BitWidth::W8, 16, 1).estimate_arm(&engine).unwrap();
         assert!(t2 < t8, "2-bit net ({t2:.3}ms) must beat 8-bit ({t8:.3}ms)");
     }
 
@@ -365,7 +356,10 @@ mod tests {
         let net4 = Network::demo(BitWidth::W4, 12, 3);
         assert!(net4.estimate_gpu(&gpu, crate::gpu::Tuning::Default).unwrap() > 0.0);
         let net5 = Network::demo(BitWidth::W5, 12, 3);
-        assert!(net5.estimate_gpu(&gpu, crate::gpu::Tuning::Default).is_none());
+        assert!(matches!(
+            net5.estimate_gpu(&gpu, crate::gpu::Tuning::Default),
+            Err(CoreError::UnsupportedBitWidth { bits: BitWidth::W5, backend: BackendKind::GpuModel })
+        ));
     }
 
     #[test]
@@ -380,6 +374,7 @@ mod tests {
                 bits,
                 1,
             ),
+            bias: None,
             relu: false,
             requant: RequantParams::new(bits, 0.01),
         };
@@ -388,14 +383,21 @@ mod tests {
             mk(ConvShape::new(1, 3, 8, 8, 4, 3, 1, 1)),
             mk(ConvShape::new(1, 8, 8, 8, 4, 3, 1, 1)),
         ]);
-        assert!(bad.is_err());
+        assert!(matches!(bad, Err(CoreError::ChannelMismatch { .. })));
         // Spatial mismatch.
         let bad = Network::sequential(vec![
             mk(ConvShape::new(1, 3, 8, 8, 4, 3, 2, 1)),
             mk(ConvShape::new(1, 4, 8, 8, 4, 3, 1, 1)),
         ]);
-        assert!(bad.is_err());
+        assert!(matches!(bad, Err(CoreError::SpatialMismatch { .. })));
+        // Bias length.
+        let mut biased = mk(ConvShape::new(1, 3, 8, 8, 4, 3, 1, 1));
+        biased.bias = Some(vec![1, 2, 3]);
+        assert!(matches!(
+            Network::sequential(vec![biased]),
+            Err(CoreError::BiasLengthMismatch { expects: 4, got: 3, .. })
+        ));
         // Empty.
-        assert!(Network::sequential(vec![]).is_err());
+        assert!(matches!(Network::sequential(vec![]), Err(CoreError::EmptyNetwork)));
     }
 }

@@ -1,0 +1,326 @@
+//! The typed [`ExecutionPlan`] IR — the offline half of the paper's
+//! deployment story.
+//!
+//! The paper splits deployment into an offline phase (Alg. 1 register
+//! allocation and instruction-scheme choice on ARM; profile-run tiling
+//! auto-search on the GPU, Sec. 5.1) and an online phase that just executes
+//! the chosen kernels. A compiled plan is the artifact that crosses that
+//! boundary: one [`LayerPlan`] per layer carrying the backend choice, the
+//! concrete algorithm (never `Auto`), the prepack-cache fingerprint the
+//! online phase will hit, an advisory workspace high-water size, the modeled
+//! time, and the fused epilogue (bias + re-quantization + ReLU).
+//!
+//! Plans are produced by [`crate::planner::Planner`] and consumed by
+//! [`crate::executor::Executor`]; they are plain data — inspectable,
+//! printable ([`ExecutionPlan::table`]) and serializable
+//! ([`ExecutionPlan::to_json`]) so planner regressions show up in review as
+//! golden-file diffs.
+
+use crate::arm::ArmAlgo;
+use crate::error::CoreError;
+use crate::network::Network;
+use lowbit_conv_gpu::TileConfig;
+use lowbit_qnn::RequantParams;
+use lowbit_tensor::{BitWidth, ConvShape};
+
+/// Which engine a layer runs on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BackendKind {
+    /// The ARM CPU engine (executes kernels, models a Cortex core).
+    Arm,
+    /// The Turing-like GPU model (executes functionally, models launches).
+    GpuModel,
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendKind::Arm => write!(f, "arm"),
+            BackendKind::GpuModel => write!(f, "gpu-model"),
+        }
+    }
+}
+
+/// The concrete algorithm a layer plan commits to. Unlike
+/// [`ArmAlgo`], this can never be `Auto`: compilation resolves every
+/// choice offline.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum PlanAlgo {
+    /// An ARM kernel (wide/narrow GEMM, SDOT, Winograd, or a baseline).
+    Arm(ArmAlgo),
+    /// The GPU implicit-precomp-GEMM kernel with its tiling parameters.
+    GpuImplicitGemm(TileConfig),
+}
+
+impl std::fmt::Display for PlanAlgo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanAlgo::Arm(a) => write!(f, "{a:?}"),
+            PlanAlgo::GpuImplicitGemm(c) => write!(
+                f,
+                "ImplicitGemm {}x{}x{}/{} w{}x{}",
+                c.m_tile, c.n_tile, c.k_tile, c.k_step, c.warps_m, c.warps_n
+            ),
+        }
+    }
+}
+
+/// The fused tail of a layer: optional per-channel i32 bias, re-quantization
+/// into the next layer's width, and the Sec. 4.4 ReLU-folded-into-truncation
+/// trick.
+#[derive(Clone, Debug)]
+pub struct Epilogue {
+    /// Per-`c_out` bias added to the accumulators before re-quantization.
+    pub bias: Option<Vec<i32>>,
+    /// Re-quantization parameters (before the ReLU fold).
+    pub requant: RequantParams,
+    /// Whether the ReLU is fused into the truncation.
+    pub relu: bool,
+}
+
+impl Epilogue {
+    /// The requant parameters actually applied (ReLU folded when requested).
+    pub fn effective_requant(&self) -> RequantParams {
+        if self.relu {
+            self.requant.with_relu()
+        } else {
+            self.requant
+        }
+    }
+}
+
+/// One layer's fully-resolved execution recipe.
+#[derive(Clone, Debug)]
+pub struct LayerPlan {
+    /// Layer name (matches the network's).
+    pub name: String,
+    /// Convolution geometry.
+    pub shape: ConvShape,
+    /// Operand bit width.
+    pub bits: BitWidth,
+    /// Which engine runs it.
+    pub backend: BackendKind,
+    /// The concrete kernel choice.
+    pub algo: PlanAlgo,
+    /// The prepack-cache key the online phase will hit (`None` for
+    /// algorithms without a prepacked weight layout).
+    pub prepack_fingerprint: Option<u64>,
+    /// Advisory workspace high-water sizing: an analytic upper estimate of
+    /// the arena bytes this layer needs (im2col + packed panels + result).
+    pub workspace_bytes: usize,
+    /// Modeled steady-state milliseconds (the cost the plan was ranked by,
+    /// after prepacking amortizes the weight pack away).
+    pub predicted_millis: f64,
+    /// The fused epilogue.
+    pub epilogue: Epilogue,
+}
+
+/// A compiled network: the offline phase's output, ready to execute any
+/// number of times.
+#[derive(Clone, Debug)]
+pub struct ExecutionPlan {
+    layers: Vec<LayerPlan>,
+}
+
+impl ExecutionPlan {
+    /// Builds a plan from per-layer plans (the planner's constructor).
+    pub(crate) fn new(layers: Vec<LayerPlan>) -> ExecutionPlan {
+        ExecutionPlan { layers }
+    }
+
+    /// Per-layer plans.
+    pub fn layers(&self) -> &[LayerPlan] {
+        &self.layers
+    }
+
+    /// Modeled total milliseconds over all layers.
+    pub fn predicted_millis(&self) -> f64 {
+        self.layers.iter().map(|l| l.predicted_millis).sum()
+    }
+
+    /// Backends this plan needs.
+    pub fn backends(&self) -> Vec<BackendKind> {
+        let mut out = Vec::new();
+        for l in &self.layers {
+            if !out.contains(&l.backend) {
+                out.push(l.backend);
+            }
+        }
+        out
+    }
+
+    /// Checks that this plan belongs to `net`: same layer count, names and
+    /// geometry in order.
+    pub fn validate_for(&self, net: &Network) -> Result<(), CoreError> {
+        if self.layers.len() != net.layers().len() {
+            return Err(CoreError::PlanMismatch {
+                detail: format!(
+                    "plan has {} layers, network has {}",
+                    self.layers.len(),
+                    net.layers().len()
+                ),
+            });
+        }
+        for (lp, nl) in self.layers.iter().zip(net.layers()) {
+            if lp.name != nl.name {
+                return Err(CoreError::PlanMismatch {
+                    detail: format!("plan layer {} vs network layer {}", lp.name, nl.name),
+                });
+            }
+            if lp.shape != nl.shape {
+                return Err(CoreError::PlanMismatch {
+                    detail: format!("{}: plan shape {} vs network {}", lp.name, lp.shape, nl.shape),
+                });
+            }
+            if lp.bits != nl.weights.bits() {
+                return Err(CoreError::PlanMismatch {
+                    detail: format!(
+                        "{}: plan bits {} vs network {}",
+                        lp.name,
+                        lp.bits,
+                        nl.weights.bits()
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the plan as an aligned human-readable table.
+    pub fn table(&self) -> String {
+        let headers = ["layer", "backend", "algo", "bits", "pred ms", "prepack fp", "ws bytes"];
+        let mut rows: Vec<[String; 7]> = Vec::with_capacity(self.layers.len());
+        for l in &self.layers {
+            rows.push([
+                l.name.clone(),
+                l.backend.to_string(),
+                l.algo.to_string(),
+                l.bits.to_string(),
+                format!("{:.6}", l.predicted_millis),
+                match l.prepack_fingerprint {
+                    Some(fp) => format!("{fp:016x}"),
+                    None => "-".into(),
+                },
+                l.workspace_bytes.to_string(),
+            ]);
+        }
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        for row in &rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    if i == 0 {
+                        format!("{c:<w$}", w = widths[i])
+                    } else {
+                        format!("{c:>w$}", w = widths[i])
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+        let mut out = fmt_row(&header_cells);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (headers.len() - 1)));
+        out.push('\n');
+        for row in &rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out.push_str(&format!("total predicted: {:.6} ms\n", self.predicted_millis()));
+        out
+    }
+
+    /// Serializes the plan as deterministic JSON (fixed field order and
+    /// float formatting) — the golden-file format the CI check diffs.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"layers\": [\n");
+        let items: Vec<String> = self
+            .layers
+            .iter()
+            .map(|l| {
+                let fp = match l.prepack_fingerprint {
+                    Some(fp) => format!("\"{fp:016x}\""),
+                    None => "null".into(),
+                };
+                format!(
+                    "    {{\"name\":\"{}\",\"backend\":\"{}\",\"algo\":\"{}\",\"bits\":{},\
+\"predicted_millis\":{:.9},\"prepack_fingerprint\":{},\"workspace_bytes\":{},\"relu\":{}}}",
+                    l.name,
+                    l.backend,
+                    l.algo,
+                    l.bits.bits(),
+                    l.predicted_millis,
+                    fp,
+                    l.workspace_bytes,
+                    l.epilogue.relu
+                )
+            })
+            .collect();
+        s.push_str(&items.join(",\n"));
+        s.push_str(&format!(
+            "\n  ],\n  \"predicted_total_millis\":{:.9}\n}}\n",
+            self.predicted_millis()
+        ));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::Planner;
+    use crate::ArmEngine;
+
+    #[test]
+    fn plan_renders_table_and_json() {
+        let net = Network::demo(BitWidth::W4, 12, 9);
+        let engine = ArmEngine::cortex_a53();
+        let plan = Planner::for_arm(&engine).compile(&net).unwrap();
+        let table = plan.table();
+        assert!(table.contains("conv1"));
+        assert!(table.contains("arm"));
+        assert!(table.contains("total predicted"));
+        let json = plan.to_json();
+        assert!(json.contains("\"layers\""));
+        assert!(json.contains("\"predicted_total_millis\""));
+        // Deterministic: same network, same JSON.
+        let again = Planner::for_arm(&ArmEngine::cortex_a53())
+            .compile(&Network::demo(BitWidth::W4, 12, 9))
+            .unwrap();
+        assert_eq!(json, again.to_json());
+    }
+
+    #[test]
+    fn validate_for_catches_divergence() {
+        let engine = ArmEngine::cortex_a53();
+        let net = Network::demo(BitWidth::W4, 12, 9);
+        let plan = Planner::for_arm(&engine).compile(&net).unwrap();
+        assert!(plan.validate_for(&net).is_ok());
+        let other = Network::demo(BitWidth::W4, 16, 9);
+        assert!(matches!(
+            plan.validate_for(&other),
+            Err(CoreError::PlanMismatch { .. })
+        ));
+        let other_bits = Network::demo(BitWidth::W5, 12, 9);
+        assert!(plan.validate_for(&other_bits).is_err());
+    }
+
+    #[test]
+    fn epilogue_folds_relu_into_requant() {
+        let ep = Epilogue {
+            bias: None,
+            requant: RequantParams::new(BitWidth::W4, 0.5),
+            relu: true,
+        };
+        assert_eq!(ep.effective_requant().clamp_min, 0);
+        let ep = Epilogue { relu: false, ..ep };
+        assert_eq!(ep.effective_requant().clamp_min, BitWidth::W4.qmin());
+    }
+}

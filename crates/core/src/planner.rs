@@ -1,0 +1,335 @@
+//! The cost-driven [`Planner`]: compiles a [`Network`] into an
+//! [`ExecutionPlan`] ahead of execution.
+//!
+//! This is the offline phase of the paper made explicit. For every layer the
+//! planner enumerates the applicable kernel candidates on each registered
+//! backend, prices them with the same analytic cost models the engines
+//! execute against ([`neon_sim::KernelSchedule`] on ARM,
+//! [`turing_sim::KernelTime`] on the GPU), and commits the cheapest — so
+//! `ArmAlgo::Auto` resolution and the GPU `Tuning` plumbing both collapse
+//! into one plan-time decision.
+//!
+//! ARM candidate ranking deliberately uses the *cold* (one-shot) schedules,
+//! exactly as the engine's historical `select_algo` did: the relative order
+//! of algorithms is a property of the kernels, and keeping the legacy metric
+//! makes `Planner::compile` + `Executor::run` reproduce `run_arm` bit for
+//! bit. The committed [`LayerPlan::predicted_millis`] is the *warm*
+//! (prepacked) cost — what repeated execution actually pays.
+
+use crate::arm::{prepack_fingerprint, ArmAlgo, ArmEngine};
+use crate::error::CoreError;
+use crate::gpu::{GpuEngine, Tuning};
+use crate::network::Network;
+use crate::plan::{BackendKind, Epilogue, ExecutionPlan, LayerPlan, PlanAlgo};
+use lowbit_conv_arm::{
+    schedule_bitserial_conv, schedule_gemm_conv, schedule_gemm_conv_narrow,
+    schedule_gemm_conv_narrow_prepacked, schedule_gemm_conv_prepacked,
+    schedule_gemm_conv_sdot_prepacked, schedule_ncnn_conv, schedule_winograd_conv,
+    winograd_supported,
+};
+use lowbit_conv_gpu::{auto_search, default_config, ConvGpuPlan};
+use lowbit_qgemm::Scheme;
+use lowbit_tensor::{BitWidth, ConvShape};
+use neon_sim::CostModel;
+
+/// One enumerated ARM kernel candidate for a layer.
+#[derive(Clone, Copy, Debug)]
+pub struct ArmCandidate {
+    /// The kernel.
+    pub algo: ArmAlgo,
+    /// Modeled one-shot cycles (the selection metric; includes `pack A`).
+    pub cold_cycles: f64,
+    /// Modeled steady-state milliseconds (the committed prediction; the
+    /// prepack cache amortizes the weight pack to zero).
+    pub warm_millis: f64,
+}
+
+/// Enumerates the ARM kernel candidates for a bit width and shape: the
+/// paper's wide 16x4 GEMM always applies, the narrow 8x4 tile exists for the
+/// SMLAL widths (4–8 bit), and Winograd `F(2x2, 3x3)` for supported widths
+/// on 3x3/stride-1 geometry.
+pub fn arm_candidates(model: &CostModel, bits: BitWidth, shape: &ConvShape) -> Vec<ArmCandidate> {
+    let scheme = Scheme::for_bits(bits);
+    let mut out = vec![ArmCandidate {
+        algo: ArmAlgo::Gemm,
+        cold_cycles: schedule_gemm_conv(&scheme, shape).cycles(model),
+        warm_millis: schedule_gemm_conv_prepacked(&scheme, shape).millis(model),
+    }];
+    if !bits.uses_mla_scheme() {
+        out.push(ArmCandidate {
+            algo: ArmAlgo::GemmNarrow,
+            cold_cycles: schedule_gemm_conv_narrow(&scheme, shape).cycles(model),
+            warm_millis: schedule_gemm_conv_narrow_prepacked(&scheme, shape).millis(model),
+        });
+    }
+    if winograd_supported(bits) && shape.winograd_applicable() {
+        let sched = schedule_winograd_conv(bits, shape);
+        out.push(ArmCandidate {
+            algo: ArmAlgo::Winograd,
+            cold_cycles: sched.cycles(model),
+            warm_millis: sched.millis(model),
+        });
+    }
+    out
+}
+
+/// Resolves `Auto` the way the paper's offline phase does: the first
+/// enumerated candidate wins ties, later ones must be strictly cheaper on
+/// the cold metric (this exactly reproduces the engine's historical
+/// `select_algo`).
+pub fn select_arm_algo(model: &CostModel, bits: BitWidth, shape: &ConvShape) -> ArmAlgo {
+    let candidates = arm_candidates(model, bits, shape);
+    let mut best = candidates[0];
+    for c in &candidates[1..] {
+        if c.cold_cycles < best.cold_cycles {
+            best = *c;
+        }
+    }
+    best.algo
+}
+
+/// Advisory workspace high-water sizing for an ARM layer: an analytic upper
+/// estimate of the arena bytes the prepacked path touches (im2col matrix,
+/// column-major i32 result, packed B panels). Algorithms that do not run
+/// through the shared arena report 0.
+pub fn arm_workspace_bytes(shape: &ConvShape, algo: ArmAlgo) -> usize {
+    let (m, k, n) = (shape.gemm_m(), shape.gemm_k(), shape.gemm_n());
+    match algo {
+        ArmAlgo::Gemm | ArmAlgo::GemmNarrow => k * n + 4 * m * n + 4 * k,
+        ArmAlgo::GemmSdot => k * n + 4 * m * n + k.next_multiple_of(4) * n,
+        _ => 0,
+    }
+}
+
+/// The steady-state millis the ARM engine models for a concrete algorithm
+/// (mirrors `ArmEngine::estimate_millis` for non-`Auto` algorithms).
+fn arm_warm_millis(model: &CostModel, bits: BitWidth, shape: &ConvShape, algo: ArmAlgo) -> f64 {
+    match algo {
+        ArmAlgo::Gemm => schedule_gemm_conv_prepacked(&Scheme::for_bits(bits), shape),
+        ArmAlgo::GemmNarrow => schedule_gemm_conv_narrow_prepacked(&Scheme::for_bits(bits), shape),
+        ArmAlgo::GemmSdot => schedule_gemm_conv_sdot_prepacked(shape),
+        ArmAlgo::Winograd => schedule_winograd_conv(bits, shape),
+        ArmAlgo::NcnnBaseline => schedule_ncnn_conv(shape),
+        ArmAlgo::BitserialBaseline => schedule_bitserial_conv(shape),
+        ArmAlgo::Auto => unreachable!("plans never carry Auto"),
+    }
+    .millis(model)
+}
+
+/// Compiles networks into execution plans over the registered backends.
+///
+/// With one backend the planner resolves the per-layer algorithm choice on
+/// it; with both it additionally cost-ranks the backends against each other
+/// per layer, falling back to ARM for bit widths the GPU's Tensor Core path
+/// cannot serve.
+#[derive(Clone, Debug, Default)]
+pub struct Planner {
+    arm: Option<ArmEngine>,
+    gpu: Option<(GpuEngine, Tuning)>,
+}
+
+impl Planner {
+    /// An empty planner; register backends with [`Planner::with_arm`] /
+    /// [`Planner::with_gpu`].
+    pub fn new() -> Planner {
+        Planner::default()
+    }
+
+    /// Registers the ARM backend (clones share the engine's caches).
+    pub fn with_arm(mut self, engine: &ArmEngine) -> Planner {
+        self.arm = Some(engine.clone());
+        self
+    }
+
+    /// Registers the GPU backend with its tiling policy.
+    pub fn with_gpu(mut self, engine: &GpuEngine, tuning: Tuning) -> Planner {
+        self.gpu = Some((engine.clone(), tuning));
+        self
+    }
+
+    /// An ARM-only planner.
+    pub fn for_arm(engine: &ArmEngine) -> Planner {
+        Planner::new().with_arm(engine)
+    }
+
+    /// A GPU-only planner.
+    pub fn for_gpu(engine: &GpuEngine, tuning: Tuning) -> Planner {
+        Planner::new().with_gpu(engine, tuning)
+    }
+
+    /// Plans one layer on the ARM backend. `algo` forces a kernel;
+    /// `ArmAlgo::Auto` (or `None`) enumerates and cost-ranks.
+    fn plan_arm_layer(
+        engine: &ArmEngine,
+        name: &str,
+        shape: &ConvShape,
+        bits: BitWidth,
+        weights: &lowbit_tensor::QTensor,
+        epilogue: Epilogue,
+    ) -> LayerPlan {
+        let algo = select_arm_algo(engine.model(), bits, shape);
+        LayerPlan {
+            name: name.to_string(),
+            shape: *shape,
+            bits,
+            backend: BackendKind::Arm,
+            algo: PlanAlgo::Arm(algo),
+            prepack_fingerprint: prepack_fingerprint(weights, algo),
+            workspace_bytes: arm_workspace_bytes(shape, algo),
+            predicted_millis: arm_warm_millis(engine.model(), bits, shape, algo),
+            epilogue,
+        }
+    }
+
+    /// Plans one layer on the GPU backend, or reports the width unsupported.
+    fn plan_gpu_layer(
+        engine: &GpuEngine,
+        tuning: Tuning,
+        name: &str,
+        shape: &ConvShape,
+        bits: BitWidth,
+        epilogue: Epilogue,
+    ) -> Result<LayerPlan, CoreError> {
+        let precision = GpuEngine::precision_for(bits).ok_or(CoreError::UnsupportedBitWidth {
+            bits,
+            backend: BackendKind::GpuModel,
+        })?;
+        let cfg = match tuning {
+            Tuning::Default => default_config(precision),
+            Tuning::AutoSearch => auto_search(shape, precision, engine.device()).0,
+            Tuning::Fixed(cfg) => cfg,
+        };
+        let time = ConvGpuPlan::new(*shape, cfg, precision).time(engine.device());
+        Ok(LayerPlan {
+            name: name.to_string(),
+            shape: *shape,
+            bits,
+            backend: BackendKind::GpuModel,
+            algo: PlanAlgo::GpuImplicitGemm(cfg),
+            prepack_fingerprint: None,
+            workspace_bytes: 0,
+            predicted_millis: time.total_s * 1e3,
+            epilogue,
+        })
+    }
+
+    /// Compiles `net` into an execution plan.
+    ///
+    /// Per layer: enumerate candidates on every registered backend, rank by
+    /// modeled time, commit the winner. A GPU-only planner fails with
+    /// [`CoreError::UnsupportedBitWidth`] on widths outside the Tensor Core
+    /// paths; a planner that also has ARM falls back to it instead.
+    pub fn compile(&self, net: &Network) -> Result<ExecutionPlan, CoreError> {
+        if self.arm.is_none() && self.gpu.is_none() {
+            return Err(CoreError::MissingBackend {
+                backend: BackendKind::Arm,
+            });
+        }
+        let mut layers = Vec::with_capacity(net.layers().len());
+        for layer in net.layers() {
+            let bits = layer.weights.bits();
+            let epilogue = Epilogue {
+                bias: layer.bias.clone(),
+                requant: layer.requant,
+                relu: layer.relu,
+            };
+            let arm_plan = self.arm.as_ref().map(|engine| {
+                Self::plan_arm_layer(engine, &layer.name, &layer.shape, bits, &layer.weights, epilogue.clone())
+            });
+            let gpu_plan = match &self.gpu {
+                Some((engine, tuning)) => {
+                    match Self::plan_gpu_layer(engine, *tuning, &layer.name, &layer.shape, bits, epilogue) {
+                        Ok(plan) => Some(plan),
+                        // Precision fallback: with an ARM backend registered,
+                        // widths outside the Tensor Core paths route there.
+                        Err(e) if arm_plan.is_some() => {
+                            debug_assert!(matches!(e, CoreError::UnsupportedBitWidth { .. }));
+                            None
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                None => None,
+            };
+            let chosen = match (arm_plan, gpu_plan) {
+                (Some(a), Some(g)) => {
+                    if g.predicted_millis < a.predicted_millis {
+                        g
+                    } else {
+                        a
+                    }
+                }
+                (Some(a), None) => a,
+                (None, Some(g)) => g,
+                (None, None) => unreachable!("at least one backend is registered"),
+            };
+            layers.push(chosen);
+        }
+        Ok(ExecutionPlan::new(layers))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowbit_tensor::BitWidth;
+
+    #[test]
+    fn empty_planner_reports_missing_backend() {
+        let net = Network::demo(BitWidth::W4, 12, 9);
+        assert!(matches!(
+            Planner::new().compile(&net),
+            Err(CoreError::MissingBackend { .. })
+        ));
+    }
+
+    #[test]
+    fn arm_plan_matches_legacy_selection_and_estimate() {
+        let engine = ArmEngine::cortex_a53();
+        for bits in BitWidth::ALL {
+            let net = Network::demo(bits, 12, 9);
+            let plan = Planner::for_arm(&engine).compile(&net).unwrap();
+            assert_eq!(plan.layers().len(), 3);
+            for (lp, layer) in plan.layers().iter().zip(net.layers()) {
+                let legacy = engine.select_algo(bits, &layer.shape);
+                assert_eq!(lp.algo, PlanAlgo::Arm(legacy), "{bits} {}", lp.name);
+                let est = engine.estimate_millis(bits, &layer.shape, legacy);
+                assert!((lp.predicted_millis - est).abs() < 1e-12);
+                assert_eq!(lp.backend, BackendKind::Arm);
+            }
+            let est_total: f64 = net
+                .layers()
+                .iter()
+                .map(|l| engine.estimate_millis(bits, &l.shape, ArmAlgo::Auto))
+                .sum();
+            assert!((plan.predicted_millis() - est_total).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gemm_family_layers_carry_fingerprint_and_workspace() {
+        let engine = ArmEngine::cortex_a53();
+        let net = Network::demo(BitWidth::W4, 12, 9);
+        let plan = Planner::for_arm(&engine).compile(&net).unwrap();
+        for lp in plan.layers() {
+            match lp.algo {
+                PlanAlgo::Arm(ArmAlgo::Gemm | ArmAlgo::GemmNarrow | ArmAlgo::GemmSdot) => {
+                    assert!(lp.prepack_fingerprint.is_some(), "{}", lp.name);
+                    assert!(lp.workspace_bytes > 0, "{}", lp.name);
+                }
+                _ => assert!(lp.prepack_fingerprint.is_none(), "{}", lp.name),
+            }
+        }
+    }
+
+    #[test]
+    fn gpu_only_planner_rejects_odd_widths() {
+        let gpu = GpuEngine::rtx2080ti();
+        let net = Network::demo(BitWidth::W5, 12, 9);
+        let err = Planner::for_gpu(&gpu, Tuning::Default).compile(&net).unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::UnsupportedBitWidth { bits: BitWidth::W5, backend: BackendKind::GpuModel }
+        ));
+    }
+}

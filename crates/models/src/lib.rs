@@ -161,6 +161,56 @@ pub fn resnet50_with_counts() -> Vec<(LayerDef, usize)> {
     ]
 }
 
+/// The three-layer demo chain used across examples, tests and the plan
+/// golden file: a 3->8 3x3/s1 conv at `hw`, an 8->16 3x3/s2 downsample, and
+/// a 16->8 1x1 projection at the downsampled size. This is the single source
+/// of the demo geometry — `lowbit::Network::demo` attaches weights and
+/// re-quantization on top of these shapes.
+pub fn demo(hw: usize) -> Vec<LayerDef> {
+    let l2 = ConvShape {
+        batch: 1,
+        c_in: 8,
+        h: hw,
+        w: hw,
+        c_out: 16,
+        kh: 3,
+        kw: 3,
+        stride: 2,
+        pad: 1,
+    };
+    vec![
+        LayerDef {
+            name: "conv1",
+            shape: ConvShape {
+                batch: 1,
+                c_in: 3,
+                h: hw,
+                w: hw,
+                c_out: 8,
+                kh: 3,
+                kw: 3,
+                stride: 1,
+                pad: 1,
+            },
+        },
+        LayerDef { name: "conv2", shape: l2 },
+        LayerDef {
+            name: "conv3",
+            shape: ConvShape {
+                batch: 1,
+                c_in: 16,
+                h: l2.out_h(),
+                w: l2.out_w(),
+                c_out: 8,
+                kh: 1,
+                kw: 1,
+                stride: 1,
+                pad: 0,
+            },
+        },
+    ]
+}
+
 /// All 3x3 stride-1 layers of a table (the Winograd-applicable subset used
 /// by Fig. 8).
 pub fn winograd_layers(layers: &[LayerDef]) -> Vec<LayerDef> {
@@ -253,6 +303,22 @@ mod tests {
         // distinct-shape table (the paper's 19 shapes omit it too).
         let layers: usize = resnet50_with_counts().iter().map(|(_, c)| c).sum();
         assert_eq!(layers, 52);
+    }
+
+    #[test]
+    fn demo_chain_is_consistent_at_any_resolution() {
+        for hw in [10, 12, 16] {
+            let d = demo(hw);
+            assert_eq!(d.len(), 3);
+            assert_eq!(d[0].name, "conv1");
+            for w in d.windows(2) {
+                assert_eq!(w[0].shape.c_out, w[1].shape.c_in);
+                assert_eq!(
+                    (w[0].shape.out_h(), w[0].shape.out_w()),
+                    (w[1].shape.h, w[1].shape.w)
+                );
+            }
+        }
     }
 
     #[test]

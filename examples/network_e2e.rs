@@ -1,7 +1,10 @@
-//! End-to-end quantized inference through a small sequential network:
-//! float in, quantized all the way through (with fused ReLU truncation),
-//! float out — plus the per-layer algorithm/time breakdown and prepack/
-//! workspace accounting.
+//! End-to-end quantized inference through a small sequential network via
+//! the plan/execute pipeline: the planner compiles the network once
+//! (offline phase — algorithm choice, prepack fingerprints, workspace
+//! sizing), the executor runs the plan (online phase) — float in, quantized
+//! all the way through (with fused ReLU truncation), float out, plus the
+//! per-layer backend/algorithm/time breakdown and prepack/workspace
+//! accounting.
 //!
 //! ```sh
 //! cargo run --release --example network_e2e
@@ -32,8 +35,14 @@ fn main() {
             Layout::Nchw,
             (0..3 * 24 * 24).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
         );
-        let (out, reports, total) = net.run_arm_traced(&engine, &input, &tracer);
-        println!("{bits} network ({} layers):", reports.len());
+        // Offline phase: compile the network once; the plan carries every
+        // per-layer decision. Online phase: execute it (any number of times).
+        let plan = Planner::for_arm(&engine).compile(&net).expect("ARM serves all widths");
+        let run = Executor::for_arm(&engine)
+            .run_traced(&plan, &net, &input, &tracer)
+            .expect("plan compiled from this network");
+        let (out, reports, total) = (run.output, run.reports, run.total_millis);
+        println!("{bits} network ({} layers, predicted {:.3} ms):", reports.len(), plan.predicted_millis());
         for r in &reports {
             let cache = if r.prepack_hits > 0 {
                 "prepack hit"
@@ -43,9 +52,10 @@ fn main() {
                 "no prepack"
             };
             println!(
-                "  {:<8} {:>12} {:>8.3} ms  {:<12} ws +{} B",
+                "  {:<8} {:>9} {:>12} {:>8.3} ms  {:<12} ws +{} B",
                 r.name,
-                format!("{:?}", r.algo),
+                r.backend.to_string(),
+                r.algo.to_string(),
                 r.millis,
                 cache,
                 r.workspace_growth_bytes

@@ -59,4 +59,21 @@ fn main() {
     let arm_sum: i64 = arm_acc.data().iter().map(|&v| v as i64).sum();
     println!("check: accumulator checksums arm={arm_sum} gpu={gpu_sum} (same data, same math)");
     assert_eq!(arm_sum, gpu_sum);
+
+    // --- Whole networks: compile a plan once, execute it many times -----
+    let net = Network::demo(BitWidth::W4, 12, 9);
+    let plan = Planner::for_arm(&arm)
+        .with_gpu(&gpu, Tuning::Default)
+        .compile(&net)
+        .expect("demo network compiles");
+    println!("plan : demo network, {} layers, predicted {:.3} ms", plan.layers().len(), plan.predicted_millis());
+    for l in plan.layers() {
+        println!("       {:<6} -> {} via {}", l.name, l.backend, l.algo);
+    }
+    let input = Tensor::zeros((1, 3, 12, 12), Layout::Nchw);
+    let run = Executor::for_arm(&arm)
+        .with_gpu(&gpu)
+        .run(&plan, &net, &input)
+        .expect("plan executes");
+    println!("       executed: output {:?}, {:.3} modeled ms", run.output.dims(), run.total_millis);
 }

@@ -1,0 +1,34 @@
+//! Golden-file check for the demo network's compiled plan: the planner's
+//! choices (backend, algorithm, predicted millis, prepack fingerprint,
+//! workspace sizing) for `Network::demo(W4, 12, 9)` must match
+//! `tests/golden/plan_demo.json` byte for byte, so any planner or cost-model
+//! change shows up in review as a golden diff.
+//!
+//! Regenerate after an intended change with:
+//! `cargo run --release -p lowbit-bench --bin lowbit-plan -- --json > tests/golden/plan_demo.json`
+
+use lowbit::prelude::*;
+
+#[test]
+fn demo_plan_matches_golden_file() {
+    let net = Network::demo(BitWidth::W4, 12, 9);
+    let plan = Planner::for_arm(&ArmEngine::cortex_a53())
+        .compile(&net)
+        .expect("ARM serves every bit width");
+    let golden = include_str!("golden/plan_demo.json");
+    let current = plan.to_json();
+    assert_eq!(
+        current, golden,
+        "compiled demo plan diverged from tests/golden/plan_demo.json — \
+         if intended, regenerate with: cargo run --release -p lowbit-bench \
+         --bin lowbit-plan -- --json > tests/golden/plan_demo.json"
+    );
+}
+
+#[test]
+fn golden_json_is_well_formed() {
+    let golden = include_str!("golden/plan_demo.json");
+    assert!(golden.contains("\"layers\""));
+    assert!(golden.contains("\"predicted_total_millis\""));
+    assert_eq!(golden.matches("\"name\"").count(), 3, "three demo layers");
+}

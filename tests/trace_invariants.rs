@@ -48,7 +48,11 @@ fn modeled_span_attribution_conserves_layer_millis() {
                 report.name,
                 report.millis
             );
-            let estimate = engine.estimate_millis(bits, &layer.shape, report.algo);
+            let estimate = engine.estimate_millis(
+                bits,
+                &layer.shape,
+                report.arm_algo().expect("demo layers run on the ARM backend"),
+            );
             assert!(
                 (rebuilt - estimate).abs() < 1e-9,
                 "{bits} {}: span attribution {rebuilt} ms != estimate {estimate} ms",
@@ -133,7 +137,8 @@ fn chrome_trace_export_round_trips() {
     let (tracer, sink) = Tracer::recording();
     net.run_arm_traced(&engine, &input, &tracer);
     net.run_arm_traced(&engine, &input, &tracer);
-    net.estimate_gpu_layers_traced(&GpuEngine::rtx2080ti(), Tuning::Default, &tracer);
+    net.estimate_gpu_layers_traced(&GpuEngine::rtx2080ti(), Tuning::Default, &tracer)
+        .expect("demo network is GPU-estimable");
     let json = chrome_trace_json(&sink.capture());
     let v = validate_chrome_trace(&json).expect("export must satisfy its own validator");
     assert!(v.spans > 0 && v.counters > 0 && v.tracks > 1, "non-trivial capture: {v:?}");
