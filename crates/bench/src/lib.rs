@@ -6,6 +6,8 @@
 //! measured on the substrate cost models. See DESIGN.md's per-experiment
 //! index and EXPERIMENTS.md for paper-vs-measured numbers.
 
+#![forbid(unsafe_code)]
+
 pub mod arm_experiments;
 pub mod export;
 pub mod gpu_experiments;

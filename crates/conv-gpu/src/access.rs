@@ -1,0 +1,343 @@
+//! Typed access-descriptor emission: lifts a [`ConvGpuPlan`] into the
+//! warp-access stream and tiling geometry the static verifier reasons over.
+//!
+//! [`crate::implicit_gemm`] carries each Sec. 4.3 memory optimization as an
+//! aggregate knob on the analytic [`turing_sim::KernelDesc`] (an instruction
+//! count, a coalescing factor, a boolean). That is enough to *price* the
+//! kernel but not to *prove* anything about it. This module re-derives, from
+//! the same `TileConfig`/`MemOpts`, the concrete per-lane patterns those
+//! aggregates summarize:
+//!
+//! * [`ConvGpuPlan::tiling_levels`] — the span structure of the Alg. 2
+//!   partition, level by level (grid → warp → `mma` fragment, and the
+//!   `k_tile → k_step → k_mma` reduction staging), mirroring the exact loop
+//!   bounds of [`ConvGpuPlan::execute`];
+//! * [`ConvGpuPlan::access_stream`] — one [`WarpAccess`] per distinct
+//!   global/shared access pattern (thread-lane strides, widths, alignment),
+//!   plus the Fig. 6 register [`StagingSchedule`].
+//!
+//! `lowbit-verify --gpu` consumes both to prove the partition exact, the
+//! reordered shared-memory traffic conflict-free and the double-buffer
+//! schedule hazard-free — see `lowbit_verify::gpu`.
+
+use crate::implicit_gemm::ConvGpuPlan;
+use crate::tiling::TileConfig;
+use turing_sim::{BufOp, MemSpace, Precision, StagingSchedule, WarpAccess};
+
+/// One half-open span `[start, start + len)` of a tiled dimension.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TileSpan {
+    /// First index covered.
+    pub start: usize,
+    /// Indices covered.
+    pub len: usize,
+}
+
+impl TileSpan {
+    /// One past the last index covered.
+    pub fn end(&self) -> usize {
+        self.start + self.len
+    }
+}
+
+/// The Alg. 2 partition, one span list per hierarchy level and dimension.
+/// Only the grid level clips at the ragged edge (the kernel's epilogue
+/// breaks out of the tile at `m`/`n`); every inner level must tile its
+/// parent exactly, because the warp/fragment loops never bounds-check.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TilingLevels {
+    /// GEMM rows per block, clipped to `m`.
+    pub grid_m: Vec<TileSpan>,
+    /// GEMM columns per block, clipped to `n`.
+    pub grid_n: Vec<TileSpan>,
+    /// Warp fragments over `[0, m_tile)` — must be exact.
+    pub warp_m: Vec<TileSpan>,
+    /// Warp fragments over `[0, n_tile)` — must be exact.
+    pub warp_n: Vec<TileSpan>,
+    /// 8-row `mma` tiles over `[0, frag_m)` — must be exact.
+    pub mma_m: Vec<TileSpan>,
+    /// 8-column `mma` tiles over `[0, frag_n)` — must be exact.
+    pub mma_n: Vec<TileSpan>,
+    /// Shared-memory stages over `[0, k_pad)` — must be exact.
+    pub k_tiles: Vec<TileSpan>,
+    /// Register steps over `[0, k_tile)` — must be exact.
+    pub k_steps: Vec<TileSpan>,
+    /// `mma` K depths over `[0, k_step)` — must be exact.
+    pub k_mmas: Vec<TileSpan>,
+    /// GEMM output extent `(m, n)` the grid level must cover.
+    pub output: (usize, usize),
+    /// Padded reduction extent the k stages must cover.
+    pub k_pad: usize,
+}
+
+/// Spans produced by a `for i in 0..extent.div_ceil(tile)` loop whose body
+/// clips at `extent` — exactly the block loop of [`ConvGpuPlan::execute`].
+fn clipped_spans(extent: usize, tile: usize) -> Vec<TileSpan> {
+    (0..extent.div_ceil(tile))
+        .map(|i| TileSpan {
+            start: i * tile,
+            len: tile.min(extent - i * tile),
+        })
+        .collect()
+}
+
+/// Spans produced by a `step_by`-style loop with **no** clipping — the
+/// warp/fragment/k loops, which rely on the parent extent dividing evenly
+/// (the property the verifier must prove rather than assume).
+fn strided_spans(extent: usize, tile: usize) -> Vec<TileSpan> {
+    let mut out = Vec::with_capacity(extent.div_ceil(tile.max(1)));
+    let mut start = 0;
+    while start < extent {
+        out.push(TileSpan { start, len: tile });
+        start += tile;
+    }
+    out
+}
+
+/// The warp-access stream of one plan: every distinct global/shared pattern
+/// the kernel issues per k-iteration, plus the register staging schedule.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct GpuAccessStream {
+    /// Global loads (A gather, B weights) and the epilogue store.
+    pub global: Vec<WarpAccess>,
+    /// Shared-memory tile stores (`STS`).
+    pub smem_stores: Vec<WarpAccess>,
+    /// Shared-memory fragment loads (`LDS`) feeding the `mma`s.
+    pub smem_loads: Vec<WarpAccess>,
+    /// The Fig. 6 register double-buffer schedule (degenerates to a serial
+    /// single-buffer schedule when `double_buffered` is off).
+    pub staging: StagingSchedule,
+}
+
+impl ConvGpuPlan {
+    /// The Alg. 2 span structure, level by level (see [`TilingLevels`]).
+    pub fn tiling_levels(&self) -> TilingLevels {
+        let (m, n, k) = self.gemm_dims();
+        let cfg = &self.cfg;
+        let k_pad = k.next_multiple_of(cfg.k_tile);
+        let (frag_m, frag_n) = cfg.warp_frag();
+        TilingLevels {
+            grid_m: clipped_spans(m, cfg.m_tile),
+            grid_n: clipped_spans(n, cfg.n_tile),
+            warp_m: strided_spans(cfg.m_tile, frag_m.max(1)),
+            warp_n: strided_spans(cfg.n_tile, frag_n.max(1)),
+            mma_m: strided_spans(frag_m, 8),
+            mma_n: strided_spans(frag_n, 8),
+            k_tiles: strided_spans(k_pad, cfg.k_tile),
+            k_steps: strided_spans(cfg.k_tile, cfg.k_step),
+            k_mmas: strided_spans(cfg.k_step, TileConfig::k_mma(self.precision)),
+            output: (m, n),
+            k_pad,
+        }
+    }
+
+    /// Row stride, in bytes, of the operand-major (Fig. 5(b) reordered)
+    /// shared-memory layout: each A row holds `k_tile` elements, each B row
+    /// likewise after the staging transpose.
+    pub fn smem_row_bytes(&self) -> u64 {
+        Precision::operand_bytes(self.precision, self.cfg.k_tile as u64)
+    }
+
+    /// The warp-access stream (see [`GpuAccessStream`]).
+    pub fn access_stream(&self) -> GpuAccessStream {
+        let cfg = &self.cfg;
+        let precision = self.precision;
+        let ebytes = |elems: u64| Precision::operand_bytes(precision, elems);
+        let threads = cfg.threads() as u64;
+
+        // --- Global loads -------------------------------------------------
+        // A is gathered through the precomp offsets: contiguous along the
+        // channel run; B (OHWI weights) is fully contiguous.
+        let load_bytes: u64 = if self.opts.vector_loads { 16 } else { 4 };
+        let a_run = ebytes(self.shape.c_in as u64).max(1);
+        let stage_a = ebytes((cfg.m_tile * cfg.k_tile) as u64);
+        let stage_b = ebytes((cfg.n_tile * cfg.k_tile) as u64);
+        let mut global = vec![
+            WarpAccess {
+                desc: "global load A (activation gather)",
+                space: MemSpace::Global,
+                bytes_per_lane: load_bytes,
+                lane_stride_bytes: load_bytes,
+                align_bytes: if self.opts.vector_loads { 16 } else { 4 },
+                contiguous_run_bytes: a_run,
+                count: stage_a.div_ceil(threads * load_bytes),
+            },
+            WarpAccess {
+                desc: "global load B (weights)",
+                space: MemSpace::Global,
+                bytes_per_lane: load_bytes,
+                lane_stride_bytes: load_bytes,
+                align_bytes: if self.opts.vector_loads { 16 } else { 4 },
+                contiguous_run_bytes: 16,
+                count: stage_b.div_ceil(threads * load_bytes),
+            },
+        ];
+        // Epilogue store: i8 rows when the in-place requantization keeps
+        // i32 traffic off the bus, i32 otherwise; contiguous along c_out.
+        let out_elem: u64 = if self.opts.in_place_epilogue { 1 } else { 4 };
+        global.push(WarpAccess {
+            desc: "global store C (epilogue)",
+            space: MemSpace::Global,
+            bytes_per_lane: 4,
+            lane_stride_bytes: 4,
+            align_bytes: 4,
+            contiguous_run_bytes: (self.shape.c_out as u64 * out_elem).max(1),
+            count: ((cfg.m_tile * cfg.n_tile) as u64 * out_elem).div_ceil(threads * 4),
+        });
+
+        // --- Shared-memory stores -----------------------------------------
+        // Both tiles are staged operand-major (rows of k_tile elements), so
+        // consecutive lanes write consecutive 16-byte chunks.
+        let smem_stores = vec![WarpAccess {
+            desc: "smem store A+B tiles (STS.128)",
+            space: MemSpace::Shared,
+            bytes_per_lane: 16,
+            lane_stride_bytes: 16,
+            align_bytes: 16.min(self.smem_row_bytes()),
+            contiguous_run_bytes: self.smem_row_bytes(),
+            count: (stage_a + stage_b).div_ceil(threads * 16),
+        }];
+
+        // --- Shared-memory fragment loads ---------------------------------
+        // Reordered (Fig. 5(b)): each lane pulls one 16-byte vector of its
+        // fragment's k-run — consecutive lanes hit consecutive vectors.
+        // Unreordered (Fig. 5(a)): the B tile stays [k][n], so a lane needs
+        // four scalar words whose warp pattern strides 16 bytes between
+        // consecutive lanes — the strided pattern the paper's figure shows
+        // serializing four-way on the banks.
+        let frag_bytes = ebytes((cfg.warps_n * cfg.m_tile + cfg.warps_m * cfg.n_tile) as u64)
+            * cfg.k_tile as u64;
+        let smem_loads = if self.opts.smem_reordered {
+            vec![WarpAccess {
+                desc: "smem load fragments (LDS.128, reordered)",
+                space: MemSpace::Shared,
+                bytes_per_lane: 16,
+                lane_stride_bytes: 16,
+                align_bytes: 16.min(self.smem_row_bytes()),
+                contiguous_run_bytes: self.smem_row_bytes(),
+                count: frag_bytes.div_ceil(threads * 16),
+            }]
+        } else {
+            vec![WarpAccess {
+                desc: "smem load fragments (4x LDS.32, strided)",
+                space: MemSpace::Shared,
+                bytes_per_lane: 4,
+                lane_stride_bytes: 16,
+                align_bytes: 4,
+                contiguous_run_bytes: 4,
+                count: frag_bytes.div_ceil(threads * 4),
+            }]
+        };
+
+        GpuAccessStream {
+            global,
+            smem_stores,
+            smem_loads,
+            staging: self.staging_schedule(),
+        }
+    }
+
+    /// The register staging schedule of one k-tile iteration.
+    ///
+    /// Double buffered (Fig. 6): the prologue fills slot 0, then each step
+    /// issues the *next* step's load into the other slot before consuming
+    /// its own — that issue-before-consume order is what lets the loads
+    /// overlap the `mma`s, and exactly what the hazard check must prove
+    /// safe. Single buffered: load and consume strictly alternate on one
+    /// slot (the degenerate, serializing schedule).
+    pub fn staging_schedule(&self) -> StagingSchedule {
+        let steps = (self.cfg.k_tile / self.cfg.k_step).max(1);
+        let mut ops = Vec::with_capacity(2 * steps + 1);
+        if self.opts.double_buffered {
+            ops.push(BufOp::Write { buf: 0, step: 0 });
+            for s in 0..steps {
+                if s + 1 < steps {
+                    ops.push(BufOp::Write { buf: (s + 1) % 2, step: s + 1 });
+                }
+                ops.push(BufOp::Read { buf: s % 2, step: s });
+            }
+            StagingSchedule { buffers: 2, steps, ops }
+        } else {
+            for s in 0..steps {
+                ops.push(BufOp::Write { buf: 0, step: s });
+                ops.push(BufOp::Read { buf: 0, step: s });
+            }
+            StagingSchedule { buffers: 1, steps, ops }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowbit_tensor::ConvShape;
+
+    fn plan() -> ConvGpuPlan {
+        let shape = ConvShape::new(1, 32, 14, 14, 48, 3, 1, 1);
+        let cfg = TileConfig {
+            m_tile: 64, n_tile: 32, k_tile: 64, k_step: 32, warps_m: 2, warps_n: 1,
+        };
+        ConvGpuPlan::new(shape, cfg, Precision::TensorCoreInt8)
+    }
+
+    #[test]
+    fn tiling_levels_mirror_the_execute_loops() {
+        let p = plan();
+        let t = p.tiling_levels();
+        let (m, n, k) = p.gemm_dims();
+        assert_eq!(t.output, (m, n));
+        assert_eq!(t.grid_m.len(), m.div_ceil(64));
+        // The ragged edge is clipped, interior tiles are full.
+        assert_eq!(t.grid_m.last().unwrap().end(), m);
+        assert_eq!(t.grid_m[0].len, 64);
+        // Inner levels are exact.
+        assert_eq!(t.warp_m.len(), 2);
+        assert_eq!(t.mma_m.len(), 4); // frag_m 32 / 8
+        assert_eq!(t.k_pad, k.next_multiple_of(64));
+        assert_eq!(t.k_tiles.len(), t.k_pad / 64);
+        assert_eq!(t.k_steps.len(), 2);
+        assert_eq!(t.k_mmas.len(), 2); // k_step 32 / k_mma 16
+    }
+
+    #[test]
+    fn reordered_loads_are_wide_and_unreordered_loads_stride() {
+        let mut p = plan();
+        let reordered = p.access_stream();
+        assert_eq!(reordered.smem_loads[0].bytes_per_lane, 16);
+        assert_eq!(reordered.smem_loads[0].bank_conflict_degree(), 1);
+        p.opts.smem_reordered = false;
+        let strided = p.access_stream();
+        assert_eq!(strided.smem_loads[0].bytes_per_lane, 4);
+        assert_eq!(strided.smem_loads[0].lane_stride_bytes, 16);
+        assert_eq!(strided.smem_loads[0].bank_conflict_degree(), 4);
+    }
+
+    #[test]
+    fn staging_schedule_shapes_follow_the_toggle() {
+        let mut p = plan();
+        let db = p.staging_schedule();
+        assert_eq!((db.buffers, db.steps), (2, 2));
+        // Prologue write, then issue-ahead write before each consume.
+        assert_eq!(
+            db.ops,
+            vec![
+                BufOp::Write { buf: 0, step: 0 },
+                BufOp::Write { buf: 1, step: 1 },
+                BufOp::Read { buf: 0, step: 0 },
+                BufOp::Read { buf: 1, step: 1 },
+            ]
+        );
+        p.opts.double_buffered = false;
+        let serial = p.staging_schedule();
+        assert_eq!((serial.buffers, serial.steps), (1, 2));
+        assert_eq!(
+            serial.ops,
+            vec![
+                BufOp::Write { buf: 0, step: 0 },
+                BufOp::Read { buf: 0, step: 0 },
+                BufOp::Write { buf: 0, step: 1 },
+                BufOp::Read { buf: 0, step: 1 },
+            ]
+        );
+    }
+}

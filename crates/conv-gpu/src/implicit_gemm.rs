@@ -18,7 +18,9 @@ use crate::precomp::Precomp;
 use crate::tiling::TileConfig;
 use lowbit_qnn::RequantParams;
 use lowbit_tensor::{BitWidth, ConvShape, Layout, QTensor, Tensor};
-use turing_sim::memory::{bank_conflict_degree, global_coalescing_factor, smem_load_insts, SmemWidth};
+use turing_sim::memory::{
+    bank_conflict_degree, global_coalescing_factor, smem_load_insts, SmemWidth,
+};
 use turing_sim::mma::{mma_m8n8k16_s8, mma_m8n8k32_s4};
 use turing_sim::{Device, KernelDesc, KernelTime, Precision};
 
@@ -83,17 +85,28 @@ pub struct ConvGpuPlan {
 impl ConvGpuPlan {
     /// Plans our kernel at the given precision with all optimizations on.
     pub fn new(shape: ConvShape, cfg: TileConfig, precision: Precision) -> ConvGpuPlan {
-        assert!(
-            cfg.valid(precision, 64 * 1024),
-            "invalid tile config {cfg:?} for {precision:?}"
-        );
-        ConvGpuPlan {
+        match Self::try_new(shape, cfg, precision) {
+            Ok(plan) => plan,
+            Err(r) => panic!("invalid tile config {cfg:?} for {precision:?}: {r}"),
+        }
+    }
+
+    /// [`ConvGpuPlan::new`] with the validity check surfaced as a typed
+    /// [`TileRejection`] instead of a panic — the constructor plan-time
+    /// callers (the planner, the verifier sweep) use.
+    pub fn try_new(
+        shape: ConvShape,
+        cfg: TileConfig,
+        precision: Precision,
+    ) -> Result<ConvGpuPlan, crate::tiling::TileRejection> {
+        cfg.validate(precision, 64 * 1024)?;
+        Ok(ConvGpuPlan {
             shape,
             cfg,
             precision,
             opts: MemOpts::default(),
             compute_efficiency: 0.45,
-        }
+        })
     }
 
     /// GEMM dimensions `(m, n, k)`.

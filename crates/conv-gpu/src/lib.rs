@@ -19,6 +19,9 @@
 //! * [`baselines`] — cuDNN-like (dp4a) and TensorRT-like (tuned int8 Tensor
 //!   Core) comparison models.
 
+#![forbid(unsafe_code)]
+
+pub mod access;
 pub mod baselines;
 pub mod fusion;
 pub mod implicit_gemm;
@@ -26,7 +29,10 @@ pub mod precomp;
 pub mod tiling;
 pub mod tuning;
 
+pub use access::{GpuAccessStream, TileSpan, TilingLevels};
 pub use implicit_gemm::{ConvGpuPlan, MemOpts};
 pub use precomp::Precomp;
-pub use tiling::TileConfig;
-pub use tuning::{auto_search, default_config, search_space, TuningCache};
+pub use tiling::{TileConfig, TileRejection};
+pub use tuning::{
+    auto_search, default_config, search_space, search_space_stats, SearchStats, TuningCache,
+};

@@ -1,6 +1,131 @@
 //! The data-partition parameters of Sec. 4.2 / Fig. 4.
 
-use turing_sim::Precision;
+use turing_sim::{Precision, MAX_REGS_PER_THREAD, MAX_THREADS_PER_BLOCK, REGS_PER_SM};
+
+/// Why a [`TileConfig`] is not executable: the typed rejection reason
+/// returned by [`TileConfig::validate`] (and tallied by the tuner's search
+/// logs, so a shrinking search space is explainable instead of silent).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TileRejection {
+    /// `warps_m`/`warps_n` must both be positive.
+    ZeroWarps,
+    /// The block tile does not split evenly into `8`-row/column warp
+    /// fragments (`m_tile % (8 * warps_m)` or the `n` analogue is nonzero).
+    WarpShape {
+        /// The offending dimension, `'m'` or `'n'`.
+        dim: char,
+        /// The tile extent in that dimension.
+        tile: usize,
+        /// The warp count in that dimension.
+        warps: usize,
+    },
+    /// A warp fragment smaller than one 8x8 `mma` tile.
+    FragmentTooSmall {
+        /// Fragment rows per warp.
+        frag_m: usize,
+        /// Fragment columns per warp.
+        frag_n: usize,
+    },
+    /// `k_tile` is not a multiple of `k_step`.
+    KStepMisfit {
+        /// K elements staged in shared memory.
+        k_tile: usize,
+        /// K elements held in registers per step.
+        k_step: usize,
+    },
+    /// `k_step` is not a multiple of the precision's `mma` K depth, so the
+    /// operand fragments are illegal for `m8n8k16.s8`/`m8n8k32.s4`.
+    MmaShape {
+        /// K elements per register step.
+        k_step: usize,
+        /// The `mma` K depth the precision requires.
+        k_mma: usize,
+    },
+    /// More threads than a block may launch.
+    TooManyThreads {
+        /// `32 * warps_m * warps_n`.
+        threads: usize,
+    },
+    /// The double-buffered shared-memory stages exceed the device limit.
+    SmemOverLimit {
+        /// Bytes both stages need.
+        need: usize,
+        /// The per-SM capacity.
+        limit: usize,
+    },
+    /// The per-thread register estimate exceeds the ISA limit of 255 —
+    /// such a kernel spills (or fails to compile) rather than running at
+    /// the modeled speed.
+    RegisterPressure {
+        /// Estimated registers per thread.
+        regs: u32,
+    },
+    /// The block's total register footprint exceeds the SM register file,
+    /// so not even one block can become resident.
+    BlockRegisters {
+        /// `regs_per_thread x threads`.
+        regs: u32,
+        /// The register-file size.
+        limit: u32,
+    },
+}
+
+impl TileRejection {
+    /// Short stable tag for tallying rejections in tuning logs.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TileRejection::ZeroWarps => "zero-warps",
+            TileRejection::WarpShape { .. } => "warp-shape",
+            TileRejection::FragmentTooSmall { .. } => "fragment-too-small",
+            TileRejection::KStepMisfit { .. } => "k-step-misfit",
+            TileRejection::MmaShape { .. } => "mma-shape",
+            TileRejection::TooManyThreads { .. } => "too-many-threads",
+            TileRejection::SmemOverLimit { .. } => "smem-over-limit",
+            TileRejection::RegisterPressure { .. } => "register-pressure",
+            TileRejection::BlockRegisters { .. } => "block-registers",
+        }
+    }
+}
+
+impl std::fmt::Display for TileRejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TileRejection::ZeroWarps => write!(f, "warp grid has a zero dimension"),
+            TileRejection::WarpShape { dim, tile, warps } => write!(
+                f,
+                "{dim}_tile {tile} does not split into {warps} warps of 8-aligned fragments"
+            ),
+            TileRejection::FragmentTooSmall { frag_m, frag_n } => write!(
+                f,
+                "warp fragment {frag_m}x{frag_n} smaller than one 8x8 mma tile"
+            ),
+            TileRejection::KStepMisfit { k_tile, k_step } => {
+                write!(f, "k_tile {k_tile} is not a multiple of k_step {k_step}")
+            }
+            TileRejection::MmaShape { k_step, k_mma } => write!(
+                f,
+                "k_step {k_step} is not a multiple of the mma K depth {k_mma}"
+            ),
+            TileRejection::TooManyThreads { threads } => {
+                write!(f, "{threads} threads exceed the 1024-thread block limit")
+            }
+            TileRejection::SmemOverLimit { need, limit } => write!(
+                f,
+                "double-buffered stages need {need} B of shared memory, limit {limit} B"
+            ),
+            TileRejection::RegisterPressure { regs } => write!(
+                f,
+                "estimated {regs} registers per thread exceeds the ISA limit of {MAX_REGS_PER_THREAD}"
+            ),
+            TileRejection::BlockRegisters { regs, limit } => write!(
+                f,
+                "block needs {regs} registers, more than the {limit}-register SM file"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TileRejection {}
 
 /// Tiling parameters mapping the implicit GEMM onto the thread hierarchy:
 /// the grid tiles `C` into `MTile x NTile` blocks, each block's warps tile
@@ -57,23 +182,51 @@ impl TileConfig {
         32 + acc + frags + staging
     }
 
-    /// `true` when the configuration is executable for `precision`:
-    /// divisibility down the hierarchy and hardware limits.
-    pub fn valid(&self, precision: Precision, smem_limit: usize) -> bool {
+    /// Checks that the configuration is executable for `precision`:
+    /// divisibility down the hierarchy and hardware limits. Returns the
+    /// first violated constraint as a typed [`TileRejection`].
+    pub fn validate(&self, precision: Precision, smem_limit: usize) -> Result<(), TileRejection> {
         let k_mma = Self::k_mma(precision);
-        let (fm, fn_) = if self.warps_m == 0 || self.warps_n == 0 {
-            return false;
-        } else {
-            (self.m_tile / self.warps_m.max(1), self.n_tile / self.warps_n.max(1))
-        };
-        self.m_tile.is_multiple_of(8 * self.warps_m)
-            && self.n_tile.is_multiple_of(8 * self.warps_n)
-            && self.k_tile.is_multiple_of(self.k_step)
-            && self.k_step.is_multiple_of(k_mma)
-            && self.threads() <= 1024
-            && fm >= 8
-            && fn_ >= 8
-            && self.smem_stage_bytes(precision) * 2 <= smem_limit
+        if self.warps_m == 0 || self.warps_n == 0 {
+            return Err(TileRejection::ZeroWarps);
+        }
+        if !self.m_tile.is_multiple_of(8 * self.warps_m) {
+            return Err(TileRejection::WarpShape { dim: 'm', tile: self.m_tile, warps: self.warps_m });
+        }
+        if !self.n_tile.is_multiple_of(8 * self.warps_n) {
+            return Err(TileRejection::WarpShape { dim: 'n', tile: self.n_tile, warps: self.warps_n });
+        }
+        if self.k_step == 0 || !self.k_tile.is_multiple_of(self.k_step) {
+            return Err(TileRejection::KStepMisfit { k_tile: self.k_tile, k_step: self.k_step });
+        }
+        if !self.k_step.is_multiple_of(k_mma) {
+            return Err(TileRejection::MmaShape { k_step: self.k_step, k_mma });
+        }
+        if self.threads() > MAX_THREADS_PER_BLOCK as usize {
+            return Err(TileRejection::TooManyThreads { threads: self.threads() });
+        }
+        let (fm, fn_) = self.warp_frag();
+        if fm < 8 || fn_ < 8 {
+            return Err(TileRejection::FragmentTooSmall { frag_m: fm, frag_n: fn_ });
+        }
+        let need = self.smem_stage_bytes(precision) * 2;
+        if need > smem_limit {
+            return Err(TileRejection::SmemOverLimit { need, limit: smem_limit });
+        }
+        let regs = self.regs_per_thread(true);
+        if regs > MAX_REGS_PER_THREAD {
+            return Err(TileRejection::RegisterPressure { regs });
+        }
+        let block_regs = regs * self.threads() as u32;
+        if block_regs > REGS_PER_SM {
+            return Err(TileRejection::BlockRegisters { regs: block_regs, limit: REGS_PER_SM });
+        }
+        Ok(())
+    }
+
+    /// `true` when [`TileConfig::validate`] accepts the configuration.
+    pub fn valid(&self, precision: Precision, smem_limit: usize) -> bool {
+        self.validate(precision, smem_limit).is_ok()
     }
 }
 
@@ -106,10 +259,10 @@ mod tests {
 
     #[test]
     fn smem_limit_rejects_oversized_stages() {
-        // (256 + 256) * 128 bytes * 2 stages = 128 KB > 64 KB.
-        let c = cfg(256, 256, 128, 32, 4, 4);
+        // (64 + 64) * 512 bytes * 2 stages = 128 KB > 64 KB.
+        let c = cfg(64, 64, 512, 32, 2, 2);
         assert!(!c.valid(Precision::TensorCoreInt8, SMEM));
-        // At int4 the same stage halves and fits.
+        // At int4 the same stage halves and exactly fits.
         assert!(c.valid(Precision::TensorCoreInt4, SMEM));
     }
 
@@ -126,6 +279,68 @@ mod tests {
         assert_eq!(
             c.smem_stage_bytes(Precision::TensorCoreInt4) * 2,
             c.smem_stage_bytes(Precision::TensorCoreInt8)
+        );
+    }
+
+    #[test]
+    fn rejection_reasons_are_typed() {
+        let p = Precision::TensorCoreInt8;
+        assert_eq!(
+            cfg(128, 128, 64, 32, 0, 2).validate(p, SMEM),
+            Err(TileRejection::ZeroWarps)
+        );
+        assert_eq!(
+            cfg(100, 128, 64, 32, 2, 2).validate(p, SMEM),
+            Err(TileRejection::WarpShape { dim: 'm', tile: 100, warps: 2 })
+        );
+        assert_eq!(
+            cfg(128, 128, 48, 32, 2, 2).validate(p, SMEM),
+            Err(TileRejection::KStepMisfit { k_tile: 48, k_step: 32 })
+        );
+        assert_eq!(
+            cfg(64, 64, 64, 16, 2, 2).validate(Precision::TensorCoreInt4, SMEM),
+            Err(TileRejection::MmaShape { k_step: 16, k_mma: 32 })
+        );
+        assert_eq!(
+            cfg(512, 512, 64, 32, 8, 8).validate(p, SMEM),
+            Err(TileRejection::TooManyThreads { threads: 2048 })
+        );
+        // Divisibility by 8*warps implies fragments of at least 8, so the
+        // fragment check only catches degenerate zero-extent tiles.
+        assert_eq!(
+            cfg(0, 64, 64, 16, 1, 1).validate(p, SMEM),
+            Err(TileRejection::FragmentTooSmall { frag_m: 0, frag_n: 64 })
+        );
+        assert_eq!(
+            cfg(16, 16, 64, 16, 4, 4).validate(p, SMEM),
+            Err(TileRejection::WarpShape { dim: 'm', tile: 16, warps: 4 })
+        );
+        assert_eq!(
+            cfg(256, 256, 128, 32, 4, 4).validate(p, SMEM),
+            Err(TileRejection::SmemOverLimit { need: 128 * 1024, limit: SMEM })
+        );
+        // A giant per-warp fragment: the C accumulators alone blow the
+        // 255-register encoding limit, so the config must be rejected even
+        // though every divisibility constraint holds.
+        let fat = cfg(256, 256, 32, 16, 1, 1);
+        assert!(matches!(
+            fat.validate(p, SMEM),
+            Err(TileRejection::RegisterPressure { .. })
+        ));
+        // Each rejection renders a human-readable reason with a stable tag.
+        let r = fat.validate(p, SMEM).unwrap_err();
+        assert_eq!(r.kind(), "register-pressure");
+        assert!(r.to_string().contains("registers per thread"));
+        // Per-thread registers fit, but 16 warps of them cannot co-reside:
+        // not even one such block fits the 64K-register file.
+        let wide = cfg(256, 256, 32, 32, 4, 4);
+        assert!(matches!(
+            wide.validate(Precision::TensorCoreInt4, SMEM),
+            Err(TileRejection::BlockRegisters { regs, limit: 65536 }) if regs > 65536
+        ));
+        assert_eq!(
+            wide.validate(Precision::TensorCoreInt4, SMEM).unwrap_err().kind(),
+            "block-registers"
         );
     }
 

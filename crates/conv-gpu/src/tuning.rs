@@ -25,10 +25,46 @@ pub fn default_config(precision: Precision) -> TileConfig {
     }
 }
 
+/// What the tuner's candidate enumeration saw: how many template
+/// instantiations survived and why the rest were rejected, tallied by
+/// [`crate::tiling::TileRejection::kind`]. Surfaced in tuning logs and the
+/// `lowbit-verify --gpu` report so a shrinking search space is explainable.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct SearchStats {
+    /// Configurations that entered the search.
+    pub accepted: usize,
+    /// Rejection tallies, keyed by the typed reason's stable tag.
+    pub rejected: std::collections::BTreeMap<&'static str, usize>,
+}
+
+impl SearchStats {
+    /// Total configurations enumerated (accepted + rejected).
+    pub fn enumerated(&self) -> usize {
+        self.accepted + self.rejected.values().sum::<usize>()
+    }
+}
+
+impl std::fmt::Display for SearchStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{} configs valid", self.accepted, self.enumerated())?;
+        for (kind, n) in &self.rejected {
+            write!(f, ", {n} {kind}")?;
+        }
+        Ok(())
+    }
+}
+
 /// Enumerates the valid search space for a precision (the template
 /// instantiations of Sec. 5.1).
 pub fn search_space(precision: Precision) -> Vec<TileConfig> {
+    search_space_stats(precision).0
+}
+
+/// [`search_space`] plus the typed rejection tally for everything the
+/// enumeration filtered out.
+pub fn search_space_stats(precision: Precision) -> (Vec<TileConfig>, SearchStats) {
     let mut out = Vec::new();
+    let mut stats = SearchStats::default();
     let k_mma = TileConfig::k_mma(precision);
     for &m_tile in &[16, 32, 64, 128, 256] {
         for &n_tile in &[16, 32, 64, 128, 256] {
@@ -45,15 +81,19 @@ pub fn search_space(precision: Precision) -> Vec<TileConfig> {
                             warps_m,
                             warps_n,
                         };
-                        if cfg.valid(precision, 64 * 1024) {
-                            out.push(cfg);
+                        match cfg.validate(precision, 64 * 1024) {
+                            Ok(()) => {
+                                stats.accepted += 1;
+                                out.push(cfg);
+                            }
+                            Err(r) => *stats.rejected.entry(r.kind()).or_insert(0) += 1,
                         }
                     }
                 }
             }
         }
     }
-    out
+    (out, stats)
 }
 
 /// Profile-run auto-search: returns the best configuration and its modeled

@@ -5,6 +5,7 @@
 
 use crate::plan::BackendKind;
 use lowbit_tensor::BitWidth;
+use lowbit_verify::GpuViolation;
 
 /// Everything that can go wrong while validating, planning or executing a
 /// network.
@@ -65,6 +66,17 @@ pub enum CoreError {
         /// The backend that cannot serve it.
         backend: BackendKind,
     },
+    /// A GPU layer failed the static verifier at plan time — invalid tile
+    /// configuration, broken tiling geometry, a bank conflict, a staging
+    /// hazard or a resource overflow. The plan would not be executable, so
+    /// compilation stops with the verifier's counterexample instead of
+    /// panicking later.
+    GpuPlanRejected {
+        /// The offending layer.
+        layer: String,
+        /// The typed counterexample from `lowbit_verify::gpu`.
+        violation: GpuViolation,
+    },
     /// The plan routes a layer to a backend the planner/executor was not
     /// given an engine for.
     MissingBackend {
@@ -105,6 +117,9 @@ impl std::fmt::Display for CoreError {
             ),
             CoreError::UnsupportedBitWidth { bits, backend } => {
                 write!(f, "the {backend} backend has no kernel for {bits}")
+            }
+            CoreError::GpuPlanRejected { layer, violation } => {
+                write!(f, "{layer}: GPU plan rejected by the static verifier: {violation}")
             }
             CoreError::MissingBackend { backend } => {
                 write!(f, "no {backend} engine was registered")

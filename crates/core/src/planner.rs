@@ -199,7 +199,18 @@ impl Planner {
             Tuning::AutoSearch => auto_search(shape, precision, engine.device()).0,
             Tuning::Fixed(cfg) => cfg,
         };
-        let time = ConvGpuPlan::new(*shape, cfg, precision).time(engine.device());
+        // Every committed GPU plan carries a static proof: tiling geometry,
+        // shared-memory discipline, staging hazards, launch resources. A
+        // hand-built `Tuning::Fixed` config that cannot be proven is a typed
+        // error here instead of a panic inside the engine.
+        let rejected = |violation| CoreError::GpuPlanRejected {
+            layer: name.to_string(),
+            violation,
+        };
+        let plan = ConvGpuPlan::try_new(*shape, cfg, precision)
+            .map_err(|r| rejected(lowbit_verify::GpuViolation::InvalidTile(r)))?;
+        lowbit_verify::verify_gpu_plan(&plan, engine.device()).map_err(rejected)?;
+        let time = plan.time(engine.device());
         Ok(LayerPlan {
             name: name.to_string(),
             shape: *shape,
@@ -241,11 +252,11 @@ impl Planner {
                     match Self::plan_gpu_layer(engine, *tuning, &layer.name, &layer.shape, bits, epilogue) {
                         Ok(plan) => Some(plan),
                         // Precision fallback: with an ARM backend registered,
-                        // widths outside the Tensor Core paths route there.
-                        Err(e) if arm_plan.is_some() => {
-                            debug_assert!(matches!(e, CoreError::UnsupportedBitWidth { .. }));
-                            None
-                        }
+                        // widths outside the Tensor Core paths route there. A
+                        // verifier rejection is NOT recoverable — the caller
+                        // asked for a specific GPU configuration and must see
+                        // the counterexample.
+                        Err(CoreError::UnsupportedBitWidth { .. }) if arm_plan.is_some() => None,
                         Err(e) => return Err(e),
                     }
                 }
@@ -318,6 +329,49 @@ mod tests {
                     assert!(lp.workspace_bytes > 0, "{}", lp.name);
                 }
                 _ => assert!(lp.prepack_fingerprint.is_none(), "{}", lp.name),
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_invalid_tile_config_is_a_typed_error_not_a_panic() {
+        use lowbit_conv_gpu::{TileConfig, TileRejection};
+        use lowbit_verify::GpuViolation;
+        let gpu = GpuEngine::rtx2080ti();
+        let arm = ArmEngine::cortex_a53();
+        let net = Network::demo(BitWidth::W8, 12, 9);
+        // m_tile 100 does not split into 8-aligned warp fragments.
+        let bad = TileConfig {
+            m_tile: 100, n_tile: 64, k_tile: 64, k_step: 32, warps_m: 2, warps_n: 2,
+        };
+        let err = Planner::for_gpu(&gpu, Tuning::Fixed(bad)).compile(&net).unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::GpuPlanRejected {
+                ref layer,
+                violation: GpuViolation::InvalidTile(TileRejection::WarpShape { dim: 'm', .. }),
+            } if layer == "conv1"
+        ));
+        assert!(err.to_string().contains("static verifier"));
+        // Even with an ARM fallback registered, a rejected explicit GPU
+        // config must surface, not silently reroute.
+        let err = Planner::new()
+            .with_arm(&arm)
+            .with_gpu(&gpu, Tuning::Fixed(bad))
+            .compile(&net)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::GpuPlanRejected { .. }));
+    }
+
+    #[test]
+    fn compiled_gpu_plans_are_verified_plans() {
+        // Default and auto-search tunings must always survive the verifier.
+        let gpu = GpuEngine::rtx2080ti();
+        for tuning in [Tuning::Default, Tuning::AutoSearch] {
+            for bits in [BitWidth::W4, BitWidth::W8] {
+                let net = Network::demo(bits, 12, 9);
+                let plan = Planner::for_gpu(&gpu, tuning).compile(&net).unwrap();
+                assert_eq!(plan.layers().len(), 3);
             }
         }
     }

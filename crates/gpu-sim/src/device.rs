@@ -61,7 +61,7 @@ impl Device {
             clock_hz: 1.545e9,
             dram_bytes_per_sec: 616e9,
             smem_per_sm: 64 * 1024,
-            regs_per_sm: 65536,
+            regs_per_sm: crate::kernel::REGS_PER_SM,
             max_threads_per_sm: 1024,
             max_blocks_per_sm: 16,
             // 8 TCs x 64 FP16 FMA, x2 for int8, x4 for int4.

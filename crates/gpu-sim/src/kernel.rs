@@ -73,7 +73,108 @@ impl KernelTime {
     }
 }
 
+/// A launch descriptor that cannot run on the device: which hardware limit
+/// it exceeds. Returned by [`KernelDesc::check_resources`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ResourceViolation {
+    /// More threads per block than the hardware block limit (1024).
+    ThreadsPerBlock {
+        /// Requested threads.
+        threads: u32,
+        /// The hardware limit.
+        limit: u32,
+    },
+    /// Static shared memory request exceeds the per-SM capacity.
+    SmemPerBlock {
+        /// Requested bytes.
+        bytes: u32,
+        /// The device's shared memory per SM.
+        limit: u32,
+    },
+    /// Per-thread register count exceeds the ISA encoding limit (255).
+    RegsPerThread {
+        /// Requested registers.
+        regs: u32,
+        /// The architectural limit.
+        limit: u32,
+    },
+    /// The block's total register footprint exceeds the SM register file.
+    RegsPerBlock {
+        /// `regs_per_thread x threads_per_block`.
+        regs: u32,
+        /// The device's register file size.
+        limit: u32,
+    },
+}
+
+impl std::fmt::Display for ResourceViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResourceViolation::ThreadsPerBlock { threads, limit } => {
+                write!(f, "{threads} threads per block exceeds the {limit}-thread limit")
+            }
+            ResourceViolation::SmemPerBlock { bytes, limit } => {
+                write!(f, "{bytes} B of shared memory exceeds the {limit} B per-SM capacity")
+            }
+            ResourceViolation::RegsPerThread { regs, limit } => {
+                write!(f, "{regs} registers per thread exceeds the ISA limit of {limit}")
+            }
+            ResourceViolation::RegsPerBlock { regs, limit } => {
+                write!(f, "{regs} registers per block exceeds the {limit}-register file")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ResourceViolation {}
+
+/// The ISA register-index encoding limit (SASS encodes 8-bit register
+/// indices; R255 is reserved as RZ).
+pub const MAX_REGS_PER_THREAD: u32 = 255;
+
+/// The hardware threads-per-block launch limit.
+pub const MAX_THREADS_PER_BLOCK: u32 = 1024;
+
+/// 32-bit registers per SM (the Volta/Turing/Ampere register-file size;
+/// [`Device::rtx2080ti`] uses the same value, and the tile-config gate in
+/// `lowbit-conv-gpu` rejects blocks that cannot fit it).
+pub const REGS_PER_SM: u32 = 65536;
+
 impl KernelDesc {
+    /// Checks the descriptor against the device's hard launch limits: a
+    /// kernel over any of these would fail to launch (or fail to compile)
+    /// rather than run slowly — which is why the occupancy model in
+    /// [`KernelDesc::time`] must never see such a descriptor.
+    pub fn check_resources(&self, device: &Device) -> Result<(), ResourceViolation> {
+        let thread_limit = MAX_THREADS_PER_BLOCK.min(device.max_threads_per_sm);
+        if self.threads_per_block > thread_limit {
+            return Err(ResourceViolation::ThreadsPerBlock {
+                threads: self.threads_per_block,
+                limit: thread_limit,
+            });
+        }
+        if self.smem_per_block > device.smem_per_sm {
+            return Err(ResourceViolation::SmemPerBlock {
+                bytes: self.smem_per_block,
+                limit: device.smem_per_sm,
+            });
+        }
+        if self.regs_per_thread > MAX_REGS_PER_THREAD {
+            return Err(ResourceViolation::RegsPerThread {
+                regs: self.regs_per_thread,
+                limit: MAX_REGS_PER_THREAD,
+            });
+        }
+        let block_regs = self.regs_per_thread * self.threads_per_block;
+        if block_regs > device.regs_per_sm {
+            return Err(ResourceViolation::RegsPerBlock {
+                regs: block_regs,
+                limit: device.regs_per_sm,
+            });
+        }
+        Ok(())
+    }
+
     /// Models the launch on `device`.
     pub fn time(&self, device: &Device) -> KernelTime {
         assert!(self.grid_blocks > 0, "empty grid");

@@ -17,11 +17,19 @@
 //!   ([`kernel::KernelDesc`]), which is what makes batch-1 tail effects (and
 //!   therefore tiling auto-search) visible.
 
+#![forbid(unsafe_code)]
+
 pub mod device;
 pub mod kernel;
 pub mod memory;
 pub mod mma;
 
 pub use device::{Device, Precision};
-pub use kernel::{KernelDesc, KernelTime};
-pub use memory::{bank_conflict_degree, global_coalescing_factor, smem_load_insts, SmemWidth};
+pub use kernel::{
+    KernelDesc, KernelTime, ResourceViolation, MAX_REGS_PER_THREAD, MAX_THREADS_PER_BLOCK,
+    REGS_PER_SM,
+};
+pub use memory::{
+    bank_conflict_degree, global_coalescing_factor, smem_load_insts, BufOp, MemSpace,
+    SmemWidth, StagingSchedule, WarpAccess,
+};

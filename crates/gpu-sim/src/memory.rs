@@ -1,5 +1,6 @@
-//! Memory-behaviour analysis: global-load coalescing and shared-memory
-//! access width (the Sec. 4.3 optimizations).
+//! Memory-behaviour analysis: global-load coalescing, shared-memory access
+//! width (the Sec. 4.3 optimizations), and the typed warp-access metadata
+//! the static verifier reasons over.
 
 /// Width of each thread's shared-memory access.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -69,6 +70,127 @@ pub fn bank_conflict_degree(stride_bytes: u64) -> u64 {
     gcd(words, 32)
 }
 
+/// Which memory a warp access touches.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MemSpace {
+    /// Device DRAM through the L2 (coalescing applies).
+    Global,
+    /// Per-SM shared memory (bank conflicts apply).
+    Shared,
+}
+
+/// One warp-level access pattern, described per thread lane — the typed
+/// metadata the GPU static verifier lifts kernels into. `lane_stride_bytes`
+/// is the address delta between consecutive lanes of the warp; a stride of
+/// zero is a broadcast (every lane reads the same address).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct WarpAccess {
+    /// What the access stages (for reports and violations).
+    pub desc: &'static str,
+    /// Which memory it touches.
+    pub space: MemSpace,
+    /// Bytes moved per lane per instruction (4 for `LDS.32`/scalar loads,
+    /// 16 for `LDS.128`/vector loads).
+    pub bytes_per_lane: u64,
+    /// Address delta between consecutive lanes, in bytes.
+    pub lane_stride_bytes: u64,
+    /// Guaranteed alignment of every lane's address, in bytes.
+    pub align_bytes: u64,
+    /// Longest contiguous run each lane's bytes sit in (global accesses
+    /// only; feeds the sector model of [`global_coalescing_factor`]).
+    pub contiguous_run_bytes: u64,
+    /// Warp instructions of this pattern per block per k-iteration
+    /// (informational; the cost model counts them separately).
+    pub count: u64,
+}
+
+impl WarpAccess {
+    /// Bank-conflict degree of this access (shared memory only): the worst
+    /// per-phase serialization over the warp. Generalizes the gcd rule of
+    /// [`bank_conflict_degree`] to wide accesses and broadcasts by direct
+    /// simulation: `LDS.128` is serviced in quarter-warp phases of 8 lanes,
+    /// `LDS.32` in one phase of 32, and distinct 32-bit words mapping to the
+    /// same bank within a phase serialize (same-word access is a broadcast
+    /// and free).
+    pub fn bank_conflict_degree(&self) -> u64 {
+        debug_assert_eq!(self.space, MemSpace::Shared);
+        let lanes_per_phase: u64 = match self.bytes_per_lane {
+            16 => 8,
+            _ => 32,
+        };
+        let words_per_lane = (self.bytes_per_lane / 4).max(1);
+        let mut worst = 1u64;
+        for phase in 0..(32 / lanes_per_phase) {
+            // Distinct words touched in this phase, bucketed by bank.
+            let mut words: Vec<u64> = Vec::with_capacity(32);
+            for lane in 0..lanes_per_phase {
+                let base = (phase * lanes_per_phase + lane) * self.lane_stride_bytes;
+                for w in 0..words_per_lane {
+                    words.push(base / 4 + w);
+                }
+            }
+            words.sort_unstable();
+            words.dedup();
+            let mut per_bank = [0u64; 32];
+            for w in words {
+                per_bank[(w % 32) as usize] += 1;
+            }
+            worst = worst.max(*per_bank.iter().max().unwrap());
+        }
+        worst
+    }
+
+    /// `true` when every lane's address is provably aligned to the access
+    /// width (a misaligned `LDS.128`/`LD.128` faults on real hardware).
+    pub fn width_aligned(&self) -> bool {
+        self.align_bytes.is_multiple_of(self.bytes_per_lane)
+            && self.lane_stride_bytes.is_multiple_of(self.bytes_per_lane)
+    }
+
+    /// Coalescing efficiency of a global access (delegates to the sector
+    /// model of [`global_coalescing_factor`]).
+    pub fn coalescing_factor(&self) -> f64 {
+        debug_assert_eq!(self.space, MemSpace::Global);
+        global_coalescing_factor(self.bytes_per_lane, self.contiguous_run_bytes)
+    }
+}
+
+/// One event in a register staging-buffer schedule (the Fig. 6 double
+/// buffer): the fragment for reduction step `step` is written into (or read
+/// out of) staging slot `buf`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BufOp {
+    /// The global/shared load for `step` retires into staging slot `buf`.
+    Write {
+        /// Staging slot index.
+        buf: usize,
+        /// Reduction step whose operands the slot now holds.
+        step: usize,
+    },
+    /// The `mma` for `step` consumes staging slot `buf`.
+    Read {
+        /// Staging slot index.
+        buf: usize,
+        /// Reduction step being computed.
+        step: usize,
+    },
+}
+
+/// A register staging schedule: the per-k-step order of buffer writes and
+/// reads one warp executes inside a k-tile iteration. Emitted by the kernel
+/// plan ([`crate::kernel::KernelDesc`] carries only the aggregate toggle);
+/// checked for read-before-write and overwrite-before-read hazards by the
+/// static verifier.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StagingSchedule {
+    /// Number of staging slots (1 = single buffered, 2 = Fig. 6).
+    pub buffers: usize,
+    /// Reduction steps per k-tile iteration (`k_tile / k_step`).
+    pub steps: usize,
+    /// The issue-ordered events.
+    pub ops: Vec<BufOp>,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,6 +230,70 @@ mod tests {
         assert_eq!(bank_conflict_degree(16), 4, "the Fig. 5(a) stride");
         assert_eq!(bank_conflict_degree(128), 32, "same-bank worst case");
         assert_eq!(bank_conflict_degree(12), 1, "odd word strides spread out");
+    }
+
+    fn smem_access(bytes_per_lane: u64, lane_stride_bytes: u64) -> WarpAccess {
+        WarpAccess {
+            desc: "test",
+            space: MemSpace::Shared,
+            bytes_per_lane,
+            lane_stride_bytes,
+            align_bytes: bytes_per_lane,
+            contiguous_run_bytes: bytes_per_lane,
+            count: 1,
+        }
+    }
+
+    #[test]
+    fn broadcast_and_stride_edge_cases() {
+        // Stride 0: every lane reads the same word — a broadcast, free.
+        assert_eq!(smem_access(4, 0).bank_conflict_degree(), 1);
+        // Word-contiguous LDS.32 spreads across banks.
+        assert_eq!(smem_access(4, 4).bank_conflict_degree(), 1);
+        // The Fig. 5(a) pattern: scalar loads striding 16 B across lanes.
+        assert_eq!(smem_access(4, 16).bank_conflict_degree(), 4);
+        // Contiguous LDS.128: quarter-warp phases keep it conflict-free.
+        assert_eq!(smem_access(16, 16).bank_conflict_degree(), 1);
+        // All 32 lanes on one bank.
+        assert_eq!(smem_access(4, 128).bank_conflict_degree(), 32);
+    }
+
+    #[test]
+    fn non_power_of_two_strides_match_the_gcd_rule() {
+        // For LDS.32 the simulation must agree with gcd(stride_words, 32).
+        for stride_words in [1u64, 2, 3, 5, 6, 7, 9, 12, 15, 24, 33] {
+            let sim = smem_access(4, stride_words * 4).bank_conflict_degree();
+            assert_eq!(
+                sim,
+                bank_conflict_degree(stride_words * 4),
+                "stride {stride_words} words"
+            );
+        }
+    }
+
+    #[test]
+    fn wide_access_alignment_is_checked_per_lane() {
+        assert!(smem_access(16, 16).width_aligned());
+        // A 16-byte access whose lanes sit 4 bytes apart cannot all be
+        // 16-aligned.
+        let mut a = smem_access(16, 4);
+        assert!(!a.width_aligned());
+        // Nor one whose base alignment is only 4.
+        a = smem_access(16, 16);
+        a.align_bytes = 4;
+        assert!(!a.width_aligned());
+    }
+
+    #[test]
+    fn per_thread_bytes_beyond_the_run_cap_at_the_run() {
+        // A 16-byte request over 4-byte rows coalesces no better than the
+        // 4-byte run allows; asking for more per thread must not help.
+        let short = global_coalescing_factor(16, 4);
+        let wide = global_coalescing_factor(64, 4);
+        assert_eq!(short, wide, "run length caps the useful bytes");
+        assert!(short < global_coalescing_factor(16, 16));
+        // Degenerate zero-length run is clamped to one byte, not a panic.
+        assert!(global_coalescing_factor(4, 0) > 0.0);
     }
 
     #[test]

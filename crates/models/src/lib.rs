@@ -9,6 +9,8 @@
 //! workload definition. Layer names follow the paper's `conv1..convN`
 //! numbering.
 
+#![forbid(unsafe_code)]
+
 use lowbit_tensor::ConvShape;
 
 /// One benchmark layer: paper-style name plus geometry (batch left at 1;

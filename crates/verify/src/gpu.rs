@@ -1,0 +1,643 @@
+//! Static verification of GPU convolution plans (the Tensor Core path).
+//!
+//! [`crate::absint`] proves the ARM streams numerically safe; this module
+//! proves the GPU plans *structurally* safe. A [`ConvGpuPlan`] is lifted
+//! into its typed access-descriptor stream (`ConvGpuPlan::access_stream`,
+//! `tiling_levels`, `staging_schedule` in `lowbit-conv-gpu`) and
+//! [`verify_gpu_plan`] discharges four proof obligations:
+//!
+//! 1. **Tiling geometry** — every level of the Alg. 2 partition (grid →
+//!    warp → 8x8 `mma` fragment, and the `k_tile → k_step → k_mma`
+//!    reduction staging) covers its parent exactly: no gap, no overlap,
+//!    no ragged inner tile. The grid level alone may clip at the GEMM
+//!    edge, because only the epilogue bounds-checks.
+//! 2. **Shared-memory discipline** — after the Fig. 5 reorder every
+//!    `STS`/`LDS` pattern is bank-conflict-free and `LDS.128`-aligned,
+//!    *and* the un-reordered layout of the same plan provably conflicts
+//!    (the negative witness: if it did not, the cost model would be
+//!    crediting the reorder for a gain that does not exist).
+//! 3. **Register staging hazards** — the Fig. 6 double-buffer schedule
+//!    never reads a step before its write retires and never overwrites an
+//!    unconsumed slot; the single-buffered schedule degenerates safely.
+//! 4. **Launch resources** — threads, shared memory and registers fit the
+//!    device's hard limits with operand shapes legal for
+//!    `m8n8k16.s8`/`m8n8k32.s4` (via `TileConfig::validate`).
+//!
+//! `lowbit-verify --gpu` sweeps every [`TileConfig`] the tuner can emit at
+//! both precisions over the demo and ResNet-50 shapes; the planner runs
+//! the same proof on each layer it compiles.
+
+use lowbit_conv_gpu::{
+    auto_search, default_config, ConvGpuPlan, TileConfig, TileRejection, TileSpan,
+};
+use lowbit_models::LayerDef;
+use turing_sim::{BufOp, Device, Precision, ResourceViolation, StagingSchedule};
+
+/// Why a GPU plan fails verification: the typed counterexample.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum GpuViolation {
+    /// The tile configuration is not executable at this precision
+    /// (divisibility, `mma` operand shape, or a hardware limit).
+    InvalidTile(TileRejection),
+    /// A tiling level leaves part of its parent uncovered between spans.
+    TileGap {
+        /// Which level/dimension (e.g. `"warp.m"`).
+        level: &'static str,
+        /// Span index where the gap opens.
+        at: usize,
+        /// Index the next span had to start at.
+        expected: usize,
+        /// Index it actually starts at.
+        got: usize,
+    },
+    /// Two spans of a tiling level claim the same output elements.
+    TileOverlap {
+        /// Which level/dimension.
+        level: &'static str,
+        /// Span index that re-enters covered territory.
+        at: usize,
+        /// First uncovered index.
+        expected: usize,
+        /// Where the offending span starts.
+        got: usize,
+    },
+    /// An inner (non-clipping) level emits a span of the wrong length —
+    /// its loop would read out of bounds or drop work.
+    RaggedTile {
+        /// Which level/dimension.
+        level: &'static str,
+        /// Offending span index.
+        at: usize,
+        /// The span's length.
+        len: usize,
+        /// The exact tile length the level must use.
+        tile: usize,
+    },
+    /// A tiling level's spans do not end exactly at the parent extent.
+    TileCoverage {
+        /// Which level/dimension.
+        level: &'static str,
+        /// Where coverage actually ends.
+        end: usize,
+        /// The parent extent it had to end at.
+        extent: usize,
+    },
+    /// A shared-memory access serializes on the banks.
+    BankConflict {
+        /// The access's description string.
+        access: &'static str,
+        /// Worst per-phase serialization degree (1 = conflict-free).
+        degree: u64,
+    },
+    /// A wide access whose lane addresses are not provably aligned to its
+    /// width (a misaligned `LDS.128` faults on real hardware).
+    MisalignedAccess {
+        /// The access's description string.
+        access: &'static str,
+        /// Access width in bytes.
+        width: u64,
+        /// The alignment actually guaranteed.
+        align: u64,
+    },
+    /// The un-reordered layout of a reordered plan failed to conflict —
+    /// the Fig. 5 gain the cost model credits would not exist.
+    MissingConflictWitness {
+        /// Conflict degree of the supposed negative witness.
+        degree: u64,
+    },
+    /// A staging-buffer read before the step's write retired (or of a slot
+    /// holding a different step's operands).
+    ReadBeforeWrite {
+        /// Staging slot.
+        buf: usize,
+        /// Step whose operands the read expected.
+        step: usize,
+        /// Position in the issue order.
+        at: usize,
+    },
+    /// A staging-buffer write clobbered operands not yet consumed.
+    OverwriteBeforeRead {
+        /// Staging slot.
+        buf: usize,
+        /// Step whose operands were lost.
+        lost_step: usize,
+        /// Position in the issue order.
+        at: usize,
+    },
+    /// An event names a staging slot the schedule does not have.
+    BadBuffer {
+        /// The out-of-range slot.
+        buf: usize,
+        /// Slots the schedule declares.
+        buffers: usize,
+        /// Position in the issue order.
+        at: usize,
+    },
+    /// An event names a reduction step outside the schedule.
+    BadStep {
+        /// The out-of-range step.
+        step: usize,
+        /// Steps the schedule declares.
+        steps: usize,
+        /// Position in the issue order.
+        at: usize,
+    },
+    /// A reduction step's operands are never loaded.
+    StepNeverLoaded {
+        /// The unloaded step.
+        step: usize,
+    },
+    /// A reduction step's operands are loaded but never consumed.
+    StepNeverConsumed {
+        /// The unconsumed step.
+        step: usize,
+    },
+    /// The launch descriptor exceeds a hard device limit.
+    Resource(ResourceViolation),
+}
+
+impl std::fmt::Display for GpuViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GpuViolation::InvalidTile(r) => write!(f, "invalid tile config: {r}"),
+            GpuViolation::TileGap { level, at, expected, got } => write!(
+                f,
+                "{level} span {at} leaves a gap: expected start {expected}, got {got}"
+            ),
+            GpuViolation::TileOverlap { level, at, expected, got } => write!(
+                f,
+                "{level} span {at} overlaps: expected start {expected}, got {got}"
+            ),
+            GpuViolation::RaggedTile { level, at, len, tile } => write!(
+                f,
+                "{level} span {at} has length {len}, but the level must tile exactly by {tile}"
+            ),
+            GpuViolation::TileCoverage { level, end, extent } => write!(
+                f,
+                "{level} covers [0, {end}) of a [0, {extent}) extent"
+            ),
+            GpuViolation::BankConflict { access, degree } => {
+                write!(f, "{access}: {degree}-way bank conflict")
+            }
+            GpuViolation::MisalignedAccess { access, width, align } => write!(
+                f,
+                "{access}: {width}-byte access only aligned to {align} bytes"
+            ),
+            GpuViolation::MissingConflictWitness { degree } => write!(
+                f,
+                "unreordered layout is conflict-free (degree {degree}); the Fig. 5 reorder would buy nothing"
+            ),
+            GpuViolation::ReadBeforeWrite { buf, step, at } => write!(
+                f,
+                "staging op {at}: read of step {step} from slot {buf} before its write retired"
+            ),
+            GpuViolation::OverwriteBeforeRead { buf, lost_step, at } => write!(
+                f,
+                "staging op {at}: write to slot {buf} clobbers unconsumed step {lost_step}"
+            ),
+            GpuViolation::BadBuffer { buf, buffers, at } => write!(
+                f,
+                "staging op {at}: slot {buf} out of range for {buffers} buffer(s)"
+            ),
+            GpuViolation::BadStep { step, steps, at } => write!(
+                f,
+                "staging op {at}: step {step} out of range for {steps} step(s)"
+            ),
+            GpuViolation::StepNeverLoaded { step } => {
+                write!(f, "step {step} is never loaded into a staging slot")
+            }
+            GpuViolation::StepNeverConsumed { step } => {
+                write!(f, "step {step} is loaded but never consumed by an mma")
+            }
+            GpuViolation::Resource(r) => write!(f, "launch resources: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for GpuViolation {}
+
+/// The proof certificate of one verified plan: what was checked and the
+/// quantities the checks established.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct GpuProof {
+    /// GEMM dimensions `(m, n, k)` the partition was proven over.
+    pub gemm: (usize, usize, usize),
+    /// Thread blocks in the verified grid.
+    pub grid_blocks: usize,
+    /// Total tile spans checked across all levels.
+    pub spans: usize,
+    /// Worst bank-conflict degree over every `STS`/`LDS` pattern (proven 1).
+    pub smem_conflict_degree: u64,
+    /// Conflict degree of the un-reordered negative witness (proven > 1).
+    pub witness_degree: u64,
+    /// Staging events proven hazard-free.
+    pub staging_ops: usize,
+    /// Whether the schedule was the Fig. 6 double buffer.
+    pub double_buffered: bool,
+    /// Shared memory per block of the verified launch.
+    pub smem_per_block: u32,
+    /// Registers per thread of the verified launch.
+    pub regs_per_thread: u32,
+    /// Modeled global coalescing factor (reported, not gated).
+    pub coalescing: f64,
+}
+
+/// Checks one tiling level: spans must be contiguous from 0, non-empty, at
+/// most `tile` long (exactly `tile` when `exact`), and end at `extent`.
+fn check_level(
+    level: &'static str,
+    spans: &[TileSpan],
+    extent: usize,
+    tile: usize,
+    exact: bool,
+) -> Result<usize, GpuViolation> {
+    let mut expected = 0usize;
+    for (at, s) in spans.iter().enumerate() {
+        match s.start.cmp(&expected) {
+            std::cmp::Ordering::Greater => {
+                return Err(GpuViolation::TileGap { level, at, expected, got: s.start })
+            }
+            std::cmp::Ordering::Less => {
+                return Err(GpuViolation::TileOverlap { level, at, expected, got: s.start })
+            }
+            std::cmp::Ordering::Equal => {}
+        }
+        if s.len == 0 || s.len > tile || (exact && s.len != tile) {
+            return Err(GpuViolation::RaggedTile { level, at, len: s.len, tile });
+        }
+        expected = s.end();
+    }
+    if expected != extent {
+        return Err(GpuViolation::TileCoverage { level, end: expected, extent });
+    }
+    Ok(spans.len())
+}
+
+/// Proves the Alg. 2 partition exact at every level. Returns the number of
+/// spans checked.
+pub fn check_tiling(plan: &ConvGpuPlan) -> Result<usize, GpuViolation> {
+    let t = plan.tiling_levels();
+    let cfg = &plan.cfg;
+    let (frag_m, frag_n) = cfg.warp_frag();
+    let k_mma = TileConfig::k_mma(plan.precision);
+    let mut spans = 0usize;
+    // The grid clips at the GEMM edge (the epilogue bounds-checks); every
+    // inner loop runs without bounds checks and must tile exactly.
+    spans += check_level("grid.m", &t.grid_m, t.output.0, cfg.m_tile, false)?;
+    spans += check_level("grid.n", &t.grid_n, t.output.1, cfg.n_tile, false)?;
+    spans += check_level("warp.m", &t.warp_m, cfg.m_tile, frag_m, true)?;
+    spans += check_level("warp.n", &t.warp_n, cfg.n_tile, frag_n, true)?;
+    spans += check_level("mma.m", &t.mma_m, frag_m, 8, true)?;
+    spans += check_level("mma.n", &t.mma_n, frag_n, 8, true)?;
+    spans += check_level("k.tile", &t.k_tiles, t.k_pad, cfg.k_tile, true)?;
+    spans += check_level("k.step", &t.k_steps, cfg.k_tile, cfg.k_step, true)?;
+    spans += check_level("k.mma", &t.k_mmas, cfg.k_step, k_mma, true)?;
+    Ok(spans)
+}
+
+/// Proves a register staging schedule hazard-free: every read finds its
+/// step's operands already written, no write clobbers an unconsumed slot,
+/// and every declared step is both loaded and consumed. Returns the number
+/// of events checked.
+pub fn check_staging(s: &StagingSchedule) -> Result<usize, GpuViolation> {
+    // Per-slot state: which step's operands it holds and whether they have
+    // been consumed yet.
+    let mut slots: Vec<Option<(usize, bool)>> = vec![None; s.buffers];
+    let mut loaded = vec![false; s.steps];
+    let mut consumed = vec![false; s.steps];
+    for (at, op) in s.ops.iter().enumerate() {
+        let (buf, step) = match *op {
+            BufOp::Write { buf, step } | BufOp::Read { buf, step } => (buf, step),
+        };
+        if buf >= s.buffers {
+            return Err(GpuViolation::BadBuffer { buf, buffers: s.buffers, at });
+        }
+        if step >= s.steps {
+            return Err(GpuViolation::BadStep { step, steps: s.steps, at });
+        }
+        match *op {
+            BufOp::Write { .. } => {
+                if let Some((held, false)) = slots[buf] {
+                    return Err(GpuViolation::OverwriteBeforeRead { buf, lost_step: held, at });
+                }
+                slots[buf] = Some((step, false));
+                loaded[step] = true;
+            }
+            BufOp::Read { .. } => match slots[buf] {
+                Some((held, _)) if held == step => {
+                    slots[buf] = Some((held, true));
+                    consumed[step] = true;
+                }
+                _ => return Err(GpuViolation::ReadBeforeWrite { buf, step, at }),
+            },
+        }
+    }
+    if let Some(step) = loaded.iter().position(|&l| !l) {
+        return Err(GpuViolation::StepNeverLoaded { step });
+    }
+    if let Some(step) = consumed.iter().position(|&c| !c) {
+        return Err(GpuViolation::StepNeverConsumed { step });
+    }
+    Ok(s.ops.len())
+}
+
+/// Runs the full static check on one plan (see the module docs for the four
+/// proof obligations). Returns the proof certificate.
+pub fn verify_gpu_plan(plan: &ConvGpuPlan, device: &Device) -> Result<GpuProof, GpuViolation> {
+    plan.cfg
+        .validate(plan.precision, device.smem_per_sm as usize)
+        .map_err(GpuViolation::InvalidTile)?;
+
+    let spans = check_tiling(plan)?;
+
+    // Shared-memory discipline: every pattern conflict-free and aligned to
+    // its access width.
+    let stream = plan.access_stream();
+    let mut degree = 1u64;
+    for a in stream.smem_stores.iter().chain(&stream.smem_loads) {
+        let d = a.bank_conflict_degree();
+        if d > 1 {
+            return Err(GpuViolation::BankConflict { access: a.desc, degree: d });
+        }
+        if !a.width_aligned() {
+            return Err(GpuViolation::MisalignedAccess {
+                access: a.desc,
+                width: a.bytes_per_lane,
+                align: a.align_bytes,
+            });
+        }
+        degree = degree.max(d);
+    }
+    // Negative witness: the same plan without the Fig. 5 reorder must
+    // conflict, or the reorder's modeled gain is fictitious.
+    let mut unreordered = plan.clone();
+    unreordered.opts.smem_reordered = false;
+    let witness_degree = unreordered
+        .access_stream()
+        .smem_loads
+        .iter()
+        .map(|a| a.bank_conflict_degree())
+        .max()
+        .unwrap_or(1);
+    if witness_degree <= 1 {
+        return Err(GpuViolation::MissingConflictWitness { degree: witness_degree });
+    }
+
+    let staging_ops = check_staging(&stream.staging)?;
+
+    let desc = plan.kernel_desc(device);
+    desc.check_resources(device).map_err(GpuViolation::Resource)?;
+
+    let (m, n, k) = plan.gemm_dims();
+    Ok(GpuProof {
+        gemm: (m, n, k),
+        grid_blocks: m.div_ceil(plan.cfg.m_tile) * n.div_ceil(plan.cfg.n_tile),
+        spans,
+        smem_conflict_degree: degree,
+        witness_degree,
+        staging_ops,
+        double_buffered: plan.opts.double_buffered,
+        smem_per_block: desc.smem_per_block,
+        regs_per_thread: desc.regs_per_thread,
+        coalescing: desc.coalescing_factor,
+    })
+}
+
+/// Verifies one `(shape, config, precision)` triple end to end — the entry
+/// point the sweep and the planner share.
+pub fn verify_tile_config(
+    shape: lowbit_tensor::ConvShape,
+    cfg: TileConfig,
+    precision: Precision,
+    device: &Device,
+) -> Result<GpuProof, GpuViolation> {
+    let plan =
+        ConvGpuPlan::try_new(shape, cfg, precision).map_err(GpuViolation::InvalidTile)?;
+    verify_gpu_plan(&plan, device)
+}
+
+/// Short label for a precision in reports.
+pub fn precision_label(precision: Precision) -> &'static str {
+    match precision {
+        Precision::TensorCoreInt4 => "int4",
+        Precision::TensorCoreInt8 => "int8",
+        Precision::Dp4aInt8 => "dp4a",
+    }
+}
+
+fn report_line(name: &str, tuning: &str, cfg: &TileConfig, proof: &GpuProof) -> String {
+    let (m, n, k) = proof.gemm;
+    format!(
+        "{:<7} gemm {:>5}x{:>4}x{:>5} {:<7} {:>3}x{:<3}x{:>3}/{:<2} w{}x{} | blocks {:>3} spans {:>4} smem {:>6}B regs {:>3} conflict x{} witness x{} staging {:>2} ops coal {:.3}",
+        name,
+        m,
+        n,
+        k,
+        tuning,
+        cfg.m_tile,
+        cfg.n_tile,
+        cfg.k_tile,
+        cfg.k_step,
+        cfg.warps_m,
+        cfg.warps_n,
+        proof.grid_blocks,
+        proof.spans,
+        proof.smem_per_block,
+        proof.regs_per_thread,
+        proof.smem_conflict_degree,
+        proof.witness_degree,
+        proof.staging_ops,
+        proof.coalescing,
+    )
+}
+
+/// The deterministic verifier report for the demo network's GPU layers:
+/// every layer at both precisions, under both the no-profile default config
+/// and the auto-search winner. One proof certificate per line; checked
+/// against `tests/golden/verify_gpu_demo.txt` in CI.
+pub fn gpu_demo_report(device: &Device) -> Result<String, String> {
+    let mut out = String::new();
+    out.push_str(
+        "# lowbit-verify --gpu: demo network proof certificates (RTX 2080 Ti model)\n",
+    );
+    for precision in [Precision::TensorCoreInt8, Precision::TensorCoreInt4] {
+        for layer in lowbit_models::demo(12) {
+            for (tuning, cfg) in [
+                ("default", default_config(precision)),
+                ("tuned", auto_search(&layer.shape, precision, device).0),
+            ] {
+                let proof = verify_tile_config(layer.shape, cfg, precision, device)
+                    .map_err(|v| {
+                        format!("{} {} {tuning}: {v}", layer.name, precision_label(precision))
+                    })?;
+                out.push_str(&format!(
+                    "{} {}\n",
+                    precision_label(precision),
+                    report_line(layer.name, tuning, &cfg, &proof)
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// The shapes `lowbit-verify --gpu` sweeps: the demo chain plus the 19
+/// distinct ResNet-50 layers.
+pub fn gpu_sweep_layers() -> Vec<LayerDef> {
+    let mut layers = lowbit_models::demo(12);
+    layers.extend(lowbit_models::resnet50());
+    layers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowbit_tensor::ConvShape;
+
+    fn plan() -> ConvGpuPlan {
+        let shape = ConvShape::new(1, 32, 14, 14, 48, 3, 1, 1);
+        let cfg = TileConfig {
+            m_tile: 64, n_tile: 32, k_tile: 64, k_step: 32, warps_m: 2, warps_n: 1,
+        };
+        ConvGpuPlan::new(shape, cfg, Precision::TensorCoreInt8)
+    }
+
+    #[test]
+    fn a_well_formed_plan_proves_out() {
+        let proof = verify_gpu_plan(&plan(), &Device::rtx2080ti()).unwrap();
+        assert_eq!(proof.smem_conflict_degree, 1);
+        assert_eq!(proof.witness_degree, 4, "the Fig. 5(a) strided pattern");
+        assert!(proof.spans > 0);
+        assert!(proof.double_buffered);
+    }
+
+    #[test]
+    fn misordered_smem_layout_is_rejected() {
+        let mut p = plan();
+        p.opts.smem_reordered = false;
+        assert!(matches!(
+            verify_gpu_plan(&p, &Device::rtx2080ti()),
+            Err(GpuViolation::BankConflict { degree: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn geometry_violations_are_typed() {
+        let overlap = [TileSpan { start: 0, len: 8 }, TileSpan { start: 4, len: 8 }];
+        assert!(matches!(
+            check_level("warp.m", &overlap, 12, 8, true),
+            Err(GpuViolation::TileOverlap { at: 1, .. })
+        ));
+        let gap = [TileSpan { start: 0, len: 4 }, TileSpan { start: 8, len: 4 }];
+        assert!(matches!(
+            check_level("warp.m", &gap, 12, 4, true),
+            Err(GpuViolation::TileGap { at: 1, .. })
+        ));
+        // A ragged inner tile: the loop would run past its parent.
+        let ragged = [TileSpan { start: 0, len: 8 }, TileSpan { start: 8, len: 8 }];
+        assert!(matches!(
+            check_level("k.step", &ragged, 12, 8, true),
+            Err(GpuViolation::TileCoverage { end: 16, extent: 12, .. })
+        ));
+        let short = [TileSpan { start: 0, len: 8 }];
+        assert!(matches!(
+            check_level("grid.m", &short, 12, 8, false),
+            Err(GpuViolation::TileCoverage { end: 8, extent: 12, .. })
+        ));
+    }
+
+    #[test]
+    fn single_buffer_with_issue_ahead_write_is_a_hazard() {
+        // The Fig. 6 issue-ahead order is only safe with two slots: on one
+        // slot the step-1 write lands before step 0 is consumed.
+        let s = StagingSchedule {
+            buffers: 1,
+            steps: 2,
+            ops: vec![
+                BufOp::Write { buf: 0, step: 0 },
+                BufOp::Write { buf: 0, step: 1 },
+                BufOp::Read { buf: 0, step: 0 },
+                BufOp::Read { buf: 0, step: 1 },
+            ],
+        };
+        assert_eq!(
+            check_staging(&s),
+            Err(GpuViolation::OverwriteBeforeRead { buf: 0, lost_step: 0, at: 1 })
+        );
+    }
+
+    #[test]
+    fn staging_hazards_are_typed() {
+        let read_first = StagingSchedule {
+            buffers: 2,
+            steps: 1,
+            ops: vec![BufOp::Read { buf: 0, step: 0 }, BufOp::Write { buf: 0, step: 0 }],
+        };
+        assert!(matches!(
+            check_staging(&read_first),
+            Err(GpuViolation::ReadBeforeWrite { buf: 0, step: 0, at: 0 })
+        ));
+        let wrong_slot = StagingSchedule {
+            buffers: 2,
+            steps: 2,
+            ops: vec![
+                BufOp::Write { buf: 0, step: 0 },
+                BufOp::Read { buf: 1, step: 0 },
+            ],
+        };
+        assert!(matches!(
+            check_staging(&wrong_slot),
+            Err(GpuViolation::ReadBeforeWrite { buf: 1, .. })
+        ));
+        let never_consumed = StagingSchedule {
+            buffers: 2,
+            steps: 2,
+            ops: vec![
+                BufOp::Write { buf: 0, step: 0 },
+                BufOp::Read { buf: 0, step: 0 },
+                BufOp::Write { buf: 1, step: 1 },
+            ],
+        };
+        assert_eq!(
+            check_staging(&never_consumed),
+            Err(GpuViolation::StepNeverConsumed { step: 1 })
+        );
+        let bad_slot = StagingSchedule {
+            buffers: 1,
+            steps: 1,
+            ops: vec![BufOp::Write { buf: 3, step: 0 }],
+        };
+        assert!(matches!(
+            check_staging(&bad_slot),
+            Err(GpuViolation::BadBuffer { buf: 3, buffers: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn both_staging_modes_of_real_plans_are_hazard_free() {
+        let mut p = plan();
+        assert!(check_staging(&p.staging_schedule()).is_ok());
+        p.opts.double_buffered = false;
+        assert!(check_staging(&p.staging_schedule()).is_ok());
+    }
+
+    #[test]
+    fn invalid_tile_config_is_rejected_with_its_reason() {
+        let shape = ConvShape::new(1, 32, 14, 14, 48, 3, 1, 1);
+        let cfg = TileConfig {
+            m_tile: 100, n_tile: 32, k_tile: 64, k_step: 32, warps_m: 2, warps_n: 1,
+        };
+        assert!(matches!(
+            verify_tile_config(shape, cfg, Precision::TensorCoreInt8, &Device::rtx2080ti()),
+            Err(GpuViolation::InvalidTile(TileRejection::WarpShape { dim: 'm', .. }))
+        ));
+    }
+
+    #[test]
+    fn violations_render_human_readable() {
+        let v = GpuViolation::TileGap { level: "warp.m", at: 1, expected: 8, got: 16 };
+        assert!(v.to_string().contains("warp.m"));
+        let v = GpuViolation::BankConflict { access: "lds", degree: 4 };
+        assert!(v.to_string().contains("4-way"));
+    }
+}

@@ -20,15 +20,25 @@
 //! * [`geometry::check_spans`] — structural proof that the parallel GEMM's
 //!   per-thread column slices partition the output.
 //!
+//! The GPU path gets the structural analogue in [`gpu`]:
+//! [`gpu::verify_gpu_plan`] lifts a `ConvGpuPlan` into its typed
+//! access-descriptor stream and proves the Alg. 2 tiling partitions the
+//! GEMM exactly, the Fig. 5 reordered shared-memory traffic is
+//! bank-conflict-free (with the un-reordered layout as a conflicting
+//! negative witness), the Fig. 6 register double-buffer schedule is
+//! hazard-free, and the launch fits the device's hard limits.
+//!
 //! The `lowbit-verify` binary sweeps the [`streams::standard_cases`]
 //! catalog (every bit width 2–8, both schemes, Winograd-inflated ranges,
 //! baselines and whole GEMM programs) and fails on any unproven stream;
-//! CI runs it on every push.
+//! `lowbit-verify --gpu` does the same over every tile configuration the
+//! GPU tuner can emit. CI runs both on every push.
 
 #![forbid(unsafe_code)]
 
 pub mod absint;
 pub mod geometry;
+pub mod gpu;
 pub mod interval;
 pub mod lint;
 pub mod report;
@@ -36,6 +46,9 @@ pub mod streams;
 
 pub use absint::{check_stream, OperandBounds};
 pub use geometry::{check_partition, check_spans};
+pub use gpu::{
+    check_staging, check_tiling, verify_gpu_plan, verify_tile_config, GpuProof, GpuViolation,
+};
 pub use interval::Interval;
 pub use lint::lint_stream;
 pub use report::{StreamProof, Violation};

@@ -1,10 +1,24 @@
 //! `lowbit-verify`: sweep the standard kernel catalog and the parallel
 //! partition geometry, printing one line per proof. Exits non-zero if any
 //! stream fails — CI runs this on every push.
+//!
+//! * no flags — the ARM sweep: abstract interpretation of every emitted
+//!   NEON stream plus the parallel-GEMM partition geometry.
+//! * `--gpu` — the GPU sweep: prove every tile configuration the tuner can
+//!   emit, at both Tensor Core precisions, over the demo and ResNet-50
+//!   shapes (tiling geometry, bank conflicts + negative witness, staging
+//!   hazards, launch resources).
+//! * `--gpu --check <golden>` — regenerate the demo-network proof report
+//!   and diff it against the golden file (CI's drift gate). With
+//!   `--report`, print the report instead (for regenerating the golden).
 
-use lowbit_verify::{standard_cases, verify_case};
+use lowbit_verify::gpu::{gpu_demo_report, gpu_sweep_layers, precision_label};
+use lowbit_verify::{standard_cases, verify_case, verify_gpu_plan};
 
-fn main() {
+use lowbit_conv_gpu::{search_space_stats, ConvGpuPlan};
+use turing_sim::{Device, Precision};
+
+fn arm_sweep() -> usize {
     let cases = standard_cases();
     let mut failures = 0usize;
     println!("{:<34} {:>6} {:>6} {:>6} {:>9} {:>9}", "stream", "insts", "macs", "drains", "peak i16", "headroom");
@@ -48,6 +62,143 @@ fn main() {
         geo,
         failures
     );
+    failures
+}
+
+fn gpu_sweep() -> usize {
+    let device = Device::rtx2080ti();
+    let layers = gpu_sweep_layers();
+    let mut failures = 0usize;
+    let mut proofs = 0usize;
+    for precision in [Precision::TensorCoreInt8, Precision::TensorCoreInt4] {
+        let (space, stats) = search_space_stats(precision);
+        println!("{} search space: {stats}", precision_label(precision));
+        for layer in &layers {
+            let mut worst_witness = u64::MAX;
+            let mut layer_failures = 0usize;
+            for cfg in &space {
+                let plan = match ConvGpuPlan::try_new(layer.shape, *cfg, precision) {
+                    Ok(p) => p,
+                    Err(r) => {
+                        eprintln!(
+                            "{} {} {cfg:?}: space emitted an invalid config: {r}",
+                            layer.name,
+                            precision_label(precision)
+                        );
+                        layer_failures += 1;
+                        continue;
+                    }
+                };
+                match verify_gpu_plan(&plan, &device) {
+                    Ok(proof) => {
+                        proofs += 1;
+                        worst_witness = worst_witness.min(proof.witness_degree);
+                    }
+                    Err(v) => {
+                        eprintln!(
+                            "{} {} {cfg:?}: {v}",
+                            layer.name,
+                            precision_label(precision)
+                        );
+                        layer_failures += 1;
+                    }
+                }
+            }
+            let (m, n, k) = {
+                let s = &layer.shape;
+                (s.gemm_n(), s.gemm_m(), s.gemm_k())
+            };
+            println!(
+                "  {:<7} gemm {:>5}x{:>4}x{:>5} {}: {} configs proven, witness >= x{}, {} failure(s)",
+                layer.name,
+                m,
+                n,
+                k,
+                precision_label(precision),
+                space.len() - layer_failures,
+                worst_witness,
+                layer_failures
+            );
+            failures += layer_failures;
+        }
+    }
+    println!();
+    println!(
+        "{} GPU plans proven over {} shapes x 2 precisions, {} failure(s)",
+        proofs,
+        layers.len(),
+        failures
+    );
+    failures
+}
+
+fn gpu_check(golden_path: &str) -> usize {
+    let report = match gpu_demo_report(&Device::rtx2080ti()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("demo report failed to prove: {e}");
+            return 1;
+        }
+    };
+    let golden = match std::fs::read_to_string(golden_path) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("cannot read golden file {golden_path}: {e}");
+            return 1;
+        }
+    };
+    if report == golden {
+        println!(
+            "GPU verifier report matches {golden_path} ({} lines)",
+            report.lines().count()
+        );
+        return 0;
+    }
+    eprintln!("GPU verifier report drifted from {golden_path}:");
+    for (i, (got, want)) in report.lines().zip(golden.lines()).enumerate() {
+        if got != want {
+            eprintln!("  line {}:", i + 1);
+            eprintln!("    golden: {want}");
+            eprintln!("    got:    {got}");
+        }
+    }
+    let (got_n, want_n) = (report.lines().count(), golden.lines().count());
+    if got_n != want_n {
+        eprintln!("  line counts differ: golden {want_n}, got {got_n}");
+    }
+    eprintln!("regenerate with: lowbit-verify --gpu --report > {golden_path}");
+    1
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+    let failures = if has("--gpu") {
+        if let Some(i) = args.iter().position(|a| a == "--check") {
+            match args.get(i + 1) {
+                Some(path) => gpu_check(path),
+                None => {
+                    eprintln!("--check requires a golden file path");
+                    1
+                }
+            }
+        } else if has("--report") {
+            match gpu_demo_report(&Device::rtx2080ti()) {
+                Ok(r) => {
+                    print!("{r}");
+                    0
+                }
+                Err(e) => {
+                    eprintln!("demo report failed to prove: {e}");
+                    1
+                }
+            }
+        } else {
+            gpu_sweep()
+        }
+    } else {
+        arm_sweep()
+    };
     if failures > 0 {
         std::process::exit(1);
     }

@@ -1,0 +1,91 @@
+//! Integration tests for the GPU static verifier: the tuner's whole search
+//! space proves out, negative witnesses are rejected, and the demo proof
+//! report matches the golden file CI gates on.
+
+use lowbit_conv_gpu::{search_space, ConvGpuPlan, TileConfig};
+use lowbit_verify::gpu::gpu_demo_report;
+use lowbit_verify::{check_staging, verify_gpu_plan, GpuViolation};
+use turing_sim::{BufOp, Device, Precision, StagingSchedule};
+
+#[test]
+fn demo_report_matches_the_golden_file() {
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/verify_gpu_demo.txt"
+    );
+    let golden = std::fs::read_to_string(golden_path).expect("golden file exists");
+    let report = gpu_demo_report(&Device::rtx2080ti()).expect("demo layers prove out");
+    assert_eq!(
+        report, golden,
+        "GPU verifier report drifted; regenerate with \
+         `cargo run --release -p lowbit-verify -- --gpu --report > tests/golden/verify_gpu_demo.txt`"
+    );
+}
+
+#[test]
+fn every_searchable_config_proves_out_on_the_demo_shapes() {
+    let device = Device::rtx2080ti();
+    for precision in [Precision::TensorCoreInt8, Precision::TensorCoreInt4] {
+        let space = search_space(precision);
+        assert!(space.len() > 400, "search space unexpectedly small");
+        for layer in lowbit_models::demo(12) {
+            for cfg in &space {
+                let plan = ConvGpuPlan::try_new(layer.shape, *cfg, precision)
+                    .expect("search space only emits valid configs");
+                verify_gpu_plan(&plan, &device).unwrap_or_else(|v| {
+                    panic!("{} {precision:?} {cfg:?}: {v}", layer.name)
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn unreordered_smem_layout_is_rejected_with_a_bank_conflict() {
+    let shape = lowbit_tensor::ConvShape::new(1, 32, 14, 14, 48, 3, 1, 1);
+    let cfg = TileConfig {
+        m_tile: 64, n_tile: 32, k_tile: 64, k_step: 32, warps_m: 2, warps_n: 1,
+    };
+    let mut plan = ConvGpuPlan::new(shape, cfg, Precision::TensorCoreInt8);
+    plan.opts.smem_reordered = false;
+    match verify_gpu_plan(&plan, &Device::rtx2080ti()) {
+        Err(GpuViolation::BankConflict { degree, .. }) => {
+            assert_eq!(degree, 4, "the Fig. 5(a) strided pattern serializes 4-way")
+        }
+        other => panic!("expected a bank-conflict rejection, got {other:?}"),
+    }
+}
+
+#[test]
+fn overlapping_single_buffer_schedule_is_rejected() {
+    // The Fig. 6 issue-ahead write order on a single slot: step 1's write
+    // lands before step 0 is consumed.
+    let s = StagingSchedule {
+        buffers: 1,
+        steps: 2,
+        ops: vec![
+            BufOp::Write { buf: 0, step: 0 },
+            BufOp::Write { buf: 0, step: 1 },
+            BufOp::Read { buf: 0, step: 0 },
+            BufOp::Read { buf: 0, step: 1 },
+        ],
+    };
+    assert!(matches!(
+        check_staging(&s),
+        Err(GpuViolation::OverwriteBeforeRead { buf: 0, lost_step: 0, .. })
+    ));
+}
+
+#[test]
+fn degenerate_single_buffered_plans_still_prove_out() {
+    let shape = lowbit_tensor::ConvShape::new(1, 32, 14, 14, 48, 3, 1, 1);
+    let cfg = TileConfig {
+        m_tile: 64, n_tile: 32, k_tile: 64, k_step: 32, warps_m: 2, warps_n: 1,
+    };
+    let mut plan = ConvGpuPlan::new(shape, cfg, Precision::TensorCoreInt8);
+    plan.opts.double_buffered = false;
+    let proof = verify_gpu_plan(&plan, &Device::rtx2080ti()).unwrap();
+    assert!(!proof.double_buffered);
+    // One slot, strictly alternating: 2 events per step.
+    assert_eq!(proof.staging_ops, 2 * 2);
+}
