@@ -168,8 +168,10 @@ pub struct ParallelScaling {
 }
 
 /// Runs the thread-scaling experiment at 4 bit. `measure` additionally runs
-/// real convolutions per thread count (one warm-up plus one timed call per
-/// layer) — keep the table small when measuring in debug builds.
+/// real convolutions per thread count under the harness
+/// [`MeasurePolicy`](crate::harness::MeasurePolicy) (warm-up iterations,
+/// min-of-N timed repeats) — keep the table small when measuring in debug
+/// builds.
 pub fn parallel_scaling(table: &[LayerDef], threads: &[usize], measure: bool) -> ParallelScaling {
     use lowbit::conv_arm::{parallel_cycle_split, schedule_gemm_conv_prepacked};
     use lowbit_qgemm::Scheme;
@@ -205,13 +207,19 @@ pub fn parallel_scaling(table: &[LayerDef], threads: &[usize], measure: bool) ->
                     QTensor::random((s.batch, s.c_in, s.h, s.w), Layout::Nchw, BitWidth::W4, 1);
                 let weights =
                     QTensor::random((s.c_out, s.c_in, s.kh, s.kw), Layout::Nchw, BitWidth::W4, 2);
-                // Warm-up packs the weights and sizes the arena; the timed
-                // call is the allocation-free steady state.
-                eng.conv(&input, &weights, s, ArmAlgo::Gemm);
+                // Warm-up packs the weights, sizes the arena and settles the
+                // host (caches, frequency); the timed repeats are the
+                // allocation-free steady state and the minimum is reported.
+                let policy = crate::harness::MeasurePolicy::default();
+                for _ in 0..policy.warmup {
+                    eng.conv(&input, &weights, s, ArmAlgo::Gemm);
+                }
                 let before = eng.workspace_stats().alloc_events;
-                let t0 = std::time::Instant::now();
-                eng.conv(&input, &weights, s, ArmAlgo::Gemm);
-                row.push(t0.elapsed().as_secs_f64() * 1e3);
+                let ms = crate::harness::MeasurePolicy { warmup: 0, ..policy }
+                    .measure_min_ms(|| {
+                        eng.conv(&input, &weights, s, ArmAlgo::Gemm);
+                    });
+                row.push(ms);
                 steady_allocs += eng.workspace_stats().alloc_events - before;
             }
             measured_ms.push(row);

@@ -96,6 +96,44 @@ impl Table {
     }
 }
 
+/// Wall-clock measurement policy: warm-up iterations (discarded — they pay
+/// cold caches, lazy allocations and prepacking) followed by min-of-N timed
+/// repeats. The minimum, not the mean, estimates the workload's intrinsic
+/// cost: scheduler preemptions and frequency ramps only ever add time, so
+/// the smallest observation is the least-contaminated one. This is the fix
+/// for the BENCH_parallel measured-scaling anomaly, where a single cold
+/// timed call charged one thread configuration with all the warm-up cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MeasurePolicy {
+    /// Untimed warm-up calls before measuring.
+    pub warmup: usize,
+    /// Timed repeats; the minimum wall time is reported.
+    pub repeats: usize,
+}
+
+impl Default for MeasurePolicy {
+    fn default() -> MeasurePolicy {
+        MeasurePolicy { warmup: 3, repeats: 5 }
+    }
+}
+
+impl MeasurePolicy {
+    /// Runs `f` through warm-up then timed repeats, returning the minimum
+    /// wall milliseconds over the repeats (at least one repeat always runs).
+    pub fn measure_min_ms(&self, mut f: impl FnMut()) -> f64 {
+        for _ in 0..self.warmup {
+            f();
+        }
+        let mut best = f64::INFINITY;
+        for _ in 0..self.repeats.max(1) {
+            let t0 = std::time::Instant::now();
+            f();
+            best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        best
+    }
+}
+
 /// Arithmetic mean.
 pub fn mean(values: &[f64]) -> f64 {
     if values.is_empty() {
@@ -161,6 +199,20 @@ mod tests {
         let path = t.save_csv(&dir, "probe").unwrap();
         let back = std::fs::read_to_string(path).unwrap();
         assert!(back.starts_with("layer,ms"));
+    }
+
+    #[test]
+    fn measure_policy_runs_warmup_and_reports_the_minimum() {
+        let mut calls = 0u32;
+        let policy = MeasurePolicy { warmup: 2, repeats: 3 };
+        let ms = policy.measure_min_ms(|| calls += 1);
+        assert_eq!(calls, 5, "2 warm-up + 3 timed");
+        assert!(ms >= 0.0 && ms.is_finite());
+        // Zero repeats still measures once.
+        let mut calls = 0u32;
+        let ms = MeasurePolicy { warmup: 0, repeats: 0 }.measure_min_ms(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert!(ms.is_finite());
     }
 
     #[test]

@@ -133,11 +133,20 @@ pub struct PrepackStats {
     pub hits: u64,
     /// Calls that had to pack (first sighting of a weight/algorithm pair).
     pub misses: u64,
+    /// Entries evicted by the LRU capacity bound.
+    pub evictions: u64,
     /// Cached weight tensors.
     pub entries: usize,
     /// Total packed bytes held.
     pub bytes: usize,
+    /// The configured capacity bound in packed bytes.
+    pub capacity_bytes: usize,
 }
+
+/// Default prepack-cache capacity (64 MiB of packed weights) — far above any
+/// single model in this suite, so eviction only engages when a many-model
+/// server shares one engine. [`ArmEngine::with_prepack_capacity`] overrides.
+pub const DEFAULT_PREPACK_CAPACITY_BYTES: usize = 64 << 20;
 
 /// One cached prepacked weight matrix, in the layout its algorithm needs.
 #[derive(Debug)]
@@ -193,15 +202,41 @@ fn fingerprint(weights: &QTensor, tag: u8) -> u64 {
     h
 }
 
+/// One resident prepack-cache entry: the packed panels plus the LRU
+/// recency stamp eviction orders by.
+struct CacheEntry {
+    packed: Arc<PackedWeights>,
+    last_used: u64,
+}
+
 /// Mutable engine state shared behind a mutex: clones of the engine serve
 /// the same cache and arena.
-#[derive(Default)]
 struct EngineState {
-    cache: HashMap<u64, Arc<PackedWeights>>,
+    cache: HashMap<u64, CacheEntry>,
+    cache_bytes: usize,
+    capacity_bytes: usize,
+    tick: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
     ws: ConvWorkspace,
     modeled_millis: f64,
+}
+
+impl Default for EngineState {
+    fn default() -> EngineState {
+        EngineState {
+            cache: HashMap::new(),
+            cache_bytes: 0,
+            capacity_bytes: DEFAULT_PREPACK_CAPACITY_BYTES,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            ws: ConvWorkspace::default(),
+            modeled_millis: 0.0,
+        }
+    }
 }
 
 impl EngineState {
@@ -213,9 +248,12 @@ impl EngineState {
     ) -> Arc<PackedWeights> {
         let key = prepack_fingerprint(weights, algo)
             .unwrap_or_else(|| unreachable!("{algo:?} has no prepacked layout"));
-        if let Some(packed) = self.cache.get(&key) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(entry) = self.cache.get_mut(&key) {
+            entry.last_used = tick;
             self.hits += 1;
-            return packed.clone();
+            return entry.packed.clone();
         }
         self.misses += 1;
         let (m, k) = (shape.gemm_m(), shape.gemm_k());
@@ -225,7 +263,22 @@ impl EngineState {
             ArmAlgo::GemmSdot => PackedWeights::Quads(pack_a_quads(weights.data(), m, k)),
             _ => unreachable!(),
         });
-        self.cache.insert(key, packed.clone());
+        self.cache_bytes += packed.bytes();
+        self.cache.insert(key, CacheEntry { packed: packed.clone(), last_used: tick });
+        // LRU eviction down to the capacity bound. The entry just inserted
+        // carries the newest stamp, so it is only kept alone when a single
+        // weight tensor exceeds the whole budget (`len() > 1` guard).
+        while self.cache_bytes > self.capacity_bytes && self.cache.len() > 1 {
+            let lru_key = self
+                .cache
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&k, _)| k)
+                .expect("cache is non-empty");
+            let evicted = self.cache.remove(&lru_key).expect("key just found");
+            self.cache_bytes -= evicted.packed.bytes();
+            self.evictions += 1;
+        }
         packed
     }
 }
@@ -271,6 +324,15 @@ impl ArmEngine {
         self
     }
 
+    /// Bounds the prepacked-weight cache to `bytes` of packed panels,
+    /// evicting least-recently-used entries on insert once the budget is
+    /// exceeded (a single oversized entry is always kept). The bound lives
+    /// in the shared state, so it applies to every clone of this engine.
+    pub fn with_prepack_capacity(self, bytes: usize) -> ArmEngine {
+        self.state.lock().expect("engine state poisoned").capacity_bytes = bytes;
+        self
+    }
+
     /// The engine's cost model.
     pub fn model(&self) -> &CostModel {
         &self.model
@@ -287,8 +349,10 @@ impl ArmEngine {
         PrepackStats {
             hits: st.hits,
             misses: st.misses,
+            evictions: st.evictions,
             entries: st.cache.len(),
-            bytes: st.cache.values().map(|p| p.bytes()).sum(),
+            bytes: st.cache_bytes,
+            capacity_bytes: st.capacity_bytes,
         }
     }
 
@@ -554,6 +618,47 @@ mod tests {
         let _ = clone.conv(&input, &weights, &shape, ArmAlgo::Gemm);
         assert_eq!(engine.prepack_stats().hits, 2);
         assert_eq!(engine.workspace_stats().calls, 4);
+    }
+
+    #[test]
+    fn prepack_cache_evicts_least_recently_used_under_capacity_bound() {
+        let shape = ConvShape::new(1, 4, 8, 8, 6, 3, 1, 1);
+        let (input, weights) = tensors(&shape, BitWidth::W4, 33);
+        // Size the bound to fit exactly one packed layout: learn the entry
+        // size from an unbounded engine first.
+        let probe = ArmEngine::cortex_a53();
+        let _ = probe.conv(&input, &weights, &shape, ArmAlgo::Gemm);
+        let one_entry = probe.prepack_stats().bytes;
+        assert!(one_entry > 0);
+
+        let engine = ArmEngine::cortex_a53().with_prepack_capacity(one_entry);
+        assert_eq!(engine.prepack_stats().capacity_bytes, one_entry);
+        let _ = engine.conv(&input, &weights, &shape, ArmAlgo::Gemm);
+        assert_eq!(engine.prepack_stats().evictions, 0);
+        // A second layout overflows the budget; the older Gemm entry goes.
+        let _ = engine.conv(&input, &weights, &shape, ArmAlgo::GemmNarrow);
+        let stats = engine.prepack_stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.evictions, 1);
+        // The evicted entry re-packs as a fresh miss, evicting in turn.
+        let out = engine.conv(&input, &weights, &shape, ArmAlgo::Gemm);
+        let stats = engine.prepack_stats();
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (0, 3, 2));
+        // Eviction never affects results.
+        assert_eq!(out.acc.data(), direct_conv(&input, &weights, &shape).data());
+    }
+
+    #[test]
+    fn prepack_cache_keeps_a_single_oversized_entry() {
+        let shape = ConvShape::new(1, 4, 8, 8, 6, 3, 1, 1);
+        let (input, weights) = tensors(&shape, BitWidth::W4, 33);
+        // A 1-byte budget cannot fit anything, but the just-packed entry is
+        // kept so repeated convs of one layer still hit.
+        let engine = ArmEngine::cortex_a53().with_prepack_capacity(1);
+        let _ = engine.conv(&input, &weights, &shape, ArmAlgo::Gemm);
+        let _ = engine.conv(&input, &weights, &shape, ArmAlgo::Gemm);
+        let stats = engine.prepack_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries, stats.evictions), (1, 1, 1, 0));
     }
 
     #[test]

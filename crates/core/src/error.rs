@@ -89,6 +89,16 @@ pub enum CoreError {
         /// Human-readable description of the divergence.
         detail: String,
     },
+    /// The serving admission queue is at capacity — typed backpressure. The
+    /// caller decides whether to retry, shed load or fail the request; the
+    /// server never blocks the submitter.
+    QueueFull {
+        /// The queue's configured depth.
+        capacity: usize,
+    },
+    /// The server (or one of its queues) has shut down; no further requests
+    /// are accepted and in-flight tickets whose worker died resolve to this.
+    ServerShutdown,
 }
 
 impl std::fmt::Display for CoreError {
@@ -127,6 +137,10 @@ impl std::fmt::Display for CoreError {
             CoreError::PlanMismatch { detail } => {
                 write!(f, "plan does not match the network: {detail}")
             }
+            CoreError::QueueFull { capacity } => {
+                write!(f, "admission queue full (capacity {capacity})")
+            }
+            CoreError::ServerShutdown => write!(f, "server has shut down"),
         }
     }
 }
@@ -154,5 +168,8 @@ mod tests {
         };
         assert!(e.to_string().contains("gpu-model"));
         assert!(CoreError::EmptyNetwork.to_string().contains("at least one layer"));
+        let e = CoreError::QueueFull { capacity: 8 };
+        assert_eq!(e.to_string(), "admission queue full (capacity 8)");
+        assert!(CoreError::ServerShutdown.to_string().contains("shut down"));
     }
 }

@@ -315,8 +315,10 @@ impl Executor {
             drop(layer_span);
             if tracer.enabled() {
                 if let Some(engine) = &self.arm {
+                    let prepack = engine.prepack_stats();
                     tracer.counter("modeled_millis_total", engine.modeled_millis_total());
-                    tracer.counter("prepack_hits_total", engine.prepack_stats().hits as f64);
+                    tracer.counter("prepack_hits_total", prepack.hits as f64);
+                    tracer.counter("prepack_evictions_total", prepack.evictions as f64);
                     tracer.counter(
                         "workspace_high_water_bytes",
                         engine.workspace_stats().high_water_bytes as f64,

@@ -48,7 +48,10 @@ pub mod prelude {
     pub use turing_sim::Precision;
 }
 
-pub use arm::{prepack_fingerprint, stage_attribution, ArmAlgo, ArmConvResult, ArmEngine, PrepackStats};
+pub use arm::{
+    prepack_fingerprint, stage_attribution, ArmAlgo, ArmConvResult, ArmEngine, PrepackStats,
+    DEFAULT_PREPACK_CAPACITY_BYTES,
+};
 pub use error::CoreError;
 pub use executor::{Backend, BackendLayerEstimate, BackendLayerRun, Executor, NetworkRun};
 pub use gpu::{GpuConvResult, GpuEngine, Tuning};

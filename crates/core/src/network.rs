@@ -135,13 +135,25 @@ impl Network {
     /// geometry comes from [`lowbit_models::demo`] — the single source of
     /// the demo shapes.
     pub fn demo(bits: BitWidth, hw: usize, seed: u64) -> Network {
-        let defs = lowbit_models::demo(hw);
+        Network::from_layer_defs(&lowbit_models::demo(hw), bits, seed)
+            .expect("demo network chains by construction")
+    }
+
+    /// Builds a deterministic network from a chainable slice of
+    /// [`lowbit_models::LayerDef`]s: seeded random weights at `bits`, no
+    /// bias, ReLU on every layer but the last, and re-quantization scaled so
+    /// typical accumulators (~sqrt(K) products) land mid-range at every bit
+    /// width. The defs must chain (same validation as
+    /// [`Network::sequential`]).
+    pub fn from_layer_defs(
+        defs: &[lowbit_models::LayerDef],
+        bits: BitWidth,
+        seed: u64,
+    ) -> Result<Network, CoreError> {
         let layers = defs
             .iter()
             .enumerate()
             .map(|(i, def)| {
-                // Scale the re-quantization so typical accumulators (~sqrt(K)
-                // products) land mid-range at every bit width.
                 let mult = 4.0 / ((def.shape.gemm_k() as f32).sqrt() * bits.qmax() as f32);
                 NetLayer {
                     name: def.name.into(),
@@ -158,7 +170,62 @@ impl Network {
                 }
             })
             .collect();
-        Network::sequential(layers).expect("demo network chains by construction")
+        Network::sequential(layers)
+    }
+
+    /// The same network at a different batch size: every layer's geometry is
+    /// re-batched, weights/bias/requant are shared unchanged. This is the
+    /// serving layer's batching primitive — one request-class template
+    /// network spawns the batched variant each bucket needs.
+    pub fn with_batch(&self, batch: usize) -> Result<Network, CoreError> {
+        let layers = self
+            .layers
+            .iter()
+            .map(|l| NetLayer { shape: l.shape.with_batch(batch), ..l.clone() })
+            .collect();
+        Network::sequential(layers)
+    }
+
+    /// A content fingerprint of the network: FNV-1a over every layer's name,
+    /// batch-independent geometry, quantized weights, epilogue flags and
+    /// re-quantization parameters. The batch size is deliberately excluded —
+    /// [`Network::with_batch`] variants share one fingerprint, so serving
+    /// caches key plans by `(fingerprint, batch, backend)` and a re-batched
+    /// network is recognized as the same model.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf29ce484222325;
+        const PRIME: u64 = 0x100000001b3;
+        fn eat(h: &mut u64, bytes: &[u8]) {
+            for &b in bytes {
+                *h ^= b as u64;
+                *h = h.wrapping_mul(PRIME);
+            }
+        }
+        let mut h = OFFSET;
+        for l in &self.layers {
+            eat(&mut h, l.name.as_bytes());
+            let s = &l.shape;
+            for dim in [s.c_in, s.h, s.w, s.c_out, s.kh, s.kw, s.stride, s.pad] {
+                eat(&mut h, &(dim as u64).to_le_bytes());
+            }
+            // Reuse the prepack fingerprint as the weight digest (bits, dims
+            // and raw bytes); every weight tensor has a wide-GEMM layout.
+            let wfp = crate::arm::prepack_fingerprint(&l.weights, ArmAlgo::Gemm)
+                .expect("Gemm always has a prepacked layout");
+            eat(&mut h, &wfp.to_le_bytes());
+            eat(&mut h, &[l.relu as u8]);
+            eat(&mut h, &l.requant.multiplier.to_bits().to_le_bytes());
+            match &l.bias {
+                None => eat(&mut h, &[0]),
+                Some(bias) => {
+                    eat(&mut h, &[1]);
+                    for &v in bias {
+                        eat(&mut h, &(v as i64).to_le_bytes());
+                    }
+                }
+            }
+        }
+        h
     }
 
     /// Layers view.
@@ -360,6 +427,57 @@ mod tests {
             net5.estimate_gpu(&gpu, crate::gpu::Tuning::Default),
             Err(CoreError::UnsupportedBitWidth { bits: BitWidth::W5, backend: BackendKind::GpuModel })
         ));
+    }
+
+    #[test]
+    fn fingerprint_is_batch_invariant_but_content_sensitive() {
+        let net = Network::demo(BitWidth::W4, 12, 9);
+        let fp = net.fingerprint();
+        // Deterministic and stable across re-batching (the serving cache
+        // keys plans by (fingerprint, batch, backend)).
+        assert_eq!(Network::demo(BitWidth::W4, 12, 9).fingerprint(), fp);
+        for batch in [2, 4, 8] {
+            let batched = net.with_batch(batch).unwrap();
+            assert_eq!(batched.layers()[0].shape.batch, batch);
+            assert_eq!(batched.fingerprint(), fp, "batch {batch}");
+        }
+        // Different weights, bits or geometry change it.
+        assert_ne!(Network::demo(BitWidth::W4, 12, 10).fingerprint(), fp);
+        assert_ne!(Network::demo(BitWidth::W5, 12, 9).fingerprint(), fp);
+        assert_ne!(Network::demo(BitWidth::W4, 16, 9).fingerprint(), fp);
+    }
+
+    #[test]
+    fn with_batch_shares_weights_and_revalidates() {
+        let net = Network::demo(BitWidth::W6, 12, 3);
+        let batched = net.with_batch(4).unwrap();
+        for (a, b) in net.layers().iter().zip(batched.layers()) {
+            assert_eq!(a.weights.data(), b.weights.data());
+            assert_eq!(a.shape.with_batch(4), b.shape);
+            assert_eq!(a.relu, b.relu);
+        }
+        // Batched execution of duplicated inputs matches batch-1 per sample.
+        let engine = ArmEngine::cortex_a53();
+        let single = float_input((1, 3, 12, 12), 5);
+        let (ref_out, ..) = net.run_arm(&engine, &single);
+        let mut dup = Tensor::zeros((2, 3, 12, 12), Layout::Nchw);
+        let n = single.data().len();
+        dup.data_mut()[..n].copy_from_slice(single.data());
+        dup.data_mut()[n..].copy_from_slice(single.data());
+        let (out2, ..) = batched.with_batch(2).unwrap().run_arm(&engine, &dup);
+        let m = ref_out.data().len();
+        assert_eq!(&out2.data()[..m], ref_out.data());
+        assert_eq!(&out2.data()[m..], ref_out.data());
+    }
+
+    #[test]
+    fn from_layer_defs_builds_the_bottleneck_class() {
+        let net =
+            Network::from_layer_defs(&lowbit_models::resnet50_bottleneck(), BitWidth::W4, 7)
+                .unwrap();
+        assert_eq!(net.layers().len(), 3);
+        assert_eq!(net.layers()[0].name, "conv6");
+        assert!(!net.layers()[2].relu);
     }
 
     #[test]

@@ -23,8 +23,9 @@ use lowbit_conv_gpu::TileConfig;
 use lowbit_qnn::RequantParams;
 use lowbit_tensor::{BitWidth, ConvShape};
 
-/// Which engine a layer runs on.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+/// Which engine a layer runs on. `Hash` so serving-layer caches can key
+/// compiled plans by `(network fingerprint, batch, backend)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum BackendKind {
     /// The ARM CPU engine (executes kernels, models a Cortex core).
     Arm,

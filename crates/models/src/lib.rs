@@ -213,6 +213,17 @@ pub fn demo(hw: usize) -> Vec<LayerDef> {
     ]
 }
 
+/// A chainable three-layer ResNet-50 stage-2 bottleneck (conv6 1x1/s2
+/// reduce → conv7 3x3 → conv8 1x1 expand): the distinct-shape table's rows
+/// that actually compose into a runnable block. This is the serving layer's
+/// heavyweight request class — real ResNet-50 geometry without the full
+/// 53-conv stack.
+pub fn resnet50_bottleneck() -> Vec<LayerDef> {
+    let all = resnet50();
+    let pick = |name: &str| *all.iter().find(|l| l.name == name).unwrap();
+    vec![pick("conv6"), pick("conv7"), pick("conv8")]
+}
+
 /// All 3x3 stride-1 layers of a table (the Winograd-applicable subset used
 /// by Fig. 8).
 pub fn winograd_layers(layers: &[LayerDef]) -> Vec<LayerDef> {
@@ -320,6 +331,21 @@ mod tests {
                     (w[1].shape.h, w[1].shape.w)
                 );
             }
+        }
+    }
+
+    #[test]
+    fn bottleneck_chain_is_consistent() {
+        let d = resnet50_bottleneck();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d[0].name, "conv6");
+        assert_eq!(d[2].shape.c_out, 512);
+        for w in d.windows(2) {
+            assert_eq!(w[0].shape.c_out, w[1].shape.c_in);
+            assert_eq!(
+                (w[0].shape.out_h(), w[0].shape.out_w()),
+                (w[1].shape.h, w[1].shape.w)
+            );
         }
     }
 

@@ -1,0 +1,149 @@
+//! The serving benchmark / smoke driver.
+//!
+//! Default run writes `BENCH_serving.json` (the deterministic virtual-time
+//! serving benchmark over three request classes and three batch policies).
+//!
+//! `--smoke` additionally drives the *real* threaded [`Server`] end to end:
+//! a recording tracer, one worker (so executor wall spans cannot
+//! interleave), a bounded number of seeded requests, chrome-trace export for
+//! `validate_trace`, and a stats printout. This is the CI path.
+//!
+//! ```text
+//! lowbit-serve [--smoke] [--out BENCH_serving.json] [--trace trace.json]
+//!              [--requests N]
+//! ```
+
+use lowbit::prelude::*;
+use lowbit_serve::{BatchPolicy, RequestClass, Server, ServerConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    smoke: bool,
+    out: PathBuf,
+    trace: Option<PathBuf>,
+    requests: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        smoke: false,
+        out: PathBuf::from("BENCH_serving.json"),
+        trace: None,
+        requests: 48,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--out" => {
+                args.out = PathBuf::from(it.next().ok_or("--out needs a path")?);
+            }
+            "--trace" => {
+                args.trace = Some(PathBuf::from(it.next().ok_or("--trace needs a path")?));
+            }
+            "--requests" => {
+                args.requests = it
+                    .next()
+                    .ok_or("--requests needs a count")?
+                    .parse()
+                    .map_err(|e| format!("--requests: {e}"))?;
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Drives the real server: submit `n` seeded demo requests, wait for every
+/// ticket, shut down, report. Returns an error message on any failed
+/// request.
+fn smoke(n: usize, trace_out: Option<&PathBuf>) -> Result<(), String> {
+    let class = RequestClass::demo(BitWidth::W4, 12, 9);
+    let (tracer, sink) = Tracer::recording();
+    let config = ServerConfig {
+        queue_depth: 64,
+        policy: BatchPolicy::Dynamic { max_batch: 4, deadline_ms: 2.0 },
+        workers: 1, // keeps executor wall spans on one track non-overlapping
+        arm_threads: 2,
+        force_backend: None,
+    };
+    let server = Server::start(vec![class.clone()], config, &tracer);
+
+    let mut tickets = Vec::new();
+    for i in 0..n {
+        match server.submit(0, class.sample_input(i as u64)) {
+            Ok(t) => tickets.push(t),
+            Err(e) => return Err(format!("submit {i} failed: {e}")),
+        }
+    }
+    let mut hits = 0usize;
+    for (i, t) in tickets.into_iter().enumerate() {
+        let resp = t.wait().map_err(|e| format!("request {i} failed: {e}"))?;
+        if resp.timing.plan_cache_hit {
+            hits += 1;
+        }
+    }
+    let stats = server.shutdown();
+
+    println!("smoke: {n} requests on {}", class.name());
+    println!(
+        "  admitted {} rejected {} batches {} completed {}",
+        stats.queues[0].admitted, stats.queues[0].rejected, stats.batches, stats.completed
+    );
+    println!(
+        "  plan cache: {} hits {} misses ({} entries); per-request hits {hits}/{n}",
+        stats.plan_cache.hits, stats.plan_cache.misses, stats.plan_cache.entries
+    );
+    println!("  batch histogram: {:?}", stats.batch_histogram);
+    if stats.completed != n as u64 {
+        return Err(format!("completed {} of {n}", stats.completed));
+    }
+
+    let capture = sink.capture();
+    let chrome = lowbit_trace::chrome::chrome_trace_json(&capture);
+    lowbit_trace::chrome::validate_chrome_trace(&chrome)
+        .map_err(|e| format!("smoke trace invalid: {e}"))?;
+    if let Some(path) = trace_out {
+        std::fs::write(path, &chrome).map_err(|e| format!("write {path:?}: {e}"))?;
+        println!("  trace -> {}", path.display());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("lowbit-serve: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.smoke {
+        if let Err(e) = smoke(args.requests, args.trace.as_ref()) {
+            eprintln!("lowbit-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let dir = args.out.parent().map(PathBuf::from).unwrap_or_else(|| PathBuf::from("."));
+    let dir = if dir.as_os_str().is_empty() { PathBuf::from(".") } else { dir };
+    match lowbit_serve::save_serving_json(&dir) {
+        Ok(path) => {
+            // save_serving_json names the file; honor a custom --out name.
+            if path != args.out {
+                if let Err(e) = std::fs::rename(&path, &args.out) {
+                    eprintln!("lowbit-serve: rename to {:?}: {e}", args.out);
+                    return ExitCode::FAILURE;
+                }
+            }
+            println!("serving benchmark -> {}", args.out.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("lowbit-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

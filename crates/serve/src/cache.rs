@@ -1,0 +1,143 @@
+//! The keyed plan cache: compile a batched [`ExecutionPlan`] once per
+//! `(network fingerprint, batch, backend)` and share it.
+//!
+//! Per-key slot mutexes serialize compilation without blocking unrelated
+//! keys: racing lookups for the same key agree on one slot under the outer
+//! map lock, then exactly one of them compiles while the others wait on the
+//! slot and return the shared `Arc` — the cache never compiles the same key
+//! twice.
+
+use lowbit::{BackendKind, CoreError, ExecutionPlan};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// What a compiled plan is memoized by. The fingerprint is
+/// [`lowbit::Network::fingerprint`] — batch-invariant, so re-batched
+/// variants of one model share it and differ only in `batch`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PlanKey {
+    /// The model's content fingerprint.
+    pub fingerprint: u64,
+    /// Batch bucket the plan was compiled for.
+    pub batch: usize,
+    /// Backend the plan targets.
+    pub backend: BackendKind,
+}
+
+/// Lookup counters; `entries` counts distinct keys ever requested
+/// (including any whose compilation is in flight).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PlanCacheStats {
+    /// Lookups served an already-compiled plan.
+    pub hits: u64,
+    /// Lookups that compiled.
+    pub misses: u64,
+    /// Distinct keys.
+    pub entries: usize,
+}
+
+impl PlanCacheStats {
+    /// Hits over all lookups (0 when empty).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+type Slot = Arc<Mutex<Option<Arc<ExecutionPlan>>>>;
+
+/// The concurrent plan cache.
+#[derive(Default)]
+pub struct PlanCache {
+    slots: Mutex<HashMap<PlanKey, Slot>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> PlanCache {
+        PlanCache::default()
+    }
+
+    /// Returns the memoized plan for `key`, compiling it via `compile` on
+    /// first sight. The `bool` is `true` on a cache hit. Concurrent calls
+    /// for the same key compile exactly once — the losers block on the
+    /// key's slot and share the winner's plan. A failed compile leaves the
+    /// slot empty (the next lookup retries) and counts as neither hit nor
+    /// miss.
+    pub fn get_or_compile(
+        &self,
+        key: PlanKey,
+        compile: impl FnOnce() -> Result<ExecutionPlan, CoreError>,
+    ) -> Result<(Arc<ExecutionPlan>, bool), CoreError> {
+        let slot: Slot = {
+            let mut slots = self.slots.lock().expect("plan cache poisoned");
+            slots.entry(key).or_default().clone()
+        };
+        let mut g = slot.lock().expect("plan slot poisoned");
+        if let Some(plan) = &*g {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((plan.clone(), true));
+        }
+        let plan = Arc::new(compile()?);
+        *g = Some(plan.clone());
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        Ok((plan, false))
+    }
+
+    /// Lookup counters.
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.slots.lock().expect("plan cache poisoned").len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowbit::prelude::*;
+
+    fn key(batch: usize) -> PlanKey {
+        PlanKey { fingerprint: 42, batch, backend: BackendKind::Arm }
+    }
+
+    fn compile_demo() -> Result<ExecutionPlan, CoreError> {
+        let net = Network::demo(BitWidth::W4, 12, 9);
+        Planner::for_arm(&ArmEngine::cortex_a53()).compile(&net)
+    }
+
+    #[test]
+    fn second_lookup_hits_and_shares_the_arc() {
+        let cache = PlanCache::new();
+        let (a, hit_a) = cache.get_or_compile(key(1), compile_demo).unwrap();
+        let (b, hit_b) = cache
+            .get_or_compile(key(1), || panic!("must not recompile"))
+            .unwrap();
+        assert!(!hit_a && hit_b);
+        assert!(Arc::ptr_eq(&a, &b));
+        // A different batch is a different key.
+        let (_, hit_c) = cache.get_or_compile(key(2), compile_demo).unwrap();
+        assert!(!hit_c);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 2, 2));
+        assert!((stats.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failed_compiles_are_retried() {
+        let cache = PlanCache::new();
+        let err = cache.get_or_compile(key(1), || Err(CoreError::EmptyNetwork));
+        assert!(err.is_err());
+        let (_, hit) = cache.get_or_compile(key(1), compile_demo).unwrap();
+        assert!(!hit, "slot stayed empty after the failure");
+    }
+}

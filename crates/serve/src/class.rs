@@ -1,0 +1,111 @@
+//! Request classes: the models a server offers, each wrapped with the
+//! identity the plan cache keys on.
+//!
+//! A class holds a batch-1 *template* [`Network`] plus its content
+//! [`Network::fingerprint`]. Batched variants ([`RequestClass::batched`])
+//! share the template's weights and fingerprint, so every `(class, bucket,
+//! backend)` plan-cache key traces back to one fingerprint per model — the
+//! same identity scheme the prepack cache uses per weight tensor.
+
+use lowbit::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One servable model: a named batch-1 template network plus its cached
+/// content fingerprint.
+#[derive(Clone, Debug)]
+pub struct RequestClass {
+    name: String,
+    template: Network,
+    fingerprint: u64,
+}
+
+impl RequestClass {
+    /// Wraps an arbitrary batch-1 network as a request class.
+    pub fn from_network(name: impl Into<String>, template: Network) -> RequestClass {
+        let fingerprint = template.fingerprint();
+        RequestClass { name: name.into(), template, fingerprint }
+    }
+
+    /// The three-layer demo network at `bits` and resolution `hw` — the
+    /// lightweight request class (executable in tests and the smoke run).
+    pub fn demo(bits: BitWidth, hw: usize, seed: u64) -> RequestClass {
+        RequestClass::from_network(
+            format!("demo-w{}-{hw}", bits.bits()),
+            Network::demo(bits, hw, seed),
+        )
+    }
+
+    /// A ResNet-50 stage-2 bottleneck block (conv6 → conv7 → conv8) at
+    /// `bits` — the heavyweight class with real ResNet geometry, used by the
+    /// modeled benchmarks.
+    pub fn resnet50_bottleneck(bits: BitWidth, seed: u64) -> RequestClass {
+        let net = Network::from_layer_defs(&lowbit_models::resnet50_bottleneck(), bits, seed)
+            .expect("bottleneck defs chain");
+        RequestClass::from_network(format!("resnet50-bottleneck-w{}", bits.bits()), net)
+    }
+
+    /// Class name (used in report rows and trace track names).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The batch-1 template network.
+    pub fn template(&self) -> &Network {
+        &self.template
+    }
+
+    /// The template's content fingerprint (batch-invariant — see
+    /// [`Network::fingerprint`]).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The template re-batched to `batch` (shares weights; same
+    /// fingerprint).
+    pub fn batched(&self, batch: usize) -> Network {
+        self.template.with_batch(batch).expect("template validated at construction")
+    }
+
+    /// Input dims one request must supply: `(1, c_in, h, w)` of the first
+    /// layer.
+    pub fn input_dims(&self) -> (usize, usize, usize, usize) {
+        let s = &self.template.layers()[0].shape;
+        (1, s.c_in, s.h, s.w)
+    }
+
+    /// A deterministic random input for this class (floats in `[-1, 1)`).
+    pub fn sample_input(&self, seed: u64) -> Tensor<f32> {
+        let dims = self.input_dims();
+        let len = dims.0 * dims.1 * dims.2 * dims.3;
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::from_vec(dims, Layout::Nchw, (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_carry_batch_invariant_fingerprints() {
+        let c = RequestClass::demo(BitWidth::W4, 12, 9);
+        assert_eq!(c.name(), "demo-w4-12");
+        assert_eq!(c.input_dims(), (1, 3, 12, 12));
+        assert_eq!(c.fingerprint(), c.template().fingerprint());
+        let b8 = c.batched(8);
+        assert_eq!(b8.layers()[0].shape.batch, 8);
+        assert_eq!(b8.fingerprint(), c.fingerprint());
+        // Distinct seeds are distinct models.
+        assert_ne!(RequestClass::demo(BitWidth::W4, 12, 10).fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn bottleneck_class_builds_and_samples() {
+        let c = RequestClass::resnet50_bottleneck(BitWidth::W4, 7);
+        assert_eq!(c.input_dims(), (1, 256, 56, 56));
+        let input = c.sample_input(1);
+        assert_eq!(input.dims(), (1, 256, 56, 56));
+        assert_eq!(input.data(), c.sample_input(1).data(), "seeded inputs are deterministic");
+    }
+}

@@ -1,0 +1,45 @@
+//! Batched asynchronous inference serving for the low-bit stack.
+//!
+//! The paper's Fig. 10 shows a batch-size crossover between the GPU (launch
+//! overhead amortizes with batch) and multi-thread ARM (thread imbalance
+//! amortizes with batch) backends. This crate makes that crossover
+//! *executable*: a server that admits single requests through a bounded
+//! queue, forms batches under a close policy, picks the batch's backend
+//! from the planner's cost model, memoizes batched [`ExecutionPlan`]s in a
+//! keyed cache, and drives [`Executor::run`] from a worker pool — with
+//! per-request latency attribution throughout.
+//!
+//! [`ExecutionPlan`]: lowbit::ExecutionPlan
+//! [`Executor::run`]: lowbit::Executor::run
+//!
+//! Layers, bottom-up:
+//!
+//! - [`class`]: the models a server offers, keyed by content fingerprint.
+//! - [`policy`]: batch close rules (`Fixed(n)`, `Dynamic{max,deadline}`).
+//! - [`queue`]: the bounded admission queue with typed backpressure.
+//! - [`cost`]: the batch-size/backend decision rule (the Fig. 10 curves).
+//! - [`cache`]: the `(fingerprint, bucket, backend)`-keyed plan cache.
+//! - [`server`]: the threaded server tying it all together.
+//! - [`sim`]: deterministic virtual-time traffic simulation.
+//! - [`report`]: the `BENCH_serving.json` builder.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod class;
+pub mod cost;
+pub mod policy;
+pub mod queue;
+pub mod report;
+pub mod server;
+pub mod sim;
+
+pub use cache::{PlanCache, PlanCacheStats, PlanKey};
+pub use class::RequestClass;
+pub use cost::{bucket_for, choose_point, crossover_table, CostPoint, BATCH_BUCKETS};
+pub use policy::BatchPolicy;
+pub use queue::{AdmissionQueue, QueueStats};
+pub use report::{save_serving_json, serving_report};
+pub use server::{Response, Server, ServerConfig, ServerStats, Ticket};
+pub use sim::{simulate, Arrival, SimConfig, SimResult};

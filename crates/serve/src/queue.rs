@@ -1,0 +1,186 @@
+//! The bounded admission queue with typed backpressure.
+//!
+//! [`AdmissionQueue::push`] never blocks: a full queue rejects with
+//! [`CoreError::QueueFull`] and a closed queue with
+//! [`CoreError::ServerShutdown`] — the submitter decides whether to retry or
+//! shed load. The batcher side ([`AdmissionQueue::next_batch`]) blocks on a
+//! condvar and implements the [`BatchPolicy`] close rule: a `Fixed(n)`
+//! batch waits for `n` requests (partial batches flush only at close), a
+//! `Dynamic` batch closes at its size target or its formation deadline,
+//! whichever comes first.
+
+use crate::policy::BatchPolicy;
+use lowbit::CoreError;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Admission counters and current occupancy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Requests accepted into the queue.
+    pub admitted: u64,
+    /// Requests rejected with `QueueFull`.
+    pub rejected: u64,
+    /// Requests currently waiting.
+    pub depth: usize,
+    /// Configured depth bound.
+    pub capacity: usize,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    admitted: u64,
+    rejected: u64,
+}
+
+/// A bounded MPSC queue: many submitters, one batcher.
+pub struct AdmissionQueue<T> {
+    capacity: usize,
+    inner: Mutex<Inner<T>>,
+    cv: Condvar,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// Creates a queue holding at most `capacity` requests (min 1).
+    pub fn new(capacity: usize) -> AdmissionQueue<T> {
+        AdmissionQueue {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+                admitted: 0,
+                rejected: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Non-blocking admission: `QueueFull` at capacity, `ServerShutdown`
+    /// after [`AdmissionQueue::close`].
+    pub fn push(&self, item: T) -> Result<(), CoreError> {
+        let mut g = self.inner.lock().expect("queue poisoned");
+        if g.closed {
+            return Err(CoreError::ServerShutdown);
+        }
+        if g.items.len() >= self.capacity {
+            g.rejected += 1;
+            return Err(CoreError::QueueFull { capacity: self.capacity });
+        }
+        g.items.push_back(item);
+        g.admitted += 1;
+        self.cv.notify_all();
+        Ok(())
+    }
+
+    /// Closes the queue: subsequent pushes fail, the batcher drains what is
+    /// left (flushing partial batches) and then sees `None`.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue poisoned").closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Blocks until a batch closes per `policy`; `None` once the queue is
+    /// closed **and** empty. The dynamic deadline is measured from the
+    /// moment the batcher sees the batch's first request.
+    pub fn next_batch(&self, policy: &BatchPolicy) -> Option<Vec<T>> {
+        let mut g = self.inner.lock().expect("queue poisoned");
+        loop {
+            if !g.items.is_empty() {
+                break;
+            }
+            if g.closed {
+                return None;
+            }
+            g = self.cv.wait(g).expect("queue poisoned");
+        }
+        let target = policy.max_batch();
+        match *policy {
+            BatchPolicy::Fixed(_) => {
+                while g.items.len() < target && !g.closed {
+                    g = self.cv.wait(g).expect("queue poisoned");
+                }
+            }
+            BatchPolicy::Dynamic { deadline_ms, .. } => {
+                let deadline =
+                    Instant::now() + Duration::from_secs_f64(deadline_ms.max(0.0) / 1e3);
+                while g.items.len() < target && !g.closed {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let (g2, _) =
+                        self.cv.wait_timeout(g, deadline - now).expect("queue poisoned");
+                    g = g2;
+                }
+            }
+        }
+        let b = g.items.len().min(target);
+        Some(g.items.drain(..b).collect())
+    }
+
+    /// Admission counters and occupancy.
+    pub fn stats(&self) -> QueueStats {
+        let g = self.inner.lock().expect("queue poisoned");
+        QueueStats {
+            admitted: g.admitted,
+            rejected: g.rejected,
+            depth: g.items.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn full_queue_rejects_with_typed_backpressure() {
+        let q = AdmissionQueue::new(2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.push(3), Err(CoreError::QueueFull { capacity: 2 }));
+        let stats = q.stats();
+        assert_eq!((stats.admitted, stats.rejected, stats.depth), (2, 1, 2));
+        q.close();
+        assert_eq!(q.push(4), Err(CoreError::ServerShutdown));
+    }
+
+    #[test]
+    fn fixed_batches_close_at_exactly_n_and_flush_on_close() {
+        let q = Arc::new(AdmissionQueue::new(16));
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        let policy = BatchPolicy::Fixed(4);
+        assert_eq!(q.next_batch(&policy), Some(vec![0, 1, 2, 3]));
+        // One item left: a Fixed(4) batch waits — close flushes it partial.
+        let qc = q.clone();
+        let h = std::thread::spawn(move || qc.next_batch(&BatchPolicy::Fixed(4)));
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(h.join().unwrap(), Some(vec![4]));
+        assert_eq!(q.next_batch(&policy), None);
+    }
+
+    #[test]
+    fn dynamic_batches_close_on_the_deadline() {
+        let q = AdmissionQueue::new(16);
+        q.push(7).unwrap();
+        let t0 = Instant::now();
+        let batch = q.next_batch(&BatchPolicy::Dynamic { max_batch: 8, deadline_ms: 10.0 });
+        assert_eq!(batch, Some(vec![7]));
+        assert!(t0.elapsed() >= Duration::from_millis(9), "waited out the deadline");
+        // A full batch closes immediately.
+        for i in 0..8 {
+            q.push(i).unwrap();
+        }
+        let t0 = Instant::now();
+        let batch = q.next_batch(&BatchPolicy::Dynamic { max_batch: 8, deadline_ms: 500.0 });
+        assert_eq!(batch.map(|b| b.len()), Some(8));
+        assert!(t0.elapsed() < Duration::from_millis(400), "did not wait for the deadline");
+    }
+}

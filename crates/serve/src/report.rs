@@ -1,0 +1,285 @@
+//! `BENCH_serving.json`: the serving layer's perf-trajectory record.
+//!
+//! Three request classes × three batch policies, each run through the
+//! deterministic virtual-time simulation ([`crate::sim`]) in the overload
+//! regime: the open-loop arrival rate is set to 1.2× the dynamic point's
+//! modeled capacity, so every policy is saturated and its true throughput
+//! ceiling (and queueing p99) is what the numbers show. The file also
+//! carries each class's batch-size/backend crossover table — the Fig. 10
+//! curve the batcher's decision rule walks — and a criteria block asserting
+//! the properties the serving layer exists to deliver (dynamic batching
+//! beats fixed-1 at no worse p99; the bucketed plan cache hits ≥90% in
+//! steady state).
+
+use crate::class::RequestClass;
+use crate::cost::{self, CostPoint};
+use crate::policy::BatchPolicy;
+use crate::sim::{simulate, Arrival, SimConfig, SimResult};
+use lowbit::prelude::*;
+use std::path::{Path, PathBuf};
+
+/// Fixed report parameters (kept small enough that the report regenerates in
+/// well under a second; the numbers are modeled, not wall-clock).
+const REQUESTS: usize = 6000;
+const QUEUE_DEPTH: usize = 512;
+const SEED: u64 = 42;
+const ARM_THREADS: usize = 4;
+const CLOSED_CLIENTS: usize = 32;
+
+/// The three benchmarked policies: no batching, static batching, and
+/// deadline-bounded dynamic batching.
+fn policies() -> [BatchPolicy; 3] {
+    [
+        BatchPolicy::Fixed(1),
+        BatchPolicy::Fixed(8),
+        BatchPolicy::Dynamic { max_batch: 16, deadline_ms: 2.0 },
+    ]
+}
+
+/// The benchmarked classes: a GPU-leaning width, an ARM-only width (W6 has
+/// no Tensor Core path), and the real-geometry bottleneck block.
+fn classes() -> Vec<RequestClass> {
+    vec![
+        RequestClass::demo(BitWidth::W4, 12, 9),
+        RequestClass::demo(BitWidth::W6, 12, 9),
+        RequestClass::resnet50_bottleneck(BitWidth::W4, 7),
+    ]
+}
+
+/// The dynamic point's modeled capacity in requests/second: the size-16
+/// bucket's chosen-backend batch latency amortized per request.
+fn dynamic_capacity_rps(class: &RequestClass) -> f64 {
+    let arm = ArmEngine::cortex_a53().with_threads(ARM_THREADS);
+    let gpu = GpuEngine::rtx2080ti();
+    let pt = cost::choose_point(class, 16, &arm, &gpu);
+    16.0 / pt.batch_millis * 1e3
+}
+
+struct ClassReport {
+    name: String,
+    crossover: Vec<CostPoint>,
+    open_loop_rate_rps: f64,
+    open_loop: Vec<(String, SimResult)>,
+    closed_loop: SimResult,
+    dynamic_beats_fixed1: bool,
+    dynamic_p99_not_worse: bool,
+}
+
+fn run_class(class: &RequestClass) -> ClassReport {
+    let arm = ArmEngine::cortex_a53().with_threads(ARM_THREADS);
+    let gpu = GpuEngine::rtx2080ti();
+    let crossover = cost::crossover_table(class, &arm, &gpu);
+    // Overload regime: 1.2x the best policy's capacity saturates them all.
+    let rate = 1.2 * dynamic_capacity_rps(class);
+    let open_loop: Vec<(String, SimResult)> = policies()
+        .iter()
+        .map(|&policy| {
+            let cfg = SimConfig {
+                policy,
+                arrival: Arrival::OpenLoop { rate_per_s: rate },
+                requests: REQUESTS,
+                queue_depth: QUEUE_DEPTH,
+                seed: SEED,
+                force_backend: None,
+            };
+            (policy.label(), simulate(class, &cfg))
+        })
+        .collect();
+    let closed_loop = simulate(
+        class,
+        &SimConfig {
+            policy: BatchPolicy::Dynamic { max_batch: 16, deadline_ms: 2.0 },
+            arrival: Arrival::ClosedLoop { clients: CLOSED_CLIENTS, think_ms: 0.0 },
+            requests: REQUESTS,
+            queue_depth: QUEUE_DEPTH,
+            seed: SEED,
+            force_backend: None,
+        },
+    );
+    let fixed1 = &open_loop[0].1;
+    let dynamic = &open_loop[2].1;
+    ClassReport {
+        name: class.name().to_string(),
+        crossover,
+        open_loop_rate_rps: rate,
+        dynamic_beats_fixed1: dynamic.throughput_rps > fixed1.throughput_rps,
+        dynamic_p99_not_worse: dynamic.p99_ms <= fixed1.p99_ms,
+        open_loop,
+        closed_loop,
+    }
+}
+
+fn json_result(r: &SimResult, indent: &str) -> String {
+    let hist: Vec<String> =
+        r.batch_histogram.iter().map(|(b, n)| format!("[{b},{n}]")).collect();
+    let backs: Vec<String> =
+        r.backends.iter().map(|(k, n)| format!("[\"{k}\",{n}]")).collect();
+    format!(
+        "{{\n{i}  \"completed\": {},\n{i}  \"rejected\": {},\n{i}  \"p50_ms\": {:.6},\n{i}  \"p95_ms\": {:.6},\n{i}  \"p99_ms\": {:.6},\n{i}  \"mean_ms\": {:.6},\n{i}  \"throughput_rps\": {:.3},\n{i}  \"cache_hits\": {},\n{i}  \"cache_misses\": {},\n{i}  \"cache_hit_rate\": {:.4},\n{i}  \"batch_histogram\": [{}],\n{i}  \"backends\": [{}]\n{i}}}",
+        r.completed,
+        r.rejected,
+        r.p50_ms,
+        r.p95_ms,
+        r.p99_ms,
+        r.mean_ms,
+        r.throughput_rps,
+        r.cache_hits,
+        r.cache_misses,
+        r.cache_hit_rate(),
+        hist.join(","),
+        backs.join(","),
+        i = indent,
+    )
+}
+
+fn json_crossover(table: &[CostPoint]) -> String {
+    let rows: Vec<String> = table
+        .iter()
+        .map(|pt| {
+            let gpu = match pt.gpu_millis {
+                Some(g) => format!("{g:.6}"),
+                None => "null".to_string(),
+            };
+            format!(
+                "        {{\"batch\":{},\"backend\":\"{}\",\"arm_ms\":{:.6},\"gpu_ms\":{},\"chosen_ms\":{:.6},\"per_request_ms\":{:.6}}}",
+                pt.batch,
+                pt.backend,
+                pt.arm_millis,
+                gpu,
+                pt.batch_millis,
+                pt.per_request_millis(),
+            )
+        })
+        .collect();
+    format!("[\n{}\n      ]", rows.join(",\n"))
+}
+
+/// Renders the full report as a JSON string.
+pub fn serving_report() -> String {
+    let reports: Vec<ClassReport> = classes().iter().map(run_class).collect();
+    let all_dynamic_win = reports.iter().all(|r| r.dynamic_beats_fixed1 && r.dynamic_p99_not_worse);
+    let min_hit_rate = reports
+        .iter()
+        .flat_map(|r| r.open_loop.iter().map(|(_, s)| s.cache_hit_rate()))
+        .fold(f64::INFINITY, f64::min);
+
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"lowbit-serving-v1\",\n");
+    s.push_str("  \"experiment\": \"batched_serving\",\n");
+    s.push_str("  \"config\": {\n");
+    s.push_str(&format!("    \"requests_per_run\": {REQUESTS},\n"));
+    s.push_str(&format!("    \"queue_depth\": {QUEUE_DEPTH},\n"));
+    s.push_str(&format!("    \"seed\": {SEED},\n"));
+    s.push_str(&format!("    \"arm_threads\": {ARM_THREADS},\n"));
+    s.push_str(&format!("    \"closed_loop_clients\": {CLOSED_CLIENTS},\n"));
+    let labels: Vec<String> = policies().iter().map(|p| format!("\"{}\"", p.label())).collect();
+    s.push_str(&format!("    \"policies\": [{}],\n", labels.join(",")));
+    let buckets: Vec<String> = cost::BATCH_BUCKETS.iter().map(|b| b.to_string()).collect();
+    s.push_str(&format!("    \"batch_buckets\": [{}],\n", buckets.join(",")));
+    s.push_str("    \"overload_factor\": 1.2\n");
+    s.push_str("  },\n");
+    s.push_str("  \"classes\": [\n");
+    let class_rows: Vec<String> = reports
+        .iter()
+        .map(|r| {
+            let mut c = String::new();
+            c.push_str("    {\n");
+            c.push_str(&format!("      \"name\": \"{}\",\n", r.name));
+            c.push_str(&format!("      \"crossover\": {},\n", json_crossover(&r.crossover)));
+            c.push_str(&format!(
+                "      \"open_loop_rate_rps\": {:.3},\n",
+                r.open_loop_rate_rps
+            ));
+            c.push_str("      \"open_loop\": {\n");
+            let runs: Vec<String> = r
+                .open_loop
+                .iter()
+                .map(|(label, res)| {
+                    format!("        \"{}\": {}", label, json_result(res, "        "))
+                })
+                .collect();
+            c.push_str(&runs.join(",\n"));
+            c.push_str("\n      },\n");
+            c.push_str(&format!(
+                "      \"closed_loop\": {},\n",
+                json_result(&r.closed_loop, "      ")
+            ));
+            c.push_str(&format!(
+                "      \"dynamic_beats_fixed1_throughput\": {},\n",
+                r.dynamic_beats_fixed1
+            ));
+            c.push_str(&format!(
+                "      \"dynamic_p99_not_worse\": {}\n",
+                r.dynamic_p99_not_worse
+            ));
+            c.push_str("    }");
+            c
+        })
+        .collect();
+    s.push_str(&class_rows.join(",\n"));
+    s.push_str("\n  ],\n");
+    s.push_str("  \"criteria\": {\n");
+    s.push_str(&format!(
+        "    \"dynamic_beats_fixed1_on_all_classes\": {all_dynamic_win},\n"
+    ));
+    s.push_str(&format!(
+        "    \"min_steady_cache_hit_rate\": {min_hit_rate:.4},\n"
+    ));
+    s.push_str(&format!(
+        "    \"cache_hit_rate_ok\": {}\n",
+        min_hit_rate >= 0.9
+    ));
+    s.push_str("  }\n");
+    s.push_str("}\n");
+    s
+}
+
+/// Writes `BENCH_serving.json` under `dir` and returns the path.
+pub fn save_serving_json(dir: &Path) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join("BENCH_serving.json");
+    std::fs::write(&path, serving_report())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_meets_the_acceptance_criteria() {
+        let text = serving_report();
+        assert!(text.contains("\"schema\": \"lowbit-serving-v1\""));
+        assert!(
+            text.contains("\"dynamic_beats_fixed1_on_all_classes\": true"),
+            "dynamic batching must beat fixed-1 on every class:\n{text}"
+        );
+        assert!(
+            text.contains("\"cache_hit_rate_ok\": true"),
+            "plan cache must hit >= 90% in steady state:\n{text}"
+        );
+        // Three classes, each with all three policy rows.
+        for class in ["demo-w4-12", "demo-w6-12", "resnet50-bottleneck-w4"] {
+            assert!(text.contains(&format!("\"name\": \"{class}\"")), "missing {class}");
+        }
+        for policy in ["fixed-1", "fixed-8", "dynamic-16@2ms"] {
+            assert!(text.contains(&format!("\"{policy}\":")), "missing {policy}");
+        }
+    }
+
+    #[test]
+    fn report_is_deterministic() {
+        assert_eq!(serving_report(), serving_report());
+    }
+
+    #[test]
+    fn saved_file_lands_in_the_requested_dir() {
+        let dir = std::env::temp_dir().join("lowbit_serving_json_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = save_serving_json(&dir).unwrap();
+        assert!(path.ends_with("BENCH_serving.json"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"experiment\": \"batched_serving\""));
+    }
+}

@@ -1,0 +1,63 @@
+//! Batched inference serving in a dozen lines: start a server over a
+//! request class, submit concurrent requests, read per-request latency
+//! attribution, and inspect the batch-size/backend crossover the batcher's
+//! decision rule walks.
+//!
+//! Run with `cargo run --example serving`.
+
+use lowbit::prelude::*;
+use lowbit_serve::{crossover_table, BatchPolicy, RequestClass, Server, ServerConfig};
+
+fn main() {
+    let class = RequestClass::demo(BitWidth::W4, 12, 9);
+
+    // Where do the modeled backend curves cross for this class?
+    let arm = ArmEngine::cortex_a53().with_threads(4);
+    let gpu = GpuEngine::rtx2080ti();
+    println!("batch  backend    per-request ms");
+    for pt in crossover_table(&class, &arm, &gpu) {
+        println!("{:5}  {:9}  {:.6}", pt.batch, pt.backend.to_string(), pt.per_request_millis());
+    }
+
+    // Serve: bounded queue, dynamic batching (close at 8 requests or 2 ms),
+    // plans cached per (fingerprint, bucket, backend).
+    let config = ServerConfig {
+        queue_depth: 64,
+        policy: BatchPolicy::Dynamic { max_batch: 8, deadline_ms: 2.0 },
+        workers: 2,
+        arm_threads: 4,
+        force_backend: None,
+    };
+    let server = Server::start(vec![class.clone()], config, &Tracer::default());
+
+    let tickets: Vec<_> = (0..24)
+        .map(|i| server.submit(0, class.sample_input(i)).expect("queue has room"))
+        .collect();
+    for (i, t) in tickets.into_iter().enumerate() {
+        let r = t.wait().expect("request served");
+        let tm = r.timing;
+        println!(
+            "req {i:2}: {:.3} ms (queue {:.3} + form {:.3} + compile {:.3} + exec {:.3}) \
+             batch {} -> bucket {} on {} ({})",
+            tm.total_ms(),
+            tm.queue_wait_ms,
+            tm.batch_form_ms,
+            tm.compile_ms,
+            tm.execute_ms,
+            tm.batch_formed,
+            tm.batch_bucket,
+            tm.backend,
+            if tm.plan_cache_hit { "plan hit" } else { "plan miss" },
+        );
+    }
+
+    let stats = server.shutdown();
+    println!(
+        "served {} requests in {} batches; plan cache {} hits / {} misses; histogram {:?}",
+        stats.completed,
+        stats.batches,
+        stats.plan_cache.hits,
+        stats.plan_cache.misses,
+        stats.batch_histogram
+    );
+}
