@@ -5,7 +5,7 @@
 
 use crate::plan::BackendKind;
 use lowbit_tensor::BitWidth;
-use lowbit_verify::GpuViolation;
+use lowbit_verify::{GpuViolation, PlanViolation};
 
 /// Everything that can go wrong while validating, planning or executing a
 /// network.
@@ -77,6 +77,14 @@ pub enum CoreError {
         /// The typed counterexample from `lowbit_verify::gpu`.
         violation: GpuViolation,
     },
+    /// A compiled plan failed the whole-plan static verifier — a numeric
+    /// range break, a layout/shape dataflow bug, an understated workspace
+    /// figure or a fingerprint-blind field. Carries the typed
+    /// counterexample from `lowbit_verify::plan`.
+    PlanRejected {
+        /// The typed counterexample.
+        violation: PlanViolation,
+    },
     /// The plan routes a layer to a backend the planner/executor was not
     /// given an engine for.
     MissingBackend {
@@ -131,6 +139,9 @@ impl std::fmt::Display for CoreError {
             CoreError::GpuPlanRejected { layer, violation } => {
                 write!(f, "{layer}: GPU plan rejected by the static verifier: {violation}")
             }
+            CoreError::PlanRejected { violation } => {
+                write!(f, "plan rejected by the whole-plan static verifier: {violation}")
+            }
             CoreError::MissingBackend { backend } => {
                 write!(f, "no {backend} engine was registered")
             }
@@ -150,9 +161,64 @@ impl std::error::Error for CoreError {}
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lowbit_conv_gpu::TileRejection;
+
+    /// One sample of every variant — the exhaustive Display coverage list.
+    fn samples() -> Vec<CoreError> {
+        vec![
+            CoreError::ChannelMismatch {
+                producer: "a".into(),
+                produces: 8,
+                consumer: "b".into(),
+                expects: 16,
+            },
+            CoreError::SpatialMismatch {
+                producer: "a".into(),
+                produces: (8, 8),
+                consumer: "b".into(),
+                expects: (4, 4),
+            },
+            CoreError::BatchMismatch { producer: "a".into(), consumer: "b".into() },
+            CoreError::BiasLengthMismatch { layer: "a".into(), expects: 4, got: 3 },
+            CoreError::EmptyNetwork,
+            CoreError::InputShapeMismatch { expected: (1, 3, 8, 8), got: (1, 3, 9, 9) },
+            CoreError::UnsupportedBitWidth {
+                bits: BitWidth::W5,
+                backend: BackendKind::GpuModel,
+            },
+            CoreError::GpuPlanRejected {
+                layer: "conv1".into(),
+                violation: GpuViolation::InvalidTile(TileRejection::WarpShape {
+                    dim: 'm',
+                    tile: 100,
+                    warps: 2,
+                }),
+            },
+            CoreError::PlanRejected {
+                violation: PlanViolation::HighWaterUnderstated { declared: 1, required: 2 },
+            },
+            CoreError::MissingBackend { backend: BackendKind::Arm },
+            CoreError::PlanMismatch { detail: "layer count".into() },
+            CoreError::QueueFull { capacity: 8 },
+            CoreError::ServerShutdown,
+        ]
+    }
 
     #[test]
-    fn errors_display_and_implement_error() {
+    fn every_variant_displays_non_empty_and_implements_error() {
+        for e in samples() {
+            let rendered = e.to_string();
+            assert!(!rendered.is_empty(), "{e:?}");
+            let dynerr: &dyn std::error::Error = &e;
+            assert!(dynerr.source().is_none(), "{e:?}");
+            // Debug and Display must both render, and clones compare equal.
+            assert!(!format!("{e:?}").is_empty());
+            assert_eq!(e.clone(), e);
+        }
+    }
+
+    #[test]
+    fn displays_carry_their_payloads() {
         let e = CoreError::ChannelMismatch {
             producer: "a".into(),
             produces: 8,
@@ -160,8 +226,6 @@ mod tests {
             expects: 16,
         };
         assert_eq!(e.to_string(), "a produces 8 channels but b expects 16");
-        let dynerr: &dyn std::error::Error = &e;
-        assert!(dynerr.source().is_none());
         let e = CoreError::UnsupportedBitWidth {
             bits: BitWidth::W5,
             backend: BackendKind::GpuModel,
@@ -171,5 +235,43 @@ mod tests {
         let e = CoreError::QueueFull { capacity: 8 };
         assert_eq!(e.to_string(), "admission queue full (capacity 8)");
         assert!(CoreError::ServerShutdown.to_string().contains("shut down"));
+    }
+
+    #[test]
+    fn gpu_plan_rejected_carries_its_tile_rejection() {
+        let rejection = TileRejection::WarpShape { dim: 'm', tile: 100, warps: 2 };
+        let e = CoreError::GpuPlanRejected {
+            layer: "conv1".into(),
+            violation: GpuViolation::InvalidTile(rejection),
+        };
+        // The typed payload round-trips through a match, and the rendered
+        // message names both the layer and the inner counterexample.
+        match &e {
+            CoreError::GpuPlanRejected { layer, violation: GpuViolation::InvalidTile(r) } => {
+                assert_eq!(layer, "conv1");
+                assert_eq!(*r, rejection);
+            }
+            other => panic!("wrong shape: {other:?}"),
+        }
+        let msg = e.to_string();
+        assert!(msg.contains("conv1") && msg.contains("static verifier"), "{msg}");
+        assert!(msg.contains(&GpuViolation::InvalidTile(rejection).to_string()));
+    }
+
+    #[test]
+    fn plan_rejected_carries_its_violation() {
+        let violation = PlanViolation::WorkspaceUnderstated {
+            layer: "conv2".into(),
+            declared: 10,
+            required: 20,
+        };
+        let e = CoreError::PlanRejected { violation: violation.clone() };
+        match &e {
+            CoreError::PlanRejected { violation: v } => assert_eq!(*v, violation),
+            other => panic!("wrong shape: {other:?}"),
+        }
+        let msg = e.to_string();
+        assert!(msg.contains("whole-plan static verifier"), "{msg}");
+        assert!(msg.contains(&violation.to_string()), "{msg}");
     }
 }

@@ -32,6 +32,7 @@ pub mod gpu;
 pub mod network;
 pub mod plan;
 pub mod planner;
+pub mod verify;
 
 /// Everything most users need.
 pub mod prelude {
@@ -58,6 +59,10 @@ pub use gpu::{GpuConvResult, GpuEngine, Tuning};
 pub use network::{LayerReport, NetLayer, Network};
 pub use plan::{BackendKind, Epilogue, ExecutionPlan, LayerPlan, PlanAlgo};
 pub use planner::{arm_candidates, arm_workspace_bytes, select_arm_algo, ArmCandidate, Planner};
+pub use verify::{
+    algo_kind, fingerprint_audit, fingerprint_audit_with, fingerprint_layers, lower_plan,
+    plan_high_water, verify_compiled,
+};
 
 // Substrate re-exports for advanced users.
 pub use lowbit_conv_arm as conv_arm;

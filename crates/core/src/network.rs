@@ -187,45 +187,16 @@ impl Network {
     }
 
     /// A content fingerprint of the network: FNV-1a over every layer's name,
-    /// batch-independent geometry, quantized weights, epilogue flags and
-    /// re-quantization parameters. The batch size is deliberately excluded —
-    /// [`Network::with_batch`] variants share one fingerprint, so serving
-    /// caches key plans by `(fingerprint, batch, backend)` and a re-batched
-    /// network is recognized as the same model.
+    /// batch-independent geometry, quantized weights, epilogue flags and the
+    /// full re-quantization parameters (width, multiplier and clamp — every
+    /// field the plan verifier's verdict depends on; the
+    /// [`crate::verify::fingerprint_audit`] lint proves this coverage). The
+    /// batch size is deliberately excluded — [`Network::with_batch`]
+    /// variants share one fingerprint, so serving caches key plans by
+    /// `(fingerprint, batch, backend)` and a re-batched network is
+    /// recognized as the same model.
     pub fn fingerprint(&self) -> u64 {
-        const OFFSET: u64 = 0xcbf29ce484222325;
-        const PRIME: u64 = 0x100000001b3;
-        fn eat(h: &mut u64, bytes: &[u8]) {
-            for &b in bytes {
-                *h ^= b as u64;
-                *h = h.wrapping_mul(PRIME);
-            }
-        }
-        let mut h = OFFSET;
-        for l in &self.layers {
-            eat(&mut h, l.name.as_bytes());
-            let s = &l.shape;
-            for dim in [s.c_in, s.h, s.w, s.c_out, s.kh, s.kw, s.stride, s.pad] {
-                eat(&mut h, &(dim as u64).to_le_bytes());
-            }
-            // Reuse the prepack fingerprint as the weight digest (bits, dims
-            // and raw bytes); every weight tensor has a wide-GEMM layout.
-            let wfp = crate::arm::prepack_fingerprint(&l.weights, ArmAlgo::Gemm)
-                .expect("Gemm always has a prepacked layout");
-            eat(&mut h, &wfp.to_le_bytes());
-            eat(&mut h, &[l.relu as u8]);
-            eat(&mut h, &l.requant.multiplier.to_bits().to_le_bytes());
-            match &l.bias {
-                None => eat(&mut h, &[0]),
-                Some(bias) => {
-                    eat(&mut h, &[1]);
-                    for &v in bias {
-                        eat(&mut h, &(v as i64).to_le_bytes());
-                    }
-                }
-            }
-        }
-        h
+        crate::verify::fingerprint_layers(&self.layers)
     }
 
     /// Layers view.
@@ -445,6 +416,25 @@ mod tests {
         assert_ne!(Network::demo(BitWidth::W4, 12, 10).fingerprint(), fp);
         assert_ne!(Network::demo(BitWidth::W5, 12, 9).fingerprint(), fp);
         assert_ne!(Network::demo(BitWidth::W4, 16, 9).fingerprint(), fp);
+    }
+
+    #[test]
+    fn fingerprint_covers_every_plan_relevant_field() {
+        // The audit mutates every verdict-relevant NetLayer field in turn
+        // (name, each shape dim, weights, relu, requant width/multiplier/
+        // clamp, bias) and requires the fingerprint to move — and batch to
+        // stay excluded.
+        let net = Network::demo(BitWidth::W4, 12, 9);
+        crate::verify::fingerprint_audit(&net).unwrap();
+        // Direct regressions for the fields the pre-audit hash missed:
+        // requant width and clamp_min now move the fingerprint.
+        let fp = net.fingerprint();
+        let mut widened = net.clone();
+        widened.layers[0].requant.bits = BitWidth::W5;
+        assert_ne!(widened.fingerprint(), fp, "requant.bits must be covered");
+        let mut clamped = net.clone();
+        clamped.layers[0].requant.clamp_min = 0;
+        assert_ne!(clamped.fingerprint(), fp, "requant.clamp_min must be covered");
     }
 
     #[test]

@@ -22,6 +22,7 @@ use crate::network::Network;
 use lowbit_conv_gpu::TileConfig;
 use lowbit_qnn::RequantParams;
 use lowbit_tensor::{BitWidth, ConvShape};
+use lowbit_verify::LayoutConversion;
 
 /// Which engine a layer runs on. `Hash` so serving-layer caches can key
 /// compiled plans by `(network fingerprint, batch, backend)`.
@@ -114,6 +115,13 @@ pub struct LayerPlan {
     pub predicted_millis: f64,
     /// The fused epilogue.
     pub epilogue: Epilogue,
+    /// Layout conversion the executor applies to the activations before the
+    /// kernel (`None` when the canonical NCHW inter-layer form is already
+    /// the kernel's native layout). The plan verifier walks these.
+    pub pre_conversion: Option<LayoutConversion>,
+    /// Layout conversion applied to the kernel output to restore the
+    /// canonical inter-layer form.
+    pub post_conversion: Option<LayoutConversion>,
 }
 
 /// A compiled network: the offline phase's output, ready to execute any
@@ -121,17 +129,37 @@ pub struct LayerPlan {
 #[derive(Clone, Debug)]
 pub struct ExecutionPlan {
     layers: Vec<LayerPlan>,
+    workspace_high_water_bytes: usize,
 }
 
 impl ExecutionPlan {
-    /// Builds a plan from per-layer plans (the planner's constructor).
+    /// Builds a plan from per-layer plans (the planner's constructor). The
+    /// whole-plan workspace high-water is derived from the layers via the
+    /// same certified formula the verifier re-checks it against.
     pub(crate) fn new(layers: Vec<LayerPlan>) -> ExecutionPlan {
-        ExecutionPlan { layers }
+        let workspace_high_water_bytes = crate::verify::plan_high_water(&layers);
+        ExecutionPlan { layers, workspace_high_water_bytes }
+    }
+
+    /// Builds a plan with an explicitly declared high-water figure. Exists
+    /// so tests and the verifier's negative catalog can seed plans whose
+    /// declarations diverge from the certified bound; the planner always
+    /// goes through [`ExecutionPlan::new`].
+    pub fn from_layers(layers: Vec<LayerPlan>, workspace_high_water_bytes: usize) -> ExecutionPlan {
+        ExecutionPlan { layers, workspace_high_water_bytes }
     }
 
     /// Per-layer plans.
     pub fn layers(&self) -> &[LayerPlan] {
         &self.layers
+    }
+
+    /// The declared whole-plan arena high-water: an upper bound on the
+    /// bytes the shared ARM workspace grows to over any execution of the
+    /// plan (component-wise maximum of the per-layer buffer requirements,
+    /// summed).
+    pub fn workspace_high_water_bytes(&self) -> usize {
+        self.workspace_high_water_bytes
     }
 
     /// Modeled total milliseconds over all layers.
@@ -235,6 +263,10 @@ impl ExecutionPlan {
             out.push('\n');
         }
         out.push_str(&format!("total predicted: {:.6} ms\n", self.predicted_millis()));
+        out.push_str(&format!(
+            "workspace high-water: {} bytes\n",
+            self.workspace_high_water_bytes
+        ));
         out
     }
 
@@ -250,9 +282,14 @@ impl ExecutionPlan {
                     Some(fp) => format!("\"{fp:016x}\""),
                     None => "null".into(),
                 };
+                let conv = |c: &Option<LayoutConversion>| match c {
+                    Some(c) => format!("\"{c}\""),
+                    None => "null".into(),
+                };
                 format!(
                     "    {{\"name\":\"{}\",\"backend\":\"{}\",\"algo\":\"{}\",\"bits\":{},\
-\"predicted_millis\":{:.9},\"prepack_fingerprint\":{},\"workspace_bytes\":{},\"relu\":{}}}",
+\"predicted_millis\":{:.9},\"prepack_fingerprint\":{},\"workspace_bytes\":{},\"relu\":{},\
+\"pre_conversion\":{},\"post_conversion\":{}}}",
                     l.name,
                     l.backend,
                     l.algo,
@@ -260,14 +297,18 @@ impl ExecutionPlan {
                     l.predicted_millis,
                     fp,
                     l.workspace_bytes,
-                    l.epilogue.relu
+                    l.epilogue.relu,
+                    conv(&l.pre_conversion),
+                    conv(&l.post_conversion)
                 )
             })
             .collect();
         s.push_str(&items.join(",\n"));
         s.push_str(&format!(
-            "\n  ],\n  \"predicted_total_millis\":{:.9}\n}}\n",
-            self.predicted_millis()
+            "\n  ],\n  \"predicted_total_millis\":{:.9},\n  \
+\"workspace_high_water_bytes\":{}\n}}\n",
+            self.predicted_millis(),
+            self.workspace_high_water_bytes
         ));
         s
     }

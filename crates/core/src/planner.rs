@@ -88,16 +88,16 @@ pub fn select_arm_algo(model: &CostModel, bits: BitWidth, shape: &ConvShape) -> 
     best.algo
 }
 
-/// Advisory workspace high-water sizing for an ARM layer: an analytic upper
-/// estimate of the arena bytes the prepacked path touches (im2col matrix,
-/// column-major i32 result, packed B panels). Algorithms that do not run
-/// through the shared arena report 0.
+/// Certified workspace sizing for an ARM layer: the exact arena bytes the
+/// prepacked path can request (im2col matrix, column-major i32 result,
+/// per-thread packed B panels maximized over every legal thread count, SDOT
+/// quad buffers), delegated to the verifier's single-source formula so the
+/// declared figure and the proven bound cannot diverge. Algorithms that do
+/// not run through the shared arena report 0.
 pub fn arm_workspace_bytes(shape: &ConvShape, algo: ArmAlgo) -> usize {
-    let (m, k, n) = (shape.gemm_m(), shape.gemm_k(), shape.gemm_n());
-    match algo {
-        ArmAlgo::Gemm | ArmAlgo::GemmNarrow => k * n + 4 * m * n + 4 * k,
-        ArmAlgo::GemmSdot => k * n + 4 * m * n + k.next_multiple_of(4) * n,
-        _ => 0,
+    match crate::verify::algo_kind(algo) {
+        Some(kind) => lowbit_verify::arm_workspace_requirement(shape, kind).total(),
+        None => 0,
     }
 }
 
@@ -178,6 +178,10 @@ impl Planner {
             workspace_bytes: arm_workspace_bytes(shape, algo),
             predicted_millis: arm_warm_millis(engine.model(), bits, shape, algo),
             epilogue,
+            // The ARM kernels are NCHW-native: no conversions at the
+            // canonical inter-layer boundary.
+            pre_conversion: None,
+            post_conversion: None,
         }
     }
 
@@ -221,6 +225,18 @@ impl Planner {
             workspace_bytes: 0,
             predicted_millis: time.total_s * 1e3,
             epilogue,
+            // The GPU kernel is NHWC-native: the executor converts the
+            // canonical NCHW activations on entry and normalizes back after
+            // the epilogue. Recording both lets the plan verifier prove the
+            // layout dataflow stitches.
+            pre_conversion: Some(lowbit_verify::LayoutConversion {
+                from: lowbit_tensor::Layout::Nchw,
+                to: lowbit_tensor::Layout::Nhwc,
+            }),
+            post_conversion: Some(lowbit_verify::LayoutConversion {
+                from: lowbit_tensor::Layout::Nhwc,
+                to: lowbit_tensor::Layout::Nchw,
+            }),
         })
     }
 
@@ -276,7 +292,16 @@ impl Planner {
             };
             layers.push(chosen);
         }
-        Ok(ExecutionPlan::new(layers))
+        let plan = ExecutionPlan::new(layers);
+        // Debug-assertion gate: every plan this planner emits must survive
+        // the whole-plan static verifier (numeric range propagation, layout
+        // dataflow, workspace certification). An unverifiable plan here is a
+        // planner bug, not a user error — fail loudly in debug builds.
+        #[cfg(debug_assertions)]
+        if let Err(e) = crate::verify::verify_compiled(&plan, net) {
+            panic!("planner emitted an unverifiable plan: {e}");
+        }
+        Ok(plan)
     }
 }
 

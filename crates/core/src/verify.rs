@@ -1,0 +1,359 @@
+//! Core-side bridge to the whole-plan static verifier
+//! ([`lowbit_verify::plan`]): lowering a compiled [`ExecutionPlan`] into the
+//! backend-neutral [`PlanSpec`], the certified arena high-water used by plan
+//! construction, and the cache-key soundness audit over
+//! [`Network::fingerprint`].
+//!
+//! The dependency points from `lowbit` to `lowbit-verify`, so the analysis
+//! itself lives over there; this module owns everything that needs to see
+//! core types: extracting per-channel weight sums from the real packed
+//! weights, mapping [`ArmAlgo`] onto the verifier's kernel families, and
+//! mutating [`NetLayer`]s to prove the fingerprint covers every
+//! verdict-relevant field.
+
+use crate::arm::ArmAlgo;
+use crate::error::CoreError;
+use crate::network::{NetLayer, Network};
+use crate::plan::{BackendKind, ExecutionPlan, LayerPlan, PlanAlgo};
+use lowbit_tensor::{BitWidth, QTensor, Tensor};
+use lowbit_verify::plan::ArenaRequirement;
+use lowbit_verify::{
+    arm_workspace_requirement, verify_plan, ArmAlgoKind, BackendSpec, ChannelSums, LayerSpec,
+    PlanProof, PlanSpec, PlanViolation, RequantSpec,
+};
+
+/// Maps a committed ARM kernel onto the verifier's kernel family. `Auto` has
+/// no family — plans never carry it.
+pub fn algo_kind(algo: ArmAlgo) -> Option<ArmAlgoKind> {
+    match algo {
+        ArmAlgo::Gemm => Some(ArmAlgoKind::GemmWide),
+        ArmAlgo::GemmNarrow => Some(ArmAlgoKind::GemmNarrow),
+        ArmAlgo::GemmSdot => Some(ArmAlgoKind::GemmSdot),
+        ArmAlgo::Winograd => Some(ArmAlgoKind::Winograd),
+        ArmAlgo::NcnnBaseline => Some(ArmAlgoKind::NcnnBaseline),
+        ArmAlgo::BitserialBaseline => Some(ArmAlgoKind::BitserialBaseline),
+        ArmAlgo::Auto => None,
+    }
+}
+
+/// The arena requirement of one layer plan (GPU layers run outside the
+/// shared ARM arena).
+fn layer_requirement(lp: &LayerPlan) -> ArenaRequirement {
+    match (lp.backend, &lp.algo) {
+        (BackendKind::Arm, PlanAlgo::Arm(algo)) => match algo_kind(*algo) {
+            Some(kind) => arm_workspace_requirement(&lp.shape, kind),
+            None => ArenaRequirement::default(),
+        },
+        _ => ArenaRequirement::default(),
+    }
+}
+
+/// The certified whole-plan arena high-water for a set of layer plans:
+/// component-wise maximum over the layers, then summed — exactly how the
+/// shared `ConvWorkspace` grows. [`ExecutionPlan::new`] records this figure
+/// and the verifier independently re-derives it from the lowered spec.
+pub fn plan_high_water(layers: &[LayerPlan]) -> usize {
+    layers
+        .iter()
+        .map(layer_requirement)
+        .fold(ArenaRequirement::default(), ArenaRequirement::max)
+        .total()
+}
+
+/// Per-output-channel signed weight sums from the real NCHW weights: row `c`
+/// of the GEMM is the channel's `c_in * kh * kw` taps.
+fn channel_sums(weights: &QTensor) -> Vec<ChannelSums> {
+    let (c_out, c_in, kh, kw) = weights.dims();
+    let row = c_in * kh * kw;
+    let data = weights.data();
+    (0..c_out)
+        .map(|c| {
+            let mut sums = ChannelSums { neg: 0, pos: 0 };
+            for &w in &data[c * row..(c + 1) * row] {
+                if w < 0 {
+                    sums.neg += w as i64;
+                } else {
+                    sums.pos += w as i64;
+                }
+            }
+            sums
+        })
+        .collect()
+}
+
+/// Lowers a compiled plan (plus the network it was compiled from, which
+/// holds the weights) into the verifier's backend-neutral [`PlanSpec`].
+///
+/// Fails with [`CoreError::PlanMismatch`] if the plan does not belong to the
+/// network.
+pub fn lower_plan(plan: &ExecutionPlan, net: &Network) -> Result<PlanSpec, CoreError> {
+    plan.validate_for(net)?;
+    let layers = plan
+        .layers()
+        .iter()
+        .zip(net.layers())
+        .map(|(lp, nl)| {
+            let backend = match (&lp.backend, &lp.algo) {
+                (BackendKind::Arm, PlanAlgo::Arm(algo)) => BackendSpec::Arm(
+                    algo_kind(*algo).expect("plans never carry ArmAlgo::Auto"),
+                ),
+                _ => BackendSpec::Gpu,
+            };
+            LayerSpec {
+                name: lp.name.clone(),
+                shape: lp.shape,
+                bits: lp.bits,
+                backend,
+                pre: lp.pre_conversion,
+                post: lp.post_conversion,
+                declared_workspace_bytes: lp.workspace_bytes,
+                channel_sums: channel_sums(&nl.weights),
+                bias: lp.epilogue.bias.clone(),
+                requant: RequantSpec {
+                    bits: lp.epilogue.requant.bits,
+                    multiplier: lp.epilogue.requant.multiplier,
+                    clamp_min: lp.epilogue.requant.clamp_min,
+                },
+                relu: lp.epilogue.relu,
+            }
+        })
+        .collect();
+    Ok(PlanSpec {
+        layers,
+        declared_high_water_bytes: plan.workspace_high_water_bytes(),
+    })
+}
+
+/// Runs the whole-plan verifier on a compiled plan: lowers it against the
+/// network's weights and proves numeric soundness, layout/shape dataflow and
+/// workspace certification. A typed counterexample surfaces as
+/// [`CoreError::PlanRejected`].
+pub fn verify_compiled(plan: &ExecutionPlan, net: &Network) -> Result<PlanProof, CoreError> {
+    let spec = lower_plan(plan, net)?;
+    verify_plan(&spec).map_err(|violation| CoreError::PlanRejected { violation })
+}
+
+/// The network content hash as a free function over raw layers, so the
+/// fingerprint audit can hash mutated layer vectors that would not pass
+/// [`Network::sequential`] validation. [`Network::fingerprint`] delegates
+/// here.
+pub fn fingerprint_layers(layers: &[NetLayer]) -> u64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    fn eat(h: &mut u64, bytes: &[u8]) {
+        for &b in bytes {
+            *h ^= b as u64;
+            *h = h.wrapping_mul(PRIME);
+        }
+    }
+    let mut h = OFFSET;
+    for l in layers {
+        eat(&mut h, l.name.as_bytes());
+        let s = &l.shape;
+        for dim in [s.c_in, s.h, s.w, s.c_out, s.kh, s.kw, s.stride, s.pad] {
+            eat(&mut h, &(dim as u64).to_le_bytes());
+        }
+        // Reuse the prepack fingerprint as the weight digest (bits, dims
+        // and raw bytes); every weight tensor has a wide-GEMM layout.
+        let wfp = crate::arm::prepack_fingerprint(&l.weights, ArmAlgo::Gemm)
+            .expect("Gemm always has a prepacked layout");
+        eat(&mut h, &wfp.to_le_bytes());
+        eat(&mut h, &[l.relu as u8]);
+        eat(&mut h, &[l.requant.bits.bits()]);
+        eat(&mut h, &l.requant.multiplier.to_bits().to_le_bytes());
+        eat(&mut h, &[l.requant.clamp_min as u8]);
+        match &l.bias {
+            None => eat(&mut h, &[0]),
+            Some(bias) => {
+                eat(&mut h, &[1]);
+                for &v in bias {
+                    eat(&mut h, &(v as i64).to_le_bytes());
+                }
+            }
+        }
+    }
+    h
+}
+
+/// One fingerprint-audit mutation: a verdict-relevant field and an edit that
+/// changes it.
+type AuditMutation = (&'static str, fn(&mut [NetLayer]));
+
+fn audit_mutations() -> Vec<AuditMutation> {
+    fn tweak_weights(layers: &mut [NetLayer]) {
+        let w = &layers[0].weights;
+        let (bits, scale, dims, layout) = (w.bits(), w.scale(), w.dims(), w.layout());
+        let mut data = w.data().to_vec();
+        data[0] = if data[0] < bits.qmax() { data[0] + 1 } else { data[0] - 1 };
+        layers[0].weights = QTensor::new(Tensor::from_vec(dims, layout, data), bits, scale);
+    }
+    fn cycle_bits(layers: &mut [NetLayer]) {
+        let cur = layers[0].requant.bits;
+        layers[0].requant.bits = if cur == BitWidth::W4 { BitWidth::W5 } else { BitWidth::W4 };
+    }
+    vec![
+        ("name", |ls| ls[0].name.push('x')),
+        ("shape.c_in", |ls| ls[0].shape.c_in += 1),
+        ("shape.h", |ls| ls[0].shape.h += 1),
+        ("shape.w", |ls| ls[0].shape.w += 1),
+        ("shape.c_out", |ls| ls[0].shape.c_out += 1),
+        ("shape.kh", |ls| ls[0].shape.kh += 1),
+        ("shape.kw", |ls| ls[0].shape.kw += 1),
+        ("shape.stride", |ls| ls[0].shape.stride += 1),
+        ("shape.pad", |ls| ls[0].shape.pad += 1),
+        ("weights", tweak_weights),
+        ("relu", |ls| ls[0].relu = !ls[0].relu),
+        ("requant.multiplier", |ls| ls[0].requant.multiplier *= 2.0),
+        ("requant.bits", cycle_bits),
+        ("requant.clamp_min", |ls| {
+            let c = ls[0].requant.clamp_min;
+            ls[0].requant.clamp_min = if c < i8::MAX { c + 1 } else { c - 1 };
+        }),
+        ("bias", |ls| match &mut ls[0].bias {
+            Some(b) => b[0] += 1,
+            None => ls[0].bias = Some(vec![1; ls[0].shape.c_out]),
+        }),
+    ]
+}
+
+/// Cache-key soundness audit with an injectable hash: mutates every
+/// verdict-relevant [`NetLayer`] field in turn and requires `fp` to change.
+/// A hash blind to any field returns
+/// [`PlanViolation::FingerprintBlind`] naming it — two plans the serving
+/// cache would treat as equal could then verify differently.
+pub fn fingerprint_audit_with(
+    net: &Network,
+    fp: impl Fn(&[NetLayer]) -> u64,
+) -> Result<(), PlanViolation> {
+    let baseline = fp(net.layers());
+    for (field, mutate) in audit_mutations() {
+        let mut layers = net.layers().to_vec();
+        mutate(&mut layers);
+        if fp(&layers) == baseline {
+            return Err(PlanViolation::FingerprintBlind { field: field.into() });
+        }
+    }
+    // The converse invariant: the batch size is deliberately excluded, so
+    // serving caches can key plans by (fingerprint, batch, backend).
+    let mut layers = net.layers().to_vec();
+    for l in &mut layers {
+        l.shape.batch += 1;
+    }
+    if fp(&layers) != baseline {
+        return Err(PlanViolation::FingerprintBlind {
+            field: "shape.batch must stay excluded (batch-keyed caches)".into(),
+        });
+    }
+    Ok(())
+}
+
+/// Cache-key soundness audit over the real [`Network::fingerprint`] hash.
+pub fn fingerprint_audit(net: &Network) -> Result<(), PlanViolation> {
+    fingerprint_audit_with(net, fingerprint_layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arm::ArmEngine;
+    use crate::gpu::{GpuEngine, Tuning};
+    use crate::planner::Planner;
+    use lowbit_tensor::Layout;
+
+    #[test]
+    fn demo_and_bottleneck_plans_prove_at_every_width() {
+        let engine = ArmEngine::cortex_a53();
+        for bits in BitWidth::ALL {
+            for defs in [lowbit_models::demo(12), lowbit_models::resnet50_bottleneck()] {
+                let net = Network::from_layer_defs(&defs, bits, 9).unwrap();
+                let plan = Planner::for_arm(&engine).compile(&net).unwrap();
+                let proof = verify_compiled(&plan, &net).unwrap();
+                assert_eq!(proof.layers.len(), net.layers().len(), "{bits}");
+                assert!(proof.tightest_headroom() > 0.9, "{bits}: low-bit accs are tiny");
+                assert_eq!(proof.declared_high_water, plan.workspace_high_water_bytes());
+            }
+        }
+    }
+
+    #[test]
+    fn heterogeneous_plans_prove_with_recorded_conversions() {
+        let arm = ArmEngine::cortex_a53();
+        let gpu = GpuEngine::rtx2080ti();
+        for bits in [BitWidth::W4, BitWidth::W8] {
+            let net = Network::demo(bits, 12, 9);
+            let plan = Planner::new()
+                .with_arm(&arm)
+                .with_gpu(&gpu, Tuning::Default)
+                .compile(&net)
+                .unwrap();
+            verify_compiled(&plan, &net).unwrap();
+        }
+    }
+
+    #[test]
+    fn lowered_mutants_are_rejected_with_typed_witnesses() {
+        let engine = ArmEngine::cortex_a53();
+        let net = Network::demo(BitWidth::W4, 12, 9);
+        let plan = Planner::for_arm(&engine).compile(&net).unwrap();
+        // Understated high-water.
+        let starved = ExecutionPlan::from_layers(plan.layers().to_vec(), 0);
+        assert!(matches!(
+            verify_compiled(&starved, &net),
+            Err(CoreError::PlanRejected {
+                violation: PlanViolation::HighWaterUnderstated { declared: 0, .. }
+            })
+        ));
+        // Understated per-layer workspace.
+        let mut layers = plan.layers().to_vec();
+        layers[0].workspace_bytes = 1;
+        let lying = ExecutionPlan::from_layers(layers, plan.workspace_high_water_bytes());
+        assert!(matches!(
+            verify_compiled(&lying, &net),
+            Err(CoreError::PlanRejected {
+                violation: PlanViolation::WorkspaceUnderstated { .. }
+            })
+        ));
+        // A dangling conversion (recorded NHWC->NCHW where the dataflow is
+        // NCHW).
+        let mut layers = plan.layers().to_vec();
+        layers[1].pre_conversion = Some(lowbit_verify::LayoutConversion {
+            from: Layout::Nhwc,
+            to: Layout::Nchw,
+        });
+        let dangling = ExecutionPlan::from_layers(layers, plan.workspace_high_water_bytes());
+        assert!(matches!(
+            verify_compiled(&dangling, &net),
+            Err(CoreError::PlanRejected {
+                violation: PlanViolation::DanglingConversion { .. }
+            })
+        ));
+    }
+
+    #[test]
+    fn fingerprint_audit_passes_and_catches_a_blind_hash() {
+        let net = Network::demo(BitWidth::W4, 12, 9);
+        fingerprint_audit(&net).unwrap();
+        // A hash that normalizes clamp_min away is blind to it.
+        let blind = |layers: &[NetLayer]| {
+            let mut ls = layers.to_vec();
+            for l in &mut ls {
+                l.requant.clamp_min = 0;
+            }
+            fingerprint_layers(&ls)
+        };
+        assert_eq!(
+            fingerprint_audit_with(&net, blind),
+            Err(PlanViolation::FingerprintBlind { field: "requant.clamp_min".into() })
+        );
+    }
+
+    #[test]
+    fn plan_high_water_matches_the_verifiers_bound() {
+        let engine = ArmEngine::cortex_a53();
+        let net = Network::demo(BitWidth::W8, 12, 9);
+        let plan = Planner::for_arm(&engine).compile(&net).unwrap();
+        let spec = lower_plan(&plan, &net).unwrap();
+        assert_eq!(plan.workspace_high_water_bytes(), lowbit_verify::arena_high_water(&spec.layers));
+        assert!(plan.workspace_high_water_bytes() > 0);
+    }
+}

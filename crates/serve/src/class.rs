@@ -23,6 +23,14 @@ pub struct RequestClass {
 impl RequestClass {
     /// Wraps an arbitrary batch-1 network as a request class.
     pub fn from_network(name: impl Into<String>, template: Network) -> RequestClass {
+        // Cache-key soundness gate: the fingerprint this class hands to the
+        // plan cache must cover every field the plan verifier's verdict
+        // depends on, or two cache-equal networks could verify differently.
+        debug_assert!(
+            lowbit::verify::fingerprint_audit(&template).is_ok(),
+            "Network::fingerprint is blind to a verdict-relevant field: {:?}",
+            lowbit::verify::fingerprint_audit(&template)
+        );
         let fingerprint = template.fingerprint();
         RequestClass { name: name.into(), template, fingerprint }
     }

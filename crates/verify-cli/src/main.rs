@@ -1,0 +1,602 @@
+//! `lowbit-verify`: sweep the standard kernel catalog, the parallel
+//! partition geometry, the GPU tile-configuration space and the whole-plan
+//! verifier, printing one line per proof.
+//!
+//! * no flags — the ARM sweep: abstract interpretation of every emitted
+//!   NEON stream plus the parallel-GEMM partition geometry.
+//! * `--gpu` — the GPU sweep: prove every tile configuration the tuner can
+//!   emit, at both Tensor Core precisions, over the demo and ResNet-50
+//!   shapes (tiling geometry, bank conflicts + negative witness, staging
+//!   hazards, launch resources).
+//! * `--gpu --check <golden>` — regenerate the demo-network proof report
+//!   and diff it against the golden file (CI's drift gate). With
+//!   `--report`, print the report instead (for regenerating the golden).
+//! * `--plan` — the whole-plan sweep: compile the demo and ResNet-50
+//!   bottleneck networks at every supported bit width (plus heterogeneous
+//!   ARM+GPU plans at the Tensor Core widths), prove each end to end
+//!   (numeric ranges, layout dataflow, workspace certification), audit the
+//!   network fingerprint for cache-key soundness, and reject every seeded
+//!   plan mutant in the negative catalog with its expected typed witness.
+//! * `--plan --report` / `--plan --check <golden>` — the demo plan's proof
+//!   certificate as a golden-file report.
+//! * `--json` (with `--plan`) — machine-readable output for CI consumption.
+//!
+//! Exit codes: 0 every proof succeeded, 1 something failed to prove (or a
+//! mutant escaped), 2 usage error.
+
+use lowbit_verify::gpu::{gpu_demo_report, gpu_sweep_layers, precision_label};
+use lowbit_verify::{
+    standard_cases, verify_case, verify_gpu_plan, verify_plan, ArmAlgoKind, BackendSpec,
+    ChannelSums, LayoutConversion, PlanProof, PlanSpec, PlanViolation,
+};
+
+use lowbit::prelude::*;
+use lowbit_conv_gpu::{search_space_stats, ConvGpuPlan};
+use turing_sim::{Device, Precision};
+
+fn arm_sweep() -> usize {
+    let cases = standard_cases();
+    let mut failures = 0usize;
+    println!("{:<34} {:>6} {:>6} {:>6} {:>9} {:>9}", "stream", "insts", "macs", "drains", "peak i16", "headroom");
+    for case in &cases {
+        match verify_case(case) {
+            Ok(proof) => {
+                println!(
+                    "{:<34} {:>6} {:>6} {:>6} {:>9} {:>8.1}%",
+                    proof.name,
+                    proof.insts,
+                    proof.macs,
+                    proof.drains,
+                    proof.peak_i16,
+                    proof.tightest_headroom() * 100.0
+                );
+            }
+            Err(v) => {
+                failures += 1;
+                println!("{:<34} FAIL: {v}", case.stream.name);
+            }
+        }
+    }
+
+    // Partition geometry: prove the per-thread column spans partition the
+    // output for a sweep of shapes and thread counts.
+    let mut geo = 0usize;
+    for n in 1..=256 {
+        for threads in 1..=32 {
+            if let Err(v) = lowbit_verify::check_partition(n, threads) {
+                eprintln!("partition n={n} threads={threads}: {v}");
+                failures += 1;
+            }
+            geo += 1;
+        }
+    }
+
+    println!();
+    println!(
+        "{} streams, {} partitions checked, {} failure(s)",
+        cases.len(),
+        geo,
+        failures
+    );
+    failures
+}
+
+fn gpu_sweep() -> usize {
+    let device = Device::rtx2080ti();
+    let layers = gpu_sweep_layers();
+    let mut failures = 0usize;
+    let mut proofs = 0usize;
+    for precision in [Precision::TensorCoreInt8, Precision::TensorCoreInt4] {
+        let (space, stats) = search_space_stats(precision);
+        println!("{} search space: {stats}", precision_label(precision));
+        for layer in &layers {
+            let mut worst_witness = u64::MAX;
+            let mut layer_failures = 0usize;
+            for cfg in &space {
+                let plan = match ConvGpuPlan::try_new(layer.shape, *cfg, precision) {
+                    Ok(p) => p,
+                    Err(r) => {
+                        eprintln!(
+                            "{} {} {cfg:?}: space emitted an invalid config: {r}",
+                            layer.name,
+                            precision_label(precision)
+                        );
+                        layer_failures += 1;
+                        continue;
+                    }
+                };
+                match verify_gpu_plan(&plan, &device) {
+                    Ok(proof) => {
+                        proofs += 1;
+                        worst_witness = worst_witness.min(proof.witness_degree);
+                    }
+                    Err(v) => {
+                        eprintln!(
+                            "{} {} {cfg:?}: {v}",
+                            layer.name,
+                            precision_label(precision)
+                        );
+                        layer_failures += 1;
+                    }
+                }
+            }
+            let (m, n, k) = {
+                let s = &layer.shape;
+                (s.gemm_n(), s.gemm_m(), s.gemm_k())
+            };
+            println!(
+                "  {:<7} gemm {:>5}x{:>4}x{:>5} {}: {} configs proven, witness >= x{}, {} failure(s)",
+                layer.name,
+                m,
+                n,
+                k,
+                precision_label(precision),
+                space.len() - layer_failures,
+                worst_witness,
+                layer_failures
+            );
+            failures += layer_failures;
+        }
+    }
+    println!();
+    println!(
+        "{} GPU plans proven over {} shapes x 2 precisions, {} failure(s)",
+        proofs,
+        layers.len(),
+        failures
+    );
+    failures
+}
+
+fn diff_golden(report: &str, golden_path: &str, regen_hint: &str) -> usize {
+    let golden = match std::fs::read_to_string(golden_path) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("cannot read golden file {golden_path}: {e}");
+            return 1;
+        }
+    };
+    if report == golden {
+        println!(
+            "report matches {golden_path} ({} lines)",
+            report.lines().count()
+        );
+        return 0;
+    }
+    eprintln!("report drifted from {golden_path}:");
+    for (i, (got, want)) in report.lines().zip(golden.lines()).enumerate() {
+        if got != want {
+            eprintln!("  line {}:", i + 1);
+            eprintln!("    golden: {want}");
+            eprintln!("    got:    {got}");
+        }
+    }
+    let (got_n, want_n) = (report.lines().count(), golden.lines().count());
+    if got_n != want_n {
+        eprintln!("  line counts differ: golden {want_n}, got {got_n}");
+    }
+    eprintln!("regenerate with: {regen_hint} > {golden_path}");
+    1
+}
+
+fn gpu_check(golden_path: &str) -> usize {
+    match gpu_demo_report(&Device::rtx2080ti()) {
+        Ok(r) => diff_golden(&r, golden_path, "lowbit-verify --gpu --report"),
+        Err(e) => {
+            eprintln!("demo report failed to prove: {e}");
+            1
+        }
+    }
+}
+
+/// The canonical label of a plan-violation variant — what the negative
+/// catalog matches mutant rejections against.
+fn witness_label(v: &PlanViolation) -> &'static str {
+    match v {
+        PlanViolation::ShapeBreak { .. } => "ShapeBreak",
+        PlanViolation::LayoutMismatch { .. } => "LayoutMismatch",
+        PlanViolation::DanglingConversion { .. } => "DanglingConversion",
+        PlanViolation::AccOverflow { .. } => "AccOverflow",
+        PlanViolation::OperandRangeBreak { .. } => "OperandRangeBreak",
+        PlanViolation::RequantWidthBreak { .. } => "RequantWidthBreak",
+        PlanViolation::ClampRangeBreak { .. } => "ClampRangeBreak",
+        PlanViolation::EpilogueBiasBreak { .. } => "EpilogueBiasBreak",
+        PlanViolation::ChannelSumsBreak { .. } => "ChannelSumsBreak",
+        PlanViolation::WorkspaceUnderstated { .. } => "WorkspaceUnderstated",
+        PlanViolation::HighWaterUnderstated { .. } => "HighWaterUnderstated",
+        PlanViolation::FingerprintBlind { .. } => "FingerprintBlind",
+    }
+}
+
+/// The demo plan's proof certificate — the `--plan --report`/`--check`
+/// golden content (deterministic: intervals and workspace figures only, no
+/// modeled timings).
+fn plan_golden_proof() -> Result<PlanProof, CoreError> {
+    let net = Network::demo(BitWidth::W4, 12, 9);
+    let plan = Planner::for_arm(&ArmEngine::cortex_a53()).compile(&net)?;
+    lowbit::verify::verify_compiled(&plan, &net)
+}
+
+/// One row of the `--plan` sweep (also the `--json` record).
+struct SweepRow {
+    net: &'static str,
+    bits: BitWidth,
+    backends: &'static str,
+    layers: usize,
+    headroom: f64,
+    high_water: usize,
+    proven: bool,
+}
+
+/// One entry of the seeded negative catalog.
+struct Mutant {
+    name: &'static str,
+    expected: &'static str,
+    spec: PlanSpec,
+}
+
+/// Seeds the negative catalog from a proven demo plan spec: every mutant is
+/// one targeted corruption that must be rejected with its expected witness.
+fn mutant_catalog(base: &PlanSpec) -> Vec<Mutant> {
+    let mut out = Vec::new();
+    let mut push = |name, expected, f: &dyn Fn(&mut PlanSpec)| {
+        let mut spec = base.clone();
+        f(&mut spec);
+        out.push(Mutant { name, expected, spec });
+    };
+    push("shape-break", "ShapeBreak", &|s| s.layers[1].shape.c_in += 1);
+    // A layer rerouted to the NHWC-native GPU kernel with the entry
+    // conversion dropped.
+    push("dropped-layout-conversion", "LayoutMismatch", &|s| {
+        s.layers[0].backend = BackendSpec::Gpu;
+        s.layers[0].pre = None;
+        s.layers[0].post = Some(LayoutConversion { from: Layout::Nhwc, to: Layout::Nchw });
+    });
+    push("dangling-conversion", "DanglingConversion", &|s| {
+        s.layers[1].pre = Some(LayoutConversion { from: Layout::Nhwc, to: Layout::Nchw });
+    });
+    push("acc-overflow", "AccOverflow", &|s| {
+        s.layers[0].channel_sums[0] = ChannelSums { neg: 0, pos: i32::MAX as i64 };
+    });
+    // A plan claiming Winograd at 7 bit: the 4x input transform escapes i8.
+    push("winograd-at-w7", "OperandRangeBreak", &|s| {
+        for l in &mut s.layers {
+            l.bits = BitWidth::W7;
+            l.requant.bits = BitWidth::W7;
+        }
+        s.layers[0].backend = BackendSpec::Arm(ArmAlgoKind::Winograd);
+    });
+    push("requant-width-skew", "RequantWidthBreak", &|s| {
+        s.layers[0].requant.bits = BitWidth::W6;
+    });
+    // The issue's "corrupted requant shift": a truncation clamp outside the
+    // declared output width. Seeded on the last layer — its ReLU-free
+    // epilogue applies clamp_min as-is.
+    push("corrupted-requant-clamp", "ClampRangeBreak", &|s| {
+        let last = s.layers.len() - 1;
+        s.layers[last].requant.clamp_min = -100;
+    });
+    push("bias-length-break", "EpilogueBiasBreak", &|s| {
+        s.layers[0].bias = Some(vec![1; s.layers[0].shape.c_out + 1]);
+    });
+    push("channel-sums-break", "ChannelSumsBreak", &|s| {
+        s.layers[0].channel_sums.pop();
+    });
+    push("understated-workspace", "WorkspaceUnderstated", &|s| {
+        s.layers[0].declared_workspace_bytes /= 2;
+    });
+    push("understated-high-water", "HighWaterUnderstated", &|s| {
+        s.declared_high_water_bytes -= 1;
+    });
+    out
+}
+
+fn plan_sweep(json: bool) -> usize {
+    let arm = ArmEngine::cortex_a53();
+    let gpu = GpuEngine::rtx2080ti();
+    let mut failures = 0usize;
+    let mut rows: Vec<SweepRow> = Vec::new();
+
+    let nets: [(&'static str, Vec<lowbit::models::LayerDef>); 2] = [
+        ("demo", lowbit::models::demo(12)),
+        ("resnet50-bottleneck", lowbit::models::resnet50_bottleneck()),
+    ];
+    // ARM-only plans at every supported width.
+    for bits in BitWidth::ALL {
+        for (name, defs) in &nets {
+            let net = Network::from_layer_defs(defs, bits, 9).expect("defs chain");
+            let verdict = Planner::for_arm(&arm)
+                .compile(&net)
+                .and_then(|plan| lowbit::verify::verify_compiled(&plan, &net));
+            match verdict {
+                Ok(proof) => rows.push(SweepRow {
+                    net: name,
+                    bits,
+                    backends: "arm",
+                    layers: proof.layers.len(),
+                    headroom: proof.tightest_headroom(),
+                    high_water: proof.certified_high_water,
+                    proven: true,
+                }),
+                Err(e) => {
+                    failures += 1;
+                    eprintln!("{name} {bits} arm: {e}");
+                    rows.push(SweepRow {
+                        net: name,
+                        bits,
+                        backends: "arm",
+                        layers: 0,
+                        headroom: 0.0,
+                        high_water: 0,
+                        proven: false,
+                    });
+                }
+            }
+        }
+    }
+    // Heterogeneous ARM+GPU plans at the Tensor Core widths.
+    for bits in [BitWidth::W4, BitWidth::W8] {
+        for (name, defs) in &nets {
+            let net = Network::from_layer_defs(defs, bits, 9).expect("defs chain");
+            let verdict = Planner::new()
+                .with_arm(&arm)
+                .with_gpu(&gpu, Tuning::Default)
+                .compile(&net)
+                .and_then(|plan| lowbit::verify::verify_compiled(&plan, &net));
+            match verdict {
+                Ok(proof) => rows.push(SweepRow {
+                    net: name,
+                    bits,
+                    backends: "arm+gpu",
+                    layers: proof.layers.len(),
+                    headroom: proof.tightest_headroom(),
+                    high_water: proof.certified_high_water,
+                    proven: true,
+                }),
+                Err(e) => {
+                    failures += 1;
+                    eprintln!("{name} {bits} arm+gpu: {e}");
+                    rows.push(SweepRow {
+                        net: name,
+                        bits,
+                        backends: "arm+gpu",
+                        layers: 0,
+                        headroom: 0.0,
+                        high_water: 0,
+                        proven: false,
+                    });
+                }
+            }
+        }
+    }
+
+    // Cache-key soundness: the fingerprint audit over both model classes,
+    // plus a deliberately blind hash that must be caught.
+    let mut audits: Vec<(String, bool)> = Vec::new();
+    for (name, defs) in &nets {
+        let net = Network::from_layer_defs(defs, BitWidth::W4, 9).expect("defs chain");
+        let ok = lowbit::verify::fingerprint_audit(&net).is_ok();
+        if !ok {
+            failures += 1;
+            eprintln!("{name}: fingerprint audit failed");
+        }
+        audits.push((format!("{name}-fingerprint"), ok));
+    }
+    {
+        let net = Network::demo(BitWidth::W4, 12, 9);
+        let blind = |layers: &[NetLayer]| {
+            let mut ls = layers.to_vec();
+            for l in &mut ls {
+                l.requant.clamp_min = 0;
+            }
+            lowbit::verify::fingerprint_layers(&ls)
+        };
+        let caught = matches!(
+            lowbit::verify::fingerprint_audit_with(&net, blind),
+            Err(PlanViolation::FingerprintBlind { ref field }) if field == "requant.clamp_min"
+        );
+        if !caught {
+            failures += 1;
+            eprintln!("fingerprint-invisible epilogue edit escaped the audit");
+        }
+        audits.push(("blind-hash-caught".into(), caught));
+    }
+
+    // The negative catalog: seeded plan mutants, each rejected with its
+    // expected typed witness.
+    let base = {
+        let net = Network::demo(BitWidth::W4, 12, 9);
+        let plan = Planner::for_arm(&arm).compile(&net).expect("demo compiles");
+        lowbit::verify::lower_plan(&plan, &net).expect("plan belongs to its network")
+    };
+    let mutants = mutant_catalog(&base);
+    let mut mutant_rows: Vec<(&'static str, &'static str, String, bool)> = Vec::new();
+    for m in &mutants {
+        let (got, ok) = match verify_plan(&m.spec) {
+            Err(v) => {
+                let label = witness_label(&v);
+                (label.to_string(), label == m.expected)
+            }
+            Ok(_) => ("proven".to_string(), false),
+        };
+        if !ok {
+            failures += 1;
+            eprintln!("mutant {}: expected {}, got {got}", m.name, m.expected);
+        }
+        mutant_rows.push((m.name, m.expected, got, ok));
+    }
+
+    if json {
+        let plan_items: Vec<String> = rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "    {{\"net\":\"{}\",\"bits\":{},\"backends\":\"{}\",\"layers\":{},\
+\"tightest_headroom\":{:.6},\"certified_high_water\":{},\"proven\":{}}}",
+                    r.net, r.bits.bits(), r.backends, r.layers, r.headroom, r.high_water, r.proven
+                )
+            })
+            .collect();
+        let audit_items: Vec<String> = audits
+            .iter()
+            .map(|(name, ok)| format!("    {{\"name\":\"{name}\",\"ok\":{ok}}}"))
+            .collect();
+        let mutant_items: Vec<String> = mutant_rows
+            .iter()
+            .map(|(name, expected, got, ok)| {
+                format!(
+                    "    {{\"name\":\"{name}\",\"expected\":\"{expected}\",\
+\"got\":\"{got}\",\"rejected_as_expected\":{ok}}}"
+                )
+            })
+            .collect();
+        println!(
+            "{{\n  \"plans\": [\n{}\n  ],\n  \"audits\": [\n{}\n  ],\n  \
+\"mutants\": [\n{}\n  ],\n  \"failures\":{}\n}}",
+            plan_items.join(",\n"),
+            audit_items.join(",\n"),
+            mutant_items.join(",\n"),
+            failures
+        );
+        return failures;
+    }
+
+    println!(
+        "{:<20} {:>4} {:>8} {:>6} {:>9} {:>11} {:>7}",
+        "plan", "bits", "backends", "layers", "headroom", "high-water", "status"
+    );
+    for r in &rows {
+        println!(
+            "{:<20} {:>4} {:>8} {:>6} {:>8.1}% {:>11} {:>7}",
+            r.net,
+            r.bits.to_string(),
+            r.backends,
+            r.layers,
+            r.headroom * 100.0,
+            r.high_water,
+            if r.proven { "proven" } else { "FAIL" }
+        );
+    }
+    println!();
+    for (name, ok) in &audits {
+        println!("audit   {:<32} {}", name, if *ok { "ok" } else { "FAIL" });
+    }
+    println!();
+    for (name, expected, got, ok) in &mutant_rows {
+        let status =
+            if *ok { "ok".to_string() } else { format!("FAIL (expected {expected})") };
+        println!("mutant  {:<26} rejected as {:<22} {}", name, got, status);
+    }
+    println!();
+    println!(
+        "{} plans proven, {} audits, {} mutants rejected, {} failure(s)",
+        rows.iter().filter(|r| r.proven).count(),
+        audits.len(),
+        mutant_rows.iter().filter(|(.., ok)| *ok).count(),
+        failures
+    );
+    failures
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: lowbit-verify [--gpu | --plan] [--report | --check <golden>] [--json]\n\
+         \n\
+         (no flags)              ARM stream + partition sweep\n\
+         --gpu                   GPU tile-configuration sweep\n\
+         --gpu --report          demo GPU proof report (golden format)\n\
+         --gpu --check <golden>  diff the GPU report against a golden file\n\
+         --plan                  whole-plan sweep + fingerprint audits + mutant catalog\n\
+         --plan --report         demo plan proof report (golden format)\n\
+         --plan --check <golden> diff the plan report against a golden file\n\
+         --plan [--report] --json  machine-readable output\n\
+         \n\
+         exit codes: 0 proven, 1 rejected, 2 usage error"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let known = ["--gpu", "--plan", "--report", "--check", "--json"];
+    let mut check_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        if !known.contains(&args[i].as_str()) {
+            usage(&format!("unknown argument {}", args[i]));
+        }
+        if args[i] == "--check" {
+            match args.get(i + 1) {
+                Some(p) if !p.starts_with("--") => {
+                    check_path = Some(p.clone());
+                    i += 1;
+                }
+                _ => usage("--check requires a golden file path"),
+            }
+        }
+        i += 1;
+    }
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+    if has("--gpu") && has("--plan") {
+        usage("--gpu and --plan are mutually exclusive");
+    }
+    if has("--json") && !has("--plan") {
+        usage("--json requires --plan");
+    }
+    let failures = if has("--gpu") {
+        if let Some(path) = &check_path {
+            gpu_check(path)
+        } else if has("--report") {
+            match gpu_demo_report(&Device::rtx2080ti()) {
+                Ok(r) => {
+                    print!("{r}");
+                    0
+                }
+                Err(e) => {
+                    eprintln!("demo report failed to prove: {e}");
+                    1
+                }
+            }
+        } else {
+            gpu_sweep()
+        }
+    } else if has("--plan") {
+        if let Some(path) = &check_path {
+            match plan_golden_proof() {
+                Ok(proof) => {
+                    diff_golden(&proof.report(), path, "lowbit-verify --plan --report")
+                }
+                Err(e) => {
+                    eprintln!("demo plan failed to prove: {e}");
+                    1
+                }
+            }
+        } else if has("--report") {
+            match plan_golden_proof() {
+                Ok(proof) => {
+                    if has("--json") {
+                        print!("{}", proof.to_json());
+                    } else {
+                        print!("{}", proof.report());
+                    }
+                    0
+                }
+                Err(e) => {
+                    eprintln!("demo plan failed to prove: {e}");
+                    1
+                }
+            }
+        } else {
+            plan_sweep(has("--json"))
+        }
+    } else {
+        if check_path.is_some() || has("--report") {
+            usage("--report/--check require --gpu or --plan");
+        }
+        arm_sweep()
+    };
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -28,11 +28,22 @@
 //! negative witness), the Fig. 6 register double-buffer schedule is
 //! hazard-free, and the launch fits the device's hard limits.
 //!
-//! The `lowbit-verify` binary sweeps the [`streams::standard_cases`]
-//! catalog (every bit width 2–8, both schemes, Winograd-inflated ranges,
-//! baselines and whole GEMM programs) and fails on any unproven stream;
-//! `lowbit-verify --gpu` does the same over every tile configuration the
-//! GPU tuner can emit. CI runs both on every push.
+//! On top of both per-kernel layers sits the whole-plan pass in [`plan`]:
+//! [`plan::verify_plan`] takes the backend-neutral lowering of a compiled
+//! `ExecutionPlan` and proves the *composition* — activation ranges
+//! propagate through every layer without i32 overflow and land inside the
+//! operand ranges the stream proofs assumed, the recorded NCHW/NHWC
+//! conversions stitch the layers' layouts together, and the declared
+//! workspace figures dominate what the engines will actually request.
+//!
+//! The `lowbit-verify` binary (crate `lowbit-verify-cli`) sweeps the
+//! [`streams::standard_cases`] catalog (every bit width 2–8, both schemes,
+//! Winograd-inflated ranges, baselines and whole GEMM programs) and fails
+//! on any unproven stream; `lowbit-verify --gpu` does the same over every
+//! tile configuration the GPU tuner can emit, and `lowbit-verify --plan`
+//! over compiled demo and ResNet-50 bottleneck plans at every supported
+//! bit width plus a seeded plan-mutant catalog. CI runs all three on every
+//! push.
 
 #![forbid(unsafe_code)]
 
@@ -41,6 +52,7 @@ pub mod geometry;
 pub mod gpu;
 pub mod interval;
 pub mod lint;
+pub mod plan;
 pub mod report;
 pub mod streams;
 
@@ -51,6 +63,11 @@ pub use gpu::{
 };
 pub use interval::Interval;
 pub use lint::lint_stream;
+pub use plan::{
+    arena_high_water, arm_workspace_requirement, verify_plan, ArenaRequirement, ArmAlgoKind,
+    BackendSpec, ChannelSums, LayerSpec, LayoutConversion, PlanProof, PlanSpec, PlanViolation,
+    RequantSpec,
+};
 pub use report::{StreamProof, Violation};
 pub use streams::{
     baseline_cases, direct_cases, gemm_cases, standard_cases, winograd_cases, VerifyCase,

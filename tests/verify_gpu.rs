@@ -18,7 +18,7 @@ fn demo_report_matches_the_golden_file() {
     assert_eq!(
         report, golden,
         "GPU verifier report drifted; regenerate with \
-         `cargo run --release -p lowbit-verify -- --gpu --report > tests/golden/verify_gpu_demo.txt`"
+         `cargo run --release -p lowbit-verify-cli -- --gpu --report > tests/golden/verify_gpu_demo.txt`"
     );
 }
 
