@@ -12,8 +12,10 @@
 use crate::arm::ArmEngine;
 use crate::error::CoreError;
 use crate::gpu::{GpuEngine, Tuning};
+use crate::metrics::{ExecKey, ExecMetrics};
 use crate::network::{LayerReport, Network};
 use crate::plan::{BackendKind, ExecutionPlan, LayerPlan, PlanAlgo};
+use std::sync::Arc;
 use lowbit_qnn::{quantize_f32, Quantizer};
 use lowbit_tensor::{Layout, QTensor, Tensor};
 use lowbit_trace::{Tracer, MAIN_TRACK};
@@ -181,6 +183,7 @@ pub struct NetworkRun {
 pub struct Executor {
     arm: Option<ArmEngine>,
     gpu: Option<GpuEngine>,
+    metrics: Option<Arc<ExecMetrics>>,
 }
 
 impl Executor {
@@ -199,6 +202,14 @@ impl Executor {
     /// Registers the GPU backend.
     pub fn with_gpu(mut self, engine: &GpuEngine) -> Executor {
         self.gpu = Some(engine.clone());
+        self
+    }
+
+    /// Attaches production metrics: every executed layer records its
+    /// predicted-vs-observed millis under its `(shape, bits, backend)` key,
+    /// feeding the drift auditor. Clones share the handle.
+    pub fn with_metrics(mut self, metrics: &Arc<ExecMetrics>) -> Executor {
+        self.metrics = Some(metrics.clone());
         self
     }
 
@@ -269,6 +280,9 @@ impl Executor {
             let mut layer_span = tracer.span("layer", MAIN_TRACK);
             let out = backend.execute_layer(lp, &act, &layer.weights, tracer)?;
             total += out.millis;
+            if let Some(metrics) = &self.metrics {
+                metrics.record_layer(ExecKey::of(lp), lp.predicted_millis, out.millis);
+            }
             layer_span.set_label(|| {
                 let cache = match out.prepack_hit {
                     Some(true) => "prepack hit",

@@ -29,6 +29,7 @@ pub mod arm;
 pub mod error;
 pub mod executor;
 pub mod gpu;
+pub mod metrics;
 pub mod network;
 pub mod plan;
 pub mod planner;
@@ -56,6 +57,7 @@ pub use arm::{
 pub use error::CoreError;
 pub use executor::{Backend, BackendLayerEstimate, BackendLayerRun, Executor, NetworkRun};
 pub use gpu::{GpuConvResult, GpuEngine, Tuning};
+pub use metrics::{ExecKey, ExecMetrics};
 pub use network::{LayerReport, NetLayer, Network};
 pub use plan::{BackendKind, Epilogue, ExecutionPlan, LayerPlan, PlanAlgo};
 pub use planner::{arm_candidates, arm_workspace_bytes, select_arm_algo, ArmCandidate, Planner};

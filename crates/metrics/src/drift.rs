@@ -1,0 +1,235 @@
+//! Cost-model drift auditing.
+//!
+//! The planner's whole backend-selection story rests on `predicted_millis`
+//! staying honest (paper Fig. 10: the batch/backend crossover moves when the
+//! model drifts). A [`DriftTracker`] accumulates per-key
+//! `observed / predicted` ratio statistics — keys are typically
+//! `(layer shape, bits, backend)` tuples, but the tracker is generic so this
+//! crate stays dependency-free — and [`DriftTracker::audit`] emits a typed
+//! [`DriftReport`] flagging every key whose mean ratio leaves the configured
+//! band. The report is the warm-start signal ROADMAP item 5's tuning
+//! database consumes: a flagged key means "re-measure this shape before
+//! trusting the plan".
+
+use std::collections::HashMap;
+use std::fmt::Display;
+use std::sync::Mutex;
+
+/// The acceptance band for mean observed/predicted ratios, plus the minimum
+/// evidence required before a key may be flagged.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DriftBand {
+    /// Flag keys whose mean ratio falls below this.
+    pub lo: f64,
+    /// Flag keys whose mean ratio rises above this.
+    pub hi: f64,
+    /// Keys with fewer samples than this are reported but never flagged.
+    pub min_samples: u64,
+}
+
+impl Default for DriftBand {
+    fn default() -> DriftBand {
+        // ±25% around the model with at least 3 observations: wide enough to
+        // absorb prepack-cold first runs if one slips in, tight enough to
+        // catch a mis-modeled kernel (the injected 2x test perturbation sits
+        // far outside).
+        DriftBand { lo: 0.75, hi: 1.25, min_samples: 3 }
+    }
+}
+
+#[derive(Clone, Copy, Default)]
+struct DriftCell {
+    samples: u64,
+    sum_ratio: f64,
+    min_ratio: f64,
+    max_ratio: f64,
+}
+
+/// Accumulates observed-vs-predicted ratio statistics per key.
+#[derive(Default)]
+pub struct DriftTracker<K> {
+    cells: Mutex<HashMap<K, DriftCell>>,
+}
+
+impl<K: Eq + std::hash::Hash + Clone + Ord> DriftTracker<K> {
+    /// An empty tracker.
+    pub fn new() -> DriftTracker<K> {
+        DriftTracker { cells: Mutex::new(HashMap::new()) }
+    }
+
+    /// Records one execution: `predicted` and `observed` in the same unit
+    /// (the stack uses milliseconds). Non-positive predictions are skipped —
+    /// a zero-cost model row can never produce a meaningful ratio.
+    pub fn record(&self, key: K, predicted: f64, observed: f64) {
+        if !predicted.is_finite() || predicted <= 0.0 || !observed.is_finite() {
+            return;
+        }
+        let ratio = observed / predicted;
+        let mut cells = self.cells.lock().expect("drift tracker poisoned");
+        let cell = cells.entry(key).or_default();
+        if cell.samples == 0 {
+            cell.min_ratio = ratio;
+            cell.max_ratio = ratio;
+        } else {
+            cell.min_ratio = cell.min_ratio.min(ratio);
+            cell.max_ratio = cell.max_ratio.max(ratio);
+        }
+        cell.samples += 1;
+        cell.sum_ratio += ratio;
+    }
+
+    /// Audits every key against `band` and returns a deterministic report
+    /// (keys in `Ord` order).
+    pub fn audit(&self, band: DriftBand) -> DriftReport<K> {
+        let cells = self.cells.lock().expect("drift tracker poisoned");
+        let mut keys: Vec<DriftKeyStats<K>> = cells
+            .iter()
+            .map(|(key, cell)| {
+                let mean = cell.sum_ratio / cell.samples as f64;
+                DriftKeyStats {
+                    key: key.clone(),
+                    samples: cell.samples,
+                    mean_ratio: mean,
+                    min_ratio: cell.min_ratio,
+                    max_ratio: cell.max_ratio,
+                    flagged: cell.samples >= band.min_samples
+                        && (mean < band.lo || mean > band.hi),
+                }
+            })
+            .collect();
+        keys.sort_by(|a, b| a.key.cmp(&b.key));
+        DriftReport { band, keys }
+    }
+}
+
+/// Per-key ratio statistics inside a [`DriftReport`].
+#[derive(Clone, Debug)]
+pub struct DriftKeyStats<K> {
+    /// The audited key.
+    pub key: K,
+    /// Number of recorded executions.
+    pub samples: u64,
+    /// Mean observed/predicted ratio.
+    pub mean_ratio: f64,
+    /// Smallest observed ratio.
+    pub min_ratio: f64,
+    /// Largest observed ratio.
+    pub max_ratio: f64,
+    /// Whether this key's mean ratio left the band (with enough samples).
+    pub flagged: bool,
+}
+
+/// The audit result: the band used plus every key's statistics, sorted.
+#[derive(Clone, Debug)]
+pub struct DriftReport<K> {
+    /// The band the audit ran with.
+    pub band: DriftBand,
+    /// Per-key statistics in key order.
+    pub keys: Vec<DriftKeyStats<K>>,
+}
+
+impl<K> DriftReport<K> {
+    /// The flagged subset, in key order.
+    pub fn findings(&self) -> Vec<&DriftKeyStats<K>> {
+        self.keys.iter().filter(|k| k.flagged).collect()
+    }
+
+    /// True when no key left the band.
+    pub fn clean(&self) -> bool {
+        self.keys.iter().all(|k| !k.flagged)
+    }
+}
+
+impl<K: Display> DriftReport<K> {
+    /// A deterministic, golden-file-friendly rendering: one line per key
+    /// with fixed-precision ratios, findings marked `DRIFT`.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "drift audit: band [{:.2}, {:.2}], min_samples {}\n",
+            self.band.lo, self.band.hi, self.band.min_samples
+        );
+        for k in &self.keys {
+            out.push_str(&format!(
+                "{} {} samples={} mean={:.4} min={:.4} max={:.4}\n",
+                if k.flagged { "DRIFT" } else { "ok   " },
+                k.key,
+                k.samples,
+                k.mean_ratio,
+                k.min_ratio,
+                k.max_ratio,
+            ));
+        }
+        out.push_str(&format!(
+            "findings: {} of {} keys\n",
+            self.keys.iter().filter(|k| k.flagged).count(),
+            self.keys.len()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_band_keys_are_clean() {
+        let t: DriftTracker<&'static str> = DriftTracker::new();
+        for _ in 0..5 {
+            t.record("conv3x3-w4-arm", 2.0, 2.1); // ratio 1.05
+        }
+        let report = t.audit(DriftBand::default());
+        assert!(report.clean());
+        assert_eq!(report.keys.len(), 1);
+        assert!((report.keys[0].mean_ratio - 1.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_band_key_is_flagged_and_only_that_key() {
+        let t: DriftTracker<&'static str> = DriftTracker::new();
+        for _ in 0..4 {
+            t.record("good", 1.0, 1.0);
+            t.record("slow2x", 1.0, 2.0);
+        }
+        let report = t.audit(DriftBand::default());
+        let findings = report.findings();
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].key, "slow2x");
+        assert!(!report.clean());
+    }
+
+    #[test]
+    fn under_sampled_keys_are_never_flagged() {
+        let t: DriftTracker<&'static str> = DriftTracker::new();
+        t.record("one-shot", 1.0, 10.0);
+        let report = t.audit(DriftBand::default());
+        assert!(report.clean());
+        assert_eq!(report.keys[0].samples, 1);
+        assert!((report.keys[0].mean_ratio - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_or_negative_predictions_are_skipped() {
+        let t: DriftTracker<&'static str> = DriftTracker::new();
+        t.record("bad", 0.0, 5.0);
+        t.record("bad", -1.0, 5.0);
+        t.record("bad", 1.0, f64::NAN);
+        assert!(t.audit(DriftBand::default()).keys.is_empty());
+    }
+
+    #[test]
+    fn report_renders_deterministically_in_key_order() {
+        let t: DriftTracker<&'static str> = DriftTracker::new();
+        for _ in 0..3 {
+            t.record("zeta", 1.0, 3.0);
+            t.record("alpha", 1.0, 1.0);
+        }
+        let text = t.audit(DriftBand::default()).render();
+        let alpha = text.find("alpha").unwrap();
+        let zeta = text.find("zeta").unwrap();
+        assert!(alpha < zeta, "keys must render in Ord order:\n{text}");
+        assert!(text.contains("DRIFT zeta"));
+        assert!(text.contains("ok    alpha"));
+        assert!(text.ends_with("findings: 1 of 2 keys\n"));
+    }
+}

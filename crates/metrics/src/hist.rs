@@ -1,0 +1,351 @@
+//! Log-linear (HDR-style) histograms with mergeable per-worker shards.
+//!
+//! A [`HistSpec`] carves the value axis into octaves (powers of two above
+//! `min`), each split into `sub` linear sub-buckets, plus one underflow and
+//! one overflow bucket. Bucket geometry is a pure function of the spec, so
+//! two shards recorded on different threads merge by adding counts — no
+//! rebinning, no information loss beyond the bucket width itself.
+//!
+//! Recording is designed for hot paths: a shard owns its cells behind its
+//! own mutex (uncontended when each worker holds its own shard) and a record
+//! is an index computation plus a handful of in-place adds — zero heap
+//! allocations in the steady state.
+
+use std::sync::{Arc, Mutex};
+
+/// Bucket geometry: `octaves` powers of two above `min`, each split into
+/// `sub` linear sub-buckets. Values below `min` land in the underflow
+/// bucket, values at or above `min * 2^octaves` in the overflow bucket.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistSpec {
+    /// Lower edge of the first regular bucket, in the recorded unit.
+    pub min_value_micros: u64,
+    /// Number of powers of two covered above the minimum.
+    pub octaves: u32,
+    /// Linear sub-buckets per octave.
+    pub sub: u32,
+}
+
+impl HistSpec {
+    /// The default latency spec: 1 µs to ~17 s in quarter-octave buckets
+    /// (relative bucket width 19–25%), recorded in milliseconds.
+    pub const fn latency_ms() -> HistSpec {
+        HistSpec { min_value_micros: 1, octaves: 24, sub: 4 }
+    }
+
+    /// Lower edge of the first regular bucket (the recorded unit is
+    /// milliseconds for the stock specs).
+    pub fn min_value(&self) -> f64 {
+        self.min_value_micros as f64 / 1e3
+    }
+
+    /// Total bucket count including underflow (index 0) and overflow (last).
+    pub fn buckets(&self) -> usize {
+        (self.octaves * self.sub) as usize + 2
+    }
+
+    /// The bucket index `v` falls into. NaN and anything below `min` count
+    /// as underflow; anything at or past the top edge as overflow.
+    pub fn index(&self, v: f64) -> usize {
+        let min = self.min_value();
+        if v.is_nan() || v < min {
+            return 0;
+        }
+        let r = v / min;
+        let octave = r.log2().floor();
+        if octave >= self.octaves as f64 {
+            return self.buckets() - 1;
+        }
+        let octave = octave as u32;
+        let within = r / f64::powi(2.0, octave as i32); // in [1, 2)
+        let s = (((within - 1.0) * self.sub as f64) as u32).min(self.sub - 1);
+        1 + (octave * self.sub + s) as usize
+    }
+
+    /// Upper edge of bucket `idx`: `min` for underflow, `+inf` for overflow.
+    pub fn upper_edge(&self, idx: usize) -> f64 {
+        if idx == 0 {
+            return self.min_value();
+        }
+        if idx >= self.buckets() - 1 {
+            return f64::INFINITY;
+        }
+        let i = (idx - 1) as u32;
+        let (octave, s) = (i / self.sub, i % self.sub);
+        self.min_value() * f64::powi(2.0, octave as i32) * (1.0 + (s + 1) as f64 / self.sub as f64)
+    }
+
+    /// Width of the bucket holding `v` — the histogram's resolution there.
+    /// Percentiles read off a merged histogram are exact to within this.
+    pub fn width_at(&self, v: f64) -> f64 {
+        let idx = self.index(v);
+        if idx == 0 {
+            return self.min_value();
+        }
+        if idx >= self.buckets() - 1 {
+            return f64::INFINITY;
+        }
+        let octave = ((idx - 1) as u32) / self.sub;
+        self.min_value() * f64::powi(2.0, octave as i32) / self.sub as f64
+    }
+}
+
+/// The cells one shard accumulates into. Fixed-size once constructed.
+#[derive(Clone, Debug)]
+struct Cells {
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Cells {
+    fn new(spec: &HistSpec) -> Cells {
+        Cells {
+            counts: vec![0; spec.buckets()],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn record(&mut self, spec: &HistSpec, v: f64) {
+        self.counts[spec.index(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+}
+
+/// A merged, point-in-time view of a histogram (or of one shard).
+#[derive(Clone, Debug)]
+pub struct HistSnapshot {
+    /// The bucket geometry counts were recorded under.
+    pub spec: HistSpec,
+    /// Per-bucket counts, underflow first, overflow last.
+    pub counts: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: f64,
+    /// Smallest recorded value (`+inf` when empty).
+    pub min: f64,
+    /// Largest recorded value (`-inf` when empty).
+    pub max: f64,
+}
+
+impl HistSnapshot {
+    /// An empty snapshot under `spec`.
+    pub fn empty(spec: HistSpec) -> HistSnapshot {
+        let c = Cells::new(&spec);
+        HistSnapshot { spec, counts: c.counts, count: 0, sum: 0.0, min: c.min, max: c.max }
+    }
+
+    /// Adds `other` into `self` bucket-wise. Panics if the specs differ —
+    /// merging across geometries would silently rebin.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        assert_eq!(self.spec, other.spec, "cannot merge histograms with different specs");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Nearest-rank `q`-th percentile read off the buckets: the upper edge
+    /// of the bucket holding the rank-`ceil(q·n)` sample — within one bucket
+    /// width of the exact nearest-rank value (see [`HistSpec::width_at`]).
+    /// Underflow reports the first bucket edge, overflow the observed max.
+    /// Returns 0 when empty.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                if idx == self.counts.len() - 1 {
+                    return self.max; // overflow: the edge is +inf, max is exact
+                }
+                return self.spec.upper_edge(idx);
+            }
+        }
+        self.max
+    }
+}
+
+struct Inner {
+    spec: HistSpec,
+    shards: Mutex<Vec<Arc<Mutex<Cells>>>>,
+}
+
+/// A histogram family member: cheap to clone, records through shards.
+///
+/// [`Histogram::record`] goes through a built-in shard (fine for
+/// low-contention callers); worker threads call [`Histogram::shard`] once at
+/// startup and record through their own [`HistShard`] so the hot path never
+/// contends on a shared mutex.
+#[derive(Clone)]
+pub struct Histogram {
+    inner: Arc<Inner>,
+    default_shard: HistShard,
+}
+
+impl Histogram {
+    /// A new histogram under `spec` with one built-in shard.
+    pub fn new(spec: HistSpec) -> Histogram {
+        let inner = Arc::new(Inner { spec, shards: Mutex::new(Vec::new()) });
+        let default_shard = new_shard(&inner);
+        Histogram { inner, default_shard }
+    }
+
+    /// The bucket geometry.
+    pub fn spec(&self) -> HistSpec {
+        self.inner.spec
+    }
+
+    /// Creates a dedicated shard for one worker thread. Allocation happens
+    /// here, at registration time — recording through the shard is
+    /// allocation-free.
+    pub fn shard(&self) -> HistShard {
+        new_shard(&self.inner)
+    }
+
+    /// Records through the built-in shard.
+    pub fn record(&self, v: f64) {
+        self.default_shard.record(v);
+    }
+
+    /// Merges every shard into one snapshot.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let mut snap = HistSnapshot::empty(self.inner.spec);
+        let shards = self.inner.shards.lock().expect("histogram shards poisoned");
+        for shard in shards.iter() {
+            let cells = shard.lock().expect("histogram shard poisoned");
+            for (a, b) in snap.counts.iter_mut().zip(&cells.counts) {
+                *a += b;
+            }
+            snap.count += cells.count;
+            snap.sum += cells.sum;
+            snap.min = snap.min.min(cells.min);
+            snap.max = snap.max.max(cells.max);
+        }
+        snap
+    }
+}
+
+fn new_shard(inner: &Arc<Inner>) -> HistShard {
+    let cells = Arc::new(Mutex::new(Cells::new(&inner.spec)));
+    inner.shards.lock().expect("histogram shards poisoned").push(cells.clone());
+    HistShard { spec: inner.spec, cells }
+}
+
+/// One worker's private accumulation cells. Records lock only this shard's
+/// own mutex, so per-worker shards never contend with each other.
+#[derive(Clone)]
+pub struct HistShard {
+    spec: HistSpec,
+    cells: Arc<Mutex<Cells>>,
+}
+
+impl HistShard {
+    /// Records one value: bucket index + in-place adds, no allocation.
+    pub fn record(&self, v: f64) {
+        self.cells.lock().expect("histogram shard poisoned").record(&self.spec, v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: HistSpec = HistSpec { min_value_micros: 1000, octaves: 4, sub: 4 }; // 1..16 ms
+
+    #[test]
+    fn bucket_geometry_is_consistent() {
+        assert_eq!(SPEC.buckets(), 18);
+        // Every upper edge maps back to a strictly later bucket.
+        for idx in 1..SPEC.buckets() - 2 {
+            let edge = SPEC.upper_edge(idx);
+            assert!(SPEC.index(edge) > idx, "edge {edge} of bucket {idx} must be exclusive");
+            assert!(SPEC.index(edge * 0.999) <= idx);
+        }
+        assert_eq!(SPEC.index(0.5), 0, "below min is underflow");
+        assert_eq!(SPEC.index(-3.0), 0, "negative is underflow");
+        assert_eq!(SPEC.index(f64::NAN), 0, "NaN is underflow");
+        assert_eq!(SPEC.index(16.0), SPEC.buckets() - 1, "top edge is overflow");
+        assert_eq!(SPEC.index(1e9), SPEC.buckets() - 1);
+        assert_eq!(SPEC.index(1.0), 1, "min lands in the first regular bucket");
+    }
+
+    #[test]
+    fn zero_samples_snapshot_is_inert() {
+        let h = Histogram::new(SPEC);
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.percentile(0.99), 0.0);
+        assert_eq!(s.mean(), 0.0);
+        assert!(s.min.is_infinite() && s.max.is_infinite());
+    }
+
+    #[test]
+    fn single_sample_percentiles_hit_its_bucket_edge() {
+        let h = Histogram::new(SPEC);
+        h.record(3.1);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let p = s.percentile(q);
+            assert!((p - 3.1).abs() <= SPEC.width_at(3.1), "q={q}: {p}");
+        }
+        assert_eq!(s.min, 3.1);
+        assert_eq!(s.max, 3.1);
+    }
+
+    #[test]
+    fn underflow_and_overflow_are_counted_and_bounded() {
+        let h = Histogram::new(SPEC);
+        h.record(0.0001); // below the 1 ms floor
+        h.record(1e6); // far above the 16 ms ceiling
+        let s = h.snapshot();
+        assert_eq!(s.counts[0], 1);
+        assert_eq!(*s.counts.last().unwrap(), 1);
+        assert_eq!(s.count, 2);
+        // p50 is the underflow sample: reported at the first bucket edge.
+        assert_eq!(s.percentile(0.5), SPEC.min_value());
+        // p100 is the overflow sample: reported at the tracked max, exactly.
+        assert_eq!(s.percentile(1.0), 1e6);
+    }
+
+    #[test]
+    fn shards_merge_into_one_view() {
+        let h = Histogram::new(SPEC);
+        let a = h.shard();
+        let b = h.shard();
+        a.record(2.0);
+        b.record(4.0);
+        b.record(8.0);
+        h.record(1.5);
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min, 1.5);
+        assert_eq!(s.max, 8.0);
+        assert!((s.sum - 15.5).abs() < 1e-12);
+    }
+}

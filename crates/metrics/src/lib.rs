@@ -1,0 +1,451 @@
+//! **lowbit-metrics** — dependency-free production metrics for the lowbit
+//! serving stack.
+//!
+//! The tracing layer (`lowbit-trace`) answers "what did this one run do?";
+//! this crate answers "what is the fleet doing right now?" — online
+//! aggregation cheap enough to leave on in production:
+//!
+//! * [`Counter`] — monotone `u64`, one atomic add per increment.
+//! * [`Gauge`] — last-write-wins `f64` behind an atomic bit store.
+//! * [`hist::Histogram`] — log-linear (HDR-style) histograms with
+//!   **mergeable per-worker shards**: each worker records into its own
+//!   cells, snapshots merge bucket-wise, so the hot path never contends on
+//!   one mutex and never allocates.
+//! * [`Registry`] — a named, labelled family store with a deterministic
+//!   [`Snapshot`] (name- and label-sorted), a Prometheus text-format 0.0.4
+//!   writer ([`prom::render`]) plus a hand-rolled validator
+//!   ([`prom::validate`]), and a stable JSON dump ([`Snapshot::to_json`]).
+//! * [`drift::DriftTracker`] — the cost-model drift auditor: per-key
+//!   observed/modeled ratio statistics and typed [`drift::DriftReport`]s
+//!   flagging keys whose ratio leaves a configured band.
+//!
+//! The registry is registration-locked only: acquiring an instrument takes
+//! the registry mutex once; recording through the returned handle touches
+//! only that instrument's own state.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod drift;
+pub mod hist;
+pub mod prom;
+
+pub use hist::{HistShard, HistSnapshot, HistSpec, Histogram};
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotone counter. Cloning shares the underlying cell.
+#[derive(Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A free-standing counter (not registered anywhere).
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins gauge holding an `f64`. Cloning shares the cell.
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Default for Gauge {
+    fn default() -> Gauge {
+        Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))
+    }
+}
+
+impl Gauge {
+    /// A free-standing gauge initialized to 0.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Stores `v`.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Sorted label pairs identifying one family member.
+pub type Labels = Vec<(String, String)>;
+
+/// What kind of instrument a family holds.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MetricKind {
+    /// Monotone counter.
+    Counter,
+    /// Point-in-time gauge.
+    Gauge,
+    /// Log-linear histogram.
+    Histogram,
+}
+
+impl MetricKind {
+    /// The Prometheus `# TYPE` keyword.
+    pub fn prom_type(&self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Clone)]
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Hist(Histogram),
+}
+
+struct Family {
+    help: String,
+    kind: MetricKind,
+    children: BTreeMap<Labels, Instrument>,
+}
+
+/// The named instrument store. Registration is idempotent: asking for an
+/// existing `(name, labels)` returns a handle to the same instrument, so
+/// workers can resolve their handles independently.
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+fn canonical_labels(labels: &[(&str, &str)]) -> Labels {
+    let mut out: Labels =
+        labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+    out.sort();
+    out
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn instrument(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        kind: MetricKind,
+        make: impl FnOnce() -> Instrument,
+    ) -> Instrument {
+        assert!(valid_metric_name(name), "invalid metric name {name:?}");
+        for (k, _) in labels {
+            assert!(valid_label_name(k), "invalid label name {k:?} on {name}");
+        }
+        let mut families = self.families.lock().expect("registry poisoned");
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            kind,
+            children: BTreeMap::new(),
+        });
+        assert!(
+            family.kind == kind,
+            "metric {name} re-registered as {kind:?}, was {:?}",
+            family.kind
+        );
+        family.children.entry(canonical_labels(labels)).or_insert_with(make).clone()
+    }
+
+    /// Registers (or fetches) a counter.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.instrument(name, help, labels, MetricKind::Counter, || {
+            Instrument::Counter(Counter::new())
+        }) {
+            Instrument::Counter(c) => c,
+            _ => unreachable!("kind checked above"),
+        }
+    }
+
+    /// Registers (or fetches) a gauge.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.instrument(name, help, labels, MetricKind::Gauge, || {
+            Instrument::Gauge(Gauge::new())
+        }) {
+            Instrument::Gauge(g) => g,
+            _ => unreachable!("kind checked above"),
+        }
+    }
+
+    /// Registers (or fetches) a histogram under `spec`. The spec of an
+    /// existing member wins; callers share geometry by construction.
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        spec: HistSpec,
+    ) -> Histogram {
+        match self.instrument(name, help, labels, MetricKind::Histogram, || {
+            Instrument::Hist(Histogram::new(spec))
+        }) {
+            Instrument::Hist(h) => h,
+            _ => unreachable!("kind checked above"),
+        }
+    }
+
+    /// A deterministic point-in-time view: families sorted by name, members
+    /// by their sorted label sets.
+    pub fn snapshot(&self) -> Snapshot {
+        let families = self.families.lock().expect("registry poisoned");
+        Snapshot {
+            families: families
+                .iter()
+                .map(|(name, fam)| FamilySnapshot {
+                    name: name.clone(),
+                    help: fam.help.clone(),
+                    kind: fam.kind,
+                    children: fam
+                        .children
+                        .iter()
+                        .map(|(labels, inst)| ChildSnapshot {
+                            labels: labels.clone(),
+                            value: match inst {
+                                Instrument::Counter(c) => ChildValue::Counter(c.value()),
+                                Instrument::Gauge(g) => ChildValue::Gauge(g.value()),
+                                Instrument::Hist(h) => ChildValue::Hist(h.snapshot()),
+                            },
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Every gauge in the registry as `(exposition name, value)` rows —
+    /// the compact form trace summaries embed.
+    pub fn gauge_values(&self) -> Vec<(String, f64)> {
+        self.snapshot()
+            .families
+            .iter()
+            .filter(|f| f.kind == MetricKind::Gauge)
+            .flat_map(|f| {
+                f.children.iter().map(|c| {
+                    (prom::sample_name(&f.name, &c.labels), match c.value {
+                        ChildValue::Gauge(v) => v,
+                        _ => unreachable!("gauge family"),
+                    })
+                })
+            })
+            .collect()
+    }
+}
+
+/// One family member's captured value.
+#[derive(Clone, Debug)]
+pub enum ChildValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Merged histogram.
+    Hist(HistSnapshot),
+}
+
+/// One family member: its labels plus captured value.
+#[derive(Clone, Debug)]
+pub struct ChildSnapshot {
+    /// Sorted label pairs.
+    pub labels: Labels,
+    /// The captured value.
+    pub value: ChildValue,
+}
+
+/// One family: name, help, kind, members.
+#[derive(Clone, Debug)]
+pub struct FamilySnapshot {
+    /// Family name.
+    pub name: String,
+    /// Help text.
+    pub help: String,
+    /// Instrument kind.
+    pub kind: MetricKind,
+    /// Members, sorted by label set.
+    pub children: Vec<ChildSnapshot>,
+}
+
+/// A deterministic registry capture.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// Families sorted by name.
+    pub families: Vec<FamilySnapshot>,
+}
+
+/// Formats an `f64` for deterministic output: fixed 6-decimal notation with
+/// `inf`/`-inf`/`NaN` spelled out (Prometheus accepts `+Inf` spellings; the
+/// JSON writer substitutes `null`).
+pub fn format_value(v: f64) -> String {
+    if v.is_nan() {
+        return "NaN".to_string();
+    }
+    if v.is_infinite() {
+        return if v > 0.0 { "+Inf".to_string() } else { "-Inf".to_string() };
+    }
+    format!("{v:.6}")
+}
+
+impl Snapshot {
+    /// Deterministic JSON: families in name order, members in label order,
+    /// numbers in fixed notation. Non-finite gauge/histogram bounds render
+    /// as `null`.
+    pub fn to_json(&self) -> String {
+        fn js_num(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v:.6}")
+            } else {
+                "null".to_string()
+            }
+        }
+        let mut out = String::from("{\n  \"families\": [\n");
+        let fams: Vec<String> = self
+            .families
+            .iter()
+            .map(|f| {
+                let children: Vec<String> = f
+                    .children
+                    .iter()
+                    .map(|c| {
+                        let labels: Vec<String> = c
+                            .labels
+                            .iter()
+                            .map(|(k, v)| format!("\"{}\":\"{}\"", escape_json(k), escape_json(v)))
+                            .collect();
+                        let value = match &c.value {
+                            ChildValue::Counter(n) => format!("{{\"counter\":{n}}}"),
+                            ChildValue::Gauge(v) => format!("{{\"gauge\":{}}}", js_num(*v)),
+                            ChildValue::Hist(h) => {
+                                let counts: Vec<String> =
+                                    h.counts.iter().map(|c| c.to_string()).collect();
+                                format!(
+                                    "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"counts\":[{}]}}",
+                                    h.count,
+                                    js_num(h.sum),
+                                    js_num(h.min),
+                                    js_num(h.max),
+                                    counts.join(",")
+                                )
+                            }
+                        };
+                        format!("      {{\"labels\":{{{}}},\"value\":{value}}}", labels.join(","))
+                    })
+                    .collect();
+                format!(
+                    "    {{\n      \"name\": \"{}\",\n      \"kind\": \"{}\",\n      \"children\": [\n{}\n      ]\n    }}",
+                    escape_json(&f.name),
+                    f.kind.prom_type(),
+                    children.join(",\n")
+                )
+            })
+            .collect();
+        out.push_str(&fams.join(",\n"));
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Whether `name` is a legal Prometheus metric name.
+pub fn valid_metric_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Whether `name` is a legal Prometheus label name.
+pub fn valid_label_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_share_cells_across_clones() {
+        let r = Registry::new();
+        let a = r.counter("requests_total", "requests", &[("class", "demo")]);
+        let b = r.counter("requests_total", "requests", &[("class", "demo")]);
+        a.inc();
+        b.add(2);
+        assert_eq!(a.value(), 3);
+        let g = r.gauge("depth", "queue depth", &[]);
+        g.set(2.5);
+        assert_eq!(r.gauge("depth", "", &[]).value(), 2.5);
+        assert_eq!(r.gauge_values(), vec![("depth".to_string(), 2.5)]);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_deterministic() {
+        let r = Registry::new();
+        r.counter("z_total", "z", &[]).inc();
+        r.counter("a_total", "a", &[("k", "2")]).inc();
+        r.counter("a_total", "a", &[("k", "1")]).add(5);
+        let s = r.snapshot();
+        assert_eq!(s.families[0].name, "a_total");
+        assert_eq!(s.families[0].children[0].labels, vec![("k".into(), "1".into())]);
+        assert_eq!(s.to_json(), r.snapshot().to_json());
+    }
+
+    #[test]
+    #[should_panic(expected = "re-registered")]
+    fn kind_conflicts_are_rejected() {
+        let r = Registry::new();
+        r.counter("x_total", "", &[]);
+        r.gauge("x_total", "", &[]);
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(valid_metric_name("serve_rejected_total"));
+        assert!(valid_metric_name(":ns:x_1"));
+        assert!(!valid_metric_name("9starts_with_digit"));
+        assert!(!valid_metric_name("has-dash"));
+        assert!(!valid_metric_name(""));
+        assert!(valid_label_name("reason"));
+        assert!(!valid_label_name("le:"));
+    }
+}

@@ -1,0 +1,423 @@
+//! Prometheus text-format (0.0.4) exposition: a renderer over [`Snapshot`]
+//! and a hand-rolled validator used by tests and the `--check` golden gate.
+//!
+//! The renderer is deterministic: families in name order, members in label
+//! order, values in fixed notation ([`crate::format_value`]). Histograms
+//! expand to cumulative `_bucket{le="..."}` samples ending at `le="+Inf"`,
+//! plus `_sum` and `_count`.
+
+use crate::{format_value, ChildValue, Labels, MetricKind, Snapshot};
+
+/// Escapes a label value per the exposition format.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn label_block(labels: &Labels, extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape_label_value(v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// The sample name a member renders as, e.g. `depth` or
+/// `requests_total{class="demo"}` — used by trace summaries for compact rows.
+pub fn sample_name(name: &str, labels: &Labels) -> String {
+    format!("{name}{}", label_block(labels, None))
+}
+
+/// Renders `snapshot` as Prometheus text format 0.0.4.
+pub fn render(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    for fam in &snapshot.families {
+        out.push_str(&format!("# HELP {} {}\n", fam.name, escape_help(&fam.help)));
+        out.push_str(&format!("# TYPE {} {}\n", fam.name, fam.kind.prom_type()));
+        for child in &fam.children {
+            match &child.value {
+                ChildValue::Counter(n) => {
+                    out.push_str(&format!(
+                        "{}{} {n}\n",
+                        fam.name,
+                        label_block(&child.labels, None)
+                    ));
+                }
+                ChildValue::Gauge(v) => {
+                    out.push_str(&format!(
+                        "{}{} {}\n",
+                        fam.name,
+                        label_block(&child.labels, None),
+                        format_value(*v)
+                    ));
+                }
+                ChildValue::Hist(h) => {
+                    let mut cumulative = 0u64;
+                    for (idx, count) in h.counts.iter().enumerate() {
+                        cumulative += count;
+                        let edge = h.spec.upper_edge(idx);
+                        let le = if edge.is_finite() {
+                            format_value(edge)
+                        } else {
+                            "+Inf".to_string()
+                        };
+                        out.push_str(&format!(
+                            "{}_bucket{} {cumulative}\n",
+                            fam.name,
+                            label_block(&child.labels, Some(("le", &le)))
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{}_sum{} {}\n",
+                        fam.name,
+                        label_block(&child.labels, None),
+                        format_value(h.sum)
+                    ));
+                    out.push_str(&format!(
+                        "{}_count{} {}\n",
+                        fam.name,
+                        label_block(&child.labels, None),
+                        h.count
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn escape_help(help: &str) -> String {
+    help.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Validates `text` against the exposition format rules this stack relies
+/// on. Checks, per family: `# HELP` then `# TYPE` precede all samples; the
+/// TYPE keyword is known; sample names match the family (modulo `_bucket`/
+/// `_sum`/`_count` suffixes for histograms); names and label names are
+/// legal; label values are properly quoted; values parse; histogram bucket
+/// series are cumulative, end at `le="+Inf"`, and agree with `_count`.
+/// Returns the number of samples validated.
+pub fn validate(text: &str) -> Result<usize, String> {
+    let mut samples = 0usize;
+    let mut current: Option<FamilyCheck> = None;
+    let mut seen_help = false;
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split(' ').next().unwrap_or("");
+            if !crate::valid_metric_name(name) {
+                return Err(format!("line {n}: bad metric name in HELP: {name:?}"));
+            }
+            if let Some(fam) = current.take() {
+                fam.finish()?;
+            }
+            current = Some(FamilyCheck::new(name));
+            seen_help = true;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split(' ');
+            let name = it.next().unwrap_or("");
+            let kind = it.next().unwrap_or("");
+            let fam = current
+                .as_mut()
+                .ok_or_else(|| format!("line {n}: TYPE before HELP for {name}"))?;
+            if name != fam.name {
+                return Err(format!("line {n}: TYPE name {name} != HELP name {}", fam.name));
+            }
+            fam.kind = Some(match kind {
+                "counter" => MetricKind::Counter,
+                "gauge" => MetricKind::Gauge,
+                "histogram" => MetricKind::Histogram,
+                other => return Err(format!("line {n}: unknown TYPE {other:?}")),
+            });
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // free-form comment
+        }
+        if !seen_help {
+            return Err(format!("line {n}: sample before any HELP/TYPE header"));
+        }
+        let fam = current
+            .as_mut()
+            .ok_or_else(|| format!("line {n}: sample outside a family block"))?;
+        fam.check_sample(line).map_err(|e| format!("line {n}: {e}"))?;
+        samples += 1;
+    }
+    if let Some(fam) = current.take() {
+        fam.finish()?;
+    }
+    Ok(samples)
+}
+
+struct FamilyCheck {
+    name: String,
+    kind: Option<MetricKind>,
+    // histogram bookkeeping, keyed by the non-`le` label block
+    hist_last_cumulative: std::collections::BTreeMap<String, (u64, bool)>, // (last, saw_inf)
+    hist_counts: std::collections::BTreeMap<String, u64>,
+}
+
+impl FamilyCheck {
+    fn new(name: &str) -> FamilyCheck {
+        FamilyCheck {
+            name: name.to_string(),
+            kind: None,
+            hist_last_cumulative: Default::default(),
+            hist_counts: Default::default(),
+        }
+    }
+
+    fn check_sample(&mut self, line: &str) -> Result<(), String> {
+        let kind = self.kind.ok_or("sample before TYPE")?;
+        let (name, rest) = split_name(line)?;
+        let (labels, value_str) = split_labels(rest)?;
+        let value: f64 = match value_str {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            "NaN" => f64::NAN,
+            s => s.parse().map_err(|_| format!("unparseable value {s:?}"))?,
+        };
+        let mut le = None;
+        for (k, v) in &labels {
+            if !crate::valid_label_name(k) {
+                return Err(format!("bad label name {k:?}"));
+            }
+            if k == "le" {
+                le = Some(v.clone());
+            }
+        }
+        match kind {
+            MetricKind::Counter | MetricKind::Gauge => {
+                if name != self.name {
+                    return Err(format!("sample name {name} != family {}", self.name));
+                }
+                if kind == MetricKind::Counter && value < 0.0 {
+                    return Err("negative counter".to_string());
+                }
+            }
+            MetricKind::Histogram => {
+                let base = &self.name;
+                if name == format!("{base}_bucket") {
+                    let le = le.ok_or("histogram bucket without le label")?;
+                    let key = labels_key_without_le(&labels);
+                    let cum = value as u64;
+                    let entry = self.hist_last_cumulative.entry(key).or_insert((0, false));
+                    if entry.1 {
+                        return Err("bucket after le=\"+Inf\"".to_string());
+                    }
+                    if cum < entry.0 {
+                        return Err(format!(
+                            "bucket series not cumulative: {cum} < {}",
+                            entry.0
+                        ));
+                    }
+                    entry.0 = cum;
+                    if le == "+Inf" {
+                        entry.1 = true;
+                    }
+                } else if name == format!("{base}_count") {
+                    let key = labels_key_without_le(&labels);
+                    self.hist_counts.insert(key, value as u64);
+                } else if name != format!("{base}_sum") {
+                    return Err(format!("sample name {name} not part of histogram {base}"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Result<(), String> {
+        if self.kind == Some(MetricKind::Histogram) {
+            for (key, (last, saw_inf)) in &self.hist_last_cumulative {
+                if !saw_inf {
+                    return Err(format!("{}: histogram {key:?} missing le=\"+Inf\"", self.name));
+                }
+                match self.hist_counts.get(key) {
+                    Some(count) if *count == *last => {}
+                    Some(count) => {
+                        return Err(format!(
+                            "{}: +Inf bucket {last} != _count {count} for {key:?}",
+                            self.name
+                        ))
+                    }
+                    None => {
+                        return Err(format!("{}: missing _count for {key:?}", self.name));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn split_name(line: &str) -> Result<(&str, &str), String> {
+    let end = line.find(['{', ' ']).ok_or("no value on sample line")?;
+    let name = &line[..end];
+    if !crate::valid_metric_name(name) {
+        return Err(format!("bad sample name {name:?}"));
+    }
+    Ok((name, &line[end..]))
+}
+
+/// A parsed label block plus the remainder of the sample line after it.
+type LabelSplit<'a> = (Vec<(String, String)>, &'a str);
+
+fn split_labels(rest: &str) -> Result<LabelSplit<'_>, String> {
+    if let Some(body) = rest.strip_prefix('{') {
+        let close = find_label_close(body).ok_or("unterminated label block")?;
+        let labels = parse_labels(&body[..close])?;
+        let after = body[close + 1..].trim_start();
+        Ok((labels, after))
+    } else {
+        Ok((Vec::new(), rest.trim_start()))
+    }
+}
+
+fn find_label_close(body: &str) -> Option<usize> {
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, c) in body.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_quotes => escaped = true,
+            '"' => in_quotes = !in_quotes,
+            '}' if !in_quotes => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut out = Vec::new();
+    let mut rest = body;
+    while !rest.is_empty() {
+        let eq = rest.find('=').ok_or("label without '='")?;
+        let key = rest[..eq].trim().to_string();
+        let after_eq = &rest[eq + 1..];
+        let quoted = after_eq.strip_prefix('"').ok_or("label value not quoted")?;
+        let mut value = String::new();
+        let mut escaped = false;
+        let mut consumed = None;
+        for (i, c) in quoted.char_indices() {
+            if escaped {
+                value.push(match c {
+                    'n' => '\n',
+                    c => c,
+                });
+                escaped = false;
+                continue;
+            }
+            match c {
+                '\\' => escaped = true,
+                '"' => {
+                    consumed = Some(i);
+                    break;
+                }
+                c => value.push(c),
+            }
+        }
+        let close = consumed.ok_or("unterminated label value")?;
+        out.push((key, value));
+        rest = quoted[close + 1..].trim_start_matches(',').trim_start();
+    }
+    Ok(out)
+}
+
+fn labels_key_without_le(labels: &[(String, String)]) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .filter(|(k, _)| k != "le")
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect();
+    parts.sort();
+    parts.join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HistSpec, Registry};
+
+    fn demo_snapshot() -> Snapshot {
+        let r = Registry::new();
+        r.counter("serve_completed_total", "completed requests", &[("class", "demo-w4")])
+            .add(7);
+        r.gauge("plan_cache_hit_ratio", "cache hit ratio", &[]).set(0.875);
+        let h = r.histogram(
+            "serve_total_ms",
+            "end-to-end latency",
+            &[("class", "demo-w4")],
+            HistSpec::latency_ms(),
+        );
+        for v in [0.5, 1.5, 3.0, 250.0] {
+            h.record(v);
+        }
+        r.snapshot()
+    }
+
+    #[test]
+    fn rendered_exposition_validates() {
+        let text = render(&demo_snapshot());
+        let samples = validate(&text).expect("exposition should be valid");
+        assert!(samples > 3, "expected bucket samples, got {samples}");
+        assert!(text.contains("# TYPE serve_total_ms histogram"));
+        assert!(text.contains("le=\"+Inf\""));
+        assert!(text.contains("serve_total_ms_count{class=\"demo-w4\"} 4"));
+    }
+
+    #[test]
+    fn validator_rejects_broken_expositions() {
+        // sample before headers
+        assert!(validate("x_total 1\n").is_err());
+        // TYPE mismatch
+        assert!(validate("# HELP a_total h\n# TYPE b_total counter\na_total 1\n").is_err());
+        // non-cumulative buckets
+        let bad = "# HELP h x\n# TYPE h histogram\n\
+                   h_bucket{le=\"1.000000\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n";
+        assert!(validate(bad).is_err());
+        // +Inf disagrees with _count
+        let bad2 = "# HELP h x\n# TYPE h histogram\n\
+                    h_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 4\n";
+        assert!(validate(bad2).is_err());
+        // missing +Inf
+        let bad3 = "# HELP h x\n# TYPE h histogram\n\
+                    h_bucket{le=\"1.000000\"} 3\nh_sum 1\nh_count 3\n";
+        assert!(validate(bad3).is_err());
+        // good minimal family passes
+        let ok = "# HELP c_total x\n# TYPE c_total counter\nc_total{k=\"v\"} 2\n";
+        assert_eq!(validate(ok), Ok(1));
+    }
+
+    #[test]
+    fn label_values_are_escaped_and_reparsed() {
+        let r = Registry::new();
+        r.counter("c_total", "help", &[("k", "a\"b\\c\nd")]).inc();
+        let text = render(&r.snapshot());
+        assert!(validate(&text).is_ok());
+        assert!(text.contains("a\\\"b\\\\c\\nd"));
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests for the log-linear histogram: shard merge associativity
+//! and agreement between merged and single-shard views.
+
+use lowbit_metrics::{HistSnapshot, HistSpec, Histogram};
+use proptest::prelude::*;
+
+const SPEC: HistSpec = HistSpec { min_value_micros: 1, octaves: 24, sub: 4 };
+
+fn snapshot_of(values: &[f64]) -> HistSnapshot {
+    let h = Histogram::new(SPEC);
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+fn sample_values() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.00001f64..20_000.0, 0..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// (a ⊕ b) ⊕ c and a ⊕ (b ⊕ c) agree exactly on bucket counts, count,
+    /// min, max, and every percentile; sums agree to float tolerance.
+    #[test]
+    fn merge_is_associative(
+        a in sample_values(),
+        b in sample_values(),
+        c in sample_values(),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(&left.counts, &right.counts);
+        prop_assert_eq!(left.count, right.count);
+        prop_assert_eq!(left.min, right.min);
+        prop_assert_eq!(left.max, right.max);
+        let tol = 1e-9 * (1.0 + left.sum.abs());
+        prop_assert!((left.sum - right.sum).abs() <= tol);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(left.percentile(q), right.percentile(q));
+        }
+    }
+
+    /// Splitting one stream across shards yields the same merged view as
+    /// recording everything through a single shard.
+    #[test]
+    fn sharded_recording_equals_single_stream(
+        values in sample_values(),
+        splits in prop::collection::vec(0usize..4, 0..40),
+    ) {
+        let h = Histogram::new(SPEC);
+        let shards = [h.shard(), h.shard(), h.shard(), h.shard()];
+        for (i, &v) in values.iter().enumerate() {
+            let which = splits.get(i).copied().unwrap_or(0);
+            shards[which].record(v);
+        }
+        let merged = h.snapshot();
+        let single = snapshot_of(&values);
+        prop_assert_eq!(&merged.counts, &single.counts);
+        prop_assert_eq!(merged.count, single.count);
+        prop_assert_eq!(merged.min, single.min);
+        prop_assert_eq!(merged.max, single.max);
+        for q in [0.5, 0.99] {
+            prop_assert_eq!(merged.percentile(q), single.percentile(q));
+        }
+    }
+
+    /// A percentile read off the histogram lands within one bucket width of
+    /// the exact nearest-rank sample (in-range values only).
+    #[test]
+    fn percentile_is_within_one_bucket_of_exact(
+        mut values in prop::collection::vec(0.01f64..10_000.0, 1..50),
+        q in 0.01f64..=1.0,
+    ) {
+        let snap = snapshot_of(&values);
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+        let exact = values[rank - 1];
+        let approx = snap.percentile(q);
+        prop_assert!(
+            (approx - exact).abs() <= SPEC.width_at(exact) + 1e-12,
+            "q={} exact={} approx={} width={}", q, exact, approx, SPEC.width_at(exact)
+        );
+    }
+}

@@ -67,8 +67,10 @@ fn smoke(n: usize, trace_out: Option<&PathBuf>) -> Result<(), String> {
         workers: 1, // keeps executor wall spans on one track non-overlapping
         arm_threads: 2,
         force_backend: None,
+        slo_p99_ms: 50.0,
     };
     let server = Server::start(vec![class.clone()], config, &tracer);
+    let metrics = server.metrics();
 
     let mut tickets = Vec::new();
     for i in 0..n {
@@ -100,13 +102,29 @@ fn smoke(n: usize, trace_out: Option<&PathBuf>) -> Result<(), String> {
         return Err(format!("completed {} of {n}", stats.completed));
     }
 
+    println!(
+        "  p99 {:.3} ms (objective {:.1} ms, {} violations)",
+        metrics.total_percentile(0, 0.99),
+        metrics.slo_p99_ms(),
+        metrics.slo_violations(0)
+    );
+
     let capture = sink.capture();
     let chrome = lowbit_trace::chrome::chrome_trace_json(&capture);
     lowbit_trace::chrome::validate_chrome_trace(&chrome)
         .map_err(|e| format!("smoke trace invalid: {e}"))?;
+    // The summary exposition carries the registry's gauge snapshot alongside
+    // the trace counters; parse it back as a smoke-level round trip.
+    let gauges = metrics.registry().gauge_values();
+    let summary = lowbit_trace::summary::summary_json_with_gauges(&capture, &gauges);
+    lowbit_trace::json::parse(&summary).map_err(|e| format!("smoke summary invalid: {e}"))?;
     if let Some(path) = trace_out {
         std::fs::write(path, &chrome).map_err(|e| format!("write {path:?}: {e}"))?;
+        let summary_path = path.with_extension("summary.json");
+        std::fs::write(&summary_path, &summary)
+            .map_err(|e| format!("write {summary_path:?}: {e}"))?;
         println!("  trace -> {}", path.display());
+        println!("  summary -> {}", summary_path.display());
     }
     Ok(())
 }

@@ -19,6 +19,8 @@
 //! - [`queue`]: the bounded admission queue with typed backpressure.
 //! - [`cost`]: the batch-size/backend decision rule (the Fig. 10 curves).
 //! - [`cache`]: the `(fingerprint, bucket, backend)`-keyed plan cache.
+//! - [`metrics`]: production metrics — stage histograms, SLO accounting,
+//!   rejection counters — recorded through per-worker shards.
 //! - [`server`]: the threaded server tying it all together.
 //! - [`sim`]: deterministic virtual-time traffic simulation.
 //! - [`report`]: the `BENCH_serving.json` builder.
@@ -29,6 +31,7 @@
 pub mod cache;
 pub mod class;
 pub mod cost;
+pub mod metrics;
 pub mod policy;
 pub mod queue;
 pub mod report;
@@ -38,8 +41,9 @@ pub mod sim;
 pub use cache::{PlanCache, PlanCacheStats, PlanKey};
 pub use class::RequestClass;
 pub use cost::{bucket_for, choose_point, crossover_table, CostPoint, BATCH_BUCKETS};
+pub use metrics::{RejectReason, ServeMetrics, WorkerShards};
 pub use policy::BatchPolicy;
 pub use queue::{AdmissionQueue, QueueStats};
 pub use report::{save_serving_json, serving_report};
 pub use server::{Response, Server, ServerConfig, ServerStats, Ticket};
-pub use sim::{simulate, Arrival, SimConfig, SimResult};
+pub use sim::{simulate, simulate_instrumented, Arrival, SimConfig, SimResult};

@@ -16,20 +16,29 @@
 //! Every request gets full latency attribution (queue-wait / batch-form /
 //! compile-or-hit / execute) in its [`Response`]; with a recording tracer
 //! the same intervals land as modeled spans on a per-request trace track
-//! and the server emits monotone cumulative counters
-//! (`serve_admitted_total`, `serve_rejected_total`, `serve_completed_total`,
-//! `serve_batches_total`, `plan_cache_hits_total`,
-//! `plan_cache_misses_total`). Counter reads and emissions share one mutex
-//! so the series stay monotone under concurrency; traced runs should use a
-//! single worker so wall spans on the executor's main track cannot
-//! interleave.
+//! and the server emits cumulative counters (`serve_admitted_total`,
+//! `serve_rejected_total`, `serve_completed_total`, `serve_batches_total`,
+//! `plan_cache_hits_total`, `plan_cache_misses_total`).
+//!
+//! Production aggregation lives in [`ServeMetrics`] (always on): workers
+//! record stage histograms through private per-worker shards, rejections
+//! are counted by reason with their accumulated queue wait, and the
+//! executor feeds the cost-model drift auditor. The concurrency-safe
+//! source of truth is the metrics registry's atomics — the old mutex that
+//! serialized trace-counter read+emit pairs is gone, so trace counter
+//! series are guaranteed monotone only for single-worker,
+//! single-submitter traced runs (the same restriction traced runs already
+//! have so wall spans on the executor's main track cannot interleave).
 
 use crate::cache::{PlanCache, PlanCacheStats, PlanKey};
 use crate::class::RequestClass;
 use crate::cost;
+use crate::metrics::{RejectReason, ServeMetrics, WorkerShards};
 use crate::policy::BatchPolicy;
 use crate::queue::{AdmissionQueue, QueueStats};
 use lowbit::prelude::*;
+use lowbit::ExecMetrics;
+use lowbit_metrics::Registry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -49,6 +58,9 @@ pub struct ServerConfig {
     pub arm_threads: usize,
     /// Pin every batch to one backend instead of asking the cost model.
     pub force_backend: Option<BackendKind>,
+    /// Per-class p99 latency objective in milliseconds: completions slower
+    /// than this count as SLO violations in [`ServeMetrics`].
+    pub slo_p99_ms: f64,
 }
 
 impl Default for ServerConfig {
@@ -59,6 +71,7 @@ impl Default for ServerConfig {
             workers: 1,
             arm_threads: 4,
             force_backend: None,
+            slo_p99_ms: 50.0,
         }
     }
 }
@@ -159,8 +172,8 @@ struct Shared {
     config: ServerConfig,
     origin: Instant,
     tracer: Tracer,
-    /// Guards every counter read+emit pair so series stay monotone.
-    counter_mu: Mutex<()>,
+    metrics: Arc<ServeMetrics>,
+    exec_metrics: Arc<ExecMetrics>,
     completed: AtomicU64,
     batches: AtomicU64,
     batch_hist: Mutex<HashMap<usize, u64>>,
@@ -182,7 +195,6 @@ impl Shared {
         if !self.tracer.enabled() {
             return;
         }
-        let _g = self.counter_mu.lock().expect("counter mutex poisoned");
         let (mut admitted, mut rejected) = (0u64, 0u64);
         for c in &self.classes {
             let s = c.queue.stats();
@@ -197,7 +209,6 @@ impl Shared {
         if !self.tracer.enabled() {
             return;
         }
-        let _g = self.counter_mu.lock().expect("counter mutex poisoned");
         let cache = self.plan_cache.stats();
         self.tracer
             .counter("serve_completed_total", self.completed.load(Ordering::Relaxed) as f64);
@@ -224,7 +235,13 @@ impl Server {
         assert!(!classes.is_empty(), "server needs at least one class");
         let arm = ArmEngine::cortex_a53().with_threads(config.arm_threads);
         let gpu = GpuEngine::rtx2080ti();
-        let executor = Executor::new().with_arm(&arm).with_gpu(&gpu);
+        let registry = Arc::new(Registry::new());
+        let class_names: Vec<String> = classes.iter().map(|c| c.name().to_string()).collect();
+        let name_refs: Vec<&str> = class_names.iter().map(String::as_str).collect();
+        let metrics = ServeMetrics::new(registry.clone(), &name_refs, config.slo_p99_ms);
+        let exec_metrics = ExecMetrics::new(registry);
+        let executor =
+            Executor::new().with_arm(&arm).with_gpu(&gpu).with_metrics(&exec_metrics);
         let shared = Arc::new(Shared {
             classes: classes
                 .into_iter()
@@ -241,7 +258,8 @@ impl Server {
             config,
             origin: Instant::now(),
             tracer: tracer.clone(),
-            counter_mu: Mutex::new(()),
+            metrics,
+            exec_metrics,
             completed: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             batch_hist: Mutex::new(HashMap::new()),
@@ -275,14 +293,19 @@ impl Server {
             .map(|_| {
                 let shared = shared.clone();
                 let rx = job_rx.clone();
-                std::thread::spawn(move || loop {
-                    let job = {
-                        let guard = rx.lock().expect("job receiver poisoned");
-                        guard.recv()
-                    };
-                    match job {
-                        Ok(job) => run_batch(&shared, job),
-                        Err(_) => break,
+                std::thread::spawn(move || {
+                    // Private histogram shards: this worker records stage
+                    // times without contending with any other thread.
+                    let shards = shared.metrics.worker_shards();
+                    loop {
+                        let job = {
+                            let guard = rx.lock().expect("job receiver poisoned");
+                            guard.recv()
+                        };
+                        match job {
+                            Ok(job) => run_batch(&shared, &shards, job),
+                            Err(_) => break,
+                        }
                     }
                 })
             })
@@ -298,18 +321,42 @@ impl Server {
         let rt = &self.shared.classes[class];
         let expected = rt.class.input_dims();
         if input.dims() != expected {
+            self.shared.metrics.record_rejection(None, class, RejectReason::BadInput, 0.0);
             return Err(CoreError::InputShapeMismatch { expected, got: input.dims() });
         }
         let (tx, rx) = mpsc::channel();
+        let enq_ns = self.shared.now_ns();
         let req = QueuedRequest {
             input,
-            enq_ns: self.shared.now_ns(),
+            enq_ns,
             id: self.shared.next_id.fetch_add(1, Ordering::Relaxed),
             resp: tx,
         };
         let pushed = rt.queue.push(req);
+        if matches!(pushed, Err(CoreError::QueueFull { .. })) {
+            // Backpressured requests get attribution too: the wait they
+            // accumulated is admission-to-rejection (effectively zero for
+            // an at-depth queue, but recorded rather than dropped).
+            let wait_ms = ns_ms(self.shared.now_ns().saturating_sub(enq_ns));
+            self.shared
+                .metrics
+                .record_rejection(None, class, RejectReason::QueueFull, wait_ms);
+        }
         self.shared.emit_admission_counters();
         pushed.map(|()| Ticket { rx })
+    }
+
+    /// The production metrics surface: per-class stage histograms, SLO
+    /// accounting, rejection counters, cache hit ratio. Live while the
+    /// server runs — snapshot any time.
+    pub fn metrics(&self) -> Arc<ServeMetrics> {
+        self.shared.metrics.clone()
+    }
+
+    /// The executor-side metrics handle feeding the cost-model drift
+    /// auditor.
+    pub fn exec_metrics(&self) -> Arc<ExecMetrics> {
+        self.shared.exec_metrics.clone()
     }
 
     /// The classes being served (index order matches `submit`).
@@ -354,7 +401,7 @@ fn ns_ms(ns: u64) -> f64 {
     ns as f64 / 1e6
 }
 
-fn run_batch(shared: &Shared, job: BatchJob) {
+fn run_batch(shared: &Shared, shards: &WorkerShards, job: BatchJob) {
     let worker_start_ns = shared.now_ns();
     let rt = &shared.classes[job.class];
     let b = job.requests.len();
@@ -362,6 +409,32 @@ fn run_batch(shared: &Shared, job: BatchJob) {
     let backend = match shared.config.force_backend {
         Some(k) => k,
         None => cost::choose_point(&rt.class, bucket, &shared.arm, &shared.gpu).backend,
+    };
+    // Partial attribution for requests that fail after pickup: the stage
+    // times measured so far still get recorded (satellite: rejected
+    // requests carry their queue-wait instead of vanishing).
+    let fail_batch = |reason: RejectReason, now_ns: u64, compile_ms: f64, e: CoreError| {
+        for r in job.requests.iter() {
+            let timing = RequestTiming {
+                queue_wait_ms: ns_ms(job.close_ns.saturating_sub(r.enq_ns)),
+                batch_form_ms: ns_ms(worker_start_ns.saturating_sub(job.close_ns)),
+                compile_ms,
+                execute_ms: ns_ms(
+                    now_ns.saturating_sub(worker_start_ns)
+                ) - compile_ms,
+                plan_cache_hit: false,
+                batch_formed: b,
+                batch_bucket: bucket,
+                backend,
+            };
+            shared.metrics.record_rejection(
+                Some((shards, &timing)),
+                job.class,
+                reason,
+                timing.queue_wait_ms,
+            );
+            r.resp.send(Err(e.clone())).ok();
+        }
     };
     let net = shared.batched_net(job.class, bucket);
     let key = PlanKey { fingerprint: rt.class.fingerprint(), batch: bucket, backend };
@@ -374,9 +447,8 @@ fn run_batch(shared: &Shared, job: BatchJob) {
     let (plan, cache_hit) = match compiled {
         Ok(x) => x,
         Err(e) => {
-            for r in job.requests {
-                r.resp.send(Err(e.clone())).ok();
-            }
+            let now = shared.now_ns();
+            fail_batch(RejectReason::CompileError, now, ns_ms(now.saturating_sub(worker_start_ns)), e);
             return;
         }
     };
@@ -398,9 +470,8 @@ fn run_batch(shared: &Shared, job: BatchJob) {
     let run = match run {
         Ok(run) => run,
         Err(e) => {
-            for r in job.requests {
-                r.resp.send(Err(e.clone())).ok();
-            }
+            let compile_ms = ns_ms(compile_done_ns.saturating_sub(worker_start_ns));
+            fail_batch(RejectReason::ExecError, exec_done_ns, compile_ms, e);
             return;
         }
     };
@@ -424,6 +495,7 @@ fn run_batch(shared: &Shared, job: BatchJob) {
             emit_request_spans(shared, rt.class.name(), r.id, r.enq_ns, job.close_ns,
                 worker_start_ns, compile_done_ns, exec_done_ns, &timing);
         }
+        shared.metrics.record_completion(shards, job.class, &timing);
         let output = Tensor::from_vec((1, od.1, od.2, od.3), Layout::Nchw, slice.to_vec());
         r.resp.send(Ok(Response { output, timing })).ok();
     }
@@ -431,6 +503,7 @@ fn run_batch(shared: &Shared, job: BatchJob) {
     shared.completed.fetch_add(completed_now, Ordering::Relaxed);
     shared.batches.fetch_add(1, Ordering::Relaxed);
     *shared.batch_hist.lock().expect("histogram poisoned").entry(b).or_insert(0) += 1;
+    shared.metrics.record_batch(&shared.plan_cache.stats());
     shared.emit_completion_counters();
 }
 

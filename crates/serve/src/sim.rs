@@ -19,9 +19,12 @@
 //!   deadlock-prone here (new arrivals only happen after completions), so
 //!   the batcher closes greedily at whatever is queued.
 
+use crate::cache::PlanCacheStats;
 use crate::class::RequestClass;
 use crate::cost::{self, CostPoint};
+use crate::metrics::{RejectReason, ServeMetrics, WorkerShards};
 use crate::policy::BatchPolicy;
+use crate::server::RequestTiming;
 use lowbit::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -153,7 +156,15 @@ impl ServiceModel {
     }
 }
 
-struct Tally {
+/// The instrumented sim's recording hook: a metrics surface, the class
+/// index inside it, and one shard set (the sim is its own single worker).
+struct SimRecorder<'a> {
+    metrics: &'a ServeMetrics,
+    class: usize,
+    shards: WorkerShards,
+}
+
+struct Tally<'a> {
     latencies: Vec<f64>,
     hist: HashMap<usize, u64>,
     backends: HashMap<&'static str, (BackendKind, u64)>,
@@ -161,10 +172,11 @@ struct Tally {
     hits: u64,
     misses: u64,
     last_done: f64,
+    recorder: Option<SimRecorder<'a>>,
 }
 
-impl Tally {
-    fn new() -> Tally {
+impl<'a> Tally<'a> {
+    fn new(metrics: Option<(&'a ServeMetrics, usize)>) -> Tally<'a> {
         Tally {
             latencies: Vec::new(),
             hist: HashMap::new(),
@@ -173,6 +185,19 @@ impl Tally {
             hits: 0,
             misses: 0,
             last_done: 0.0,
+            recorder: metrics.map(|(metrics, class)| SimRecorder {
+                metrics,
+                class,
+                shards: metrics.worker_shards(),
+            }),
+        }
+    }
+
+    fn reject(&mut self) {
+        if let Some(r) = &self.recorder {
+            // Open-loop rejection is instantaneous: the queue is at depth
+            // when the request arrives, so its accumulated wait is zero.
+            r.metrics.record_rejection(None, r.class, RejectReason::QueueFull, 0.0);
         }
     }
 
@@ -182,15 +207,40 @@ impl Tally {
         let bucket = cost::bucket_for(batch.len());
         let pt = model.point(bucket);
         let mut svc = pt.batch_millis;
+        let cache_hit;
+        let mut compile_ms = 0.0;
         if self.seen.insert(bucket) {
             self.misses += 1;
-            svc += model.compile_ms(bucket);
+            cache_hit = false;
+            compile_ms = model.compile_ms(bucket);
+            svc += compile_ms;
         } else {
             self.hits += 1;
+            cache_hit = true;
         }
         let done = t_close + svc;
         for &a in batch {
             self.latencies.push(done - a);
+        }
+        if let Some(r) = &self.recorder {
+            for &a in batch {
+                let timing = RequestTiming {
+                    queue_wait_ms: t_close - a,
+                    batch_form_ms: 0.0,
+                    compile_ms,
+                    execute_ms: pt.batch_millis,
+                    plan_cache_hit: cache_hit,
+                    batch_formed: batch.len(),
+                    batch_bucket: bucket,
+                    backend: pt.backend,
+                };
+                r.metrics.record_completion(&r.shards, r.class, &timing);
+            }
+            r.metrics.record_batch(&PlanCacheStats {
+                hits: self.hits,
+                misses: self.misses,
+                entries: self.seen.len(),
+            });
         }
         *self.hist.entry(batch.len()).or_insert(0) += 1;
         let tag = match pt.backend {
@@ -231,16 +281,43 @@ impl Tally {
 
 /// Runs the simulation for `class` under `cfg`.
 pub fn simulate(class: &RequestClass, cfg: &SimConfig) -> SimResult {
+    simulate_inner(class, cfg, None)
+}
+
+/// [`simulate`] with production-metrics recording: every virtual request's
+/// stage attribution lands in `metrics` under class index `class_idx`,
+/// rejections are counted by reason, and the cache hit-ratio gauge tracks
+/// the sim's bucket cache. Results are bit-identical to the uninstrumented
+/// run — recording never perturbs virtual time.
+pub fn simulate_instrumented(
+    class: &RequestClass,
+    cfg: &SimConfig,
+    metrics: &ServeMetrics,
+    class_idx: usize,
+) -> SimResult {
+    simulate_inner(class, cfg, Some((metrics, class_idx)))
+}
+
+fn simulate_inner(
+    class: &RequestClass,
+    cfg: &SimConfig,
+    metrics: Option<(&ServeMetrics, usize)>,
+) -> SimResult {
     let model = ServiceModel::build(class, cfg);
     match cfg.arrival {
-        Arrival::OpenLoop { rate_per_s } => open_loop(&model, cfg, rate_per_s),
+        Arrival::OpenLoop { rate_per_s } => open_loop(&model, cfg, rate_per_s, metrics),
         Arrival::ClosedLoop { clients, think_ms } => {
-            closed_loop(&model, cfg, clients, think_ms)
+            closed_loop(&model, cfg, clients, think_ms, metrics)
         }
     }
 }
 
-fn open_loop(model: &ServiceModel, cfg: &SimConfig, rate_per_s: f64) -> SimResult {
+fn open_loop(
+    model: &ServiceModel,
+    cfg: &SimConfig,
+    rate_per_s: f64,
+    metrics: Option<(&ServeMetrics, usize)>,
+) -> SimResult {
     // Seeded Poisson arrivals, in milliseconds.
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let rate_per_ms = (rate_per_s / 1e3).max(1e-12);
@@ -268,7 +345,7 @@ fn open_loop(model: &ServiceModel, cfg: &SimConfig, rate_per_s: f64) -> SimResul
         next
     };
 
-    let mut tally = Tally::new();
+    let mut tally = Tally::new(metrics);
     let mut free = 0.0f64;
     loop {
         let next_now = admit_until(free, &mut queued, &mut rejected);
@@ -319,6 +396,9 @@ fn open_loop(model: &ServiceModel, cfg: &SimConfig, rate_per_s: f64) -> SimResul
         let batch: Vec<f64> = queued.drain(..b).collect();
         free = tally.serve(model, &batch, t_close);
     }
+    for _ in 0..rejected {
+        tally.reject();
+    }
     let first = arrivals.first().copied().unwrap_or(0.0);
     tally.into_result(rejected, first)
 }
@@ -328,12 +408,13 @@ fn closed_loop(
     cfg: &SimConfig,
     clients: usize,
     think_ms: f64,
+    metrics: Option<(&ServeMetrics, usize)>,
 ) -> SimResult {
     let clients = clients.max(1);
     // Staggered initial arrivals (1 µs apart) keep ordering deterministic.
     let mut arrivals: Vec<f64> = (0..clients).map(|i| i as f64 * 1e-3).collect();
     let mut queued: VecDeque<f64> = VecDeque::new();
-    let mut tally = Tally::new();
+    let mut tally = Tally::new(metrics);
     let mut free = 0.0f64;
     let target = cfg.policy.max_batch();
     while tally.latencies.len() < cfg.requests {

@@ -142,11 +142,19 @@ pub struct TraceCapture {
     pub spans: Vec<SpanRecord>,
     /// All counter samples, in submission order.
     pub counters: Vec<CounterRecord>,
+    /// Spans discarded after the sink's span buffer filled
+    /// (`trace_spans_dropped_total` in the summary exposition).
+    pub spans_dropped: u64,
 }
 
 impl Default for TraceCapture {
     fn default() -> TraceCapture {
-        TraceCapture { tracks: vec!["main".to_string()], spans: Vec::new(), counters: Vec::new() }
+        TraceCapture {
+            tracks: vec!["main".to_string()],
+            spans: Vec::new(),
+            counters: Vec::new(),
+            spans_dropped: 0,
+        }
     }
 }
 
@@ -191,21 +199,46 @@ impl TraceSink for NullSink {
     }
 }
 
-/// In-memory capture sink.
-#[derive(Default)]
+/// Default bound on [`RecordingSink`]'s span buffer. Generous for any real
+/// run (a full serving sim records a few thousand spans), but finite, so a
+/// long-running traced process can't grow the buffer without limit.
+pub const DEFAULT_SPAN_CAPACITY: usize = 1 << 20;
+
+/// In-memory capture sink with a bounded span buffer: once `capacity` spans
+/// are held, further spans are counted (never stored) in
+/// [`TraceCapture::spans_dropped`]. Counter samples and track registrations
+/// are not bounded — they are few and fixed-size per series.
 pub struct RecordingSink {
     state: Mutex<TraceCapture>,
+    capacity: usize,
+}
+
+impl Default for RecordingSink {
+    fn default() -> RecordingSink {
+        RecordingSink::new()
+    }
 }
 
 impl RecordingSink {
-    /// A fresh sink with only the "main" track registered.
+    /// A fresh sink with only the "main" track registered and the
+    /// [`DEFAULT_SPAN_CAPACITY`] span bound.
     pub fn new() -> RecordingSink {
-        RecordingSink { state: Mutex::new(TraceCapture::default()) }
+        RecordingSink::with_capacity(DEFAULT_SPAN_CAPACITY)
+    }
+
+    /// A sink that holds at most `capacity` spans.
+    pub fn with_capacity(capacity: usize) -> RecordingSink {
+        RecordingSink { state: Mutex::new(TraceCapture::default()), capacity }
     }
 
     /// Snapshot of everything recorded so far.
     pub fn capture(&self) -> TraceCapture {
         self.state.lock().expect("trace sink poisoned").clone()
+    }
+
+    /// Spans discarded because the buffer was full.
+    pub fn spans_dropped(&self) -> u64 {
+        self.state.lock().expect("trace sink poisoned").spans_dropped
     }
 }
 
@@ -214,7 +247,12 @@ impl TraceSink for RecordingSink {
         true
     }
     fn span(&self, record: SpanRecord) {
-        self.state.lock().expect("trace sink poisoned").spans.push(record);
+        let mut st = self.state.lock().expect("trace sink poisoned");
+        if st.spans.len() < self.capacity {
+            st.spans.push(record);
+        } else {
+            st.spans_dropped += 1;
+        }
     }
     fn counter(&self, record: CounterRecord) {
         self.state.lock().expect("trace sink poisoned").counters.push(record);
@@ -441,6 +479,24 @@ mod tests {
         assert_eq!(cap.counters.len(), 1);
         assert_eq!(cap.counters[0].value, 42.0);
         assert_eq!(cap.spans_on(worker).count(), 1);
+    }
+
+    #[test]
+    fn bounded_sink_drops_spans_past_capacity_and_counts_them() {
+        let sink = Arc::new(RecordingSink::with_capacity(2));
+        let tracer = Tracer::with_sink(sink.clone());
+        for i in 0..5 {
+            tracer.modeled_span(MAIN_TRACK, "stage", i * 10, 5, None, None);
+        }
+        tracer.counter("unbounded", 1.0);
+        let cap = sink.capture();
+        assert_eq!(cap.spans.len(), 2, "buffer holds exactly its capacity");
+        assert_eq!(cap.spans_dropped, 3);
+        assert_eq!(sink.spans_dropped(), 3);
+        // The retained spans are the earliest — drops start once full.
+        assert_eq!(cap.spans[0].start_ns, 0);
+        assert_eq!(cap.spans[1].start_ns, 10);
+        assert_eq!(cap.counters.len(), 1, "counters are not bounded");
     }
 
     #[test]

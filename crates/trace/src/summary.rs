@@ -3,8 +3,10 @@
 //! Aggregates a capture into a compact JSON object the benchmark export path
 //! writes next to the figure CSVs: per-span-name totals (count, wall time,
 //! modeled cycles, pipe occupancy, instruction histogram) plus the track
-//! list and counter series, so perf-trajectory tooling can diff runs without
-//! parsing a full Chrome trace.
+//! list, counter series, the *final* value of every counter series, and —
+//! when the caller passes them — gauge snapshots from a metrics registry, so
+//! perf-trajectory tooling can diff runs without parsing a full Chrome
+//! trace.
 
 use crate::flame::aggregate;
 use crate::json;
@@ -12,9 +14,16 @@ use crate::TraceCapture;
 
 /// Serializes the per-name aggregation plus counters as a JSON object.
 pub fn summary_json(cap: &TraceCapture) -> String {
+    summary_json_with_gauges(cap, &[])
+}
+
+/// [`summary_json`] plus gauge rows (name/value pairs, e.g. from a metrics
+/// registry's gauge snapshot) under a `"gauges"` object.
+pub fn summary_json_with_gauges(cap: &TraceCapture, gauges: &[(String, f64)]) -> String {
     let rows = aggregate(cap);
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"spans\": {},\n", cap.spans.len()));
+    out.push_str(&format!("  \"trace_spans_dropped_total\": {},\n", cap.spans_dropped));
     out.push_str(&format!("  \"counters\": {},\n", cap.counters.len()));
     let tracks: Vec<String> =
         cap.tracks.iter().map(|t| format!("\"{}\"", json::escape(t))).collect();
@@ -58,7 +67,31 @@ pub fn summary_json(cap: &TraceCapture) -> String {
         })
         .collect();
     out.push_str(&counter_items.join(",\n"));
-    out.push_str("\n  ]\n}");
+    out.push_str("\n  ],\n");
+    // Final value of every counter series: last sample wins (series are in
+    // submission order), keys sorted for deterministic output.
+    let mut finals: Vec<(&str, f64)> = Vec::new();
+    for c in &cap.counters {
+        match finals.iter_mut().find(|(n, _)| *n == c.name) {
+            Some((_, v)) => *v = c.value,
+            None => finals.push((&c.name, c.value)),
+        }
+    }
+    finals.sort_by(|a, b| a.0.cmp(b.0));
+    out.push_str("  \"counters_final\": {");
+    let final_items: Vec<String> = finals
+        .iter()
+        .map(|(n, v)| format!("\"{}\":{:.6}", json::escape(n), v))
+        .collect();
+    out.push_str(&final_items.join(","));
+    out.push_str("},\n");
+    out.push_str("  \"gauges\": {");
+    let gauge_items: Vec<String> = gauges
+        .iter()
+        .map(|(n, v)| format!("\"{}\":{:.6}", json::escape(n), v))
+        .collect();
+    out.push_str(&gauge_items.join(","));
+    out.push_str("}\n}");
     out
 }
 
@@ -93,6 +126,44 @@ mod tests {
         assert_eq!(rows[0].get("stall_bytes").unwrap().as_num(), Some(128.0));
         let series = doc.get("counter_series").unwrap().as_arr().unwrap();
         assert_eq!(series[0].get("value").unwrap().as_num(), Some(1.25));
+    }
+
+    #[test]
+    fn counters_and_gauges_round_trip_through_summary() {
+        let (tracer, sink) = Tracer::recording();
+        tracer.counter("arm_macs_total", 10.0);
+        tracer.counter("arm_macs_total", 25.0);
+        tracer.counter("arm_bytes_packed_total", 4096.0);
+        let gauges = vec![
+            ("plan_cache_hit_ratio".to_string(), 0.75),
+            ("serve_error_budget_burn{class=\"demo\"}".to_string(), 1.5),
+        ];
+        let text = summary_json_with_gauges(&sink.capture(), &gauges);
+        let doc = json::parse(&text).unwrap();
+        // Final counter values: the last sample of each series survives.
+        let finals = doc.get("counters_final").unwrap();
+        assert_eq!(finals.get("arm_macs_total").unwrap().as_num(), Some(25.0));
+        assert_eq!(finals.get("arm_bytes_packed_total").unwrap().as_num(), Some(4096.0));
+        // Gauge rows round-trip, including escaped label-block names.
+        let g = doc.get("gauges").unwrap();
+        assert_eq!(g.get("plan_cache_hit_ratio").unwrap().as_num(), Some(0.75));
+        assert_eq!(
+            g.get("serve_error_budget_burn{class=\"demo\"}").unwrap().as_num(),
+            Some(1.5)
+        );
+        assert_eq!(doc.get("trace_spans_dropped_total").unwrap().as_num(), Some(0.0));
+    }
+
+    #[test]
+    fn dropped_spans_surface_in_summary() {
+        let sink = std::sync::Arc::new(crate::RecordingSink::with_capacity(1));
+        let tracer = Tracer::with_sink(sink.clone());
+        tracer.modeled_span(crate::MAIN_TRACK, "a", 0, 1, None, None);
+        tracer.modeled_span(crate::MAIN_TRACK, "b", 1, 1, None, None);
+        let text = summary_json(&sink.capture());
+        let doc = json::parse(&text).unwrap();
+        assert_eq!(doc.get("trace_spans_dropped_total").unwrap().as_num(), Some(1.0));
+        assert_eq!(doc.get("spans").unwrap().as_num(), Some(1.0));
     }
 
     #[test]

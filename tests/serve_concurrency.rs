@@ -93,6 +93,7 @@ fn server_round_trip_matches_direct_batch1_execution() {
         workers: 1,
         arm_threads: 2,
         force_backend: Some(BackendKind::Arm),
+        slo_p99_ms: 50.0,
     };
     let server = Server::start(vec![class.clone()], config, &Tracer::default());
 
@@ -135,6 +136,7 @@ fn full_queue_rejects_submissions_with_typed_backpressure() {
         workers: 1,
         arm_threads: 1,
         force_backend: Some(BackendKind::Arm),
+        slo_p99_ms: 50.0,
     };
     let server = Server::start(vec![class.clone()], config, &Tracer::default());
 
@@ -182,6 +184,7 @@ fn dynamic_deadline_serves_partial_batches_without_shutdown() {
         workers: 2,
         arm_threads: 1,
         force_backend: Some(BackendKind::Arm),
+        slo_p99_ms: 50.0,
     };
     let server = Server::start(vec![class.clone()], config, &Tracer::default());
     let tickets: Vec<_> =
@@ -206,6 +209,7 @@ fn traced_server_run_produces_a_valid_chrome_trace() {
         workers: 1, // single worker: executor wall spans cannot interleave
         arm_threads: 2,
         force_backend: None,
+        slo_p99_ms: 50.0,
     };
     let server = Server::start(vec![class.clone()], config, &tracer);
     let tickets: Vec<_> =
