@@ -118,4 +118,8 @@ fn main() {
         Ok(path) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("trace JSON export failed: {e}"),
     }
+    match lowbit_bench::export::save_graph_json(dir) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("graph JSON export failed: {e}"),
+    }
 }

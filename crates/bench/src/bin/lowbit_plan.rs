@@ -1,15 +1,17 @@
 //! `lowbit-plan` — print a network's compiled execution plan.
 //!
-//! Compiles `Network::demo` with the cost-driven planner and prints the
-//! resulting plan: per-layer backend, algorithm, predicted milliseconds,
-//! prepack fingerprint and workspace sizing — as an aligned table and as
-//! deterministic JSON. `--check` diffs the JSON against a golden file (the
-//! CI hook that makes planner regressions visible in review).
+//! Compiles a network (`--model demo|dense-block|residual-block`) with the
+//! cost-driven planner and prints the resulting plan: per-node backend,
+//! algorithm, predicted milliseconds, prepack fingerprint, workspace and
+//! activation-arena sizing — as an aligned table and as deterministic JSON.
+//! `--check` diffs the JSON against a golden file (the CI hook that makes
+//! planner regressions visible in review).
 //!
 //! ```sh
 //! cargo run --release -p lowbit-bench --bin lowbit-plan -- --bits 4
 //! cargo run --release -p lowbit-bench --bin lowbit-plan -- --json
 //! cargo run --release -p lowbit-bench --bin lowbit-plan -- --check tests/golden/plan_demo.json
+//! cargo run --release -p lowbit-bench --bin lowbit-plan -- --model dense-block --check tests/golden/plan_dense_block.json
 //! ```
 
 use lowbit::prelude::*;
@@ -18,6 +20,7 @@ struct Args {
     bits: BitWidth,
     hw: usize,
     seed: u64,
+    model: String,
     backend: String,
     json_only: bool,
     check: Option<String>,
@@ -26,6 +29,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: lowbit-plan [--bits 2..8] [--hw N] [--seed N] \
+         [--model demo|dense-block|residual-block] \
          [--backend arm|gpu|both] [--json] [--check <golden.json>]"
     );
     std::process::exit(2);
@@ -36,6 +40,7 @@ fn parse_args() -> Args {
         bits: BitWidth::W4,
         hw: 12,
         seed: 9,
+        model: "demo".to_string(),
         backend: "arm".to_string(),
         json_only: false,
         check: None,
@@ -53,6 +58,7 @@ fn parse_args() -> Args {
             }
             "--hw" => out.hw = value("--hw").parse().unwrap_or_else(|_| usage()),
             "--seed" => out.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--model" => out.model = value("--model"),
             "--backend" => out.backend = value("--backend"),
             "--json" => out.json_only = true,
             "--check" => out.check = Some(value("--check")),
@@ -64,7 +70,22 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
-    let net = Network::demo(args.bits, args.hw, args.seed);
+    let net = match args.model.as_str() {
+        "demo" => Network::demo(args.bits, args.hw, args.seed),
+        "dense-block" => Network::from_graph_defs(
+            &lowbit::models::densenet121_dense_block(args.hw),
+            args.bits,
+            args.seed,
+        )
+        .expect("dense-block graph def is valid"),
+        "residual-block" => Network::from_graph_defs(
+            &lowbit::models::resnet50_residual_block(args.hw),
+            args.bits,
+            args.seed,
+        )
+        .expect("residual-block graph def is valid"),
+        _ => usage(),
+    };
     let arm = ArmEngine::cortex_a53();
     let gpu = GpuEngine::rtx2080ti();
     let planner = match args.backend.as_str() {
@@ -101,7 +122,10 @@ fn main() {
         if gl != nl {
             eprintln!("line counts differ: golden {gl}, current {nl}");
         }
-        eprintln!("\nif the change is intended, regenerate with:\n  cargo run --release -p lowbit-bench --bin lowbit-plan -- --json > {golden_path}");
+        eprintln!(
+            "\nif the change is intended, regenerate with:\n  cargo run --release -p lowbit-bench --bin lowbit-plan -- --model {} --json > {golden_path}",
+            args.model
+        );
         std::process::exit(1);
     }
 
@@ -110,8 +134,8 @@ fn main() {
         return;
     }
     println!(
-        "demo network: {} @ {}x{} (seed {}), backend: {}\n",
-        args.bits, args.hw, args.hw, args.seed, args.backend
+        "{} network: {} @ {}x{} (seed {}), backend: {}\n",
+        args.model, args.bits, args.hw, args.hw, args.seed, args.backend
     );
     print!("{}", plan.table());
     println!("\n{json}");

@@ -197,6 +197,60 @@ pub fn save_parallel_json(dir: &Path) -> std::io::Result<PathBuf> {
     Ok(path)
 }
 
+/// Writes `BENCH_graph.json` under `dir`: the activation-memory record for
+/// the DAG planner. For the ResNet-50 residual block and DenseNet-121's
+/// first dense block (six growth steps), it compares the liveness arena's
+/// certified `activation_high_water_bytes` against the sum of all value
+/// bytes — what allocating every activation its own buffer would cost —
+/// and reports the reduction factor. All figures are modeled plan
+/// constants, so the file is deterministic and gates the bench-diff CI
+/// step (dense-block target: ≥2x reduction).
+pub fn save_graph_json(dir: &Path) -> std::io::Result<PathBuf> {
+    use lowbit::models::{densenet121_dense_block_n, resnet50_residual_block};
+    use lowbit::prelude::*;
+    use lowbit::Network;
+
+    let arm = ArmEngine::cortex_a53();
+    let blocks = [
+        ("resnet50_residual_block", resnet50_residual_block(12)),
+        ("densenet121_dense_block", densenet121_dense_block_n(12, 6)),
+    ];
+
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"experiment\": \"graph_liveness_memory_planning\",\n");
+    s.push_str("  \"bits\": 4,\n");
+    for (i, (name, def)) in blocks.iter().enumerate() {
+        let net = Network::from_graph_defs(def, BitWidth::W4, 9)
+            .expect("block defs are valid");
+        let plan = Planner::for_arm(&arm)
+            .compile(&net)
+            .expect("ARM serves every bit width");
+        let shared = plan.activation_high_water_bytes();
+        let unshared: usize = plan.values().iter().map(|v| v.bytes).sum();
+        s.push_str(&format!("  \"{name}\": {{\n"));
+        s.push_str(&format!("    \"nodes\": {},\n", plan.nodes().len()));
+        s.push_str(&format!("    \"conv_layers\": {},\n", plan.layers().len()));
+        s.push_str(&format!("    \"sum_of_value_bytes\": {unshared},\n"));
+        s.push_str(&format!("    \"activation_high_water_bytes\": {shared},\n"));
+        s.push_str(&format!(
+            "    \"reduction_factor\": {:.4},\n",
+            unshared as f64 / shared as f64
+        ));
+        s.push_str(&format!(
+            "    \"predicted_total_millis\": {:.9}\n",
+            plan.predicted_millis()
+        ));
+        s.push_str(if i + 1 == blocks.len() { "  }\n" } else { "  },\n" });
+    }
+    s.push_str("}\n");
+
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join("BENCH_graph.json");
+    std::fs::write(&path, s)?;
+    Ok(path)
+}
+
 /// Writes `BENCH_trace.json` under `dir`: the machine-readable summary of a
 /// traced steady-state demo-network run (per-span-name aggregation with pipe
 /// attribution, counter series, and the GPU stage estimates) — the
@@ -305,6 +359,38 @@ mod tests {
         }
         // 19 ResNet-50 layers modeled at 3 thread counts.
         assert_eq!(text.matches("\"conv").count(), 19, "modeled layer list");
+    }
+
+    #[test]
+    fn graph_json_proves_the_dense_block_memory_target() {
+        let dir = std::env::temp_dir().join("lowbit_graph_json_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = save_graph_json(&dir).unwrap();
+        assert!(path.ends_with("BENCH_graph.json"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = lowbit_trace::json::parse(&text).unwrap();
+        assert_eq!(
+            doc.get("experiment").unwrap().as_str(),
+            Some("graph_liveness_memory_planning")
+        );
+        for block in ["resnet50_residual_block", "densenet121_dense_block"] {
+            let b = doc.get(block).unwrap();
+            let shared = b.get("activation_high_water_bytes").unwrap().as_num().unwrap();
+            let unshared = b.get("sum_of_value_bytes").unwrap().as_num().unwrap();
+            assert!(shared > 0.0 && shared <= unshared, "{block}");
+            let factor = b.get("reduction_factor").unwrap().as_num().unwrap();
+            assert!((factor - unshared / shared).abs() < 1e-3, "{block}");
+        }
+        // The tentpole target: liveness sharing halves (or better) the
+        // dense block's activation footprint vs one-buffer-per-value.
+        let factor = doc
+            .get("densenet121_dense_block")
+            .unwrap()
+            .get("reduction_factor")
+            .unwrap()
+            .as_num()
+            .unwrap();
+        assert!(factor >= 2.0, "dense-block reduction {factor} below the 2x target");
     }
 
     #[test]

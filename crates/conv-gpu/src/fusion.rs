@@ -100,8 +100,8 @@ pub fn execute_fused(
     }
 }
 
-/// Prices a whole [`lowbit_qnn::Graph`] on the device model: each op is one
-/// kernel launch (convolutions through `plan`, elementwise stages as
+/// Prices a whole [`lowbit_qnn::Graph`] on the device model: each node is
+/// one kernel launch (convolutions through `plan`, elementwise stages as
 /// streaming kernels). This is how the Sec. 4.4 fusion rewrites turn into
 /// wall-time: `fuse(graph)` must never price higher than `graph`.
 pub fn graph_time(graph: &lowbit_qnn::Graph, plan: &ConvGpuPlan, device: &Device) -> f64 {
@@ -109,10 +109,12 @@ pub fn graph_time(graph: &lowbit_qnn::Graph, plan: &ConvGpuPlan, device: &Device
     let in_elems = plan.shape.input_len() as u64;
     let out_elems = plan.shape.output_len() as u64;
     let mut total = 0.0;
-    for op in &graph.ops {
-        total += match op {
+    for node in &graph.nodes {
+        total += match node.op {
             Op::Quantize => elementwise_time(device, 4 * in_elems, in_elems),
-            Op::Conv | Op::ConvRelu => plan.time(device).total_s,
+            // The fused residual read happens from registers in the conv
+            // epilogue; its cost is the conv's.
+            Op::Conv | Op::ConvRelu | Op::ConvAdd => plan.time(device).total_s,
             Op::ConvDequant => {
                 let mut p = plan.clone();
                 p.opts.in_place_epilogue = false; // f32 output
@@ -120,6 +122,10 @@ pub fn graph_time(graph: &lowbit_qnn::Graph, plan: &ConvGpuPlan, device: &Device
             }
             Op::Dequantize => elementwise_time(device, out_elems, 4 * out_elems),
             Op::Relu => elementwise_time(device, out_elems, out_elems),
+            // Residual add reads two operands and writes one.
+            Op::Add => elementwise_time(device, 2 * out_elems, out_elems),
+            // Concat/split are pure data movement over the output tensor.
+            Op::Concat | Op::Split => elementwise_time(device, out_elems, out_elems),
         };
     }
     total
@@ -191,8 +197,8 @@ mod tests {
         use lowbit_qnn::{Graph, Op};
         let d = Device::rtx2080ti();
         let plan = plan_for(ConvShape::new(1, 16, 14, 14, 16, 3, 1, 1));
-        let single = graph_time(&Graph { ops: vec![Op::Relu] }, &plan, &d);
-        let triple = graph_time(&Graph { ops: vec![Op::Relu; 3] }, &plan, &d);
+        let single = graph_time(&Graph::chain(&[Op::Relu]), &plan, &d);
+        let triple = graph_time(&Graph::chain(&[Op::Relu; 3]), &plan, &d);
         assert!((triple - 3.0 * single).abs() < 1e-12);
     }
 

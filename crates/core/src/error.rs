@@ -97,6 +97,28 @@ pub enum CoreError {
         /// Human-readable description of the divergence.
         detail: String,
     },
+    /// A network's graph topology is structurally unsound — a value read
+    /// before it is defined, an add/concat whose operands disagree on shape,
+    /// bit width or quantization scale, or a value table inconsistent with
+    /// its nodes. Chain-specific edge breaks keep their dedicated variants
+    /// ([`CoreError::ChannelMismatch`] etc.); this covers the graph-only
+    /// obligations.
+    GraphTopologyBroken {
+        /// The offending node (or `"graph"` for whole-graph breaks).
+        node: String,
+        /// Human-readable description of the break.
+        detail: String,
+    },
+    /// The executor observed more simultaneously-live activation bytes than
+    /// the plan's declared `activation_high_water_bytes` — the run-time
+    /// counterpart of the verifier's static activation-arena proof. A plan
+    /// that trips this lied about its memory footprint.
+    ActivationArenaExceeded {
+        /// Live activation bytes actually observed.
+        observed: usize,
+        /// The plan's declared high-water mark.
+        declared: usize,
+    },
     /// The serving admission queue is at capacity — typed backpressure. The
     /// caller decides whether to retry, shed load or fail the request; the
     /// server never blocks the submitter.
@@ -148,6 +170,13 @@ impl std::fmt::Display for CoreError {
             CoreError::PlanMismatch { detail } => {
                 write!(f, "plan does not match the network: {detail}")
             }
+            CoreError::GraphTopologyBroken { node, detail } => {
+                write!(f, "graph topology broken at {node}: {detail}")
+            }
+            CoreError::ActivationArenaExceeded { observed, declared } => write!(
+                f,
+                "activation arena exceeded: {observed} live bytes observed but the plan declared {declared}"
+            ),
             CoreError::QueueFull { capacity } => {
                 write!(f, "admission queue full (capacity {capacity})")
             }
@@ -199,6 +228,11 @@ mod tests {
             },
             CoreError::MissingBackend { backend: BackendKind::Arm },
             CoreError::PlanMismatch { detail: "layer count".into() },
+            CoreError::GraphTopologyBroken {
+                node: "residual".into(),
+                detail: "add operands disagree".into(),
+            },
+            CoreError::ActivationArenaExceeded { observed: 200, declared: 100 },
             CoreError::QueueFull { capacity: 8 },
             CoreError::ServerShutdown,
         ]
@@ -234,6 +268,13 @@ mod tests {
         assert!(CoreError::EmptyNetwork.to_string().contains("at least one layer"));
         let e = CoreError::QueueFull { capacity: 8 };
         assert_eq!(e.to_string(), "admission queue full (capacity 8)");
+        let e = CoreError::GraphTopologyBroken {
+            node: "residual".into(),
+            detail: "add operands disagree".into(),
+        };
+        assert_eq!(e.to_string(), "graph topology broken at residual: add operands disagree");
+        let e = CoreError::ActivationArenaExceeded { observed: 200, declared: 100 };
+        assert!(e.to_string().contains("200") && e.to_string().contains("100"));
         assert!(CoreError::ServerShutdown.to_string().contains("shut down"));
     }
 

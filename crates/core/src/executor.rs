@@ -14,7 +14,7 @@ use crate::error::CoreError;
 use crate::gpu::{GpuEngine, Tuning};
 use crate::metrics::{ExecKey, ExecMetrics};
 use crate::network::{LayerReport, Network};
-use crate::plan::{BackendKind, ExecutionPlan, LayerPlan, PlanAlgo};
+use crate::plan::{BackendKind, ExecutionPlan, LayerPlan, PlanAlgo, PlanOp};
 use std::sync::Arc;
 use lowbit_qnn::{quantize_f32, Quantizer};
 use lowbit_tensor::{Layout, QTensor, Tensor};
@@ -263,83 +263,154 @@ impl Executor {
         tracer: &Tracer,
     ) -> Result<NetworkRun, CoreError> {
         plan.validate_for(net)?;
-        let first = &net.layers()[0];
-        let expected = (first.shape.batch, first.shape.c_in, first.shape.h, first.shape.w);
+        let values = plan.values();
+        let expected = values[0].dims;
         if input.dims() != expected {
             return Err(CoreError::InputShapeMismatch { expected, got: input.dims() });
         }
-        let bits = first.weights.bits();
-        let q_in = Quantizer::calibrate(bits, input.data());
-        let mut act = quantize_f32(input, &q_in);
-        let mut act_scale = q_in.scale;
+        let q_in = Quantizer::calibrate(values[0].bits, input.data());
+
+        // Value slots: the runtime image of the plan's activation arena.
+        // A slot holds its value from the producing node until its last
+        // consumer has read it; the live-byte sum is checked against the
+        // plan's certified high-water mark after every definition.
+        let mut slots: Vec<Option<QTensor>> = vec![None; values.len()];
+        let mut scales: Vec<f32> = vec![0.0; values.len()];
+        let mut uses_left: Vec<usize> = vec![0; values.len()];
+        for node in plan.nodes() {
+            for &v in &node.inputs {
+                uses_left[v] += 1;
+            }
+        }
+        let output_value = plan.output_value();
+        uses_left[output_value] += 1; // held for the final dequantization
+        let declared = plan.activation_high_water_bytes();
+        let mut live_bytes = values[0].bytes;
+        if live_bytes > declared {
+            return Err(CoreError::ActivationArenaExceeded { observed: live_bytes, declared });
+        }
+        slots[0] = Some(quantize_f32(input, &q_in));
+        scales[0] = q_in.scale;
 
         let mut reports = Vec::with_capacity(plan.layers().len());
         let mut total = 0.0;
-        for (lp, layer) in plan.layers().iter().zip(net.layers()) {
-            let backend = self.backend_for(lp.backend)?;
-            let mut layer_span = tracer.span("layer", MAIN_TRACK);
-            let out = backend.execute_layer(lp, &act, &layer.weights, tracer)?;
-            total += out.millis;
-            if let Some(metrics) = &self.metrics {
-                metrics.record_layer(ExecKey::of(lp), lp.predicted_millis, out.millis);
-            }
-            layer_span.set_label(|| {
-                let cache = match out.prepack_hit {
-                    Some(true) => "prepack hit",
-                    Some(false) => "prepack miss",
-                    None => "no prepack",
-                };
-                format!("{}: {} ({cache})", lp.name, lp.algo)
-            });
-            reports.push(LayerReport {
-                name: lp.name.clone(),
-                backend: lp.backend,
-                algo: lp.algo,
-                millis: out.millis,
-                prepack_hits: u64::from(out.prepack_hit == Some(true)),
-                prepack_misses: u64::from(out.prepack_hit == Some(false)),
-                workspace_growth_bytes: out.workspace_growth_bytes,
-                gpu_time: out.gpu_time,
-            });
-            // Fused epilogue: per-channel bias, then re-quantization with
-            // the ReLU folded into the truncation bound where requested.
-            let mut acc = out.acc;
-            if let Some(bias) = &lp.epilogue.bias {
-                let (n, c, h, w) = acc.dims();
-                for bn in 0..n {
-                    for (cc, &b) in bias.iter().enumerate().take(c) {
-                        for hh in 0..h {
-                            for ww in 0..w {
-                                let v = acc.get((bn, cc, hh, ww)) + b;
-                                acc.set((bn, cc, hh, ww), v);
+        for (step, node) in plan.nodes().iter().enumerate() {
+            let (q, out_scale) = match node.op {
+                PlanOp::Conv { layer: li, fused_add } => {
+                    let lp = &plan.layers()[li];
+                    let layer = &net.layers()[li];
+                    let backend = self.backend_for(lp.backend)?;
+                    let mut layer_span = tracer.span("layer", MAIN_TRACK);
+                    let act = slots[node.inputs[0]].as_ref().expect("verified dataflow");
+                    let out = backend.execute_layer(lp, act, &layer.weights, tracer)?;
+                    total += out.millis;
+                    if let Some(metrics) = &self.metrics {
+                        metrics.record_layer(ExecKey::of(lp), lp.predicted_millis, out.millis);
+                    }
+                    layer_span.set_label(|| {
+                        let cache = match out.prepack_hit {
+                            Some(true) => "prepack hit",
+                            Some(false) => "prepack miss",
+                            None => "no prepack",
+                        };
+                        format!("n{step} {}: {} ({cache})", lp.name, lp.algo)
+                    });
+                    reports.push(LayerReport {
+                        name: lp.name.clone(),
+                        backend: lp.backend,
+                        algo: lp.algo,
+                        millis: out.millis,
+                        prepack_hits: u64::from(out.prepack_hit == Some(true)),
+                        prepack_misses: u64::from(out.prepack_hit == Some(false)),
+                        workspace_growth_bytes: out.workspace_growth_bytes,
+                        gpu_time: out.gpu_time,
+                    });
+                    // Fused epilogue: per-channel bias, then re-quantization
+                    // with the ReLU folded into the truncation bound where
+                    // requested, then the folded residual add if the graph
+                    // fusion pass attached one.
+                    let mut acc = out.acc;
+                    if let Some(bias) = &lp.epilogue.bias {
+                        let (n, c, h, w) = acc.dims();
+                        for bn in 0..n {
+                            for (cc, &b) in bias.iter().enumerate().take(c) {
+                                for hh in 0..h {
+                                    for ww in 0..w {
+                                        let v = acc.get((bn, cc, hh, ww)) + b;
+                                        acc.set((bn, cc, hh, ww), v);
+                                    }
+                                }
                             }
                         }
                     }
+                    let rq = lp.epilogue.effective_requant();
+                    let mut q = {
+                        let _span = tracer.span("requantize", MAIN_TRACK);
+                        lowbit_qnn::requantize(&acc, &rq)
+                    };
+                    if let Some(r) = fused_add {
+                        let residual = slots[r].as_ref().expect("verified dataflow");
+                        q = add_clamped(&q, residual);
+                    }
+                    drop(layer_span);
+                    if tracer.enabled() {
+                        if let Some(engine) = &self.arm {
+                            let prepack = engine.prepack_stats();
+                            tracer.counter("modeled_millis_total", engine.modeled_millis_total());
+                            tracer.counter("prepack_hits_total", prepack.hits as f64);
+                            tracer.counter("prepack_evictions_total", prepack.evictions as f64);
+                            tracer.counter(
+                                "workspace_high_water_bytes",
+                                engine.workspace_stats().high_water_bytes as f64,
+                            );
+                        }
+                    }
+                    let scale = scales[node.inputs[0]] * layer.weights.scale() / rq.multiplier;
+                    (q, scale)
                 }
-            }
-            let rq = lp.epilogue.effective_requant();
-            let q = {
-                let _span = tracer.span("requantize", MAIN_TRACK);
-                lowbit_qnn::requantize(&acc, &rq)
+                PlanOp::Add => {
+                    let mut span = tracer.span("layer", MAIN_TRACK);
+                    let a = slots[node.inputs[0]].as_ref().expect("verified dataflow");
+                    let b = slots[node.inputs[1]].as_ref().expect("verified dataflow");
+                    let q = add_clamped(a, b);
+                    span.set_label(|| format!("n{step} {}: add", node.name));
+                    (q, scales[node.inputs[0]])
+                }
+                PlanOp::Concat => {
+                    let mut span = tracer.span("layer", MAIN_TRACK);
+                    let q = concat_channels(node.inputs.iter().map(|&v| {
+                        slots[v].as_ref().expect("verified dataflow")
+                    }));
+                    span.set_label(|| format!("n{step} {}: concat", node.name));
+                    (q, scales[node.inputs[0]])
+                }
             };
-            act_scale = act_scale * layer.weights.scale() / rq.multiplier;
-            // Keep inter-layer activations NCHW so heterogeneous plans can
-            // hand off between backends (a no-op on the all-ARM path).
-            act = if q.layout() == Layout::Nchw { q } else { q.to_layout(Layout::Nchw) };
-            drop(layer_span);
-            if tracer.enabled() {
-                if let Some(engine) = &self.arm {
-                    let prepack = engine.prepack_stats();
-                    tracer.counter("modeled_millis_total", engine.modeled_millis_total());
-                    tracer.counter("prepack_hits_total", prepack.hits as f64);
-                    tracer.counter("prepack_evictions_total", prepack.evictions as f64);
-                    tracer.counter(
-                        "workspace_high_water_bytes",
-                        engine.workspace_stats().high_water_bytes as f64,
-                    );
+            // Store in the layout the plan recorded for this value (NHWC
+            // when the fusion pass elided a round-trip between GPU convs,
+            // canonical NCHW otherwise).
+            let vp = &values[node.output];
+            let q = if q.layout() == vp.layout { q } else { q.to_layout(vp.layout) };
+            if slots[node.output].is_none() {
+                live_bytes += vp.bytes;
+            }
+            slots[node.output] = Some(q);
+            scales[node.output] = out_scale;
+            // Inputs stay live through the step that consumes them — the
+            // arena model counts both sides of a def — so check the bound
+            // before releasing anything.
+            if live_bytes > declared {
+                return Err(CoreError::ActivationArenaExceeded { observed: live_bytes, declared });
+            }
+            for &v in &node.inputs {
+                uses_left[v] -= 1;
+                if uses_left[v] == 0 && slots[v].take().is_some() {
+                    live_bytes -= values[v].bytes;
                 }
             }
         }
+        let act = slots[output_value].take().expect("output value is held live");
+        let act = if act.layout() == Layout::Nchw { act } else { act.to_layout(Layout::Nchw) };
+        let act_scale = scales[output_value];
         let mut output = Tensor::zeros(act.dims(), act.layout());
         for (o, &q) in output.data_mut().iter_mut().zip(act.data()) {
             *o = q as f32 * act_scale;
@@ -378,6 +449,51 @@ impl Executor {
         }
         Ok(reports)
     }
+}
+
+/// Elementwise saturating add of two equal-shape quantized tensors, clamped
+/// into the left operand's bit-width range. This is both the standalone
+/// [`PlanOp::Add`] kernel and the tail of a fused residual epilogue — the
+/// two must stay the same expression for fused plans to be bit-exact
+/// against unfused references.
+fn add_clamped(a: &QTensor, b: &QTensor) -> QTensor {
+    let a_n = if a.layout() == Layout::Nchw { a.clone() } else { a.to_layout(Layout::Nchw) };
+    let b_n = if b.layout() == Layout::Nchw { b.clone() } else { b.to_layout(Layout::Nchw) };
+    let bits = a_n.bits();
+    let (lo, hi) = (bits.qmin() as i32, bits.qmax() as i32);
+    let data: Vec<i8> = a_n
+        .data()
+        .iter()
+        .zip(b_n.data())
+        .map(|(&x, &y)| (x as i32 + y as i32).clamp(lo, hi) as i8)
+        .collect();
+    QTensor::new(Tensor::from_vec(a_n.dims(), Layout::Nchw, data), bits, 1.0)
+}
+
+/// Concatenates quantized tensors along the channel axis in NCHW.
+fn concat_channels<'a>(operands: impl Iterator<Item = &'a QTensor>) -> QTensor {
+    let normalized: Vec<QTensor> = operands
+        .map(|t| if t.layout() == Layout::Nchw { t.clone() } else { t.to_layout(Layout::Nchw) })
+        .collect();
+    let (n, _, h, w) = normalized[0].dims();
+    let bits = normalized[0].bits();
+    let c_total: usize = normalized.iter().map(|t| t.dims().1).sum();
+    let mut out = Tensor::zeros((n, c_total, h, w), Layout::Nchw);
+    let mut c_off = 0;
+    for t in &normalized {
+        let c = t.dims().1;
+        for bn in 0..n {
+            for cc in 0..c {
+                for hh in 0..h {
+                    for ww in 0..w {
+                        out.set((bn, c_off + cc, hh, ww), t.tensor().get((bn, cc, hh, ww)));
+                    }
+                }
+            }
+        }
+        c_off += c;
+    }
+    QTensor::new(out, bits, 1.0)
 }
 
 #[cfg(test)]
@@ -432,6 +548,29 @@ mod tests {
             assert!((r.millis - lp.predicted_millis).abs() < 1e-12, "{}", r.name);
             assert_eq!(r.algo, lp.algo);
             assert_eq!(r.prepack_hits + r.prepack_misses, 0);
+        }
+    }
+
+    #[test]
+    fn understated_activation_bound_trips_the_runtime_arena_check() {
+        let def = lowbit_models::resnet50_residual_block(8);
+        let net = Network::from_graph_defs(&def, BitWidth::W4, 11).unwrap();
+        let engine = ArmEngine::cortex_a53();
+        let plan = Planner::for_arm(&engine).compile(&net).unwrap();
+        let input = float_input((1, 256, 8, 8), 3);
+        let exec = Executor::for_arm(&engine);
+        // The certified bound admits the run...
+        exec.run(&plan, &net, &input).unwrap();
+        // ...but a plan that understates it is caught at the first definition
+        // that exceeds the declared arena, with both sides in the error.
+        let lying = plan.clone().with_activation_high_water(1);
+        let err = exec.run(&lying, &net, &input).unwrap_err();
+        match err {
+            CoreError::ActivationArenaExceeded { observed, declared } => {
+                assert_eq!(declared, 1);
+                assert!(observed > 1);
+            }
+            other => panic!("expected ActivationArenaExceeded, got {other}"),
         }
     }
 

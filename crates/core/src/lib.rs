@@ -29,6 +29,8 @@ pub mod arm;
 pub mod error;
 pub mod executor;
 pub mod gpu;
+pub mod graph;
+pub mod memplan;
 pub mod metrics;
 pub mod network;
 pub mod plan;
@@ -41,8 +43,11 @@ pub mod prelude {
     pub use crate::error::CoreError;
     pub use crate::executor::{Backend, Executor, NetworkRun};
     pub use crate::gpu::{GpuConvResult, GpuEngine, Tuning};
+    pub use crate::graph::{GraphNode, GraphTopology, NodeOp, ValueId, ValueInfo};
     pub use crate::network::{LayerReport, NetLayer, Network};
-    pub use crate::plan::{BackendKind, Epilogue, ExecutionPlan, LayerPlan, PlanAlgo};
+    pub use crate::plan::{
+        BackendKind, Epilogue, ExecutionPlan, LayerPlan, NodePlan, PlanAlgo, PlanOp, ValuePlan,
+    };
     pub use crate::planner::Planner;
     pub use lowbit_qgemm::workspace::WorkspaceStats;
     pub use lowbit_tensor::{BitWidth, ConvShape, Layout, QTensor, Tensor};
@@ -57,13 +62,15 @@ pub use arm::{
 pub use error::CoreError;
 pub use executor::{Backend, BackendLayerEstimate, BackendLayerRun, Executor, NetworkRun};
 pub use gpu::{GpuConvResult, GpuEngine, Tuning};
+pub use graph::{GraphNode, GraphTopology, NodeOp, ValueId, ValueInfo};
+pub use memplan::{assign_arena, max_cut_bytes, sum_bytes, Assignment, ValueSpec};
 pub use metrics::{ExecKey, ExecMetrics};
 pub use network::{LayerReport, NetLayer, Network};
-pub use plan::{BackendKind, Epilogue, ExecutionPlan, LayerPlan, PlanAlgo};
+pub use plan::{BackendKind, Epilogue, ExecutionPlan, LayerPlan, NodePlan, PlanAlgo, PlanOp, ValuePlan};
 pub use planner::{arm_candidates, arm_workspace_bytes, select_arm_algo, ArmCandidate, Planner};
 pub use verify::{
-    algo_kind, fingerprint_audit, fingerprint_audit_with, fingerprint_layers, lower_plan,
-    plan_high_water, verify_compiled,
+    algo_kind, fingerprint_audit, fingerprint_audit_with, fingerprint_graph, fingerprint_layers,
+    lower_plan, plan_high_water, topology_audit, verify_compiled,
 };
 
 // Substrate re-exports for advanced users.

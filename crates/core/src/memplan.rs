@@ -1,0 +1,222 @@
+//! Liveness-based activation memory planning.
+//!
+//! The planner lowers every DAG value (activation tensor) to a
+//! [`ValueSpec`] — its size in bytes plus the half-open window of plan
+//! steps during which it must stay resident — and [`assign_arena`] packs
+//! them into one shared arena: values whose live ranges never intersect may
+//! share bytes. The resulting [`Assignment`] is a *pure* function of the
+//! specs (no RNG, no clock), so the verifier can re-derive and check it and
+//! goldens stay byte-stable.
+//!
+//! Two reference quantities frame the result:
+//!
+//! * [`sum_bytes`] — what a no-reuse allocator would reserve (every value
+//!   gets private storage). This is the paper-workload baseline the
+//!   BENCH_graph experiment compares against.
+//! * [`max_cut_bytes`] — the largest total size of simultaneously-live
+//!   values over any step (a topological cut). No allocator can do better;
+//!   greedy-by-size first-fit is never below it, and meets it exactly on
+//!   uniform sizes and on the compiled chain and residual-block plans
+//!   (dense-block fan-in can fragment the arena a few percent above the
+//!   cut — `tests/memplan_properties.rs` pins both facts).
+
+/// One value's storage demand: size and inclusive live range in plan steps.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ValueSpec {
+    /// Bytes of backing storage the value needs.
+    pub bytes: usize,
+    /// First step (node index in topological order) at which the value
+    /// exists — the step of its defining node (0 for graph inputs).
+    pub def: usize,
+    /// Last step whose node reads the value (>= `def`).
+    pub last_use: usize,
+}
+
+impl ValueSpec {
+    /// True when the two values are ever live at the same step.
+    pub fn lives_with(&self, other: &ValueSpec) -> bool {
+        self.def <= other.last_use && other.def <= self.last_use
+    }
+}
+
+/// Arena placement for a set of values: one offset per value plus the
+/// arena's high-water mark.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Assignment {
+    /// Byte offset of each value (parallel to the input specs).
+    pub offsets: Vec<usize>,
+    /// Smallest arena size that contains every placement:
+    /// `max(offset + bytes)`.
+    pub high_water_bytes: usize,
+}
+
+/// Total bytes with no reuse at all — every value in private storage.
+pub fn sum_bytes(values: &[ValueSpec]) -> usize {
+    values.iter().map(|v| v.bytes).sum()
+}
+
+/// The largest total size of simultaneously-live values over any step — the
+/// max over topological cuts, and a lower bound for any arena assignment.
+pub fn max_cut_bytes(values: &[ValueSpec]) -> usize {
+    let last = values.iter().map(|v| v.last_use).max().unwrap_or(0);
+    (0..=last)
+        .map(|step| {
+            values
+                .iter()
+                .filter(|v| v.def <= step && step <= v.last_use)
+                .map(|v| v.bytes)
+                .sum()
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// Packs values into one shared arena: greedy by descending size (ties by
+/// earlier definition), each placed at the lowest offset where it fits in
+/// the gaps left by already-placed values it is simultaneously live with
+/// (first-fit over the free list).
+///
+/// Guarantees, both checked by `verify::plan` on the recorded offsets:
+///
+/// * no two simultaneously-live values overlap in the arena,
+/// * `high_water_bytes` = `max(offset + bytes)` over all values.
+pub fn assign_arena(values: &[ValueSpec]) -> Assignment {
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by_key(|&i| (core::cmp::Reverse(values[i].bytes), values[i].def, i));
+
+    let mut offsets = vec![0usize; values.len()];
+    let mut placed: Vec<usize> = Vec::with_capacity(values.len());
+    let mut high_water = 0usize;
+    for &i in &order {
+        let v = values[i];
+        if v.bytes == 0 {
+            placed.push(i);
+            continue;
+        }
+        // Occupied intervals that conflict with this value, sorted by offset.
+        let mut busy: Vec<(usize, usize)> = placed
+            .iter()
+            .filter(|&&j| values[j].bytes > 0 && v.lives_with(&values[j]))
+            .map(|&j| (offsets[j], offsets[j] + values[j].bytes))
+            .collect();
+        busy.sort_unstable();
+        // First fit: walk the busy list keeping a cursor at the end of the
+        // furthest-reaching interval seen; the first gap >= bytes wins.
+        let mut at = 0usize;
+        for (start, end) in busy {
+            if start.saturating_sub(at) >= v.bytes {
+                break;
+            }
+            at = at.max(end);
+        }
+        offsets[i] = at;
+        high_water = high_water.max(at + v.bytes);
+        placed.push(i);
+    }
+    Assignment { offsets, high_water_bytes: high_water }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_sound(values: &[ValueSpec], a: &Assignment) {
+        for i in 0..values.len() {
+            for j in i + 1..values.len() {
+                if values[i].bytes == 0 || values[j].bytes == 0 {
+                    continue;
+                }
+                if values[i].lives_with(&values[j]) {
+                    let (ai, bi) = (a.offsets[i], a.offsets[i] + values[i].bytes);
+                    let (aj, bj) = (a.offsets[j], a.offsets[j] + values[j].bytes);
+                    assert!(bi <= aj || bj <= ai, "values {i} and {j} overlap");
+                }
+            }
+            assert!(a.offsets[i] + values[i].bytes <= a.high_water_bytes);
+        }
+    }
+
+    #[test]
+    fn chain_reuses_ping_pong() {
+        // v0 -> v1 -> v2 -> v3: neighbors conflict, but v0/v2 and v1/v3 can
+        // share. High-water = max adjacent pair = max cut.
+        let values = [
+            ValueSpec { bytes: 100, def: 0, last_use: 0 },
+            ValueSpec { bytes: 80, def: 0, last_use: 1 },
+            ValueSpec { bytes: 60, def: 1, last_use: 2 },
+            ValueSpec { bytes: 40, def: 2, last_use: 2 },
+        ];
+        let a = assign_arena(&values);
+        check_sound(&values, &a);
+        assert_eq!(a.high_water_bytes, max_cut_bytes(&values));
+        assert_eq!(a.high_water_bytes, 180);
+        assert!(a.high_water_bytes < sum_bytes(&values));
+    }
+
+    #[test]
+    fn dense_block_shape_meets_the_cut_bound() {
+        // DenseNet-ish: the running concat keeps growing while bottleneck
+        // outputs come and go.
+        let values = [
+            ValueSpec { bytes: 64, def: 0, last_use: 2 },  // input feature map
+            ValueSpec { bytes: 128, def: 1, last_use: 2 }, // bottleneck
+            ValueSpec { bytes: 32, def: 2, last_use: 3 },  // growth
+            ValueSpec { bytes: 96, def: 3, last_use: 5 },  // concat
+            ValueSpec { bytes: 128, def: 4, last_use: 5 }, // bottleneck
+            ValueSpec { bytes: 32, def: 5, last_use: 6 },  // growth
+            ValueSpec { bytes: 128, def: 6, last_use: 6 }, // concat
+        ];
+        let a = assign_arena(&values);
+        check_sound(&values, &a);
+        assert_eq!(a.high_water_bytes, max_cut_bytes(&values));
+        assert!(sum_bytes(&values) >= 2 * a.high_water_bytes);
+    }
+
+    #[test]
+    fn disjoint_ranges_share_one_slot() {
+        let values = [
+            ValueSpec { bytes: 50, def: 0, last_use: 1 },
+            ValueSpec { bytes: 50, def: 2, last_use: 3 },
+            ValueSpec { bytes: 50, def: 4, last_use: 5 },
+        ];
+        let a = assign_arena(&values);
+        check_sound(&values, &a);
+        assert_eq!(a.offsets, vec![0, 0, 0]);
+        assert_eq!(a.high_water_bytes, 50);
+    }
+
+    #[test]
+    fn zero_byte_values_are_free() {
+        let values = [
+            ValueSpec { bytes: 0, def: 0, last_use: 5 },
+            ValueSpec { bytes: 10, def: 0, last_use: 5 },
+        ];
+        let a = assign_arena(&values);
+        assert_eq!(a.high_water_bytes, 10);
+    }
+
+    #[test]
+    fn empty_input_is_empty_arena() {
+        let a = assign_arena(&[]);
+        assert_eq!(a.high_water_bytes, 0);
+        assert!(a.offsets.is_empty());
+        assert_eq!(max_cut_bytes(&[]), 0);
+        assert_eq!(sum_bytes(&[]), 0);
+    }
+
+    #[test]
+    fn small_value_fits_in_a_gap() {
+        // Big values pin offsets 0..100 and 100..200 in disjoint windows
+        // that both conflict with a small long-lived value; the small one
+        // must find the gap above.
+        let values = [
+            ValueSpec { bytes: 100, def: 0, last_use: 1 },
+            ValueSpec { bytes: 100, def: 1, last_use: 2 },
+            ValueSpec { bytes: 30, def: 0, last_use: 2 },
+        ];
+        let a = assign_arena(&values);
+        check_sound(&values, &a);
+        assert_eq!(a.high_water_bytes, max_cut_bytes(&values));
+        assert_eq!(a.high_water_bytes, 230);
+    }
+}

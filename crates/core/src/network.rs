@@ -14,6 +14,7 @@
 use crate::arm::{ArmAlgo, ArmEngine};
 use crate::error::CoreError;
 use crate::executor::Executor;
+use crate::graph::{GraphNode, GraphTopology, NodeOp, ValueInfo};
 use crate::plan::{BackendKind, PlanAlgo};
 use crate::planner::Planner;
 use lowbit_qnn::RequantParams;
@@ -39,10 +40,14 @@ pub struct NetLayer {
     pub requant: RequantParams,
 }
 
-/// A validated sequential network.
+/// A validated network: conv layers plus the DAG topology that connects
+/// them. Chains ([`Network::sequential`]) are the degenerate one-consumer-
+/// per-value case; [`Network::from_graph`] admits residual adds and dense
+/// concats.
 #[derive(Clone, Debug)]
 pub struct Network {
     layers: Vec<NetLayer>,
+    topology: GraphTopology,
 }
 
 /// Per-layer execution/estimate record, unified across backends: ARM layers
@@ -128,7 +133,109 @@ impl Network {
         if layers.is_empty() {
             return Err(CoreError::EmptyNetwork);
         }
-        Ok(Network { layers })
+        let topology = GraphTopology::chain(&layers);
+        Ok(Network { layers, topology })
+    }
+
+    /// Builds a graph-shaped network: conv layers wired by an explicit DAG
+    /// topology (residual adds, dense concats). The topology is validated
+    /// against the layers — per-edge geometry, joining-operand agreement,
+    /// static scale alignment — before the network exists.
+    pub fn from_graph(layers: Vec<NetLayer>, topology: GraphTopology) -> Result<Network, CoreError> {
+        if layers.is_empty() {
+            return Err(CoreError::EmptyNetwork);
+        }
+        for l in &layers {
+            if let Some(bias) = &l.bias {
+                if bias.len() != l.shape.c_out {
+                    return Err(CoreError::BiasLengthMismatch {
+                        layer: l.name.clone(),
+                        expects: l.shape.c_out,
+                        got: bias.len(),
+                    });
+                }
+            }
+        }
+        topology.validate(&layers)?;
+        Ok(Network { layers, topology })
+    }
+
+    /// Builds a deterministic graph network from a [`lowbit_models::GraphDef`]
+    /// at `bits`: seeded random weights, ReLU as the def specifies, and —
+    /// crucially for the joining nodes — each conv's weight scale set equal
+    /// to its re-quantization multiplier, so every value carries the graph
+    /// input's activation scale and adds/concats are exactly aligned.
+    pub fn from_graph_defs(
+        def: &lowbit_models::GraphDef,
+        bits: BitWidth,
+        seed: u64,
+    ) -> Result<Network, CoreError> {
+        let (c, h0, w0) = def.input;
+        let mut values = vec![ValueInfo { dims: (1, c, h0, w0), bits }];
+        let mut layers: Vec<NetLayer> = Vec::new();
+        let mut nodes: Vec<GraphNode> = Vec::new();
+        for (i, node) in def.nodes.iter().enumerate() {
+            let out = match &node.op {
+                lowbit_models::GraphOpDef::Conv { def: ld, relu } => {
+                    let shape = ld.shape;
+                    let mult = 4.0 / ((shape.gemm_k() as f32).sqrt() * bits.qmax() as f32);
+                    let tensor = QTensor::random(
+                        (shape.c_out, shape.c_in, shape.kh, shape.kw),
+                        Layout::Nchw,
+                        bits,
+                        seed + layers.len() as u64,
+                    );
+                    // Rewrap with scale := multiplier, so the conv's output
+                    // scale equals its input scale (relative scale 1
+                    // everywhere — the alignment validate() requires).
+                    let weights = QTensor::new(tensor.tensor().clone(), bits, mult);
+                    nodes.push(GraphNode {
+                        name: node.name.into(),
+                        op: NodeOp::Conv { layer: layers.len() },
+                        inputs: node.inputs.clone(),
+                        output: i + 1,
+                    });
+                    layers.push(NetLayer {
+                        name: node.name.into(),
+                        shape,
+                        weights,
+                        bias: None,
+                        relu: *relu,
+                        requant: RequantParams::new(bits, mult),
+                    });
+                    ValueInfo {
+                        dims: (1, shape.c_out, shape.out_h(), shape.out_w()),
+                        bits,
+                    }
+                }
+                lowbit_models::GraphOpDef::Add => {
+                    nodes.push(GraphNode {
+                        name: node.name.into(),
+                        op: NodeOp::Add,
+                        inputs: node.inputs.clone(),
+                        output: i + 1,
+                    });
+                    values[node.inputs[0]]
+                }
+                lowbit_models::GraphOpDef::Concat => {
+                    nodes.push(GraphNode {
+                        name: node.name.into(),
+                        op: NodeOp::Concat,
+                        inputs: node.inputs.clone(),
+                        output: i + 1,
+                    });
+                    let first = values[node.inputs[0]];
+                    let channels = node.inputs.iter().map(|&v| values[v].dims.1).sum();
+                    ValueInfo {
+                        dims: (first.dims.0, channels, first.dims.2, first.dims.3),
+                        bits: first.bits,
+                    }
+                }
+            };
+            values.push(out);
+        }
+        let output = def.nodes.len();
+        Network::from_graph(layers, GraphTopology { nodes, values, input: 0, output })
     }
 
     /// A small deterministic demo network (3 chained layers) at `bits`. The
@@ -183,7 +290,7 @@ impl Network {
             .iter()
             .map(|l| NetLayer { shape: l.shape.with_batch(batch), ..l.clone() })
             .collect();
-        Network::sequential(layers)
+        Network::from_graph(layers, self.topology.with_batch(batch))
     }
 
     /// A content fingerprint of the network: FNV-1a over every layer's name,
@@ -194,14 +301,24 @@ impl Network {
     /// batch size is deliberately excluded — [`Network::with_batch`]
     /// variants share one fingerprint, so serving caches key plans by
     /// `(fingerprint, batch, backend)` and a re-batched network is
-    /// recognized as the same model.
+    /// recognized as the same model. Since the DAG promotion the hash also
+    /// covers the topology — node ops, names and edges — so two networks
+    /// with identical layers but different wiring (a residual add present
+    /// vs elided, concat operands reordered) never collide; the
+    /// [`crate::verify::topology_audit`] lint proves that coverage.
     pub fn fingerprint(&self) -> u64 {
-        crate::verify::fingerprint_layers(&self.layers)
+        crate::verify::fingerprint_graph(&self.layers, &self.topology)
     }
 
     /// Layers view.
     pub fn layers(&self) -> &[NetLayer] {
         &self.layers
+    }
+
+    /// The DAG topology the layers execute under (a chain for sequential
+    /// networks).
+    pub fn topology(&self) -> &GraphTopology {
+        &self.topology
     }
 
     /// Runs the network on a float input: quantize once, stay quantized

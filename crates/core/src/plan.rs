@@ -18,10 +18,12 @@
 
 use crate::arm::ArmAlgo;
 use crate::error::CoreError;
+use crate::graph::ValueId;
+use crate::memplan::{assign_arena, ValueSpec};
 use crate::network::Network;
 use lowbit_conv_gpu::TileConfig;
 use lowbit_qnn::RequantParams;
-use lowbit_tensor::{BitWidth, ConvShape};
+use lowbit_tensor::{BitWidth, ConvShape, Layout};
 use lowbit_verify::LayoutConversion;
 
 /// Which engine a layer runs on. `Hash` so serving-layer caches can key
@@ -81,10 +83,15 @@ pub struct Epilogue {
 }
 
 impl Epilogue {
-    /// The requant parameters actually applied (ReLU folded when requested).
+    /// The requant parameters actually applied (ReLU folded when
+    /// requested). The fold raises the truncation floor to 0 but never
+    /// lowers it: a layer that already clamps above zero keeps its tighter
+    /// bound (`relu(clamp(x, m, ..)) = clamp(x, m, ..)` for `m >= 0`).
     pub fn effective_requant(&self) -> RequantParams {
         if self.relu {
-            self.requant.with_relu()
+            let mut rq = self.requant;
+            rq.clamp_min = rq.clamp_min.max(0);
+            rq
         } else {
             self.requant
         }
@@ -124,34 +131,209 @@ pub struct LayerPlan {
     pub post_conversion: Option<LayoutConversion>,
 }
 
+/// What a plan node computes. The planner's graph-level fusion shows up
+/// here: a residual add folded into its producing conv records the residual
+/// value in `fused_add` and the standalone `Add` node disappears.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PlanOp {
+    /// A conv layer (index into [`ExecutionPlan::layers`]). When
+    /// `fused_add` is set, the executor adds that value elementwise onto
+    /// the re-quantized output inside the conv's epilogue (the node's
+    /// second input is the residual).
+    Conv {
+        /// Index into the plan's layer list.
+        layer: usize,
+        /// Residual value folded into this conv's epilogue, if any.
+        fused_add: Option<ValueId>,
+    },
+    /// Standalone elementwise saturating add (an unfused residual join).
+    Add,
+    /// Channel-axis concatenation.
+    Concat,
+}
+
+/// One step of the compiled DAG: a named op over plan value ids.
+#[derive(Clone, Debug)]
+pub struct NodePlan {
+    /// Display name (conv nodes reuse their layer's name).
+    pub name: String,
+    /// The op.
+    pub op: PlanOp,
+    /// Input value ids. For a conv with `fused_add: Some(r)` this is
+    /// `[activation, r]`.
+    pub inputs: Vec<ValueId>,
+    /// Output value id.
+    pub output: ValueId,
+}
+
+/// One activation value of the compiled plan: its geometry, its inter-node
+/// layout (NHWC when the planner elided a round-trip between same-backend
+/// GPU neighbors), and its slot in the shared activation arena.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ValuePlan {
+    /// `(batch, channels, h, w)`.
+    pub dims: (usize, usize, usize, usize),
+    /// Quantized element width.
+    pub bits: BitWidth,
+    /// The layout the value is stored in between nodes.
+    pub layout: Layout,
+    /// Bytes of backing storage (one byte per element).
+    pub bytes: usize,
+    /// Byte offset in the activation arena.
+    pub offset: usize,
+    /// Step (node index) at which the value is defined (0 for the input).
+    pub def: usize,
+    /// Last step that reads the value (the output value is held to the end).
+    pub last_use: usize,
+}
+
 /// A compiled network: the offline phase's output, ready to execute any
-/// number of times.
+/// number of times. Since the DAG promotion a plan is a topologically-
+/// ordered node list over arena-placed values; `layers` holds the conv
+/// payloads those nodes reference.
 #[derive(Clone, Debug)]
 pub struct ExecutionPlan {
     layers: Vec<LayerPlan>,
+    nodes: Vec<NodePlan>,
+    values: Vec<ValuePlan>,
     workspace_high_water_bytes: usize,
+    activation_high_water_bytes: usize,
+}
+
+/// Synthesizes the chain-shaped node/value tables for a sequential layer
+/// list (value `i` feeds node `i`, which produces value `i + 1`; everything
+/// stays in canonical NCHW between nodes).
+fn chain_graph(layers: &[LayerPlan]) -> (Vec<NodePlan>, Vec<ValuePlan>) {
+    let first = &layers[0];
+    let mut values = vec![ValuePlan {
+        dims: (first.shape.batch, first.shape.c_in, first.shape.h, first.shape.w),
+        bits: first.bits,
+        layout: Layout::Nchw,
+        bytes: first.shape.batch * first.shape.c_in * first.shape.h * first.shape.w,
+        offset: 0,
+        def: 0,
+        last_use: 0,
+    }];
+    let nodes = layers
+        .iter()
+        .enumerate()
+        .map(|(i, l)| {
+            let dims = (l.shape.batch, l.shape.c_out, l.shape.out_h(), l.shape.out_w());
+            values.push(ValuePlan {
+                dims,
+                bits: l.epilogue.requant.bits,
+                layout: Layout::Nchw,
+                bytes: dims.0 * dims.1 * dims.2 * dims.3,
+                offset: 0,
+                def: 0,
+                last_use: 0,
+            });
+            NodePlan {
+                name: l.name.clone(),
+                op: PlanOp::Conv { layer: i, fused_add: None },
+                inputs: vec![i],
+                output: i + 1,
+            }
+        })
+        .collect();
+    (nodes, values)
 }
 
 impl ExecutionPlan {
-    /// Builds a plan from per-layer plans (the planner's constructor). The
-    /// whole-plan workspace high-water is derived from the layers via the
-    /// same certified formula the verifier re-checks it against.
-    pub(crate) fn new(layers: Vec<LayerPlan>) -> ExecutionPlan {
-        let workspace_high_water_bytes = crate::verify::plan_high_water(&layers);
-        ExecutionPlan { layers, workspace_high_water_bytes }
+    /// Builds a plan from an explicit node/value graph (the planner's DAG
+    /// constructor). Re-derives every value's live range from the node
+    /// table — `def` is the producing step, `last_use` the last consuming
+    /// step, with the plan output held to the end — and packs the values
+    /// into the activation arena via the liveness allocator, recording the
+    /// resulting offsets and high-water mark.
+    pub(crate) fn from_graph(
+        layers: Vec<LayerPlan>,
+        nodes: Vec<NodePlan>,
+        mut values: Vec<ValuePlan>,
+        workspace_high_water_bytes: usize,
+    ) -> ExecutionPlan {
+        for (step, node) in nodes.iter().enumerate() {
+            values[node.output].def = step;
+            for &v in &node.inputs {
+                values[v].last_use = values[v].last_use.max(step);
+            }
+        }
+        values[0].def = 0;
+        let output = nodes.last().expect("plans are non-empty").output;
+        let last_step = nodes.len() - 1;
+        values[output].last_use = last_step;
+        for v in &mut values {
+            v.last_use = v.last_use.max(v.def);
+        }
+        let specs: Vec<ValueSpec> = values
+            .iter()
+            .map(|v| ValueSpec { bytes: v.bytes, def: v.def, last_use: v.last_use })
+            .collect();
+        let arena = assign_arena(&specs);
+        for (v, &offset) in values.iter_mut().zip(&arena.offsets) {
+            v.offset = offset;
+        }
+        ExecutionPlan {
+            layers,
+            nodes,
+            values,
+            workspace_high_water_bytes,
+            activation_high_water_bytes: arena.high_water_bytes,
+        }
     }
 
-    /// Builds a plan with an explicitly declared high-water figure. Exists
-    /// so tests and the verifier's negative catalog can seed plans whose
-    /// declarations diverge from the certified bound; the planner always
-    /// goes through [`ExecutionPlan::new`].
+    /// Builds a chain plan with an explicitly declared workspace figure.
+    /// Exists so tests and the verifier's negative catalog can seed plans
+    /// whose declarations diverge from the certified bound; the planner
+    /// always goes through [`ExecutionPlan::from_graph`].
     pub fn from_layers(layers: Vec<LayerPlan>, workspace_high_water_bytes: usize) -> ExecutionPlan {
-        ExecutionPlan { layers, workspace_high_water_bytes }
+        let (nodes, values) = chain_graph(&layers);
+        ExecutionPlan::from_graph(layers, nodes, values, workspace_high_water_bytes)
+    }
+
+    /// The same plan with a different declared activation high-water — the
+    /// understating hook the verifier's negative catalog and the executor's
+    /// run-time bound check are tested against. The planner never calls
+    /// this.
+    pub fn with_activation_high_water(mut self, bytes: usize) -> ExecutionPlan {
+        self.activation_high_water_bytes = bytes;
+        self
     }
 
     /// Per-layer plans.
     pub fn layers(&self) -> &[LayerPlan] {
         &self.layers
+    }
+
+    /// The compiled DAG's nodes in execution order.
+    pub fn nodes(&self) -> &[NodePlan] {
+        &self.nodes
+    }
+
+    /// The compiled DAG's values with their arena placements.
+    pub fn values(&self) -> &[ValuePlan] {
+        &self.values
+    }
+
+    /// The value the plan's last node produces — the network output.
+    pub fn output_value(&self) -> ValueId {
+        self.nodes.last().expect("plans are non-empty").output
+    }
+
+    /// The node executing conv layer `layer`.
+    pub fn node_of_layer(&self, layer: usize) -> usize {
+        self.nodes
+            .iter()
+            .position(|n| matches!(n.op, PlanOp::Conv { layer: l, .. } if l == layer))
+            .expect("every layer has a node")
+    }
+
+    /// The declared activation arena high-water: an upper bound on the
+    /// bytes of simultaneously-live activation values at any step. The
+    /// verifier proves it from the recorded offsets; the executor proves at
+    /// run time that observed live bytes never exceed it.
+    pub fn activation_high_water_bytes(&self) -> usize {
+        self.activation_high_water_bytes
     }
 
     /// The declared whole-plan arena high-water: an upper bound on the
@@ -190,22 +372,22 @@ impl ExecutionPlan {
                 ),
             });
         }
-        for (lp, nl) in self.layers.iter().zip(net.layers()) {
+        for (i, (lp, nl)) in self.layers.iter().zip(net.layers()).enumerate() {
+            let at = format!("layer {i} ({}) at node n{}", lp.name, self.node_of_layer(i));
             if lp.name != nl.name {
                 return Err(CoreError::PlanMismatch {
-                    detail: format!("plan layer {} vs network layer {}", lp.name, nl.name),
+                    detail: format!("{at}: plan layer {} vs network layer {}", lp.name, nl.name),
                 });
             }
             if lp.shape != nl.shape {
                 return Err(CoreError::PlanMismatch {
-                    detail: format!("{}: plan shape {} vs network {}", lp.name, lp.shape, nl.shape),
+                    detail: format!("{at}: plan shape {} vs network {}", lp.shape, nl.shape),
                 });
             }
             if lp.bits != nl.weights.bits() {
                 return Err(CoreError::PlanMismatch {
                     detail: format!(
-                        "{}: plan bits {} vs network {}",
-                        lp.name,
+                        "{at}: plan bits {} vs network {}",
                         lp.bits,
                         nl.weights.bits()
                     ),
@@ -215,23 +397,56 @@ impl ExecutionPlan {
         Ok(())
     }
 
-    /// Renders the plan as an aligned human-readable table.
+    /// Renders the plan as an aligned human-readable table: one row per DAG
+    /// node (conv rows carry their layer index and full recipe; add/concat
+    /// rows their operand values), then the totals, including the
+    /// activation arena's high-water.
     pub fn table(&self) -> String {
-        let headers = ["layer", "backend", "algo", "bits", "pred ms", "prepack fp", "ws bytes"];
-        let mut rows: Vec<[String; 7]> = Vec::with_capacity(self.layers.len());
-        for l in &self.layers {
-            rows.push([
-                l.name.clone(),
-                l.backend.to_string(),
-                l.algo.to_string(),
-                l.bits.to_string(),
-                format!("{:.6}", l.predicted_millis),
-                match l.prepack_fingerprint {
-                    Some(fp) => format!("{fp:016x}"),
-                    None => "-".into(),
-                },
-                l.workspace_bytes.to_string(),
-            ]);
+        let headers = ["node", "layer", "backend", "algo", "bits", "pred ms", "prepack fp", "ws bytes"];
+        let mut rows: Vec<[String; 8]> = Vec::with_capacity(self.nodes.len());
+        for (step, node) in self.nodes.iter().enumerate() {
+            let row = match node.op {
+                PlanOp::Conv { layer, fused_add } => {
+                    let l = &self.layers[layer];
+                    let algo = match fused_add {
+                        Some(r) => format!("{} +v{r}", l.algo),
+                        None => l.algo.to_string(),
+                    };
+                    [
+                        format!("n{step}"),
+                        format!("{layer}:{}", l.name),
+                        l.backend.to_string(),
+                        algo,
+                        l.bits.to_string(),
+                        format!("{:.6}", l.predicted_millis),
+                        match l.prepack_fingerprint {
+                            Some(fp) => format!("{fp:016x}"),
+                            None => "-".into(),
+                        },
+                        l.workspace_bytes.to_string(),
+                    ]
+                }
+                PlanOp::Add | PlanOp::Concat => {
+                    let op = if node.op == PlanOp::Add { "add" } else { "concat" };
+                    let operands = node
+                        .inputs
+                        .iter()
+                        .map(|v| format!("v{v}"))
+                        .collect::<Vec<_>>()
+                        .join("+");
+                    [
+                        format!("n{step}"),
+                        format!("-:{}", node.name),
+                        "-".into(),
+                        format!("{op} {operands}"),
+                        self.values[node.output].bits.to_string(),
+                        format!("{:.6}", 0.0),
+                        "-".into(),
+                        "0".into(),
+                    ]
+                }
+            };
+            rows.push(row);
         }
         let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
         for row in &rows {
@@ -244,7 +459,7 @@ impl ExecutionPlan {
                 .iter()
                 .enumerate()
                 .map(|(i, c)| {
-                    if i == 0 {
+                    if i <= 1 {
                         format!("{c:<w$}", w = widths[i])
                     } else {
                         format!("{c:>w$}", w = widths[i])
@@ -267,6 +482,10 @@ impl ExecutionPlan {
             "workspace high-water: {} bytes\n",
             self.workspace_high_water_bytes
         ));
+        out.push_str(&format!(
+            "activation high-water: {} bytes\n",
+            self.activation_high_water_bytes
+        ));
         out
     }
 
@@ -277,7 +496,8 @@ impl ExecutionPlan {
         let items: Vec<String> = self
             .layers
             .iter()
-            .map(|l| {
+            .enumerate()
+            .map(|(i, l)| {
                 let fp = match l.prepack_fingerprint {
                     Some(fp) => format!("\"{fp:016x}\""),
                     None => "null".into(),
@@ -287,10 +507,11 @@ impl ExecutionPlan {
                     None => "null".into(),
                 };
                 format!(
-                    "    {{\"name\":\"{}\",\"backend\":\"{}\",\"algo\":\"{}\",\"bits\":{},\
+                    "    {{\"name\":\"{}\",\"node\":{},\"backend\":\"{}\",\"algo\":\"{}\",\"bits\":{},\
 \"predicted_millis\":{:.9},\"prepack_fingerprint\":{},\"workspace_bytes\":{},\"relu\":{},\
 \"pre_conversion\":{},\"post_conversion\":{}}}",
                     l.name,
+                    self.node_of_layer(i),
                     l.backend,
                     l.algo,
                     l.bits.bits(),
@@ -304,11 +525,55 @@ impl ExecutionPlan {
             })
             .collect();
         s.push_str(&items.join(",\n"));
+        s.push_str("\n  ],\n  \"nodes\": [\n");
+        let nodes: Vec<String> = self
+            .nodes
+            .iter()
+            .map(|n| {
+                let (op, layer, fused) = match n.op {
+                    PlanOp::Conv { layer, fused_add } => (
+                        "conv",
+                        layer.to_string(),
+                        fused_add.map_or("null".into(), |r| r.to_string()),
+                    ),
+                    PlanOp::Add => ("add", "null".into(), "null".into()),
+                    PlanOp::Concat => ("concat", "null".into(), "null".into()),
+                };
+                let inputs =
+                    n.inputs.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(",");
+                format!(
+                    "    {{\"name\":\"{}\",\"op\":\"{op}\",\"layer\":{layer},\
+\"fused_add\":{fused},\"inputs\":[{inputs}],\"output\":{}}}",
+                    n.name, n.output
+                )
+            })
+            .collect();
+        s.push_str(&nodes.join(",\n"));
+        s.push_str("\n  ],\n  \"values\": [\n");
+        let values: Vec<String> = self
+            .values
+            .iter()
+            .map(|v| {
+                format!(
+                    "    {{\"dims\":[{},{},{},{}],\"bits\":{},\"layout\":\"{:?}\",\
+\"bytes\":{},\"offset\":{},\"def\":{},\"last_use\":{}}}",
+                    v.dims.0, v.dims.1, v.dims.2, v.dims.3,
+                    v.bits.bits(),
+                    v.layout,
+                    v.bytes,
+                    v.offset,
+                    v.def,
+                    v.last_use
+                )
+            })
+            .collect();
+        s.push_str(&values.join(",\n"));
         s.push_str(&format!(
             "\n  ],\n  \"predicted_total_millis\":{:.9},\n  \
-\"workspace_high_water_bytes\":{}\n}}\n",
+\"workspace_high_water_bytes\":{},\n  \"activation_high_water_bytes\":{}\n}}\n",
             self.predicted_millis(),
-            self.workspace_high_water_bytes
+            self.workspace_high_water_bytes,
+            self.activation_high_water_bytes
         ));
         s
     }
@@ -364,5 +629,49 @@ mod tests {
         assert_eq!(ep.effective_requant().clamp_min, 0);
         let ep = Epilogue { relu: false, ..ep };
         assert_eq!(ep.effective_requant().clamp_min, BitWidth::W4.qmin());
+    }
+
+    #[test]
+    fn relu_fold_never_lowers_a_positive_clamp() {
+        // A layer already clamping at +3 stays at +3 under the ReLU fold:
+        // relu is a no-op on a range that starts above zero.
+        let mut requant = RequantParams::new(BitWidth::W4, 0.5);
+        requant.clamp_min = 3;
+        let ep = Epilogue { bias: None, requant, relu: true };
+        assert_eq!(ep.effective_requant().clamp_min, 3);
+        // Without the fold the positive clamp passes through untouched too.
+        let ep = Epilogue { relu: false, ..ep };
+        assert_eq!(ep.effective_requant().clamp_min, 3);
+    }
+
+    #[test]
+    fn relu_fold_at_the_extreme_widths() {
+        // W2's adjusted range is [-1, 1]; W8's is [-127, 127]. The fold
+        // moves the floor to 0 at both extremes, the ceiling never moves,
+        // and the multiplier passes through bit-identically.
+        for bits in [BitWidth::W2, BitWidth::W8] {
+            let ep = Epilogue {
+                bias: None,
+                requant: RequantParams::new(bits, 0.125),
+                relu: true,
+            };
+            let rq = ep.effective_requant();
+            assert_eq!(rq.clamp_min, 0, "{bits}");
+            assert_eq!(rq.bits, bits);
+            assert_eq!(rq.multiplier.to_bits(), 0.125f32.to_bits());
+            assert_eq!(rq.apply(i32::MIN / 2), 0, "{bits}: floor clamps at 0");
+            assert_eq!(rq.apply(i32::MAX / 2), bits.qmax(), "{bits}: ceiling is qmax");
+        }
+    }
+
+    #[test]
+    fn biasless_epilogue_requant_is_untouched_by_the_fold_machinery() {
+        // A bias-less, relu-less epilogue must hand back its requant
+        // exactly (the executor's hot loop relies on this being identity).
+        let requant = RequantParams::new(BitWidth::W2, 0.7);
+        let ep = Epilogue { bias: None, requant, relu: false };
+        assert!(ep.bias.is_none());
+        assert_eq!(ep.effective_requant(), requant);
+        assert_eq!(ep.effective_requant().clamp_min, BitWidth::W2.qmin());
     }
 }

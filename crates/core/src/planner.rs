@@ -19,8 +19,11 @@
 use crate::arm::{prepack_fingerprint, ArmAlgo, ArmEngine};
 use crate::error::CoreError;
 use crate::gpu::{GpuEngine, Tuning};
+use crate::graph::NodeOp;
 use crate::network::Network;
-use crate::plan::{BackendKind, Epilogue, ExecutionPlan, LayerPlan, PlanAlgo};
+use crate::plan::{
+    BackendKind, Epilogue, ExecutionPlan, LayerPlan, NodePlan, PlanAlgo, PlanOp, ValuePlan,
+};
 use lowbit_conv_arm::{
     schedule_bitserial_conv, schedule_gemm_conv, schedule_gemm_conv_narrow,
     schedule_gemm_conv_narrow_prepacked, schedule_gemm_conv_prepacked,
@@ -126,6 +129,7 @@ fn arm_warm_millis(model: &CostModel, bits: BitWidth, shape: &ConvShape, algo: A
 pub struct Planner {
     arm: Option<ArmEngine>,
     gpu: Option<(GpuEngine, Tuning)>,
+    graph_fusion_off: bool,
 }
 
 impl Planner {
@@ -155,6 +159,15 @@ impl Planner {
     /// A GPU-only planner.
     pub fn for_gpu(engine: &GpuEngine, tuning: Tuning) -> Planner {
         Planner::new().with_gpu(engine, tuning)
+    }
+
+    /// Enables or disables graph-level fusion (residual-add folding and
+    /// layout round-trip elision). On by default; turning it off yields the
+    /// naive plan that materializes every topology value — the bit-exact
+    /// reference the fused plan is tested against.
+    pub fn with_graph_fusion(mut self, enabled: bool) -> Planner {
+        self.graph_fusion_off = !enabled;
+        self
     }
 
     /// Plans one layer on the ARM backend. `algo` forces a kernel;
@@ -242,67 +255,249 @@ impl Planner {
 
     /// Compiles `net` into an execution plan.
     ///
-    /// Per layer: enumerate candidates on every registered backend, rank by
-    /// modeled time, commit the winner. A GPU-only planner fails with
-    /// [`CoreError::UnsupportedBitWidth`] on widths outside the Tensor Core
-    /// paths; a planner that also has ARM falls back to it instead.
+    /// The planner walks the network's DAG topology. Conv nodes get the
+    /// per-layer treatment: enumerate candidates on every registered
+    /// backend, rank by modeled time, commit the winner (a GPU-only planner
+    /// fails with [`CoreError::UnsupportedBitWidth`] on widths outside the
+    /// Tensor Core paths; a planner that also has ARM falls back to it
+    /// instead). Then the graph-level passes run: residual adds fold into
+    /// their producing conv's epilogue, NCHW round-trips between
+    /// same-backend GPU neighbors are elided, and the liveness planner
+    /// packs every surviving value into the activation arena.
     pub fn compile(&self, net: &Network) -> Result<ExecutionPlan, CoreError> {
         if self.arm.is_none() && self.gpu.is_none() {
             return Err(CoreError::MissingBackend {
                 backend: BackendKind::Arm,
             });
         }
-        let mut layers = Vec::with_capacity(net.layers().len());
-        for layer in net.layers() {
-            let bits = layer.weights.bits();
-            let epilogue = Epilogue {
-                bias: layer.bias.clone(),
-                requant: layer.requant,
-                relu: layer.relu,
+        let topo = net.topology();
+        let mut layers: Vec<LayerPlan> = Vec::with_capacity(net.layers().len());
+        let mut nodes: Vec<NodePlan> = Vec::with_capacity(topo.nodes.len());
+        for gnode in &topo.nodes {
+            let op = match gnode.op {
+                NodeOp::Conv { layer: li } => {
+                    let layer = &net.layers()[li];
+                    let bits = layer.weights.bits();
+                    let epilogue = Epilogue {
+                        bias: layer.bias.clone(),
+                        requant: layer.requant,
+                        relu: layer.relu,
+                    };
+                    let arm_plan = self.arm.as_ref().map(|engine| {
+                        Self::plan_arm_layer(engine, &layer.name, &layer.shape, bits, &layer.weights, epilogue.clone())
+                    });
+                    let gpu_plan = match &self.gpu {
+                        Some((engine, tuning)) => {
+                            match Self::plan_gpu_layer(engine, *tuning, &layer.name, &layer.shape, bits, epilogue) {
+                                Ok(plan) => Some(plan),
+                                // Precision fallback: with an ARM backend registered,
+                                // widths outside the Tensor Core paths route there. A
+                                // verifier rejection is NOT recoverable — the caller
+                                // asked for a specific GPU configuration and must see
+                                // the counterexample.
+                                Err(CoreError::UnsupportedBitWidth { .. }) if arm_plan.is_some() => None,
+                                Err(e) => return Err(e),
+                            }
+                        }
+                        None => None,
+                    };
+                    let chosen = match (arm_plan, gpu_plan) {
+                        (Some(a), Some(g)) => {
+                            if g.predicted_millis < a.predicted_millis {
+                                g
+                            } else {
+                                a
+                            }
+                        }
+                        (Some(a), None) => a,
+                        (None, Some(g)) => g,
+                        (None, None) => unreachable!("at least one backend is registered"),
+                    };
+                    layers.push(chosen);
+                    PlanOp::Conv { layer: layers.len() - 1, fused_add: None }
+                }
+                NodeOp::Add => PlanOp::Add,
+                NodeOp::Concat => PlanOp::Concat,
             };
-            let arm_plan = self.arm.as_ref().map(|engine| {
-                Self::plan_arm_layer(engine, &layer.name, &layer.shape, bits, &layer.weights, epilogue.clone())
+            nodes.push(NodePlan {
+                name: gnode.name.clone(),
+                op,
+                inputs: gnode.inputs.clone(),
+                output: gnode.output,
             });
-            let gpu_plan = match &self.gpu {
-                Some((engine, tuning)) => {
-                    match Self::plan_gpu_layer(engine, *tuning, &layer.name, &layer.shape, bits, epilogue) {
-                        Ok(plan) => Some(plan),
-                        // Precision fallback: with an ARM backend registered,
-                        // widths outside the Tensor Core paths route there. A
-                        // verifier rejection is NOT recoverable — the caller
-                        // asked for a specific GPU configuration and must see
-                        // the counterexample.
-                        Err(CoreError::UnsupportedBitWidth { .. }) if arm_plan.is_some() => None,
-                        Err(e) => return Err(e),
-                    }
-                }
-                None => None,
-            };
-            let chosen = match (arm_plan, gpu_plan) {
-                (Some(a), Some(g)) => {
-                    if g.predicted_millis < a.predicted_millis {
-                        g
-                    } else {
-                        a
-                    }
-                }
-                (Some(a), None) => a,
-                (None, Some(g)) => g,
-                (None, None) => unreachable!("at least one backend is registered"),
-            };
-            layers.push(chosen);
         }
-        let plan = ExecutionPlan::new(layers);
+        let mut values: Vec<ValuePlan> = topo
+            .values
+            .iter()
+            .map(|v| ValuePlan {
+                dims: v.dims,
+                bits: v.bits,
+                layout: lowbit_tensor::Layout::Nchw,
+                bytes: v.bytes(),
+                offset: 0,
+                def: 0,
+                last_use: 0,
+            })
+            .collect();
+        if !self.graph_fusion_off {
+            fuse_residual_adds(&mut nodes);
+            elide_layout_roundtrips(&mut nodes, &mut values, &mut layers);
+        }
+        let (nodes, values) = compact_graph(nodes, values);
+        let workspace = crate::verify::plan_high_water(&layers);
+        let plan = ExecutionPlan::from_graph(layers, nodes, values, workspace);
         // Debug-assertion gate: every plan this planner emits must survive
         // the whole-plan static verifier (numeric range propagation, layout
-        // dataflow, workspace certification). An unverifiable plan here is a
-        // planner bug, not a user error — fail loudly in debug builds.
+        // dataflow, workspace and activation-arena certification). An
+        // unverifiable plan here is a planner bug, not a user error — fail
+        // loudly in debug builds.
         #[cfg(debug_assertions)]
         if let Err(e) = crate::verify::verify_compiled(&plan, net) {
             panic!("planner emitted an unverifiable plan: {e}");
         }
         Ok(plan)
     }
+}
+
+/// How many node reads a value has (a node reading the same value twice
+/// counts twice — liveness and fusion both want read multiplicity).
+fn read_count(nodes: &[NodePlan], v: usize) -> usize {
+    nodes.iter().flat_map(|n| &n.inputs).filter(|&&x| x == v).count()
+}
+
+/// The index of the node producing `v`, if any survives.
+fn producer_of(nodes: &[NodePlan], v: usize) -> Option<usize> {
+    nodes.iter().position(|n| n.output == v)
+}
+
+/// Graph-level fusion pass 1: fold each residual [`PlanOp::Add`] into the
+/// conv producing one of its operands. Eligible when that conv's output is
+/// consumed *only* by the add, the conv carries no fused add yet, and the
+/// other operand is already available when the conv runs (defined at an
+/// earlier step, so execution order is preserved). The network validated
+/// scale alignment at every join, so the fused epilogue add — clamp the
+/// re-quantized output plus the residual into the output width's range — is
+/// elementwise identical to the standalone node it replaces.
+fn fuse_residual_adds(nodes: &mut Vec<NodePlan>) {
+    let mut step = 0;
+    while step < nodes.len() {
+        if nodes[step].op != PlanOp::Add {
+            step += 1;
+            continue;
+        }
+        let (a, b) = (nodes[step].inputs[0], nodes[step].inputs[1]);
+        let mut fused = false;
+        for (x, r) in [(a, b), (b, a)] {
+            if x == r || read_count(nodes, x) != 1 {
+                continue;
+            }
+            let Some(p) = producer_of(nodes, x) else { continue };
+            let PlanOp::Conv { layer, fused_add: None } = nodes[p].op else { continue };
+            // The residual must exist before the conv runs.
+            let r_def = producer_of(nodes, r).map(|i| i + 1).unwrap_or(0);
+            if r_def > p {
+                continue;
+            }
+            let add_output = nodes[step].output;
+            nodes[p].op = PlanOp::Conv { layer, fused_add: Some(r) };
+            nodes[p].inputs.push(r);
+            nodes[p].output = add_output;
+            nodes.remove(step);
+            fused = true;
+            break;
+        }
+        if !fused {
+            step += 1;
+        }
+    }
+}
+
+/// Graph-level fusion pass 2: elide NCHW round-trips between same-backend
+/// GPU neighbors. A value produced by a GPU conv (post-conversion
+/// NHWC→NCHW) and consumed *only* as the activation input of GPU convs
+/// (pre-conversion NCHW→NHWC) can stay NHWC: drop the producer's post and
+/// every consumer's pre, and record the value's inter-node layout as NHWC.
+/// The plan output is excluded — callers receive canonical NCHW.
+fn elide_layout_roundtrips(
+    nodes: &mut [NodePlan],
+    values: &mut [ValuePlan],
+    layers: &mut [LayerPlan],
+) {
+    let plan_output = nodes.last().expect("plans are non-empty").output;
+    for (v, value) in values.iter_mut().enumerate().skip(1) {
+        if v == plan_output {
+            continue;
+        }
+        let Some(p) = producer_of(nodes, v) else { continue };
+        let PlanOp::Conv { layer: pl, .. } = nodes[p].op else { continue };
+        if layers[pl].backend != BackendKind::GpuModel || layers[pl].post_conversion.is_none() {
+            continue;
+        }
+        // Every read of v must be a GPU conv's activation input (not a
+        // fused residual, not a join operand).
+        let mut consumer_layers = Vec::new();
+        let mut eligible = read_count(nodes, v) > 0;
+        for node in nodes.iter() {
+            for (slot, &x) in node.inputs.iter().enumerate() {
+                if x != v {
+                    continue;
+                }
+                match node.op {
+                    PlanOp::Conv { layer: cl, .. }
+                        if slot == 0
+                            && layers[cl].backend == BackendKind::GpuModel
+                            && layers[cl].pre_conversion.is_some() =>
+                    {
+                        consumer_layers.push(cl);
+                    }
+                    _ => eligible = false,
+                }
+            }
+        }
+        if !eligible {
+            continue;
+        }
+        layers[pl].post_conversion = None;
+        for cl in consumer_layers {
+            layers[cl].pre_conversion = None;
+        }
+        value.layout = lowbit_tensor::Layout::Nhwc;
+    }
+}
+
+/// Renumbers values after fusion so orphans (values no surviving node
+/// produces or reads — the pre-add conv outputs the fusion absorbed)
+/// disappear from the plan. The graph input keeps id 0.
+fn compact_graph(
+    mut nodes: Vec<NodePlan>,
+    values: Vec<ValuePlan>,
+) -> (Vec<NodePlan>, Vec<ValuePlan>) {
+    let mut live = vec![false; values.len()];
+    live[0] = true;
+    for n in &nodes {
+        live[n.output] = true;
+        for &v in &n.inputs {
+            live[v] = true;
+        }
+    }
+    let mut remap = vec![usize::MAX; values.len()];
+    let mut kept = Vec::with_capacity(values.len());
+    for (old, v) in values.into_iter().enumerate() {
+        if live[old] {
+            remap[old] = kept.len();
+            kept.push(v);
+        }
+    }
+    for n in &mut nodes {
+        n.output = remap[n.output];
+        for v in &mut n.inputs {
+            *v = remap[*v];
+        }
+        if let PlanOp::Conv { layer, fused_add: Some(r) } = n.op {
+            n.op = PlanOp::Conv { layer, fused_add: Some(remap[r]) };
+        }
+    }
+    (nodes, kept)
 }
 
 #[cfg(test)]

@@ -14,12 +14,12 @@
 use crate::arm::ArmAlgo;
 use crate::error::CoreError;
 use crate::network::{NetLayer, Network};
-use crate::plan::{BackendKind, ExecutionPlan, LayerPlan, PlanAlgo};
+use crate::plan::{BackendKind, ExecutionPlan, LayerPlan, PlanAlgo, PlanOp};
 use lowbit_tensor::{BitWidth, QTensor, Tensor};
 use lowbit_verify::plan::ArenaRequirement;
 use lowbit_verify::{
     arm_workspace_requirement, verify_plan, ArmAlgoKind, BackendSpec, ChannelSums, LayerSpec,
-    PlanProof, PlanSpec, PlanViolation, RequantSpec,
+    NodeOpSpec, NodeSpec, PlanProof, PlanSpec, PlanViolation, RequantSpec, ValueSlot,
 };
 
 /// Maps a committed ARM kernel onto the verifier's kernel family. `Auto` has
@@ -50,8 +50,9 @@ fn layer_requirement(lp: &LayerPlan) -> ArenaRequirement {
 
 /// The certified whole-plan arena high-water for a set of layer plans:
 /// component-wise maximum over the layers, then summed — exactly how the
-/// shared `ConvWorkspace` grows. [`ExecutionPlan::new`] records this figure
-/// and the verifier independently re-derives it from the lowered spec.
+/// shared `ConvWorkspace` grows. The planner records this figure when it
+/// builds a plan and the verifier independently re-derives it from the
+/// lowered spec.
 pub fn plan_high_water(layers: &[LayerPlan]) -> usize {
     layers
         .iter()
@@ -118,9 +119,39 @@ pub fn lower_plan(plan: &ExecutionPlan, net: &Network) -> Result<PlanSpec, CoreE
             }
         })
         .collect();
+    let nodes = plan
+        .nodes()
+        .iter()
+        .map(|n| NodeSpec {
+            name: n.name.clone(),
+            op: match n.op {
+                PlanOp::Conv { layer, fused_add } => NodeOpSpec::Conv { layer, fused_add },
+                PlanOp::Add => NodeOpSpec::Add,
+                PlanOp::Concat => NodeOpSpec::Concat,
+            },
+            inputs: n.inputs.clone(),
+            output: n.output,
+        })
+        .collect();
+    let values = plan
+        .values()
+        .iter()
+        .map(|v| ValueSlot {
+            dims: v.dims,
+            bits: v.bits,
+            layout: v.layout,
+            bytes: v.bytes,
+            def: v.def,
+            last_use: v.last_use,
+            offset: v.offset,
+        })
+        .collect();
     Ok(PlanSpec {
         layers,
+        nodes,
+        values,
         declared_high_water_bytes: plan.workspace_high_water_bytes(),
+        declared_activation_high_water_bytes: plan.activation_high_water_bytes(),
     })
 }
 
@@ -171,6 +202,39 @@ pub fn fingerprint_layers(layers: &[NetLayer]) -> u64 {
                 }
             }
         }
+    }
+    h
+}
+
+/// The full network content hash: the layer hash continued over the DAG
+/// topology — every node's op tag, name and edge list. Value dims are
+/// deliberately not hashed (they are derivable from the layers plus the
+/// edges, and hashing them would break the batch-invariance the serving
+/// cache keys rely on). [`Network::fingerprint`] delegates here; the layer
+/// half stays available as [`fingerprint_layers`] for audits over mutated
+/// layer vectors.
+pub fn fingerprint_graph(layers: &[NetLayer], topology: &crate::graph::GraphTopology) -> u64 {
+    const PRIME: u64 = 0x100000001b3;
+    fn eat(h: &mut u64, bytes: &[u8]) {
+        for &b in bytes {
+            *h ^= b as u64;
+            *h = h.wrapping_mul(PRIME);
+        }
+    }
+    let mut h = fingerprint_layers(layers);
+    for node in &topology.nodes {
+        let tag: u8 = match node.op {
+            crate::graph::NodeOp::Conv { .. } => 0,
+            crate::graph::NodeOp::Add => 1,
+            crate::graph::NodeOp::Concat => 2,
+        };
+        eat(&mut h, &[tag]);
+        eat(&mut h, node.name.as_bytes());
+        eat(&mut h, &(node.inputs.len() as u64).to_le_bytes());
+        for &v in &node.inputs {
+            eat(&mut h, &(v as u64).to_le_bytes());
+        }
+        eat(&mut h, &(node.output as u64).to_le_bytes());
     }
     h
 }
@@ -247,9 +311,59 @@ pub fn fingerprint_audit_with(
     Ok(())
 }
 
-/// Cache-key soundness audit over the real [`Network::fingerprint`] hash.
+/// Cache-key soundness audit over the real [`Network::fingerprint`] hash
+/// (the layer mutations run against the network's own topology, exactly as
+/// [`Network::fingerprint`] would hash them).
 pub fn fingerprint_audit(net: &Network) -> Result<(), PlanViolation> {
-    fingerprint_audit_with(net, fingerprint_layers)
+    fingerprint_audit_with(net, |layers| fingerprint_graph(layers, net.topology()))
+}
+
+/// Topology half of the cache-key audit: mutates every hash-relevant field
+/// of the DAG — node names, op tags (add vs concat), edge targets and edge
+/// order — and requires [`Network::fingerprint`] to move. Two networks with
+/// identical layers but different wiring must never share a plan-cache
+/// entry. Edge-order and op-tag mutants need a joining node, so run this on
+/// a graph network (chains exercise only the name/edge mutants).
+pub fn topology_audit(net: &Network) -> Result<(), PlanViolation> {
+    use crate::graph::NodeOp;
+    let baseline = fingerprint_graph(net.layers(), net.topology());
+    let check = |field: &str,
+                 mutate: &dyn Fn(&mut crate::graph::GraphTopology)|
+     -> Result<(), PlanViolation> {
+        let mut topo = net.topology().clone();
+        mutate(&mut topo);
+        if fingerprint_graph(net.layers(), &topo) == baseline {
+            return Err(PlanViolation::FingerprintBlind { field: format!("topology.{field}") });
+        }
+        Ok(())
+    };
+    let last = net.topology().nodes.len() - 1;
+    check("node.name", &|t| t.nodes[last].name.push('x'))?;
+    check("node.inputs", &|t| t.nodes[last].inputs.push(0))?;
+    check("node.output", &|t| t.nodes[last].output += 1)?;
+    if let Some(join) =
+        net.topology().nodes.iter().position(|n| matches!(n.op, NodeOp::Add | NodeOp::Concat))
+    {
+        check("node.op", &|t| {
+            t.nodes[join].op = match t.nodes[join].op {
+                NodeOp::Add => NodeOp::Concat,
+                _ => NodeOp::Add,
+            };
+        })?;
+        check("edge order", &|t| t.nodes[join].inputs.reverse())?;
+        check("edge target", &|t| {
+            let v = &mut t.nodes[join].inputs[0];
+            *v = if *v == 0 { 1 } else { *v - 1 };
+        })?;
+    }
+    // The converse: re-batching the topology alone must not move the hash.
+    let rebatched = net.topology().with_batch(net.topology().values[0].dims.0 + 1);
+    if fingerprint_graph(net.layers(), &rebatched) != baseline {
+        return Err(PlanViolation::FingerprintBlind {
+            field: "topology value dims must stay excluded (batch-keyed caches)".into(),
+        });
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -345,6 +459,41 @@ mod tests {
             fingerprint_audit_with(&net, blind),
             Err(PlanViolation::FingerprintBlind { field: "requant.clamp_min".into() })
         );
+    }
+
+    #[test]
+    fn topology_audit_passes_on_graph_networks_and_catches_rewired_graphs() {
+        for def in [
+            lowbit_models::resnet50_residual_block(14),
+            lowbit_models::densenet121_dense_block(14),
+        ] {
+            let net = Network::from_graph_defs(&def, BitWidth::W4, 7).unwrap();
+            topology_audit(&net).unwrap();
+        }
+        // Chains exercise the structural mutants too.
+        topology_audit(&Network::demo(BitWidth::W4, 12, 9)).unwrap();
+        // Same layers, different wiring -> different fingerprint.
+        let dense = Network::from_graph_defs(
+            &lowbit_models::densenet121_dense_block(14),
+            BitWidth::W4,
+            7,
+        )
+        .unwrap();
+        let mut rewired = dense.topology().clone();
+        let join = rewired
+            .nodes
+            .iter()
+            .position(|n| matches!(n.op, crate::graph::NodeOp::Concat))
+            .unwrap();
+        rewired.nodes[join].inputs.reverse();
+        assert_ne!(
+            fingerprint_graph(dense.layers(), &rewired),
+            dense.fingerprint(),
+            "concat operand order is semantically significant"
+        );
+        // And batch invariance survives the topology extension.
+        let batched = dense.with_batch(3).unwrap();
+        assert_eq!(batched.fingerprint(), dense.fingerprint());
     }
 
     #[test]

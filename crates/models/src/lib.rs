@@ -224,6 +224,127 @@ pub fn resnet50_bottleneck() -> Vec<LayerDef> {
     vec![pick("conv6"), pick("conv7"), pick("conv8")]
 }
 
+/// One node of a [`GraphDef`]: a conv layer or a joining op over value ids.
+///
+/// Value 0 is the graph input; node `i` produces value `i + 1` (the same
+/// convention `lowbit::Network` topologies use).
+#[derive(Clone, Debug)]
+pub enum GraphOpDef {
+    /// A conv layer with an optional fused ReLU.
+    Conv {
+        /// The layer's geometry.
+        def: LayerDef,
+        /// Whether a ReLU follows.
+        relu: bool,
+    },
+    /// Elementwise add of two equally-shaped values (the residual join).
+    Add,
+    /// Channel concatenation (the dense-block join).
+    Concat,
+}
+
+/// One named node over input value ids.
+#[derive(Clone, Debug)]
+pub struct GraphNodeDef {
+    /// Display name.
+    pub name: &'static str,
+    /// The op.
+    pub op: GraphOpDef,
+    /// Input value ids (value 0 = graph input, node `i` produces `i + 1`).
+    pub inputs: Vec<usize>,
+}
+
+/// A DAG-shaped model definition: the graph counterpart of a chainable
+/// `Vec<LayerDef>`. The last node's value is the graph output.
+#[derive(Clone, Debug)]
+pub struct GraphDef {
+    /// Graph input as `(channels, h, w)` at batch 1.
+    pub input: (usize, usize, usize),
+    /// Nodes in topological order.
+    pub nodes: Vec<GraphNodeDef>,
+}
+
+/// A ResNet-50 stage-1 style residual block at spatial size `hw`: the
+/// 1x1-reduce → 3x3 → 1x1-expand bottleneck with the identity shortcut
+/// added back onto the expand output (paper Sec. 5.1's dominant ResNet
+/// pattern). This is the graph the chain IR could not express: value 0 is
+/// read by both the first conv and the final add.
+pub fn resnet50_residual_block(hw: usize) -> GraphDef {
+    GraphDef {
+        input: (256, hw, hw),
+        nodes: vec![
+            GraphNodeDef {
+                name: "reduce",
+                op: GraphOpDef::Conv { def: layer("reduce", 256, hw, 64, 1, 1, 0), relu: true },
+                inputs: vec![0],
+            },
+            GraphNodeDef {
+                name: "conv3x3",
+                op: GraphOpDef::Conv { def: layer("conv3x3", 64, hw, 64, 3, 1, 1), relu: true },
+                inputs: vec![1],
+            },
+            GraphNodeDef {
+                name: "expand",
+                op: GraphOpDef::Conv { def: layer("expand", 64, hw, 256, 1, 1, 0), relu: false },
+                inputs: vec![2],
+            },
+            GraphNodeDef { name: "residual", op: GraphOpDef::Add, inputs: vec![3, 0] },
+        ],
+    }
+}
+
+/// A DenseNet-121 style dense block at spatial size `hw`: two growth steps
+/// (1x1 bottleneck to 128, 3x3 growth conv emitting 32 channels) with the
+/// running channel concatenation that defines the architecture — every
+/// concat output stays live until the next one consumes it, which is what
+/// makes dense blocks the memory-planner stress case.
+pub fn densenet121_dense_block(hw: usize) -> GraphDef {
+    densenet121_dense_block_n(hw, 2)
+}
+
+/// The dense block generalized to `steps` growth steps (DenseNet-121's
+/// first dense block has six). Longer blocks accumulate more concat values,
+/// which is what separates a liveness-sharing arena from allocating every
+/// value its own buffer — the `BENCH_graph.json` memory experiment runs the
+/// six-step block for that reason.
+///
+/// Node names are pre-baked static strings, so `steps` is capped at six.
+pub fn densenet121_dense_block_n(hw: usize, steps: usize) -> GraphDef {
+    const BOTTLENECK: [&str; 6] = [
+        "bottleneck1", "bottleneck2", "bottleneck3", "bottleneck4", "bottleneck5", "bottleneck6",
+    ];
+    const GROWTH: [&str; 6] =
+        ["growth1", "growth2", "growth3", "growth4", "growth5", "growth6"];
+    const CONCAT: [&str; 6] =
+        ["concat1", "concat2", "concat3", "concat4", "concat5", "concat6"];
+    assert!(
+        (1..=6).contains(&steps),
+        "node names are pre-baked for one to six growth steps"
+    );
+    let mut nodes = Vec::new();
+    let mut channels = 64usize;
+    // Value id of the running concatenation (value 0 = graph input).
+    let mut running = 0usize;
+    for k in 0..steps {
+        nodes.push(GraphNodeDef {
+            name: BOTTLENECK[k],
+            op: GraphOpDef::Conv { def: layer(BOTTLENECK[k], channels, hw, 128, 1, 1, 0), relu: true },
+            inputs: vec![running],
+        });
+        let bottleneck = nodes.len();
+        nodes.push(GraphNodeDef {
+            name: GROWTH[k],
+            op: GraphOpDef::Conv { def: layer(GROWTH[k], 128, hw, 32, 3, 1, 1), relu: true },
+            inputs: vec![bottleneck],
+        });
+        let growth = nodes.len();
+        nodes.push(GraphNodeDef { name: CONCAT[k], op: GraphOpDef::Concat, inputs: vec![running, growth] });
+        running = nodes.len();
+        channels += 32;
+    }
+    GraphDef { input: (64, hw, hw), nodes }
+}
+
 /// All 3x3 stride-1 layers of a table (the Winograd-applicable subset used
 /// by Fig. 8).
 pub fn winograd_layers(layers: &[LayerDef]) -> Vec<LayerDef> {
@@ -346,6 +467,62 @@ mod tests {
                 (w[0].shape.out_h(), w[0].shape.out_w()),
                 (w[1].shape.h, w[1].shape.w)
             );
+        }
+    }
+
+    #[test]
+    fn residual_block_def_is_well_formed() {
+        let g = resnet50_residual_block(14);
+        assert_eq!(g.nodes.len(), 4);
+        // Value 0 has two consumers: the reduce conv and the residual add.
+        let readers: Vec<&str> = g
+            .nodes
+            .iter()
+            .filter(|n| n.inputs.contains(&0))
+            .map(|n| n.name)
+            .collect();
+        assert_eq!(readers, vec!["reduce", "residual"]);
+        // The expand conv restores the input channel count so the add types.
+        match &g.nodes[2].op {
+            GraphOpDef::Conv { def, relu } => {
+                assert_eq!(def.shape.c_out, g.input.0);
+                assert!(!relu, "no ReLU before the residual add");
+            }
+            other => panic!("expand must be a conv, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dense_block_def_grows_by_the_growth_rate() {
+        let g = densenet121_dense_block(14);
+        assert_eq!(g.nodes.len(), 6);
+        // Channel counts along the two concats: 64 -> 96 -> 128.
+        assert!(matches!(g.nodes[2].op, GraphOpDef::Concat));
+        assert_eq!(g.nodes[2].inputs, vec![0, 2]);
+        assert!(matches!(g.nodes[5].op, GraphOpDef::Concat));
+        assert_eq!(g.nodes[5].inputs, vec![3, 5]);
+        match &g.nodes[3].op {
+            GraphOpDef::Conv { def, .. } => assert_eq!(def.shape.c_in, 64 + 32),
+            other => panic!("bottleneck2 must be a conv, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deep_dense_block_matches_densenet121_block_one() {
+        let g = densenet121_dense_block_n(14, 6);
+        assert_eq!(g.nodes.len(), 18, "six steps of bottleneck/growth/concat");
+        // The last bottleneck reads 64 input channels plus five growth steps.
+        match &g.nodes[15].op {
+            GraphOpDef::Conv { def, .. } => assert_eq!(def.shape.c_in, 64 + 5 * 32),
+            other => panic!("bottleneck6 must be a conv, got {other:?}"),
+        }
+        // The final concat joins the running value with the last growth conv.
+        assert_eq!(g.nodes[17].inputs, vec![15, 17]);
+        // The two-step default is exactly the first two iterations.
+        let short = densenet121_dense_block(14);
+        for (a, b) in short.nodes.iter().zip(&g.nodes) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.inputs, b.inputs);
         }
     }
 

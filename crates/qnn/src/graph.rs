@@ -1,4 +1,4 @@
-//! A minimal layer graph with the Sec. 4.4 quantization-fusion rewrites.
+//! A node/edge layer graph with the Sec. 4.4 quantization-fusion rewrites.
 //!
 //! The paper's canonical quantized block is
 //!
@@ -6,12 +6,24 @@
 //! quantize → conv(+requantize) → dequantize → quantize → ReLU → dequantize
 //! ```
 //!
-//! and the two rewrites are: (1) fold `dequantize` into the conv epilogue
-//! (conv+dequant fusion), and (2) fold the `dequantize → quantize → ReLU`
-//! sandwich into the conv's re-quantization truncation range (conv+ReLU
-//! fusion).
+//! but real workloads are not chains: ResNet-50 branches into residual adds
+//! and DenseNet-121 into concats. The graph here is a small DAG IR — each
+//! node consumes value ids and produces exactly one value — over which the
+//! fusion rewrites run as *edge* rewrites:
+//!
+//! 1. fold `dequantize` into the conv epilogue (conv+dequant fusion),
+//! 2. fold the `dequantize → quantize → ReLU` sandwich into the conv's
+//!    re-quantization truncation range (conv+ReLU fusion),
+//! 3. fold a residual `add` into the producing conv's epilogue (conv+add
+//!    fusion) when the conv output has no other consumer.
+//!
+//! Value id `0` ([`Graph::INPUT`]) is the external graph input; the node at
+//! index `i` produces value `i + 1`.
 
-/// A layer in the (linear) graph.
+/// A value in the graph: `Graph::INPUT` or the output of one node.
+pub type ValueId = usize;
+
+/// The operation a node performs.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Op {
     /// f32 → int quantization.
@@ -22,75 +34,249 @@ pub enum Op {
     ConvDequant,
     /// Conv whose re-quantization truncates at 0 (conv+ReLU fused).
     ConvRelu,
+    /// Conv whose epilogue adds a residual value (conv+add fused).
+    ConvAdd,
     /// int → f32 dequantization.
     Dequantize,
     /// ReLU (on either representation).
     Relu,
+    /// Elementwise residual addition of two values.
+    Add,
+    /// Channel concatenation of two or more values.
+    Concat,
+    /// Channel slice of one value (one branch of a split).
+    Split,
 }
 
-/// A linear sequence of layers.
+/// One node: an op applied to input values, producing one output value.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Node {
+    /// The operation.
+    pub op: Op,
+    /// The value ids this node consumes.
+    pub inputs: Vec<ValueId>,
+}
+
+/// A DAG of quantized-network ops in topological order.
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct Graph {
-    /// Ordered ops.
-    pub ops: Vec<Op>,
+    /// Nodes in topological order; node `i` produces value `i + 1`.
+    pub nodes: Vec<Node>,
+    /// The value the graph returns.
+    pub output: ValueId,
 }
 
 impl Graph {
-    /// The paper's unfused reference block.
-    pub fn reference_block() -> Graph {
-        Graph {
-            ops: vec![
-                Op::Quantize,
-                Op::Conv,
-                Op::Dequantize,
-                Op::Quantize,
-                Op::Relu,
-                Op::Dequantize,
-            ],
-        }
+    /// The external input value id.
+    pub const INPUT: ValueId = 0;
+
+    /// An empty graph returning its own input.
+    pub fn new() -> Graph {
+        Graph { nodes: Vec::new(), output: Graph::INPUT }
     }
 
-    /// Number of kernel launches this graph costs (each op is one kernel).
+    /// Appends a node; inputs must name already-defined values. Returns the
+    /// new node's output value id.
+    pub fn push(&mut self, op: Op, inputs: Vec<ValueId>) -> ValueId {
+        for &v in &inputs {
+            assert!(v <= self.nodes.len(), "input value {v} not yet defined");
+        }
+        self.nodes.push(Node { op, inputs });
+        let out = self.nodes.len();
+        self.output = out;
+        out
+    }
+
+    /// A linear chain of ops starting from the graph input (the shape every
+    /// pre-DAG graph had).
+    pub fn chain(ops: &[Op]) -> Graph {
+        let mut g = Graph::new();
+        let mut v = Graph::INPUT;
+        for &op in ops {
+            v = g.push(op, vec![v]);
+        }
+        g
+    }
+
+    /// The paper's unfused reference block.
+    pub fn reference_block() -> Graph {
+        Graph::chain(&[
+            Op::Quantize,
+            Op::Conv,
+            Op::Dequantize,
+            Op::Quantize,
+            Op::Relu,
+            Op::Dequantize,
+        ])
+    }
+
+    /// An unfused residual block: two convs, an add with the quantized
+    /// input, and a final dequantize (ResNet's basic shape).
+    pub fn residual_block() -> Graph {
+        let mut g = Graph::new();
+        let q = g.push(Op::Quantize, vec![Graph::INPUT]);
+        let c1 = g.push(Op::Conv, vec![q]);
+        let c2 = g.push(Op::Conv, vec![c1]);
+        let a = g.push(Op::Add, vec![c2, q]);
+        g.push(Op::Dequantize, vec![a]);
+        g
+    }
+
+    /// An unfused two-layer dense block: each conv's output is concatenated
+    /// onto the running feature map (DenseNet's shape).
+    pub fn dense_block() -> Graph {
+        let mut g = Graph::new();
+        let q = g.push(Op::Quantize, vec![Graph::INPUT]);
+        let c1 = g.push(Op::Conv, vec![q]);
+        let cat1 = g.push(Op::Concat, vec![q, c1]);
+        let c2 = g.push(Op::Conv, vec![cat1]);
+        let cat2 = g.push(Op::Concat, vec![cat1, c2]);
+        g.push(Op::Dequantize, vec![cat2]);
+        g
+    }
+
+    /// Number of kernel launches this graph costs (each node is one kernel).
     pub fn kernel_count(&self) -> usize {
-        self.ops.len()
+        self.nodes.len()
+    }
+
+    /// The ops in topological order.
+    pub fn ops(&self) -> Vec<Op> {
+        self.nodes.iter().map(|n| n.op).collect()
+    }
+
+    /// Node indices that consume value `v`.
+    fn consumers(&self, v: ValueId) -> Vec<usize> {
+        (0..self.nodes.len()).filter(|&i| self.nodes[i].inputs.contains(&v)).collect()
+    }
+
+    /// True when value `v`'s only use is node `consumer` (and it is not the
+    /// graph output).
+    fn sole_consumer(&self, v: ValueId, consumer: usize) -> bool {
+        self.output != v && self.consumers(v) == [consumer]
+    }
+
+    /// Index of the node producing value `v`, if any (`None` for the input).
+    fn producer(&self, v: ValueId) -> Option<usize> {
+        v.checked_sub(1)
+    }
+
+    /// Rewires every use of value `from` (including the graph output) to
+    /// value `to`, then removes the given nodes and compacts value ids.
+    fn replace_value_and_remove(&mut self, from: ValueId, to: ValueId, dead: &[usize]) {
+        for node in &mut self.nodes {
+            for input in &mut node.inputs {
+                if *input == from {
+                    *input = to;
+                }
+            }
+        }
+        if self.output == from {
+            self.output = to;
+        }
+        // Compact: dropping node i removes value i + 1; later values shift.
+        let mut keep = vec![true; self.nodes.len()];
+        for &d in dead {
+            keep[d] = false;
+        }
+        let mut remap = vec![0usize; self.nodes.len() + 1];
+        let mut next = 0;
+        for (i, &k) in keep.iter().enumerate() {
+            if k {
+                next += 1;
+            }
+            remap[i + 1] = next;
+        }
+        let mut nodes = Vec::with_capacity(next);
+        for (i, node) in self.nodes.drain(..).enumerate() {
+            if keep[i] {
+                let mut node = node;
+                for input in &mut node.inputs {
+                    *input = remap[*input];
+                }
+                nodes.push(node);
+            }
+        }
+        self.nodes = nodes;
+        self.output = remap[self.output];
     }
 }
 
-/// Applies both Sec. 4.4 rewrites until fixpoint.
+/// Applies the Sec. 4.4 rewrites (plus conv+add for residual edges) until
+/// fixpoint. Each rewrite only fires when every intermediate value has a
+/// single consumer, so fan-out edges (true DAG branches) are preserved.
 pub fn fuse(graph: &Graph) -> Graph {
-    let mut ops = graph.ops.clone();
+    let mut g = graph.clone();
     let mut changed = true;
     while changed {
         changed = false;
-        // Rewrite 1 (more specific first): Conv, Dequantize, Quantize, Relu
-        // -> ConvRelu (the trailing representation change disappears because
-        // the clamp happens inside the conv's requantization).
-        for i in 0..ops.len() {
-            if ops[i..].starts_with(&[Op::Conv, Op::Dequantize, Op::Quantize, Op::Relu]) {
-                ops.splice(i..i + 4, [Op::ConvRelu]);
-                changed = true;
-                break;
+        // Rewrite 1 (most specific first): Relu(Quantize(Dequantize(Conv x)))
+        // along sole-consumer edges -> ConvRelu.
+        for relu in 0..g.nodes.len() {
+            if g.nodes[relu].op != Op::Relu {
+                continue;
             }
+            let Some(quant) = g.producer(g.nodes[relu].inputs[0]) else { continue };
+            if g.nodes[quant].op != Op::Quantize
+                || !g.sole_consumer(quant + 1, relu)
+            {
+                continue;
+            }
+            let Some(deq) = g.producer(g.nodes[quant].inputs[0]) else { continue };
+            if g.nodes[deq].op != Op::Dequantize || !g.sole_consumer(deq + 1, quant) {
+                continue;
+            }
+            let Some(conv) = g.producer(g.nodes[deq].inputs[0]) else { continue };
+            if g.nodes[conv].op != Op::Conv || !g.sole_consumer(conv + 1, deq) {
+                continue;
+            }
+            g.nodes[conv].op = Op::ConvRelu;
+            g.replace_value_and_remove(relu + 1, conv + 1, &[deq, quant, relu]);
+            changed = true;
+            break;
         }
         if changed {
             continue;
         }
-        // Rewrite 2: Conv, Dequantize -> ConvDequant.
-        for i in 0..ops.len() {
-            if ops[i..].starts_with(&[Op::Conv, Op::Dequantize]) {
-                ops.splice(i..i + 2, [Op::ConvDequant]);
-                changed = true;
-                break;
+        // Rewrite 2: Dequantize(Conv x) or Dequantize(ConvRelu x) along a
+        // sole-consumer edge -> ConvDequant.
+        for deq in 0..g.nodes.len() {
+            if g.nodes[deq].op != Op::Dequantize {
+                continue;
             }
-            if ops[i..].starts_with(&[Op::ConvRelu, Op::Dequantize]) {
-                // The fused-ReLU conv can still absorb a following dequant.
-                ops.splice(i..i + 2, [Op::ConvDequant]);
-                changed = true;
-                break;
+            let Some(conv) = g.producer(g.nodes[deq].inputs[0]) else { continue };
+            if !matches!(g.nodes[conv].op, Op::Conv | Op::ConvRelu)
+                || !g.sole_consumer(conv + 1, deq)
+            {
+                continue;
             }
+            g.nodes[conv].op = Op::ConvDequant;
+            g.replace_value_and_remove(deq + 1, conv + 1, &[deq]);
+            changed = true;
+            break;
+        }
+        if changed {
+            continue;
+        }
+        // Rewrite 3: Add(Conv x, r) where the conv feeds only the add ->
+        // ConvAdd with the residual as a second input.
+        for add in 0..g.nodes.len() {
+            if g.nodes[add].op != Op::Add || g.nodes[add].inputs.len() != 2 {
+                continue;
+            }
+            let (a, r) = (g.nodes[add].inputs[0], g.nodes[add].inputs[1]);
+            let Some(conv) = g.producer(a) else { continue };
+            if g.nodes[conv].op != Op::Conv || !g.sole_consumer(a, add) {
+                continue;
+            }
+            g.nodes[conv].op = Op::ConvAdd;
+            g.nodes[conv].inputs.push(r);
+            g.replace_value_and_remove(add + 1, conv + 1, &[add]);
+            changed = true;
+            break;
         }
     }
-    Graph { ops }
+    g
 }
 
 #[cfg(test)]
@@ -98,23 +284,22 @@ mod tests {
     use super::*;
 
     #[test]
-    fn reference_block_fuses_to_three_kernels() {
+    fn reference_block_fuses_to_two_kernels() {
         let fused = fuse(&Graph::reference_block());
-        // quantize, conv(+relu fused, + final dequant fused), = 2 kernels
-        // after both rewrites: [Quantize, ConvDequant].
-        assert_eq!(fused.ops, vec![Op::Quantize, Op::ConvDequant]);
+        // After both rewrites: [Quantize, ConvDequant].
+        assert_eq!(fused.ops(), vec![Op::Quantize, Op::ConvDequant]);
         assert!(fused.kernel_count() < Graph::reference_block().kernel_count());
     }
 
     #[test]
     fn conv_dequant_pair_fuses() {
-        let g = Graph { ops: vec![Op::Conv, Op::Dequantize] };
-        assert_eq!(fuse(&g).ops, vec![Op::ConvDequant]);
+        let g = Graph::chain(&[Op::Conv, Op::Dequantize]);
+        assert_eq!(fuse(&g).ops(), vec![Op::ConvDequant]);
     }
 
     #[test]
     fn lone_conv_is_untouched() {
-        let g = Graph { ops: vec![Op::Quantize, Op::Conv] };
+        let g = Graph::chain(&[Op::Quantize, Op::Conv]);
         assert_eq!(fuse(&g), g);
     }
 
@@ -122,5 +307,62 @@ mod tests {
     fn fusion_is_idempotent() {
         let once = fuse(&Graph::reference_block());
         assert_eq!(fuse(&once), once);
+    }
+
+    #[test]
+    fn residual_block_fuses_add_into_conv() {
+        let fused = fuse(&Graph::residual_block());
+        // conv2 absorbs the add (5 kernels -> 4); the residual edge (the
+        // quantized input) becomes the fused conv's second input.
+        assert_eq!(fused.ops(), vec![Op::Quantize, Op::Conv, Op::ConvAdd, Op::Dequantize]);
+        assert_eq!(fused.nodes[2].inputs, vec![2, 1]);
+    }
+
+    #[test]
+    fn fanout_edge_blocks_epilogue_fusion() {
+        // The conv output feeds both a dequantize AND an add, so the
+        // dequantize cannot be folded into the conv.
+        let mut g = Graph::new();
+        let q = g.push(Op::Quantize, vec![Graph::INPUT]);
+        let c = g.push(Op::Conv, vec![q]);
+        let d = g.push(Op::Dequantize, vec![c]);
+        let a = g.push(Op::Add, vec![c, q]);
+        let _ = d;
+        let _ = a;
+        let fused = fuse(&g);
+        assert!(fused.ops().contains(&Op::Dequantize));
+        assert!(fused.ops().contains(&Op::Conv));
+    }
+
+    #[test]
+    fn dense_block_concats_are_preserved() {
+        let fused = fuse(&Graph::dense_block());
+        // Concats fan out (cat1 feeds conv2 and cat2), so only the final
+        // dequantize has a fusible producer — and that producer is a
+        // Concat, not a conv, so it stays too.
+        assert_eq!(fused.ops().iter().filter(|&&o| o == Op::Concat).count(), 2);
+    }
+
+    #[test]
+    fn chain_matches_legacy_shape() {
+        let g = Graph::chain(&[Op::Quantize, Op::Conv, Op::Dequantize]);
+        assert_eq!(g.kernel_count(), 3);
+        assert_eq!(g.output, 3);
+        assert_eq!(g.nodes[2].inputs, vec![2]);
+    }
+
+    #[test]
+    fn split_nodes_survive_fusion() {
+        let mut g = Graph::new();
+        let q = g.push(Op::Quantize, vec![Graph::INPUT]);
+        let s1 = g.push(Op::Split, vec![q]);
+        let s2 = g.push(Op::Split, vec![q]);
+        let c = g.push(Op::Conv, vec![s1]);
+        let a = g.push(Op::Add, vec![c, s2]);
+        g.push(Op::Dequantize, vec![a]);
+        let fused = fuse(&g);
+        assert_eq!(fused.ops().iter().filter(|&&o| o == Op::Split).count(), 2);
+        // The add still folds into its conv producer, the dequant into that.
+        assert!(fused.ops().contains(&Op::ConvDequant) || fused.ops().contains(&Op::ConvAdd));
     }
 }

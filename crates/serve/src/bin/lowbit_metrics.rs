@@ -315,12 +315,10 @@ fn direction_of(path: &str) -> Option<Direction> {
     let leaf = path.rsplit('.').next().unwrap_or(path);
     let leaf = leaf.split('[').next().unwrap_or(leaf);
     match leaf {
-        "throughput_rps" | "speedup" | "avg_speedup" | "amdahl_speedup" | "cache_hit_rate" => {
-            Some(Direction::HigherBetter)
-        }
-        "p50_ms" | "p95_ms" | "p99_ms" | "mean_ms" | "makespan_ms" => {
-            Some(Direction::LowerBetter)
-        }
+        "throughput_rps" | "speedup" | "avg_speedup" | "amdahl_speedup" | "cache_hit_rate"
+        | "reduction_factor" => Some(Direction::HigherBetter),
+        "p50_ms" | "p95_ms" | "p99_ms" | "mean_ms" | "makespan_ms"
+        | "activation_high_water_bytes" => Some(Direction::LowerBetter),
         _ => None,
     }
 }

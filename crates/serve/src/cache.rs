@@ -133,6 +133,44 @@ mod tests {
     }
 
     #[test]
+    fn dag_topology_is_part_of_the_cache_key() {
+        // Same three conv layers, same weights — but one graph carries the
+        // residual add and one is the plain chain. The fingerprint covers
+        // topology, so the cache must treat them as distinct models.
+        let with_add = lowbit::models::resnet50_residual_block(8);
+        let mut chain = with_add.clone();
+        chain.nodes.pop();
+        let a = Network::from_graph_defs(&with_add, BitWidth::W4, 9).unwrap();
+        let b = Network::from_graph_defs(&chain, BitWidth::W4, 9).unwrap();
+        assert_ne!(a.fingerprint(), b.fingerprint(), "fingerprint must cover the DAG");
+
+        let engine = ArmEngine::cortex_a53();
+        let cache = PlanCache::new();
+        let k = |net: &Network| PlanKey {
+            fingerprint: net.fingerprint(),
+            batch: 1,
+            backend: BackendKind::Arm,
+        };
+        let (plan_a, hit_a) = cache
+            .get_or_compile(k(&a), || Planner::for_arm(&engine).compile(&a))
+            .unwrap();
+        let (plan_b, hit_b) = cache
+            .get_or_compile(k(&b), || Planner::for_arm(&engine).compile(&b))
+            .unwrap();
+        assert!(!hit_a && !hit_b, "different DAGs never share a plan");
+        assert_eq!(cache.stats().entries, 2);
+        // And the cached plans really differ: only the residual graph's
+        // plan carries a fused add in a conv epilogue.
+        let has_fused = |p: &ExecutionPlan| {
+            p.nodes()
+                .iter()
+                .any(|n| matches!(n.op, lowbit::PlanOp::Conv { fused_add: Some(_), .. }))
+        };
+        assert!(has_fused(&plan_a));
+        assert!(!has_fused(&plan_b));
+    }
+
+    #[test]
     fn failed_compiles_are_retried() {
         let cache = PlanCache::new();
         let err = cache.get_or_compile(key(1), || Err(CoreError::EmptyNetwork));

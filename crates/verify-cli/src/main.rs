@@ -205,6 +205,9 @@ fn witness_label(v: &PlanViolation) -> &'static str {
         PlanViolation::WorkspaceUnderstated { .. } => "WorkspaceUnderstated",
         PlanViolation::HighWaterUnderstated { .. } => "HighWaterUnderstated",
         PlanViolation::FingerprintBlind { .. } => "FingerprintBlind",
+        PlanViolation::GraphStructureBroken { .. } => "GraphStructureBroken",
+        PlanViolation::ActivationOverlap { .. } => "ActivationOverlap",
+        PlanViolation::ActivationHighWaterUnderstated { .. } => "ActivationHighWaterUnderstated",
     }
 }
 
@@ -258,16 +261,25 @@ fn mutant_catalog(base: &PlanSpec) -> Vec<Mutant> {
     push("acc-overflow", "AccOverflow", &|s| {
         s.layers[0].channel_sums[0] = ChannelSums { neg: 0, pos: i32::MAX as i64 };
     });
-    // A plan claiming Winograd at 7 bit: the 4x input transform escapes i8.
+    // A plan claiming Winograd at 7 bit: the 4x input transform escapes i8
+    // (the value table is widened consistently so the numeric pass, not the
+    // table-consistency check, is what rejects it).
     push("winograd-at-w7", "OperandRangeBreak", &|s| {
         for l in &mut s.layers {
             l.bits = BitWidth::W7;
             l.requant.bits = BitWidth::W7;
         }
+        for v in &mut s.values {
+            v.bits = BitWidth::W7;
+        }
         s.layers[0].backend = BackendSpec::Arm(ArmAlgoKind::Winograd);
     });
+    // A producer re-quantizing into a width its consumer's proofs never
+    // assumed (again with the value record kept consistent, so the edge
+    // check fires).
     push("requant-width-skew", "RequantWidthBreak", &|s| {
         s.layers[0].requant.bits = BitWidth::W6;
+        s.values[1].bits = BitWidth::W6;
     });
     // The issue's "corrupted requant shift": a truncation clamp outside the
     // declared output width. Seeded on the last layer — its ReLU-free
@@ -287,6 +299,18 @@ fn mutant_catalog(base: &PlanSpec) -> Vec<Mutant> {
     });
     push("understated-high-water", "HighWaterUnderstated", &|s| {
         s.declared_high_water_bytes -= 1;
+    });
+    // Graph-level mutants: the DAG passes behind the activation memory
+    // planner must reject a lying arena declaration, an overlapping
+    // placement, and a live range shorter than the dataflow proves.
+    push("understated-activation", "ActivationHighWaterUnderstated", &|s| {
+        s.declared_activation_high_water_bytes -= 1;
+    });
+    push("overlapping-activations", "ActivationOverlap", &|s| {
+        s.values[1].offset = s.values[0].offset;
+    });
+    push("broken-live-range", "GraphStructureBroken", &|s| {
+        s.values[1].last_use = 0;
     });
     out
 }
@@ -370,8 +394,49 @@ fn plan_sweep(json: bool) -> usize {
         }
     }
 
+    // DAG-shaped plans: the residual and dense blocks compile through the
+    // graph fusion passes and must prove end to end (including the
+    // activation-arena disjointness certificate) at every supported width.
+    let graphs: [(&'static str, lowbit::models::GraphDef); 2] = [
+        ("resnet50-residual-block", lowbit::models::resnet50_residual_block(8)),
+        ("densenet121-dense-block", lowbit::models::densenet121_dense_block(8)),
+    ];
+    for bits in BitWidth::ALL {
+        for (name, def) in &graphs {
+            let net = Network::from_graph_defs(def, bits, 9).expect("block defs are valid");
+            let verdict = Planner::for_arm(&arm)
+                .compile(&net)
+                .and_then(|plan| lowbit::verify::verify_compiled(&plan, &net));
+            match verdict {
+                Ok(proof) => rows.push(SweepRow {
+                    net: name,
+                    bits,
+                    backends: "arm",
+                    layers: proof.layers.len(),
+                    headroom: proof.tightest_headroom(),
+                    high_water: proof.certified_high_water,
+                    proven: true,
+                }),
+                Err(e) => {
+                    failures += 1;
+                    eprintln!("{name} {bits} arm: {e}");
+                    rows.push(SweepRow {
+                        net: name,
+                        bits,
+                        backends: "arm",
+                        layers: 0,
+                        headroom: 0.0,
+                        high_water: 0,
+                        proven: false,
+                    });
+                }
+            }
+        }
+    }
+
     // Cache-key soundness: the fingerprint audit over both model classes,
-    // plus a deliberately blind hash that must be caught.
+    // plus a deliberately blind hash that must be caught, and the topology
+    // audit proving the fingerprint covers the graph structure itself.
     let mut audits: Vec<(String, bool)> = Vec::new();
     for (name, defs) in &nets {
         let net = Network::from_layer_defs(defs, BitWidth::W4, 9).expect("defs chain");
@@ -381,6 +446,15 @@ fn plan_sweep(json: bool) -> usize {
             eprintln!("{name}: fingerprint audit failed");
         }
         audits.push((format!("{name}-fingerprint"), ok));
+    }
+    for (name, def) in &graphs {
+        let net = Network::from_graph_defs(def, BitWidth::W4, 9).expect("block defs are valid");
+        let ok = lowbit::verify::topology_audit(&net).is_ok();
+        if !ok {
+            failures += 1;
+            eprintln!("{name}: topology audit failed");
+        }
+        audits.push((format!("{name}-topology"), ok));
     }
     {
         let net = Network::demo(BitWidth::W4, 12, 9);

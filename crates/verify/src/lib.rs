@@ -65,8 +65,8 @@ pub use interval::Interval;
 pub use lint::lint_stream;
 pub use plan::{
     arena_high_water, arm_workspace_requirement, verify_plan, ArenaRequirement, ArmAlgoKind,
-    BackendSpec, ChannelSums, LayerSpec, LayoutConversion, PlanProof, PlanSpec, PlanViolation,
-    RequantSpec,
+    BackendSpec, ChannelSums, LayerSpec, LayoutConversion, NodeOpSpec, NodeSpec, PlanProof,
+    PlanSpec, PlanViolation, RequantSpec, ValueSlot,
 };
 pub use report::{StreamProof, Violation};
 pub use streams::{

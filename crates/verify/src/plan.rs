@@ -168,13 +168,74 @@ pub struct LayerSpec {
     pub relu: bool,
 }
 
+/// A node operation in the lowered DAG (mirrors `lowbit::PlanOp` without
+/// the core dependency).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NodeOpSpec {
+    /// A planned convolution, indexing [`PlanSpec::layers`], optionally
+    /// carrying a fused residual-add operand (a value id).
+    Conv {
+        /// Index into the layer table.
+        layer: usize,
+        /// Fused residual operand, if the planner folded an add here.
+        fused_add: Option<usize>,
+    },
+    /// Elementwise saturating add of two equal-shape values.
+    Add,
+    /// Channel-axis concatenation in NCHW.
+    Concat,
+}
+
+/// One node of the lowered DAG, in execution order.
+#[derive(Clone, Debug)]
+pub struct NodeSpec {
+    /// Node name (for witnesses).
+    pub name: String,
+    /// The operation.
+    pub op: NodeOpSpec,
+    /// Value ids this node reads.
+    pub inputs: Vec<usize>,
+    /// Value id this node defines.
+    pub output: usize,
+}
+
+/// One value of the lowered DAG with its recorded activation-arena
+/// placement and live range (both re-proven, not trusted).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ValueSlot {
+    /// `(batch, channels, h, w)`.
+    pub dims: (usize, usize, usize, usize),
+    /// Quantized bit width of the stored elements.
+    pub bits: BitWidth,
+    /// The layout the value is stored in between nodes.
+    pub layout: Layout,
+    /// Recorded byte size.
+    pub bytes: usize,
+    /// Recorded defining step (0 for the graph input).
+    pub def: usize,
+    /// Recorded last consuming step.
+    pub last_use: usize,
+    /// Recorded activation-arena byte offset.
+    pub offset: usize,
+}
+
 /// The backend-neutral lowering of a compiled execution plan.
+///
+/// `nodes`/`values` describe the DAG; when `nodes` is empty the spec is a
+/// pure layer chain and the verifier runs the chain-shaped passes (the
+/// negative catalog seeds mutants at that level).
 #[derive(Clone, Debug)]
 pub struct PlanSpec {
     /// Per-layer specs, in execution order.
     pub layers: Vec<LayerSpec>,
+    /// DAG nodes in execution order (empty for a bare layer chain).
+    pub nodes: Vec<NodeSpec>,
+    /// DAG values with recorded arena placements (empty for a bare chain).
+    pub values: Vec<ValueSlot>,
     /// The whole-plan workspace high-water bytes the plan declares.
     pub declared_high_water_bytes: usize,
+    /// The activation-arena high-water bytes the plan declares.
+    pub declared_activation_high_water_bytes: usize,
 }
 
 /// A typed counterexample from the plan verifier. Every variant names the
@@ -301,6 +362,36 @@ pub enum PlanViolation {
         /// The invisible field.
         field: String,
     },
+    /// The lowered DAG is not well-formed: a dangling value id, a node
+    /// defined out of order, a value table inconsistent with the node that
+    /// defines it, or a recorded live range shorter than the dataflow
+    /// proves.
+    GraphStructureBroken {
+        /// The node (or value, as `v{id}`) the witness anchors to.
+        node: String,
+        /// What is broken.
+        detail: String,
+    },
+    /// Two simultaneously-live values were assigned overlapping activation
+    /// arena byte ranges — executing the plan in place would corrupt one.
+    ActivationOverlap {
+        /// First value id.
+        a: usize,
+        /// Its `[offset, offset + bytes)` span.
+        a_span: (usize, usize),
+        /// Second value id, live at the same step.
+        b: usize,
+        /// Its `[offset, offset + bytes)` span.
+        b_span: (usize, usize),
+    },
+    /// The plan's declared activation high-water understates what the
+    /// recorded arena placements actually reach.
+    ActivationHighWaterUnderstated {
+        /// Bytes the plan declares.
+        declared: usize,
+        /// `max(offset + bytes)` over the value table.
+        required: usize,
+    },
 }
 
 impl std::fmt::Display for PlanViolation {
@@ -354,6 +445,20 @@ impl std::fmt::Display for PlanViolation {
                 f,
                 "Network::fingerprint is blind to {field}: mutating it leaves the cache key \
                  unchanged while the verification verdict can differ"
+            ),
+            PlanViolation::GraphStructureBroken { node, detail } => {
+                write!(f, "{node}: graph structure broken: {detail}")
+            }
+            PlanViolation::ActivationOverlap { a, a_span, b, b_span } => write!(
+                f,
+                "values v{a} [{}, {}) and v{b} [{}, {}) are live together but their arena \
+                 spans overlap",
+                a_span.0, a_span.1, b_span.0, b_span.1
+            ),
+            PlanViolation::ActivationHighWaterUnderstated { declared, required } => write!(
+                f,
+                "plan declares {declared} activation high-water bytes but its arena \
+                 placements reach {required}"
             ),
         }
     }
@@ -486,6 +591,11 @@ pub struct PlanProof {
     pub certified_high_water: usize,
     /// The high-water bytes the plan declared (>= certified).
     pub declared_high_water: usize,
+    /// The certified activation-arena bound (`max(offset + bytes)` over the
+    /// proven-overlap-free value placements).
+    pub certified_activation_high_water: usize,
+    /// The activation high-water bytes the plan declared (>= certified).
+    pub declared_activation_high_water: usize,
 }
 
 impl PlanProof {
@@ -517,6 +627,10 @@ impl PlanProof {
             "arena high-water: certified {} <= declared {}\n",
             self.certified_high_water, self.declared_high_water
         ));
+        out.push_str(&format!(
+            "activation high-water: certified {} <= declared {}\n",
+            self.certified_activation_high_water, self.declared_activation_high_water
+        ));
         out
     }
 
@@ -544,10 +658,13 @@ impl PlanProof {
             .collect();
         format!(
             "{{\n  \"layers\": [\n{}\n  ],\n  \"certified_high_water\":{},\n  \
-\"declared_high_water\":{}\n}}\n",
+\"declared_high_water\":{},\n  \"certified_activation_high_water\":{},\n  \
+\"declared_activation_high_water\":{}\n}}\n",
             items.join(",\n"),
             self.certified_high_water,
-            self.declared_high_water
+            self.declared_high_water,
+            self.certified_activation_high_water,
+            self.declared_activation_high_water
         )
     }
 }
@@ -746,10 +863,33 @@ fn check_layer_numerics(
     Ok((proof, out))
 }
 
-/// Verifies a lowered plan spec: shape and layout dataflow, numeric range
-/// propagation through every layer, and workspace certification. Returns
-/// the proof certificate, or the first typed counterexample.
-pub fn verify_plan(spec: &PlanSpec) -> Result<PlanProof, PlanViolation> {
+/// Workspace certification shared by the chain and graph passes: each
+/// layer's declared bytes must dominate its recomputed requirement, and the
+/// declared whole-plan figure the component-wise arena bound. Returns the
+/// certified bound.
+fn check_workspace(spec: &PlanSpec) -> Result<usize, PlanViolation> {
+    for l in &spec.layers {
+        let required = layer_workspace_requirement(l).total();
+        if l.declared_workspace_bytes < required {
+            return Err(PlanViolation::WorkspaceUnderstated {
+                layer: l.name.clone(),
+                declared: l.declared_workspace_bytes,
+                required,
+            });
+        }
+    }
+    let certified = arena_high_water(&spec.layers);
+    if spec.declared_high_water_bytes < certified {
+        return Err(PlanViolation::HighWaterUnderstated {
+            declared: spec.declared_high_water_bytes,
+            required: certified,
+        });
+    }
+    Ok(certified)
+}
+
+/// The chain-shaped passes: consecutive layers feed each other directly.
+fn verify_chain_plan(spec: &PlanSpec) -> Result<PlanProof, PlanViolation> {
     check_shapes(&spec.layers)?;
     check_layouts(&spec.layers)?;
     // Numeric pass: the first layer's operands come from the input
@@ -772,29 +912,466 @@ pub fn verify_plan(spec: &PlanSpec) -> Result<PlanProof, PlanViolation> {
         proofs.push(proof);
         act = out;
     }
-    // Workspace certification.
-    for l in &spec.layers {
-        let required = layer_workspace_requirement(l).total();
-        if l.declared_workspace_bytes < required {
-            return Err(PlanViolation::WorkspaceUnderstated {
-                layer: l.name.clone(),
-                declared: l.declared_workspace_bytes,
-                required,
-            });
-        }
-    }
-    let certified = arena_high_water(&spec.layers);
-    if spec.declared_high_water_bytes < certified {
-        return Err(PlanViolation::HighWaterUnderstated {
-            declared: spec.declared_high_water_bytes,
-            required: certified,
-        });
-    }
+    let certified = check_workspace(spec)?;
     Ok(PlanProof {
         layers: proofs,
         certified_high_water: certified,
         declared_high_water: spec.declared_high_water_bytes,
+        // A bare chain records no value table; there is nothing to certify
+        // beyond the declaration itself.
+        certified_activation_high_water: spec.declared_activation_high_water_bytes,
+        declared_activation_high_water: spec.declared_activation_high_water_bytes,
     })
+}
+
+fn graph_broken(node: impl Into<String>, detail: String) -> PlanViolation {
+    PlanViolation::GraphStructureBroken { node: node.into(), detail }
+}
+
+/// Structural pass over the DAG: every id in range, values defined before
+/// use and exactly once, conv nodes covering the layer table in order, and
+/// the value table's dims/bytes/live-ranges consistent with the node table.
+fn check_graph_structure(spec: &PlanSpec) -> Result<(), PlanViolation> {
+    let (nodes, values) = (&spec.nodes, &spec.values);
+    if values.is_empty() {
+        return Err(graph_broken("plan", "a DAG plan has no values".into()));
+    }
+    let mut defined_at = vec![None; values.len()];
+    defined_at[0] = Some(0usize);
+    let mut conv_layers = Vec::new();
+    for (step, n) in nodes.iter().enumerate() {
+        if n.output == 0 || n.output >= values.len() {
+            return Err(graph_broken(
+                n.name.clone(),
+                format!("defines value v{} outside the table (len {})", n.output, values.len()),
+            ));
+        }
+        if defined_at[n.output].is_some() {
+            return Err(graph_broken(n.name.clone(), format!("redefines value v{}", n.output)));
+        }
+        for &v in &n.inputs {
+            if v >= values.len() {
+                return Err(graph_broken(
+                    n.name.clone(),
+                    format!("reads value v{v} outside the table (len {})", values.len()),
+                ));
+            }
+            if defined_at[v].is_none() {
+                return Err(graph_broken(
+                    n.name.clone(),
+                    format!("reads value v{v} before any node defines it"),
+                ));
+            }
+        }
+        match n.op {
+            NodeOpSpec::Conv { layer, fused_add } => {
+                if layer >= spec.layers.len() {
+                    return Err(graph_broken(
+                        n.name.clone(),
+                        format!("references layer {layer} outside the table"),
+                    ));
+                }
+                conv_layers.push(layer);
+                match fused_add {
+                    None if n.inputs.len() == 1 => {}
+                    Some(r) if n.inputs.len() == 2 && n.inputs[1] == r => {}
+                    _ => {
+                        return Err(graph_broken(
+                            n.name.clone(),
+                            format!(
+                                "conv operand list {:?} disagrees with fused_add {fused_add:?}",
+                                n.inputs
+                            ),
+                        ));
+                    }
+                }
+            }
+            NodeOpSpec::Add => {
+                if n.inputs.len() != 2 {
+                    return Err(graph_broken(
+                        n.name.clone(),
+                        format!("add has {} operands, expected 2", n.inputs.len()),
+                    ));
+                }
+            }
+            NodeOpSpec::Concat => {
+                if n.inputs.len() < 2 {
+                    return Err(graph_broken(
+                        n.name.clone(),
+                        format!("concat has {} operands, expected >= 2", n.inputs.len()),
+                    ));
+                }
+            }
+        }
+        defined_at[n.output] = Some(step);
+    }
+    // Every layer compiled must be executed exactly once, in node order —
+    // the executor indexes reports and metrics by this correspondence.
+    let expected: Vec<usize> = (0..spec.layers.len()).collect();
+    if conv_layers != expected {
+        return Err(graph_broken(
+            "plan",
+            format!("conv nodes reference layers {conv_layers:?}, expected {expected:?} in order"),
+        ));
+    }
+    for (v, slot) in values.iter().enumerate() {
+        if defined_at[v].is_none() {
+            return Err(graph_broken(format!("v{v}"), "no node defines this value".into()));
+        }
+        let (n, c, h, w) = slot.dims;
+        if slot.bytes != n * c * h * w {
+            return Err(graph_broken(
+                format!("v{v}"),
+                format!("records {} bytes for dims {:?}", slot.bytes, slot.dims),
+            ));
+        }
+    }
+    // Recorded live ranges must cover what the dataflow proves: `def` is
+    // exactly the defining step and `last_use` at least the last read (the
+    // output value is held through the final step for the caller).
+    let last_step = nodes.len() - 1;
+    let output = nodes[last_step].output;
+    for (v, slot) in values.iter().enumerate() {
+        let def = defined_at[v].expect("checked above");
+        let mut last = def;
+        for (step, n) in nodes.iter().enumerate() {
+            if n.inputs.contains(&v) {
+                last = last.max(step);
+            }
+        }
+        if v == output {
+            last = last_step;
+        }
+        if slot.def != def {
+            return Err(graph_broken(
+                format!("v{v}"),
+                format!("records def step {} but node {def} defines it", slot.def),
+            ));
+        }
+        if slot.last_use < last {
+            return Err(graph_broken(
+                format!("v{v}"),
+                format!("records last use {} but step {last} still reads it", slot.last_use),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Dataflow pass over the DAG: operand shapes, bit widths and layouts at
+/// every edge, with the recorded conversions anchored to the stored value
+/// layouts (this is what proves an elided NCHW round-trip sound: the value
+/// stays NHWC only if every consumer's kernel is NHWC-native).
+fn check_graph_dataflow(spec: &PlanSpec) -> Result<(), PlanViolation> {
+    let (nodes, values) = (&spec.nodes, &spec.values);
+    let producer_name = |v: usize| -> String {
+        if v == 0 {
+            "input".into()
+        } else {
+            nodes
+                .iter()
+                .find(|n| n.output == v)
+                .map(|n| n.name.clone())
+                .expect("structure pass proved every value defined")
+        }
+    };
+    for n in nodes {
+        let out = &values[n.output];
+        match n.op {
+            NodeOpSpec::Conv { layer, fused_add } => {
+                let l = &spec.layers[layer];
+                let act = &values[n.inputs[0]];
+                let expects = (l.shape.batch, l.shape.c_in, l.shape.h, l.shape.w);
+                if act.dims != expects {
+                    return Err(PlanViolation::ShapeBreak {
+                        producer: producer_name(n.inputs[0]),
+                        produces: act.dims,
+                        consumer: l.name.clone(),
+                        expects,
+                    });
+                }
+                if act.bits != l.bits {
+                    return Err(PlanViolation::RequantWidthBreak {
+                        producer: producer_name(n.inputs[0]),
+                        produced: act.bits,
+                        consumer: l.name.clone(),
+                        expects: l.bits,
+                    });
+                }
+                let produces =
+                    (l.shape.batch, l.shape.c_out, l.shape.out_h(), l.shape.out_w());
+                if out.dims != produces {
+                    return Err(graph_broken(
+                        n.name.clone(),
+                        format!("produces {produces:?} but value v{} records {:?}", n.output, out.dims),
+                    ));
+                }
+                if out.bits != l.requant.bits {
+                    return Err(graph_broken(
+                        n.name.clone(),
+                        format!(
+                            "requantizes into {} but value v{} records {}",
+                            l.requant.bits, n.output, out.bits
+                        ),
+                    ));
+                }
+                if let Some(r) = fused_add {
+                    let res = &values[r];
+                    if res.dims != produces || res.bits != l.requant.bits {
+                        return Err(graph_broken(
+                            n.name.clone(),
+                            format!(
+                                "fused residual v{r} is {:?}@{} but the conv produces {:?}@{}",
+                                res.dims, res.bits, produces, l.requant.bits
+                            ),
+                        ));
+                    }
+                }
+                // Layout walk: stored layout -> (pre) -> kernel-native ->
+                // (post) -> stored output layout.
+                let mut current = act.layout;
+                if let Some(c) = l.pre {
+                    if c.from != current {
+                        return Err(PlanViolation::DanglingConversion {
+                            layer: l.name.clone(),
+                            from: c.from,
+                            current,
+                        });
+                    }
+                    current = c.to;
+                }
+                let native = l.backend.native_layout();
+                if current != native {
+                    return Err(PlanViolation::LayoutMismatch {
+                        layer: l.name.clone(),
+                        site: "kernel input",
+                        expected: native,
+                        found: current,
+                    });
+                }
+                current = native;
+                if let Some(c) = l.post {
+                    if c.from != current {
+                        return Err(PlanViolation::DanglingConversion {
+                            layer: l.name.clone(),
+                            from: c.from,
+                            current,
+                        });
+                    }
+                    current = c.to;
+                }
+                if current != out.layout {
+                    return Err(PlanViolation::LayoutMismatch {
+                        layer: l.name.clone(),
+                        site: "layer output",
+                        expected: out.layout,
+                        found: current,
+                    });
+                }
+            }
+            NodeOpSpec::Add => {
+                let (a, b) = (&values[n.inputs[0]], &values[n.inputs[1]]);
+                if a.dims != b.dims {
+                    return Err(PlanViolation::ShapeBreak {
+                        producer: producer_name(n.inputs[1]),
+                        produces: b.dims,
+                        consumer: n.name.clone(),
+                        expects: a.dims,
+                    });
+                }
+                if a.bits != b.bits || out.bits != a.bits || out.dims != a.dims {
+                    return Err(graph_broken(
+                        n.name.clone(),
+                        format!(
+                            "add over v{}@{} and v{}@{} into v{}@{}",
+                            n.inputs[0], a.bits, n.inputs[1], b.bits, n.output, out.bits
+                        ),
+                    ));
+                }
+            }
+            NodeOpSpec::Concat => {
+                let first = &values[n.inputs[0]];
+                let mut c_total = 0;
+                for &v in &n.inputs {
+                    let t = &values[v];
+                    if (t.dims.0, t.dims.2, t.dims.3) != (first.dims.0, first.dims.2, first.dims.3)
+                    {
+                        return Err(PlanViolation::ShapeBreak {
+                            producer: producer_name(v),
+                            produces: t.dims,
+                            consumer: n.name.clone(),
+                            expects: (first.dims.0, t.dims.1, first.dims.2, first.dims.3),
+                        });
+                    }
+                    if t.bits != first.bits {
+                        return Err(graph_broken(
+                            n.name.clone(),
+                            format!("concat operands v{} and v{} disagree on bit width", n.inputs[0], v),
+                        ));
+                    }
+                    c_total += t.dims.1;
+                }
+                let expects = (first.dims.0, c_total, first.dims.2, first.dims.3);
+                if out.dims != expects || out.bits != first.bits {
+                    return Err(graph_broken(
+                        n.name.clone(),
+                        format!("concat produces {expects:?} but value v{} records {:?}", n.output, out.dims),
+                    ));
+                }
+            }
+        }
+        // Joins and the plan boundary consume canonical NCHW.
+        if !matches!(n.op, NodeOpSpec::Conv { .. }) {
+            for &v in &n.inputs {
+                if values[v].layout != Layout::Nchw {
+                    return Err(PlanViolation::LayoutMismatch {
+                        layer: n.name.clone(),
+                        site: "join operand",
+                        expected: Layout::Nchw,
+                        found: values[v].layout,
+                    });
+                }
+            }
+            if out.layout != Layout::Nchw {
+                return Err(PlanViolation::LayoutMismatch {
+                    layer: n.name.clone(),
+                    site: "layer output",
+                    expected: Layout::Nchw,
+                    found: out.layout,
+                });
+            }
+        }
+    }
+    let output = nodes.last().expect("non-empty").output;
+    if values[output].layout != Layout::Nchw {
+        return Err(PlanViolation::LayoutMismatch {
+            layer: producer_name(output),
+            site: "plan output",
+            expected: Layout::Nchw,
+            found: values[output].layout,
+        });
+    }
+    Ok(())
+}
+
+/// Numeric pass over the DAG: per-value intervals pushed through every
+/// node. Convolutions reuse the chain pass's per-layer machinery; a fused
+/// residual add widens the epilogue interval by the residual's before
+/// re-clamping into the output width — exactly the executor's arithmetic.
+fn check_graph_numerics(spec: &PlanSpec) -> Result<Vec<LayerRangeProof>, PlanViolation> {
+    let values = &spec.values;
+    let mut intervals: Vec<Option<Interval>> = vec![None; values.len()];
+    intervals[0] = Some(operand_interval(values[0].bits));
+    let mut proofs: Vec<Option<LayerRangeProof>> = vec![None; spec.layers.len()];
+    for n in &spec.nodes {
+        let out = match n.op {
+            NodeOpSpec::Conv { layer, fused_add } => {
+                let l = &spec.layers[layer];
+                let act = intervals[n.inputs[0]].expect("structure pass proved def-before-use");
+                let (proof, out) = check_layer_numerics(l, act)?;
+                proofs[layer] = Some(proof);
+                match fused_add {
+                    Some(r) => {
+                        let res = intervals[r].expect("structure pass proved def-before-use");
+                        let (qmin, qmax) =
+                            (l.requant.bits.qmin() as i64, l.requant.bits.qmax() as i64);
+                        Interval::new(
+                            (out.lo + res.lo).clamp(qmin, qmax),
+                            (out.hi + res.hi).clamp(qmin, qmax),
+                        )
+                    }
+                    None => out,
+                }
+            }
+            NodeOpSpec::Add => {
+                let a = intervals[n.inputs[0]].expect("def-before-use");
+                let b = intervals[n.inputs[1]].expect("def-before-use");
+                let bits = values[n.output].bits;
+                let (qmin, qmax) = (bits.qmin() as i64, bits.qmax() as i64);
+                Interval::new((a.lo + b.lo).clamp(qmin, qmax), (a.hi + b.hi).clamp(qmin, qmax))
+            }
+            NodeOpSpec::Concat => {
+                let mut u = intervals[n.inputs[0]].expect("def-before-use");
+                for &v in &n.inputs[1..] {
+                    let t = intervals[v].expect("def-before-use");
+                    u = Interval::new(u.lo.min(t.lo), u.hi.max(t.hi));
+                }
+                u
+            }
+        };
+        intervals[n.output] = Some(out);
+    }
+    Ok(proofs
+        .into_iter()
+        .map(|p| p.expect("structure pass proved every layer has a conv node"))
+        .collect())
+}
+
+/// Activation-arena pass: every pair of simultaneously-live values must
+/// occupy disjoint byte spans, and the declared high-water must dominate
+/// `max(offset + bytes)`. Together with the structure pass's live-range
+/// proof this makes the declared figure a true upper bound: at any step the
+/// live values are pairwise disjoint within `[0, declared)`, so their byte
+/// sum — what the executor meters at run time — cannot exceed it.
+fn check_activation_arena(spec: &PlanSpec) -> Result<usize, PlanViolation> {
+    let values = &spec.values;
+    let mut required = 0;
+    for (a, va) in values.iter().enumerate() {
+        required = required.max(va.offset + va.bytes);
+        for (b, vb) in values.iter().enumerate().skip(a + 1) {
+            let live_together = va.def <= vb.last_use && vb.def <= va.last_use;
+            if !live_together || va.bytes == 0 || vb.bytes == 0 {
+                continue;
+            }
+            let disjoint =
+                va.offset + va.bytes <= vb.offset || vb.offset + vb.bytes <= va.offset;
+            if !disjoint {
+                return Err(PlanViolation::ActivationOverlap {
+                    a,
+                    a_span: (va.offset, va.offset + va.bytes),
+                    b,
+                    b_span: (vb.offset, vb.offset + vb.bytes),
+                });
+            }
+        }
+    }
+    if spec.declared_activation_high_water_bytes < required {
+        return Err(PlanViolation::ActivationHighWaterUnderstated {
+            declared: spec.declared_activation_high_water_bytes,
+            required,
+        });
+    }
+    Ok(required)
+}
+
+/// The DAG-shaped passes.
+fn verify_graph_plan(spec: &PlanSpec) -> Result<PlanProof, PlanViolation> {
+    check_graph_structure(spec)?;
+    check_graph_dataflow(spec)?;
+    let proofs = check_graph_numerics(spec)?;
+    let certified = check_workspace(spec)?;
+    let certified_activation = check_activation_arena(spec)?;
+    Ok(PlanProof {
+        layers: proofs,
+        certified_high_water: certified,
+        declared_high_water: spec.declared_high_water_bytes,
+        certified_activation_high_water: certified_activation,
+        declared_activation_high_water: spec.declared_activation_high_water_bytes,
+    })
+}
+
+/// Verifies a lowered plan spec: shape and layout dataflow, numeric range
+/// propagation through every layer, and workspace certification. A spec
+/// with a node table additionally gets the graph passes — structural
+/// well-formedness, per-edge dataflow, and the activation-arena
+/// disjointness proof behind `declared_activation_high_water_bytes`.
+/// Returns the proof certificate, or the first typed counterexample.
+pub fn verify_plan(spec: &PlanSpec) -> Result<PlanProof, PlanViolation> {
+    if spec.nodes.is_empty() {
+        verify_chain_plan(spec)
+    } else {
+        verify_graph_plan(spec)
+    }
 }
 
 #[cfg(test)]
@@ -830,7 +1407,71 @@ mod tests {
         };
         let layers = vec![mk("l1", s1, true), mk("l2", s2, false)];
         let hw = arena_high_water(&layers);
-        PlanSpec { layers, declared_high_water_bytes: hw }
+        PlanSpec {
+            layers,
+            nodes: vec![],
+            values: vec![],
+            declared_high_water_bytes: hw,
+            declared_activation_high_water_bytes: 0,
+        }
+    }
+
+    /// The toy chain lifted into an explicit DAG with a residual add fused
+    /// into the second conv: input v0 feeds l1 -> v1, l1's output feeds
+    /// l2 whose epilogue adds v1 back in -> v2. Arena: v0 and v2 share
+    /// offset 0 (their live ranges are disjoint), v1 sits after v0.
+    fn toy_graph_spec() -> PlanSpec {
+        let shape = ConvShape::new(1, 4, 8, 8, 4, 3, 1, 1);
+        let mk = |name: &str, relu: bool| LayerSpec {
+            name: name.into(),
+            shape,
+            bits: BitWidth::W4,
+            backend: BackendSpec::Arm(ArmAlgoKind::GemmWide),
+            pre: None,
+            post: None,
+            declared_workspace_bytes: arm_workspace_requirement(&shape, ArmAlgoKind::GemmWide)
+                .total(),
+            channel_sums: vec![ChannelSums { neg: -40, pos: 44 }; shape.c_out],
+            bias: None,
+            requant: RequantSpec { bits: BitWidth::W4, multiplier: 0.01, clamp_min: -8 },
+            relu,
+        };
+        let layers = vec![mk("l1", true), mk("l2", false)];
+        let hw = arena_high_water(&layers);
+        let bytes = 4 * 8 * 8;
+        let slot = |layout, def, last_use, offset| ValueSlot {
+            dims: (1, 4, 8, 8),
+            bits: BitWidth::W4,
+            layout,
+            bytes,
+            def,
+            last_use,
+            offset,
+        };
+        PlanSpec {
+            layers,
+            nodes: vec![
+                NodeSpec {
+                    name: "l1".into(),
+                    op: NodeOpSpec::Conv { layer: 0, fused_add: None },
+                    inputs: vec![0],
+                    output: 1,
+                },
+                NodeSpec {
+                    name: "l2".into(),
+                    op: NodeOpSpec::Conv { layer: 1, fused_add: Some(1) },
+                    inputs: vec![1, 1],
+                    output: 2,
+                },
+            ],
+            values: vec![
+                slot(Layout::Nchw, 0, 0, 0),
+                slot(Layout::Nchw, 0, 1, bytes),
+                slot(Layout::Nchw, 1, 1, 0),
+            ],
+            declared_high_water_bytes: hw,
+            declared_activation_high_water_bytes: 2 * bytes,
+        }
     }
 
     #[test]
@@ -956,6 +1597,90 @@ mod tests {
     }
 
     #[test]
+    fn toy_graph_spec_proves_with_activation_certificate() {
+        let spec = toy_graph_spec();
+        let proof = verify_plan(&spec).unwrap();
+        assert_eq!(proof.layers.len(), 2);
+        assert_eq!(proof.certified_activation_high_water, 2 * 4 * 8 * 8);
+        assert!(proof.certified_activation_high_water <= proof.declared_activation_high_water);
+        // The fused residual widens l2's output interval but stays clamped
+        // inside the W4 range.
+        let report = proof.report();
+        assert!(report.contains("activation high-water"));
+        assert!(proof.to_json().contains("\"certified_activation_high_water\""));
+    }
+
+    #[test]
+    fn graph_structure_witnesses_fire() {
+        // A conv reading a value no node has defined yet.
+        let mut spec = toy_graph_spec();
+        spec.nodes[0].inputs = vec![2];
+        assert!(matches!(
+            verify_plan(&spec),
+            Err(PlanViolation::GraphStructureBroken { .. })
+        ));
+        // A value table understating a live range the dataflow still needs.
+        let mut spec = toy_graph_spec();
+        spec.values[1].last_use = 0;
+        assert!(matches!(
+            verify_plan(&spec),
+            Err(PlanViolation::GraphStructureBroken { .. })
+        ));
+        // A value whose byte size disagrees with its dims.
+        let mut spec = toy_graph_spec();
+        spec.values[1].bytes -= 1;
+        assert!(matches!(
+            verify_plan(&spec),
+            Err(PlanViolation::GraphStructureBroken { .. })
+        ));
+    }
+
+    #[test]
+    fn activation_witnesses_fire() {
+        // Placing v1 on top of the still-live input overlaps two
+        // simultaneously-live values.
+        let mut spec = toy_graph_spec();
+        spec.values[1].offset = 0;
+        spec.values[1].last_use = 1;
+        match verify_plan(&spec) {
+            Err(PlanViolation::ActivationOverlap { a, b, .. }) => assert_eq!((a, b), (0, 1)),
+            other => panic!("expected ActivationOverlap, got {other:?}"),
+        }
+        // Understating the declared activation high-water is caught even
+        // with sound placements.
+        let mut spec = toy_graph_spec();
+        spec.declared_activation_high_water_bytes -= 1;
+        assert!(matches!(
+            verify_plan(&spec),
+            Err(PlanViolation::ActivationHighWaterUnderstated { .. })
+        ));
+    }
+
+    #[test]
+    fn graph_dataflow_witnesses_fire() {
+        // A value recorded NHWC that no conversion ever produces: the
+        // ARM producer writes NCHW, so the recorded store layout dangles
+        // (an unsound elision is caught at whichever edge breaks first).
+        let mut spec = toy_graph_spec();
+        spec.values[1].layout = Layout::Nhwc;
+        spec.values[1].offset = 2 * 4 * 8 * 8;
+        assert!(matches!(
+            verify_plan(&spec),
+            Err(PlanViolation::LayoutMismatch { site: "layer output", .. })
+        ));
+        // A producer re-quantizing into a width the consuming conv's
+        // proofs never assumed (value table kept consistent so the edge
+        // check, not the table check, is what fires).
+        let mut spec = toy_graph_spec();
+        spec.layers[0].requant.bits = BitWidth::W6;
+        spec.values[1].bits = BitWidth::W6;
+        assert!(matches!(
+            verify_plan(&spec),
+            Err(PlanViolation::RequantWidthBreak { .. })
+        ));
+    }
+
+    #[test]
     fn every_violation_displays_non_empty() {
         let samples = [
             PlanViolation::ShapeBreak {
@@ -998,6 +1723,17 @@ mod tests {
             PlanViolation::WorkspaceUnderstated { layer: "a".into(), declared: 1, required: 2 },
             PlanViolation::HighWaterUnderstated { declared: 1, required: 2 },
             PlanViolation::FingerprintBlind { field: "requant.clamp_min".into() },
+            PlanViolation::GraphStructureBroken {
+                node: "add".into(),
+                detail: "reads value v9 outside the table (len 4)".into(),
+            },
+            PlanViolation::ActivationOverlap {
+                a: 0,
+                a_span: (0, 256),
+                b: 2,
+                b_span: (128, 384),
+            },
+            PlanViolation::ActivationHighWaterUnderstated { declared: 1, required: 2 },
         ];
         for v in samples {
             assert!(!v.to_string().is_empty(), "{v:?}");

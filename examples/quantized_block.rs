@@ -39,9 +39,9 @@ fn main() {
     let fused = fuse(&reference);
     println!(
         "graph : {:?} ({} kernels)\n     -> {:?} ({} kernels)",
-        reference.ops,
+        reference.ops(),
         reference.kernel_count(),
-        fused.ops,
+        fused.ops(),
         fused.kernel_count()
     );
 

@@ -1,0 +1,108 @@
+//! End-to-end DAG execution: the residual and dense blocks compile to DAG
+//! plans and run bit-exactly against the naive unfused reference.
+//!
+//! The reference is the same planner with graph fusion disabled
+//! (`Planner::with_graph_fusion(false)`): every add runs as a standalone
+//! node and no layout round-trips are elided. Fusion is only a legal
+//! rewrite if the fused plan's dequantized output is *identical* — the
+//! residual add folded into the conv epilogue uses the same
+//! `add_clamped` arithmetic as the standalone node, so the comparison is
+//! on exact f32 bits, not a tolerance.
+
+use lowbit::models::{densenet121_dense_block_n, resnet50_residual_block};
+use lowbit::prelude::*;
+use lowbit::PlanOp;
+
+fn float_input(dims: (usize, usize, usize, usize), seed: usize) -> Tensor<f32> {
+    let len = dims.0 * dims.1 * dims.2 * dims.3;
+    Tensor::from_vec(
+        dims,
+        Layout::Nchw,
+        (0..len)
+            .map(|i| ((i * 31 + seed * 17) % 23) as f32 / 11.0 - 1.0)
+            .collect(),
+    )
+}
+
+fn fused_equals_unfused(def: &lowbit::models::GraphDef, bits: BitWidth, seed: u64) {
+    let net = Network::from_graph_defs(def, bits, seed).unwrap();
+    let engine = ArmEngine::cortex_a53();
+    let fused = Planner::for_arm(&engine).compile(&net).unwrap();
+    let unfused = Planner::for_arm(&engine)
+        .with_graph_fusion(false)
+        .compile(&net)
+        .unwrap();
+
+    let (c, h, w) = def.input;
+    let input = float_input((1, c, h, w), 5);
+    let exec = Executor::for_arm(&engine);
+    let a = exec.run(&fused, &net, &input).unwrap();
+    let b = exec.run(&unfused, &net, &input).unwrap();
+    assert_eq!(a.output.dims(), b.output.dims());
+    assert_eq!(
+        a.output.data(),
+        b.output.data(),
+        "graph fusion changed the numerics at {bits}"
+    );
+}
+
+#[test]
+fn residual_block_runs_bit_exactly_under_fusion() {
+    let def = resnet50_residual_block(8);
+    for bits in [BitWidth::W2, BitWidth::W4, BitWidth::W8] {
+        fused_equals_unfused(&def, bits, 11);
+    }
+
+    // And the fusion actually happened: the fused plan has no standalone
+    // add node, the unfused reference does.
+    let net = Network::from_graph_defs(&def, BitWidth::W4, 11).unwrap();
+    let engine = ArmEngine::cortex_a53();
+    let fused = Planner::for_arm(&engine).compile(&net).unwrap();
+    let unfused = Planner::for_arm(&engine)
+        .with_graph_fusion(false)
+        .compile(&net)
+        .unwrap();
+    assert_eq!(fused.nodes().len(), 3);
+    assert_eq!(unfused.nodes().len(), 4);
+    assert!(fused
+        .nodes()
+        .iter()
+        .any(|n| matches!(n.op, PlanOp::Conv { fused_add: Some(_), .. })));
+    assert!(unfused.nodes().iter().any(|n| matches!(n.op, PlanOp::Add)));
+    // Folding the add can only shrink the arena: one fewer live value.
+    assert!(fused.activation_high_water_bytes() <= unfused.activation_high_water_bytes());
+}
+
+#[test]
+fn dense_block_runs_bit_exactly_under_fusion() {
+    // Both the two-step golden block and DenseNet-121's real six-step
+    // first block (the BENCH_graph.json subject).
+    fused_equals_unfused(&densenet121_dense_block_n(8, 2), BitWidth::W4, 11);
+    fused_equals_unfused(&densenet121_dense_block_n(8, 6), BitWidth::W4, 11);
+}
+
+#[test]
+fn deep_dense_block_report_and_trace_cover_every_conv() {
+    let def = densenet121_dense_block_n(8, 3);
+    let net = Network::from_graph_defs(&def, BitWidth::W4, 11).unwrap();
+    let engine = ArmEngine::cortex_a53();
+    let plan = Planner::for_arm(&engine).compile(&net).unwrap();
+    let (tracer, sink) = Tracer::recording();
+    let run = Executor::for_arm(&engine)
+        .run_traced(&plan, &net, &float_input((1, 64, 8, 8), 5), &tracer)
+        .unwrap();
+    assert_eq!(run.reports.len(), 6, "one report per conv layer");
+    // Spans carry node ids: every node of the nine-node DAG (six convs,
+    // three concats) labels its `layer` span `n<step> <name>: ...`.
+    let trace = sink.capture();
+    for step in 0..plan.nodes().len() {
+        let tag = format!("n{step} ");
+        assert!(
+            trace
+                .spans
+                .iter()
+                .any(|s| s.label.as_deref().is_some_and(|l| l.starts_with(&tag))),
+            "no span labelled for node {step}"
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests for the liveness arena allocator as a pure function
+//! (`lowbit::memplan`), plus pinned facts about the compiled block plans.
+//!
+//! The allocator's contract, checked over randomized value sets:
+//!
+//! * soundness — two values that are ever live at the same step never
+//!   overlap in the arena;
+//! * bounds — `max_cut_bytes` (the largest topological cut, a lower bound
+//!   for *any* allocator) <= `high_water_bytes` <= `sum_bytes` (the
+//!   no-reuse baseline);
+//! * the recorded high-water is exactly `max(offset + bytes)`;
+//! * purity — identical inputs produce identical assignments;
+//! * optimality on uniform sizes — with all values the same size the
+//!   greedy first-fit is left-endpoint interval coloring, which is optimal,
+//!   so the high-water *equals* the max cut.
+
+use lowbit::prelude::*;
+use lowbit::{assign_arena, max_cut_bytes, sum_bytes, ValueSpec};
+use proptest::prelude::*;
+
+/// Strategy for one value: a small size and a live window inside a
+/// 12-step plan.
+fn value_spec() -> impl Strategy<Value = ValueSpec> {
+    (0usize..=64, 0usize..12, 0usize..=6).prop_map(|(bytes, def, len)| ValueSpec {
+        bytes,
+        def,
+        last_use: def + len,
+    })
+}
+
+fn value_set() -> impl Strategy<Value = Vec<ValueSpec>> {
+    proptest::collection::vec(value_spec(), 0..24)
+}
+
+/// Asserts the pairwise-disjointness contract on an assignment.
+fn assert_sound(values: &[ValueSpec], offsets: &[usize]) {
+    for i in 0..values.len() {
+        for j in i + 1..values.len() {
+            if values[i].bytes == 0 || values[j].bytes == 0 {
+                continue;
+            }
+            if values[i].lives_with(&values[j]) {
+                let (ai, bi) = (offsets[i], offsets[i] + values[i].bytes);
+                let (aj, bj) = (offsets[j], offsets[j] + values[j].bytes);
+                assert!(
+                    bi <= aj || bj <= ai,
+                    "values {i} [{ai},{bi}) and {j} [{aj},{bj}) are live together and overlap"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn arena_is_sound_and_bounded(values in value_set()) {
+        let a = assign_arena(&values);
+        prop_assert_eq!(a.offsets.len(), values.len());
+        assert_sound(&values, &a.offsets);
+        // high-water is exactly the furthest-reaching placement ...
+        let reach = values
+            .iter()
+            .zip(&a.offsets)
+            .filter(|(v, _)| v.bytes > 0)
+            .map(|(v, &o)| o + v.bytes)
+            .max()
+            .unwrap_or(0);
+        prop_assert_eq!(a.high_water_bytes, reach);
+        // ... between the universal lower bound and the no-reuse baseline.
+        prop_assert!(a.high_water_bytes >= max_cut_bytes(&values));
+        prop_assert!(a.high_water_bytes <= sum_bytes(&values));
+    }
+
+    #[test]
+    fn arena_assignment_is_pure(values in value_set()) {
+        prop_assert_eq!(assign_arena(&values), assign_arena(&values));
+    }
+
+    #[test]
+    fn uniform_sizes_meet_the_max_cut(
+        specs in proptest::collection::vec((0usize..12, 0usize..=6), 1..24),
+        size in 1usize..=32,
+    ) {
+        let values: Vec<ValueSpec> = specs
+            .iter()
+            .map(|&(def, len)| ValueSpec { bytes: size, def, last_use: def + len })
+            .collect();
+        let a = assign_arena(&values);
+        assert_sound(&values, &a.offsets);
+        prop_assert_eq!(a.high_water_bytes, max_cut_bytes(&values));
+    }
+}
+
+/// On the compiled demo chain and residual block the arena meets the max
+/// cut exactly; dense-block fan-in fragments it slightly above the cut but
+/// never above the no-reuse sum. These are the concrete shapes behind the
+/// BENCH_graph.json figures, pinned so an allocator change that regresses
+/// them shows up here and not only as a golden diff.
+#[test]
+fn compiled_plans_sit_between_cut_and_sum() {
+    let arm = ArmEngine::cortex_a53();
+    let cases: Vec<(&str, Network, bool)> = vec![
+        ("demo-chain", Network::demo(BitWidth::W4, 12, 9), true),
+        (
+            "residual-block",
+            Network::from_graph_defs(&lowbit::models::resnet50_residual_block(12), BitWidth::W4, 9)
+                .unwrap(),
+            true,
+        ),
+        (
+            "dense-block",
+            Network::from_graph_defs(&lowbit::models::densenet121_dense_block(12), BitWidth::W4, 9)
+                .unwrap(),
+            false,
+        ),
+    ];
+    for (name, net, meets_cut) in cases {
+        let plan = Planner::for_arm(&arm).compile(&net).unwrap();
+        let values: Vec<ValueSpec> = plan
+            .values()
+            .iter()
+            .map(|v| ValueSpec { bytes: v.bytes, def: v.def, last_use: v.last_use })
+            .collect();
+        let hw = plan.activation_high_water_bytes();
+        let cut = max_cut_bytes(&values);
+        assert!(hw >= cut, "{name}: high-water {hw} below the cut {cut}");
+        assert!(hw <= sum_bytes(&values), "{name}: worse than no reuse");
+        if meets_cut {
+            assert_eq!(hw, cut, "{name}: expected the arena to meet the max cut");
+        }
+    }
+}

@@ -26,9 +26,49 @@ fn demo_plan_matches_golden_file() {
 }
 
 #[test]
+fn dense_block_plan_matches_golden_file() {
+    let net = Network::from_graph_defs(
+        &lowbit::models::densenet121_dense_block(12),
+        BitWidth::W4,
+        9,
+    )
+    .expect("dense-block graph def is valid");
+    let plan = Planner::for_arm(&ArmEngine::cortex_a53())
+        .compile(&net)
+        .expect("ARM serves every bit width");
+    let golden = include_str!("golden/plan_dense_block.json");
+    let current = plan.to_json();
+    assert_eq!(
+        current, golden,
+        "compiled dense-block plan diverged from tests/golden/plan_dense_block.json — \
+         if intended, regenerate with: cargo run --release -p lowbit-bench \
+         --bin lowbit-plan -- --model dense-block --json > tests/golden/plan_dense_block.json"
+    );
+}
+
+#[test]
+fn dense_block_golden_records_the_dag_and_arena() {
+    let golden = include_str!("golden/plan_dense_block.json");
+    // The DAG survives into the golden: two concat joins with fan-in from
+    // earlier values, and an activation arena strictly smaller than the sum
+    // of all value bytes (the liveness planner reuses freed slots).
+    assert_eq!(golden.matches("\"op\":\"concat\"").count(), 2);
+    assert!(golden.contains("\"inputs\":[0,2]"));
+    assert!(golden.contains("\"activation_high_water_bytes\""));
+}
+
+#[test]
 fn golden_json_is_well_formed() {
     let golden = include_str!("golden/plan_demo.json");
     assert!(golden.contains("\"layers\""));
+    assert!(golden.contains("\"nodes\""));
+    assert!(golden.contains("\"values\""));
     assert!(golden.contains("\"predicted_total_millis\""));
-    assert_eq!(golden.matches("\"name\"").count(), 3, "three demo layers");
+    assert!(golden.contains("\"activation_high_water_bytes\""));
+    assert_eq!(
+        golden.matches("\"prepack_fingerprint\"").count(),
+        3,
+        "three demo layers"
+    );
+    assert_eq!(golden.matches("\"name\"").count(), 6, "three layers + three nodes");
 }
