@@ -202,13 +202,20 @@ pub fn save_parallel_json(dir: &Path) -> std::io::Result<PathBuf> {
 /// first dense block (six growth steps), it compares the liveness arena's
 /// certified `activation_high_water_bytes` against the sum of all value
 /// bytes — what allocating every activation its own buffer would cost —
-/// and reports the reduction factor. All figures are modeled plan
-/// constants, so the file is deterministic and gates the bench-diff CI
-/// step (dense-block target: ≥2x reduction).
+/// and reports the reduction factor. A `node_parallel` section then
+/// compares each block (plus the genuinely wide ResNet-50 projection
+/// block) under the certified parallel node scheduler: wave-makespan
+/// (per-wave critical path of modeled layer millis) against the serial
+/// predicted total, and the interference-aware arena high-water against
+/// the serial placement's. All figures are modeled plan constants, so the
+/// file is deterministic and gates the bench-diff CI step (dense-block
+/// target: ≥2x reduction).
 pub fn save_graph_json(dir: &Path) -> std::io::Result<PathBuf> {
-    use lowbit::models::{densenet121_dense_block_n, resnet50_residual_block};
+    use lowbit::models::{
+        densenet121_dense_block_n, resnet50_projection_block, resnet50_residual_block,
+    };
     use lowbit::prelude::*;
-    use lowbit::Network;
+    use lowbit::{Network, PlanOp};
 
     let arm = ArmEngine::cortex_a53();
     let blocks = [
@@ -220,7 +227,7 @@ pub fn save_graph_json(dir: &Path) -> std::io::Result<PathBuf> {
     s.push_str("{\n");
     s.push_str("  \"experiment\": \"graph_liveness_memory_planning\",\n");
     s.push_str("  \"bits\": 4,\n");
-    for (i, (name, def)) in blocks.iter().enumerate() {
+    for (name, def) in blocks.iter() {
         let net = Network::from_graph_defs(def, BitWidth::W4, 9)
             .expect("block defs are valid");
         let plan = Planner::for_arm(&arm)
@@ -241,8 +248,72 @@ pub fn save_graph_json(dir: &Path) -> std::io::Result<PathBuf> {
             "    \"predicted_total_millis\": {:.9}\n",
             plan.predicted_millis()
         ));
-        s.push_str(if i + 1 == blocks.len() { "  }\n" } else { "  },\n" });
+        s.push_str("  },\n");
     }
+
+    // Node-parallel section: serial vs certified-parallel makespan and
+    // arena footprint. The wave makespan charges each wave its slowest
+    // node (Add/Concat glue is modeled free, matching `predicted_millis`
+    // which only sums conv layers).
+    let mut par_blocks: Vec<(&'static str, lowbit::models::GraphDef)> = blocks.into();
+    par_blocks.push(("resnet50_projection_block", resnet50_projection_block(12)));
+    s.push_str("  \"node_parallel\": {\n");
+    for (i, (name, def)) in par_blocks.iter().enumerate() {
+        let net = Network::from_graph_defs(def, BitWidth::W4, 9)
+            .expect("block defs are valid");
+        let serial = Planner::for_arm(&arm)
+            .compile(&net)
+            .expect("ARM serves every bit width");
+        let parallel = Planner::for_arm(&arm)
+            .with_parallel_nodes(true)
+            .compile(&net)
+            .expect("parallel compilation certifies");
+        let schedule = parallel
+            .parallel_schedule()
+            .expect("parallel plans carry a certificate");
+        let node_millis = |n: usize| match parallel.nodes()[n].op {
+            PlanOp::Conv { layer, .. } => parallel.layers()[layer].predicted_millis,
+            _ => 0.0,
+        };
+        let makespan: f64 = schedule
+            .waves
+            .iter()
+            .map(|wave| wave.iter().map(|&n| node_millis(n)).fold(0.0, f64::max))
+            .sum();
+        s.push_str(&format!("    \"{name}\": {{\n"));
+        s.push_str(&format!("      \"waves\": {},\n", schedule.waves.len()));
+        s.push_str(&format!(
+            "      \"max_wave_width\": {},\n",
+            schedule.max_wave_width()
+        ));
+        s.push_str(&format!(
+            "      \"interference_edges\": {},\n",
+            schedule.interference.len()
+        ));
+        s.push_str(&format!(
+            "      \"serial_makespan_ms\": {:.9},\n",
+            serial.predicted_millis()
+        ));
+        s.push_str(&format!("      \"parallel_makespan_ms\": {makespan:.9},\n"));
+        s.push_str(&format!(
+            "      \"makespan_speedup\": {:.4},\n",
+            serial.predicted_millis() / makespan
+        ));
+        s.push_str(&format!(
+            "      \"serial_arena_bytes\": {},\n",
+            serial.activation_high_water_bytes()
+        ));
+        s.push_str(&format!(
+            "      \"parallel_arena_bytes\": {},\n",
+            parallel.activation_high_water_bytes()
+        ));
+        s.push_str(&format!(
+            "      \"certificate\": \"{:#018x}\"\n",
+            schedule.certificate
+        ));
+        s.push_str(if i + 1 == par_blocks.len() { "    }\n" } else { "    },\n" });
+    }
+    s.push_str("  }\n");
     s.push_str("}\n");
 
     std::fs::create_dir_all(dir)?;
@@ -391,6 +462,28 @@ mod tests {
             .as_num()
             .unwrap();
         assert!(factor >= 2.0, "dense-block reduction {factor} below the 2x target");
+
+        // Node-parallel section: every block certifies; makespans and
+        // arenas obey the scheduler's invariants (parallel makespan never
+        // exceeds serial, the wide projection block strictly beats it and
+        // pays for the overlap with a larger arena).
+        let np = doc.get("node_parallel").unwrap();
+        for block in [
+            "resnet50_residual_block",
+            "densenet121_dense_block",
+            "resnet50_projection_block",
+        ] {
+            let b = np.get(block).unwrap();
+            let serial_ms = b.get("serial_makespan_ms").unwrap().as_num().unwrap();
+            let par_ms = b.get("parallel_makespan_ms").unwrap().as_num().unwrap();
+            assert!(par_ms > 0.0 && par_ms <= serial_ms + 1e-12, "{block}");
+            let serial_arena = b.get("serial_arena_bytes").unwrap().as_num().unwrap();
+            let par_arena = b.get("parallel_arena_bytes").unwrap().as_num().unwrap();
+            assert!(par_arena >= serial_arena, "{block}: parallel arena shrank?");
+        }
+        let wide = np.get("resnet50_projection_block").unwrap();
+        assert!(wide.get("max_wave_width").unwrap().as_num().unwrap() >= 2.0);
+        assert!(wide.get("makespan_speedup").unwrap().as_num().unwrap() > 1.0);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 
 use crate::plan::BackendKind;
 use lowbit_tensor::BitWidth;
-use lowbit_verify::{GpuViolation, PlanViolation};
+use lowbit_verify::{ConcViolation, GpuViolation, PlanViolation};
 
 /// Everything that can go wrong while validating, planning or executing a
 /// network.
@@ -85,6 +85,20 @@ pub enum CoreError {
         /// The typed counterexample.
         violation: PlanViolation,
     },
+    /// A declared parallel wave schedule failed the static concurrency
+    /// verifier — an arena or workspace interference, an escaped footprint,
+    /// a broken partition, a reachability violation or a forged
+    /// certificate. Carries the typed counterexample from
+    /// `lowbit_verify::conc`.
+    ConcRejected {
+        /// The typed counterexample.
+        violation: ConcViolation,
+    },
+    /// The executor's parallel-node mode was asked to run a plan that
+    /// carries no certified parallel schedule. Parallel execution engages
+    /// only behind a certificate; compile the plan with
+    /// `Planner::with_parallel_nodes` or run it serially.
+    ParallelCertificateMissing,
     /// The plan routes a layer to a backend the planner/executor was not
     /// given an engine for.
     MissingBackend {
@@ -164,6 +178,14 @@ impl std::fmt::Display for CoreError {
             CoreError::PlanRejected { violation } => {
                 write!(f, "plan rejected by the whole-plan static verifier: {violation}")
             }
+            CoreError::ConcRejected { violation } => {
+                write!(f, "parallel schedule rejected by the concurrency verifier: {violation}")
+            }
+            CoreError::ParallelCertificateMissing => write!(
+                f,
+                "parallel-node execution requires a certified schedule; compile with \
+                 Planner::with_parallel_nodes or run serially"
+            ),
             CoreError::MissingBackend { backend } => {
                 write!(f, "no {backend} engine was registered")
             }
@@ -226,6 +248,10 @@ mod tests {
             CoreError::PlanRejected {
                 violation: PlanViolation::HighWaterUnderstated { declared: 1, required: 2 },
             },
+            CoreError::ConcRejected {
+                violation: ConcViolation::CertificateForged { declared: 1, computed: 2 },
+            },
+            CoreError::ParallelCertificateMissing,
             CoreError::MissingBackend { backend: BackendKind::Arm },
             CoreError::PlanMismatch { detail: "layer count".into() },
             CoreError::GraphTopologyBroken {

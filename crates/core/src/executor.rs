@@ -14,7 +14,7 @@ use crate::error::CoreError;
 use crate::gpu::{GpuEngine, Tuning};
 use crate::metrics::{ExecKey, ExecMetrics};
 use crate::network::{LayerReport, Network};
-use crate::plan::{BackendKind, ExecutionPlan, LayerPlan, PlanAlgo, PlanOp};
+use crate::plan::{BackendKind, ExecutionPlan, LayerPlan, NodePlan, PlanAlgo, PlanOp};
 use std::sync::Arc;
 use lowbit_qnn::{quantize_f32, Quantizer};
 use lowbit_tensor::{Layout, QTensor, Tensor};
@@ -167,6 +167,10 @@ impl Backend for GpuEngine {
     }
 }
 
+/// What computing one DAG node yields: the produced tensor, its scale, and
+/// — for conv nodes — the unified layer report.
+type NodeOutcome = Result<(QTensor, f32, Option<LayerReport>), CoreError>;
+
 /// Result of executing a plan over a network.
 #[derive(Clone, Debug)]
 pub struct NetworkRun {
@@ -295,103 +299,14 @@ impl Executor {
         let mut reports = Vec::with_capacity(plan.layers().len());
         let mut total = 0.0;
         for (step, node) in plan.nodes().iter().enumerate() {
-            let (q, out_scale) = match node.op {
-                PlanOp::Conv { layer: li, fused_add } => {
-                    let lp = &plan.layers()[li];
-                    let layer = &net.layers()[li];
-                    let backend = self.backend_for(lp.backend)?;
-                    let mut layer_span = tracer.span("layer", MAIN_TRACK);
-                    let act = slots[node.inputs[0]].as_ref().expect("verified dataflow");
-                    let out = backend.execute_layer(lp, act, &layer.weights, tracer)?;
-                    total += out.millis;
-                    if let Some(metrics) = &self.metrics {
-                        metrics.record_layer(ExecKey::of(lp), lp.predicted_millis, out.millis);
-                    }
-                    layer_span.set_label(|| {
-                        let cache = match out.prepack_hit {
-                            Some(true) => "prepack hit",
-                            Some(false) => "prepack miss",
-                            None => "no prepack",
-                        };
-                        format!("n{step} {}: {} ({cache})", lp.name, lp.algo)
-                    });
-                    reports.push(LayerReport {
-                        name: lp.name.clone(),
-                        backend: lp.backend,
-                        algo: lp.algo,
-                        millis: out.millis,
-                        prepack_hits: u64::from(out.prepack_hit == Some(true)),
-                        prepack_misses: u64::from(out.prepack_hit == Some(false)),
-                        workspace_growth_bytes: out.workspace_growth_bytes,
-                        gpu_time: out.gpu_time,
-                    });
-                    // Fused epilogue: per-channel bias, then re-quantization
-                    // with the ReLU folded into the truncation bound where
-                    // requested, then the folded residual add if the graph
-                    // fusion pass attached one.
-                    let mut acc = out.acc;
-                    if let Some(bias) = &lp.epilogue.bias {
-                        let (n, c, h, w) = acc.dims();
-                        for bn in 0..n {
-                            for (cc, &b) in bias.iter().enumerate().take(c) {
-                                for hh in 0..h {
-                                    for ww in 0..w {
-                                        let v = acc.get((bn, cc, hh, ww)) + b;
-                                        acc.set((bn, cc, hh, ww), v);
-                                    }
-                                }
-                            }
-                        }
-                    }
-                    let rq = lp.epilogue.effective_requant();
-                    let mut q = {
-                        let _span = tracer.span("requantize", MAIN_TRACK);
-                        lowbit_qnn::requantize(&acc, &rq)
-                    };
-                    if let Some(r) = fused_add {
-                        let residual = slots[r].as_ref().expect("verified dataflow");
-                        q = add_clamped(&q, residual);
-                    }
-                    drop(layer_span);
-                    if tracer.enabled() {
-                        if let Some(engine) = &self.arm {
-                            let prepack = engine.prepack_stats();
-                            tracer.counter("modeled_millis_total", engine.modeled_millis_total());
-                            tracer.counter("prepack_hits_total", prepack.hits as f64);
-                            tracer.counter("prepack_evictions_total", prepack.evictions as f64);
-                            tracer.counter(
-                                "workspace_high_water_bytes",
-                                engine.workspace_stats().high_water_bytes as f64,
-                            );
-                        }
-                    }
-                    let scale = scales[node.inputs[0]] * layer.weights.scale() / rq.multiplier;
-                    (q, scale)
-                }
-                PlanOp::Add => {
-                    let mut span = tracer.span("layer", MAIN_TRACK);
-                    let a = slots[node.inputs[0]].as_ref().expect("verified dataflow");
-                    let b = slots[node.inputs[1]].as_ref().expect("verified dataflow");
-                    let q = add_clamped(a, b);
-                    span.set_label(|| format!("n{step} {}: add", node.name));
-                    (q, scales[node.inputs[0]])
-                }
-                PlanOp::Concat => {
-                    let mut span = tracer.span("layer", MAIN_TRACK);
-                    let q = concat_channels(node.inputs.iter().map(|&v| {
-                        slots[v].as_ref().expect("verified dataflow")
-                    }));
-                    span.set_label(|| format!("n{step} {}: concat", node.name));
-                    (q, scales[node.inputs[0]])
-                }
-            };
-            // Store in the layout the plan recorded for this value (NHWC
-            // when the fusion pass elided a round-trip between GPU convs,
-            // canonical NCHW otherwise).
-            let vp = &values[node.output];
-            let q = if q.layout() == vp.layout { q } else { q.to_layout(vp.layout) };
+            let (q, out_scale, report) =
+                self.execute_node(plan, net, step, node, &slots, &scales, tracer)?;
+            if let Some(r) = report {
+                total += r.millis;
+                reports.push(r);
+            }
             if slots[node.output].is_none() {
-                live_bytes += vp.bytes;
+                live_bytes += values[node.output].bytes;
             }
             slots[node.output] = Some(q);
             scales[node.output] = out_scale;
@@ -407,6 +322,269 @@ impl Executor {
                     live_bytes -= values[v].bytes;
                 }
             }
+        }
+        let act = slots[output_value].take().expect("output value is held live");
+        let act = if act.layout() == Layout::Nchw { act } else { act.to_layout(Layout::Nchw) };
+        let act_scale = scales[output_value];
+        let mut output = Tensor::zeros(act.dims(), act.layout());
+        for (o, &q) in output.data_mut().iter_mut().zip(act.data()) {
+            *o = q as f32 * act_scale;
+        }
+        Ok(NetworkRun { output, reports, total_millis: total })
+    }
+
+    /// Computes one DAG node over an immutable view of the value slots,
+    /// returning the produced tensor (already normalized to the layout the
+    /// plan recorded for its output value), its scale, and — for conv
+    /// nodes — the unified layer report. Shared verbatim by the serial loop
+    /// and the certified parallel mode so the two stay bit-exact: every
+    /// arithmetic expression a node evaluates lives here, and the callers
+    /// only differ in *when* they invoke it and how they order the stores.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_node(
+        &self,
+        plan: &ExecutionPlan,
+        net: &Network,
+        step: usize,
+        node: &NodePlan,
+        slots: &[Option<QTensor>],
+        scales: &[f32],
+        tracer: &Tracer,
+    ) -> NodeOutcome {
+        let (q, out_scale, report) = match node.op {
+            PlanOp::Conv { layer: li, fused_add } => {
+                let lp = &plan.layers()[li];
+                let layer = &net.layers()[li];
+                let backend = self.backend_for(lp.backend)?;
+                let mut layer_span = tracer.span("layer", MAIN_TRACK);
+                let act = slots[node.inputs[0]].as_ref().expect("verified dataflow");
+                let out = backend.execute_layer(lp, act, &layer.weights, tracer)?;
+                if let Some(metrics) = &self.metrics {
+                    metrics.record_layer(ExecKey::of(lp), lp.predicted_millis, out.millis);
+                }
+                layer_span.set_label(|| {
+                    let cache = match out.prepack_hit {
+                        Some(true) => "prepack hit",
+                        Some(false) => "prepack miss",
+                        None => "no prepack",
+                    };
+                    format!("n{step} {}: {} ({cache})", lp.name, lp.algo)
+                });
+                let report = LayerReport {
+                    name: lp.name.clone(),
+                    backend: lp.backend,
+                    algo: lp.algo,
+                    millis: out.millis,
+                    prepack_hits: u64::from(out.prepack_hit == Some(true)),
+                    prepack_misses: u64::from(out.prepack_hit == Some(false)),
+                    workspace_growth_bytes: out.workspace_growth_bytes,
+                    gpu_time: out.gpu_time,
+                };
+                // Fused epilogue: per-channel bias, then re-quantization
+                // with the ReLU folded into the truncation bound where
+                // requested, then the folded residual add if the graph
+                // fusion pass attached one.
+                let mut acc = out.acc;
+                if let Some(bias) = &lp.epilogue.bias {
+                    let (n, c, h, w) = acc.dims();
+                    for bn in 0..n {
+                        for (cc, &b) in bias.iter().enumerate().take(c) {
+                            for hh in 0..h {
+                                for ww in 0..w {
+                                    let v = acc.get((bn, cc, hh, ww)) + b;
+                                    acc.set((bn, cc, hh, ww), v);
+                                }
+                            }
+                        }
+                    }
+                }
+                let rq = lp.epilogue.effective_requant();
+                let mut q = {
+                    let _span = tracer.span("requantize", MAIN_TRACK);
+                    lowbit_qnn::requantize(&acc, &rq)
+                };
+                if let Some(r) = fused_add {
+                    let residual = slots[r].as_ref().expect("verified dataflow");
+                    q = add_clamped(&q, residual);
+                }
+                drop(layer_span);
+                if tracer.enabled() {
+                    if let Some(engine) = &self.arm {
+                        let prepack = engine.prepack_stats();
+                        tracer.counter("modeled_millis_total", engine.modeled_millis_total());
+                        tracer.counter("prepack_hits_total", prepack.hits as f64);
+                        tracer.counter("prepack_evictions_total", prepack.evictions as f64);
+                        tracer.counter(
+                            "workspace_high_water_bytes",
+                            engine.workspace_stats().high_water_bytes as f64,
+                        );
+                    }
+                }
+                let scale = scales[node.inputs[0]] * layer.weights.scale() / rq.multiplier;
+                (q, scale, Some(report))
+            }
+            PlanOp::Add => {
+                let mut span = tracer.span("layer", MAIN_TRACK);
+                let a = slots[node.inputs[0]].as_ref().expect("verified dataflow");
+                let b = slots[node.inputs[1]].as_ref().expect("verified dataflow");
+                let q = add_clamped(a, b);
+                span.set_label(|| format!("n{step} {}: add", node.name));
+                (q, scales[node.inputs[0]], None)
+            }
+            PlanOp::Concat => {
+                let mut span = tracer.span("layer", MAIN_TRACK);
+                let q = concat_channels(
+                    node.inputs.iter().map(|&v| slots[v].as_ref().expect("verified dataflow")),
+                );
+                span.set_label(|| format!("n{step} {}: concat", node.name));
+                (q, scales[node.inputs[0]], None)
+            }
+        };
+        // Store in the layout the plan recorded for this value (NHWC when
+        // the fusion pass elided a round-trip between GPU convs, canonical
+        // NCHW otherwise).
+        let vp = &plan.values()[node.output];
+        let q = if q.layout() == vp.layout { q } else { q.to_layout(vp.layout) };
+        Ok((q, out_scale, report))
+    }
+
+    /// Runs `plan` with independent DAG nodes executing concurrently —
+    /// **only** when the plan carries a certified parallel schedule (see
+    /// [`crate::planner::Planner::with_parallel_nodes`]). The certificate
+    /// is re-verified against the plan before the first node runs, so a
+    /// schedule that was forged or has drifted from the plan it was issued
+    /// for is rejected ([`CoreError::ConcRejected`]) rather than raced.
+    pub fn run_parallel(
+        &self,
+        plan: &ExecutionPlan,
+        net: &Network,
+        input: &Tensor<f32>,
+    ) -> Result<NetworkRun, CoreError> {
+        self.run_parallel_traced(plan, net, input, &Tracer::null())
+    }
+
+    /// [`Executor::run_parallel`] with span recording. Wave-mates' spans
+    /// interleave on the shared tracks (their wall spans genuinely overlap);
+    /// everything else about the observable output is bit-exact against
+    /// [`Executor::run_traced`]: stores are applied in ascending node order
+    /// within each wave, and reports plus modeled-millis accumulate in
+    /// *global* node order after the last wave — a node scheduled into an
+    /// early wave ahead of lower-numbered peers must not perturb the float
+    /// summation order the serial path uses.
+    pub fn run_parallel_traced(
+        &self,
+        plan: &ExecutionPlan,
+        net: &Network,
+        input: &Tensor<f32>,
+        tracer: &Tracer,
+    ) -> Result<NetworkRun, CoreError> {
+        let Some(schedule) = plan.parallel_schedule() else {
+            return Err(CoreError::ParallelCertificateMissing);
+        };
+        // Re-prove the schedule against the plan as compiled: disjoint
+        // footprints per wave, reachability-respecting waves, and an intact
+        // digest. Runs in micro-seconds next to the convolutions it gates.
+        crate::verify::verify_conc_compiled(plan)?;
+        plan.validate_for(net)?;
+        let values = plan.values();
+        let expected = values[0].dims;
+        if input.dims() != expected {
+            return Err(CoreError::InputShapeMismatch { expected, got: input.dims() });
+        }
+        let q_in = Quantizer::calibrate(values[0].bits, input.data());
+        let mut slots: Vec<Option<QTensor>> = vec![None; values.len()];
+        let mut scales: Vec<f32> = vec![0.0; values.len()];
+        let mut uses_left: Vec<usize> = vec![0; values.len()];
+        for node in plan.nodes() {
+            for &v in &node.inputs {
+                uses_left[v] += 1;
+            }
+        }
+        let output_value = plan.output_value();
+        uses_left[output_value] += 1;
+        let declared = plan.activation_high_water_bytes();
+        let mut live_bytes = values[0].bytes;
+        if live_bytes > declared {
+            return Err(CoreError::ActivationArenaExceeded { observed: live_bytes, declared });
+        }
+        slots[0] = Some(quantize_f32(input, &q_in));
+        scales[0] = q_in.scale;
+
+        let mut node_reports: Vec<Option<LayerReport>> = vec![None; plan.nodes().len()];
+        for wave in &schedule.waves {
+            // Compute the whole wave against an immutable view of the
+            // slots; the certificate proves wave-mates touch disjoint
+            // arena spans and workspace slices, so the only shared state
+            // is behind the engines' own locks.
+            let mut produced: Vec<(usize, NodeOutcome)> =
+                if wave.len() == 1 {
+                    let step = wave[0];
+                    let node = &plan.nodes()[step];
+                    vec![(step, self.execute_node(plan, net, step, node, &slots, &scales, tracer))]
+                } else {
+                    let slots_view = &slots;
+                    let scales_view = &scales;
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = wave
+                            .iter()
+                            .map(|&step| {
+                                scope.spawn(move || {
+                                    let node = &plan.nodes()[step];
+                                    (
+                                        step,
+                                        self.execute_node(
+                                            plan,
+                                            net,
+                                            step,
+                                            node,
+                                            slots_view,
+                                            scales_view,
+                                            tracer,
+                                        ),
+                                    )
+                                })
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().expect("wave worker panicked"))
+                            .collect()
+                    })
+                };
+            // Apply stores — and surface the first error — in ascending
+            // node order, matching serial float-summation and report order.
+            produced.sort_by_key(|&(step, _)| step);
+            for (step, result) in produced {
+                let (q, out_scale, report) = result?;
+                node_reports[step] = report;
+                let node = &plan.nodes()[step];
+                if slots[node.output].is_none() {
+                    live_bytes += values[node.output].bytes;
+                }
+                slots[node.output] = Some(q);
+                scales[node.output] = out_scale;
+            }
+            // Wave-granular liveness: every wave output is resident before
+            // any wave input retires — exactly the wave-coarsened ranges
+            // the certificate proved disjoint — so the certified high-water
+            // mark bounds this sum for any accepted schedule.
+            if live_bytes > declared {
+                return Err(CoreError::ActivationArenaExceeded { observed: live_bytes, declared });
+            }
+            for &step in wave {
+                for &v in &plan.nodes()[step].inputs {
+                    uses_left[v] -= 1;
+                    if uses_left[v] == 0 && slots[v].take().is_some() {
+                        live_bytes -= values[v].bytes;
+                    }
+                }
+            }
+        }
+        let mut reports = Vec::with_capacity(plan.layers().len());
+        let mut total = 0.0;
+        for report in node_reports.into_iter().flatten() {
+            total += report.millis;
+            reports.push(report);
         }
         let act = slots[output_value].take().expect("output value is held live");
         let act = if act.layout() == Layout::Nchw { act } else { act.to_layout(Layout::Nchw) };
@@ -571,6 +749,71 @@ mod tests {
                 assert!(observed > 1);
             }
             other => panic!("expected ActivationArenaExceeded, got {other}"),
+        }
+    }
+
+    #[test]
+    fn parallel_execution_is_bit_exact_against_serial_at_every_width() {
+        let def = lowbit_models::resnet50_projection_block(8);
+        let input = float_input((1, 256, 8, 8), 17);
+        for bits in BitWidth::ALL {
+            let net = Network::from_graph_defs(&def, bits, 11).unwrap();
+            let compile_engine = ArmEngine::cortex_a53();
+            let plan = Planner::for_arm(&compile_engine)
+                .with_parallel_nodes(true)
+                .compile(&net)
+                .unwrap();
+            let schedule = plan.parallel_schedule().expect("parallel compile certifies");
+            assert!(schedule.max_wave_width() >= 2, "{bits}: projection block should widen");
+            // Fresh engines per run so prepack caches and modeled-millis
+            // accumulators start identical; the same plan runs both ways.
+            let serial_engine = ArmEngine::cortex_a53();
+            let serial = Executor::for_arm(&serial_engine).run(&plan, &net, &input).unwrap();
+            let parallel_engine = ArmEngine::cortex_a53();
+            let parallel = Executor::for_arm(&parallel_engine)
+                .run_parallel(&plan, &net, &input)
+                .unwrap();
+            assert_eq!(serial.output.data(), parallel.output.data(), "{bits}: outputs diverge");
+            assert_eq!(serial.total_millis.to_bits(), parallel.total_millis.to_bits(), "{bits}");
+            assert_eq!(serial.reports.len(), parallel.reports.len(), "{bits}");
+            for (s, p) in serial.reports.iter().zip(&parallel.reports) {
+                assert_eq!(s.name, p.name, "{bits}: report order diverges");
+                assert_eq!(s.millis.to_bits(), p.millis.to_bits(), "{bits}: {}", s.name);
+                assert_eq!(s.prepack_hits, p.prepack_hits, "{bits}: {}", s.name);
+                assert_eq!(s.prepack_misses, p.prepack_misses, "{bits}: {}", s.name);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_mode_refuses_plans_without_a_certificate() {
+        let def = lowbit_models::resnet50_projection_block(8);
+        let net = Network::from_graph_defs(&def, BitWidth::W4, 11).unwrap();
+        let engine = ArmEngine::cortex_a53();
+        let plan = Planner::for_arm(&engine).compile(&net).unwrap();
+        let err = Executor::for_arm(&engine)
+            .run_parallel(&plan, &net, &float_input((1, 256, 8, 8), 17))
+            .unwrap_err();
+        assert!(matches!(err, CoreError::ParallelCertificateMissing));
+    }
+
+    #[test]
+    fn forged_certificate_is_rejected_before_any_node_runs() {
+        use lowbit_verify::ConcViolation;
+        let def = lowbit_models::resnet50_projection_block(8);
+        let net = Network::from_graph_defs(&def, BitWidth::W4, 11).unwrap();
+        let engine = ArmEngine::cortex_a53();
+        let plan =
+            Planner::for_arm(&engine).with_parallel_nodes(true).compile(&net).unwrap();
+        let mut schedule = plan.parallel_schedule().unwrap().clone();
+        schedule.certificate ^= 1;
+        let forged = plan.with_parallel_schedule(schedule);
+        let err = Executor::for_arm(&engine)
+            .run_parallel(&forged, &net, &float_input((1, 256, 8, 8), 17))
+            .unwrap_err();
+        match err {
+            CoreError::ConcRejected { violation: ConcViolation::CertificateForged { .. } } => {}
+            other => panic!("expected forged-certificate rejection, got {other}"),
         }
     }
 

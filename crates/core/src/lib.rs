@@ -46,7 +46,8 @@ pub mod prelude {
     pub use crate::graph::{GraphNode, GraphTopology, NodeOp, ValueId, ValueInfo};
     pub use crate::network::{LayerReport, NetLayer, Network};
     pub use crate::plan::{
-        BackendKind, Epilogue, ExecutionPlan, LayerPlan, NodePlan, PlanAlgo, PlanOp, ValuePlan,
+        BackendKind, Epilogue, ExecutionPlan, LayerPlan, NodePlan, ParallelSchedule, PlanAlgo,
+        PlanOp, ValuePlan,
     };
     pub use crate::planner::Planner;
     pub use lowbit_qgemm::workspace::WorkspaceStats;
@@ -63,14 +64,18 @@ pub use error::CoreError;
 pub use executor::{Backend, BackendLayerEstimate, BackendLayerRun, Executor, NetworkRun};
 pub use gpu::{GpuConvResult, GpuEngine, Tuning};
 pub use graph::{GraphNode, GraphTopology, NodeOp, ValueId, ValueInfo};
-pub use memplan::{assign_arena, max_cut_bytes, sum_bytes, Assignment, ValueSpec};
+pub use memplan::{assign_arena, assign_arena_with, max_cut_bytes, sum_bytes, Assignment, ValueSpec};
 pub use metrics::{ExecKey, ExecMetrics};
 pub use network::{LayerReport, NetLayer, Network};
-pub use plan::{BackendKind, Epilogue, ExecutionPlan, LayerPlan, NodePlan, PlanAlgo, PlanOp, ValuePlan};
+pub use plan::{
+    BackendKind, Epilogue, ExecutionPlan, LayerPlan, NodePlan, ParallelSchedule, PlanAlgo, PlanOp,
+    ValuePlan,
+};
 pub use planner::{arm_candidates, arm_workspace_bytes, select_arm_algo, ArmCandidate, Planner};
 pub use verify::{
     algo_kind, fingerprint_audit, fingerprint_audit_with, fingerprint_graph, fingerprint_layers,
-    lower_plan, plan_high_water, topology_audit, verify_compiled,
+    lower_conc, lower_conc_spec, lower_plan, plan_high_water, topology_audit, verify_compiled,
+    verify_conc_compiled,
 };
 
 // Substrate re-exports for advanced users.

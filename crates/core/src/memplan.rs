@@ -81,6 +81,21 @@ pub fn max_cut_bytes(values: &[ValueSpec]) -> usize {
 /// * no two simultaneously-live values overlap in the arena,
 /// * `high_water_bytes` = `max(offset + bytes)` over all values.
 pub fn assign_arena(values: &[ValueSpec]) -> Assignment {
+    assign_arena_with(values, |i, j| values[i].lives_with(&values[j]))
+}
+
+/// [`assign_arena`] with an explicit conflict relation: values `i` and `j`
+/// may share bytes **unless** `conflict(i, j)` holds. `assign_arena` passes
+/// the serial live-range overlap; the parallel node scheduler passes the
+/// wider may-run-concurrently relation (values that could coexist under
+/// *any* dependency-respecting schedule), trading high-water bytes for the
+/// freedom to run independent DAG nodes at once. The relation must be
+/// symmetric; the same greedy order keeps the result a pure function of the
+/// inputs.
+pub fn assign_arena_with(
+    values: &[ValueSpec],
+    conflict: impl Fn(usize, usize) -> bool,
+) -> Assignment {
     let mut order: Vec<usize> = (0..values.len()).collect();
     order.sort_by_key(|&i| (core::cmp::Reverse(values[i].bytes), values[i].def, i));
 
@@ -96,7 +111,7 @@ pub fn assign_arena(values: &[ValueSpec]) -> Assignment {
         // Occupied intervals that conflict with this value, sorted by offset.
         let mut busy: Vec<(usize, usize)> = placed
             .iter()
-            .filter(|&&j| values[j].bytes > 0 && v.lives_with(&values[j]))
+            .filter(|&&j| values[j].bytes > 0 && conflict(i, j))
             .map(|&j| (offsets[j], offsets[j] + values[j].bytes))
             .collect();
         busy.sort_unstable();
@@ -202,6 +217,23 @@ mod tests {
         assert!(a.offsets.is_empty());
         assert_eq!(max_cut_bytes(&[]), 0);
         assert_eq!(sum_bytes(&[]), 0);
+    }
+
+    #[test]
+    fn wider_conflict_relation_trades_bytes_for_independence() {
+        // Two values with disjoint serial ranges share a slot under the
+        // serial relation, but a conflict relation that declares them
+        // may-run-concurrently forces private storage.
+        let values = [
+            ValueSpec { bytes: 50, def: 0, last_use: 1 },
+            ValueSpec { bytes: 50, def: 2, last_use: 3 },
+        ];
+        let serial = assign_arena(&values);
+        assert_eq!(serial.high_water_bytes, 50);
+        let parallel = assign_arena_with(&values, |_, _| true);
+        assert_eq!(parallel.high_water_bytes, 100);
+        let (a, b) = (parallel.offsets[0], parallel.offsets[1]);
+        assert!(a + 50 <= b || b + 50 <= a, "conflicting values must not overlap");
     }
 
     #[test]

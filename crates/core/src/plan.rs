@@ -187,6 +187,41 @@ pub struct ValuePlan {
     pub last_use: usize,
 }
 
+/// A certified wave schedule for parallel DAG node execution: the output of
+/// `Planner::with_parallel_nodes`, carried inside the plan and re-verified
+/// by `verify::conc` before the executor's parallel mode engages.
+///
+/// Fields are public so the verifier CLI's mutant catalog can forge corrupt
+/// schedules; the executor never trusts them — it re-proves the whole
+/// schedule (including the certificate digest) on every parallel run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParallelSchedule {
+    /// Node indices grouped into waves: wave `w + 1` starts only after wave
+    /// `w` completes; nodes within a wave may run concurrently.
+    pub waves: Vec<Vec<usize>>,
+    /// Certified interference edges `(a, b)`, `a < b`: incomparable node
+    /// pairs with overlapping footprints that must never share a wave.
+    pub interference: Vec<(usize, usize)>,
+    /// Per-node `(offset, bytes)` slice of the parallel workspace arena
+    /// (parallel to the plan's node list; `(0, 0)` for nodes that touch no
+    /// workspace).
+    pub workspace_slices: Vec<(usize, usize)>,
+    /// High-water of the parallel workspace arena the slices are packed
+    /// into (replaces the serial shared-workspace figure when nodes run
+    /// concurrently).
+    pub workspace_arena_bytes: usize,
+    /// FNV-1a digest over footprints + schedule, recomputed and matched by
+    /// the verifier — the certificate the parallel executor requires.
+    pub certificate: u64,
+}
+
+impl ParallelSchedule {
+    /// Widest wave — the peak node concurrency the schedule certifies.
+    pub fn max_wave_width(&self) -> usize {
+        self.waves.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
 /// A compiled network: the offline phase's output, ready to execute any
 /// number of times. Since the DAG promotion a plan is a topologically-
 /// ordered node list over arena-placed values; `layers` holds the conv
@@ -198,6 +233,7 @@ pub struct ExecutionPlan {
     values: Vec<ValuePlan>,
     workspace_high_water_bytes: usize,
     activation_high_water_bytes: usize,
+    parallel: Option<ParallelSchedule>,
 }
 
 /// Synthesizes the chain-shaped node/value tables for a sequential layer
@@ -279,7 +315,42 @@ impl ExecutionPlan {
             values,
             workspace_high_water_bytes,
             activation_high_water_bytes: arena.high_water_bytes,
+            parallel: None,
         }
+    }
+
+    /// Re-packs the activation arena under an explicit conflict relation
+    /// (indices are value ids), replacing every recorded offset and the
+    /// declared activation high-water. The parallel planner passes the
+    /// any-schedule co-liveness relation so values of independent DAG nodes
+    /// never share bytes.
+    pub(crate) fn reassign_arena_with(&mut self, conflict: impl Fn(usize, usize) -> bool) {
+        let specs: Vec<ValueSpec> = self
+            .values
+            .iter()
+            .map(|v| ValueSpec { bytes: v.bytes, def: v.def, last_use: v.last_use })
+            .collect();
+        let arena = crate::memplan::assign_arena_with(&specs, conflict);
+        for (v, &offset) in self.values.iter_mut().zip(&arena.offsets) {
+            v.offset = offset;
+        }
+        self.activation_high_water_bytes = arena.high_water_bytes;
+    }
+
+    /// Attaches a certified parallel schedule. The planner calls this after
+    /// `verify::conc` admits the schedule; tests and the verifier CLI's
+    /// mutant catalog use it to splice forged schedules onto plans (which
+    /// the executor then rejects).
+    pub fn with_parallel_schedule(mut self, schedule: ParallelSchedule) -> ExecutionPlan {
+        self.parallel = Some(schedule);
+        self
+    }
+
+    /// The certified parallel wave schedule, when the plan was compiled
+    /// with `Planner::with_parallel_nodes`. `None` means the plan is
+    /// serial-only and the executor's parallel mode must refuse it.
+    pub fn parallel_schedule(&self) -> Option<&ParallelSchedule> {
+        self.parallel.as_ref()
     }
 
     /// Builds a chain plan with an explicitly declared workspace figure.
@@ -486,6 +557,26 @@ impl ExecutionPlan {
             "activation high-water: {} bytes\n",
             self.activation_high_water_bytes
         ));
+        if let Some(p) = &self.parallel {
+            let waves: Vec<String> = p
+                .waves
+                .iter()
+                .map(|w| {
+                    let ids: Vec<String> = w.iter().map(|n| format!("n{n}")).collect();
+                    format!("{{{}}}", ids.join(" "))
+                })
+                .collect();
+            out.push_str(&format!(
+                "parallel: {} waves (max width {}), {} interference edges, \
+workspace arena {} bytes, certificate {:016x}\n",
+                p.waves.len(),
+                p.max_wave_width(),
+                p.interference.len(),
+                p.workspace_arena_bytes,
+                p.certificate
+            ));
+            out.push_str(&format!("  {}\n", waves.join(" ")));
+        }
         out
     }
 
@@ -570,11 +661,37 @@ impl ExecutionPlan {
         s.push_str(&values.join(",\n"));
         s.push_str(&format!(
             "\n  ],\n  \"predicted_total_millis\":{:.9},\n  \
-\"workspace_high_water_bytes\":{},\n  \"activation_high_water_bytes\":{}\n}}\n",
+\"workspace_high_water_bytes\":{},\n  \"activation_high_water_bytes\":{}",
             self.predicted_millis(),
             self.workspace_high_water_bytes,
             self.activation_high_water_bytes
         ));
+        // Serial plans keep the historical shape byte-for-byte; the section
+        // below appears only when a certified schedule is attached.
+        if let Some(p) = &self.parallel {
+            let waves: Vec<String> = p
+                .waves
+                .iter()
+                .map(|w| {
+                    let ids: Vec<String> = w.iter().map(|n| n.to_string()).collect();
+                    format!("[{}]", ids.join(","))
+                })
+                .collect();
+            let edges: Vec<String> =
+                p.interference.iter().map(|(a, b)| format!("[{a},{b}]")).collect();
+            let slices: Vec<String> =
+                p.workspace_slices.iter().map(|(o, b)| format!("[{o},{b}]")).collect();
+            s.push_str(&format!(
+                ",\n  \"parallel\": {{\"waves\":[{}],\"interference\":[{}],\
+\"workspace_slices\":[{}],\"workspace_arena_bytes\":{},\"certificate\":\"{:016x}\"}}",
+                waves.join(","),
+                edges.join(","),
+                slices.join(","),
+                p.workspace_arena_bytes,
+                p.certificate
+            ));
+        }
+        s.push_str("\n}\n");
         s
     }
 }

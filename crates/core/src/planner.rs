@@ -21,8 +21,10 @@ use crate::error::CoreError;
 use crate::gpu::{GpuEngine, Tuning};
 use crate::graph::NodeOp;
 use crate::network::Network;
+use crate::memplan::{assign_arena_with, ValueSpec};
 use crate::plan::{
-    BackendKind, Epilogue, ExecutionPlan, LayerPlan, NodePlan, PlanAlgo, PlanOp, ValuePlan,
+    BackendKind, Epilogue, ExecutionPlan, LayerPlan, NodePlan, ParallelSchedule, PlanAlgo,
+    PlanOp, ValuePlan,
 };
 use lowbit_conv_arm::{
     schedule_bitserial_conv, schedule_gemm_conv, schedule_gemm_conv_narrow,
@@ -130,6 +132,7 @@ pub struct Planner {
     arm: Option<ArmEngine>,
     gpu: Option<(GpuEngine, Tuning)>,
     graph_fusion_off: bool,
+    parallel_nodes: bool,
 }
 
 impl Planner {
@@ -167,6 +170,19 @@ impl Planner {
     /// reference the fused plan is tested against.
     pub fn with_graph_fusion(mut self, enabled: bool) -> Planner {
         self.graph_fusion_off = !enabled;
+        self
+    }
+
+    /// Enables parallel DAG node scheduling. The compiled plan then carries
+    /// a certified [`ParallelSchedule`]: the activation arena is re-packed
+    /// under the any-schedule co-liveness relation (values of independent
+    /// nodes never share bytes — this can raise the high-water, the price
+    /// of concurrency), every node gets a disjoint slice of a parallel
+    /// workspace arena, and the wave schedule plus interference graph are
+    /// certified by `verify::conc`. Off by default: serial plans stay
+    /// byte-identical to previous releases.
+    pub fn with_parallel_nodes(mut self, enabled: bool) -> Planner {
+        self.parallel_nodes = enabled;
         self
     }
 
@@ -340,23 +356,130 @@ impl Planner {
             })
             .collect();
         if !self.graph_fusion_off {
-            fuse_residual_adds(&mut nodes);
+            fuse_residual_adds(&mut nodes, self.parallel_nodes);
             elide_layout_roundtrips(&mut nodes, &mut values, &mut layers);
         }
         let (nodes, values) = compact_graph(nodes, values);
         let workspace = crate::verify::plan_high_water(&layers);
-        let plan = ExecutionPlan::from_graph(layers, nodes, values, workspace);
+        let mut plan = ExecutionPlan::from_graph(layers, nodes, values, workspace);
+        if self.parallel_nodes {
+            plan = parallelize(plan);
+        }
         // Debug-assertion gate: every plan this planner emits must survive
         // the whole-plan static verifier (numeric range propagation, layout
-        // dataflow, workspace and activation-arena certification). An
+        // dataflow, workspace and activation-arena certification), and a
+        // parallel plan additionally the concurrency verifier. An
         // unverifiable plan here is a planner bug, not a user error — fail
         // loudly in debug builds.
         #[cfg(debug_assertions)]
-        if let Err(e) = crate::verify::verify_compiled(&plan, net) {
-            panic!("planner emitted an unverifiable plan: {e}");
+        {
+            if let Err(e) = crate::verify::verify_compiled(&plan, net) {
+                panic!("planner emitted an unverifiable plan: {e}");
+            }
+            if self.parallel_nodes {
+                if let Err(e) = crate::verify::verify_conc_compiled(&plan) {
+                    panic!("planner emitted an uncertifiable parallel schedule: {e}");
+                }
+            }
         }
         Ok(plan)
     }
+}
+
+/// Transitive reachability over a plan's node list: `reach[i][j]` is true
+/// when node `j` transitively consumes node `i`'s output. Nodes are in
+/// topological order, so one forward sweep inheriting each producer's
+/// ancestors closes the relation.
+fn node_reachability(nodes: &[NodePlan], value_count: usize) -> (Vec<Option<usize>>, Vec<Vec<bool>>) {
+    let n = nodes.len();
+    let mut producer: Vec<Option<usize>> = vec![None; value_count];
+    for (i, node) in nodes.iter().enumerate() {
+        producer[node.output] = Some(i);
+    }
+    let mut reach = vec![vec![false; n]; n];
+    for j in 0..n {
+        for &v in &nodes[j].inputs {
+            if let Some(i) = producer[v] {
+                if i < j {
+                    reach[i][j] = true;
+                    for row in reach.iter_mut().take(i) {
+                        if row[i] {
+                            row[j] = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (producer, reach)
+}
+
+/// The parallel-node compilation pass: re-packs the activation arena so
+/// that values which could coexist under *any* dependency-respecting
+/// schedule never share bytes, carves every node a disjoint slice of a
+/// parallel workspace arena, and attaches the certified wave schedule
+/// (built and digested by `verify::conc::build_schedule`).
+fn parallelize(mut plan: ExecutionPlan) -> ExecutionPlan {
+    let (producer, reach) = node_reachability(plan.nodes(), plan.values().len());
+    // touchers[v]: every node that writes or reads value v.
+    let touchers: Vec<Vec<usize>> = (0..plan.values().len())
+        .map(|v| {
+            let mut t: Vec<usize> = producer[v].into_iter().collect();
+            for (i, node) in plan.nodes().iter().enumerate() {
+                if node.inputs.contains(&v) && !t.contains(&i) {
+                    t.push(i);
+                }
+            }
+            t
+        })
+        .collect();
+    // Value u is provably dead before value v is written — under every
+    // dependency-respecting schedule — when each of u's touchers strictly
+    // reaches v's defining node. Two values conflict (must not share arena
+    // bytes) unless one is dead before the other in this schedule-free
+    // sense; this is the widening that makes the placement sound for the
+    // wave executor, not just for the serial step order.
+    let dead_before = |u: usize, v: usize| -> bool {
+        let Some(dv) = producer[v] else { return false };
+        !touchers[u].is_empty() && touchers[u].iter().all(|&t| t != dv && reach[t][dv])
+    };
+    plan.reassign_arena_with(|u, v| !(dead_before(u, v) || dead_before(v, u)));
+
+    // Per-node workspace slices: demand is the layer's certified workspace
+    // figure (0 for Add/Concat and GPU layers); nodes that may run
+    // concurrently (incomparable under reachability) must not share bytes,
+    // while ordered nodes may — the same first-fit allocator as the
+    // activation arena, under the concurrency conflict relation.
+    let demands: Vec<ValueSpec> = plan
+        .nodes()
+        .iter()
+        .enumerate()
+        .map(|(i, node)| ValueSpec {
+            bytes: match node.op {
+                PlanOp::Conv { layer, .. } => plan.layers()[layer].workspace_bytes,
+                PlanOp::Add | PlanOp::Concat => 0,
+            },
+            def: i,
+            last_use: i,
+        })
+        .collect();
+    let ws = assign_arena_with(&demands, |i, j| !reach[i][j] && !reach[j][i]);
+    let slices: Vec<(usize, usize)> = ws
+        .offsets
+        .iter()
+        .zip(&demands)
+        .map(|(&offset, d)| (offset, d.bytes))
+        .collect();
+
+    let spec = crate::verify::lower_conc_spec(&plan, &slices, ws.high_water_bytes);
+    let sched = lowbit_verify::build_schedule(&spec);
+    plan.with_parallel_schedule(ParallelSchedule {
+        waves: sched.waves,
+        interference: sched.interference,
+        workspace_slices: slices,
+        workspace_arena_bytes: ws.high_water_bytes,
+        certificate: sched.certificate,
+    })
 }
 
 /// How many node reads a value has (a node reading the same value twice
@@ -378,7 +501,15 @@ fn producer_of(nodes: &[NodePlan], v: usize) -> Option<usize> {
 /// scale alignment at every join, so the fused epilogue add — clamp the
 /// re-quantized output plus the residual into the output width's range — is
 /// elementwise identical to the standalone node it replaces.
-fn fuse_residual_adds(nodes: &mut Vec<NodePlan>) {
+///
+/// With `preserve_width` set (parallel-node compilation) a fusion that
+/// would *serialize* currently-incomparable nodes is skipped: folding the
+/// add into the conv producing `x` adds a new dependency on `r`'s producer,
+/// so the fold only happens when that producer is already an ancestor of
+/// the conv (or `r` is the graph input). A projection-style block — two
+/// independent paths meeting at an add — keeps its standalone join and its
+/// 2-wide wave.
+fn fuse_residual_adds(nodes: &mut Vec<NodePlan>, preserve_width: bool) {
     let mut step = 0;
     while step < nodes.len() {
         if nodes[step].op != PlanOp::Add {
@@ -397,6 +528,15 @@ fn fuse_residual_adds(nodes: &mut Vec<NodePlan>) {
             let r_def = producer_of(nodes, r).map(|i| i + 1).unwrap_or(0);
             if r_def > p {
                 continue;
+            }
+            if preserve_width {
+                if let Some(pr) = producer_of(nodes, r) {
+                    let value_count = nodes.iter().map(|n| n.output).max().unwrap_or(0) + 1;
+                    let (_, reach) = node_reachability(nodes, value_count);
+                    if !reach[pr][p] {
+                        continue;
+                    }
+                }
             }
             let add_output = nodes[step].output;
             nodes[p].op = PlanOp::Conv { layer, fused_add: Some(r) };
@@ -594,6 +734,47 @@ mod tests {
                 assert_eq!(plan.layers().len(), 3);
             }
         }
+    }
+
+    #[test]
+    fn parallel_plans_certify_and_widen_the_projection_block() {
+        let engine = ArmEngine::cortex_a53();
+        let net = Network::from_graph_defs(
+            &lowbit_models::resnet50_projection_block(12),
+            BitWidth::W4,
+            7,
+        )
+        .unwrap();
+        let plan = Planner::for_arm(&engine)
+            .with_parallel_nodes(true)
+            .compile(&net)
+            .unwrap();
+        let sched = plan.parallel_schedule().expect("certified schedule attached");
+        assert!(
+            sched.max_wave_width() >= 2,
+            "projection block has incomparable convs: {:?}",
+            sched.waves
+        );
+        // The debug gate already re-verified; check the explicit path too.
+        crate::verify::verify_conc_compiled(&plan).unwrap();
+        // Serial compilation of the same network attaches nothing.
+        let serial = Planner::for_arm(&engine).compile(&net).unwrap();
+        assert!(serial.parallel_schedule().is_none());
+    }
+
+    #[test]
+    fn parallel_chain_plans_certify_with_serial_waves() {
+        // Chains gain no width but must still carry a valid certificate.
+        let engine = ArmEngine::cortex_a53();
+        let net = Network::demo(BitWidth::W4, 12, 9);
+        let plan = Planner::for_arm(&engine)
+            .with_parallel_nodes(true)
+            .compile(&net)
+            .unwrap();
+        let sched = plan.parallel_schedule().unwrap();
+        assert_eq!(sched.max_wave_width(), 1);
+        assert_eq!(sched.waves.len(), plan.nodes().len());
+        assert!(sched.interference.is_empty());
     }
 
     #[test]

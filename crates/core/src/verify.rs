@@ -18,8 +18,9 @@ use crate::plan::{BackendKind, ExecutionPlan, LayerPlan, PlanAlgo, PlanOp};
 use lowbit_tensor::{BitWidth, QTensor, Tensor};
 use lowbit_verify::plan::ArenaRequirement;
 use lowbit_verify::{
-    arm_workspace_requirement, verify_plan, ArmAlgoKind, BackendSpec, ChannelSums, LayerSpec,
-    NodeOpSpec, NodeSpec, PlanProof, PlanSpec, PlanViolation, RequantSpec, ValueSlot,
+    arm_workspace_requirement, verify_conc, verify_plan, ArmAlgoKind, BackendSpec, ChannelSums,
+    ConcNode, ConcProof, ConcSpec, ConcValue, GemmFootprint, LayerSpec, MemSpan, NodeOpSpec,
+    NodeSpec, PlanProof, PlanSpec, PlanViolation, RequantSpec, ScheduleSpec, ValueSlot,
 };
 
 /// Maps a committed ARM kernel onto the verifier's kernel family. `Auto` has
@@ -162,6 +163,99 @@ pub fn lower_plan(plan: &ExecutionPlan, net: &Network) -> Result<PlanSpec, CoreE
 pub fn verify_compiled(plan: &ExecutionPlan, net: &Network) -> Result<PlanProof, CoreError> {
     let spec = lower_plan(plan, net)?;
     verify_plan(&spec).map_err(|violation| CoreError::PlanRejected { violation })
+}
+
+/// Lowers a plan's node/value tables into the concurrency verifier's
+/// [`ConcSpec`], with explicit per-node workspace slices and the parallel
+/// workspace-arena size. Conv nodes on the ARM GEMM families carry their
+/// GEMM footprint and the per-thread column partition at the maximum thread
+/// count; Add/Concat, GPU and per-call-buffer layers (Winograd, baselines)
+/// get footprint-free nodes.
+pub fn lower_conc_spec(
+    plan: &ExecutionPlan,
+    workspace_slices: &[(usize, usize)],
+    workspace_arena_bytes: usize,
+) -> ConcSpec {
+    use lowbit_qgemm::parallel::MAX_THREADS;
+    use lowbit_qgemm::partition_columns;
+    let nodes = plan
+        .nodes()
+        .iter()
+        .enumerate()
+        .map(|(i, n)| {
+            let gemm = match n.op {
+                PlanOp::Conv { layer, .. } => {
+                    let lp = &plan.layers()[layer];
+                    match (&lp.backend, &lp.algo) {
+                        (BackendKind::Arm, PlanAlgo::Arm(algo)) => match algo_kind(*algo) {
+                            Some(
+                                kind @ (ArmAlgoKind::GemmWide
+                                | ArmAlgoKind::GemmNarrow
+                                | ArmAlgoKind::GemmSdot),
+                            ) => Some(GemmFootprint {
+                                m: lp.shape.gemm_m(),
+                                k: lp.shape.gemm_k(),
+                                n: lp.shape.gemm_n(),
+                                algo: kind,
+                            }),
+                            _ => None,
+                        },
+                        _ => None,
+                    }
+                }
+                PlanOp::Add | PlanOp::Concat => None,
+            };
+            let partition = gemm
+                .as_ref()
+                .map(|g| partition_columns(g.n, MAX_THREADS))
+                .unwrap_or_default();
+            let (offset, bytes) = workspace_slices.get(i).copied().unwrap_or((0, 0));
+            ConcNode {
+                name: n.name.clone(),
+                inputs: n.inputs.clone(),
+                output: n.output,
+                workspace: MemSpan { offset, bytes },
+                gemm,
+                partition,
+            }
+        })
+        .collect();
+    let values = plan
+        .values()
+        .iter()
+        .map(|v| ConcValue { offset: v.offset, bytes: v.bytes })
+        .collect();
+    ConcSpec {
+        nodes,
+        values,
+        output_value: plan.output_value(),
+        arena_bytes: plan.activation_high_water_bytes(),
+        workspace_bytes: workspace_arena_bytes,
+    }
+}
+
+/// Lowers a plan carrying a parallel schedule into the concurrency
+/// verifier's `(ConcSpec, ScheduleSpec)` claim pair. Returns `None` for
+/// serial-only plans.
+pub fn lower_conc(plan: &ExecutionPlan) -> Option<(ConcSpec, ScheduleSpec)> {
+    let p = plan.parallel_schedule()?;
+    let spec = lower_conc_spec(plan, &p.workspace_slices, p.workspace_arena_bytes);
+    let sched = ScheduleSpec {
+        waves: p.waves.clone(),
+        interference: p.interference.clone(),
+        certificate: p.certificate,
+    };
+    Some((spec, sched))
+}
+
+/// Runs the static concurrency verifier on a compiled plan's declared
+/// parallel schedule. [`CoreError::ParallelCertificateMissing`] for
+/// serial-only plans; a typed counterexample surfaces as
+/// [`CoreError::ConcRejected`]. The parallel executor calls this on every
+/// run — a forged or stale certificate never executes.
+pub fn verify_conc_compiled(plan: &ExecutionPlan) -> Result<ConcProof, CoreError> {
+    let (spec, sched) = lower_conc(plan).ok_or(CoreError::ParallelCertificateMissing)?;
+    verify_conc(&spec, &sched).map_err(|violation| CoreError::ConcRejected { violation })
 }
 
 /// The network content hash as a free function over raw layers, so the

@@ -293,6 +293,42 @@ pub fn resnet50_residual_block(hw: usize) -> GraphDef {
     }
 }
 
+/// The bottleneck's *projection* variant (ResNet-50's first block of every
+/// stage): the shortcut is not the identity but a 1x1 projection conv that
+/// runs **in parallel** with the reduce → 3x3 → expand main path, the two
+/// meeting at the final add. This is the workload with genuinely
+/// incomparable conv nodes — the projection and the main path share no
+/// dependency — so it is the plan the parallel DAG node scheduler can
+/// actually widen (the residual and dense blocks are dependency chains).
+pub fn resnet50_projection_block(hw: usize) -> GraphDef {
+    GraphDef {
+        input: (256, hw, hw),
+        nodes: vec![
+            GraphNodeDef {
+                name: "reduce",
+                op: GraphOpDef::Conv { def: layer("reduce", 256, hw, 64, 1, 1, 0), relu: true },
+                inputs: vec![0],
+            },
+            GraphNodeDef {
+                name: "conv3x3",
+                op: GraphOpDef::Conv { def: layer("conv3x3", 64, hw, 64, 3, 1, 1), relu: true },
+                inputs: vec![1],
+            },
+            GraphNodeDef {
+                name: "expand",
+                op: GraphOpDef::Conv { def: layer("expand", 64, hw, 256, 1, 1, 0), relu: false },
+                inputs: vec![2],
+            },
+            GraphNodeDef {
+                name: "project",
+                op: GraphOpDef::Conv { def: layer("project", 256, hw, 256, 1, 1, 0), relu: false },
+                inputs: vec![0],
+            },
+            GraphNodeDef { name: "residual", op: GraphOpDef::Add, inputs: vec![3, 4] },
+        ],
+    }
+}
+
 /// A DenseNet-121 style dense block at spatial size `hw`: two growth steps
 /// (1x1 bottleneck to 128, 3x3 growth conv emitting 32 channels) with the
 /// running channel concatenation that defines the architecture — every

@@ -86,7 +86,10 @@ impl ParallelConfig {
 pub struct ColumnSpan {
     /// First column owned by the thread.
     pub col0: usize,
-    /// Number of columns owned (may be 0 only when `n == 0`).
+    /// Number of columns owned. Zero when the thread holds no column tiles
+    /// (more threads than tiles, or `n == 0`); empty spans sit at the
+    /// partition cursor (`col0 == n` for trailing empties) so the span list
+    /// stays contiguous and covering.
     pub cols: usize,
 }
 
@@ -106,18 +109,22 @@ impl ColumnSpan {
 /// This is the **only** place the parallel driver's work split is computed —
 /// [`gemm_parallel_cm`] carves its `split_at_mut` slices from these spans,
 /// and `lowbit-verify` checks the same spans for disjointness and coverage.
-/// The returned length is the effective thread count (clamped to
-/// `1..=MAX_THREADS` and to the number of column tiles).
+/// The returned length is exactly the requested thread count clamped to
+/// `1..=MAX_THREADS`, so callers may index spans by thread id; threads
+/// beyond the tile count receive well-formed **empty** spans (`cols == 0`,
+/// `col0` at the partition cursor) which the driver never spawns workers
+/// for and which the partition proof accepts as covered.
 pub fn partition_columns(n: usize, threads: usize) -> Vec<ColumnSpan> {
     let col_tiles = n.div_ceil(NB);
-    let threads = threads.clamp(1, MAX_THREADS).min(col_tiles).max(1);
-    let base = col_tiles / threads;
-    let extra = col_tiles % threads;
+    let threads = threads.clamp(1, MAX_THREADS);
+    let workers = threads.min(col_tiles).max(1);
+    let base = col_tiles / workers;
+    let extra = col_tiles % workers;
     let mut spans = Vec::with_capacity(threads);
     let mut tile0 = 0usize;
     for t in 0..threads {
-        let tiles_t = base + usize::from(t < extra);
-        let col0 = tile0 * NB;
+        let tiles_t = if t < workers { base + usize::from(t < extra) } else { 0 };
+        let col0 = (tile0 * NB).min(n);
         let cols = ((tile0 + tiles_t) * NB).min(n) - col0;
         tile0 += tiles_t;
         spans.push(ColumnSpan { col0, cols });
@@ -203,24 +210,29 @@ pub fn gemm_parallel_cm_traced<'w>(
     let cfg = cfg.normalized();
     let m = weights.m();
     let spans = partition_columns(n, cfg.threads);
-    let threads = spans.len();
+    // Empty spans (more threads than column tiles) own no work and get no
+    // worker; the split_at_mut carving below still walks them so C slices
+    // stay aligned with span order.
+    let active = spans.iter().filter(|s| s.cols > 0).count();
 
     let before = ws.footprint_bytes();
-    ws.prepare(threads, m * n);
-    if threads == 1 {
-        let track = worker_track(tracer, &spans[0]);
-        worker(
-            scheme,
-            weights,
-            b,
-            n,
-            &spans[0],
-            &cfg,
-            &mut ws.scratch[0].b_panel,
-            &mut ws.c_cm,
-            tracer,
-            track,
-        );
+    ws.prepare(spans.len(), m * n);
+    if active <= 1 {
+        if let Some(span) = spans.iter().find(|s| s.cols > 0) {
+            let track = worker_track(tracer, span);
+            worker(
+                scheme,
+                weights,
+                b,
+                n,
+                span,
+                &cfg,
+                &mut ws.scratch[0].b_panel,
+                &mut ws.c_cm,
+                tracer,
+                track,
+            );
+        }
     } else {
         // Each thread's C slice is the contiguous column range of its span,
         // carved off with split_at_mut — disjointness and coverage of the
@@ -234,6 +246,9 @@ pub fn gemm_parallel_cm_traced<'w>(
                 c_rest = rest;
                 let (s_t, rest) = scratch_rest.split_at_mut(1);
                 scratch_rest = rest;
+                if span.cols == 0 {
+                    continue;
+                }
                 let panel = &mut s_t[0].b_panel;
                 let track = worker_track(tracer, span);
                 scope.spawn(move || {
@@ -544,20 +559,46 @@ mod tests {
 
     #[test]
     fn partition_is_disjoint_covering_and_aligned() {
-        for n in [1usize, 3, 4, 5, 16, 17, 64, 127, 1000] {
+        for n in [0usize, 1, 3, 4, 5, 16, 17, 64, 127, 1000] {
             for threads in [1usize, 2, 3, 5, 8, 16, 99] {
                 let spans = partition_columns(n, threads);
-                assert!(!spans.is_empty());
-                assert!(spans.len() <= threads.clamp(1, MAX_THREADS));
+                assert_eq!(
+                    spans.len(),
+                    threads.clamp(1, MAX_THREADS),
+                    "n={n} t={threads}: one span per requested thread"
+                );
                 let mut next = 0usize;
                 for s in &spans {
                     assert_eq!(s.col0, next, "n={n} t={threads}: contiguous");
-                    assert!(s.cols > 0, "n={n} t={threads}: no empty span");
-                    assert!(s.col0 % NB == 0, "interior boundaries NB-aligned");
+                    if s.cols > 0 {
+                        assert!(s.col0 % NB == 0, "interior boundaries NB-aligned");
+                    }
                     next = s.end();
                 }
                 assert_eq!(next, n, "n={n} t={threads}: covers the output");
             }
+        }
+    }
+
+    #[test]
+    fn degenerate_thread_counts_emit_wellformed_empty_spans() {
+        // n = 3 is a single column tile; threads 8 must still yield 8 spans,
+        // with the 7 surplus spans empty and parked at the partition cursor.
+        let spans = partition_columns(3, 8);
+        assert_eq!(spans.len(), 8);
+        let nonempty: Vec<_> = spans.iter().filter(|s| s.cols > 0).collect();
+        assert_eq!(nonempty.len(), 1);
+        assert_eq!((nonempty[0].col0, nonempty[0].cols), (0, 3));
+        for s in spans.iter().skip(1) {
+            assert_eq!((s.col0, s.cols), (3, 0), "empty spans sit at col0 == n");
+        }
+        // Empty spans never precede work: the non-empty prefix is contiguous.
+        for w in spans.windows(2) {
+            assert!(w[0].cols > 0 || w[1].cols == 0, "no work after an empty span");
+        }
+        // n = 0: every span is the well-formed empty span at the origin.
+        for s in partition_columns(0, 5) {
+            assert_eq!((s.col0, s.cols, s.end()), (0, 0, 0));
         }
     }
 
@@ -628,8 +669,9 @@ mod tests {
         assert_eq!(traced, plain, "tracing must not change the result");
 
         let cap = sink.capture();
-        let spans = partition_columns(n, cfg.threads);
-        assert_eq!(cap.tracks.len(), 1 + spans.len(), "one track per worker plus main");
+        let spans: Vec<ColumnSpan> =
+            partition_columns(n, cfg.threads).into_iter().filter(|s| s.cols > 0).collect();
+        assert_eq!(cap.tracks.len(), 1 + spans.len(), "one track per active worker plus main");
         for span in &spans {
             let name = format!("gemm worker [{}..{})", span.col0, span.end());
             let track = cap.track_id(&name).unwrap_or_else(|| panic!("missing track {name}"));

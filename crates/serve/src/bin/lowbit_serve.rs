@@ -67,6 +67,7 @@ fn smoke(n: usize, trace_out: Option<&PathBuf>) -> Result<(), String> {
         workers: 1, // keeps executor wall spans on one track non-overlapping
         arm_threads: 2,
         force_backend: None,
+        parallel_nodes: false,
         slo_p99_ms: 50.0,
     };
     let server = Server::start(vec![class.clone()], config, &tracer);

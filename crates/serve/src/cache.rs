@@ -23,6 +23,11 @@ pub struct PlanKey {
     pub batch: usize,
     /// Backend the plan targets.
     pub backend: BackendKind,
+    /// Whether the plan was compiled with the certified parallel node
+    /// scheduler. Parallel and serial compilations of one model differ in
+    /// arena placement and carried certificates, so they must never share
+    /// a cache slot.
+    pub parallel: bool,
 }
 
 /// Lookup counters; `entries` counts distinct keys ever requested
@@ -107,7 +112,7 @@ mod tests {
     use lowbit::prelude::*;
 
     fn key(batch: usize) -> PlanKey {
-        PlanKey { fingerprint: 42, batch, backend: BackendKind::Arm }
+        PlanKey { fingerprint: 42, batch, backend: BackendKind::Arm, parallel: false }
     }
 
     fn compile_demo() -> Result<ExecutionPlan, CoreError> {
@@ -150,6 +155,7 @@ mod tests {
             fingerprint: net.fingerprint(),
             batch: 1,
             backend: BackendKind::Arm,
+            parallel: false,
         };
         let (plan_a, hit_a) = cache
             .get_or_compile(k(&a), || Planner::for_arm(&engine).compile(&a))
@@ -168,6 +174,26 @@ mod tests {
         };
         assert!(has_fused(&plan_a));
         assert!(!has_fused(&plan_b));
+    }
+
+    #[test]
+    fn parallel_flag_is_part_of_the_cache_key() {
+        let cache = PlanCache::new();
+        let serial = key(1);
+        let parallel = PlanKey { parallel: true, ..serial };
+        let (plain, _) = cache.get_or_compile(serial, compile_demo).unwrap();
+        assert!(plain.parallel_schedule().is_none());
+        let (certified, hit) = cache
+            .get_or_compile(parallel, || {
+                let net = Network::demo(BitWidth::W4, 12, 9);
+                Planner::for_arm(&ArmEngine::cortex_a53())
+                    .with_parallel_nodes(true)
+                    .compile(&net)
+            })
+            .unwrap();
+        assert!(!hit, "serial and parallel compilations never share a slot");
+        assert!(certified.parallel_schedule().is_some());
+        assert_eq!(cache.stats().entries, 2);
     }
 
     #[test]

@@ -58,6 +58,13 @@ pub struct ServerConfig {
     pub arm_threads: usize,
     /// Pin every batch to one backend instead of asking the cost model.
     pub force_backend: Option<BackendKind>,
+    /// Compile plans with the certified parallel node scheduler and run
+    /// independent DAG nodes concurrently. Only plans carrying an intact
+    /// concurrency certificate run parallel — the executor re-proves the
+    /// schedule before the first node and falls back to rejection (never a
+    /// race) on any mismatch. Serial and parallel plans are cached under
+    /// distinct keys.
+    pub parallel_nodes: bool,
     /// Per-class p99 latency objective in milliseconds: completions slower
     /// than this count as SLO violations in [`ServeMetrics`].
     pub slo_p99_ms: f64,
@@ -71,6 +78,7 @@ impl Default for ServerConfig {
             workers: 1,
             arm_threads: 4,
             force_backend: None,
+            parallel_nodes: false,
             slo_p99_ms: 50.0,
         }
     }
@@ -437,12 +445,15 @@ fn run_batch(shared: &Shared, shards: &WorkerShards, job: BatchJob) {
         }
     };
     let net = shared.batched_net(job.class, bucket);
-    let key = PlanKey { fingerprint: rt.class.fingerprint(), batch: bucket, backend };
+    let parallel = shared.config.parallel_nodes;
+    let key = PlanKey { fingerprint: rt.class.fingerprint(), batch: bucket, backend, parallel };
     let compiled = shared.plan_cache.get_or_compile(key, || match backend {
-        BackendKind::Arm => Planner::for_arm(&shared.arm).compile(&net),
-        BackendKind::GpuModel => {
-            Planner::for_gpu(&shared.gpu, Tuning::Default).compile(&net)
+        BackendKind::Arm => {
+            Planner::for_arm(&shared.arm).with_parallel_nodes(parallel).compile(&net)
         }
+        BackendKind::GpuModel => Planner::for_gpu(&shared.gpu, Tuning::Default)
+            .with_parallel_nodes(parallel)
+            .compile(&net),
     });
     let (plan, cache_hit) = match compiled {
         Ok(x) => x,
@@ -464,7 +475,14 @@ fn run_batch(shared: &Shared, shards: &WorkerShards, job: BatchJob) {
         input.data_mut()[i * sample..(i + 1) * sample].copy_from_slice(r.input.data());
     }
 
-    let run = shared.executor.run_traced(&plan, &net, &input, &shared.tracer);
+    // Certified plans run node-parallel; everything else takes the serial
+    // path. The dispatch keys off the certificate itself, not the config
+    // knob, so a plan that failed to certify can never be raced.
+    let run = if plan.parallel_schedule().is_some() {
+        shared.executor.run_parallel_traced(&plan, &net, &input, &shared.tracer)
+    } else {
+        shared.executor.run_traced(&plan, &net, &input, &shared.tracer)
+    };
     let exec_done_ns = shared.now_ns();
 
     let run = match run {

@@ -19,15 +19,25 @@
 //!   plan mutant in the negative catalog with its expected typed witness.
 //! * `--plan --report` / `--plan --check <golden>` — the demo plan's proof
 //!   certificate as a golden-file report.
-//! * `--json` (with `--plan`) — machine-readable output for CI consumption.
+//! * `--conc` — the concurrency sweep: compile the demo and every DAG block
+//!   with the parallel node scheduler at every supported bit width, prove
+//!   each certified interference graph (disjoint arena spans under
+//!   wave-coarsened liveness, disjoint workspace slices, partition
+//!   geometry, reachability-respecting waves, intact digest), and reject
+//!   every seeded schedule mutant with its expected typed witness.
+//! * `--conc --report` / `--conc --check <golden>` — the demo plan's
+//!   concurrency certificate as a golden-file report.
+//! * `--json` (with `--plan` or `--conc`) — machine-readable output for CI
+//!   consumption.
 //!
 //! Exit codes: 0 every proof succeeded, 1 something failed to prove (or a
 //! mutant escaped), 2 usage error.
 
 use lowbit_verify::gpu::{gpu_demo_report, gpu_sweep_layers, precision_label};
 use lowbit_verify::{
-    standard_cases, verify_case, verify_gpu_plan, verify_plan, ArmAlgoKind, BackendSpec,
-    ChannelSums, LayoutConversion, PlanProof, PlanSpec, PlanViolation,
+    schedule_digest, standard_cases, verify_case, verify_conc, verify_gpu_plan, verify_plan,
+    ArmAlgoKind, BackendSpec, ChannelSums, ConcProof, ConcSpec, ConcViolation, LayoutConversion,
+    PlanProof, PlanSpec, PlanViolation, ScheduleSpec,
 };
 
 use lowbit::prelude::*;
@@ -315,6 +325,292 @@ fn mutant_catalog(base: &PlanSpec) -> Vec<Mutant> {
     out
 }
 
+/// The canonical label of a concurrency-violation variant — what the
+/// schedule mutant catalog matches rejections against.
+fn conc_witness_label(v: &ConcViolation) -> &'static str {
+    match v {
+        ConcViolation::ArenaInterference { .. } => "ArenaInterference",
+        ConcViolation::WorkspaceAliasing { .. } => "WorkspaceAliasing",
+        ConcViolation::FootprintEscape { .. } => "FootprintEscape",
+        ConcViolation::PartitionOverlap { .. } => "PartitionOverlap",
+        ConcViolation::ReachabilityError { .. } => "ReachabilityError",
+        ConcViolation::InterferenceEdgeMissing { .. } => "InterferenceEdgeMissing",
+        ConcViolation::CertificateForged { .. } => "CertificateForged",
+        ConcViolation::ScheduleBroken { .. } => "ScheduleBroken",
+    }
+}
+
+/// Compiles one network with the parallel node scheduler and lowers it to
+/// the concurrency spec + schedule pair the verifier consumes.
+fn conc_lowered(net: &Network) -> Result<(ConcSpec, ScheduleSpec), String> {
+    let plan = Planner::for_arm(&ArmEngine::cortex_a53())
+        .with_parallel_nodes(true)
+        .compile(net)
+        .map_err(|e| e.to_string())?;
+    lowbit::verify::lower_conc(&plan).ok_or_else(|| "plan carries no parallel schedule".into())
+}
+
+/// The demo plan's concurrency certificate — the `--conc --report`/`--check`
+/// golden content (deterministic: wave structure, footprint bounds and the
+/// schedule digest only, no modeled timings).
+fn conc_golden_proof() -> Result<ConcProof, String> {
+    let net = Network::demo(BitWidth::W4, 12, 9);
+    let (spec, sched) = conc_lowered(&net)?;
+    verify_conc(&spec, &sched).map_err(|v| v.to_string())
+}
+
+/// One entry of the seeded schedule-mutant catalog.
+struct ConcMutant {
+    name: &'static str,
+    expected: &'static str,
+    spec: ConcSpec,
+    sched: ScheduleSpec,
+}
+
+/// Seeds the concurrency negative catalog: each mutant is one targeted
+/// corruption of a certified spec/schedule pair that must be rejected with
+/// its expected typed witness.
+///
+/// `chain` is a certified serial-shaped plan (the demo network) — the
+/// shifted-arena mutant needs a chain because a chain's producer/consumer
+/// values are co-live under *every* schedule, so the wave-liveness pass is
+/// what has to catch the overlap. `dag` is a certified wide plan (the
+/// ResNet-50 projection block) whose genuinely incomparable nodes exercise
+/// the interference-edge and reachability obligations.
+fn conc_mutant_catalog(
+    chain: &(ConcSpec, ScheduleSpec),
+    dag: &(ConcSpec, ScheduleSpec),
+) -> Vec<ConcMutant> {
+    let mut out = Vec::new();
+    let mut push = |name,
+                    expected,
+                    base: &(ConcSpec, ScheduleSpec),
+                    f: &dyn Fn(&mut ConcSpec, &mut ScheduleSpec)| {
+        let (mut spec, mut sched) = base.clone();
+        f(&mut spec, &mut sched);
+        out.push(ConcMutant { name, expected, spec, sched });
+    };
+    // A value placement slid onto its own producer's input: the two are
+    // co-live in adjacent waves, so the wave-coarsened liveness pass must
+    // reject the overlap (the digest is stale too, but the structural proof
+    // fires first — the certificate is the last line of defense, not the
+    // first).
+    push("shifted-arena-offset", "ArenaInterference", chain, &|spec, _| {
+        spec.values[2].offset = spec.values[1].offset;
+    });
+    // A GEMM partition whose first span swallows its neighbour's columns.
+    push("overlapping-partition", "PartitionOverlap", chain, &|spec, _| {
+        let g = spec
+            .nodes
+            .iter_mut()
+            .find(|n| n.partition.len() > 1 && n.partition[1].cols > 0)
+            .expect("chain base has a multi-span gemm node");
+        g.partition[0].cols += g.partition[1].cols;
+    });
+    // A conv node declaring a workspace slice smaller than its packing
+    // footprint arithmetic requires.
+    push("understated-workspace-slice", "FootprintEscape", chain, &|spec, _| {
+        let g = spec
+            .nodes
+            .iter_mut()
+            .find(|n| n.gemm.is_some() && n.workspace.bytes > 0)
+            .expect("chain base has a gemm node with workspace");
+        g.workspace.bytes = 1;
+    });
+    // Two may-run-concurrently convs whose workspace slices collide with no
+    // interference edge declared between them: the smaller slice is slid
+    // onto the larger one so the mutation cannot escape the workspace arena
+    // and be caught by the (earlier) footprint pass instead.
+    push("dropped-interference-edge", "InterferenceEdgeMissing", dag, &|spec, _| {
+        let a = spec.nodes.iter().position(|n| n.name.contains("reduce")).expect("reduce");
+        let b = spec.nodes.iter().position(|n| n.name.contains("project")).expect("project");
+        let (small, large) = if spec.nodes[a].workspace.bytes <= spec.nodes[b].workspace.bytes {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        spec.nodes[small].workspace.offset = spec.nodes[large].workspace.offset;
+    });
+    // A certificate that does not match the schedule it claims to prove.
+    push("forged-certificate", "CertificateForged", dag, &|_, sched| {
+        sched.certificate ^= 1;
+    });
+    // A dependent node hoisted into its producer's wave — with the digest
+    // recomputed over the broken schedule, so the reachability proof (not
+    // the hash) is what rejects it.
+    push("reachability-error", "ReachabilityError", dag, &|spec, sched| {
+        let hoisted = sched.waves[1].remove(0);
+        sched.waves[0].push(hoisted);
+        sched.waves.retain(|w| !w.is_empty());
+        sched.certificate = schedule_digest(spec, &sched.waves, &sched.interference);
+    });
+    out
+}
+
+/// One row of the `--conc` sweep (also the `--json` record).
+struct ConcRow {
+    net: &'static str,
+    bits: BitWidth,
+    nodes: usize,
+    waves: usize,
+    width: usize,
+    edges: usize,
+    certified: bool,
+}
+
+/// A named network constructor for the `--conc` sweep catalog.
+type ConcNet = (&'static str, fn(BitWidth) -> Network);
+
+fn conc_sweep(json: bool) -> usize {
+    let mut failures = 0usize;
+    let mut rows: Vec<ConcRow> = Vec::new();
+
+    let nets: [ConcNet; 4] = [
+        ("demo", |bits| Network::demo(bits, 12, 9)),
+        ("resnet50-residual-block", |bits| {
+            Network::from_graph_defs(&lowbit::models::resnet50_residual_block(8), bits, 9)
+                .expect("block defs are valid")
+        }),
+        ("densenet121-dense-block", |bits| {
+            Network::from_graph_defs(&lowbit::models::densenet121_dense_block(8), bits, 9)
+                .expect("block defs are valid")
+        }),
+        ("resnet50-projection-block", |bits| {
+            Network::from_graph_defs(&lowbit::models::resnet50_projection_block(8), bits, 9)
+                .expect("block defs are valid")
+        }),
+    ];
+    for bits in BitWidth::ALL {
+        for (name, mk) in &nets {
+            let net = mk(bits);
+            let verdict =
+                conc_lowered(&net).and_then(|(spec, sched)| {
+                    verify_conc(&spec, &sched).map_err(|v| v.to_string())
+                });
+            match verdict {
+                Ok(proof) => rows.push(ConcRow {
+                    net: name,
+                    bits,
+                    nodes: proof.nodes,
+                    waves: proof.waves.len(),
+                    width: proof.max_wave_width,
+                    edges: proof.interference_edges,
+                    certified: true,
+                }),
+                Err(e) => {
+                    failures += 1;
+                    eprintln!("{name} {bits}: {e}");
+                    rows.push(ConcRow {
+                        net: name,
+                        bits,
+                        nodes: 0,
+                        waves: 0,
+                        width: 0,
+                        edges: 0,
+                        certified: false,
+                    });
+                }
+            }
+        }
+    }
+
+    // The schedule-mutant catalog, seeded from one certified chain and one
+    // certified wide DAG.
+    let chain = conc_lowered(&Network::demo(BitWidth::W4, 12, 9));
+    let dag = conc_lowered(
+        &Network::from_graph_defs(
+            &lowbit::models::resnet50_projection_block(8),
+            BitWidth::W4,
+            9,
+        )
+        .expect("block defs are valid"),
+    );
+    let mut mutant_rows: Vec<(&'static str, &'static str, String, bool)> = Vec::new();
+    match (&chain, &dag) {
+        (Ok(chain), Ok(dag)) => {
+            for m in &conc_mutant_catalog(chain, dag) {
+                let (got, ok) = match verify_conc(&m.spec, &m.sched) {
+                    Err(v) => {
+                        let label = conc_witness_label(&v);
+                        (label.to_string(), label == m.expected)
+                    }
+                    Ok(_) => ("certified".to_string(), false),
+                };
+                if !ok {
+                    failures += 1;
+                    eprintln!("conc mutant {}: expected {}, got {got}", m.name, m.expected);
+                }
+                mutant_rows.push((m.name, m.expected, got, ok));
+            }
+        }
+        _ => {
+            failures += 1;
+            eprintln!("mutant bases failed to certify; catalog skipped");
+        }
+    }
+
+    if json {
+        let plan_items: Vec<String> = rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "    {{\"net\":\"{}\",\"bits\":{},\"nodes\":{},\"waves\":{},\
+\"max_wave_width\":{},\"interference_edges\":{},\"certified\":{}}}",
+                    r.net, r.bits.bits(), r.nodes, r.waves, r.width, r.edges, r.certified
+                )
+            })
+            .collect();
+        let mutant_items: Vec<String> = mutant_rows
+            .iter()
+            .map(|(name, expected, got, ok)| {
+                format!(
+                    "    {{\"name\":\"{name}\",\"expected\":\"{expected}\",\
+\"got\":\"{got}\",\"rejected_as_expected\":{ok}}}"
+                )
+            })
+            .collect();
+        println!(
+            "{{\n  \"schedules\": [\n{}\n  ],\n  \"mutants\": [\n{}\n  ],\n  \
+\"failures\":{}\n}}",
+            plan_items.join(",\n"),
+            mutant_items.join(",\n"),
+            failures
+        );
+        return failures;
+    }
+
+    println!(
+        "{:<26} {:>4} {:>6} {:>6} {:>6} {:>6} {:>10}",
+        "plan", "bits", "nodes", "waves", "width", "edges", "status"
+    );
+    for r in &rows {
+        println!(
+            "{:<26} {:>4} {:>6} {:>6} {:>6} {:>6} {:>10}",
+            r.net,
+            r.bits.to_string(),
+            r.nodes,
+            r.waves,
+            r.width,
+            r.edges,
+            if r.certified { "certified" } else { "FAIL" }
+        );
+    }
+    println!();
+    for (name, expected, got, ok) in &mutant_rows {
+        let status =
+            if *ok { "ok".to_string() } else { format!("FAIL (expected {expected})") };
+        println!("mutant  {:<28} rejected as {:<24} {}", name, got, status);
+    }
+    println!();
+    println!(
+        "{} schedules certified, {} mutants rejected, {} failure(s)",
+        rows.iter().filter(|r| r.certified).count(),
+        mutant_rows.iter().filter(|(.., ok)| *ok).count(),
+        failures
+    );
+    failures
+}
+
 fn plan_sweep(json: bool) -> usize {
     let arm = ArmEngine::cortex_a53();
     let gpu = GpuEngine::rtx2080ti();
@@ -575,7 +871,7 @@ fn plan_sweep(json: bool) -> usize {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: lowbit-verify [--gpu | --plan] [--report | --check <golden>] [--json]\n\
+        "usage: lowbit-verify [--gpu | --plan | --conc] [--report | --check <golden>] [--json]\n\
          \n\
          (no flags)              ARM stream + partition sweep\n\
          --gpu                   GPU tile-configuration sweep\n\
@@ -584,7 +880,10 @@ fn usage(msg: &str) -> ! {
          --plan                  whole-plan sweep + fingerprint audits + mutant catalog\n\
          --plan --report         demo plan proof report (golden format)\n\
          --plan --check <golden> diff the plan report against a golden file\n\
-         --plan [--report] --json  machine-readable output\n\
+         --conc                  parallel-schedule sweep + schedule-mutant catalog\n\
+         --conc --report         demo concurrency certificate (golden format)\n\
+         --conc --check <golden> diff the concurrency report against a golden file\n\
+         --plan/--conc [--report] --json  machine-readable output\n\
          \n\
          exit codes: 0 proven, 1 rejected, 2 usage error"
     );
@@ -593,7 +892,7 @@ fn usage(msg: &str) -> ! {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let known = ["--gpu", "--plan", "--report", "--check", "--json"];
+    let known = ["--gpu", "--plan", "--conc", "--report", "--check", "--json"];
     let mut check_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -612,11 +911,11 @@ fn main() {
         i += 1;
     }
     let has = |flag: &str| args.iter().any(|a| a == flag);
-    if has("--gpu") && has("--plan") {
-        usage("--gpu and --plan are mutually exclusive");
+    if [has("--gpu"), has("--plan"), has("--conc")].iter().filter(|&&f| f).count() > 1 {
+        usage("--gpu, --plan and --conc are mutually exclusive");
     }
-    if has("--json") && !has("--plan") {
-        usage("--json requires --plan");
+    if has("--json") && !has("--plan") && !has("--conc") {
+        usage("--json requires --plan or --conc");
     }
     let failures = if has("--gpu") {
         if let Some(path) = &check_path {
@@ -664,9 +963,38 @@ fn main() {
         } else {
             plan_sweep(has("--json"))
         }
+    } else if has("--conc") {
+        if let Some(path) = &check_path {
+            match conc_golden_proof() {
+                Ok(proof) => {
+                    diff_golden(&proof.report(), path, "lowbit-verify --conc --report")
+                }
+                Err(e) => {
+                    eprintln!("demo schedule failed to certify: {e}");
+                    1
+                }
+            }
+        } else if has("--report") {
+            match conc_golden_proof() {
+                Ok(proof) => {
+                    if has("--json") {
+                        print!("{}", proof.to_json());
+                    } else {
+                        print!("{}", proof.report());
+                    }
+                    0
+                }
+                Err(e) => {
+                    eprintln!("demo schedule failed to certify: {e}");
+                    1
+                }
+            }
+        } else {
+            conc_sweep(has("--json"))
+        }
     } else {
         if check_path.is_some() || has("--report") {
-            usage("--report/--check require --gpu or --plan");
+            usage("--report/--check require --gpu, --plan or --conc");
         }
         arm_sweep()
     };

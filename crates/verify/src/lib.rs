@@ -36,18 +36,29 @@
 //! conversions stitch the layers' layouts together, and the declared
 //! workspace figures dominate what the engines will actually request.
 //!
+//! The fourth family, [`conc`], certifies *concurrency*:
+//! [`conc::verify_conc`] lifts every DAG node to a typed memory footprint
+//! (activation-arena spans, GEMM workspace slices, per-thread column
+//! partitions) and proves a proposed wave-parallel schedule sound — every
+//! pair of nodes that may run concurrently either has disjoint footprints
+//! or a declared interference edge the waves respect, the arena packing
+//! stays sound under wave-coarsened lifetimes, and an FNV-1a digest seals
+//! the certificate the executor demands before racing any nodes.
+//!
 //! The `lowbit-verify` binary (crate `lowbit-verify-cli`) sweeps the
 //! [`streams::standard_cases`] catalog (every bit width 2–8, both schemes,
 //! Winograd-inflated ranges, baselines and whole GEMM programs) and fails
 //! on any unproven stream; `lowbit-verify --gpu` does the same over every
-//! tile configuration the GPU tuner can emit, and `lowbit-verify --plan`
+//! tile configuration the GPU tuner can emit, `lowbit-verify --plan`
 //! over compiled demo and ResNet-50 bottleneck plans at every supported
-//! bit width plus a seeded plan-mutant catalog. CI runs all three on every
-//! push.
+//! bit width plus a seeded plan-mutant catalog, and `lowbit-verify --conc`
+//! over the parallel schedules of every DAG block at every width plus a
+//! schedule-mutant catalog. CI runs all four on every push.
 
 #![forbid(unsafe_code)]
 
 pub mod absint;
+pub mod conc;
 pub mod geometry;
 pub mod gpu;
 pub mod interval;
@@ -57,6 +68,10 @@ pub mod report;
 pub mod streams;
 
 pub use absint::{check_stream, OperandBounds};
+pub use conc::{
+    build_schedule, schedule_digest, verify_conc, ConcNode, ConcProof, ConcSpec, ConcValue,
+    ConcViolation, GemmFootprint, MemSpan, ScheduleSpec,
+};
 pub use geometry::{check_partition, check_spans};
 pub use gpu::{
     check_staging, check_tiling, verify_gpu_plan, verify_tile_config, GpuProof, GpuViolation,

@@ -523,24 +523,16 @@ pub fn max_panel_bytes(k: usize, n: usize) -> usize {
 /// family touches and how large each grows. This is the certified bound the
 /// plan's declared `workspace_bytes` must dominate.
 pub fn arm_workspace_requirement(shape: &ConvShape, algo: ArmAlgoKind) -> ArenaRequirement {
-    let (m, k, n) = (shape.gemm_m(), shape.gemm_k(), shape.gemm_n());
-    match algo {
-        ArmAlgoKind::GemmWide | ArmAlgoKind::GemmNarrow => ArenaRequirement {
-            col: k * n,
-            c_cm: 4 * m * n,
-            panels: max_panel_bytes(k, n),
-            ..ArenaRequirement::default()
-        },
-        ArmAlgoKind::GemmSdot => ArenaRequirement {
-            col: k * n,
-            bq: k.next_multiple_of(4) * n.next_multiple_of(NB),
-            c_sdot: 4 * m * n,
-            ..ArenaRequirement::default()
-        },
-        // Winograd and the baselines allocate their own transform buffers
-        // per call; they do not grow the shared arena.
-        _ => ArenaRequirement::default(),
+    // Delegates to the pure-geometry form so the concurrency verifier can
+    // recompute the same bound from a lowered GEMM footprint without the
+    // original `ConvShape`.
+    crate::conc::GemmFootprint {
+        m: shape.gemm_m(),
+        k: shape.gemm_k(),
+        n: shape.gemm_n(),
+        algo,
     }
+    .required_workspace()
 }
 
 /// The arena requirement of one spec layer (GPU layers run outside the ARM

@@ -27,6 +27,7 @@ fn main() {
         workers: 2,
         arm_threads: 4,
         force_backend: None,
+        parallel_nodes: false,
         slo_p99_ms: 50.0,
     };
     let server = Server::start(vec![class.clone()], config, &Tracer::default());

@@ -139,6 +139,7 @@ fn real_server_records_through_worker_shards() {
         workers: 2,
         arm_threads: 2,
         force_backend: None,
+        parallel_nodes: false,
         slo_p99_ms: 10_000.0, // effectively unbounded: this test is about flow
     };
     let server = Server::start(vec![class.clone()], config, &Tracer::default());

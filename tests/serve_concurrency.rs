@@ -53,7 +53,12 @@ fn plan_cache_compiles_exactly_once_under_racing_lookups() {
     let net = Arc::new(Network::demo(BitWidth::W4, 12, 9));
     let engine = ArmEngine::cortex_a53();
     let compiles = Arc::new(AtomicUsize::new(0));
-    let key = PlanKey { fingerprint: net.fingerprint(), batch: 4, backend: BackendKind::Arm };
+    let key = PlanKey {
+        fingerprint: net.fingerprint(),
+        batch: 4,
+        backend: BackendKind::Arm,
+        parallel: false,
+    };
 
     let plans: Vec<Arc<ExecutionPlan>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..8)
@@ -93,6 +98,7 @@ fn server_round_trip_matches_direct_batch1_execution() {
         workers: 1,
         arm_threads: 2,
         force_backend: Some(BackendKind::Arm),
+        parallel_nodes: false,
         slo_p99_ms: 50.0,
     };
     let server = Server::start(vec![class.clone()], config, &Tracer::default());
@@ -126,6 +132,42 @@ fn server_round_trip_matches_direct_batch1_execution() {
 }
 
 #[test]
+fn parallel_node_serving_matches_serial_serving_bit_for_bit() {
+    // A genuinely wide DAG (the ResNet-50 projection block) served twice:
+    // once serially, once with the certified parallel node scheduler. The
+    // parallel server must produce bit-identical outputs.
+    let def = lowbit::models::resnet50_projection_block(8);
+    let net = Network::from_graph_defs(&def, BitWidth::W4, 11).unwrap();
+    let class = RequestClass::from_network("projection-w4", net);
+    let serve = |parallel_nodes: bool| {
+        let config = ServerConfig {
+            queue_depth: 16,
+            policy: BatchPolicy::Fixed(2),
+            workers: 1,
+            arm_threads: 2,
+            force_backend: Some(BackendKind::Arm),
+            parallel_nodes,
+            slo_p99_ms: 50.0,
+        };
+        let server = Server::start(vec![class.clone()], config, &Tracer::default());
+        let tickets: Vec<_> = (0..2)
+            .map(|i| server.submit(0, class.sample_input(i)).expect("queue has room"))
+            .collect();
+        let outputs: Vec<_> = tickets
+            .into_iter()
+            .map(|t| t.wait().expect("request served").output)
+            .collect();
+        server.shutdown();
+        outputs
+    };
+    let serial = serve(false);
+    let parallel = serve(true);
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.data(), p.data(), "parallel serving diverged from serial");
+    }
+}
+
+#[test]
 fn full_queue_rejects_submissions_with_typed_backpressure() {
     let class = RequestClass::demo(BitWidth::W4, 12, 9);
     let config = ServerConfig {
@@ -136,6 +178,7 @@ fn full_queue_rejects_submissions_with_typed_backpressure() {
         workers: 1,
         arm_threads: 1,
         force_backend: Some(BackendKind::Arm),
+        parallel_nodes: false,
         slo_p99_ms: 50.0,
     };
     let server = Server::start(vec![class.clone()], config, &Tracer::default());
@@ -184,6 +227,7 @@ fn dynamic_deadline_serves_partial_batches_without_shutdown() {
         workers: 2,
         arm_threads: 1,
         force_backend: Some(BackendKind::Arm),
+        parallel_nodes: false,
         slo_p99_ms: 50.0,
     };
     let server = Server::start(vec![class.clone()], config, &Tracer::default());
@@ -209,6 +253,7 @@ fn traced_server_run_produces_a_valid_chrome_trace() {
         workers: 1, // single worker: executor wall spans cannot interleave
         arm_threads: 2,
         force_backend: None,
+        parallel_nodes: false,
         slo_p99_ms: 50.0,
     };
     let server = Server::start(vec![class.clone()], config, &tracer);
